@@ -1,0 +1,57 @@
+//! §6.3.4 scalability: end-to-end structure-detection runtime vs file
+//! size. The paper reports that the overall runtime — dialect detection,
+//! feature creation, and class prediction — is linear in the file size
+//! (≈256 s for a 10 MB file on a 2019 laptop, dominated by feature
+//! creation). This bench measures the same pipeline on generated
+//! Mendeley-style files of growing size; Criterion's throughput report
+//! shows whether bytes/second stays flat (linear scaling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use strudel::{Strudel, StrudelCellConfig, StrudelLineConfig};
+use strudel_datagen::{mendeley, saus, GeneratorConfig};
+use strudel_ml::ForestConfig;
+
+fn fitted_model() -> Strudel {
+    let train = saus(&GeneratorConfig {
+        n_files: 20,
+        seed: 5,
+        scale: 0.3,
+    });
+    let config = StrudelCellConfig {
+        line: StrudelLineConfig {
+            forest: ForestConfig::fast(20, 0),
+            ..StrudelLineConfig::default()
+        },
+        forest: ForestConfig::fast(20, 1),
+        ..StrudelCellConfig::default()
+    };
+    Strudel::fit(&train.files, &config)
+}
+
+fn text_of_size(rows_scale: f64) -> String {
+    let corpus = mendeley(&GeneratorConfig {
+        n_files: 1,
+        seed: 11,
+        scale: rows_scale,
+    });
+    corpus.files[0].table.to_delimited(',')
+}
+
+fn scalability(c: &mut Criterion) {
+    let model = fitted_model();
+    let mut group = c.benchmark_group("pipeline_scalability");
+    group.sample_size(10);
+    for scale in [0.03, 0.1, 0.3, 1.0, 3.0] {
+        let text = text_of_size(scale);
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}B", text.len())),
+            &text,
+            |b, text| b.iter(|| model.detect_structure(text)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scalability);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Per-stage micro-benchmarks of the Strudel pipeline: dialect
+//! detection, CSV parsing, Algorithm 1 (block sizes), Algorithm 2
+//! (derived-cell detection), line and cell feature extraction, and
+//! random-forest training/prediction. These quantify the paper's remark
+//! that "most of the time is spent on creating the feature vectors".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use strudel::{
+    block_sizes, detect_derived_cells, extract_cell_features, extract_line_features,
+    CellFeatureConfig, DerivedConfig, LineFeatureConfig, StrudelLine, StrudelLineConfig,
+};
+use strudel_datagen::{saus, GeneratorConfig};
+use strudel_dialect::{detect_dialect, read_table};
+use strudel_ml::{Classifier, ForestConfig, RandomForest};
+use strudel_table::ElementClass;
+
+fn stages(c: &mut Criterion) {
+    let corpus = saus(&GeneratorConfig {
+        n_files: 8,
+        seed: 3,
+        scale: 1.0,
+    });
+    let file = &corpus.files[0];
+    let text = file.table.to_delimited(',');
+
+    c.bench_function("dialect_detection", |b| b.iter(|| detect_dialect(&text)));
+    c.bench_function("csv_parse_and_table", |b| b.iter(|| read_table(&text)));
+    c.bench_function("algorithm1_block_sizes", |b| {
+        b.iter(|| block_sizes(&file.table))
+    });
+    c.bench_function("algorithm2_derived_cells", |b| {
+        b.iter(|| detect_derived_cells(&file.table, &DerivedConfig::default()))
+    });
+    c.bench_function("line_feature_extraction", |b| {
+        b.iter(|| extract_line_features(&file.table, &LineFeatureConfig::default()))
+    });
+
+    let uniform = vec![vec![1.0 / 6.0; ElementClass::COUNT]; file.table.n_rows()];
+    c.bench_function("cell_feature_extraction", |b| {
+        b.iter(|| extract_cell_features(&file.table, &uniform, &CellFeatureConfig::default()))
+    });
+
+    let dataset = StrudelLine::build_dataset(&corpus.files, &LineFeatureConfig::default());
+    c.bench_function("random_forest_fit_30trees", |b| {
+        b.iter(|| RandomForest::fit(&dataset, &ForestConfig::fast(30, 0)))
+    });
+    let forest = RandomForest::fit(&dataset, &ForestConfig::fast(30, 0));
+    c.bench_function("random_forest_predict_file", |b| {
+        b.iter(|| {
+            (0..dataset.n_samples())
+                .map(|i| forest.predict(dataset.row(i)))
+                .sum::<usize>()
+        })
+    });
+
+    let line_model = StrudelLine::fit(
+        &corpus.files,
+        &StrudelLineConfig {
+            forest: ForestConfig::fast(30, 0),
+            ..StrudelLineConfig::default()
+        },
+    );
+    c.bench_function("strudel_line_predict_file", |b| {
+        b.iter(|| line_model.predict(&file.table))
+    });
+}
+
+criterion_group!(benches, stages);
+criterion_main!(benches);

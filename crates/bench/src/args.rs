@@ -1,0 +1,147 @@
+//! Minimal command-line parsing shared by the experiment binaries.
+
+/// Common experiment knobs, overridable via `--key value` flags.
+#[derive(Debug, Clone)]
+pub struct ExperimentArgs {
+    /// Files per generated corpus (`--files`).
+    pub files: usize,
+    /// Body-size scale of the generators (`--scale`).
+    pub scale: f64,
+    /// Corpus seed (`--seed`).
+    pub seed: u64,
+    /// Cross-validation folds (`--folds`).
+    pub folds: usize,
+    /// Cross-validation repetitions (`--repeats`).
+    pub repeats: usize,
+    /// Random-forest size (`--trees`).
+    pub trees: usize,
+    /// Free-form task selector used by `table6` (`--task line|cell|both`).
+    pub task: String,
+    /// Run at the paper's corpus sizes (`--paper`): file counts of
+    /// Table 4, scale 1.0, 10×10 CV, 100 trees. Slow.
+    pub paper: bool,
+}
+
+impl Default for ExperimentArgs {
+    fn default() -> Self {
+        ExperimentArgs {
+            files: 60,
+            scale: 0.25,
+            seed: 42,
+            folds: 10,
+            repeats: 2,
+            trees: 30,
+            task: "both".to_string(),
+            paper: false,
+        }
+    }
+}
+
+impl ExperimentArgs {
+    /// Parse `std::env::args`, falling back to the defaults above.
+    ///
+    /// # Panics
+    /// Panics (with a usage message) on unknown flags or malformed values
+    /// — experiment binaries should fail loudly, not run the wrong setup.
+    pub fn parse() -> ExperimentArgs {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> ExperimentArgs {
+        let mut out = ExperimentArgs::default();
+        let mut iter = args.into_iter();
+        while let Some(flag) = iter.next() {
+            let mut value = |name: &str| {
+                iter.next()
+                    .unwrap_or_else(|| panic!("flag {name} requires a value"))
+            };
+            match flag.as_str() {
+                "--files" => out.files = value("--files").parse().expect("--files: integer"),
+                "--scale" => out.scale = value("--scale").parse().expect("--scale: float"),
+                "--seed" => out.seed = value("--seed").parse().expect("--seed: integer"),
+                "--folds" => out.folds = value("--folds").parse().expect("--folds: integer"),
+                "--repeats" => {
+                    out.repeats = value("--repeats").parse().expect("--repeats: integer")
+                }
+                "--trees" => out.trees = value("--trees").parse().expect("--trees: integer"),
+                "--task" => out.task = value("--task"),
+                "--paper" => out.paper = true,
+                other => panic!(
+                    "unknown flag {other}; known: --files --scale --seed --folds --repeats --trees --task --paper"
+                ),
+            }
+        }
+        if out.paper {
+            out.scale = 1.0;
+            out.folds = 10;
+            out.repeats = 10;
+            out.trees = 100;
+        }
+        out
+    }
+
+    /// Generator configuration for a named dataset under these arguments.
+    pub fn corpus_config(&self, dataset: &str) -> strudel_datagen::GeneratorConfig {
+        if self.paper {
+            strudel_datagen::GeneratorConfig {
+                seed: self.seed,
+                ..strudel_datagen::GeneratorConfig::paper_sized(dataset)
+            }
+        } else {
+            strudel_datagen::GeneratorConfig {
+                n_files: self.files,
+                seed: self.seed,
+                scale: self.scale,
+            }
+        }
+    }
+
+    /// Cross-validation configuration under these arguments.
+    pub fn cv_config(&self) -> strudel_eval::CvConfig {
+        strudel_eval::CvConfig {
+            k: self.folds,
+            repeats: self.repeats,
+            seed: self.seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_without_flags() {
+        let a = ExperimentArgs::parse_from(Vec::new());
+        assert_eq!(a.files, 60);
+        assert_eq!(a.folds, 10);
+        assert!(!a.paper);
+    }
+
+    #[test]
+    fn flags_override() {
+        let a = ExperimentArgs::parse_from(
+            ["--files", "10", "--scale", "0.5", "--task", "line"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(a.files, 10);
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.task, "line");
+    }
+
+    #[test]
+    fn paper_mode_upgrades_settings() {
+        let a = ExperimentArgs::parse_from(["--paper".to_string()]);
+        assert_eq!(a.repeats, 10);
+        assert_eq!(a.trees, 100);
+        assert_eq!(a.corpus_config("SAUS").n_files, 223);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        let _ = ExperimentArgs::parse_from(["--bogus".to_string()]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Active learning simulation, after Chen et al. \[7\] (related work):
+//! does uncertainty-based file selection reach a given quality with
+//! fewer annotated files than random selection?
+//!
+//! Protocol: a labeled pool plays the "unlabeled" corpus; a held-out set
+//! measures quality. Both strategies start from the same seed files and
+//! add one batch per round — random picks uniformly, the sheet selector
+//! picks the files with the highest mean line-prediction entropy. The
+//! model retrains after every round.
+
+use strudel::{file_uncertainty, StrudelLine, StrudelLineConfig};
+use strudel_bench::ExperimentArgs;
+use strudel_eval::Evaluation;
+use strudel_ml::ForestConfig;
+use strudel_table::{Corpus, ElementClass, LabeledFile};
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+const SEED_FILES: usize = 4;
+const BATCH: usize = 2;
+const ROUNDS: usize = 8;
+
+fn macro_f1(model: &StrudelLine, test: &[LabeledFile]) -> f64 {
+    let mut gold = Vec::new();
+    let mut pred = Vec::new();
+    for file in test {
+        let p = model.predict(&file.table);
+        for r in 0..file.table.n_rows() {
+            if let (Some(g), Some(pr)) = (file.line_labels[r], p[r]) {
+                gold.push(g.index());
+                pred.push(pr.index());
+            }
+        }
+    }
+    Evaluation::compute(&gold, &pred, ElementClass::COUNT).macro_f1(&[])
+}
+
+fn run_strategy(
+    pool: &[LabeledFile],
+    test: &[LabeledFile],
+    config: &StrudelLineConfig,
+    uncertainty_driven: bool,
+    seed: u64,
+) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut labeled: Vec<usize> = (0..SEED_FILES.min(pool.len())).collect();
+    let mut unlabeled: Vec<usize> = (labeled.len()..pool.len()).collect();
+    let mut trajectory = Vec::new();
+
+    for _ in 0..=ROUNDS {
+        let train: Vec<LabeledFile> = labeled.iter().map(|&i| pool[i].clone()).collect();
+        let model = StrudelLine::fit(&train, config);
+        trajectory.push(macro_f1(&model, test));
+        if unlabeled.is_empty() {
+            continue;
+        }
+        let picks: Vec<usize> = if uncertainty_driven {
+            let mut scored: Vec<(usize, f64)> = unlabeled
+                .iter()
+                .map(|&i| (i, file_uncertainty(&model, &pool[i].table)))
+                .collect();
+            scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+            scored.into_iter().take(BATCH).map(|(i, _)| i).collect()
+        } else {
+            let mut pool_copy = unlabeled.clone();
+            pool_copy.shuffle(&mut rng);
+            pool_copy.into_iter().take(BATCH).collect()
+        };
+        for pick in picks {
+            unlabeled.retain(|&i| i != pick);
+            labeled.push(pick);
+        }
+    }
+    trajectory
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let parts: Vec<Corpus> = ["SAUS", "DeEx"]
+        .iter()
+        .map(|n| strudel_datagen::by_name(n, &args.corpus_config(n)))
+        .collect();
+    let mut merged = Corpus::merged("SAUS+DeEx", &parts.iter().collect::<Vec<_>>());
+    // Shuffle before splitting so the held-out set and the pool share
+    // the same style mixture.
+    merged
+        .files
+        .shuffle(&mut SmallRng::seed_from_u64(args.seed ^ 0xA11CE));
+    let n_test = merged.files.len() / 3;
+    let (test, pool) = merged.files.split_at(n_test);
+    let config = StrudelLineConfig {
+        forest: ForestConfig {
+            n_trees: args.trees,
+            seed: args.seed,
+            ..ForestConfig::default()
+        },
+        ..StrudelLineConfig::default()
+    };
+
+    println!(
+        "Active learning simulation (line task, SAUS+DeEx): pool {} files, test {} files,\nseed {} files + {} per round\n",
+        pool.len(),
+        test.len(),
+        SEED_FILES,
+        BATCH
+    );
+
+    // Average random over a few seeds; uncertainty is deterministic.
+    let active = run_strategy(pool, test, &config, true, args.seed);
+    let mut random = vec![0.0; ROUNDS + 1];
+    const RANDOM_REPEATS: usize = 3;
+    for rep in 0..RANDOM_REPEATS {
+        let run = run_strategy(pool, test, &config, false, args.seed ^ (rep as u64 + 1));
+        for (acc, v) in random.iter_mut().zip(run) {
+            *acc += v / RANDOM_REPEATS as f64;
+        }
+    }
+
+    println!("{:<14}{:>14}{:>18}", "labeled files", "random", "uncertainty");
+    for round in 0..=ROUNDS {
+        println!(
+            "{:<14}{:>14.3}{:>18.3}",
+            SEED_FILES + round * BATCH,
+            random[round],
+            active[round]
+        );
+    }
+    let adv: f64 = active
+        .iter()
+        .zip(&random)
+        .map(|(a, r)| a - r)
+        .sum::<f64>()
+        / active.len() as f64;
+    println!(
+        "\nMean macro-F1 advantage of uncertainty selection: {adv:+.3}\n\
+         (Chen et al. [7] report active learning reduces annotation effort;\n\
+         a positive advantage reproduces that on the synthetic corpora.)"
+    );
+}

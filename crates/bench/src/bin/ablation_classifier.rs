@@ -1,0 +1,87 @@
+//! §6.1.2 ablation: the backbone classifier choice. The paper tested
+//! Naive Bayes, KNN, SVM, and random forest and reports that "random
+//! forest consistently outperformed the other candidate algorithms on our
+//! datasets for both classification tasks". We compare the same line
+//! feature set under four backbones (multinomial logistic regression
+//! standing in for the linear-kernel SVM — DESIGN.md, substitution 1).
+
+use strudel::{LineFeatureConfig, StrudelLine};
+use strudel_bench::ExperimentArgs;
+use strudel_eval::{grouped_k_folds, Evaluation};
+use strudel_ml::{
+    Classifier, ForestConfig, GaussianNb, Knn, LogisticConfig, LogisticRegression, RandomForest,
+};
+use strudel_table::{Corpus, ElementClass, LabeledFile};
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let parts: Vec<Corpus> = ["SAUS", "CIUS", "DeEx"]
+        .iter()
+        .map(|n| strudel_datagen::by_name(n, &args.corpus_config(n)))
+        .collect();
+    let merged = Corpus::merged("SAUS+CIUS+DeEx", &parts.iter().collect::<Vec<_>>());
+    println!(
+        "Backbone ablation (line task, SAUS+CIUS+DeEx, {} files, {} folds)\n",
+        merged.files.len(),
+        args.folds
+    );
+
+    let folds = grouped_k_folds(merged.files.len(), args.folds, args.seed);
+    let backbones: [&str; 4] = ["RandomForest", "NaiveBayes", "kNN(5)", "Logistic"];
+    let mut evals: Vec<Vec<Evaluation>> = vec![Vec::new(); backbones.len()];
+
+    for test_fold in 0..args.folds {
+        let train_files: Vec<LabeledFile> = folds
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != test_fold)
+            .flat_map(|(_, f)| f.iter().map(|&i| merged.files[i].clone()))
+            .collect();
+        let test_files: Vec<&LabeledFile> =
+            folds[test_fold].iter().map(|&i| &merged.files[i]).collect();
+
+        let train = StrudelLine::build_dataset(&train_files, &LineFeatureConfig::default());
+        let owned_test: Vec<LabeledFile> = test_files.iter().map(|f| (*f).clone()).collect();
+        let test = StrudelLine::build_dataset(&owned_test, &LineFeatureConfig::default());
+
+        let models: Vec<Box<dyn Classifier>> = vec![
+            Box::new(RandomForest::fit(
+                &train,
+                &ForestConfig {
+                    n_trees: args.trees,
+                    seed: args.seed ^ test_fold as u64,
+                    ..ForestConfig::default()
+                },
+            )),
+            Box::new(GaussianNb::fit(&train)),
+            Box::new(Knn::fit(&train, 5)),
+            Box::new(LogisticRegression::fit(
+                &train,
+                &LogisticConfig {
+                    seed: args.seed,
+                    ..LogisticConfig::default()
+                },
+            )),
+        ];
+        for (evals_slot, model) in evals.iter_mut().zip(&models) {
+            let pred = model.predict_all(&test);
+            evals_slot.push(Evaluation::compute(test.targets(), &pred, ElementClass::COUNT));
+        }
+    }
+
+    println!("{:<14}{:>10}{:>11}", "backbone", "accuracy", "macro-F1");
+    let mut rows: Vec<(usize, f64, f64)> = Vec::new();
+    for (b, name) in backbones.iter().enumerate() {
+        let mean = Evaluation::mean(&evals[b]);
+        rows.push((b, mean.accuracy, mean.macro_f1(&[])));
+        println!("{name:<14}{:>10.3}{:>11.3}", mean.accuracy, mean.macro_f1(&[]));
+    }
+    let best = rows
+        .iter()
+        .max_by(|a, b| a.2.total_cmp(&b.2))
+        .expect("rows");
+    println!(
+        "\nBest macro-F1: {} (paper: random forest consistently wins)",
+        backbones[best.0]
+    );
+}

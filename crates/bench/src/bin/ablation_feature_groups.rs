@@ -1,0 +1,166 @@
+//! Feature-group ablation: the paper organises its features into
+//! *content*, *contextual*, and *computational* groups (Tables 1–2) and
+//! credits the computational `IsAggregation` cell feature with the
+//! derived-class gains (Section 6.3.5, Figure 4). This binary retrains
+//! the forests with feature groups disabled (columns held constant, so
+//! the trees can never split on them) and reports the macro and
+//! derived-class F1 deltas — for the line task (where row-anchored
+//! derived detection is correlated with `AggregationWord`, so the
+//! computational group is near-redundant) and for the cell task (where
+//! column-anchored `IsAggregation` carries signal no other feature has).
+
+use strudel::{
+    CellFeatureConfig, LineFeatureConfig, StrudelCell, StrudelLine, StrudelLineConfig,
+};
+use strudel_bench::ExperimentArgs;
+use strudel_eval::{grouped_k_folds, Evaluation};
+use strudel_ml::{Classifier, Dataset, ForestConfig, RandomForest};
+use strudel_table::{Corpus, ElementClass, LabeledFile};
+
+/// Index ranges of the three feature groups in the line feature vector.
+const LINE_GROUPS: [(&str, std::ops::Range<usize>); 3] = [
+    ("content", 0..7),
+    ("contextual", 7..13),
+    ("computational", 13..14),
+];
+
+/// Index ranges of notable groups in the cell feature vector (Table 2).
+const CELL_GROUPS: [(&str, std::ops::Range<usize>); 4] = [
+    ("line probabilities", 7..13),
+    ("neighbor profile", 20..36),
+    ("block size", 19..20),
+    ("computational", 36..37),
+];
+
+fn blank_group(data: &Dataset, range: &std::ops::Range<usize>) -> Dataset {
+    let zeros = vec![0.0; data.n_samples()];
+    let mut out = data.clone();
+    for j in range.clone() {
+        out = out.with_feature_replaced(j, &zeros);
+    }
+    out
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let parts: Vec<Corpus> = ["SAUS", "CIUS", "DeEx"]
+        .iter()
+        .map(|n| strudel_datagen::by_name(n, &args.corpus_config(n)))
+        .collect();
+    let merged = Corpus::merged("SAUS+CIUS+DeEx", &parts.iter().collect::<Vec<_>>());
+    println!(
+        "Feature-group ablation (line task, SAUS+CIUS+DeEx, {} files, {} folds)\n",
+        merged.files.len(),
+        args.folds
+    );
+
+    let folds = grouped_k_folds(merged.files.len(), args.folds, args.seed);
+    let line_variants: Vec<(&str, Option<std::ops::Range<usize>>)> =
+        std::iter::once(("all", None))
+            .chain(LINE_GROUPS.iter().map(|(name, r)| (*name, Some(r.clone()))))
+            .collect();
+    let cell_variants: Vec<(&str, Option<std::ops::Range<usize>>)> =
+        std::iter::once(("all", None))
+            .chain(CELL_GROUPS.iter().map(|(name, r)| (*name, Some(r.clone()))))
+            .collect();
+    let mut line_evals: Vec<Vec<Evaluation>> = vec![Vec::new(); line_variants.len()];
+    let mut cell_evals: Vec<Vec<Evaluation>> = vec![Vec::new(); cell_variants.len()];
+
+    for test_fold in 0..args.folds {
+        let train_files: Vec<LabeledFile> = folds
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != test_fold)
+            .flat_map(|(_, f)| f.iter().map(|&i| merged.files[i].clone()))
+            .collect();
+        let test_files: Vec<LabeledFile> = folds[test_fold]
+            .iter()
+            .map(|&i| merged.files[i].clone())
+            .collect();
+        let forest_config = |salt: u64| ForestConfig {
+            n_trees: args.trees,
+            seed: args.seed ^ test_fold as u64 ^ salt,
+            ..ForestConfig::default()
+        };
+
+        // --- line task ---
+        let train = StrudelLine::build_dataset(&train_files, &LineFeatureConfig::default());
+        let test = StrudelLine::build_dataset(&test_files, &LineFeatureConfig::default());
+        for (slot, (_, range)) in line_variants.iter().enumerate() {
+            let (train_v, test_v) = match range {
+                None => (train.clone(), test.clone()),
+                Some(r) => (blank_group(&train, r), blank_group(&test, r)),
+            };
+            let forest = RandomForest::fit(&train_v, &forest_config(0));
+            let pred = forest.predict_all(&test_v);
+            line_evals[slot].push(Evaluation::compute(
+                test_v.targets(),
+                &pred,
+                ElementClass::COUNT,
+            ));
+        }
+
+        // --- cell task (line model trained on the same fold's files) ---
+        let line_model = StrudelLine::fit(
+            &train_files,
+            &StrudelLineConfig {
+                forest: forest_config(1),
+                ..StrudelLineConfig::default()
+            },
+        );
+        let train =
+            StrudelCell::build_dataset(&train_files, &line_model, &CellFeatureConfig::default());
+        let test =
+            StrudelCell::build_dataset(&test_files, &line_model, &CellFeatureConfig::default());
+        for (slot, (_, range)) in cell_variants.iter().enumerate() {
+            let (train_v, test_v) = match range {
+                None => (train.clone(), test.clone()),
+                Some(r) => (blank_group(&train, r), blank_group(&test, r)),
+            };
+            let forest = RandomForest::fit(&train_v, &forest_config(2));
+            let pred = forest.predict_all(&test_v);
+            cell_evals[slot].push(Evaluation::compute(
+                test_v.targets(),
+                &pred,
+                ElementClass::COUNT,
+            ));
+        }
+    }
+
+    let print_block = |title: &str,
+                       variants: &[(&str, Option<std::ops::Range<usize>>)],
+                       evals: &[Vec<Evaluation>]| {
+        println!("{title}");
+        println!(
+            "{:<26}{:>10}{:>12}{:>14}",
+            "variant", "macro-F1", "derived-F1", "Δ derived-F1"
+        );
+        let full = Evaluation::mean(&evals[0]);
+        for (slot, (name, range)) in variants.iter().enumerate() {
+            let mean = Evaluation::mean(&evals[slot]);
+            let d = ElementClass::Derived.index();
+            let label = match range {
+                None => "all features".to_string(),
+                Some(_) => format!("without {name}"),
+            };
+            println!(
+                "{label:<26}{:>10.3}{:>12.3}{:>14.3}",
+                mean.macro_f1(&[]),
+                mean.f1[d],
+                mean.f1[d] - full.f1[d]
+            );
+        }
+        println!();
+    };
+    print_block("=== Line task (Table 1 groups) ===", &line_variants, &line_evals);
+    print_block("=== Cell task (Table 2 groups) ===", &cell_variants, &cell_evals);
+    println!(
+        "Reading the result: the content group carries most of the line task,\n\
+         and the line-probability features carry the cell task's minority\n\
+         classes. Removing the computational group often costs little *at the\n\
+         group level* because the forest compensates with correlated keyword\n\
+         and position features — permutation importance (figure4), which\n\
+         measures what the fitted model actually uses, is the paper's\n\
+         measurement and shows IsAggregation prominently for derived cells."
+    );
+}

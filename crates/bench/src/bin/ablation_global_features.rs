@@ -1,0 +1,36 @@
+//! §4 ablation: global file features. The paper tested four whole-file
+//! features (empty-line percentage, width, length, empty-line blocks) and
+//! found "no positive impact on the classification problem" — they were
+//! dropped from Strudel^L. This binary reruns the line task with and
+//! without them.
+
+use strudel_bench::runners::run_line_cv;
+use strudel_bench::{ExperimentArgs, LineAlgo};
+use strudel_table::ElementClass;
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let cv = args.cv_config();
+    println!(
+        "Global-feature ablation (line task): --files {} --scale {} --folds {} --repeats {} --trees {}\n",
+        args.files, args.scale, args.folds, args.repeats, args.trees
+    );
+    println!(
+        "{:<10}{:>22}{:>22}{:>9}",
+        "Dataset", "macro-F1 (local only)", "macro-F1 (+global)", "delta"
+    );
+    for dataset in ["SAUS", "CIUS", "DeEx"] {
+        let corpus = strudel_datagen::by_name(dataset, &args.corpus_config(dataset));
+        let local = run_line_cv(&corpus, LineAlgo::Strudel, &cv, args.trees)
+            .mean_evaluation(ElementClass::COUNT)
+            .macro_f1(&[]);
+        let global = run_line_cv(&corpus, LineAlgo::StrudelGlobal, &cv, args.trees)
+            .mean_evaluation(ElementClass::COUNT)
+            .macro_f1(&[]);
+        println!(
+            "{dataset:<10}{local:>22.3}{global:>22.3}{:>9.3}",
+            global - local
+        );
+    }
+    println!("\nPaper: the global features show no positive impact (Section 4).");
+}

@@ -1,0 +1,96 @@
+//! Figure 1: the paper's motivating example — a real-world verbose CSV
+//! file with cell-level and line-level content classes highlighted.
+//!
+//! This binary trains a quick model, rebuilds a CIUS-style file modeled
+//! on the paper's Figure 1 (the "Crime in the US" drug-seizure table
+//! with a `Sale/Manufacturing:` group section), and renders the detected
+//! classes — with ANSI colors on a terminal, as bracketed tags otherwise
+//! (`--plain` forces tags).
+
+use strudel::{Strudel, StrudelCellConfig, StrudelLineConfig};
+use strudel_ml::ForestConfig;
+use strudel_table::ElementClass;
+
+const FIGURE1_FILE: &str = "\
+Table 29. Estimated number of arrests,,,
+United States — drug abuse violations,,,
+,,,
+Drug type,2019,2020,Total
+Sale/Manufacturing:,,,
+Heroin or cocaine,\"1,204\",998,\"2,202\"
+Marijuana,730,812,\"1,542\"
+Synthetic narcotics,255,304,559
+Total,\"2,189\",\"2,114\",\"4,303\"
+,,,
+1. Arrest totals are estimated.,,,
+Source: Uniform Crime Reporting program.,,,
+";
+
+fn color(class: ElementClass) -> &'static str {
+    match class {
+        ElementClass::Metadata => "\x1b[36m",  // cyan
+        ElementClass::Header => "\x1b[34m",    // blue
+        ElementClass::Group => "\x1b[35m",     // magenta
+        ElementClass::Data => "\x1b[32m",      // green
+        ElementClass::Derived => "\x1b[33m",   // yellow
+        ElementClass::Notes => "\x1b[90m",     // grey
+    }
+}
+
+fn main() {
+    let plain = std::env::args().any(|a| a == "--plain");
+    eprintln!("training a quick model on synthetic CIUS+SAUS ...");
+    let a = strudel_datagen::cius(&strudel_datagen::GeneratorConfig {
+        n_files: 32,
+        seed: 42,
+        scale: 0.25,
+    });
+    let b = strudel_datagen::saus(&strudel_datagen::GeneratorConfig {
+        n_files: 32,
+        seed: 43,
+        scale: 0.25,
+    });
+    let train = strudel_table::Corpus::merged("train", &[&a, &b]);
+    let config = StrudelCellConfig {
+        line: StrudelLineConfig {
+            forest: ForestConfig::fast(40, 0),
+            ..StrudelLineConfig::default()
+        },
+        forest: ForestConfig::fast(40, 1),
+        ..StrudelCellConfig::default()
+    };
+    let model = Strudel::fit(&train.files, &config);
+    let structure = model.detect_structure(FIGURE1_FILE);
+
+    println!("Figure 1: detected cell classes (line class at the right)\n");
+    if !plain {
+        print!("legend: ");
+        for class in ElementClass::ALL {
+            print!("{}{}\x1b[0m  ", color(class), class.name());
+        }
+        println!("\n");
+    }
+    for r in 0..structure.table.n_rows() {
+        let mut rendered: Vec<String> = Vec::new();
+        for c in 0..structure.table.n_cols() {
+            let raw = structure.table.cell(r, c).raw();
+            if raw.is_empty() {
+                rendered.push(String::new());
+                continue;
+            }
+            let class = structure.cell_class(r, c).expect("non-empty cell classified");
+            rendered.push(if plain {
+                format!("[{}]{raw}", &class.name()[..1])
+            } else {
+                format!("{}{raw}\x1b[0m", color(class))
+            });
+        }
+        let line_label = structure.lines[r].map_or("", |c| c.name());
+        println!("{:<76}| {line_label}", rendered.join(" , "));
+    }
+    println!(
+        "\nAs in the paper's Figure 1: the line class is the majority of its cell\n\
+         classes; the leading 'Total'/'Sale/Manufacturing:' cells of aggregate\n\
+         lines are group cells, not derived ones."
+    );
+}

@@ -1,0 +1,39 @@
+//! Figure 3: ensemble confusion matrices of Strudel^L (top) and
+//! Strudel^C (bottom) per dataset, built from repeated cross-validation
+//! with per-element majority voting (ties toward the rarer class) and
+//! row-normalised by per-class instance counts.
+//!
+//! Shape to reproduce (paper): derived is the hardest class everywhere
+//! and its errors flow to `data` (e.g. GovUK .368 derived→data line
+//! share, CIUS cell .660 derived→data); minority-class errors generally
+//! lean toward data; non-data classes rarely confuse with each other.
+
+use strudel_bench::printing::confusion_block;
+use strudel_bench::runners::{run_cell_cv, run_line_cv};
+use strudel_bench::{CellAlgo, ExperimentArgs, LineAlgo};
+use strudel_table::ElementClass;
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let cv = args.cv_config();
+    println!(
+        "Figure 3: --files {} --scale {} --folds {} --repeats {} --trees {}\n",
+        args.files, args.scale, args.folds, args.repeats, args.trees
+    );
+
+    println!("=== Strudel^L line confusion (Figure 3 top) ===\n");
+    for dataset in ["GovUK", "CIUS", "DeEx"] {
+        let corpus = strudel_datagen::by_name(dataset, &args.corpus_config(dataset));
+        let outcome = run_line_cv(&corpus, LineAlgo::Strudel, &cv, args.trees);
+        let matrix = outcome.ensemble_confusion(ElementClass::COUNT);
+        println!("{}", confusion_block(dataset, &matrix));
+    }
+
+    println!("=== Strudel^C cell confusion (Figure 3 bottom) ===\n");
+    for dataset in ["SAUS", "CIUS", "DeEx"] {
+        let corpus = strudel_datagen::by_name(dataset, &args.corpus_config(dataset));
+        let outcome = run_cell_cv(&corpus, CellAlgo::Strudel, &cv, args.trees);
+        let matrix = outcome.ensemble_confusion(ElementClass::COUNT);
+        println!("{}", confusion_block(dataset, &matrix));
+    }
+}

@@ -1,0 +1,23 @@
+//! Table 4: corpus summary — files, non-empty lines, non-empty cells for
+//! all six datasets.
+//!
+//! Paper reference: GovUK 226/97,212/1,382,704; SAUS 223/11,598/157,767;
+//! CIUS 269/34,556/367,172; DeEx 444/77,852/784,229;
+//! Mendeley 62/195,598/1,359,810; Troy 200/4,348/23,077.
+
+use strudel_bench::ExperimentArgs;
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    println!("Table 4: dataset summary");
+    println!("(--files {} --scale {} --seed {}; use --paper for Table 4 file counts)\n", args.files, args.scale, args.seed);
+    println!("{:<10}{:>9}{:>12}{:>14}", "Dataset", "# files", "# lines", "# cells");
+    for name in ["GovUK", "SAUS", "CIUS", "DeEx", "Mendeley", "Troy"] {
+        let corpus = strudel_datagen::by_name(name, &args.corpus_config(name));
+        let stats = corpus.stats();
+        println!(
+            "{name:<10}{:>9}{:>12}{:>14}",
+            stats.n_files, stats.n_lines, stats.n_cells
+        );
+    }
+}

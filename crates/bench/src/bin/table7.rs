@@ -1,0 +1,51 @@
+//! Table 7: out-of-domain generalisation — train Strudel on
+//! SAUS + CIUS + DeEx, test on the unseen Troy dataset (line and cell
+//! tasks).
+//!
+//! Shape to reproduce (paper values): metadata/header/data/notes transfer
+//! well (line F1 .935/.798/.937/.971), while group and especially derived
+//! collapse (derived line F1 .070; cell F1 .216) because Troy's derived
+//! lines carry no anchoring keywords.
+
+use strudel_bench::printing::{f1_header, f1_row};
+use strudel_bench::runners::transfer_experiment;
+use strudel_bench::ExperimentArgs;
+use strudel_eval::Evaluation;
+use strudel_table::{Corpus, ElementClass};
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let parts: Vec<Corpus> = ["SAUS", "CIUS", "DeEx"]
+        .iter()
+        .map(|n| strudel_datagen::by_name(n, &args.corpus_config(n)))
+        .collect();
+    let train = Corpus::merged("SAUS+CIUS+DeEx", &parts.iter().collect::<Vec<_>>());
+    let test = strudel_datagen::by_name("Troy", &args.corpus_config("Troy"));
+
+    println!(
+        "Table 7: train SAUS+CIUS+DeEx ({} files), test Troy ({} files), --trees {}\n",
+        train.files.len(),
+        test.files.len(),
+        args.trees
+    );
+
+    let (lines, cells) = transfer_experiment(&train, &test, args.trees, args.seed);
+    let line_eval = Evaluation::compute(
+        &lines.iter().map(|p| p.gold).collect::<Vec<_>>(),
+        &lines.iter().map(|p| p.pred).collect::<Vec<_>>(),
+        ElementClass::COUNT,
+    );
+    let cell_eval = Evaluation::compute(
+        &cells.iter().map(|p| p.gold).collect::<Vec<_>>(),
+        &cells.iter().map(|p| p.pred).collect::<Vec<_>>(),
+        ElementClass::COUNT,
+    );
+
+    println!("{}", f1_header("Troy"));
+    println!("{}", f1_row("Strudel^L", &line_eval, &[]));
+    println!("{}", f1_row("Strudel^C", &cell_eval, &[]));
+    println!("\n# lines per class: {:?}", line_eval.support);
+    println!("# cells per class: {:?}", cell_eval.support);
+    println!("\nPaper (line): metadata .935 header .798 group .667 data .937 derived .070 notes .971, macro .730");
+    println!("Paper (cell): metadata .921 header .840 group .232 data .936 derived .216 notes .952, macro .683");
+}

@@ -1,0 +1,29 @@
+//! # strudel-bench
+//!
+//! Experiment drivers reproducing every table and figure of the Strudel
+//! paper's evaluation (Section 6). Each binary regenerates one artifact:
+//!
+//! | target | artifact |
+//! |---|---|
+//! | `table3` | line diversity degrees (Table 3) |
+//! | `table4` | corpus summary (Table 4) |
+//! | `table5` | class distribution (Table 5) |
+//! | `table6` | line & cell classification comparison (Table 6) |
+//! | `table7` | out-of-domain Troy transfer (Table 7) |
+//! | `table8` | plain-text Mendeley transfer (Table 8) |
+//! | `figure3` | ensemble confusion matrices (Figure 3) |
+//! | `figure4` | permutation feature importance (Figure 4) |
+//! | `ablation_classifier` | RF vs NB vs kNN vs logistic backbone (§6.1.2) |
+//! | `ablation_global_features` | global line features have no impact (§4) |
+//! | `scalability` (Criterion bench) | runtime vs file size (§6.3.4) |
+//!
+//! This library crate holds the shared runners: corpus construction at a
+//! chosen experiment scale, line-task and cell-task cross-validation for
+//! every algorithm, and the plain-text report printers.
+
+pub mod args;
+pub mod printing;
+pub mod runners;
+
+pub use args::ExperimentArgs;
+pub use runners::{CellAlgo, LineAlgo};

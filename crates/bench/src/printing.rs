@@ -1,0 +1,124 @@
+//! Plain-text report printers matching the paper's table layouts.
+
+use strudel_eval::{ConfusionMatrix, Evaluation};
+use strudel_table::ElementClass;
+
+/// Header row of a per-class F1 table (Table 6 layout).
+pub fn f1_header(first_column: &str) -> String {
+    let mut out = format!("{first_column:<18}");
+    for class in ElementClass::ALL {
+        out.push_str(&format!("{:>9}", class.name()));
+    }
+    out.push_str(&format!("{:>10}{:>11}", "accuracy", "macro-avg"));
+    out
+}
+
+/// One row of a per-class F1 table. `exclude` marks classes printed as
+/// `-` and left out of the macro average (Pytheas' `derived`).
+pub fn f1_row(label: &str, eval: &Evaluation, exclude: &[usize]) -> String {
+    let mut out = format!("{label:<18}");
+    for class in ElementClass::ALL {
+        if exclude.contains(&class.index()) {
+            out.push_str(&format!("{:>9}", "-"));
+        } else {
+            out.push_str(&format!("{:>9.3}", eval.f1[class.index()]));
+        }
+    }
+    out.push_str(&format!(
+        "{:>10.3}{:>11.3}",
+        eval.accuracy,
+        eval.macro_f1(exclude)
+    ));
+    out
+}
+
+/// Support row (`# lines` / `# cells`) of the Table 6 layout.
+pub fn support_row(label: &str, support: &[usize]) -> String {
+    let mut out = format!("{label:<18}");
+    for class in ElementClass::ALL {
+        out.push_str(&format!("{:>9}", support[class.index()]));
+    }
+    out.push_str(&format!("{:>10}{:>11}", "-", "-"));
+    out
+}
+
+/// Render a row-normalised confusion matrix (Figure 3 layout).
+pub fn confusion_block(title: &str, matrix: &ConfusionMatrix) -> String {
+    let mut out = format!("{title}\n{:<10}", "gold\\pred");
+    for class in ElementClass::ALL {
+        out.push_str(&format!("{:>9}", class.name()));
+    }
+    out.push('\n');
+    for (g, row) in matrix.normalized().iter().enumerate() {
+        out.push_str(&format!("{:<10}", ElementClass::from_index(g).name()));
+        for v in row {
+            out.push_str(&format!("{v:>9.3}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render one class's importance shares as a sorted bar list (Figure 4
+/// view), listing features above `threshold`.
+pub fn importance_block(
+    class: ElementClass,
+    names: &[&str],
+    shares: &[f64],
+    threshold: f64,
+) -> String {
+    let mut ranked: Vec<(usize, f64)> = shares.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let mut out = format!("{}\n", class.name());
+    for (j, share) in ranked {
+        if share < threshold {
+            break;
+        }
+        let bar = "#".repeat((share * 50.0).round() as usize);
+        out.push_str(&format!("  {:<28}{:>6.1}% {}\n", names[j], share * 100.0, bar));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f1_table_layout() {
+        let eval = Evaluation::compute(&[0, 3, 3], &[0, 3, 3], 6);
+        let header = f1_header("SAUS");
+        let row = f1_row("Strudel^L", &eval, &[]);
+        assert!(header.contains("metadata"));
+        assert!(header.contains("macro-avg"));
+        assert!(row.contains("1.000"));
+        // Columns align: header and row have equal length.
+        assert_eq!(header.len(), row.len());
+    }
+
+    #[test]
+    fn excluded_class_prints_dash() {
+        let eval = Evaluation::compute(&[0], &[0], 6);
+        let row = f1_row("Pytheas^L", &eval, &[4]);
+        assert!(row.contains('-'));
+    }
+
+    #[test]
+    fn confusion_block_contains_all_classes() {
+        let mut m = ConfusionMatrix::new(6);
+        m.add(3, 3);
+        let block = confusion_block("SAUS", &m);
+        assert!(block.contains("derived"));
+        assert!(block.contains("1.000"));
+    }
+
+    #[test]
+    fn importance_block_sorts_and_filters() {
+        let names = ["A", "B", "C"];
+        let block = importance_block(ElementClass::Data, &names, &[0.1, 0.7, 0.2], 0.15);
+        let b_pos = block.find('B').unwrap();
+        let c_pos = block.find('C').unwrap();
+        assert!(b_pos < c_pos);
+        assert!(!block.contains("A "));
+    }
+}

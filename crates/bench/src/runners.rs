@@ -1,0 +1,295 @@
+//! Shared experiment runners: train/test and cross-validation execution
+//! for every line and cell algorithm of the evaluation.
+
+use strudel::baselines::{CrfLine, CrfLineConfig, LineCell, PytheasConfig, PytheasLine, RnnCell, RnnCellConfig};
+use strudel::{StrudelCell, StrudelCellConfig, StrudelLine, StrudelLineConfig};
+use strudel_eval::{run_cross_validation, CvConfig, CvOutcome, Prediction};
+use strudel_ml::ForestConfig;
+use strudel_table::{Corpus, ElementClass, LabeledFile};
+
+/// The line-classification algorithms of Table 6 (top).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineAlgo {
+    /// `CRF^L` (Adelfio & Samet).
+    Crf,
+    /// `Pytheas^L` (Christodoulakis et al.). Cannot predict `derived`;
+    /// score it with [`pytheas_exclusions`].
+    Pytheas,
+    /// `Strudel^L` (this paper).
+    Strudel,
+    /// `Strudel^L` including the global file features (the §4 ablation).
+    StrudelGlobal,
+}
+
+impl LineAlgo {
+    /// Display name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            LineAlgo::Crf => "CRF^L",
+            LineAlgo::Pytheas => "Pytheas^L",
+            LineAlgo::Strudel => "Strudel^L",
+            LineAlgo::StrudelGlobal => "Strudel^L+global",
+        }
+    }
+}
+
+/// The cell-classification algorithms of Table 6 (bottom).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellAlgo {
+    /// `Line^C`: broadcast the line prediction to cells.
+    LineC,
+    /// `RNN^C` stand-in (Ghasemi-Gol et al.).
+    Rnn,
+    /// `Strudel^C` (this paper).
+    Strudel,
+}
+
+impl CellAlgo {
+    /// Display name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            CellAlgo::LineC => "Line^C",
+            CellAlgo::Rnn => "RNN^C",
+            CellAlgo::Strudel => "Strudel^C",
+        }
+    }
+}
+
+/// Class indices to exclude when scoring Pytheas (it has no `derived`
+/// class; the paper leaves derived lines out of its measurements).
+pub fn pytheas_exclusions() -> Vec<usize> {
+    vec![ElementClass::Derived.index()]
+}
+
+fn strudel_line_config(trees: usize, seed: u64, global: bool) -> StrudelLineConfig {
+    let mut config = StrudelLineConfig::default();
+    config.features.include_global = global;
+    config.forest = ForestConfig {
+        n_trees: trees,
+        seed,
+        ..ForestConfig::default()
+    };
+    config
+}
+
+/// Fit `algo` on `train` and predict line classes for each `(index,
+/// file)` in `test`; returns one [`Prediction`] per labeled line.
+pub fn train_test_line(
+    algo: LineAlgo,
+    train: &[LabeledFile],
+    test: &[(usize, &LabeledFile)],
+    trees: usize,
+    seed: u64,
+) -> Vec<Prediction> {
+    let predict: Box<dyn Fn(&LabeledFile) -> Vec<Option<ElementClass>>> = match algo {
+        LineAlgo::Strudel | LineAlgo::StrudelGlobal => {
+            let model = StrudelLine::fit(
+                train,
+                &strudel_line_config(trees, seed, algo == LineAlgo::StrudelGlobal),
+            );
+            Box::new(move |file| model.predict(&file.table))
+        }
+        LineAlgo::Crf => {
+            let model = CrfLine::fit(
+                train,
+                &CrfLineConfig {
+                    seed,
+                    ..CrfLineConfig::default()
+                },
+            );
+            Box::new(move |file| model.predict(&file.table))
+        }
+        LineAlgo::Pytheas => {
+            let model = PytheasLine::fit(train, &PytheasConfig::default());
+            Box::new(move |file| model.predict(&file.table))
+        }
+    };
+
+    let mut out = Vec::new();
+    for &(file_idx, file) in test {
+        let pred = predict(file);
+        for r in 0..file.table.n_rows() {
+            let Some(gold) = file.line_labels[r] else { continue };
+            // Every labeled line receives a prediction (the classifiers
+            // label all non-empty lines); default to `data` defensively.
+            let p = pred[r].unwrap_or(ElementClass::Data);
+            out.push(Prediction {
+                file: file_idx,
+                item: r,
+                gold: gold.index(),
+                pred: p.index(),
+            });
+        }
+    }
+    out
+}
+
+/// Fit `algo` on `train` and predict cell classes for each `(index,
+/// file)` in `test`; returns one [`Prediction`] per labeled cell.
+pub fn train_test_cell(
+    algo: CellAlgo,
+    train: &[LabeledFile],
+    test: &[(usize, &LabeledFile)],
+    trees: usize,
+    seed: u64,
+) -> Vec<Prediction> {
+    let predict: Box<dyn Fn(&LabeledFile) -> Vec<strudel::CellPrediction>> = match algo {
+        CellAlgo::Strudel => {
+            let config = StrudelCellConfig {
+                line: strudel_line_config(trees, seed, false),
+                forest: ForestConfig {
+                    n_trees: trees,
+                    seed: seed ^ 0xC0FFEE,
+                    ..ForestConfig::default()
+                },
+                ..StrudelCellConfig::default()
+            };
+            let model = StrudelCell::fit(train, &config);
+            Box::new(move |file| model.predict(&file.table))
+        }
+        CellAlgo::LineC => {
+            let model = LineCell::fit(train, &strudel_line_config(trees, seed, false));
+            Box::new(move |file| model.predict(&file.table))
+        }
+        CellAlgo::Rnn => {
+            let mut config = RnnCellConfig::default();
+            config.mlp.seed = seed;
+            let model = RnnCell::fit(train, &config);
+            Box::new(move |file| model.predict(&file.table))
+        }
+    };
+
+    let mut out = Vec::new();
+    for &(file_idx, file) in test {
+        let n_cols = file.table.n_cols();
+        for p in predict(file) {
+            let Some(gold) = file.cell_labels[p.row][p.col] else { continue };
+            out.push(Prediction {
+                file: file_idx,
+                item: p.row * n_cols + p.col,
+                gold: gold.index(),
+                pred: p.class.index(),
+            });
+        }
+    }
+    out
+}
+
+/// File-grouped repeated cross-validation of a line algorithm.
+pub fn run_line_cv(corpus: &Corpus, algo: LineAlgo, cv: &CvConfig, trees: usize) -> CvOutcome {
+    let mut fold_counter = 0u64;
+    run_cross_validation(corpus.files.len(), cv, |train_idx, test_idx| {
+        fold_counter += 1;
+        let train: Vec<LabeledFile> = train_idx.iter().map(|&i| corpus.files[i].clone()).collect();
+        let test: Vec<(usize, &LabeledFile)> =
+            test_idx.iter().map(|&i| (i, &corpus.files[i])).collect();
+        train_test_line(algo, &train, &test, trees, cv.seed ^ fold_counter)
+    })
+}
+
+/// File-grouped repeated cross-validation of a cell algorithm.
+pub fn run_cell_cv(corpus: &Corpus, algo: CellAlgo, cv: &CvConfig, trees: usize) -> CvOutcome {
+    let mut fold_counter = 0u64;
+    run_cross_validation(corpus.files.len(), cv, |train_idx, test_idx| {
+        fold_counter += 1;
+        let train: Vec<LabeledFile> = train_idx.iter().map(|&i| corpus.files[i].clone()).collect();
+        let test: Vec<(usize, &LabeledFile)> =
+            test_idx.iter().map(|&i| (i, &corpus.files[i])).collect();
+        train_test_cell(algo, &train, &test, trees, cv.seed ^ fold_counter)
+    })
+}
+
+/// Train on one corpus, test on another (Tables 7 and 8): returns the
+/// line-task and cell-task predictions.
+pub fn transfer_experiment(
+    train: &Corpus,
+    test: &Corpus,
+    trees: usize,
+    seed: u64,
+) -> (Vec<Prediction>, Vec<Prediction>) {
+    let test_refs: Vec<(usize, &LabeledFile)> = test.files.iter().enumerate().collect();
+    let lines = train_test_line(LineAlgo::Strudel, &train.files, &test_refs, trees, seed);
+    let cells = train_test_cell(CellAlgo::Strudel, &train.files, &test_refs, trees, seed);
+    (lines, cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strudel_datagen::{saus, GeneratorConfig};
+
+    fn small_corpus() -> Corpus {
+        saus(&GeneratorConfig {
+            n_files: 10,
+            seed: 3,
+            scale: 0.2,
+        })
+    }
+
+    #[test]
+    fn line_cv_produces_one_prediction_per_labeled_line() {
+        let corpus = small_corpus();
+        let cv = CvConfig {
+            k: 5,
+            repeats: 1,
+            seed: 1,
+        };
+        let outcome = run_line_cv(&corpus, LineAlgo::Strudel, &cv, 8);
+        let expected: usize = corpus
+            .files
+            .iter()
+            .map(|f| f.line_labels.iter().flatten().count())
+            .sum();
+        assert_eq!(outcome.per_repeat[0].len(), expected);
+        let eval = outcome.mean_evaluation(ElementClass::COUNT);
+        assert!(eval.accuracy > 0.6, "accuracy {}", eval.accuracy);
+    }
+
+    #[test]
+    fn cell_cv_runs_for_every_algorithm() {
+        let corpus = small_corpus();
+        let cv = CvConfig {
+            k: 5,
+            repeats: 1,
+            seed: 2,
+        };
+        for algo in [CellAlgo::LineC, CellAlgo::Strudel] {
+            let outcome = run_cell_cv(&corpus, algo, &cv, 8);
+            let eval = outcome.mean_evaluation(ElementClass::COUNT);
+            assert!(
+                eval.accuracy > 0.5,
+                "{} accuracy {}",
+                algo.name(),
+                eval.accuracy
+            );
+        }
+    }
+
+    #[test]
+    fn pytheas_runs_without_derived_predictions() {
+        let corpus = small_corpus();
+        let cv = CvConfig {
+            k: 5,
+            repeats: 1,
+            seed: 3,
+        };
+        let outcome = run_line_cv(&corpus, LineAlgo::Pytheas, &cv, 8);
+        assert!(outcome.per_repeat[0]
+            .iter()
+            .all(|p| p.pred != ElementClass::Derived.index()));
+    }
+
+    #[test]
+    fn transfer_experiment_shapes() {
+        let train = small_corpus();
+        let test = strudel_datagen::troy(&GeneratorConfig {
+            n_files: 4,
+            seed: 9,
+            scale: 0.2,
+        });
+        let (lines, cells) = transfer_experiment(&train, &test, 8, 5);
+        assert!(!lines.is_empty());
+        assert!(!cells.is_empty());
+        assert!(cells.len() > lines.len());
+    }
+}

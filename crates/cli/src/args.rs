@@ -1,0 +1,104 @@
+//! Flag parsing for the `strudel` CLI.
+
+use std::path::PathBuf;
+
+/// Parsed command options. Every command uses a subset.
+#[derive(Debug, Default)]
+pub struct Options {
+    /// `--corpus DIR` — annotated corpus directory.
+    pub corpus: Option<PathBuf>,
+    /// `--model PATH` — serialized model.
+    pub model: Option<PathBuf>,
+    /// `--out PATH` — output file or directory.
+    pub out: Option<PathBuf>,
+    /// `--dataset NAME` — synthetic dataset name.
+    pub dataset: Option<String>,
+    /// `--files N`.
+    pub files: usize,
+    /// `--seed K`.
+    pub seed: u64,
+    /// `--scale S`.
+    pub scale: f64,
+    /// `--trees N`.
+    pub trees: usize,
+    /// `--cells` — also print per-cell predictions.
+    pub cells: bool,
+    /// `--repair` — apply the Koci-style post-processing repair pass.
+    pub repair: bool,
+    /// Positional arguments (input files).
+    pub inputs: Vec<PathBuf>,
+}
+
+impl Options {
+    /// Parse the remaining command line after the subcommand.
+    pub fn parse<I: Iterator<Item = String>>(mut argv: I) -> Result<Options, String> {
+        let mut o = Options {
+            files: 40,
+            seed: 42,
+            scale: 0.3,
+            trees: 50,
+            ..Options::default()
+        };
+        while let Some(flag) = argv.next() {
+            let mut value = |name: &str| -> Result<String, String> {
+                argv.next().ok_or_else(|| format!("flag {name} requires a value"))
+            };
+            match flag.as_str() {
+                "--corpus" => o.corpus = Some(PathBuf::from(value("--corpus")?)),
+                "--model" => o.model = Some(PathBuf::from(value("--model")?)),
+                "--out" => o.out = Some(PathBuf::from(value("--out")?)),
+                "--dataset" => o.dataset = Some(value("--dataset")?),
+                "--files" => {
+                    o.files = value("--files")?.parse().map_err(|_| "--files: integer")?
+                }
+                "--seed" => o.seed = value("--seed")?.parse().map_err(|_| "--seed: integer")?,
+                "--scale" => o.scale = value("--scale")?.parse().map_err(|_| "--scale: float")?,
+                "--trees" => {
+                    o.trees = value("--trees")?.parse().map_err(|_| "--trees: integer")?
+                }
+                "--cells" => o.cells = true,
+                "--repair" => o.repair = true,
+                other if other.starts_with("--") => {
+                    return Err(format!("unknown flag {other}"))
+                }
+                positional => o.inputs.push(PathBuf::from(positional)),
+            }
+        }
+        Ok(o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        Options::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.files, 40);
+        assert_eq!(o.trees, 50);
+        assert!(o.inputs.is_empty());
+    }
+
+    #[test]
+    fn flags_and_positionals() {
+        let o = parse(&["--model", "m.bin", "file.csv", "--cells"]).unwrap();
+        assert_eq!(o.model.unwrap(), PathBuf::from("m.bin"));
+        assert_eq!(o.inputs, vec![PathBuf::from("file.csv")]);
+        assert!(o.cells);
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        assert!(parse(&["--model"]).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        assert!(parse(&["--bogus", "x"]).is_err());
+    }
+}

@@ -1,0 +1,225 @@
+//! Implementations of the `strudel` subcommands.
+
+use crate::args::Options;
+use crate::{existing, fast_config, model_from, print_evaluation};
+use std::fs;
+use strudel::{repair_cells, RepairConfig, Strudel};
+
+/// `strudel synth --dataset NAME --out DIR [--files N --seed K --scale S]`
+pub fn synth(options: &Options) -> Result<(), String> {
+    let dataset = options
+        .dataset
+        .as_deref()
+        .ok_or("synth requires --dataset (SAUS, CIUS, DeEx, GovUK, Mendeley, or Troy)")?;
+    let out = options.out.as_deref().ok_or("synth requires --out DIR")?;
+    let known = ["govuk", "saus", "cius", "deex", "mendeley", "troy"];
+    if !known.contains(&dataset.to_ascii_lowercase().as_str()) {
+        return Err(format!("unknown dataset {dataset:?}; known: {known:?}"));
+    }
+    let corpus = strudel_datagen::by_name(
+        dataset,
+        &strudel_datagen::GeneratorConfig {
+            n_files: options.files,
+            seed: options.seed,
+            scale: options.scale,
+        },
+    );
+    strudel_corpus::save_corpus(out, &corpus).map_err(|e| e.to_string())?;
+    let stats = corpus.stats();
+    println!(
+        "wrote {} annotated files ({} lines, {} cells) to {}",
+        stats.n_files,
+        stats.n_lines,
+        stats.n_cells,
+        out.display()
+    );
+    Ok(())
+}
+
+/// `strudel train --corpus DIR --out MODEL [--trees N --seed K]`
+pub fn train(options: &Options) -> Result<(), String> {
+    let corpus_dir = options.corpus.as_deref().ok_or("train requires --corpus DIR")?;
+    let out = options.out.as_deref().ok_or("train requires --out MODEL")?;
+    let corpus_dir = existing(corpus_dir, "corpus directory")?;
+    let corpus =
+        strudel_corpus::load_corpus(&corpus_dir, "train").map_err(|e| e.to_string())?;
+    if corpus.files.is_empty() {
+        return Err(format!(
+            "no annotated files (*.csv with *.csv.labels) in {}",
+            corpus_dir.display()
+        ));
+    }
+    eprintln!(
+        "training on {} files / {} labeled lines ...",
+        corpus.files.len(),
+        corpus.stats().n_lines
+    );
+    let model = Strudel::fit(&corpus.files, &fast_config(options.trees, options.seed));
+    model.save(out).map_err(|e| e.to_string())?;
+    let size = fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    println!("model saved to {} ({} KiB)", out.display(), size / 1024);
+    Ok(())
+}
+
+/// `strudel detect [--model MODEL] FILE [--cells]`
+pub fn detect(options: &Options) -> Result<(), String> {
+    let input = options.inputs.first().ok_or("detect requires an input FILE")?;
+    let input = existing(input, "input file")?;
+    let text = fs::read_to_string(&input).map_err(|e| e.to_string())?;
+    let model = model_from(options)?;
+    let mut structure = model.detect_structure(&text);
+    if options.repair {
+        let report = repair_cells(
+            &structure.table,
+            &mut structure.cells,
+            &RepairConfig::default(),
+        );
+        eprintln!("repair pass fixed {} cells", report.total());
+    }
+
+    println!("dialect: {}", structure.dialect);
+    for (r, class) in structure.lines.iter().enumerate() {
+        let label = class.map_or("(empty)", |c| c.name());
+        let preview: Vec<&str> = (0..structure.table.n_cols())
+            .map(|c| structure.table.cell(r, c).raw())
+            .collect();
+        let mut joined = preview.join(" | ");
+        if joined.chars().count() > 72 {
+            joined = joined.chars().take(69).collect::<String>() + "...";
+        }
+        println!("{r:>4}  {label:<10} {joined}");
+    }
+    if options.cells {
+        println!("\ncells differing from their line class:");
+        let mut any = false;
+        for cell in &structure.cells {
+            if Some(cell.class) != structure.lines[cell.row] {
+                any = true;
+                println!(
+                    "  ({}, {}) {:<10} {:?}",
+                    cell.row,
+                    cell.col,
+                    cell.class.name(),
+                    structure.table.cell(cell.row, cell.col).raw()
+                );
+            }
+        }
+        if !any {
+            println!("  (none)");
+        }
+    }
+    Ok(())
+}
+
+/// `strudel extract [--model MODEL] FILE`
+pub fn extract(options: &Options) -> Result<(), String> {
+    let input = options.inputs.first().ok_or("extract requires an input FILE")?;
+    let input = existing(input, "input file")?;
+    let text = fs::read_to_string(&input).map_err(|e| e.to_string())?;
+    let model = model_from(options)?;
+    let structure = model.detect_structure(&text);
+
+    let render_row = |row: &[String]| {
+        row.iter()
+            .map(|v| {
+                if v.contains([',', '"', '\n']) {
+                    format!("\"{}\"", v.replace('"', "\"\""))
+                } else {
+                    v.clone()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let mut out = String::new();
+    if let Some(header) = structure.header_row() {
+        out.push_str(&render_row(&header));
+        out.push('\n');
+    }
+    for row in structure.data_rows() {
+        out.push_str(&render_row(&row));
+        out.push('\n');
+    }
+    match &options.out {
+        Some(path) => {
+            fs::write(path, &out).map_err(|e| e.to_string())?;
+            eprintln!("clean table written to {}", path.display());
+        }
+        None => print!("{out}"),
+    }
+    Ok(())
+}
+
+/// `strudel segments [--model MODEL] FILE`
+pub fn segments(options: &Options) -> Result<(), String> {
+    let input = options.inputs.first().ok_or("segments requires an input FILE")?;
+    let input = existing(input, "input file")?;
+    let text = fs::read_to_string(&input).map_err(|e| e.to_string())?;
+    let model = model_from(options)?;
+    let structure = model.detect_structure(&text);
+    let regions = structure.tables();
+    println!("{} table region(s)", regions.len());
+    for (i, region) in regions.iter().enumerate() {
+        let caption = region
+            .metadata_rows
+            .first()
+            .map(|&r| structure.table.cell(r, 0).raw().to_string());
+        println!("region {i}:");
+        if let Some(caption) = caption {
+            println!("  caption: {caption:?}");
+        }
+        let span = |rows: &[usize]| match (rows.first(), rows.last()) {
+            (Some(a), Some(b)) if a == b => format!("line {a}"),
+            (Some(a), Some(b)) => format!("lines {a}-{b}"),
+            _ => "-".to_string(),
+        };
+        println!("  metadata: {}", span(&region.metadata_rows));
+        println!("  header:   {}", span(&region.header_rows));
+        println!("  body:     {}", span(&region.body_rows));
+        println!("  notes:    {}", span(&region.notes_rows));
+    }
+    Ok(())
+}
+
+/// `strudel eval --model MODEL --corpus DIR`
+pub fn eval(options: &Options) -> Result<(), String> {
+    let corpus_dir = options.corpus.as_deref().ok_or("eval requires --corpus DIR")?;
+    let corpus_dir = existing(corpus_dir, "corpus directory")?;
+    let corpus = strudel_corpus::load_corpus(&corpus_dir, "eval").map_err(|e| e.to_string())?;
+    if corpus.files.is_empty() {
+        return Err("no annotated files in the corpus directory".to_string());
+    }
+    let model = model_from(options)?;
+
+    let mut line_gold = Vec::new();
+    let mut line_pred = Vec::new();
+    let mut cell_gold = Vec::new();
+    let mut cell_pred = Vec::new();
+    for file in &corpus.files {
+        let structure = model.detect_structure_of_table(
+            file.table.clone(),
+            strudel_dialect::Dialect::rfc4180(),
+        );
+        for r in 0..file.table.n_rows() {
+            if let (Some(g), Some(p)) = (file.line_labels[r], structure.lines[r]) {
+                line_gold.push(g.index());
+                line_pred.push(p.index());
+            }
+        }
+        for cell in &structure.cells {
+            if let Some(g) = file.cell_labels[cell.row][cell.col] {
+                cell_gold.push(g.index());
+                cell_pred.push(cell.class.index());
+            }
+        }
+    }
+    println!(
+        "evaluated {} files, {} lines, {} cells\n",
+        corpus.files.len(),
+        line_gold.len(),
+        cell_gold.len()
+    );
+    print_evaluation("line classification:", &line_gold, &line_pred);
+    print_evaluation("cell classification:", &cell_gold, &cell_pred);
+    Ok(())
+}

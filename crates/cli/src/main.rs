@@ -1,0 +1,150 @@
+//! `strudel` — command-line structure detection for verbose CSV files.
+//!
+//! ```text
+//! strudel synth   --dataset SAUS --files 40 --out corpus/   # export a synthetic annotated corpus
+//! strudel train   --corpus corpus/ --out model.strudel      # fit Strudel^L + Strudel^C
+//! strudel detect  --model model.strudel file.csv            # classify every line and cell
+//! strudel extract --model model.strudel file.csv            # print the clean data table
+//! strudel eval    --model model.strudel --corpus corpus/    # score against annotations
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use strudel::{Strudel, StrudelCellConfig, StrudelLineConfig};
+use strudel_eval::Evaluation;
+use strudel_ml::ForestConfig;
+use strudel_table::ElementClass;
+
+mod args;
+mod commands;
+
+use args::Options;
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let options = match Options::parse(argv) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "synth" => commands::synth(&options),
+        "train" => commands::train(&options),
+        "detect" => commands::detect(&options),
+        "extract" => commands::extract(&options),
+        "segments" => commands::segments(&options),
+        "eval" => commands::eval(&options),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+strudel — structure detection in verbose CSV files (EDBT 2021)
+
+USAGE:
+  strudel synth   --dataset NAME --out DIR [--files N] [--seed K] [--scale S]
+  strudel train   --corpus DIR --out MODEL [--trees N] [--seed K]
+  strudel detect  [--model MODEL] FILE [--cells] [--repair]
+  strudel extract [--model MODEL] FILE
+  strudel segments [--model MODEL] FILE
+  strudel eval    --model MODEL --corpus DIR
+
+Without --model, detect/extract train a default model on a synthetic
+corpus first (slower, but fully self-contained).
+
+COMMANDS:
+  synth     Export a seeded synthetic annotated corpus (SAUS, CIUS, DeEx,
+            GovUK, Mendeley, or Troy) as CSV files with .labels sidecars.
+  train     Fit Strudel^L + Strudel^C on an annotated corpus directory
+            and save the model.
+  detect    Print the detected class of every line (and with --cells,
+            every cell that differs from its line class).
+  extract   Print the machine-readable data table (header + data rows),
+            dropping metadata, group headers, derived totals, and notes.
+  segments  Print the stacked table regions of a multi-table file
+            (caption, header, body, and notes line ranges).
+  eval      Score a model against an annotated corpus (per-class F1).";
+
+/// Train a model on a synthetic corpus when no `--model` is given.
+fn default_model() -> Strudel {
+    eprintln!("note: no --model given; training a default model on a synthetic corpus ...");
+    let corpus = strudel_datagen::saus(&strudel_datagen::GeneratorConfig {
+        n_files: 40,
+        seed: 42,
+        scale: 0.3,
+    });
+    Strudel::fit(&corpus.files, &fast_config(40, 42))
+}
+
+fn fast_config(trees: usize, seed: u64) -> StrudelCellConfig {
+    StrudelCellConfig {
+        line: StrudelLineConfig {
+            forest: ForestConfig {
+                n_trees: trees,
+                seed,
+                ..ForestConfig::default()
+            },
+            ..StrudelLineConfig::default()
+        },
+        forest: ForestConfig {
+            n_trees: trees,
+            seed: seed ^ 1,
+            ..ForestConfig::default()
+        },
+        ..StrudelCellConfig::default()
+    }
+}
+
+/// Load the model from `--model`, or train a default one.
+fn model_from(options: &Options) -> Result<Strudel, String> {
+    match &options.model {
+        Some(path) => Strudel::load(path).map_err(|e| format!("loading {}: {e}", path.display())),
+        None => Ok(default_model()),
+    }
+}
+
+/// Score predictions against gold labels and print a per-class table.
+fn print_evaluation(title: &str, gold: &[usize], pred: &[usize]) {
+    let eval = Evaluation::compute(gold, pred, ElementClass::COUNT);
+    println!("{title}");
+    println!("  {:<10}{:>8}{:>10}", "class", "F1", "support");
+    for class in ElementClass::ALL {
+        println!(
+            "  {:<10}{:>8.3}{:>10}",
+            class.name(),
+            eval.f1[class.index()],
+            eval.support[class.index()]
+        );
+    }
+    println!(
+        "  accuracy {:.3}, macro-F1 {:.3}\n",
+        eval.accuracy,
+        eval.macro_f1(&[])
+    );
+}
+
+/// Resolve a path argument that must exist.
+fn existing(path: &Path, what: &str) -> Result<PathBuf, String> {
+    if path.exists() {
+        Ok(path.to_path_buf())
+    } else {
+        Err(format!("{what} {} does not exist", path.display()))
+    }
+}

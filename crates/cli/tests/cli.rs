@@ -1,0 +1,171 @@
+//! End-to-end tests of the `strudel` binary: the synth → train → detect
+//! → extract → eval workflow over a temporary directory.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_strudel"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("strudel-cli-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_workflow() {
+    let dir = temp_dir("workflow");
+    let corpus = dir.join("corpus");
+    let model = dir.join("model.strudel");
+
+    // synth
+    let out = bin()
+        .args(["synth", "--dataset", "SAUS", "--files", "16", "--scale", "0.2"])
+        .arg("--out")
+        .arg(&corpus)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "synth failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(corpus.join("saus_0000.csv").exists());
+    assert!(corpus.join("saus_0000.csv.labels").exists());
+
+    // train
+    let out = bin()
+        .args(["train", "--trees", "15"])
+        .arg("--corpus")
+        .arg(&corpus)
+        .arg("--out")
+        .arg(&model)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(model.exists());
+
+    // detect
+    let probe = dir.join("probe.csv");
+    fs::write(
+        &probe,
+        "Survey of crime outcomes,,\n,,\n,Rate 1,Rate 2\nKent,12,34\nSurrey,56,78\nTotal,68,112\n,,\nSource: national statistics office,,\n",
+    )
+    .unwrap();
+    let out = bin()
+        .arg("detect")
+        .arg("--model")
+        .arg(&model)
+        .arg(&probe)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("dialect:"));
+    assert!(stdout.contains("data"));
+    assert!(stdout.contains("notes") || stdout.contains("metadata"));
+
+    // extract
+    let out = bin()
+        .arg("extract")
+        .arg("--model")
+        .arg(&model)
+        .arg(&probe)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Kent,12,34"), "extract output:\n{stdout}");
+    assert!(!stdout.contains("Source:"), "notes must be dropped:\n{stdout}");
+
+    // eval
+    let out = bin()
+        .arg("eval")
+        .arg("--model")
+        .arg(&model)
+        .arg("--corpus")
+        .arg(&corpus)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "eval failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("line classification:"));
+    assert!(stdout.contains("macro-F1"));
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_arguments_fail_with_usage() {
+    let out = bin().arg("train").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--corpus"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn synth_rejects_unknown_dataset() {
+    let dir = temp_dir("baddataset");
+    let out = bin()
+        .args(["synth", "--dataset", "NOPE"])
+        .arg("--out")
+        .arg(dir.join("x"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown dataset"));
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn segments_command_reports_regions() {
+    let dir = temp_dir("segments");
+    let corpus = dir.join("corpus");
+    let model = dir.join("model.strudel");
+    assert!(bin()
+        .args(["synth", "--dataset", "DeEx", "--files", "14", "--scale", "0.2"])
+        .arg("--out")
+        .arg(&corpus)
+        .status()
+        .unwrap()
+        .success());
+    assert!(bin()
+        .args(["train", "--trees", "15"])
+        .arg("--corpus")
+        .arg(&corpus)
+        .arg("--out")
+        .arg(&model)
+        .status()
+        .unwrap()
+        .success());
+    let probe = dir.join("stacked.csv");
+    fs::write(
+        &probe,
+        "Quarterly widget output,,\n,Q1,Q2\nWidgets,120,135\nGaskets,80,70\n,,\nTable 2. Staffing,,\n,North,South\nEngineers,12,9\nClerks,4,6\n,,\nNote: preliminary,,\n",
+    )
+    .unwrap();
+    let out = bin()
+        .arg("segments")
+        .arg("--model")
+        .arg(&model)
+        .arg(&probe)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("table region"), "{stdout}");
+    assert!(stdout.contains("region 0:"));
+    fs::remove_dir_all(&dir).ok();
+}

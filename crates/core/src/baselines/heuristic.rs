@@ -1,0 +1,167 @@
+//! A training-free heuristic cell baseline in the spirit of UCheck
+//! (Abraham & Erwig, JVLC 2007 — reference [1] of the paper), which
+//! detects "cell roles" with hand-written heuristics.
+//!
+//! Unlike the learned approaches, this classifier uses no training data
+//! at all: a handful of positional and content rules assign each
+//! non-empty cell a class. It is *not* part of the paper's evaluation —
+//! UCheck assumes spreadsheets containing only table regions — but it
+//! makes a useful floor: any learned model should clear it comfortably,
+//! and on standard-shaped files it is surprisingly competitive.
+//!
+//! Rules (applied top-down, first match wins):
+//! 1. cells in the leading text block (before any numeric line) →
+//!    `metadata`;
+//! 2. cells in trailing text lines (after the last numeric line) →
+//!    `notes`;
+//! 3. cells of the first mostly-non-numeric line directly above the
+//!    first numeric line → `header`;
+//! 4. numeric cells in lines whose leading cell holds an aggregation
+//!    keyword → `derived` (the keyword cell itself → `group`);
+//! 5. sole non-empty text cell of a line between numeric lines →
+//!    `group`;
+//! 6. everything else → `data`.
+
+use crate::cell_classifier::CellPrediction;
+use crate::keywords::has_aggregation_keyword;
+use strudel_table::{DataType, ElementClass, Table};
+
+/// The training-free heuristic cell classifier.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HeuristicCell;
+
+fn numeric_line(table: &Table, r: usize) -> bool {
+    let numeric = table.row(r).filter(|c| c.dtype().is_numeric()).count();
+    numeric * 2 >= table.row_non_empty_count(r).max(1)
+}
+
+impl HeuristicCell {
+    /// Classify every non-empty cell of a table. Probability vectors are
+    /// one-hot (heuristics have no calibrated confidence).
+    pub fn predict(&self, table: &Table) -> Vec<CellPrediction> {
+        let n_rows = table.n_rows();
+        let numeric_rows: Vec<usize> = (0..n_rows).filter(|&r| numeric_line(table, r)).collect();
+        let first_numeric = numeric_rows.first().copied();
+        let last_numeric = numeric_rows.last().copied();
+        // Rule 3: the header candidate line.
+        let header_row = first_numeric.and_then(|fnr| {
+            (0..fnr)
+                .rev()
+                .find(|&r| !table.row_is_empty(r) && !numeric_line(table, r))
+                .filter(|&r| table.row_non_empty_count(r) >= 2)
+        });
+
+        let mut out = Vec::with_capacity(table.non_empty_count());
+        for r in 0..n_rows {
+            if table.row_is_empty(r) {
+                continue;
+            }
+            let leading_keyword = table
+                .row(r)
+                .find(|c| !c.is_empty())
+                .is_some_and(|c| has_aggregation_keyword(c.raw()));
+            let single_text_line = table.row_non_empty_count(r) == 1
+                && table
+                    .row(r)
+                    .find(|c| !c.is_empty())
+                    .is_some_and(|c| c.dtype() == DataType::Str);
+            for c in 0..table.n_cols() {
+                let cell = table.cell(r, c);
+                if cell.is_empty() {
+                    continue;
+                }
+                let class = if first_numeric.map_or(true, |fnr| r < fnr)
+                    && Some(r) != header_row
+                {
+                    ElementClass::Metadata
+                } else if last_numeric.is_some_and(|lnr| r > lnr) && !numeric_line(table, r) {
+                    ElementClass::Notes
+                } else if Some(r) == header_row {
+                    ElementClass::Header
+                } else if leading_keyword && numeric_line(table, r) {
+                    if cell.dtype().is_numeric() {
+                        ElementClass::Derived
+                    } else {
+                        ElementClass::Group
+                    }
+                } else if single_text_line {
+                    ElementClass::Group
+                } else {
+                    ElementClass::Data
+                };
+                let mut probs = vec![0.0; ElementClass::COUNT];
+                probs[class.index()] = 1.0;
+                out.push(CellPrediction {
+                    row: r,
+                    col: c,
+                    class,
+                    probs,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classify(rows: Vec<Vec<&str>>) -> Vec<CellPrediction> {
+        HeuristicCell.predict(&Table::from_rows(rows))
+    }
+
+    fn class_at(preds: &[CellPrediction], r: usize, c: usize) -> ElementClass {
+        preds
+            .iter()
+            .find(|p| p.row == r && p.col == c)
+            .expect("cell classified")
+            .class
+    }
+
+    use ElementClass::*;
+
+    #[test]
+    fn standard_file_shape() {
+        let preds = classify(vec![
+            vec!["Crime report", "", ""],
+            vec!["Area", "Rate", "Count"],
+            vec!["Kent", "10", "20"],
+            vec!["Surrey", "30", "40"],
+            vec!["Total", "40", "60"],
+            vec!["Source: office", "", ""],
+        ]);
+        assert_eq!(class_at(&preds, 0, 0), Metadata);
+        assert_eq!(class_at(&preds, 1, 1), Header);
+        assert_eq!(class_at(&preds, 2, 0), Data);
+        assert_eq!(class_at(&preds, 2, 1), Data);
+        assert_eq!(class_at(&preds, 4, 0), Group);
+        assert_eq!(class_at(&preds, 4, 1), Derived);
+        assert_eq!(class_at(&preds, 5, 0), Notes);
+    }
+
+    #[test]
+    fn group_separator_between_data() {
+        let preds = classify(vec![
+            vec!["a", "1"],
+            vec!["North:", ""],
+            vec!["b", "2"],
+        ]);
+        assert_eq!(class_at(&preds, 1, 0), Group);
+    }
+
+    #[test]
+    fn file_without_numbers_is_all_metadata() {
+        let preds = classify(vec![vec!["just text"], vec!["more text"]]);
+        assert!(preds.iter().all(|p| p.class == Metadata));
+    }
+
+    #[test]
+    fn probabilities_are_one_hot() {
+        let preds = classify(vec![vec!["a", "1"]]);
+        for p in preds {
+            assert_eq!(p.probs.iter().sum::<f64>(), 1.0);
+            assert_eq!(p.probs[p.class.index()], 1.0);
+        }
+    }
+}

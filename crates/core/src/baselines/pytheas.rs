@@ -1,0 +1,391 @@
+//! `Pytheas^L`: the fuzzy-rule table-discovery baseline (Christodoulakis
+//! et al., PVLDB 2020).
+//!
+//! Pytheas classifies CSV lines in three stages: (1) a set of fuzzy rules
+//! — whose weights are learned from training data — votes each line *data*
+//! or *non-data*; (2) maximal runs of data lines become table bodies
+//! (top/bottom boundary discovery); (3) class-specific positional rules
+//! label the non-data lines around each body as `header`, `metadata`,
+//! `group`, or `notes`. The approach has no notion of `derived` lines —
+//! the evaluation therefore excludes derived lines when scoring it, as
+//! the paper does (Section 6.2.1).
+//!
+//! Our rule set follows the signal families of the original (value-type
+//! consistency with neighbours, numeric content, emptiness, keyword and
+//! length cues); rule weights are learned as smoothed precisions on the
+//! training lines, and rules combine disjunctively
+//! (`1 − Π(1 − wᵢ)`), as in fuzzy-logic aggregation.
+
+use crate::keywords::has_aggregation_keyword;
+use strudel_table::{DataType, ElementClass, LabeledFile, Table};
+
+/// Thresholds of the fuzzy rule predicates.
+#[derive(Debug, Clone, Copy)]
+pub struct PytheasConfig {
+    /// Minimum numeric-cell ratio for the "numeric line" data rule.
+    pub numeric_ratio: f64,
+    /// Minimum empty-cell ratio for the "sparse line" non-data rule.
+    pub empty_ratio: f64,
+    /// Value length above which a lone text cell suggests prose.
+    pub prose_length: usize,
+}
+
+impl Default for PytheasConfig {
+    fn default() -> Self {
+        PytheasConfig {
+            numeric_ratio: 0.4,
+            empty_ratio: 0.7,
+            prose_length: 25,
+        }
+    }
+}
+
+/// Number of data-voting rules.
+const N_DATA_RULES: usize = 6;
+/// Number of non-data-voting rules.
+const N_NONDATA_RULES: usize = 5;
+
+/// A fitted `Pytheas^L` model: learned rule weights plus thresholds.
+pub struct PytheasLine {
+    data_weights: [f64; N_DATA_RULES],
+    nondata_weights: [f64; N_NONDATA_RULES],
+    config: PytheasConfig,
+}
+
+impl PytheasLine {
+    /// Learn rule weights from labeled files: each rule's weight is its
+    /// smoothed precision at predicting its own side (data / non-data).
+    pub fn fit(files: &[LabeledFile], config: &PytheasConfig) -> PytheasLine {
+        let mut data_fired = [0usize; N_DATA_RULES];
+        let mut data_hit = [0usize; N_DATA_RULES];
+        let mut nondata_fired = [0usize; N_NONDATA_RULES];
+        let mut nondata_hit = [0usize; N_NONDATA_RULES];
+
+        for file in files {
+            for r in 0..file.table.n_rows() {
+                let Some(label) = file.line_labels[r] else { continue };
+                let is_data = matches!(label, ElementClass::Data | ElementClass::Derived);
+                let (d, nd) = rules_fired(&file.table, r, config);
+                for (k, &fired) in d.iter().enumerate() {
+                    if fired {
+                        data_fired[k] += 1;
+                        if is_data {
+                            data_hit[k] += 1;
+                        }
+                    }
+                }
+                for (k, &fired) in nd.iter().enumerate() {
+                    if fired {
+                        nondata_fired[k] += 1;
+                        if !is_data {
+                            nondata_hit[k] += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut data_weights = [0.0; N_DATA_RULES];
+        for k in 0..N_DATA_RULES {
+            data_weights[k] = (data_hit[k] as f64 + 1.0) / (data_fired[k] as f64 + 2.0);
+        }
+        let mut nondata_weights = [0.0; N_NONDATA_RULES];
+        for k in 0..N_NONDATA_RULES {
+            nondata_weights[k] = (nondata_hit[k] as f64 + 1.0) / (nondata_fired[k] as f64 + 2.0);
+        }
+        PytheasLine {
+            data_weights,
+            nondata_weights,
+            config: *config,
+        }
+    }
+
+    /// Fuzzy data-confidence of a line: disjunctive combination of the
+    /// fired rules on each side; positive margin means *data*.
+    fn data_margin(&self, table: &Table, row: usize) -> f64 {
+        let (d, nd) = rules_fired(table, row, &self.config);
+        let combine = |fired: &[bool], weights: &[f64]| {
+            let mut not_conf = 1.0;
+            for (k, &f) in fired.iter().enumerate() {
+                if f {
+                    not_conf *= 1.0 - weights[k];
+                }
+            }
+            1.0 - not_conf
+        };
+        combine(&d, &self.data_weights) - combine(&nd, &self.nondata_weights)
+    }
+
+    /// Predict per-line classes (`None` for empty lines).
+    pub fn predict(&self, table: &Table) -> Vec<Option<ElementClass>> {
+        let n_rows = table.n_rows();
+        let mut out = vec![None; n_rows];
+        if n_rows == 0 {
+            return out;
+        }
+
+        // Stage 1: binary data / non-data votes.
+        let is_data: Vec<bool> = (0..n_rows)
+            .map(|r| !table.row_is_empty(r) && self.data_margin(table, r) > 0.0)
+            .collect();
+
+        // Stage 2: table bodies = maximal data runs; empty lines inside a
+        // run do not break it, and a single-cell non-data separator line
+        // between two runs is absorbed as a `group` line.
+        #[derive(Clone, Copy)]
+        struct Body {
+            start: usize,
+            end: usize, // inclusive
+        }
+        let mut bodies: Vec<Body> = Vec::new();
+        let mut group_rows: Vec<usize> = Vec::new();
+        let mut r = 0;
+        while r < n_rows {
+            if is_data[r] {
+                let start = r;
+                let mut end = r;
+                let mut probe = r + 1;
+                while probe < n_rows {
+                    if is_data[probe] {
+                        end = probe;
+                        probe += 1;
+                    } else if table.row_is_empty(probe) && probe + 1 < n_rows && is_data[probe + 1]
+                    {
+                        probe += 1; // blank separator inside a table
+                    } else if !table.row_is_empty(probe)
+                        && table.row_non_empty_count(probe) == 1
+                        && probe + 1 < n_rows
+                        && is_data[probe + 1]
+                    {
+                        group_rows.push(probe); // group header splits a table
+                        probe += 1;
+                    } else {
+                        break;
+                    }
+                }
+                bodies.push(Body { start, end });
+                r = probe;
+            } else {
+                r += 1;
+            }
+        }
+
+        for body in &bodies {
+            for row in body.start..=body.end {
+                if !table.row_is_empty(row) {
+                    out[row] = Some(ElementClass::Data);
+                }
+            }
+        }
+        for &row in &group_rows {
+            out[row] = Some(ElementClass::Group);
+        }
+
+        // Stage 3: class-specific rules around each body.
+        for (i, body) in bodies.iter().enumerate() {
+            let context_start = if i == 0 {
+                0
+            } else {
+                bodies[i - 1].end + 1
+            };
+            // Scan upwards from the body: the closest non-empty context
+            // line with >= 2 non-empty cells is the header; single-cell
+            // lines adjacent to the body are group headers.
+            let mut header_assigned = false;
+            let mut adjacency = true;
+            for row in (context_start..body.start).rev() {
+                if out[row].is_some() || table.row_is_empty(row) {
+                    if table.row_is_empty(row) {
+                        adjacency = false;
+                    }
+                    continue;
+                }
+                if !header_assigned && table.row_non_empty_count(row) >= 2 {
+                    out[row] = Some(ElementClass::Header);
+                    header_assigned = true;
+                } else if adjacency && table.row_non_empty_count(row) == 1 && !header_assigned {
+                    out[row] = Some(ElementClass::Group);
+                } else {
+                    out[row] = Some(ElementClass::Metadata);
+                }
+            }
+            // Notes directly after the previous body (separated context):
+            // for bodies after the first, context lines *above* an
+            // empty-line gap belong to the previous table as notes.
+            if i > 0 {
+                let mut seen_gap = false;
+                for row in context_start..body.start {
+                    if table.row_is_empty(row) {
+                        seen_gap = true;
+                        continue;
+                    }
+                    if !seen_gap && out[row] == Some(ElementClass::Metadata) {
+                        out[row] = Some(ElementClass::Notes);
+                    }
+                }
+            }
+        }
+
+        // Everything after the last body is notes; a file without any
+        // body keeps all non-empty lines as metadata (nothing anchors a
+        // table).
+        let tail_start = bodies.last().map_or(0, |b| b.end + 1);
+        for row in tail_start..n_rows {
+            if out[row].is_none() && !table.row_is_empty(row) {
+                out[row] = Some(if bodies.is_empty() {
+                    ElementClass::Metadata
+                } else {
+                    ElementClass::Notes
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Evaluate the fuzzy rules on one line. Returns (data rules fired,
+/// non-data rules fired).
+fn rules_fired(
+    table: &Table,
+    row: usize,
+    config: &PytheasConfig,
+) -> ([bool; N_DATA_RULES], [bool; N_NONDATA_RULES]) {
+    let n_cols = table.n_cols();
+    let non_empty = table.row_non_empty_count(row);
+    let numeric = table
+        .row(row)
+        .filter(|c| c.dtype().is_numeric())
+        .count();
+    let strings = table
+        .row(row)
+        .filter(|c| c.dtype() == DataType::Str)
+        .count();
+    let empty = n_cols - non_empty;
+
+    let type_match = |other: Option<usize>| -> bool {
+        let Some(o) = other else { return false };
+        non_empty >= 2
+            && (0..n_cols).all(|c| table.cell(row, c).dtype() == table.cell(o, c).dtype())
+    };
+
+    let first_cell_string = table
+        .row(row)
+        .next()
+        .map_or(false, |c| c.dtype() == DataType::Str);
+    let rest_numeric = non_empty >= 2 && numeric * 2 >= non_empty.saturating_sub(1);
+    let has_kw = table
+        .row(row)
+        .any(|c| !c.is_empty() && has_aggregation_keyword(c.raw()));
+    let longest = table.row(row).map(|c| c.len()).max().unwrap_or(0);
+    let max_words = table
+        .row(row)
+        .map(|c| c.word_count())
+        .max()
+        .unwrap_or(0);
+
+    let data = [
+        n_cols > 0 && numeric as f64 / n_cols as f64 >= config.numeric_ratio,
+        type_match(table.next_non_empty_row(row)),
+        type_match(table.prev_non_empty_row(row)),
+        first_cell_string && rest_numeric,
+        non_empty >= 3 && numeric >= 1,
+        numeric >= 2,
+    ];
+    let nondata = [
+        non_empty == 1,
+        n_cols > 0 && empty as f64 / n_cols as f64 >= config.empty_ratio && non_empty <= 2,
+        has_kw,
+        numeric == 0 && longest >= config.prose_length,
+        numeric == 0 && strings > 0 && max_words >= 5,
+    ];
+    (data, nondata)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::line_classifier::tests::tiny_corpus;
+
+    #[test]
+    fn recovers_structure_of_text_headed_table() {
+        let corpus = tiny_corpus(8);
+        let model = PytheasLine::fit(&corpus.files, &PytheasConfig::default());
+        let t = Table::from_rows(vec![
+            vec!["Survey of outcomes by participant", ""],
+            vec!["Name", "Score"],
+            vec!["alice", "3.5"],
+            vec!["bob", "2.75"],
+            vec!["carla", "4.25"],
+            vec!["Collected during the spring survey round", ""],
+        ]);
+        let pred = model.predict(&t);
+        assert_eq!(pred[0], Some(ElementClass::Metadata));
+        assert_eq!(pred[1], Some(ElementClass::Header));
+        assert_eq!(pred[2], Some(ElementClass::Data));
+        assert_eq!(pred[4], Some(ElementClass::Data));
+        assert_eq!(pred[5], Some(ElementClass::Notes));
+    }
+
+    #[test]
+    fn numeric_year_headers_vote_data_like_the_paper_reports() {
+        // A header such as "State,2019,2020" is type-identical to the
+        // data below it; Pytheas' fuzzy rules absorb it into the table
+        // body — the error mode behind its low header F1 in Table 6.
+        let corpus = tiny_corpus(8);
+        let model = PytheasLine::fit(&corpus.files, &PytheasConfig::default());
+        let pred = model.predict(&corpus.files[0].table);
+        assert_eq!(pred[1], Some(ElementClass::Data));
+        assert_eq!(pred[2], Some(ElementClass::Data));
+    }
+
+    #[test]
+    fn no_derived_predictions_ever() {
+        let corpus = tiny_corpus(8);
+        let model = PytheasLine::fit(&corpus.files, &PytheasConfig::default());
+        for file in &corpus.files {
+            for p in model.predict(&file.table).into_iter().flatten() {
+                assert_ne!(p, ElementClass::Derived);
+            }
+        }
+    }
+
+    #[test]
+    fn file_without_table_is_metadata() {
+        let corpus = tiny_corpus(4);
+        let model = PytheasLine::fit(&corpus.files, &PytheasConfig::default());
+        let t = Table::from_rows(vec![
+            vec!["This file only contains a long explanation of methods"],
+            vec!["and another long line of prose about the survey design"],
+        ]);
+        let pred = model.predict(&t);
+        assert!(pred
+            .iter()
+            .all(|p| *p == Some(ElementClass::Metadata) || p.is_none()));
+    }
+
+    #[test]
+    fn group_separator_between_data_runs_is_absorbed() {
+        let corpus = tiny_corpus(8);
+        let model = PytheasLine::fit(&corpus.files, &PytheasConfig::default());
+        let t = Table::from_rows(vec![
+            vec!["State", "2019", "2020"],
+            vec!["Berlin", "10", "20"],
+            vec!["Hamburg", "11", "21"],
+            vec!["West region:", "", ""],
+            vec!["Bonn", "12", "22"],
+            vec!["Köln", "13", "23"],
+        ]);
+        let pred = model.predict(&t);
+        assert_eq!(pred[3], Some(ElementClass::Group));
+        assert_eq!(pred[4], Some(ElementClass::Data));
+    }
+
+    #[test]
+    fn empty_lines_keep_none() {
+        let corpus = tiny_corpus(4);
+        let model = PytheasLine::fit(&corpus.files, &PytheasConfig::default());
+        let t = Table::from_rows(vec![vec!["a", "1"], vec!["", ""], vec!["b", "2"]]);
+        let pred = model.predict(&t);
+        assert_eq!(pred[1], None);
+    }
+}

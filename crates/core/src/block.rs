@@ -1,0 +1,152 @@
+//! Algorithm 1: block-size calculation (Section 5.2).
+//!
+//! The `BlockSize` cell feature is the size of the 4-connected component
+//! of non-empty cells containing a cell, normalised by the table size.
+//! Non-data regions (metadata blurbs, note blocks, aggregation fragments)
+//! tend to form much smaller connected components than table bodies.
+//!
+//! The implementation is the paper's Algorithm 1: an iterative depth-first
+//! flood fill visiting every non-empty cell exactly once — `O(n)` in the
+//! number of non-empty cells.
+
+use strudel_table::Table;
+
+/// Per-cell block sizes, normalised to `[0, 1]` by the table size.
+///
+/// Returns an `n_rows × n_cols` grid; empty cells keep `0.0` (they belong
+/// to no block). The normaliser is `table.size()` (total cell positions),
+/// matching the paper's "normalized ... by the size of the file".
+pub fn block_sizes(table: &Table) -> Vec<Vec<f64>> {
+    let (rows, cols) = (table.n_rows(), table.n_cols());
+    let mut out = vec![vec![0.0; cols]; rows];
+    if rows == 0 || cols == 0 {
+        return out;
+    }
+    let size = table.size() as f64;
+    let mut visited = vec![false; rows * cols];
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    let mut component: Vec<(usize, usize)> = Vec::new();
+
+    for start_r in 0..rows {
+        for start_c in 0..cols {
+            if visited[start_r * cols + start_c] || table.cell(start_r, start_c).is_empty() {
+                continue;
+            }
+            // Flood-fill one connected component.
+            component.clear();
+            stack.push((start_r, start_c));
+            visited[start_r * cols + start_c] = true;
+            while let Some((r, c)) = stack.pop() {
+                component.push((r, c));
+                let neighbours = [
+                    (r.wrapping_sub(1), c),
+                    (r + 1, c),
+                    (r, c.wrapping_sub(1)),
+                    (r, c + 1),
+                ];
+                for (nr, nc) in neighbours {
+                    if nr < rows
+                        && nc < cols
+                        && !visited[nr * cols + nc]
+                        && !table.cell(nr, nc).is_empty()
+                    {
+                        visited[nr * cols + nc] = true;
+                        stack.push((nr, nc));
+                    }
+                }
+            }
+            let bs = component.len() as f64 / size;
+            for &(r, c) in &component {
+                out[r][c] = bs;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_block_covers_table() {
+        let t = Table::from_rows(vec![vec!["a", "b"], vec!["c", "d"]]);
+        let bs = block_sizes(&t);
+        for row in &bs {
+            for &v in row {
+                assert!((v - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_blocks_have_own_sizes() {
+        // Block of 1 (top-left), block of 2 (bottom row), separated by
+        // empties; table size 3x3 = 9.
+        let t = Table::from_rows(vec![
+            vec!["x", "", ""],
+            vec!["", "", ""],
+            vec!["", "a", "b"],
+        ]);
+        let bs = block_sizes(&t);
+        assert!((bs[0][0] - 1.0 / 9.0).abs() < 1e-12);
+        assert!((bs[2][1] - 2.0 / 9.0).abs() < 1e-12);
+        assert!((bs[2][2] - 2.0 / 9.0).abs() < 1e-12);
+        assert_eq!(bs[1][1], 0.0);
+    }
+
+    #[test]
+    fn diagonal_cells_are_not_connected() {
+        let t = Table::from_rows(vec![vec!["a", ""], vec!["", "b"]]);
+        let bs = block_sizes(&t);
+        assert!((bs[0][0] - 0.25).abs() < 1e-12);
+        assert!((bs[1][1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l_shaped_component_is_one_block() {
+        let t = Table::from_rows(vec![
+            vec!["a", "", ""],
+            vec!["b", "", ""],
+            vec!["c", "d", "e"],
+        ]);
+        let bs = block_sizes(&t);
+        let expected = 5.0 / 9.0;
+        for &(r, c) in &[(0usize, 0usize), (1, 0), (2, 0), (2, 1), (2, 2)] {
+            assert!((bs[r][c] - expected).abs() < 1e-12, "cell {r},{c}");
+        }
+    }
+
+    #[test]
+    fn empty_table_yields_empty_grid() {
+        let t = Table::from_rows(Vec::<Vec<String>>::new());
+        assert!(block_sizes(&t).is_empty());
+    }
+
+    #[test]
+    fn all_empty_cells_stay_zero() {
+        let t = Table::from_rows(vec![vec!["", ""], vec!["", ""]]);
+        let bs = block_sizes(&t);
+        assert!(bs.iter().all(|row| row.iter().all(|&v| v == 0.0)));
+    }
+
+    #[test]
+    fn snake_connectivity_spans_whole_path() {
+        // A winding path must be discovered as one component regardless of
+        // DFS start point.
+        let t = Table::from_rows(vec![
+            vec!["1", "2", "3"],
+            vec!["", "", "4"],
+            vec!["7", "6", "5"],
+        ]);
+        let bs = block_sizes(&t);
+        let expected = 7.0 / 9.0;
+        for (r, row) in bs.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                if !t.cell(r, c).is_empty() {
+                    assert!((v - expected).abs() < 1e-12);
+                }
+            }
+        }
+    }
+}

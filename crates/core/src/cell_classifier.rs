@@ -1,0 +1,213 @@
+//! `Strudel^C`: the cell classifier (Section 5).
+//!
+//! A multi-class random forest over the 37 cell features of Table 2. A
+//! `Strudel^L` model is trained first; its per-line probability vectors
+//! become the `LineClassProbability` features (Section 5.4), so the cell
+//! model can lean on line structure while still overriding it for cells
+//! that deviate from their line's majority class (e.g. the leading group
+//! cell of a derived line).
+
+use crate::cell_features::{extract_cell_features, CellFeatureConfig, N_CELL_FEATURES};
+use crate::line_classifier::{StrudelLine, StrudelLineConfig};
+use strudel_ml::{Classifier, Dataset, ForestConfig, RandomForest};
+use strudel_table::{ElementClass, LabeledFile, Table};
+
+/// Configuration of `Strudel^C`.
+#[derive(Debug, Clone, Copy)]
+pub struct StrudelCellConfig {
+    /// Configuration of the upstream `Strudel^L` stage.
+    pub line: StrudelLineConfig,
+    /// Cell feature extraction parameters.
+    pub features: CellFeatureConfig,
+    /// Random forest hyper-parameters of the cell stage.
+    pub forest: ForestConfig,
+}
+
+impl Default for StrudelCellConfig {
+    fn default() -> Self {
+        StrudelCellConfig {
+            line: StrudelLineConfig::default(),
+            features: CellFeatureConfig::default(),
+            forest: ForestConfig::default(),
+        }
+    }
+}
+
+/// One classified cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellPrediction {
+    /// Row of the cell.
+    pub row: usize,
+    /// Column of the cell.
+    pub col: usize,
+    /// Predicted class.
+    pub class: ElementClass,
+    /// Class probability vector.
+    pub probs: Vec<f64>,
+}
+
+/// A fitted `Strudel^C` model (owns its upstream `Strudel^L`).
+pub struct StrudelCell {
+    line_model: StrudelLine,
+    forest: RandomForest,
+    features: CellFeatureConfig,
+}
+
+impl StrudelCell {
+    /// Fit the full two-stage model: `Strudel^L` first, then the cell
+    /// forest on features that embed the line model's probabilities.
+    ///
+    /// # Panics
+    /// Panics when `files` contains no labeled cells.
+    pub fn fit(files: &[LabeledFile], config: &StrudelCellConfig) -> StrudelCell {
+        let line_model = StrudelLine::fit(files, &config.line);
+        let dataset = Self::build_dataset(files, &line_model, &config.features);
+        assert!(!dataset.is_empty(), "no labeled cells in the training files");
+        StrudelCell {
+            forest: RandomForest::fit(&dataset, &config.forest),
+            line_model,
+            features: config.features,
+        }
+    }
+
+    /// Fit the cell stage on top of an already-fitted line model.
+    pub fn fit_with_line_model(
+        files: &[LabeledFile],
+        line_model: StrudelLine,
+        features: CellFeatureConfig,
+        forest: &ForestConfig,
+    ) -> StrudelCell {
+        let dataset = Self::build_dataset(files, &line_model, &features);
+        assert!(!dataset.is_empty(), "no labeled cells in the training files");
+        StrudelCell {
+            forest: RandomForest::fit(&dataset, forest),
+            line_model,
+            features,
+        }
+    }
+
+    /// Assemble the supervised cell dataset of a file collection: one
+    /// sample per labeled non-empty cell, with `LineClassProbability`
+    /// features produced by `line_model`.
+    pub fn build_dataset(
+        files: &[LabeledFile],
+        line_model: &StrudelLine,
+        features: &CellFeatureConfig,
+    ) -> Dataset {
+        let mut dataset = Dataset::new(N_CELL_FEATURES, ElementClass::COUNT);
+        for file in files {
+            let probs = line_model.predict_probs(&file.table);
+            for cf in extract_cell_features(&file.table, &probs, features) {
+                if let Some(label) = file.cell_labels[cf.row][cf.col] {
+                    dataset.push(&cf.features, label.index());
+                }
+            }
+        }
+        dataset
+    }
+
+    /// Classify every non-empty cell of a table.
+    pub fn predict(&self, table: &Table) -> Vec<CellPrediction> {
+        let probs = self.line_model.predict_probs(table);
+        extract_cell_features(table, &probs, &self.features)
+            .into_iter()
+            .map(|cf| {
+                let p = self.forest.predict_proba(&cf.features);
+                let class = ElementClass::from_index(strudel_ml::argmax(&p));
+                CellPrediction {
+                    row: cf.row,
+                    col: cf.col,
+                    class,
+                    probs: p,
+                }
+            })
+            .collect()
+    }
+
+    /// The upstream line model.
+    pub fn line_model(&self) -> &StrudelLine {
+        &self.line_model
+    }
+
+    /// The underlying cell forest (used by permutation importance).
+    pub fn forest(&self) -> &RandomForest {
+        &self.forest
+    }
+
+    /// The cell feature configuration the model was fitted with.
+    pub fn feature_config(&self) -> &CellFeatureConfig {
+        &self.features
+    }
+
+    /// Reassemble a model from deserialized parts.
+    pub fn from_parts(
+        line_model: StrudelLine,
+        forest: RandomForest,
+        features: CellFeatureConfig,
+    ) -> StrudelCell {
+        StrudelCell {
+            line_model,
+            forest,
+            features,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::line_classifier::tests::tiny_corpus;
+
+    fn fast_config() -> StrudelCellConfig {
+        StrudelCellConfig {
+            line: StrudelLineConfig {
+                forest: ForestConfig::fast(15, 3),
+                ..StrudelLineConfig::default()
+            },
+            forest: ForestConfig::fast(15, 4),
+            ..StrudelCellConfig::default()
+        }
+    }
+
+    #[test]
+    fn learns_cell_classes_including_group_in_derived_line() {
+        let corpus = tiny_corpus(8);
+        let model = StrudelCell::fit(&corpus.files, &fast_config());
+        let probe = &corpus.files[0];
+        let preds = model.predict(&probe.table);
+        assert_eq!(preds.len(), probe.non_empty_cell_count());
+        let mut correct = 0;
+        for p in &preds {
+            if Some(p.class) == probe.cell_labels[p.row][p.col] {
+                correct += 1;
+            }
+        }
+        // The tiny corpus is fully learnable, including the Group cell
+        // leading each Derived line (which Line^C by construction misses).
+        assert_eq!(correct, preds.len());
+    }
+
+    #[test]
+    fn probability_vectors_are_normalised() {
+        let corpus = tiny_corpus(4);
+        let model = StrudelCell::fit(&corpus.files, &fast_config());
+        for p in model.predict(&corpus.files[0].table) {
+            assert_eq!(p.probs.len(), ElementClass::COUNT);
+            assert!((p.probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dataset_has_one_sample_per_labeled_cell() {
+        let corpus = tiny_corpus(2);
+        let line_model = StrudelLine::fit(&corpus.files, &fast_config().line);
+        let ds = StrudelCell::build_dataset(
+            &corpus.files,
+            &line_model,
+            &CellFeatureConfig::default(),
+        );
+        let expected: usize = corpus.files.iter().map(|f| f.non_empty_cell_count()).sum();
+        assert_eq!(ds.n_samples(), expected);
+        assert_eq!(ds.n_features(), N_CELL_FEATURES);
+    }
+}

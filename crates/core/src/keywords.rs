@@ -1,0 +1,62 @@
+//! The aggregation keyword dictionary (Section 4, `AggregationWord`).
+//!
+//! The paper uses a fixed, case-insensitive dictionary of terms associated
+//! with aggregation in tables. The same dictionary drives three different
+//! mechanisms: the `AggregationWord` line feature, the
+//! `Has/Row/ColumnHasDerivedKeywords` cell features, and the anchoring-cell
+//! selection of the derived-cell detection algorithm (Algorithm 2).
+
+/// The aggregation keywords of Section 4 (case-insensitive).
+pub const AGGREGATION_KEYWORDS: [&str; 7] =
+    ["total", "all", "sum", "average", "avg", "mean", "median"];
+
+/// Whether `text` contains any aggregation keyword as a whole word
+/// (case-insensitive). "Total crime" matches; "totally" does not.
+pub fn has_aggregation_keyword(text: &str) -> bool {
+    words(text).any(|w| AGGREGATION_KEYWORDS.iter().any(|k| w.eq_ignore_ascii_case(k)))
+}
+
+/// Iterator over the alphanumeric words of `text`.
+fn words(text: &str) -> impl Iterator<Item = &str> {
+    text.split(|ch: char| !ch.is_alphanumeric())
+        .filter(|w| !w.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_keywords_match() {
+        for kw in AGGREGATION_KEYWORDS {
+            assert!(has_aggregation_keyword(kw), "{kw} should match");
+        }
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert!(has_aggregation_keyword("TOTAL"));
+        assert!(has_aggregation_keyword("Average"));
+    }
+
+    #[test]
+    fn embedded_in_phrases() {
+        assert!(has_aggregation_keyword("Total crime"));
+        assert!(has_aggregation_keyword("Sale/Manufacturing: total"));
+        assert!(has_aggregation_keyword("Grand Total:"));
+    }
+
+    #[test]
+    fn substrings_do_not_match() {
+        assert!(!has_aggregation_keyword("totally"));
+        assert!(!has_aggregation_keyword("summary"));
+        assert!(!has_aggregation_keyword("meantime"));
+        assert!(!has_aggregation_keyword("allocation"));
+    }
+
+    #[test]
+    fn empty_and_plain_text() {
+        assert!(!has_aggregation_keyword(""));
+        assert!(!has_aggregation_keyword("Heroin seizures 2020"));
+    }
+}

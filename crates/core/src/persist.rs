@@ -1,0 +1,195 @@
+//! Persistence of fitted Strudel models.
+//!
+//! A [`Strudel`] model (both stages plus their feature configurations)
+//! serializes to the compact binary format of `strudel_ml::serialize`,
+//! so a model trained on an annotated corpus can be shipped and used for
+//! classification without retraining — the workflow behind the
+//! `strudel-cli` tool.
+
+use crate::cell_classifier::StrudelCell;
+use crate::cell_features::CellFeatureConfig;
+use crate::derived::DerivedConfig;
+use crate::line_classifier::StrudelLine;
+use crate::line_features::LineFeatureConfig;
+use crate::pipeline::Strudel;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use strudel_ml::{ModelReader, ModelWriter, RandomForest};
+
+fn write_derived<W: Write>(w: &mut ModelWriter<W>, d: &DerivedConfig) -> io::Result<()> {
+    w.f64(d.delta)?;
+    w.f64(d.coverage)?;
+    w.bool(d.detect_min_max)
+}
+
+fn read_derived<R: Read>(r: &mut ModelReader<R>) -> io::Result<DerivedConfig> {
+    Ok(DerivedConfig {
+        delta: r.f64()?,
+        coverage: r.f64()?,
+        detect_min_max: r.bool()?,
+    })
+}
+
+impl StrudelLine {
+    /// Serialize the fitted line model (forest + feature configuration).
+    pub fn write_to<W: Write>(&self, w: &mut ModelWriter<W>) -> io::Result<()> {
+        let features = self.feature_config();
+        write_derived(w, &features.derived)?;
+        w.bool(features.include_global)?;
+        self.forest().write_to(w)
+    }
+
+    /// Deserialize a line model written by [`StrudelLine::write_to`].
+    pub fn read_from<R: Read>(r: &mut ModelReader<R>) -> io::Result<StrudelLine> {
+        let derived = read_derived(r)?;
+        let include_global = r.bool()?;
+        let forest = RandomForest::read_from(r)?;
+        Ok(StrudelLine::from_parts(
+            forest,
+            LineFeatureConfig {
+                derived,
+                include_global,
+            },
+        ))
+    }
+}
+
+impl StrudelCell {
+    /// Serialize the full two-stage model.
+    pub fn write_to<W: Write>(&self, w: &mut ModelWriter<W>) -> io::Result<()> {
+        self.line_model().write_to(w)?;
+        write_derived(w, &self.feature_config().derived)?;
+        self.forest().write_to(w)
+    }
+
+    /// Deserialize a model written by [`StrudelCell::write_to`].
+    pub fn read_from<R: Read>(r: &mut ModelReader<R>) -> io::Result<StrudelCell> {
+        let line_model = StrudelLine::read_from(r)?;
+        let derived = read_derived(r)?;
+        let forest = RandomForest::read_from(r)?;
+        Ok(StrudelCell::from_parts(
+            line_model,
+            forest,
+            CellFeatureConfig { derived },
+        ))
+    }
+}
+
+impl Strudel {
+    /// Serialize the pipeline model to any writer.
+    pub fn write_to<W: Write>(&self, writer: W) -> io::Result<()> {
+        let mut w = ModelWriter::new(writer)?;
+        self.cell_model().write_to(&mut w)?;
+        w.finish().flush()
+    }
+
+    /// Deserialize a pipeline model from any reader.
+    pub fn read_from<R: Read>(reader: R) -> io::Result<Strudel> {
+        let mut r = ModelReader::new(reader)?;
+        Ok(Strudel::from_cell_model(StrudelCell::read_from(&mut r)?))
+    }
+
+    /// Save the model to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        self.write_to(BufWriter::new(File::create(path)?))
+    }
+
+    /// Load a model from a file.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Strudel> {
+        Strudel::read_from(BufReader::new(File::open(path)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell_classifier::StrudelCellConfig;
+    use crate::line_classifier::tests::tiny_corpus;
+    use crate::line_classifier::StrudelLineConfig;
+    use strudel_ml::ForestConfig;
+
+    fn fitted() -> Strudel {
+        let corpus = tiny_corpus(6);
+        Strudel::fit(
+            &corpus.files,
+            &StrudelCellConfig {
+                line: StrudelLineConfig {
+                    forest: ForestConfig::fast(8, 1),
+                    ..StrudelLineConfig::default()
+                },
+                forest: ForestConfig::fast(8, 2),
+                ..StrudelCellConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure_detection() {
+        let model = fitted();
+        let mut buf = Vec::new();
+        model.write_to(&mut buf).unwrap();
+        let loaded = Strudel::read_from(buf.as_slice()).unwrap();
+
+        let text = "Report on crime,,\nState,2019,2020\nBerlin,14,28\nTotal,14,28\n";
+        let a = model.detect_structure(text);
+        let b = loaded.detect_structure(text);
+        assert_eq!(a.lines, b.lines);
+        assert_eq!(a.cells.len(), b.cells.len());
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(ca.class, cb.class);
+            assert_eq!(ca.probs, cb.probs);
+        }
+    }
+
+    #[test]
+    fn save_and_load_via_file() {
+        let model = fitted();
+        let path = std::env::temp_dir().join(format!(
+            "strudel-model-test-{}.bin",
+            std::process::id()
+        ));
+        model.save(&path).unwrap();
+        let loaded = Strudel::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let text = "a,1\nb,2\n";
+        assert_eq!(
+            model.detect_structure(text).lines,
+            loaded.detect_structure(text).lines
+        );
+    }
+
+    #[test]
+    fn garbage_file_rejected() {
+        let err = match Strudel::read_from(&b"garbage"[..]) {
+            Err(e) => e,
+            Ok(_) => panic!("garbage accepted"),
+        };
+        // Either too short (UnexpectedEof) or bad magic (InvalidData).
+        assert!(matches!(
+            err.kind(),
+            io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof
+        ));
+    }
+
+    #[test]
+    fn config_fields_roundtrip() {
+        let corpus = tiny_corpus(4);
+        let mut config = StrudelLineConfig {
+            forest: ForestConfig::fast(5, 0),
+            ..StrudelLineConfig::default()
+        };
+        config.features.derived.delta = 0.25;
+        config.features.derived.detect_min_max = true;
+        config.features.include_global = true;
+        let model = StrudelLine::fit(&corpus.files, &config);
+        let mut buf = Vec::new();
+        let mut w = ModelWriter::new(&mut buf).unwrap();
+        model.write_to(&mut w).unwrap();
+        let mut r = ModelReader::new(buf.as_slice()).unwrap();
+        let loaded = StrudelLine::read_from(&mut r).unwrap();
+        assert_eq!(loaded.feature_config().derived.delta, 0.25);
+        assert!(loaded.feature_config().derived.detect_min_max);
+        assert!(loaded.feature_config().include_global);
+    }
+}

@@ -1,0 +1,361 @@
+//! The end-to-end Strudel pipeline (Figure 2).
+//!
+//! Raw text → dialect detection → verbose CSV table → `Strudel^L` line
+//! classification → `Strudel^C` cell classification. [`Strudel`] bundles
+//! the two fitted stages and exposes one-call structure detection for raw
+//! text or pre-parsed tables.
+
+use crate::cell_classifier::{CellPrediction, StrudelCell, StrudelCellConfig};
+use crate::line_classifier::StrudelLine;
+use strudel_dialect::{detect_dialect, read_table_with, Dialect};
+use strudel_table::{ElementClass, LabeledFile, Table};
+
+/// The detected structure of one verbose CSV file.
+#[derive(Debug, Clone)]
+pub struct Structure {
+    /// The dialect the file was parsed with.
+    pub dialect: Dialect,
+    /// The parsed table.
+    pub table: Table,
+    /// Per-line class (`None` for empty lines).
+    pub lines: Vec<Option<ElementClass>>,
+    /// Per-line class probability vectors (uniform for empty lines).
+    pub line_probs: Vec<Vec<f64>>,
+    /// Per-cell predictions for all non-empty cells.
+    pub cells: Vec<CellPrediction>,
+}
+
+impl Structure {
+    /// The predicted class of the cell at `(row, col)`, or `None` when the
+    /// cell is empty.
+    pub fn cell_class(&self, row: usize, col: usize) -> Option<ElementClass> {
+        self.cells
+            .iter()
+            .find(|c| c.row == row && c.col == col)
+            .map(|c| c.class)
+    }
+
+    /// Extract the data region as rows of raw values: every line whose
+    /// predicted class is `data`, restricted to cells predicted `data`.
+    /// This is the "make the file machine-readable" payoff the paper's
+    /// introduction motivates.
+    pub fn data_rows(&self) -> Vec<Vec<String>> {
+        let mut cell_class = vec![vec![None; self.table.n_cols()]; self.table.n_rows()];
+        for c in &self.cells {
+            cell_class[c.row][c.col] = Some(c.class);
+        }
+        self.lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| **l == Some(ElementClass::Data))
+            .map(|(r, _)| {
+                (0..self.table.n_cols())
+                    .map(|c| {
+                        if cell_class[r][c] == Some(ElementClass::Data) {
+                            self.table.cell(r, c).raw().to_string()
+                        } else {
+                            String::new()
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The predicted header line, as raw values, if any: the first line
+    /// classified `header`, falling back to the first line holding a
+    /// majority of `header` *cells* — the cell stage often recovers
+    /// numeric year headers that the line stage absorbed into the data
+    /// area (the paper's "header as data" error).
+    pub fn header_row(&self) -> Option<Vec<String>> {
+        let by_line = self
+            .lines
+            .iter()
+            .position(|l| *l == Some(ElementClass::Header));
+        let r = by_line.or_else(|| {
+            (0..self.table.n_rows()).find(|&r| {
+                let headers = self
+                    .cells
+                    .iter()
+                    .filter(|c| c.row == r && c.class == ElementClass::Header)
+                    .count();
+                headers > 0 && 2 * headers >= self.table.row_non_empty_count(r)
+            })
+        })?;
+        Some(
+            (0..self.table.n_cols())
+                .map(|c| self.table.cell(r, c).raw().to_string())
+                .collect(),
+        )
+    }
+}
+
+/// One vertically-delimited table region of a verbose CSV file,
+/// segmented from the line classes (a verbose file "may include multiple
+/// tables", Section 3.1; tables stack vertically per Section 3.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRegion {
+    /// Metadata lines introducing the table (caption block).
+    pub metadata_rows: Vec<usize>,
+    /// Header lines.
+    pub header_rows: Vec<usize>,
+    /// Body lines: data, group, and derived lines in order.
+    pub body_rows: Vec<usize>,
+    /// Notes lines following the table.
+    pub notes_rows: Vec<usize>,
+}
+
+impl TableRegion {
+    /// All rows of the region, in order.
+    pub fn all_rows(&self) -> Vec<usize> {
+        let mut rows: Vec<usize> = self
+            .metadata_rows
+            .iter()
+            .chain(&self.header_rows)
+            .chain(&self.body_rows)
+            .chain(&self.notes_rows)
+            .copied()
+            .collect();
+        rows.sort_unstable();
+        rows
+    }
+}
+
+impl Structure {
+    /// Segment the file into its stacked table regions, following the
+    /// top-to-bottom reading convention of Section 3.2: a caption block
+    /// (metadata) opens a region, header lines follow, then the body
+    /// (data / group / derived), then notes; a new metadata or header
+    /// line after body content starts the next region.
+    pub fn tables(&self) -> Vec<TableRegion> {
+        #[derive(PartialEq, Clone, Copy)]
+        enum Phase {
+            Caption,
+            Body,
+            Notes,
+        }
+        let mut regions: Vec<TableRegion> = Vec::new();
+        let mut current = TableRegion::default();
+        let mut phase = Phase::Caption;
+        let mut has_content = false;
+
+        let flush =
+            |current: &mut TableRegion, has_content: &mut bool, regions: &mut Vec<TableRegion>| {
+                if *has_content {
+                    regions.push(std::mem::take(current));
+                }
+                *has_content = false;
+            };
+
+        for (r, line) in self.lines.iter().enumerate() {
+            let Some(class) = line else { continue };
+            match class {
+                ElementClass::Metadata => {
+                    if phase != Phase::Caption {
+                        flush(&mut current, &mut has_content, &mut regions);
+                        phase = Phase::Caption;
+                    }
+                    current.metadata_rows.push(r);
+                }
+                ElementClass::Header => {
+                    if phase == Phase::Notes {
+                        flush(&mut current, &mut has_content, &mut regions);
+                        phase = Phase::Caption;
+                    }
+                    current.header_rows.push(r);
+                    has_content = true;
+                }
+                ElementClass::Data | ElementClass::Group | ElementClass::Derived => {
+                    if phase == Phase::Notes {
+                        flush(&mut current, &mut has_content, &mut regions);
+                    }
+                    current.body_rows.push(r);
+                    has_content = true;
+                    phase = Phase::Body;
+                }
+                ElementClass::Notes => {
+                    current.notes_rows.push(r);
+                    phase = Phase::Notes;
+                }
+            }
+        }
+        if has_content || !current.metadata_rows.is_empty() || !current.notes_rows.is_empty() {
+            regions.push(current);
+        }
+        regions
+    }
+}
+
+impl Default for TableRegion {
+    fn default() -> Self {
+        TableRegion {
+            metadata_rows: Vec::new(),
+            header_rows: Vec::new(),
+            body_rows: Vec::new(),
+            notes_rows: Vec::new(),
+        }
+    }
+}
+
+/// The fitted two-stage Strudel model.
+pub struct Strudel {
+    cell_model: StrudelCell,
+}
+
+impl Strudel {
+    /// Fit both stages on annotated files.
+    pub fn fit(files: &[LabeledFile], config: &StrudelCellConfig) -> Strudel {
+        Strudel {
+            cell_model: StrudelCell::fit(files, config),
+        }
+    }
+
+    /// Wrap an already-fitted cell model.
+    pub fn from_cell_model(cell_model: StrudelCell) -> Strudel {
+        Strudel { cell_model }
+    }
+
+    /// Detect the structure of raw text: dialect detection, parsing, and
+    /// both classification stages. A leading UTF-8 BOM is stripped.
+    pub fn detect_structure(&self, text: &str) -> Structure {
+        let text = strudel_dialect::strip_bom(text);
+        let dialect = detect_dialect(text);
+        let table = read_table_with(text, &dialect);
+        self.detect_structure_of_table(table, dialect)
+    }
+
+    /// Detect the structure of a pre-parsed table.
+    pub fn detect_structure_of_table(&self, table: Table, dialect: Dialect) -> Structure {
+        let line_model = self.cell_model.line_model();
+        let line_probs = line_model.predict_probs(&table);
+        let lines = line_model.predict(&table);
+        let cells = self.cell_model.predict(&table);
+        Structure {
+            dialect,
+            table,
+            lines,
+            line_probs,
+            cells,
+        }
+    }
+
+    /// The line stage.
+    pub fn line_model(&self) -> &StrudelLine {
+        self.cell_model.line_model()
+    }
+
+    /// The cell stage.
+    pub fn cell_model(&self) -> &StrudelCell {
+        &self.cell_model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::line_classifier::tests::tiny_corpus;
+    use crate::line_classifier::StrudelLineConfig;
+    use strudel_ml::ForestConfig;
+
+    fn fitted() -> Strudel {
+        let corpus = tiny_corpus(8);
+        let config = StrudelCellConfig {
+            line: StrudelLineConfig {
+                forest: ForestConfig::fast(15, 1),
+                ..StrudelLineConfig::default()
+            },
+            forest: ForestConfig::fast(15, 2),
+            ..StrudelCellConfig::default()
+        };
+        Strudel::fit(&corpus.files, &config)
+    }
+
+    #[test]
+    fn end_to_end_on_raw_text() {
+        let model = fitted();
+        let text = "Report on crime,,\nState,2019,2020\nBerlin,14,28\nHamburg,15,29\nTotal,29,57\nSource: police,,\n";
+        let s = model.detect_structure(text);
+        assert_eq!(s.dialect.delimiter, ',');
+        assert_eq!(s.lines[0], Some(ElementClass::Metadata));
+        assert_eq!(s.lines[1], Some(ElementClass::Header));
+        assert_eq!(s.lines[2], Some(ElementClass::Data));
+        assert_eq!(s.lines[4], Some(ElementClass::Derived));
+        assert_eq!(s.lines[5], Some(ElementClass::Notes));
+    }
+
+    #[test]
+    fn data_extraction_returns_data_lines_only() {
+        let model = fitted();
+        let text = "Report on crime,,\nState,2019,2020\nBerlin,14,28\nHamburg,15,29\nTotal,29,57\nSource: police,,\n";
+        let s = model.detect_structure(text);
+        let data = s.data_rows();
+        assert_eq!(data.len(), 2);
+        assert_eq!(data[0][0], "Berlin");
+        assert_eq!(s.header_row().unwrap()[1], "2019");
+    }
+
+    #[test]
+    fn tables_segments_stacked_regions() {
+        // Hand-build a Structure with known line classes — segmentation
+        // is a pure function of them.
+        use ElementClass::*;
+        let table = Table::from_rows(vec![vec!["x"]; 12]);
+        let classes = vec![
+            Some(Metadata),
+            Some(Header),
+            Some(Data),
+            Some(Derived),
+            Some(Notes),
+            None,
+            Some(Metadata),
+            Some(Header),
+            Some(Data),
+            Some(Group),
+            Some(Data),
+            Some(Notes),
+        ];
+        let s = Structure {
+            dialect: strudel_dialect::Dialect::rfc4180(),
+            line_probs: vec![vec![1.0 / 6.0; 6]; table.n_rows()],
+            lines: classes,
+            cells: Vec::new(),
+            table,
+        };
+        let regions = s.tables();
+        assert_eq!(regions.len(), 2);
+        assert_eq!(regions[0].metadata_rows, vec![0]);
+        assert_eq!(regions[0].header_rows, vec![1]);
+        assert_eq!(regions[0].body_rows, vec![2, 3]);
+        assert_eq!(regions[0].notes_rows, vec![4]);
+        assert_eq!(regions[1].metadata_rows, vec![6]);
+        assert_eq!(regions[1].body_rows, vec![8, 9, 10]);
+        assert_eq!(regions[1].all_rows(), vec![6, 7, 8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn tables_of_single_region_file() {
+        let model = fitted();
+        let text = "Report on crime,,\nState,2019,2020\nBerlin,14,28\nHamburg,15,29\nTotal,29,57\nSource: police,,\n";
+        let s = model.detect_structure(text);
+        let regions = s.tables();
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].body_rows.len(), 3);
+    }
+
+    #[test]
+    fn tables_of_empty_structure() {
+        let model = fitted();
+        let s = model.detect_structure("");
+        assert!(s.tables().is_empty());
+    }
+
+    #[test]
+    fn cell_class_lookup() {
+        let model = fitted();
+        let text = "Report on crime,,\nState,2019,2020\nBerlin,14,28\nHamburg,15,29\nTotal,29,57\nSource: police,,\n";
+        let s = model.detect_structure(text);
+        assert_eq!(s.cell_class(2, 1), Some(ElementClass::Data));
+        // Empty cell has no class.
+        assert_eq!(s.cell_class(0, 1), None);
+    }
+}

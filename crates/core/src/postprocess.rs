@@ -1,0 +1,304 @@
+//! Rule-based repair of cell misclassifications, after Koci et al.
+//! (IC3K 2016 — reference \[19\] of the paper).
+//!
+//! Koci et al. observe that certain *patterns* in a cell classifier's
+//! output almost always indicate a misclassification, and repair them in
+//! a post-processing pass. We adapt their idea to the six-class taxonomy
+//! with four conservative rules, each gated on the classifier's own
+//! confidence so that high-confidence predictions are never overridden:
+//!
+//! 1. **Positional impossibility — header below data.** Headers sit
+//!    above the data area of their table (Section 3.2). A low-confidence
+//!    `header` cell strictly below the last data line of the file flips
+//!    to the runner-up class.
+//! 2. **Positional impossibility — metadata below the body.** Metadata
+//!    is "descriptive text above a table"; a low-confidence `metadata`
+//!    cell below the last data line flips to `notes` (its mirror class).
+//! 3. **Positional impossibility — notes above the body.** The converse:
+//!    a low-confidence `notes` cell above the first data line flips to
+//!    `metadata`.
+//! 4. **Lone outlier inside a homogeneous line.** A low-confidence cell
+//!    whose class differs from every other non-empty cell of its line —
+//!    where those agree on one class that is not a legitimate intra-line
+//!    companion (`group`/`derived` co-occur by design, Table 3) — flips
+//!    to the line consensus.
+
+use crate::cell_classifier::CellPrediction;
+use strudel_ml::argmax;
+use strudel_table::{ElementClass, Table};
+
+/// Configuration of the repair pass.
+#[derive(Debug, Clone, Copy)]
+pub struct RepairConfig {
+    /// Maximum winning probability at which a prediction may be
+    /// overridden; confident predictions are left alone.
+    pub max_confidence: f64,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        RepairConfig {
+            max_confidence: 0.6,
+        }
+    }
+}
+
+/// Statistics of one repair pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Headers below the data area re-labeled.
+    pub header_below_data: usize,
+    /// Metadata below the data area re-labeled to notes.
+    pub metadata_below_data: usize,
+    /// Notes above the data area re-labeled to metadata.
+    pub notes_above_data: usize,
+    /// Lone in-line outliers re-labeled to the line consensus.
+    pub lone_outliers: usize,
+}
+
+impl RepairReport {
+    /// Total number of repaired cells.
+    pub fn total(&self) -> usize {
+        self.header_below_data
+            + self.metadata_below_data
+            + self.notes_above_data
+            + self.lone_outliers
+    }
+}
+
+/// The second-most probable class of a prediction.
+fn runner_up(probs: &[f64]) -> ElementClass {
+    let winner = argmax(probs);
+    let mut best = usize::from(winner == 0);
+    for i in 0..probs.len() {
+        if i != winner && probs[i] > probs[best] {
+            best = i;
+        }
+    }
+    ElementClass::from_index(best)
+}
+
+/// Repair cell predictions in place; returns per-rule counts.
+pub fn repair_cells(
+    table: &Table,
+    cells: &mut [CellPrediction],
+    config: &RepairConfig,
+) -> RepairReport {
+    let mut report = RepairReport::default();
+    if cells.is_empty() {
+        return report;
+    }
+
+    // Data-area bounds from the current predictions.
+    let data_rows: Vec<usize> = cells
+        .iter()
+        .filter(|c| c.class == ElementClass::Data)
+        .map(|c| c.row)
+        .collect();
+    let first_data = data_rows.iter().min().copied();
+    let last_data = data_rows.iter().max().copied();
+
+    // Per-line class counts for rule 4.
+    let mut line_counts = vec![[0usize; ElementClass::COUNT]; table.n_rows()];
+    for cell in cells.iter() {
+        line_counts[cell.row][cell.class.index()] += 1;
+    }
+
+    for cell in cells.iter_mut() {
+        let confidence = cell.probs[cell.class.index()];
+        if confidence > config.max_confidence {
+            continue;
+        }
+        // Rules 1-3: positional impossibilities.
+        match cell.class {
+            ElementClass::Header => {
+                if let Some(last) = last_data {
+                    if cell.row > last {
+                        line_counts[cell.row][cell.class.index()] -= 1;
+                        cell.class = runner_up(&cell.probs);
+                        line_counts[cell.row][cell.class.index()] += 1;
+                        report.header_below_data += 1;
+                        continue;
+                    }
+                }
+            }
+            ElementClass::Metadata => {
+                if let Some(last) = last_data {
+                    if cell.row > last {
+                        line_counts[cell.row][cell.class.index()] -= 1;
+                        cell.class = ElementClass::Notes;
+                        line_counts[cell.row][cell.class.index()] += 1;
+                        report.metadata_below_data += 1;
+                        continue;
+                    }
+                }
+            }
+            ElementClass::Notes => {
+                if let Some(first) = first_data {
+                    if cell.row < first {
+                        line_counts[cell.row][cell.class.index()] -= 1;
+                        cell.class = ElementClass::Metadata;
+                        line_counts[cell.row][cell.class.index()] += 1;
+                        report.notes_above_data += 1;
+                        continue;
+                    }
+                }
+            }
+            _ => {}
+        }
+        // Rule 4: lone outlier in a homogeneous line.
+        let counts = &line_counts[cell.row];
+        let own = cell.class.index();
+        if counts[own] == 1 {
+            let others: usize = counts.iter().sum::<usize>() - 1;
+            if others >= 2 {
+                // The rest of the line agrees on exactly one class?
+                let consensus = (0..ElementClass::COUNT)
+                    .find(|&c| c != own && counts[c] == others);
+                if let Some(consensus) = consensus {
+                    let consensus = ElementClass::from_index(consensus);
+                    let legitimate = matches!(
+                        (cell.class, consensus),
+                        (ElementClass::Group, _)
+                            | (ElementClass::Derived, ElementClass::Data)
+                            | (ElementClass::Data, ElementClass::Derived)
+                    );
+                    if !legitimate {
+                        line_counts[cell.row][own] -= 1;
+                        cell.class = consensus;
+                        line_counts[cell.row][consensus.index()] += 1;
+                        report.lone_outliers += 1;
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prediction(row: usize, col: usize, class: ElementClass, confidence: f64) -> CellPrediction {
+        let mut probs = vec![(1.0 - confidence) / 5.0; ElementClass::COUNT];
+        probs[class.index()] = confidence;
+        CellPrediction {
+            row,
+            col,
+            class,
+            probs,
+        }
+    }
+
+    fn table(rows: usize, cols: usize) -> Table {
+        Table::from_rows(vec![vec!["x"; cols]; rows])
+    }
+
+    use ElementClass::*;
+
+    #[test]
+    fn metadata_below_data_flips_to_notes() {
+        let t = table(3, 1);
+        let mut cells = vec![
+            prediction(0, 0, Data, 0.9),
+            prediction(1, 0, Data, 0.9),
+            prediction(2, 0, Metadata, 0.4),
+        ];
+        let report = repair_cells(&t, &mut cells, &RepairConfig::default());
+        assert_eq!(report.metadata_below_data, 1);
+        assert_eq!(cells[2].class, Notes);
+    }
+
+    #[test]
+    fn notes_above_data_flips_to_metadata() {
+        let t = table(3, 1);
+        let mut cells = vec![
+            prediction(0, 0, Notes, 0.5),
+            prediction(1, 0, Data, 0.9),
+            prediction(2, 0, Data, 0.9),
+        ];
+        let report = repair_cells(&t, &mut cells, &RepairConfig::default());
+        assert_eq!(report.notes_above_data, 1);
+        assert_eq!(cells[0].class, Metadata);
+    }
+
+    #[test]
+    fn confident_predictions_are_never_touched() {
+        let t = table(3, 1);
+        let mut cells = vec![
+            prediction(0, 0, Data, 0.9),
+            prediction(1, 0, Data, 0.9),
+            prediction(2, 0, Metadata, 0.95),
+        ];
+        let report = repair_cells(&t, &mut cells, &RepairConfig::default());
+        assert_eq!(report.total(), 0);
+        assert_eq!(cells[2].class, Metadata);
+    }
+
+    #[test]
+    fn header_below_data_takes_runner_up() {
+        let t = table(3, 1);
+        let mut cells = vec![
+            prediction(0, 0, Data, 0.9),
+            prediction(1, 0, Data, 0.9),
+            prediction(2, 0, Header, 0.4),
+        ];
+        // Make `notes` the runner-up.
+        cells[2].probs[Notes.index()] = 0.35;
+        let report = repair_cells(&t, &mut cells, &RepairConfig::default());
+        assert_eq!(report.header_below_data, 1);
+        assert_eq!(cells[2].class, Notes);
+    }
+
+    #[test]
+    fn lone_outlier_joins_line_consensus() {
+        let t = table(1, 4);
+        let mut cells = vec![
+            prediction(0, 0, Header, 0.9),
+            prediction(0, 1, Header, 0.9),
+            prediction(0, 2, Metadata, 0.4),
+            prediction(0, 3, Header, 0.9),
+        ];
+        let report = repair_cells(&t, &mut cells, &RepairConfig::default());
+        assert_eq!(report.lone_outliers, 1);
+        assert_eq!(cells[2].class, Header);
+    }
+
+    #[test]
+    fn group_and_derived_companions_are_legitimate() {
+        // A group cell leading a derived line must NOT be flattened, nor
+        // a derived-column cell inside a data line.
+        let t = table(2, 3);
+        let mut cells = vec![
+            prediction(0, 0, Group, 0.4),
+            prediction(0, 1, Derived, 0.9),
+            prediction(0, 2, Derived, 0.9),
+            prediction(1, 0, Data, 0.9),
+            prediction(1, 1, Data, 0.9),
+            prediction(1, 2, Derived, 0.4),
+        ];
+        let report = repair_cells(&t, &mut cells, &RepairConfig::default());
+        assert_eq!(report.lone_outliers, 0);
+        assert_eq!(cells[0].class, Group);
+        assert_eq!(cells[5].class, Derived);
+    }
+
+    #[test]
+    fn file_without_data_is_untouched() {
+        let t = table(2, 1);
+        let mut cells = vec![
+            prediction(0, 0, Metadata, 0.4),
+            prediction(1, 0, Notes, 0.4),
+        ];
+        let report = repair_cells(&t, &mut cells, &RepairConfig::default());
+        assert_eq!(report.total(), 0);
+    }
+
+    #[test]
+    fn empty_prediction_list() {
+        let t = table(1, 1);
+        let report = repair_cells(&t, &mut [], &RepairConfig::default());
+        assert_eq!(report.total(), 0);
+    }
+}

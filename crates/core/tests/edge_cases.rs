@@ -1,0 +1,180 @@
+//! Edge-case integration tests of the feature extractors, algorithms,
+//! and classifiers on degenerate and adversarial tables.
+
+use strudel::baselines::{CrfLine, CrfLineConfig, PytheasConfig, PytheasLine};
+use strudel::{
+    block_sizes, detect_derived_cells, extract_cell_features, extract_line_features,
+    has_aggregation_keyword, CellFeatureConfig, DerivedConfig, LineFeatureConfig, Strudel,
+    StrudelCellConfig, StrudelLineConfig, N_CELL_FEATURES,
+};
+use strudel_datagen::{saus, GeneratorConfig};
+use strudel_ml::ForestConfig;
+use strudel_table::{ElementClass, Table};
+
+fn small_model() -> Strudel {
+    let corpus = saus(&GeneratorConfig {
+        n_files: 12,
+        seed: 5,
+        scale: 0.2,
+    });
+    Strudel::fit(
+        &corpus.files,
+        &StrudelCellConfig {
+            line: StrudelLineConfig {
+                forest: ForestConfig::fast(10, 0),
+                ..StrudelLineConfig::default()
+            },
+            forest: ForestConfig::fast(10, 1),
+            ..StrudelCellConfig::default()
+        },
+    )
+}
+
+#[test]
+fn single_cell_table_features() {
+    let t = Table::from_rows(vec![vec!["42"]]);
+    let lf = extract_line_features(&t, &LineFeatureConfig::default());
+    assert_eq!(lf.len(), 1);
+    assert!(lf[0].iter().all(|v| v.is_finite()));
+    let cf = extract_cell_features(&t, &[vec![1.0 / 6.0; 6]], &CellFeatureConfig::default());
+    assert_eq!(cf.len(), 1);
+    assert_eq!(cf[0].features.len(), N_CELL_FEATURES);
+    // All eight neighbours are beyond the margin.
+    for j in 20..36 {
+        assert_eq!(cf[0].features[j], -1.0);
+    }
+}
+
+#[test]
+fn single_row_table_has_no_vertical_context() {
+    let t = Table::from_rows(vec![vec!["a", "1", "2"]]);
+    let lf = extract_line_features(&t, &LineFeatureConfig::default());
+    let names = LineFeatureConfig::default().feature_names();
+    let idx = |n: &str| names.iter().position(|&x| x == n).unwrap();
+    assert_eq!(lf[0][idx("DataTypeMatchingAbove")], 0.0);
+    assert_eq!(lf[0][idx("DataTypeMatchingBelow")], 0.0);
+    assert_eq!(lf[0][idx("CellLengthDifferenceAbove")], 1.0);
+    assert_eq!(lf[0][idx("EmptyNeighboringLinesAbove")], 1.0);
+    assert_eq!(lf[0][idx("LinePosition")], 0.0);
+}
+
+#[test]
+fn anchorless_derived_column_evades_algorithm2() {
+    // A genuine aggregate column whose header carries no keyword: the
+    // published algorithm finds no anchor — the CIUS failure mode that
+    // costs Strudel^C two thirds of CIUS derived cells (Section 6.3.2).
+    let t = Table::from_rows(vec![
+        vec!["", "A", "B", "Combined"],
+        vec!["x", "1", "2", "3"],
+        vec!["y", "4", "5", "9"],
+    ]);
+    let derived = detect_derived_cells(&t, &DerivedConfig::default());
+    assert!(derived.iter().all(|row| row.iter().all(|&v| !v)));
+}
+
+#[test]
+fn keyword_headed_data_column_is_not_detected_as_derived() {
+    // A rightmost data column headed "Total crime": the keyword anchors
+    // the column, but the values match no aggregate of their neighbours,
+    // so arithmetic verification rejects it.
+    let t = Table::from_rows(vec![
+        vec!["", "Rate 1", "Total crime"],
+        vec!["x", "17", "803"],
+        vec!["y", "23", "4099"],
+        vec!["z", "11", "57"],
+    ]);
+    let derived = detect_derived_cells(&t, &DerivedConfig::default());
+    for r in 1..4 {
+        assert!(!derived[r][2], "row {r} wrongly detected");
+    }
+}
+
+#[test]
+fn wide_flat_table_blocks() {
+    let t = Table::from_rows(vec![vec!["a"; 50]]);
+    let bs = block_sizes(&t);
+    assert!(bs[0].iter().all(|&v| (v - 1.0).abs() < 1e-12));
+}
+
+#[test]
+fn deep_narrow_table_blocks_do_not_overflow_stack() {
+    // 20k-cell single column — the iterative flood fill must not recurse.
+    let rows: Vec<Vec<String>> = (0..20_000).map(|i| vec![i.to_string()]).collect();
+    let t = Table::from_rows(rows);
+    let bs = block_sizes(&t);
+    assert!((bs[0][0] - 1.0).abs() < 1e-12);
+    assert!((bs[19_999][0] - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn pipeline_handles_degenerate_inputs() {
+    let model = small_model();
+    // Empty text.
+    let s = model.detect_structure("");
+    assert!(s.lines.is_empty());
+    assert!(s.cells.is_empty());
+    assert!(s.data_rows().is_empty());
+    assert!(s.header_row().is_none());
+    // Whitespace-only lines.
+    let s = model.detect_structure(",,\n,,\n");
+    assert!(s.lines.iter().all(Option::is_none));
+    // A single value.
+    let s = model.detect_structure("lonely");
+    assert_eq!(s.lines.len(), 1);
+    assert!(s.lines[0].is_some());
+}
+
+#[test]
+fn crf_baseline_single_line_file() {
+    let corpus = saus(&GeneratorConfig {
+        n_files: 8,
+        seed: 9,
+        scale: 0.2,
+    });
+    let model = CrfLine::fit(&corpus.files, &CrfLineConfig::default());
+    let t = Table::from_rows(vec![vec!["only one line", "5"]]);
+    let pred = model.predict(&t);
+    assert_eq!(pred.len(), 1);
+    assert!(pred[0].is_some());
+}
+
+#[test]
+fn pytheas_all_numeric_file_is_one_table() {
+    let corpus = saus(&GeneratorConfig {
+        n_files: 8,
+        seed: 13,
+        scale: 0.2,
+    });
+    let model = PytheasLine::fit(&corpus.files, &PytheasConfig::default());
+    let t = Table::from_rows(vec![
+        vec!["1", "2", "3"],
+        vec!["4", "5", "6"],
+        vec!["7", "8", "9"],
+    ]);
+    let pred = model.predict(&t);
+    assert!(pred.iter().all(|p| *p == Some(ElementClass::Data)));
+}
+
+#[test]
+fn keyword_dictionary_matches_paper() {
+    // The exact dictionary of Section 4.
+    for kw in ["total", "all", "sum", "average", "avg", "mean", "median"] {
+        assert!(has_aggregation_keyword(kw));
+    }
+    assert_eq!(strudel::AGGREGATION_KEYWORDS.len(), 7);
+}
+
+#[test]
+fn unicode_content_is_handled() {
+    let t = Table::from_rows(vec![
+        vec!["Überschrift, Größe", ""],
+        vec!["Köln", "1,204"],
+        vec!["Москва́", "998"],
+    ]);
+    let lf = extract_line_features(&t, &LineFeatureConfig::default());
+    assert!(lf.iter().flatten().all(|v| v.is_finite()));
+    let model = small_model();
+    // Round-trip through quoted CSV keeps the comma-bearing title intact.
+    let s = model.detect_structure(&t.to_delimited(','));
+    assert_eq!(s.cells.len(), t.non_empty_count());
+}

@@ -1,0 +1,200 @@
+//! Multi-annotator label aggregation, reproducing the paper's GovUK
+//! annotation protocol (Section 6.1.1): each line of each file was
+//! annotated by three experts; disagreements (≈1 % of lines) were
+//! resolved by majority vote, and the rare complete disagreements
+//! (< 250 lines) went to an independent fourth annotator.
+
+use strudel_table::{CellLabels, ElementClass};
+
+/// Outcome statistics of an aggregation pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AgreementStats {
+    /// Cells where all annotators agreed.
+    pub unanimous: usize,
+    /// Cells resolved by strict majority.
+    pub majority_resolved: usize,
+    /// Cells with complete disagreement, deferred to the referee.
+    pub referee_resolved: usize,
+}
+
+impl AgreementStats {
+    /// Total annotated cells.
+    pub fn total(&self) -> usize {
+        self.unanimous + self.majority_resolved + self.referee_resolved
+    }
+
+    /// Share of cells with any disagreement (the paper reports ≈1 % on
+    /// lines for GovUK).
+    pub fn disagreement_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.majority_resolved + self.referee_resolved) as f64 / total as f64
+        }
+    }
+}
+
+/// Merge the cell-label grids of several annotators.
+///
+/// Per cell: unanimous labels pass through; a strict majority wins
+/// otherwise; on complete disagreement the `referee` closure decides
+/// among the proposed labels (the paper's fourth annotator, who "picked
+/// which one of the three answers to apply" — the referee must return
+/// one of the proposals).
+///
+/// # Panics
+/// Panics when fewer than two annotators are given, grids have
+/// mismatched shapes, annotators disagree about which cells are empty,
+/// or the referee returns a label nobody proposed.
+pub fn merge_annotations<F>(
+    annotators: &[CellLabels],
+    mut referee: F,
+) -> (CellLabels, AgreementStats)
+where
+    F: FnMut(usize, usize, &[ElementClass]) -> ElementClass,
+{
+    assert!(annotators.len() >= 2, "need at least two annotators");
+    let shape: Vec<usize> = annotators[0].iter().map(Vec::len).collect();
+    for grid in annotators {
+        assert_eq!(grid.len(), annotators[0].len(), "row count mismatch");
+        for (row, &width) in grid.iter().zip(&shape) {
+            assert_eq!(row.len(), width, "row width mismatch");
+        }
+    }
+
+    let mut stats = AgreementStats::default();
+    let merged: CellLabels = (0..annotators[0].len())
+        .map(|r| {
+            (0..shape[r])
+                .map(|c| {
+                    let votes: Vec<Option<ElementClass>> =
+                        annotators.iter().map(|g| g[r][c]).collect();
+                    let empties = votes.iter().filter(|v| v.is_none()).count();
+                    assert!(
+                        empties == 0 || empties == votes.len(),
+                        "annotators disagree on emptiness at ({r}, {c})"
+                    );
+                    if empties == votes.len() {
+                        return None;
+                    }
+                    let labels: Vec<ElementClass> =
+                        votes.into_iter().map(|v| v.expect("non-empty")).collect();
+                    let mut counts = [0usize; ElementClass::COUNT];
+                    for l in &labels {
+                        counts[l.index()] += 1;
+                    }
+                    let max = *counts.iter().max().expect("six classes");
+                    if max == labels.len() {
+                        stats.unanimous += 1;
+                        Some(labels[0])
+                    } else if max * 2 > labels.len() {
+                        stats.majority_resolved += 1;
+                        Some(ElementClass::from_index(
+                            (0..ElementClass::COUNT)
+                                .find(|&i| counts[i] == max)
+                                .expect("majority exists"),
+                        ))
+                    } else {
+                        let choice = referee(r, c, &labels);
+                        assert!(
+                            labels.contains(&choice),
+                            "referee must pick one of the proposed labels"
+                        );
+                        stats.referee_resolved += 1;
+                        Some(choice)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    (merged, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ElementClass::*;
+
+    fn grid(labels: Vec<Vec<Option<ElementClass>>>) -> CellLabels {
+        labels
+    }
+
+    #[test]
+    fn unanimous_passes_through() {
+        let a = grid(vec![vec![Some(Data), Some(Header)]]);
+        let (merged, stats) = merge_annotations(&[a.clone(), a.clone(), a.clone()], |_, _, _| {
+            panic!("no referee needed")
+        });
+        assert_eq!(merged[0][0], Some(Data));
+        assert_eq!(stats.unanimous, 2);
+        assert_eq!(stats.disagreement_rate(), 0.0);
+    }
+
+    #[test]
+    fn majority_wins() {
+        let a = grid(vec![vec![Some(Data)]]);
+        let b = grid(vec![vec![Some(Data)]]);
+        let c = grid(vec![vec![Some(Derived)]]);
+        let (merged, stats) =
+            merge_annotations(&[a, b, c], |_, _, _| panic!("no referee needed"));
+        assert_eq!(merged[0][0], Some(Data));
+        assert_eq!(stats.majority_resolved, 1);
+    }
+
+    #[test]
+    fn complete_disagreement_goes_to_referee() {
+        let a = grid(vec![vec![Some(Data)]]);
+        let b = grid(vec![vec![Some(Derived)]]);
+        let c = grid(vec![vec![Some(Group)]]);
+        let (merged, stats) = merge_annotations(&[a, b, c], |r, col, proposals| {
+            assert_eq!((r, col), (0, 0));
+            assert_eq!(proposals.len(), 3);
+            Derived
+        });
+        assert_eq!(merged[0][0], Some(Derived));
+        assert_eq!(stats.referee_resolved, 1);
+        assert!((stats.disagreement_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cells_stay_empty() {
+        let a = grid(vec![vec![None, Some(Data)]]);
+        let (merged, stats) =
+            merge_annotations(&[a.clone(), a], |_, _, _| panic!("no referee"));
+        assert_eq!(merged[0][0], None);
+        assert_eq!(stats.total(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on emptiness")]
+    fn emptiness_disagreement_panics() {
+        let a = grid(vec![vec![None]]);
+        let b = grid(vec![vec![Some(Data)]]);
+        let _ = merge_annotations(&[a, b], |_, _, _| Data);
+    }
+
+    #[test]
+    #[should_panic(expected = "referee must pick")]
+    fn rogue_referee_panics() {
+        let a = grid(vec![vec![Some(Data)]]);
+        let b = grid(vec![vec![Some(Derived)]]);
+        let _ = merge_annotations(&[a, b], |_, _, _| Notes);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two annotators")]
+    fn single_annotator_panics() {
+        let a = grid(vec![vec![Some(Data)]]);
+        let _ = merge_annotations(&[a], |_, _, _| Data);
+    }
+
+    #[test]
+    fn two_annotator_tie_is_complete_disagreement() {
+        let a = grid(vec![vec![Some(Data)]]);
+        let b = grid(vec![vec![Some(Derived)]]);
+        let (merged, stats) = merge_annotations(&[a, b], |_, _, proposals| proposals[0]);
+        assert_eq!(merged[0][0], Some(Data));
+        assert_eq!(stats.referee_resolved, 1);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests of the on-disk corpus format: every generated corpus
+//! round-trips exactly through save/load, across all six generators.
+
+use proptest::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+use strudel_corpus::{load_corpus, parse_labels, render_labels, save_corpus};
+use strudel_datagen::{by_name, GeneratorConfig};
+use strudel_table::{CellLabels, ElementClass, Table};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "strudel-corpus-prop-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any generated corpus survives a save/load cycle bit-exactly
+    /// (tables, cell labels, derived line labels).
+    #[test]
+    fn generated_corpora_roundtrip(
+        dataset_idx in 0usize..6,
+        seed in 0u64..100,
+    ) {
+        let name = ["SAUS", "CIUS", "DeEx", "GovUK", "Troy", "Mendeley"][dataset_idx];
+        let corpus = by_name(name, &GeneratorConfig {
+            n_files: 2,
+            seed,
+            scale: 0.1,
+        });
+        let dir = temp_dir(&format!("{name}-{seed}"));
+        save_corpus(&dir, &corpus).unwrap();
+        let loaded = load_corpus(&dir, name).unwrap();
+        fs::remove_dir_all(&dir).ok();
+
+        prop_assert_eq!(loaded.files.len(), corpus.files.len());
+        for (a, b) in corpus.files.iter().zip(&loaded.files) {
+            prop_assert_eq!(&a.table, &b.table, "table mismatch in {}", a.name);
+            prop_assert_eq!(&a.cell_labels, &b.cell_labels);
+            prop_assert_eq!(&a.line_labels, &b.line_labels);
+        }
+    }
+
+    /// Label grids of any shape render/parse back exactly.
+    #[test]
+    fn label_text_roundtrip(
+        shape in proptest::collection::vec(0usize..7, 1..6),
+    ) {
+        // Build a table and consistent labels: class = (r + c) % 6 on
+        // non-empty cells; a shape entry of 0 is an empty line.
+        let width = shape.iter().copied().max().unwrap_or(0).max(1);
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        let mut labels: CellLabels = Vec::new();
+        for (r, &len) in shape.iter().enumerate() {
+            let mut row = Vec::new();
+            let mut label_row = Vec::new();
+            for c in 0..width {
+                if c < len {
+                    row.push(format!("x{r}{c}"));
+                    label_row.push(Some(ElementClass::from_index((r + c) % 6)));
+                } else {
+                    row.push(String::new());
+                    label_row.push(None);
+                }
+            }
+            rows.push(row);
+            labels.push(label_row);
+        }
+        let table = Table::from_rows(rows);
+        let text = render_labels(&labels);
+        let parsed = parse_labels(&text, &table).unwrap();
+        prop_assert_eq!(parsed, labels);
+    }
+}

@@ -1,0 +1,150 @@
+//! Row-by-row construction of annotated verbose CSV files.
+//!
+//! [`FileBuilder`] accumulates raw rows together with per-cell class
+//! labels and produces a [`LabeledFile`] whose line labels follow the
+//! majority-of-cells convention of the paper's Figure 1.
+
+use strudel_table::{CellLabels, ElementClass, LabeledFile, Table};
+
+/// A labeled cell value under construction.
+pub type LabeledValue = (String, Option<ElementClass>);
+
+/// Incremental builder of one annotated file.
+#[derive(Debug, Default)]
+pub struct FileBuilder {
+    rows: Vec<Vec<LabeledValue>>,
+}
+
+impl FileBuilder {
+    /// Start an empty file.
+    pub fn new() -> FileBuilder {
+        FileBuilder::default()
+    }
+
+    /// Append a fully custom row of labeled values.
+    pub fn push_row(&mut self, row: Vec<LabeledValue>) -> &mut Self {
+        self.rows.push(row);
+        self
+    }
+
+    /// Append an empty separator line.
+    pub fn empty_line(&mut self) -> &mut Self {
+        self.rows.push(Vec::new());
+        self
+    }
+
+    /// Append a single-cell line with a uniform class (metadata/notes/
+    /// group headers all use this shape).
+    pub fn single_cell_line(&mut self, text: impl Into<String>, class: ElementClass) -> &mut Self {
+        self.rows.push(vec![(text.into(), Some(class))]);
+        self
+    }
+
+    /// Append a line where every non-empty cell shares one class.
+    pub fn uniform_line<I, S>(&mut self, values: I, class: ElementClass) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row = values
+            .into_iter()
+            .map(|v| {
+                let v: String = v.into();
+                let label = (!v.trim().is_empty()).then_some(class);
+                (v, label)
+            })
+            .collect();
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of rows appended so far.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Finish the file: rows are padded to uniform width, empty cells
+    /// lose their labels, and line labels are derived from cell labels.
+    ///
+    /// # Panics
+    /// Panics when a non-empty cell carries no label or an empty cell
+    /// carries one — the generators must label exactly the content they
+    /// emit.
+    pub fn build(self, name: impl Into<String>) -> LabeledFile {
+        let width = self.rows.iter().map(Vec::len).max().unwrap_or(0);
+        let mut raw: Vec<Vec<String>> = Vec::with_capacity(self.rows.len());
+        let mut labels: CellLabels = Vec::with_capacity(self.rows.len());
+        for row in self.rows {
+            let mut raw_row = Vec::with_capacity(width);
+            let mut label_row = Vec::with_capacity(width);
+            for (value, label) in row {
+                let is_empty = value.trim().is_empty();
+                assert_eq!(
+                    is_empty,
+                    label.is_none(),
+                    "labels must cover exactly the non-empty cells (value {value:?})"
+                );
+                raw_row.push(value);
+                label_row.push(label);
+            }
+            raw_row.resize(width, String::new());
+            label_row.resize(width, None);
+            raw.push(raw_row);
+            labels.push(label_row);
+        }
+        let table = Table::from_rows(raw);
+        let line_labels = LabeledFile::line_labels_from_cells(&table, &labels);
+        LabeledFile::new(name, table, line_labels, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ElementClass::*;
+
+    #[test]
+    fn builds_aligned_file() {
+        let mut b = FileBuilder::new();
+        b.single_cell_line("Title", Metadata)
+            .empty_line()
+            .uniform_line(["Name", "Score"], Header)
+            .uniform_line(["alice", "3"], Data);
+        let f = b.build("t.csv");
+        assert_eq!(f.table.n_rows(), 4);
+        assert_eq!(f.table.n_cols(), 2);
+        assert_eq!(f.line_labels[0], Some(Metadata));
+        assert_eq!(f.line_labels[1], None);
+        assert_eq!(f.cell_labels[2][1], Some(Header));
+        assert_eq!(f.cell_labels[0][1], None); // padded cell
+    }
+
+    #[test]
+    fn mixed_class_row_gets_majority_line_label() {
+        let mut b = FileBuilder::new();
+        b.push_row(vec![
+            ("Total".into(), Some(Group)),
+            ("5".into(), Some(Derived)),
+            ("7".into(), Some(Derived)),
+        ]);
+        let f = b.build("t.csv");
+        assert_eq!(f.line_labels[0], Some(Derived));
+    }
+
+    #[test]
+    fn uniform_line_skips_empty_values() {
+        let mut b = FileBuilder::new();
+        b.uniform_line(["x", "", "y"], Data);
+        let f = b.build("t.csv");
+        assert_eq!(f.cell_labels[0][1], None);
+        assert_eq!(f.cell_labels[0][2], Some(Data));
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must cover exactly")]
+    fn unlabeled_content_panics() {
+        let mut b = FileBuilder::new();
+        b.push_row(vec![("x".into(), None)]);
+        let _ = b.build("t.csv");
+    }
+}

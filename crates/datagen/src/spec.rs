@@ -1,0 +1,571 @@
+//! Parameterised generation of one annotated table block.
+//!
+//! Every synthetic corpus is assembled from [`TableSpec`] instances whose
+//! knobs encode the structural phenomena the paper's evaluation hinges
+//! on: keyword-anchored vs anchorless derived rows/columns, group headers
+//! of different shapes, textual vs numeric (year) headers, float vs
+//! integer bodies. Derived values are *real* aggregates of the generated
+//! data, so Algorithm 2 behaves on synthetic files exactly as it would on
+//! real ones.
+
+use crate::builder::FileBuilder;
+use crate::vocab::{self, pick};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use strudel_table::ElementClass;
+
+/// Shape of the header area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeaderStyle {
+    /// Textual measure names ("Rate", "Count", ...).
+    Textual,
+    /// Consecutive years ("2015", "2016", ...) — type-identical to data,
+    /// the paper's "header as data" error driver.
+    Years,
+    /// No header line at all (Mendeley-style raw data dumps sometimes).
+    None,
+}
+
+/// Shape of the group headers splitting a table into fractions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupStyle {
+    /// No groups.
+    None,
+    /// Single left-most cell above each fraction (the SAUS convention
+    /// Pytheas' rules assume).
+    LeftCell,
+    /// Group text plus a trailing annotation cell — violates the
+    /// single-cell assumption (CIUS trait behind Pytheas' group F1 of 0).
+    Wide,
+}
+
+/// Shape of the per-fraction derived (aggregate) row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DerivedRowStyle {
+    /// No aggregate rows.
+    None,
+    /// Leading cell contains an aggregation keyword ("Total"), anchoring
+    /// Algorithm 2.
+    Keyword,
+    /// Leading cell is a keyword-free phrase — the unanchored derived
+    /// rows behind the low derived F1 on SAUS and Troy.
+    Anchorless,
+    /// Keyword-free *median* rows: the aggregate is neither the sum nor
+    /// the mean of the fraction, so Algorithm 2 cannot verify it, and the
+    /// value magnitude stays inside the data range. The dominant derived
+    /// shape of the out-of-domain Troy corpus.
+    AnchorlessMedian,
+}
+
+/// Shape of the derived (aggregate) column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DerivedColStyle {
+    /// No aggregate column.
+    None,
+    /// Column header contains a keyword ("Total").
+    Keyword,
+    /// Column header is keyword-free ("Combined") — the CIUS fixed-schema
+    /// trait that costs Strudel^C two thirds of CIUS derived cells.
+    Anchorless,
+}
+
+/// Specification of one table block.
+#[derive(Debug, Clone)]
+pub struct TableSpec {
+    /// Number of numeric value columns (excluding the label column and a
+    /// possible derived column).
+    pub n_value_cols: usize,
+    /// Data rows in each table fraction (one entry per fraction).
+    pub rows_per_group: Vec<usize>,
+    /// Header shape.
+    pub header: HeaderStyle,
+    /// Group header shape.
+    pub groups: GroupStyle,
+    /// Per-fraction aggregate row shape.
+    pub derived_row: DerivedRowStyle,
+    /// Aggregate column shape.
+    pub derived_col: DerivedColStyle,
+    /// Append a grand-total row over all fractions.
+    pub grand_total: bool,
+    /// Entity-name pool for the label column.
+    pub entity_pool: &'static [&'static str],
+    /// Numeric value range.
+    pub value_range: (i64, i64),
+    /// Generate one-decimal floats instead of integers.
+    pub floats: bool,
+    /// Leave the label-column header cell empty (paper: the left-most
+    /// column is data without a header under the re-annotation).
+    pub unlabeled_first_col: bool,
+    /// Probability that a body value is displayed as an empty cell
+    /// (missing value). The hidden value still feeds the aggregates, so
+    /// derived relationships become imperfect — as in real files.
+    pub missing_rate: f64,
+    /// Probability that a body value is displayed as a textual
+    /// placeholder ("-", "n/a"); also keeps feeding the aggregates.
+    pub na_rate: f64,
+    /// Emit a second header line carrying unit annotations (headers
+    /// "may span multiple cells"/lines in the paper's taxonomy).
+    pub two_row_header: bool,
+    /// Randomise per-fraction aggregates: skip some fractions' aggregate
+    /// rows and occasionally place them at the top of the fraction. Off
+    /// by default (deterministic bottom aggregates); the heterogeneous
+    /// corpora turn it on, templated CIUS keeps it off.
+    pub aggregate_jitter: bool,
+    /// Head one plain *data* column with an aggregation keyword
+    /// ("Total offences") — a real-world trap: the keyword suggests a
+    /// derived column, but only arithmetic verification (IsAggregation)
+    /// can tell it is not one.
+    pub keyword_header_data_col: bool,
+}
+
+impl Default for TableSpec {
+    fn default() -> Self {
+        TableSpec {
+            n_value_cols: 3,
+            rows_per_group: vec![6],
+            header: HeaderStyle::Textual,
+            groups: GroupStyle::None,
+            derived_row: DerivedRowStyle::Keyword,
+            derived_col: DerivedColStyle::None,
+            grand_total: false,
+            entity_pool: &vocab::REGIONS,
+            value_range: (10, 5000),
+            floats: false,
+            unlabeled_first_col: true,
+            missing_rate: 0.0,
+            na_rate: 0.0,
+            two_row_header: false,
+            aggregate_jitter: false,
+            keyword_header_data_col: false,
+        }
+    }
+}
+
+impl TableSpec {
+    /// Total width of the emitted block (label column + value columns +
+    /// optional derived column).
+    pub fn width(&self) -> usize {
+        1 + self.n_value_cols + usize::from(self.derived_col != DerivedColStyle::None)
+    }
+}
+
+/// Render a numeric value for the table body.
+fn render(rng: &mut SmallRng, spec: &TableSpec, value: f64) -> String {
+    if spec.floats {
+        format!("{value:.1}")
+    } else {
+        vocab::format_int(rng, value as i64)
+    }
+}
+
+/// Draw a fresh body value, log-uniform over the configured range.
+///
+/// Real statistical tables mix magnitudes (a metropolis next to a
+/// village); a log-uniform body keeps aggregate rows from being
+/// recognisable by magnitude alone, which would make the `derived` class
+/// artificially easy.
+fn draw(rng: &mut SmallRng, spec: &TableSpec) -> f64 {
+    let lo = (spec.value_range.0.max(1)) as f64;
+    let hi = (spec.value_range.1.max(2)) as f64;
+    let v = (rng.gen_range(lo.ln()..=hi.ln())).exp().round();
+    if spec.floats {
+        v + f64::from(rng.gen_range(0u32..10)) / 10.0
+    } else {
+        v
+    }
+}
+
+/// Median of a non-empty slice (mean of the two middle elements for an
+/// even count).
+fn median(values: &[f64]) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    if n == 0 {
+        0.0
+    } else if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Emit one table block into `builder` according to `spec`.
+pub fn emit_table(builder: &mut FileBuilder, rng: &mut SmallRng, spec: &TableSpec) {
+    use ElementClass::*;
+
+    let has_derived_col = spec.derived_col != DerivedColStyle::None;
+
+    // --- header ---
+    match spec.header {
+        HeaderStyle::None => {}
+        style => {
+            let mut row = Vec::with_capacity(spec.width());
+            if spec.unlabeled_first_col {
+                row.push((String::new(), None));
+            } else {
+                row.push((pick(rng, &["Area", "Name", "Category"]).to_string(), Some(Header)));
+            }
+            let base_year = rng.gen_range(1995..2018);
+            // The trap column sits rightmost — exactly where genuine
+            // derived columns live — so neither the keyword nor the
+            // column position can separate it from a real aggregate.
+            let trap_col = spec
+                .keyword_header_data_col
+                .then_some(spec.n_value_cols - 1);
+            for k in 0..spec.n_value_cols {
+                let text = match style {
+                    HeaderStyle::Years => (base_year + k as i32).to_string(),
+                    _ if trap_col == Some(k) => {
+                        format!("Total {}", pick(rng, &vocab::SUBJECTS))
+                    }
+                    _ => format!("{} {}", pick(rng, &vocab::MEASURES), k + 1),
+                };
+                row.push((text, Some(Header)));
+            }
+            match spec.derived_col {
+                DerivedColStyle::None => {}
+                DerivedColStyle::Keyword => row.push(("Total".to_string(), Some(Header))),
+                DerivedColStyle::Anchorless => row.push(("Combined".to_string(), Some(Header))),
+            }
+            builder.push_row(row);
+            if spec.two_row_header {
+                let mut units = vec![(String::new(), None)];
+                for _ in 0..spec.n_value_cols {
+                    units.push((
+                        pick(rng, &["(count)", "(per 100)", "(rate)", "(%)"]).to_string(),
+                        Some(Header),
+                    ));
+                }
+                units.resize_with(spec.width(), || (String::new(), None));
+                builder.push_row(units);
+            }
+        }
+    }
+
+    // --- body: fractions with group headers, data rows, aggregates ---
+    let mut grand_sums = vec![0.0f64; spec.n_value_cols];
+    let mut grand_col_sum = 0.0f64;
+    let n_groups = spec.rows_per_group.len();
+    for (g, &n_rows) in spec.rows_per_group.iter().enumerate() {
+        match spec.groups {
+            GroupStyle::None => {}
+            GroupStyle::LeftCell => {
+                let mut row = vec![(
+                    vocab::GROUP_PHRASES[g % vocab::GROUP_PHRASES.len()].to_string(),
+                    Some(Group),
+                )];
+                row.resize_with(spec.width(), || (String::new(), None));
+                builder.push_row(row);
+            }
+            GroupStyle::Wide => {
+                let mut row = vec![
+                    (
+                        vocab::GROUP_PHRASES[g % vocab::GROUP_PHRASES.len()].to_string(),
+                        Some(Group),
+                    ),
+                    (format!("(section {})", g + 1), Some(Group)),
+                ];
+                row.resize_with(spec.width(), || (String::new(), None));
+                builder.push_row(row);
+            }
+        }
+
+        let mut group_sums = vec![0.0f64; spec.n_value_cols];
+        let mut group_values: Vec<Vec<f64>> = vec![Vec::new(); spec.n_value_cols];
+        // Aggregates sit at the bottom of most fractions, the top of some
+        // ("top- or bottom-most lines", Section 3.2), and are absent from
+        // others — the irregularity real files show.
+        let emit_aggregate = spec.derived_row != DerivedRowStyle::None
+            && (!spec.aggregate_jitter || rng.gen_bool(0.75));
+        let aggregate_on_top =
+            emit_aggregate && spec.aggregate_jitter && rng.gen_bool(0.2);
+        let mut data_rows: Vec<Vec<crate::builder::LabeledValue>> = Vec::new();
+        for r in 0..n_rows {
+            let entity = spec.entity_pool[(g * 7 + r) % spec.entity_pool.len()];
+            let mut row = Vec::with_capacity(spec.width());
+            row.push((entity.to_string(), Some(Data)));
+            let mut row_sum = 0.0;
+            for k in 0..spec.n_value_cols {
+                let v = draw(rng, spec);
+                group_sums[k] += v;
+                group_values[k].push(v);
+                grand_sums[k] += v;
+                row_sum += v;
+                // Masked cells keep feeding the aggregates: the visible
+                // derived relationship becomes imperfect, as it often is
+                // in real exports.
+                if rng.gen_bool(spec.missing_rate) {
+                    row.push((String::new(), None));
+                } else if rng.gen_bool(spec.na_rate) {
+                    row.push((pick(rng, &["-", "n/a", ".."]).to_string(), Some(Data)));
+                } else {
+                    row.push((render(rng, spec, v), Some(Data)));
+                }
+            }
+            if has_derived_col {
+                grand_col_sum += row_sum;
+                row.push((render(rng, spec, row_sum), Some(Derived)));
+            }
+            data_rows.push(row);
+        }
+
+        match spec.derived_row {
+            _ if !emit_aggregate => {
+                for row in data_rows.drain(..) {
+                    builder.push_row(row);
+                }
+            }
+            DerivedRowStyle::None => {}
+            style => {
+                let lead = match style {
+                    DerivedRowStyle::Keyword => {
+                        if n_groups > 1 {
+                            format!("Total, group {}", g + 1)
+                        } else {
+                            "Total".to_string()
+                        }
+                    }
+                    // Anchorless aggregate rows carry a label shaped like
+                    // any other data-row entity ("derived as data" driver).
+                    _ => spec.entity_pool[(g + 3) % spec.entity_pool.len()].to_string(),
+                };
+                let aggregates: Vec<f64> = match style {
+                    DerivedRowStyle::AnchorlessMedian => {
+                        group_values.iter().map(|vs| median(vs)).collect()
+                    }
+                    _ => group_sums.clone(),
+                };
+                let mut row = Vec::with_capacity(spec.width());
+                row.push((lead, Some(Group)));
+                for &s in &aggregates {
+                    row.push((render(rng, spec, s), Some(Derived)));
+                }
+                if has_derived_col {
+                    row.push((
+                        render(rng, spec, aggregates.iter().sum()),
+                        Some(Derived),
+                    ));
+                }
+                if aggregate_on_top {
+                    builder.push_row(row);
+                    for data_row in data_rows.drain(..) {
+                        builder.push_row(data_row);
+                    }
+                } else {
+                    for data_row in data_rows.drain(..) {
+                        builder.push_row(data_row);
+                    }
+                    builder.push_row(row);
+                }
+            }
+        }
+    }
+
+    if spec.grand_total {
+        let mut row = Vec::with_capacity(spec.width());
+        row.push(("Grand total".to_string(), Some(Group)));
+        for &s in &grand_sums {
+            row.push((render(rng, spec, s), Some(Derived)));
+        }
+        if has_derived_col {
+            row.push((render(rng, spec, grand_col_sum), Some(Derived)));
+        }
+        builder.push_row(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use strudel_table::ElementClass::*;
+
+    fn build(spec: &TableSpec, seed: u64) -> strudel_table::LabeledFile {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut b = FileBuilder::new();
+        emit_table(&mut b, &mut rng, spec);
+        b.build("spec.csv")
+    }
+
+    #[test]
+    fn default_spec_shape() {
+        let f = build(&TableSpec::default(), 1);
+        // 1 header + 6 data + 1 total row.
+        assert_eq!(f.table.n_rows(), 8);
+        assert_eq!(f.table.n_cols(), 4);
+        assert_eq!(f.line_labels[0], Some(Header));
+        assert_eq!(f.line_labels[1], Some(Data));
+        assert_eq!(f.line_labels[7], Some(Derived));
+        assert_eq!(f.cell_labels[7][0], Some(Group));
+    }
+
+    #[test]
+    fn derived_rows_are_true_sums() {
+        let f = build(&TableSpec::default(), 2);
+        for col in 1..4 {
+            let total = f.table.cell(7, col).numeric().unwrap();
+            let sum: f64 = (1..7)
+                .map(|r| f.table.cell(r, col).numeric().unwrap())
+                .sum();
+            assert!((total - sum).abs() < 1e-9, "col {col}: {total} vs {sum}");
+        }
+    }
+
+    #[test]
+    fn derived_column_is_true_row_sum() {
+        let spec = TableSpec {
+            derived_col: DerivedColStyle::Keyword,
+            derived_row: DerivedRowStyle::None,
+            ..TableSpec::default()
+        };
+        let f = build(&spec, 3);
+        assert_eq!(f.table.n_cols(), 5);
+        for r in 1..7 {
+            let total = f.table.cell(r, 4).numeric().unwrap();
+            let sum: f64 = (1..4).map(|c| f.table.cell(r, c).numeric().unwrap()).sum();
+            assert!((total - sum).abs() < 1e-9);
+            assert_eq!(f.cell_labels[r][4], Some(Derived));
+            // Mixed line: data cells + one derived cell → diversity 2.
+            assert_eq!(f.diversity_degree(r), 2);
+        }
+    }
+
+    #[test]
+    fn years_header_is_numeric() {
+        let spec = TableSpec {
+            header: HeaderStyle::Years,
+            ..TableSpec::default()
+        };
+        let f = build(&spec, 4);
+        assert!(f.table.cell(0, 1).dtype().is_numeric());
+        assert_eq!(f.cell_labels[0][1], Some(Header));
+    }
+
+    #[test]
+    fn group_fractions_emit_group_lines() {
+        let spec = TableSpec {
+            rows_per_group: vec![3, 3],
+            groups: GroupStyle::LeftCell,
+            grand_total: true,
+            ..TableSpec::default()
+        };
+        let f = build(&spec, 5);
+        assert_eq!(f.line_labels[1], Some(Group));
+        // Grand total row aggregates both fractions.
+        let last = f.table.n_rows() - 1;
+        assert_eq!(f.line_labels[last], Some(Derived));
+        let grand = f.table.cell(last, 1).numeric().unwrap();
+        let body_sum: f64 = (0..last)
+            .filter(|&r| f.line_labels[r] == Some(Data))
+            .map(|r| f.table.cell(r, 1).numeric().unwrap())
+            .sum();
+        assert!((grand - body_sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn anchorless_rows_carry_no_keyword() {
+        let spec = TableSpec {
+            derived_row: DerivedRowStyle::Anchorless,
+            ..TableSpec::default()
+        };
+        let f = build(&spec, 6);
+        let lead = f.table.cell(7, 0).raw().to_ascii_lowercase();
+        for kw in ["total", "sum", "average", "mean", "median", "avg"] {
+            assert!(!lead.contains(kw), "{lead} contains {kw}");
+        }
+    }
+
+    #[test]
+    fn float_bodies_render_one_decimal() {
+        let spec = TableSpec {
+            floats: true,
+            ..TableSpec::default()
+        };
+        let f = build(&spec, 7);
+        let raw = f.table.cell(1, 1).raw();
+        assert!(raw.contains('.'), "{raw} not a float rendering");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = build(&TableSpec::default(), 11);
+        let b = build(&TableSpec::default(), 11);
+        assert_eq!(a.table, b.table);
+    }
+
+    #[test]
+    fn median_rows_are_true_medians_and_evade_sum_mean() {
+        let spec = TableSpec {
+            derived_row: DerivedRowStyle::AnchorlessMedian,
+            rows_per_group: vec![5],
+            ..TableSpec::default()
+        };
+        let f = build(&spec, 13);
+        let last = f.table.n_rows() - 1;
+        assert_eq!(f.line_labels[last], Some(strudel_table::ElementClass::Derived));
+        for col in 1..4 {
+            let mut values: Vec<f64> = (1..last)
+                .map(|r| f.table.cell(r, col).numeric().unwrap())
+                .collect();
+            values.sort_by(f64::total_cmp);
+            let expected = values[values.len() / 2];
+            let rendered = f.table.cell(last, col).numeric().unwrap();
+            assert!((rendered - expected).abs() < 1.0, "col {col}: {rendered} vs {expected}");
+            // Neither the sum nor the mean of the column (what Algorithm 2
+            // can verify) — sums are far larger, the log-uniform mean is
+            // generally off the median by more than the detector's delta.
+            let sum: f64 = values.iter().sum();
+            assert!((rendered - sum).abs() > 1.0);
+        }
+    }
+
+    #[test]
+    fn masked_cells_still_feed_aggregates() {
+        let spec = TableSpec {
+            missing_rate: 0.5,
+            na_rate: 0.2,
+            rows_per_group: vec![8],
+            ..TableSpec::default()
+        };
+        let f = build(&spec, 17);
+        let last = f.table.n_rows() - 1;
+        // The aggregate row's value exceeds the sum of the *visible*
+        // numeric data cells (masked values are included in the hidden
+        // total), demonstrating the imperfect-relationship realism.
+        for col in 1..4 {
+            let total = f.table.cell(last, col).numeric().unwrap();
+            let visible: f64 = (1..last)
+                .filter_map(|r| f.table.cell(r, col).numeric())
+                .sum();
+            assert!(total >= visible - 1e-9, "col {col}");
+        }
+        // And some cells really were masked.
+        let masked = (1..last)
+            .flat_map(|r| (1..4).map(move |c| (r, c)))
+            .filter(|&(r, c)| f.table.cell(r, c).numeric().is_none())
+            .count();
+        assert!(masked > 0, "expected masked cells at 70% masking");
+    }
+
+    #[test]
+    fn keyword_trap_column_is_plain_data() {
+        let spec = TableSpec {
+            keyword_header_data_col: true,
+            derived_row: DerivedRowStyle::None,
+            derived_col: DerivedColStyle::None,
+            ..TableSpec::default()
+        };
+        let f = build(&spec, 19);
+        // Rightmost value column is headed by a keyword but labeled data.
+        let last_col = f.table.n_cols() - 1;
+        let header = f.table.cell(0, last_col).raw().to_ascii_lowercase();
+        assert!(header.contains("total"), "{header}");
+        for r in 1..f.table.n_rows() {
+            assert_eq!(
+                f.cell_labels[r][last_col],
+                Some(strudel_table::ElementClass::Data)
+            );
+        }
+    }
+}

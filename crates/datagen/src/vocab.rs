@@ -1,0 +1,220 @@
+//! Word pools and value formatting for the synthetic corpora.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Entity names used as the first (label) column of data rows.
+pub const REGIONS: [&str; 20] = [
+    "Northumberland",
+    "Cumbria",
+    "Durham",
+    "Yorkshire",
+    "Lancashire",
+    "Merseyside",
+    "Cheshire",
+    "Derbyshire",
+    "Nottinghamshire",
+    "Lincolnshire",
+    "Norfolk",
+    "Suffolk",
+    "Essex",
+    "Kent",
+    "Surrey",
+    "Hampshire",
+    "Dorset",
+    "Devon",
+    "Cornwall",
+    "Somerset",
+];
+
+/// Product / category names (business-flavoured pools for DeEx).
+pub const PRODUCTS: [&str; 16] = [
+    "Widgets",
+    "Gaskets",
+    "Bearings",
+    "Fasteners",
+    "Valves",
+    "Pumps",
+    "Motors",
+    "Sensors",
+    "Cables",
+    "Switches",
+    "Filters",
+    "Seals",
+    "Springs",
+    "Couplings",
+    "Brackets",
+    "Housings",
+];
+
+/// Crime / offence categories (CIUS flavour).
+pub const OFFENCES: [&str; 12] = [
+    "Burglary",
+    "Robbery",
+    "Larceny",
+    "Arson",
+    "Fraud",
+    "Forgery",
+    "Vandalism",
+    "Embezzlement",
+    "Trespassing",
+    "Shoplifting",
+    "Assault",
+    "Extortion",
+];
+
+/// Statistical measure names used in header cells.
+pub const MEASURES: [&str; 10] = [
+    "Rate",
+    "Count",
+    "Index",
+    "Share",
+    "Volume",
+    "Value",
+    "Amount",
+    "Score",
+    "Level",
+    "Change",
+];
+
+/// Group-header phrases that deliberately avoid aggregation keywords.
+pub const GROUP_PHRASES: [&str; 8] = [
+    "Northern region:",
+    "Southern region:",
+    "Urban areas:",
+    "Rural areas:",
+    "Sale/Manufacturing:",
+    "Import/Export:",
+    "Public sector:",
+    "Private sector:",
+];
+
+/// Metadata title templates (`{}` replaced by a subject word). Some
+/// carry aggregation keywords without marking derived content.
+pub const TITLE_TEMPLATES: [&str; 8] = [
+    "Table 12. {} by area and year",
+    "Annual report on {}",
+    "{} statistics, national summary",
+    "Survey of {} outcomes",
+    "Quarterly {} bulletin",
+    "{} recorded by local authorities",
+    "Summary of all recorded {}",
+    "Total {} by reporting area",
+];
+
+/// Note-line templates. Several deliberately contain aggregation
+/// keywords ("totals", "average", "all") without being derived lines —
+/// the realistic noise that forces Strudel to verify aggregates
+/// arithmetically (DerivedCoverage) instead of trusting keywords.
+pub const NOTE_TEMPLATES: [&str; 9] = [
+    "Source: national statistics office",
+    "Figures are provisional and subject to revision",
+    "1. Excludes records with unknown location",
+    "2. Rates are given per 100 inhabitants",
+    "Note: counting rules changed in the reference year",
+    "See the methodology annex for definitions",
+    "Totals may not add due to rounding",
+    "The average reporting lag is six weeks",
+    "All figures cover the financial year",
+];
+
+/// Subject words slotted into the title templates.
+pub const SUBJECTS: [&str; 8] = [
+    "crime",
+    "employment",
+    "housing",
+    "education",
+    "transport",
+    "health",
+    "energy",
+    "tourism",
+];
+
+/// Pick one element of a pool.
+pub fn pick<'a>(rng: &mut SmallRng, pool: &[&'a str]) -> &'a str {
+    pool.choose(rng).expect("non-empty pool")
+}
+
+/// A metadata title with a random subject.
+pub fn title(rng: &mut SmallRng) -> String {
+    pick(rng, &TITLE_TEMPLATES).replace("{}", pick(rng, &SUBJECTS))
+}
+
+/// Format an integer, optionally with thousands separators.
+pub fn format_int(rng: &mut SmallRng, value: i64) -> String {
+    if value.abs() >= 1000 && rng.gen_bool(0.5) {
+        with_thousands(value)
+    } else {
+        value.to_string()
+    }
+}
+
+/// Render `value` with `,` thousands separators.
+pub fn with_thousands(value: i64) -> String {
+    let negative = value < 0;
+    let digits = value.unsigned_abs().to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3 + 1);
+    let offset = digits.len() % 3;
+    for (i, ch) in digits.chars().enumerate() {
+        if i > 0 && (i + 3 - offset) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    if negative {
+        format!("-{out}")
+    } else {
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn thousands_grouping() {
+        assert_eq!(with_thousands(0), "0");
+        assert_eq!(with_thousands(999), "999");
+        assert_eq!(with_thousands(1000), "1,000");
+        assert_eq!(with_thousands(1234567), "1,234,567");
+        assert_eq!(with_thousands(-4500), "-4,500");
+    }
+
+    #[test]
+    fn formatted_ints_parse_back() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let v = rng.gen_range(-2_000_000..2_000_000);
+            let s = format_int(&mut rng, v);
+            let parsed = strudel_table::parse_number(&s).expect("parses");
+            assert_eq!(parsed.value as i64, v, "round-trip of {s}");
+        }
+    }
+
+    #[test]
+    fn titles_are_filled() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let t = title(&mut rng);
+        assert!(!t.contains("{}"));
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn group_phrases_avoid_keywords() {
+        // Mirrors Strudel's aggregation dictionary: group phrases must not
+        // accidentally anchor the derived-cell detector.
+        let keywords = ["total", "all", "sum", "average", "avg", "mean", "median"];
+        for p in GROUP_PHRASES {
+            let lower = p.to_ascii_lowercase();
+            for w in lower.split(|ch: char| !ch.is_alphanumeric()) {
+                assert!(
+                    !keywords.contains(&w),
+                    "{p} contains aggregation keyword {w}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! The CSV dialect triple: delimiter, quote character, escape character.
+
+use std::fmt;
+
+/// A CSV dialect, following the formulation of van den Burg et al.
+/// ("Wrangling messy CSV files by detecting row and type patterns",
+/// DMKD 2019): the triple of delimiter, quote character, and escape
+/// character that determines how a text file splits into lines and cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dialect {
+    /// Field separator.
+    pub delimiter: char,
+    /// Quote character wrapping fields that contain the delimiter or line
+    /// breaks; `None` when the file uses no quoting.
+    pub quote: Option<char>,
+    /// Escape character that protects the next character inside a quoted
+    /// field (in addition to RFC 4180 quote doubling); usually `\\` or
+    /// absent.
+    pub escape: Option<char>,
+}
+
+impl Dialect {
+    /// The RFC 4180 standard dialect: comma-delimited, double-quote
+    /// quoting, no escape character (quotes are doubled instead).
+    pub fn rfc4180() -> Dialect {
+        Dialect {
+            delimiter: ',',
+            quote: Some('"'),
+            escape: None,
+        }
+    }
+
+    /// A dialect with the given delimiter, standard quoting, no escape.
+    pub fn with_delimiter(delimiter: char) -> Dialect {
+        Dialect {
+            delimiter,
+            quote: Some('"'),
+            escape: None,
+        }
+    }
+}
+
+impl Default for Dialect {
+    fn default() -> Self {
+        Dialect::rfc4180()
+    }
+}
+
+impl fmt::Display for Dialect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Dialect(delimiter={:?}, quote={:?}, escape={:?})",
+            self.delimiter, self.quote, self.escape
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4180_defaults() {
+        let d = Dialect::default();
+        assert_eq!(d.delimiter, ',');
+        assert_eq!(d.quote, Some('"'));
+        assert_eq!(d.escape, None);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let d = Dialect::with_delimiter(';');
+        assert!(d.to_string().contains("';'"));
+    }
+}

@@ -1,0 +1,90 @@
+//! # strudel-dialect
+//!
+//! CSV parsing and dialect detection substrate for the Strudel
+//! reproduction. Implements the preprocessing stage of the paper's
+//! pipeline (Figure 2): given raw text, detect its dialect — delimiter,
+//! quote character, escape character — following the consistency-measure
+//! approach of van den Burg et al. (DMKD 2019), then parse the text into a
+//! [`strudel_table::Table`].
+//!
+//! ```
+//! use strudel_dialect::read_table;
+//!
+//! let text = "State;2019;2020\nBerlin;100;120\nHamburg;80;85\n";
+//! let (table, dialect) = read_table(text);
+//! assert_eq!(dialect.delimiter, ';');
+//! assert_eq!(table.n_cols(), 3);
+//! assert_eq!(table.cell(1, 1).numeric(), Some(100.0));
+//! ```
+
+#![warn(missing_docs)]
+
+mod detect;
+mod dialect;
+mod parser;
+
+pub use detect::{
+    best_dialect, detect_dialect, score_dialect, ScoredDialect, CANDIDATE_DELIMITERS,
+    CANDIDATE_QUOTES, DETECTION_LINE_BUDGET,
+};
+pub use dialect::Dialect;
+pub use parser::parse;
+
+use strudel_table::Table;
+
+/// The UTF-8 byte-order mark, as emitted by Excel's "CSV UTF-8" export.
+pub const UTF8_BOM: char = '\u{FEFF}';
+
+/// Strip a leading UTF-8 byte-order mark if present. Spreadsheet
+/// exports routinely carry one; left in place it would glue itself to
+/// the first cell's value and break type inference.
+pub fn strip_bom(text: &str) -> &str {
+    text.strip_prefix(UTF8_BOM).unwrap_or(text)
+}
+
+/// Detect the dialect of `text`, parse it, and build a [`Table`].
+///
+/// This is the standard entry point of the Strudel pipeline for raw text
+/// input. A leading UTF-8 BOM is stripped. The resulting table is *not*
+/// cropped; call [`Table::cropped`] when marginal empty lines/columns
+/// should be removed (the paper's data preparation does so).
+pub fn read_table(text: &str) -> (Table, Dialect) {
+    let text = strip_bom(text);
+    let dialect = detect_dialect(text);
+    let table = read_table_with(text, &dialect);
+    (table, dialect)
+}
+
+/// Parse `text` under a known dialect and build a [`Table`]. A leading
+/// UTF-8 BOM is stripped.
+pub fn read_table_with(text: &str, dialect: &Dialect) -> Table {
+    Table::from_rows(parse(strip_bom(text), dialect))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_table_roundtrip() {
+        let (table, dialect) = read_table("a,b\n1,2\n");
+        assert_eq!(dialect, Dialect::rfc4180());
+        assert_eq!(table.n_rows(), 2);
+        assert_eq!(table.n_cols(), 2);
+    }
+
+    #[test]
+    fn bom_is_stripped() {
+        let (table, _) = read_table("\u{FEFF}a,b\n1,2\n");
+        assert_eq!(table.cell(0, 0).raw(), "a");
+        let (table, _) = read_table("\u{FEFF}2019,2020\n");
+        assert!(table.cell(0, 0).dtype().is_numeric());
+    }
+
+    #[test]
+    fn read_table_pads_ragged_rows() {
+        let (table, _) = read_table("a,b,c\n1\n");
+        assert_eq!(table.n_cols(), 3);
+        assert!(table.cell(1, 2).is_empty());
+    }
+}

@@ -1,0 +1,237 @@
+//! State-machine CSV parser parameterised by a [`Dialect`].
+//!
+//! The parser implements RFC 4180 semantics generalised to arbitrary
+//! dialects: fields may be wrapped in the quote character, a doubled quote
+//! inside a quoted field denotes a literal quote, an optional escape
+//! character protects the next character, and quoted fields may contain
+//! embedded line breaks. Both `\n` and `\r\n` (and bare `\r`) are accepted
+//! as record terminators.
+
+use crate::dialect::Dialect;
+
+/// Parse `text` into records of fields under the given dialect.
+///
+/// The parser never fails: malformed input (e.g. an unterminated quote)
+/// degrades gracefully by treating the remainder of the file as the final
+/// field, which mirrors the forgiving behaviour of spreadsheet importers
+/// that the paper's corpora were produced by.
+pub fn parse(text: &str, dialect: &Dialect) -> Vec<Vec<String>> {
+    let mut records: Vec<Vec<String>> = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+
+    #[derive(PartialEq)]
+    enum State {
+        /// At the start of a field (quoting may begin here).
+        FieldStart,
+        /// Inside an unquoted field.
+        Unquoted,
+        /// Inside a quoted field.
+        Quoted,
+        /// Just saw a quote inside a quoted field: could be the end of the
+        /// field or the first half of a doubled quote.
+        QuoteInQuoted,
+    }
+
+    let mut state = State::FieldStart;
+
+    macro_rules! end_field {
+        () => {{
+            record.push(std::mem::take(&mut field));
+            state = State::FieldStart;
+        }};
+    }
+    macro_rules! end_record {
+        () => {{
+            end_field!();
+            records.push(std::mem::take(&mut record));
+        }};
+    }
+
+    while let Some(ch) = chars.next() {
+        match state {
+            State::FieldStart => {
+                if Some(ch) == dialect.quote {
+                    state = State::Quoted;
+                } else if ch == dialect.delimiter {
+                    end_field!();
+                } else if ch == '\n' {
+                    end_record!();
+                } else if ch == '\r' {
+                    if chars.peek() == Some(&'\n') {
+                        chars.next();
+                    }
+                    end_record!();
+                } else if Some(ch) == dialect.escape {
+                    if let Some(next) = chars.next() {
+                        field.push(next);
+                    }
+                    state = State::Unquoted;
+                } else {
+                    field.push(ch);
+                    state = State::Unquoted;
+                }
+            }
+            State::Unquoted => {
+                if ch == dialect.delimiter {
+                    end_field!();
+                } else if ch == '\n' {
+                    end_record!();
+                } else if ch == '\r' {
+                    if chars.peek() == Some(&'\n') {
+                        chars.next();
+                    }
+                    end_record!();
+                } else if Some(ch) == dialect.escape {
+                    if let Some(next) = chars.next() {
+                        field.push(next);
+                    }
+                } else {
+                    field.push(ch);
+                }
+            }
+            State::Quoted => {
+                if Some(ch) == dialect.quote {
+                    state = State::QuoteInQuoted;
+                } else if Some(ch) == dialect.escape {
+                    if let Some(next) = chars.next() {
+                        field.push(next);
+                    }
+                } else {
+                    field.push(ch);
+                }
+            }
+            State::QuoteInQuoted => {
+                if Some(ch) == dialect.quote {
+                    // Doubled quote: literal quote character.
+                    field.push(ch);
+                    state = State::Quoted;
+                } else if ch == dialect.delimiter {
+                    end_field!();
+                } else if ch == '\n' {
+                    end_record!();
+                } else if ch == '\r' {
+                    if chars.peek() == Some(&'\n') {
+                        chars.next();
+                    }
+                    end_record!();
+                } else {
+                    // Stray content after a closing quote: keep it, the
+                    // file is malformed but we stay total.
+                    field.push(ch);
+                    state = State::Unquoted;
+                }
+            }
+        }
+    }
+
+    // Flush a trailing record without a final newline.
+    if !field.is_empty() || !record.is_empty() || state == State::Quoted {
+        record.push(field);
+        records.push(record);
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(text: &str) -> Vec<Vec<String>> {
+        parse(text, &Dialect::rfc4180())
+    }
+
+    #[test]
+    fn simple_records() {
+        assert_eq!(
+            rows("a,b,c\n1,2,3\n"),
+            vec![vec!["a", "b", "c"], vec!["1", "2", "3"]]
+        );
+    }
+
+    #[test]
+    fn trailing_record_without_newline() {
+        assert_eq!(rows("a,b"), vec![vec!["a", "b"]]);
+    }
+
+    #[test]
+    fn empty_fields() {
+        assert_eq!(rows(",,\n"), vec![vec!["", "", ""]]);
+    }
+
+    #[test]
+    fn quoted_field_with_delimiter() {
+        assert_eq!(rows("\"a,b\",c\n"), vec![vec!["a,b", "c"]]);
+    }
+
+    #[test]
+    fn doubled_quote_is_literal() {
+        assert_eq!(rows("\"say \"\"hi\"\"\"\n"), vec![vec!["say \"hi\""]]);
+    }
+
+    #[test]
+    fn quoted_newline_stays_in_field() {
+        assert_eq!(rows("\"a\nb\",c\n"), vec![vec!["a\nb", "c"]]);
+    }
+
+    #[test]
+    fn crlf_and_bare_cr_terminate_records() {
+        assert_eq!(rows("a\r\nb\rc\n"), vec![vec!["a"], vec!["b"], vec!["c"]]);
+    }
+
+    #[test]
+    fn semicolon_dialect() {
+        let d = Dialect::with_delimiter(';');
+        assert_eq!(
+            parse("a;b\n1,5;2,5\n", &d),
+            vec![vec!["a", "b"], vec!["1,5", "2,5"]]
+        );
+    }
+
+    #[test]
+    fn tab_dialect() {
+        let d = Dialect::with_delimiter('\t');
+        assert_eq!(parse("a\tb\n", &d), vec![vec!["a", "b"]]);
+    }
+
+    #[test]
+    fn escape_character_protects_delimiter() {
+        let d = Dialect {
+            delimiter: ',',
+            quote: Some('"'),
+            escape: Some('\\'),
+        };
+        assert_eq!(parse("a\\,b,c\n", &d), vec![vec!["a,b", "c"]]);
+    }
+
+    #[test]
+    fn unterminated_quote_consumes_rest() {
+        assert_eq!(rows("\"abc\ndef"), vec![vec!["abc\ndef"]]);
+    }
+
+    #[test]
+    fn no_quote_dialect_treats_quotes_literally() {
+        let d = Dialect {
+            delimiter: ',',
+            quote: None,
+            escape: None,
+        };
+        assert_eq!(parse("\"a\",b\n", &d), vec![vec!["\"a\"", "b"]]);
+    }
+
+    #[test]
+    fn empty_input_yields_no_records() {
+        assert!(rows("").is_empty());
+    }
+
+    #[test]
+    fn lone_newline_yields_one_empty_record() {
+        assert_eq!(rows("\n"), vec![vec![""]]);
+    }
+
+    #[test]
+    fn stray_text_after_closing_quote_is_kept() {
+        assert_eq!(rows("\"ab\"cd,e\n"), vec![vec!["abcd", "e"]]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Integration tests of dialect detection on realistic verbose files,
+//! plus property tests on the detector's invariants.
+
+use proptest::prelude::*;
+use strudel_dialect::{
+    best_dialect, detect_dialect, parse, read_table, read_table_with, Dialect,
+};
+
+#[test]
+fn single_quote_dialect_detected() {
+    let text = "name,desc\n'Smith, J.',teacher\n'Lee, A.',doctor\n'Wu, B.',nurse\n'Nu, C.',pilot\n";
+    let d = detect_dialect(text);
+    assert_eq!(d.delimiter, ',');
+    assert_eq!(d.quote, Some('\''));
+}
+
+#[test]
+fn escape_character_dialect_detected() {
+    // Backslash-escaped delimiters inside unquoted fields: the escape
+    // candidate must win because it yields consistent 2-cell rows.
+    let text = "key,value\na\\,x,1\nb\\,y,2\nc\\,z,3\nd\\,w,4\ne\\,v,5\n";
+    let d = best_dialect(text);
+    assert_eq!(d.dialect.delimiter, ',');
+    assert_eq!(d.dialect.escape, Some('\\'));
+    let table = read_table_with(text, &d.dialect);
+    assert_eq!(table.n_cols(), 2);
+    assert_eq!(table.cell(1, 0).raw(), "a,x");
+}
+
+#[test]
+fn verbose_file_with_sparse_metadata_and_notes() {
+    // Metadata and notes have no delimiters at all; the table body must
+    // still dominate the decision.
+    let text = "\
+Annual energy report
+reference period 2020
+
+region;coal;gas;wind
+north;12;30;44
+south;8;22;51
+east;15;28;33
+west;11;25;48
+
+Source: ministry of energy
+";
+    let d = detect_dialect(text);
+    assert_eq!(d.delimiter, ';');
+}
+
+#[test]
+fn decimal_commas_do_not_fool_semicolon_files() {
+    let text = "a;b;c\n1,5;2,25;3,75\n4,5;5,25;6,75\n7,5;8,25;9,75\n";
+    assert_eq!(detect_dialect(text).delimiter, ';');
+}
+
+#[test]
+fn tab_separated_with_spaces_inside_cells() {
+    let text = "first name\tlast name\tage\nJohn Paul\tSmith\t33\nMary Jane\tDoe\t28\n";
+    assert_eq!(detect_dialect(text).delimiter, '\t');
+}
+
+#[test]
+fn score_components_are_exposed() {
+    let scored = best_dialect("a,b\nc,d\ne,f\n");
+    assert!(scored.pattern_score > 0.0);
+    assert!(scored.type_score > 0.0);
+    assert!((scored.score - scored.pattern_score * scored.type_score).abs() < 1e-12);
+}
+
+#[test]
+fn read_table_crops_nothing_by_itself() {
+    let (table, _) = read_table("\n\na,b\n\n");
+    assert_eq!(table.n_rows(), 4); // parse keeps the blank lines
+    let cropped = table.cropped();
+    assert_eq!(cropped.n_rows(), 1);
+}
+
+proptest! {
+    /// Parsing is total: arbitrary bytes of printable text never panic
+    /// and always yield rows under any candidate dialect.
+    #[test]
+    fn parse_is_total(text in "[ -~\t\r\n]{0,200}") {
+        for delimiter in [',', ';', '\t'] {
+            let d = Dialect { delimiter, quote: Some('"'), escape: Some('\\') };
+            let _rows = parse(&text, &d);
+        }
+        let _ = detect_dialect(&text);
+    }
+
+    /// Joining fields with a delimiter they don't contain and parsing
+    /// recovers them exactly.
+    #[test]
+    fn join_parse_roundtrip(
+        fields in proptest::collection::vec("[a-z0-9 ]{0,8}", 1..6),
+        rows in 1usize..6,
+    ) {
+        let line = fields.join(";");
+        prop_assume!(!line.is_empty()); // an empty text parses to no records
+        let text = (0..rows).map(|_| line.clone()).collect::<Vec<_>>().join("\n");
+        let parsed = parse(&text, &Dialect::with_delimiter(';'));
+        prop_assert_eq!(parsed.len(), rows);
+        for row in parsed {
+            prop_assert_eq!(&row, &fields);
+        }
+    }
+}

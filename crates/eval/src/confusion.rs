@@ -1,0 +1,132 @@
+//! Confusion matrices and ensemble voting (Figure 3).
+//!
+//! The paper builds per-dataset confusion matrices by concatenating the
+//! predictions of all cross-validation repetitions per element, taking a
+//! majority vote, and breaking ties toward the class with *fewer*
+//! instances in the dataset. Rows are normalised by per-class instance
+//! counts.
+
+/// A square confusion matrix over `n_classes` classes; rows are gold,
+/// columns predicted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfusionMatrix {
+    counts: Vec<usize>,
+    n_classes: usize,
+}
+
+impl ConfusionMatrix {
+    /// An all-zero matrix.
+    pub fn new(n_classes: usize) -> ConfusionMatrix {
+        ConfusionMatrix {
+            counts: vec![0; n_classes * n_classes],
+            n_classes,
+        }
+    }
+
+    /// Record one (gold, predicted) pair.
+    ///
+    /// # Panics
+    /// Panics on out-of-range labels.
+    pub fn add(&mut self, gold: usize, pred: usize) {
+        assert!(gold < self.n_classes && pred < self.n_classes, "label out of range");
+        self.counts[gold * self.n_classes + pred] += 1;
+    }
+
+    /// Raw count of gold `g` predicted as `p`.
+    pub fn count(&self, gold: usize, pred: usize) -> usize {
+        self.counts[gold * self.n_classes + pred]
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Gold support of one class (row sum).
+    pub fn support(&self, gold: usize) -> usize {
+        (0..self.n_classes).map(|p| self.count(gold, p)).sum()
+    }
+
+    /// Row-normalised matrix (each row sums to 1; all-zero rows stay 0),
+    /// the form shown in Figure 3.
+    pub fn normalized(&self) -> Vec<Vec<f64>> {
+        (0..self.n_classes)
+            .map(|g| {
+                let total = self.support(g);
+                (0..self.n_classes)
+                    .map(|p| {
+                        if total == 0 {
+                            0.0
+                        } else {
+                            self.count(g, p) as f64 / total as f64
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Majority vote over repeated predictions for one element, breaking ties
+/// toward the class with the smallest `class_frequency` (the paper's
+/// "the fewer instances of a class included in the dataset, the more
+/// prior the class is").
+///
+/// # Panics
+/// Panics when `votes` is empty or contains labels out of range.
+pub fn majority_vote(votes: &[usize], class_frequency: &[usize]) -> usize {
+    assert!(!votes.is_empty(), "need at least one vote");
+    let n_classes = class_frequency.len();
+    let mut counts = vec![0usize; n_classes];
+    for &v in votes {
+        assert!(v < n_classes, "vote out of range");
+        counts[v] += 1;
+    }
+    let max = *counts.iter().max().expect("non-empty");
+    (0..n_classes)
+        .filter(|&c| counts[c] == max)
+        .min_by_key(|&c| class_frequency[c])
+        .expect("at least one class at max")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_normalisation() {
+        let mut m = ConfusionMatrix::new(3);
+        m.add(0, 0);
+        m.add(0, 1);
+        m.add(1, 1);
+        assert_eq!(m.count(0, 1), 1);
+        assert_eq!(m.support(0), 2);
+        let n = m.normalized();
+        assert!((n[0][0] - 0.5).abs() < 1e-12);
+        assert!((n[1][1] - 1.0).abs() < 1e-12);
+        assert_eq!(n[2][2], 0.0); // empty row
+    }
+
+    #[test]
+    fn majority_vote_plain() {
+        assert_eq!(majority_vote(&[1, 1, 0], &[100, 50]), 1);
+    }
+
+    #[test]
+    fn tie_breaks_toward_rarer_class() {
+        // Classes 0 and 1 tie; class 1 is rarer in the dataset.
+        assert_eq!(majority_vote(&[0, 1], &[1000, 10]), 1);
+        assert_eq!(majority_vote(&[0, 1], &[10, 1000]), 0);
+    }
+
+    #[test]
+    fn single_vote_wins() {
+        assert_eq!(majority_vote(&[2], &[5, 5, 5]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one vote")]
+    fn empty_votes_panic() {
+        let _ = majority_vote(&[], &[1]);
+    }
+}

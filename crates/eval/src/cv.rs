@@ -1,0 +1,242 @@
+//! Repeated, file-grouped k-fold cross-validation (Section 6.1.2).
+//!
+//! The paper's protocol: 10-fold cross-validation where "all elements
+//! from a single file appear in either the training or the test set",
+//! repeated ten times with different fold splits; scores are averaged
+//! over the repetitions, and the Figure 3 confusion matrices are built
+//! from a per-element majority vote across repetitions.
+
+use crate::confusion::{majority_vote, ConfusionMatrix};
+use crate::metrics::Evaluation;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Cross-validation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CvConfig {
+    /// Number of folds.
+    pub k: usize,
+    /// Number of repetitions (fresh splits each).
+    pub repeats: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for CvConfig {
+    fn default() -> Self {
+        CvConfig {
+            k: 10,
+            repeats: 10,
+            seed: 0,
+        }
+    }
+}
+
+/// One scored element: a stable id (file, item) for vote aggregation plus
+/// gold and predicted class indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// Index of the file the element belongs to.
+    pub file: usize,
+    /// Element id within the file (line index, or a linearised cell id).
+    pub item: usize,
+    /// Gold class index.
+    pub gold: usize,
+    /// Predicted class index.
+    pub pred: usize,
+}
+
+/// All predictions of a repeated cross-validation run, grouped by
+/// repetition.
+#[derive(Debug, Clone)]
+pub struct CvOutcome {
+    /// `per_repeat[r]` holds every test-fold prediction of repetition `r`.
+    pub per_repeat: Vec<Vec<Prediction>>,
+}
+
+/// Split `n_files` file indices into `k` disjoint folds of near-equal
+/// size, shuffled by `seed`.
+///
+/// # Panics
+/// Panics when `k == 0` or `k > n_files`.
+pub fn grouped_k_folds(n_files: usize, k: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(k > 0, "k must be positive");
+    assert!(k <= n_files, "cannot make {k} folds from {n_files} files");
+    let mut order: Vec<usize> = (0..n_files).collect();
+    order.shuffle(&mut SmallRng::seed_from_u64(seed));
+    let mut folds = vec![Vec::new(); k];
+    for (i, file) in order.into_iter().enumerate() {
+        folds[i % k].push(file);
+    }
+    folds
+}
+
+/// Run repeated k-fold cross-validation. For each fold of each
+/// repetition, `run_fold(train_files, test_files)` fits on the training
+/// files and returns predictions for the test files' elements.
+pub fn run_cross_validation<F>(n_files: usize, config: &CvConfig, mut run_fold: F) -> CvOutcome
+where
+    F: FnMut(&[usize], &[usize]) -> Vec<Prediction>,
+{
+    let mut per_repeat = Vec::with_capacity(config.repeats);
+    for rep in 0..config.repeats {
+        let folds = grouped_k_folds(n_files, config.k, config.seed ^ (rep as u64 + 1));
+        let mut predictions = Vec::new();
+        for test_fold in 0..config.k {
+            let test: &[usize] = &folds[test_fold];
+            let train: Vec<usize> = folds
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != test_fold)
+                .flat_map(|(_, f)| f.iter().copied())
+                .collect();
+            predictions.extend(run_fold(&train, test));
+        }
+        per_repeat.push(predictions);
+    }
+    CvOutcome { per_repeat }
+}
+
+impl CvOutcome {
+    /// Score each repetition (pooling its folds) and return all
+    /// evaluations; average them with [`Evaluation::mean`].
+    pub fn evaluations(&self, n_classes: usize) -> Vec<Evaluation> {
+        self.per_repeat
+            .iter()
+            .map(|preds| {
+                let gold: Vec<usize> = preds.iter().map(|p| p.gold).collect();
+                let pred: Vec<usize> = preds.iter().map(|p| p.pred).collect();
+                Evaluation::compute(&gold, &pred, n_classes)
+            })
+            .collect()
+    }
+
+    /// The repetition-averaged evaluation (the numbers of Table 6).
+    pub fn mean_evaluation(&self, n_classes: usize) -> Evaluation {
+        Evaluation::mean(&self.evaluations(n_classes))
+    }
+
+    /// The Figure 3 confusion matrix: per element, concatenate the
+    /// predictions of all repetitions, majority-vote with ties broken
+    /// toward the rarer class (by corpus-wide gold frequency), and count
+    /// the ensemble prediction against gold.
+    pub fn ensemble_confusion(&self, n_classes: usize) -> ConfusionMatrix {
+        // Gold frequency over unique elements.
+        let mut gold_of: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut votes: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+        for preds in &self.per_repeat {
+            for p in preds {
+                gold_of.insert((p.file, p.item), p.gold);
+                votes.entry((p.file, p.item)).or_default().push(p.pred);
+            }
+        }
+        let mut frequency = vec![0usize; n_classes];
+        for &g in gold_of.values() {
+            frequency[g] += 1;
+        }
+        let mut matrix = ConfusionMatrix::new(n_classes);
+        for (key, vs) in &votes {
+            let ensemble = majority_vote(vs, &frequency);
+            matrix.add(gold_of[key], ensemble);
+        }
+        matrix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_are_disjoint_and_cover() {
+        let folds = grouped_k_folds(23, 5, 9);
+        let mut seen = vec![false; 23];
+        for fold in &folds {
+            for &f in fold {
+                assert!(!seen[f], "file {f} in two folds");
+                seen[f] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        let sizes: Vec<usize> = folds.iter().map(Vec::len).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn different_seeds_give_different_splits() {
+        assert_ne!(grouped_k_folds(20, 4, 1), grouped_k_folds(20, 4, 2));
+        assert_eq!(grouped_k_folds(20, 4, 1), grouped_k_folds(20, 4, 1));
+    }
+
+    #[test]
+    fn cv_visits_every_file_exactly_once_per_repeat() {
+        let config = CvConfig {
+            k: 3,
+            repeats: 2,
+            seed: 5,
+        };
+        let outcome = run_cross_validation(9, &config, |train, test| {
+            assert_eq!(train.len() + test.len(), 9);
+            test.iter()
+                .map(|&f| Prediction {
+                    file: f,
+                    item: 0,
+                    gold: 0,
+                    pred: 0,
+                })
+                .collect()
+        });
+        for preds in &outcome.per_repeat {
+            let mut files: Vec<usize> = preds.iter().map(|p| p.file).collect();
+            files.sort_unstable();
+            assert_eq!(files, (0..9).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn evaluations_pool_folds_within_repeat() {
+        let config = CvConfig {
+            k: 2,
+            repeats: 1,
+            seed: 0,
+        };
+        let outcome = run_cross_validation(4, &config, |_, test| {
+            test.iter()
+                .map(|&f| Prediction {
+                    file: f,
+                    item: 0,
+                    gold: f % 2,
+                    pred: 0,
+                })
+                .collect()
+        });
+        let evals = outcome.evaluations(2);
+        assert_eq!(evals.len(), 1);
+        assert!((evals[0].accuracy - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ensemble_confusion_majority_votes_across_repeats() {
+        // 3 repeats; element (0,0) is predicted 1,1,0 → ensemble 1.
+        let mut rep = 0;
+        let config = CvConfig {
+            k: 1,
+            repeats: 3,
+            seed: 0,
+        };
+        let outcome = run_cross_validation(1, &config, |_, _| {
+            rep += 1;
+            vec![Prediction {
+                file: 0,
+                item: 0,
+                gold: 1,
+                pred: if rep <= 2 { 1 } else { 0 },
+            }]
+        });
+        let m = outcome.ensemble_confusion(2);
+        assert_eq!(m.count(1, 1), 1);
+        assert_eq!(m.count(1, 0), 0);
+    }
+}

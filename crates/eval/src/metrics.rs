@@ -1,0 +1,177 @@
+//! Classification metrics: per-class F1, accuracy, macro average.
+//!
+//! The paper scores every experiment with per-class F1 and compares
+//! approaches on the macro average, "which does not weigh the average
+//! score with the support of individual classes" (Section 6.2) — the
+//! right choice for the heavily imbalanced class distribution of verbose
+//! CSV files.
+
+/// Per-class precision/recall/F1 plus overall accuracy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// Per-class precision.
+    pub precision: Vec<f64>,
+    /// Per-class recall.
+    pub recall: Vec<f64>,
+    /// Per-class F1.
+    pub f1: Vec<f64>,
+    /// Per-class gold support.
+    pub support: Vec<usize>,
+    /// Overall accuracy.
+    pub accuracy: f64,
+}
+
+impl Evaluation {
+    /// Score `pred` against `gold` over `n_classes` classes.
+    ///
+    /// A class with zero support *and* zero predictions scores F1 = 0 and
+    /// is skipped by [`Evaluation::macro_f1`]'s `exclude` mechanism when
+    /// the caller wants it out of the average.
+    ///
+    /// # Panics
+    /// Panics when `gold` and `pred` differ in length or contain labels
+    /// `>= n_classes`.
+    pub fn compute(gold: &[usize], pred: &[usize], n_classes: usize) -> Evaluation {
+        assert_eq!(gold.len(), pred.len(), "one prediction per gold label");
+        let mut tp = vec![0usize; n_classes];
+        let mut fp = vec![0usize; n_classes];
+        let mut fn_ = vec![0usize; n_classes];
+        let mut support = vec![0usize; n_classes];
+        let mut correct = 0usize;
+        for (&g, &p) in gold.iter().zip(pred) {
+            assert!(g < n_classes && p < n_classes, "label out of range");
+            support[g] += 1;
+            if g == p {
+                tp[g] += 1;
+                correct += 1;
+            } else {
+                fp[p] += 1;
+                fn_[g] += 1;
+            }
+        }
+        let safe_div = |a: usize, b: usize| if b == 0 { 0.0 } else { a as f64 / b as f64 };
+        let precision: Vec<f64> = (0..n_classes).map(|c| safe_div(tp[c], tp[c] + fp[c])).collect();
+        let recall: Vec<f64> = (0..n_classes).map(|c| safe_div(tp[c], tp[c] + fn_[c])).collect();
+        let f1 = (0..n_classes)
+            .map(|c| {
+                let (p, r) = (precision[c], recall[c]);
+                if p + r == 0.0 {
+                    0.0
+                } else {
+                    2.0 * p * r / (p + r)
+                }
+            })
+            .collect();
+        Evaluation {
+            precision,
+            recall,
+            f1,
+            support,
+            accuracy: safe_div(correct, gold.len()),
+        }
+    }
+
+    /// Macro-average F1 over all classes except those in `exclude`
+    /// (the paper leaves `derived` out when scoring Pytheas, which cannot
+    /// predict it).
+    pub fn macro_f1(&self, exclude: &[usize]) -> f64 {
+        let kept: Vec<usize> = (0..self.f1.len()).filter(|c| !exclude.contains(c)).collect();
+        if kept.is_empty() {
+            return 0.0;
+        }
+        kept.iter().map(|&c| self.f1[c]).sum::<f64>() / kept.len() as f64
+    }
+
+    /// Element-wise mean of several evaluations (used to average the
+    /// repeated cross-validation runs). Supports are summed.
+    ///
+    /// # Panics
+    /// Panics when `evals` is empty or shapes differ.
+    pub fn mean(evals: &[Evaluation]) -> Evaluation {
+        assert!(!evals.is_empty(), "cannot average zero evaluations");
+        let n_classes = evals[0].f1.len();
+        let n = evals.len() as f64;
+        let mut out = Evaluation {
+            precision: vec![0.0; n_classes],
+            recall: vec![0.0; n_classes],
+            f1: vec![0.0; n_classes],
+            support: vec![0; n_classes],
+            accuracy: 0.0,
+        };
+        for e in evals {
+            assert_eq!(e.f1.len(), n_classes, "shape mismatch");
+            for c in 0..n_classes {
+                out.precision[c] += e.precision[c];
+                out.recall[c] += e.recall[c];
+                out.f1[c] += e.f1[c];
+                out.support[c] += e.support[c];
+            }
+            out.accuracy += e.accuracy;
+        }
+        for c in 0..n_classes {
+            out.precision[c] /= n;
+            out.recall[c] /= n;
+            out.f1[c] /= n;
+        }
+        out.accuracy /= n;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let e = Evaluation::compute(&[0, 1, 2], &[0, 1, 2], 3);
+        assert_eq!(e.f1, vec![1.0, 1.0, 1.0]);
+        assert_eq!(e.accuracy, 1.0);
+        assert_eq!(e.support, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn known_f1_values() {
+        // Class 0: tp=1 (idx0), fn=1 (idx1), fp=1 (idx3 predicted 0).
+        let gold = [0, 0, 1, 1];
+        let pred = [0, 1, 1, 0];
+        let e = Evaluation::compute(&gold, &pred, 2);
+        assert!((e.precision[0] - 0.5).abs() < 1e-12);
+        assert!((e.recall[0] - 0.5).abs() < 1e-12);
+        assert!((e.f1[0] - 0.5).abs() < 1e-12);
+        assert!((e.accuracy - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absent_class_scores_zero() {
+        let e = Evaluation::compute(&[0, 0], &[0, 0], 3);
+        assert_eq!(e.f1[1], 0.0);
+        assert_eq!(e.f1[2], 0.0);
+        assert_eq!(e.support[1], 0);
+    }
+
+    #[test]
+    fn macro_f1_excludes_classes() {
+        let e = Evaluation::compute(&[0, 1, 2], &[0, 1, 0], 3);
+        let all = e.macro_f1(&[]);
+        let without_2 = e.macro_f1(&[2]);
+        assert!(without_2 > all);
+        assert!((e.macro_f1(&[0, 1, 2]) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_averages_scores_and_sums_support() {
+        let a = Evaluation::compute(&[0, 1], &[0, 1], 2);
+        let b = Evaluation::compute(&[0, 1], &[1, 0], 2);
+        let m = Evaluation::mean(&[a, b]);
+        assert!((m.accuracy - 0.5).abs() < 1e-12);
+        assert!((m.f1[0] - 0.5).abs() < 1e-12);
+        assert_eq!(m.support, vec![2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one prediction per gold label")]
+    fn length_mismatch_panics() {
+        let _ = Evaluation::compute(&[0], &[0, 1], 2);
+    }
+}

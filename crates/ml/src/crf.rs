@@ -1,0 +1,296 @@
+//! Linear-chain sequence labelling for the CRF^L baseline.
+//!
+//! The CRF^L baseline (Adelfio & Samet, PVLDB 2013) labels the sequence of
+//! lines of a file jointly, so that transitions such as *metadata → header
+//! → data → notes* are part of the model. We implement a linear-chain
+//! model with unigram (feature × label) and bigram (label × label) weights
+//! decoded by Viterbi, trained with the **averaged structured perceptron**
+//! — a standard max-margin surrogate for conditional-likelihood CRF
+//! training that needs no gradient infrastructure and decodes identically
+//! (see DESIGN.md, baseline notes).
+//!
+//! Features are *discrete*: each sequence position activates a set of
+//! feature ids, which is exactly the shape produced by the logarithmic
+//! feature binning of [2].
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One training sequence: per-position active feature ids plus gold labels.
+#[derive(Debug, Clone)]
+pub struct SequenceSample {
+    /// `features[t]` lists the feature ids active at position `t`.
+    pub features: Vec<Vec<u32>>,
+    /// Gold label per position.
+    pub labels: Vec<usize>,
+}
+
+/// Hyper-parameters for [`LinearChainCrf::fit`].
+#[derive(Debug, Clone, Copy)]
+pub struct CrfConfig {
+    /// Number of distinct feature ids.
+    pub n_features: usize,
+    /// Number of labels.
+    pub n_labels: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl CrfConfig {
+    /// A configuration with sensible defaults (10 epochs).
+    pub fn new(n_features: usize, n_labels: usize) -> CrfConfig {
+        CrfConfig {
+            n_features,
+            n_labels,
+            epochs: 10,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted linear-chain sequence labeller.
+pub struct LinearChainCrf {
+    /// `n_features × n_labels` emission weights, row-major by feature.
+    unigram: Vec<f64>,
+    /// `n_labels × n_labels` transition weights (`from × to`).
+    transition: Vec<f64>,
+    /// Start-of-sequence weights per label.
+    initial: Vec<f64>,
+    n_labels: usize,
+}
+
+impl LinearChainCrf {
+    /// Train with the averaged structured perceptron.
+    ///
+    /// # Panics
+    /// Panics when `sequences` is empty, a sequence has mismatched
+    /// feature/label lengths, or a feature id / label is out of range.
+    pub fn fit(sequences: &[SequenceSample], config: &CrfConfig) -> LinearChainCrf {
+        assert!(!sequences.is_empty(), "cannot fit on zero sequences");
+        for seq in sequences {
+            assert_eq!(seq.features.len(), seq.labels.len(), "sequence shape mismatch");
+            assert!(
+                seq.labels.iter().all(|&l| l < config.n_labels),
+                "label out of range"
+            );
+            assert!(
+                seq.features
+                    .iter()
+                    .all(|f| f.iter().all(|&id| (id as usize) < config.n_features)),
+                "feature id out of range"
+            );
+        }
+
+        let l = config.n_labels;
+        let mut model = LinearChainCrf {
+            unigram: vec![0.0; config.n_features * l],
+            transition: vec![0.0; l * l],
+            initial: vec![0.0; l],
+            n_labels: l,
+        };
+        // Averaging via accumulators + update timestamps.
+        let mut acc_unigram = vec![0.0; config.n_features * l];
+        let mut acc_transition = vec![0.0; l * l];
+        let mut acc_initial = vec![0.0; l];
+        let mut step = 1.0f64;
+
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut order: Vec<usize> = (0..sequences.len()).collect();
+
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for &si in &order {
+                let seq = &sequences[si];
+                if seq.labels.is_empty() {
+                    continue;
+                }
+                let pred = model.viterbi(&seq.features);
+                if pred != seq.labels {
+                    // w += φ(gold) − φ(pred); acc accumulates step·δ so the
+                    // final average is w − acc/steps.
+                    for t in 0..seq.labels.len() {
+                        let (gold, hyp) = (seq.labels[t], pred[t]);
+                        if gold != hyp {
+                            for &f in &seq.features[t] {
+                                let g = f as usize * l + gold;
+                                let h = f as usize * l + hyp;
+                                model.unigram[g] += 1.0;
+                                model.unigram[h] -= 1.0;
+                                acc_unigram[g] += step;
+                                acc_unigram[h] -= step;
+                            }
+                        }
+                        if t == 0 {
+                            if gold != hyp {
+                                model.initial[gold] += 1.0;
+                                model.initial[hyp] -= 1.0;
+                                acc_initial[gold] += step;
+                                acc_initial[hyp] -= step;
+                            }
+                        } else {
+                            let gold_prev = seq.labels[t - 1];
+                            let hyp_prev = pred[t - 1];
+                            if gold != hyp || gold_prev != hyp_prev {
+                                let g = gold_prev * l + gold;
+                                let h = hyp_prev * l + hyp;
+                                model.transition[g] += 1.0;
+                                model.transition[h] -= 1.0;
+                                acc_transition[g] += step;
+                                acc_transition[h] -= step;
+                            }
+                        }
+                    }
+                }
+                step += 1.0;
+            }
+        }
+
+        // Average: w_avg = w − acc/step.
+        for (w, a) in model.unigram.iter_mut().zip(&acc_unigram) {
+            *w -= a / step;
+        }
+        for (w, a) in model.transition.iter_mut().zip(&acc_transition) {
+            *w -= a / step;
+        }
+        for (w, a) in model.initial.iter_mut().zip(&acc_initial) {
+            *w -= a / step;
+        }
+        model
+    }
+
+    /// Viterbi decoding: the highest-scoring label sequence.
+    pub fn viterbi(&self, features: &[Vec<u32>]) -> Vec<usize> {
+        let l = self.n_labels;
+        let t_max = features.len();
+        if t_max == 0 {
+            return Vec::new();
+        }
+        let mut delta = vec![0.0f64; l];
+        let mut backptr = vec![0usize; t_max * l];
+
+        for (label, d) in delta.iter_mut().enumerate() {
+            *d = self.initial[label] + self.emission(&features[0], label);
+        }
+        for t in 1..t_max {
+            let mut next = vec![f64::NEG_INFINITY; l];
+            for to in 0..l {
+                let em = self.emission(&features[t], to);
+                let mut best_from = 0;
+                let mut best_score = f64::NEG_INFINITY;
+                for (from, &d) in delta.iter().enumerate() {
+                    let s = d + self.transition[from * l + to];
+                    if s > best_score {
+                        best_score = s;
+                        best_from = from;
+                    }
+                }
+                next[to] = best_score + em;
+                backptr[t * l + to] = best_from;
+            }
+            delta = next;
+        }
+
+        let mut best = 0;
+        for (label, &d) in delta.iter().enumerate() {
+            if d > delta[best] {
+                best = label;
+            }
+        }
+        let mut path = vec![0usize; t_max];
+        path[t_max - 1] = best;
+        for t in (1..t_max).rev() {
+            path[t - 1] = backptr[t * l + path[t]];
+        }
+        path
+    }
+
+    fn emission(&self, features: &[u32], label: usize) -> f64 {
+        features
+            .iter()
+            .map(|&f| self.unigram[f as usize * self.n_labels + label])
+            .sum()
+    }
+
+    /// Number of labels.
+    pub fn n_labels(&self) -> usize {
+        self.n_labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sequences where the label is fully determined by the single active
+    /// feature.
+    fn emission_task() -> Vec<SequenceSample> {
+        (0..20)
+            .map(|i| {
+                let labels = vec![i % 3, (i + 1) % 3, (i + 2) % 3];
+                let features = labels.iter().map(|&l| vec![l as u32]).collect();
+                SequenceSample { features, labels }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_emissions() {
+        let train = emission_task();
+        let crf = LinearChainCrf::fit(&train, &CrfConfig::new(3, 3));
+        for seq in &train {
+            assert_eq!(crf.viterbi(&seq.features), seq.labels);
+        }
+    }
+
+    #[test]
+    fn learns_transitions_with_ambiguous_emissions() {
+        // Feature 0 everywhere; label alternates 0,1,0,1... Only the
+        // transition weights can encode this.
+        let train: Vec<SequenceSample> = (0..10)
+            .map(|_| SequenceSample {
+                features: vec![vec![0]; 6],
+                labels: vec![0, 1, 0, 1, 0, 1],
+            })
+            .collect();
+        let crf = LinearChainCrf::fit(&train, &CrfConfig::new(1, 2));
+        assert_eq!(crf.viterbi(&vec![vec![0]; 6]), vec![0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn empty_feature_sequence_decodes_empty() {
+        let crf = LinearChainCrf::fit(&emission_task(), &CrfConfig::new(3, 3));
+        assert!(crf.viterbi(&[]).is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let train = emission_task();
+        let a = LinearChainCrf::fit(&train, &CrfConfig::new(3, 3));
+        let b = LinearChainCrf::fit(&train, &CrfConfig::new(3, 3));
+        let probe = vec![vec![2u32], vec![0], vec![1]];
+        assert_eq!(a.viterbi(&probe), b.viterbi(&probe));
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn out_of_range_label_panics() {
+        let bad = vec![SequenceSample {
+            features: vec![vec![0]],
+            labels: vec![5],
+        }];
+        let _ = LinearChainCrf::fit(&bad, &CrfConfig::new(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "feature id out of range")]
+    fn out_of_range_feature_panics() {
+        let bad = vec![SequenceSample {
+            features: vec![vec![9]],
+            labels: vec![0],
+        }];
+        let _ = LinearChainCrf::fit(&bad, &CrfConfig::new(1, 2));
+    }
+}

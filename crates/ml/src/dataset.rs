@@ -1,0 +1,202 @@
+//! Dense feature matrices with integer class targets.
+
+/// A dense, row-major supervised dataset: `n_samples × n_features` values
+/// plus one class index per sample.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    x: Vec<f64>,
+    y: Vec<usize>,
+    n_features: usize,
+    n_classes: usize,
+}
+
+impl Dataset {
+    /// Create an empty dataset with the given shape metadata.
+    pub fn new(n_features: usize, n_classes: usize) -> Dataset {
+        Dataset {
+            x: Vec::new(),
+            y: Vec::new(),
+            n_features,
+            n_classes,
+        }
+    }
+
+    /// Build a dataset from per-sample feature rows and targets.
+    ///
+    /// # Panics
+    /// Panics when a row's length differs from `n_features` or a target is
+    /// `>= n_classes`.
+    pub fn from_rows(rows: &[Vec<f64>], y: &[usize], n_classes: usize) -> Dataset {
+        assert_eq!(rows.len(), y.len(), "one target per row required");
+        let n_features = rows.first().map_or(0, Vec::len);
+        let mut ds = Dataset::new(n_features, n_classes);
+        for (row, &target) in rows.iter().zip(y) {
+            ds.push(row, target);
+        }
+        ds
+    }
+
+    /// Append one sample.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or out-of-range target.
+    pub fn push(&mut self, features: &[f64], target: usize) {
+        assert_eq!(
+            features.len(),
+            self.n_features,
+            "feature row length mismatch"
+        );
+        assert!(target < self.n_classes, "target out of range");
+        self.x.extend_from_slice(features);
+        self.y.push(target);
+    }
+
+    /// Number of samples.
+    pub fn n_samples(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Number of features per sample.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Whether the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Feature value of sample `i`, feature `j`.
+    #[inline]
+    pub fn x(&self, i: usize, j: usize) -> f64 {
+        self.x[i * self.n_features + j]
+    }
+
+    /// Feature row of sample `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.x[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    /// Target of sample `i`.
+    #[inline]
+    pub fn target(&self, i: usize) -> usize {
+        self.y[i]
+    }
+
+    /// All targets.
+    pub fn targets(&self) -> &[usize] {
+        &self.y
+    }
+
+    /// A copy restricted to the given sample indices (used by
+    /// cross-validation splits and permutation importance).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let mut out = Dataset::new(self.n_features, self.n_classes);
+        for &i in indices {
+            out.push(self.row(i), self.target(i));
+        }
+        out
+    }
+
+    /// A copy with the values of feature `j` replaced by `values[i]` for
+    /// each sample `i` (used by permutation importance).
+    ///
+    /// # Panics
+    /// Panics when `values.len() != n_samples()`.
+    pub fn with_feature_replaced(&self, j: usize, values: &[f64]) -> Dataset {
+        assert_eq!(values.len(), self.n_samples());
+        let mut out = self.clone();
+        for i in 0..out.n_samples() {
+            out.x[i * out.n_features + j] = values[i];
+        }
+        out
+    }
+
+    /// A copy with targets remapped to `positive vs rest` (1 vs 0), used
+    /// to train one-vs-rest models for permutation feature importance.
+    pub fn one_vs_rest(&self, positive: usize) -> Dataset {
+        let mut out = Dataset::new(self.n_features, 2);
+        for i in 0..self.n_samples() {
+            out.push(self.row(i), usize::from(self.target(i) == positive));
+        }
+        out
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &t in &self.y {
+            counts[t] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        Dataset::from_rows(
+            &[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]],
+            &[0, 1, 0],
+            2,
+        )
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let ds = small();
+        assert_eq!(ds.n_samples(), 3);
+        assert_eq!(ds.n_features(), 2);
+        assert_eq!(ds.n_classes(), 2);
+        assert_eq!(ds.x(1, 0), 3.0);
+        assert_eq!(ds.row(2), &[5.0, 6.0]);
+        assert_eq!(ds.target(1), 1);
+    }
+
+    #[test]
+    fn subset_preserves_order() {
+        let ds = small().subset(&[2, 0]);
+        assert_eq!(ds.row(0), &[5.0, 6.0]);
+        assert_eq!(ds.target(1), 0);
+    }
+
+    #[test]
+    fn one_vs_rest_binarises() {
+        let ovr = small().one_vs_rest(1);
+        assert_eq!(ovr.targets(), &[0, 1, 0]);
+        assert_eq!(ovr.n_classes(), 2);
+    }
+
+    #[test]
+    fn feature_replacement() {
+        let ds = small().with_feature_replaced(1, &[9.0, 8.0, 7.0]);
+        assert_eq!(ds.x(0, 1), 9.0);
+        assert_eq!(ds.x(2, 1), 7.0);
+        assert_eq!(ds.x(0, 0), 1.0);
+    }
+
+    #[test]
+    fn class_counts() {
+        assert_eq!(small().class_counts(), vec![2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature row length mismatch")]
+    fn bad_row_panics() {
+        small().push(&[1.0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "target out of range")]
+    fn bad_target_panics() {
+        small().push(&[1.0, 2.0], 5);
+    }
+}

@@ -1,0 +1,414 @@
+//! Random forests: bootstrap-aggregated CART trees.
+//!
+//! The backbone classifier of both `Strudel^L` and `Strudel^C`
+//! (Sections 4–5). Defaults mirror scikit-learn's
+//! `RandomForestClassifier` defaults the paper relies on: 100 trees,
+//! unlimited depth, `√d` feature subsampling, bootstrap sampling, and
+//! probability prediction by averaging per-tree leaf distributions.
+//! Trees train in parallel across OS threads (`std::thread::scope`).
+
+use crate::dataset::Dataset;
+use crate::traits::Classifier;
+use crate::tree::{DecisionTree, MaxFeatures, TreeConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Hyper-parameters of a random forest.
+#[derive(Debug, Clone, Copy)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree configuration. The default uses `√d` feature subsampling.
+    pub tree: TreeConfig,
+    /// Whether each tree trains on a bootstrap resample (true) or on the
+    /// full training set (false).
+    pub bootstrap: bool,
+    /// Master RNG seed; tree `t` derives its own stream from it.
+    pub seed: u64,
+    /// Number of worker threads; `0` picks the available parallelism.
+    pub n_threads: usize,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 100,
+            tree: TreeConfig {
+                max_features: MaxFeatures::Sqrt,
+                ..TreeConfig::default()
+            },
+            bootstrap: true,
+            seed: 0,
+            n_threads: 0,
+        }
+    }
+}
+
+impl ForestConfig {
+    /// A smaller forest for unit tests and quick experiments.
+    pub fn fast(n_trees: usize, seed: u64) -> ForestConfig {
+        ForestConfig {
+            n_trees,
+            seed,
+            ..ForestConfig::default()
+        }
+    }
+}
+
+/// A fitted random forest.
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+}
+
+/// A fitted forest together with its out-of-bag (OOB) accuracy estimate:
+/// each sample is scored only by the trees whose bootstrap resample did
+/// not contain it — an unbiased generalisation estimate without a
+/// held-out set (Breiman 2001, cited as \[3\] in the paper).
+pub struct OobFit {
+    /// The fitted forest.
+    pub forest: RandomForest,
+    /// OOB accuracy over the training samples that were out of bag for
+    /// at least one tree.
+    pub oob_accuracy: f64,
+    /// Number of samples that were never out of bag (excluded from the
+    /// estimate; shrinks quickly as trees are added).
+    pub never_oob: usize,
+}
+
+impl RandomForest {
+    /// Fit a forest on `data`.
+    ///
+    /// # Panics
+    /// Panics when `data` is empty or `config.n_trees == 0`.
+    pub fn fit(data: &Dataset, config: &ForestConfig) -> RandomForest {
+        assert!(!data.is_empty(), "cannot fit a forest on an empty dataset");
+        assert!(config.n_trees > 0, "n_trees must be positive");
+
+        let threads = if config.n_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            config.n_threads
+        }
+        .min(config.n_trees);
+
+        let mut trees: Vec<Option<DecisionTree>> = Vec::new();
+        trees.resize_with(config.n_trees, || None);
+
+        // Deal tree ids round-robin to worker threads; each tree derives
+        // its RNG from (seed, tree id) so results are independent of the
+        // thread count.
+        std::thread::scope(|scope| {
+            let chunks = split_round_robin(config.n_trees, threads);
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|ids| {
+                    scope.spawn(move || {
+                        ids.into_iter()
+                            .map(|t| {
+                                let mut rng =
+                                    SmallRng::seed_from_u64(config.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                                let tree = if config.bootstrap {
+                                    let n = data.n_samples();
+                                    let mut indices: Vec<u32> =
+                                        (0..n).map(|_| rng.gen_range(0..n) as u32).collect();
+                                    DecisionTree::fit_on_indices(
+                                        data,
+                                        &mut indices,
+                                        &config.tree,
+                                        &mut rng,
+                                    )
+                                } else {
+                                    let mut indices: Vec<u32> = (0..data.n_samples() as u32).collect();
+                                    DecisionTree::fit_on_indices(
+                                        data,
+                                        &mut indices,
+                                        &config.tree,
+                                        &mut rng,
+                                    )
+                                };
+                                (t, tree)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (t, tree) in handle.join().expect("tree training panicked") {
+                    trees[t] = Some(tree);
+                }
+            }
+        });
+
+        RandomForest {
+            trees: trees.into_iter().map(|t| t.expect("all trees trained")).collect(),
+            n_classes: data.n_classes(),
+        }
+    }
+
+    /// Fit with out-of-bag scoring. Requires `bootstrap = true`
+    /// (without resampling there is no out-of-bag sample).
+    ///
+    /// # Panics
+    /// Panics when `config.bootstrap` is false or on an empty dataset.
+    pub fn fit_with_oob(data: &Dataset, config: &ForestConfig) -> OobFit {
+        assert!(config.bootstrap, "OOB scoring requires bootstrap resampling");
+        assert!(!data.is_empty(), "cannot fit a forest on an empty dataset");
+        let n = data.n_samples();
+        // Reproduce each tree's bootstrap draw (same seed derivation as
+        // fit) to build the in-bag masks, then fit normally.
+        let forest = RandomForest::fit(data, config);
+        let mut votes = vec![vec![0.0f64; data.n_classes()]; n];
+        let mut voted = vec![false; n];
+        for t in 0..config.n_trees {
+            let mut rng = SmallRng::seed_from_u64(
+                config.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let mut in_bag = vec![false; n];
+            for _ in 0..n {
+                in_bag[rng.gen_range(0..n)] = true;
+            }
+            let tree = &forest.trees[t];
+            for i in 0..n {
+                if !in_bag[i] {
+                    let p = tree.predict_proba(data.row(i));
+                    for (acc, v) in votes[i].iter_mut().zip(&p) {
+                        *acc += v;
+                    }
+                    voted[i] = true;
+                }
+            }
+        }
+        let mut correct = 0usize;
+        let mut scored = 0usize;
+        for i in 0..n {
+            if voted[i] {
+                scored += 1;
+                if crate::traits::argmax(&votes[i]) == data.target(i) {
+                    correct += 1;
+                }
+            }
+        }
+        OobFit {
+            forest,
+            oob_accuracy: if scored == 0 {
+                0.0
+            } else {
+                correct as f64 / scored as f64
+            },
+            never_oob: n - scored,
+        }
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// The fitted trees, exposed for serialization.
+    pub fn trees_raw(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+
+    /// Class count in storage form.
+    pub fn n_classes_raw(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Per-feature mean decrease in impurity averaged over trees,
+    /// normalised to sum 1 — scikit-learn's `feature_importances_`.
+    /// `None` when any tree was rebuilt from serialized form (training
+    /// statistics are not persisted). The paper prefers *permutation*
+    /// importance over this measure because impurity importance favours
+    /// high-cardinality features (Section 6.3.5); exposing both lets the
+    /// `figure4` experiment demonstrate that bias.
+    pub fn impurity_importances(&self) -> Option<Vec<f64>> {
+        let per_tree: Option<Vec<Vec<f64>>> = self
+            .trees
+            .iter()
+            .map(DecisionTree::impurity_importances)
+            .collect();
+        let per_tree = per_tree?;
+        let d = per_tree.first().map_or(0, Vec::len);
+        let mut mean = vec![0.0; d];
+        for imps in &per_tree {
+            for (m, v) in mean.iter_mut().zip(imps) {
+                *m += v;
+            }
+        }
+        let total: f64 = mean.iter().sum();
+        if total > 0.0 {
+            for m in &mut mean {
+                *m /= total;
+            }
+        }
+        Some(mean)
+    }
+
+    /// Rebuild a forest from deserialized trees.
+    pub fn from_raw_parts(
+        trees: Vec<DecisionTree>,
+        n_classes: usize,
+    ) -> Result<RandomForest, &'static str> {
+        if trees.is_empty() {
+            return Err("a forest needs at least one tree");
+        }
+        if trees.iter().any(|t| t.raw_parts().1 != n_classes) {
+            return Err("tree class-count mismatch");
+        }
+        Ok(RandomForest { trees, n_classes })
+    }
+}
+
+/// Assign `n` items to `k` buckets round-robin.
+fn split_round_robin(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = vec![Vec::new(); k.max(1)];
+    for i in 0..n {
+        out[i % k.max(1)].push(i);
+    }
+    out.retain(|v| !v.is_empty());
+    out
+}
+
+impl Classifier for RandomForest {
+    fn predict_proba(&self, features: &[f64]) -> Vec<f64> {
+        let mut acc = vec![0.0; self.n_classes];
+        for tree in &self.trees {
+            let p = tree.predict_proba(features);
+            for (a, v) in acc.iter_mut().zip(&p) {
+                *a += v;
+            }
+        }
+        let n = self.trees.len() as f64;
+        for a in &mut acc {
+            *a /= n;
+        }
+        acc
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(seed: u64, n_per_class: usize) -> Dataset {
+        // Two well-separated Gaussian-ish blobs.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for class in 0..2 {
+            let center = class as f64 * 4.0;
+            for _ in 0..n_per_class {
+                rows.push(vec![
+                    center + rng.gen_range(-1.0..1.0),
+                    center + rng.gen_range(-1.0..1.0),
+                ]);
+                y.push(class);
+            }
+        }
+        Dataset::from_rows(&rows, &y, 2)
+    }
+
+    #[test]
+    fn separable_blobs_are_learned() {
+        let ds = blobs(1, 50);
+        let forest = RandomForest::fit(&ds, &ForestConfig::fast(10, 0));
+        assert!(forest.accuracy(&ds) > 0.99);
+    }
+
+    #[test]
+    fn proba_sums_to_one() {
+        let ds = blobs(2, 30);
+        let forest = RandomForest::fit(&ds, &ForestConfig::fast(5, 0));
+        let p = forest.predict_proba(&[2.0, 2.0]);
+        assert_eq!(p.len(), 2);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let ds = blobs(3, 40);
+        let mut config = ForestConfig::fast(8, 42);
+        config.n_threads = 1;
+        let a = RandomForest::fit(&ds, &config);
+        config.n_threads = 4;
+        let b = RandomForest::fit(&ds, &config);
+        for i in 0..ds.n_samples() {
+            assert_eq!(a.predict_proba(ds.row(i)), b.predict_proba(ds.row(i)));
+        }
+    }
+
+    #[test]
+    fn no_bootstrap_trains_on_full_data() {
+        let ds = blobs(4, 25);
+        let config = ForestConfig {
+            bootstrap: false,
+            ..ForestConfig::fast(3, 0)
+        };
+        let forest = RandomForest::fit(&ds, &config);
+        assert!(forest.accuracy(&ds) > 0.99);
+    }
+
+    #[test]
+    fn n_trees_reported() {
+        let ds = blobs(5, 10);
+        let forest = RandomForest::fit(&ds, &ForestConfig::fast(7, 0));
+        assert_eq!(forest.n_trees(), 7);
+    }
+
+    #[test]
+    fn oob_accuracy_tracks_generalisation() {
+        let train = blobs(7, 60);
+        let test = blobs(8, 60);
+        let fit = RandomForest::fit_with_oob(&train, &ForestConfig::fast(30, 2));
+        let test_acc = fit.forest.accuracy(&test);
+        // OOB is an estimate of held-out accuracy: within a few points.
+        assert!(
+            (fit.oob_accuracy - test_acc).abs() < 0.08,
+            "oob {} vs test {}",
+            fit.oob_accuracy,
+            test_acc
+        );
+        assert!(fit.never_oob < train.n_samples() / 10);
+    }
+
+    #[test]
+    fn oob_forest_matches_plain_fit() {
+        let ds = blobs(9, 30);
+        let config = ForestConfig::fast(6, 4);
+        let plain = RandomForest::fit(&ds, &config);
+        let oob = RandomForest::fit_with_oob(&ds, &config);
+        for i in 0..ds.n_samples() {
+            assert_eq!(
+                plain.predict_proba(ds.row(i)),
+                oob.forest.predict_proba(ds.row(i))
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "OOB scoring requires bootstrap")]
+    fn oob_without_bootstrap_panics() {
+        let ds = blobs(10, 10);
+        let config = ForestConfig {
+            bootstrap: false,
+            ..ForestConfig::fast(3, 0)
+        };
+        let _ = RandomForest::fit_with_oob(&ds, &config);
+    }
+
+    #[test]
+    #[should_panic(expected = "n_trees must be positive")]
+    fn zero_trees_panics() {
+        let ds = blobs(6, 5);
+        let config = ForestConfig {
+            n_trees: 0,
+            ..ForestConfig::default()
+        };
+        let _ = RandomForest::fit(&ds, &config);
+    }
+}

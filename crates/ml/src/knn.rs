@@ -1,0 +1,147 @@
+//! k-nearest-neighbour classification.
+//!
+//! Another candidate backbone from the paper's classifier comparison
+//! (Section 6.1.2). Brute-force Euclidean search with a bounded
+//! max-heap; adequate for the corpus scales of the experiments.
+
+use crate::dataset::Dataset;
+use crate::traits::Classifier;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A fitted (memorised) k-NN model.
+pub struct Knn {
+    data: Dataset,
+    k: usize,
+}
+
+/// Heap entry ordered by distance (max-heap keeps the k closest).
+struct HeapItem {
+    dist: f64,
+    target: usize,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist.total_cmp(&other.dist)
+    }
+}
+
+impl Knn {
+    /// Memorise the training data. `k` is clamped to the sample count.
+    ///
+    /// # Panics
+    /// Panics when `data` is empty or `k == 0`.
+    pub fn fit(data: &Dataset, k: usize) -> Knn {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        assert!(k > 0, "k must be positive");
+        Knn {
+            k: k.min(data.n_samples()),
+            data: data.clone(),
+        }
+    }
+}
+
+impl Classifier for Knn {
+    fn predict_proba(&self, features: &[f64]) -> Vec<f64> {
+        let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(self.k + 1);
+        for i in 0..self.data.n_samples() {
+            let row = self.data.row(i);
+            let mut dist = 0.0;
+            for (a, b) in row.iter().zip(features) {
+                let d = a - b;
+                dist += d * d;
+            }
+            if heap.len() < self.k {
+                heap.push(HeapItem {
+                    dist,
+                    target: self.data.target(i),
+                });
+            } else if dist < heap.peek().expect("heap non-empty").dist {
+                heap.pop();
+                heap.push(HeapItem {
+                    dist,
+                    target: self.data.target(i),
+                });
+            }
+        }
+        let mut votes = vec![0.0; self.data.n_classes()];
+        let n = heap.len() as f64;
+        for item in heap {
+            votes[item.target] += 1.0 / n;
+        }
+        votes
+    }
+
+    fn n_classes(&self) -> usize {
+        self.data.n_classes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Dataset {
+        Dataset::from_rows(
+            &[
+                vec![0.0, 0.0],
+                vec![0.1, 0.1],
+                vec![0.2, 0.0],
+                vec![5.0, 5.0],
+                vec![5.1, 5.1],
+                vec![5.2, 5.0],
+            ],
+            &[0, 0, 0, 1, 1, 1],
+            2,
+        )
+    }
+
+    #[test]
+    fn nearest_cluster_wins() {
+        let knn = Knn::fit(&grid(), 3);
+        assert_eq!(knn.predict(&[0.05, 0.05]), 0);
+        assert_eq!(knn.predict(&[5.05, 5.05]), 1);
+    }
+
+    #[test]
+    fn votes_are_normalised() {
+        let knn = Knn::fit(&grid(), 3);
+        let p = knn.predict_proba(&[2.5, 2.5]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_one_memorises_training_points() {
+        let ds = grid();
+        let knn = Knn::fit(&ds, 1);
+        assert!((knn.accuracy(&ds) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_clamped_to_sample_count() {
+        let ds = Dataset::from_rows(&[vec![0.0], vec![1.0]], &[0, 1], 2);
+        let knn = Knn::fit(&ds, 50);
+        let p = knn.predict_proba(&[0.5]);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_neighbourhood_gives_fractional_votes() {
+        let knn = Knn::fit(&grid(), 6);
+        let p = knn.predict_proba(&[0.0, 0.0]);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[1] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,237 @@
+//! A single-hidden-layer feed-forward network (MLP).
+//!
+//! Substrate of the RNN^C baseline stand-in (see DESIGN.md, substitution
+//! 2): the original RNN^C of Ghasemi-Gol et al. (ICDM 2019) classifies a
+//! cell from a pre-trained embedding plus its neighbourhood context; we
+//! reproduce that decision function with a hand-built embedding fed into
+//! this network. ReLU hidden layer, softmax output, mini-batch SGD with
+//! momentum, seeded He initialisation.
+
+use crate::dataset::Dataset;
+use crate::naive_bayes::softmax_from_log;
+use crate::traits::Classifier;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Hyper-parameters for [`Mlp::fit`].
+#[derive(Debug, Clone, Copy)]
+pub struct MlpConfig {
+    /// Hidden layer width.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Init/shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig {
+            hidden: 32,
+            epochs: 60,
+            learning_rate: 0.05,
+            momentum: 0.9,
+            batch_size: 32,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted MLP.
+pub struct Mlp {
+    w1: Vec<f64>, // hidden × input
+    b1: Vec<f64>,
+    w2: Vec<f64>, // classes × hidden
+    b2: Vec<f64>,
+    n_input: usize,
+    n_hidden: usize,
+    n_classes: usize,
+}
+
+impl Mlp {
+    /// Train the network with mini-batch SGD on softmax cross-entropy.
+    pub fn fit(data: &Dataset, config: &MlpConfig) -> Mlp {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let (d, h, c) = (data.n_features(), config.hidden.max(1), data.n_classes());
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let he1 = (2.0 / d.max(1) as f64).sqrt();
+        let he2 = (2.0 / h as f64).sqrt();
+        let mut net = Mlp {
+            w1: (0..h * d).map(|_| rng.gen_range(-he1..he1)).collect(),
+            b1: vec![0.0; h],
+            w2: (0..c * h).map(|_| rng.gen_range(-he2..he2)).collect(),
+            b2: vec![0.0; c],
+            n_input: d,
+            n_hidden: h,
+            n_classes: c,
+        };
+
+        let mut vel_w1 = vec![0.0; h * d];
+        let mut vel_b1 = vec![0.0; h];
+        let mut vel_w2 = vec![0.0; c * h];
+        let mut vel_b2 = vec![0.0; c];
+
+        let mut order: Vec<usize> = (0..data.n_samples()).collect();
+        let batch = config.batch_size.max(1);
+
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(batch) {
+                let mut g_w1 = vec![0.0; h * d];
+                let mut g_b1 = vec![0.0; h];
+                let mut g_w2 = vec![0.0; c * h];
+                let mut g_b2 = vec![0.0; c];
+
+                for &i in chunk {
+                    let x = data.row(i);
+                    let (hidden, probs) = net.forward(x);
+                    // Output layer gradient: p − one_hot(target).
+                    let mut delta_out = probs;
+                    delta_out[data.target(i)] -= 1.0;
+                    for class in 0..c {
+                        g_b2[class] += delta_out[class];
+                        let base = class * h;
+                        for (j, &hv) in hidden.iter().enumerate() {
+                            g_w2[base + j] += delta_out[class] * hv;
+                        }
+                    }
+                    // Hidden layer gradient through ReLU.
+                    for j in 0..h {
+                        if hidden[j] <= 0.0 {
+                            continue;
+                        }
+                        let mut delta_h = 0.0;
+                        for (class, &d_out) in delta_out.iter().enumerate() {
+                            delta_h += d_out * net.w2[class * h + j];
+                        }
+                        g_b1[j] += delta_h;
+                        let base = j * d;
+                        for (k, &xv) in x.iter().enumerate() {
+                            g_w1[base + k] += delta_h * xv;
+                        }
+                    }
+                }
+
+                let scale = config.learning_rate / chunk.len() as f64;
+                update(&mut net.w1, &mut vel_w1, &g_w1, scale, config.momentum);
+                update(&mut net.b1, &mut vel_b1, &g_b1, scale, config.momentum);
+                update(&mut net.w2, &mut vel_w2, &g_w2, scale, config.momentum);
+                update(&mut net.b2, &mut vel_b2, &g_b2, scale, config.momentum);
+            }
+        }
+        net
+    }
+
+    /// Forward pass returning (hidden activations, output probabilities).
+    fn forward(&self, x: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let (d, h, c) = (self.n_input, self.n_hidden, self.n_classes);
+        let mut hidden = vec![0.0; h];
+        for j in 0..h {
+            let base = j * d;
+            let mut s = self.b1[j];
+            for (k, &xv) in x.iter().enumerate() {
+                s += self.w1[base + k] * xv;
+            }
+            hidden[j] = s.max(0.0);
+        }
+        let mut out = vec![0.0; c];
+        for (class, o) in out.iter_mut().enumerate() {
+            let base = class * h;
+            let mut s = self.b2[class];
+            for (j, &hv) in hidden.iter().enumerate() {
+                s += self.w2[base + j] * hv;
+            }
+            *o = s;
+        }
+        let probs = softmax_from_log(&out);
+        (hidden, probs)
+    }
+}
+
+fn update(weights: &mut [f64], velocity: &mut [f64], grad: &[f64], scale: f64, momentum: f64) {
+    for ((w, v), g) in weights.iter_mut().zip(velocity.iter_mut()).zip(grad) {
+        *v = momentum * *v - scale * g;
+        *w += *v;
+    }
+}
+
+impl Classifier for Mlp {
+    fn predict_proba(&self, features: &[f64]) -> Vec<f64> {
+        self.forward(features).1
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor() -> Dataset {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for &(a, b) in &[(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+            for j in 0..8 {
+                let eps = j as f64 * 0.01;
+                rows.push(vec![a + eps, b - eps]);
+                y.push(((a as i32) ^ (b as i32)) as usize);
+            }
+        }
+        Dataset::from_rows(&rows, &y, 2)
+    }
+
+    #[test]
+    fn learns_xor() {
+        let ds = xor();
+        let config = MlpConfig {
+            epochs: 400,
+            hidden: 16,
+            ..MlpConfig::default()
+        };
+        let net = Mlp::fit(&ds, &config);
+        assert!(net.accuracy(&ds) > 0.95, "accuracy {}", net.accuracy(&ds));
+    }
+
+    #[test]
+    fn proba_normalised() {
+        let net = Mlp::fit(&xor(), &MlpConfig::default());
+        let p = net.predict_proba(&[0.5, 0.5]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = xor();
+        let a = Mlp::fit(&ds, &MlpConfig::default());
+        let b = Mlp::fit(&ds, &MlpConfig::default());
+        assert_eq!(a.predict_proba(ds.row(0)), b.predict_proba(ds.row(0)));
+    }
+
+    #[test]
+    fn three_class_problem() {
+        let ds = Dataset::from_rows(
+            &(0..30)
+                .map(|i| vec![(i / 10) as f64 * 3.0 + (i % 10) as f64 * 0.05])
+                .collect::<Vec<_>>(),
+            &(0..30).map(|i| i / 10).collect::<Vec<_>>(),
+            3,
+        );
+        let net = Mlp::fit(
+            &ds,
+            &MlpConfig {
+                epochs: 300,
+                ..MlpConfig::default()
+            },
+        );
+        assert!(net.accuracy(&ds) > 0.9);
+    }
+}

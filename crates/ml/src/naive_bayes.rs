@@ -1,0 +1,191 @@
+//! Gaussian Naive Bayes.
+//!
+//! One of the candidate backbone classifiers the paper evaluated before
+//! settling on random forests (Section 6.1.2). Per class and feature, the
+//! model fits a univariate Gaussian; prediction multiplies per-feature
+//! likelihoods with the class prior (in log space).
+
+use crate::dataset::Dataset;
+use crate::traits::Classifier;
+
+/// A fitted Gaussian Naive Bayes model.
+pub struct GaussianNb {
+    /// `log P(class)`.
+    log_priors: Vec<f64>,
+    /// Per class, per feature mean.
+    means: Vec<Vec<f64>>,
+    /// Per class, per feature variance (smoothed).
+    variances: Vec<Vec<f64>>,
+    n_classes: usize,
+}
+
+/// Variance smoothing: scikit-learn adds `1e-9 × max feature variance`;
+/// we use a fixed epsilon on normalised features, which behaves the same.
+const VAR_SMOOTHING: f64 = 1e-9;
+
+impl GaussianNb {
+    /// Fit the model. Classes absent from the training data keep a
+    /// `-inf` log-prior and never win prediction.
+    pub fn fit(data: &Dataset) -> GaussianNb {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let (c, d, n) = (data.n_classes(), data.n_features(), data.n_samples());
+        let counts = data.class_counts();
+
+        let mut means = vec![vec![0.0; d]; c];
+        let mut variances = vec![vec![0.0; d]; c];
+        for i in 0..n {
+            let t = data.target(i);
+            for (j, m) in means[t].iter_mut().enumerate() {
+                *m += data.x(i, j);
+            }
+        }
+        for (class, count) in counts.iter().enumerate() {
+            if *count > 0 {
+                for m in &mut means[class] {
+                    *m /= *count as f64;
+                }
+            }
+        }
+        for i in 0..n {
+            let t = data.target(i);
+            for j in 0..d {
+                let delta = data.x(i, j) - means[t][j];
+                variances[t][j] += delta * delta;
+            }
+        }
+        // Global variance floor keeps degenerate (constant) features from
+        // producing infinite densities.
+        let mut max_var: f64 = 0.0;
+        for (class, count) in counts.iter().enumerate() {
+            if *count > 0 {
+                for v in &mut variances[class] {
+                    *v /= *count as f64;
+                    max_var = max_var.max(*v);
+                }
+            }
+        }
+        let floor = VAR_SMOOTHING * max_var.max(1.0);
+        for class_vars in &mut variances {
+            for v in class_vars {
+                *v += floor;
+            }
+        }
+
+        let log_priors = counts
+            .iter()
+            .map(|&cnt| {
+                if cnt == 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    (cnt as f64 / n as f64).ln()
+                }
+            })
+            .collect();
+
+        GaussianNb {
+            log_priors,
+            means,
+            variances,
+            n_classes: c,
+        }
+    }
+}
+
+impl Classifier for GaussianNb {
+    fn predict_proba(&self, features: &[f64]) -> Vec<f64> {
+        let mut log_post = vec![0.0; self.n_classes];
+        for class in 0..self.n_classes {
+            let mut lp = self.log_priors[class];
+            if lp.is_finite() {
+                for (j, &x) in features.iter().enumerate() {
+                    let var = self.variances[class][j];
+                    let delta = x - self.means[class][j];
+                    lp += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + delta * delta / var);
+                }
+            }
+            log_post[class] = lp;
+        }
+        softmax_from_log(&log_post)
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+/// Normalise log-scores into probabilities with the log-sum-exp trick.
+pub(crate) fn softmax_from_log(log_scores: &[f64]) -> Vec<f64> {
+    let max = log_scores
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        // No class scored: uniform.
+        return vec![1.0 / log_scores.len() as f64; log_scores.len()];
+    }
+    let exps: Vec<f64> = log_scores.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Dataset {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            let eps = (i % 5) as f64 * 0.1;
+            rows.push(vec![0.0 + eps, 0.0 - eps]);
+            y.push(0);
+            rows.push(vec![5.0 + eps, 5.0 - eps]);
+            y.push(1);
+        }
+        Dataset::from_rows(&rows, &y, 2)
+    }
+
+    #[test]
+    fn learns_separated_blobs() {
+        let ds = blobs();
+        let nb = GaussianNb::fit(&ds);
+        assert!((nb.accuracy(&ds) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proba_is_normalised() {
+        let nb = GaussianNb::fit(&blobs());
+        let p = nb.predict_proba(&[2.5, 2.5]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_class_never_wins() {
+        let ds = Dataset::from_rows(&[vec![0.0], vec![1.0]], &[0, 0], 3);
+        let nb = GaussianNb::fit(&ds);
+        assert_eq!(nb.predict(&[0.5]), 0);
+        let p = nb.predict_proba(&[0.5]);
+        assert_eq!(p[1], 0.0);
+        assert_eq!(p[2], 0.0);
+    }
+
+    #[test]
+    fn constant_feature_does_not_blow_up() {
+        let ds = Dataset::from_rows(
+            &[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 10.0], vec![1.0, 11.0]],
+            &[0, 0, 1, 1],
+            2,
+        );
+        let nb = GaussianNb::fit(&ds);
+        let p = nb.predict_proba(&[1.0, 10.5]);
+        assert!(p.iter().all(|v| v.is_finite()));
+        assert_eq!(nb.predict(&[1.0, 10.5]), 1);
+    }
+
+    #[test]
+    fn softmax_handles_all_neg_infinity() {
+        let p = softmax_from_log(&[f64::NEG_INFINITY, f64::NEG_INFINITY]);
+        assert_eq!(p, vec![0.5, 0.5]);
+    }
+}

@@ -1,0 +1,85 @@
+//! The classifier abstraction shared by every learner in this crate.
+
+use crate::dataset::Dataset;
+
+/// A trained multi-class probabilistic classifier.
+///
+/// Implementations are *fitted* models: construction happens through each
+/// learner's `fit` associated function, after which the model is immutable
+/// and cheap to share across threads.
+pub trait Classifier: Send + Sync {
+    /// Class probability vector for one feature row. The returned vector
+    /// has `n_classes` entries summing to 1 (up to rounding).
+    fn predict_proba(&self, features: &[f64]) -> Vec<f64>;
+
+    /// Number of classes the model predicts over.
+    fn n_classes(&self) -> usize;
+
+    /// Most probable class for one feature row. Ties break toward the
+    /// lower class index, matching `argmax` conventions elsewhere.
+    fn predict(&self, features: &[f64]) -> usize {
+        argmax(&self.predict_proba(features))
+    }
+
+    /// Predict classes for every sample of a dataset.
+    fn predict_all(&self, data: &Dataset) -> Vec<usize> {
+        (0..data.n_samples()).map(|i| self.predict(data.row(i))).collect()
+    }
+
+    /// Accuracy over a labeled dataset.
+    fn accuracy(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct = (0..data.n_samples())
+            .filter(|&i| self.predict(data.row(i)) == data.target(i))
+            .count();
+        correct as f64 / data.n_samples() as f64
+    }
+}
+
+/// Index of the largest value; ties break toward the lower index.
+pub fn argmax(values: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate().skip(1) {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(Vec<f64>);
+    impl Classifier for Fixed {
+        fn predict_proba(&self, _features: &[f64]) -> Vec<f64> {
+            self.0.clone()
+        }
+        fn n_classes(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    #[test]
+    fn argmax_breaks_ties_low() {
+        assert_eq!(argmax(&[0.5, 0.5]), 0);
+        assert_eq!(argmax(&[0.1, 0.7, 0.2]), 1);
+        assert_eq!(argmax(&[1.0]), 0);
+    }
+
+    #[test]
+    fn default_predict_uses_argmax() {
+        let c = Fixed(vec![0.2, 0.5, 0.3]);
+        assert_eq!(c.predict(&[]), 1);
+    }
+
+    #[test]
+    fn accuracy_over_dataset() {
+        let c = Fixed(vec![0.9, 0.1]);
+        let ds = Dataset::from_rows(&[vec![0.0], vec![0.0]], &[0, 1], 2);
+        assert!((c.accuracy(&ds) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,545 @@
+//! CART decision trees with Gini impurity.
+//!
+//! This is the building block of the random forest backbone used by both
+//! Strudel classifiers. Defaults mirror scikit-learn's
+//! `DecisionTreeClassifier`: unlimited depth, `min_samples_split = 2`,
+//! `min_samples_leaf = 1`, midpoint thresholds between adjacent distinct
+//! feature values, best-of-`max_features` random feature subsampling.
+
+use crate::dataset::Dataset;
+use crate::traits::Classifier;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// How many features each split considers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaxFeatures {
+    /// All features (plain CART; scikit-learn's tree default).
+    All,
+    /// `⌈√d⌉` features (scikit-learn's random-forest default).
+    Sqrt,
+    /// A fixed number (clamped to `d`).
+    Fixed(usize),
+}
+
+impl MaxFeatures {
+    fn resolve(self, n_features: usize) -> usize {
+        match self {
+            MaxFeatures::All => n_features,
+            MaxFeatures::Sqrt => (n_features as f64).sqrt().ceil() as usize,
+            MaxFeatures::Fixed(k) => k.min(n_features),
+        }
+        .max(1)
+    }
+}
+
+/// Hyper-parameters of a decision tree.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum tree depth; `None` grows until purity.
+    pub max_depth: Option<usize>,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples each child must keep.
+    pub min_samples_leaf: usize,
+    /// Feature subsampling per split.
+    pub max_features: MaxFeatures,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: None,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: MaxFeatures::All,
+        }
+    }
+}
+
+/// A tree node in storage form, exposed for serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RawNode {
+    /// An internal split: go left when `features[feature] <= threshold`.
+    Split {
+        /// Feature index tested at this node.
+        feature: usize,
+        /// Split threshold.
+        threshold: f64,
+        /// Index of the left child.
+        left: usize,
+        /// Index of the right child.
+        right: usize,
+    },
+    /// A leaf carrying the class distribution of its training samples.
+    Leaf {
+        /// Class probability vector.
+        proba: Vec<f64>,
+    },
+}
+
+use RawNode as Node;
+
+/// A fitted CART decision tree.
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_classes: usize,
+    /// Per-feature accumulated weighted Gini decrease (mean decrease in
+    /// impurity), recorded during training; empty for deserialized trees.
+    impurity_decrease: Vec<f64>,
+    /// Sample count at the root (importance weighting denominator).
+    root_samples: usize,
+}
+
+impl DecisionTree {
+    /// Storage view for serialization: `(nodes, n_classes)`.
+    pub fn raw_parts(&self) -> (&[RawNode], usize) {
+        (&self.nodes, self.n_classes)
+    }
+
+    /// Per-feature mean decrease in impurity, normalised to sum 1 (the
+    /// scikit-learn `feature_importances_` convention). `None` for trees
+    /// rebuilt from serialized form, which do not carry training-time
+    /// statistics.
+    pub fn impurity_importances(&self) -> Option<Vec<f64>> {
+        if self.impurity_decrease.is_empty() {
+            return None;
+        }
+        let total: f64 = self.impurity_decrease.iter().sum();
+        if total <= 0.0 {
+            return Some(vec![0.0; self.impurity_decrease.len()]);
+        }
+        Some(self.impurity_decrease.iter().map(|v| v / total).collect())
+    }
+
+    /// Rebuild a tree from storage form, validating node references and
+    /// leaf arity.
+    pub fn from_raw_parts(
+        nodes: Vec<RawNode>,
+        n_classes: usize,
+    ) -> Result<DecisionTree, &'static str> {
+        if nodes.is_empty() {
+            return Err("a tree needs at least one node");
+        }
+        // (importances are training-time statistics; rebuilt trees have none)
+        for node in &nodes {
+            match node {
+                RawNode::Split { left, right, .. } => {
+                    if *left >= nodes.len() || *right >= nodes.len() {
+                        return Err("child index out of range");
+                    }
+                }
+                RawNode::Leaf { proba } => {
+                    if proba.len() != n_classes {
+                        return Err("leaf arity mismatch");
+                    }
+                }
+            }
+        }
+        Ok(DecisionTree {
+            nodes,
+            n_classes,
+            impurity_decrease: Vec::new(),
+            root_samples: 0,
+        })
+    }
+}
+
+impl DecisionTree {
+    /// Fit a tree on `data` with the given configuration and RNG seed
+    /// (the seed matters only when `max_features` subsamples).
+    pub fn fit(data: &Dataset, config: &TreeConfig, seed: u64) -> DecisionTree {
+        assert!(!data.is_empty(), "cannot fit a tree on an empty dataset");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut indices: Vec<u32> = (0..data.n_samples() as u32).collect();
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            n_classes: data.n_classes(),
+            impurity_decrease: vec![0.0; data.n_features()],
+            root_samples: indices.len(),
+        };
+        tree.build(data, config, &mut indices, 0, &mut rng);
+        tree
+    }
+
+    /// Fit on a bootstrap/weighted index multiset (used by the forest).
+    pub(crate) fn fit_on_indices(
+        data: &Dataset,
+        indices: &mut [u32],
+        config: &TreeConfig,
+        rng: &mut SmallRng,
+    ) -> DecisionTree {
+        assert!(!indices.is_empty(), "cannot fit a tree on zero samples");
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            n_classes: data.n_classes(),
+            impurity_decrease: vec![0.0; data.n_features()],
+            root_samples: indices.len(),
+        };
+        let mut owned: Vec<u32> = indices.to_vec();
+        tree.build(data, config, &mut owned, 0, rng);
+        tree
+    }
+
+    /// Recursively build the subtree over `indices`; returns its node id.
+    fn build(
+        &mut self,
+        data: &Dataset,
+        config: &TreeConfig,
+        indices: &mut [u32],
+        depth: usize,
+        rng: &mut SmallRng,
+    ) -> usize {
+        let counts = self.class_counts(data, indices);
+        let n = indices.len();
+        let depth_ok = config.max_depth.map_or(true, |d| depth < d);
+        let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
+
+        if pure || n < config.min_samples_split || !depth_ok {
+            return self.push_leaf(&counts, n);
+        }
+
+        match self.best_split(data, config, indices, &counts, rng) {
+            None => self.push_leaf(&counts, n),
+            Some((feature, threshold, split_impurity)) => {
+                // Mean-decrease-in-impurity bookkeeping (scikit-learn's
+                // feature_importances_): weight by the node's sample share.
+                let parent_gini = gini(&counts, n);
+                let decrease = (parent_gini - split_impurity).max(0.0);
+                self.impurity_decrease[feature] +=
+                    decrease * n as f64 / self.root_samples.max(1) as f64;
+                // Partition indices in place around the threshold.
+                let mid = partition(indices, |&i| {
+                    data.x(i as usize, feature) <= threshold
+                });
+                debug_assert!(mid > 0 && mid < indices.len());
+                // Reserve this node's slot before recursing.
+                let id = self.nodes.len();
+                self.nodes.push(Node::Leaf { proba: Vec::new() });
+                let (left_idx, right_idx) = indices.split_at_mut(mid);
+                let left = self.build(data, config, left_idx, depth + 1, rng);
+                let right = self.build(data, config, right_idx, depth + 1, rng);
+                self.nodes[id] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
+                id
+            }
+        }
+    }
+
+    fn class_counts(&self, data: &Dataset, indices: &[u32]) -> Vec<u32> {
+        let mut counts = vec![0u32; self.n_classes];
+        for &i in indices {
+            counts[data.target(i as usize)] += 1;
+        }
+        counts
+    }
+
+    fn push_leaf(&mut self, counts: &[u32], n: usize) -> usize {
+        let proba: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+        self.nodes.push(Node::Leaf { proba });
+        self.nodes.len() - 1
+    }
+
+    /// Search the best (feature, threshold) by Gini gain over a random
+    /// feature subset. Returns `None` when no split separates the node.
+    fn best_split(
+        &self,
+        data: &Dataset,
+        config: &TreeConfig,
+        indices: &[u32],
+        parent_counts: &[u32],
+        rng: &mut SmallRng,
+    ) -> Option<(usize, f64, f64)> {
+        let n_features = data.n_features();
+        let k = config.max_features.resolve(n_features);
+        let mut features: Vec<usize> = (0..n_features).collect();
+        if k < n_features {
+            features.shuffle(rng);
+        }
+
+        let n = indices.len() as f64;
+        // Like scikit-learn, a zero-gain split is still taken (children are
+        // strictly smaller, so recursion terminates); only the absence of
+        // any partitioning split makes a leaf.
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, impurity)
+        let mut sorted: Vec<(f64, usize)> = Vec::with_capacity(indices.len());
+        let mut tried = 0usize;
+
+        for &feature in &features {
+            // Keep trying features past `k` until at least one valid split
+            // was seen, mirroring scikit-learn's search semantics.
+            if tried >= k && best.is_some() {
+                break;
+            }
+            tried += 1;
+
+            sorted.clear();
+            sorted.extend(
+                indices
+                    .iter()
+                    .map(|&i| (data.x(i as usize, feature), data.target(i as usize))),
+            );
+            sorted.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+            if sorted[0].0 == sorted[sorted.len() - 1].0 {
+                continue; // constant feature in this node
+            }
+
+            let mut left_counts = vec![0u32; self.n_classes];
+            let mut left_n = 0usize;
+            for w in 0..sorted.len() - 1 {
+                left_counts[sorted[w].1] += 1;
+                left_n += 1;
+                let (v, v_next) = (sorted[w].0, sorted[w + 1].0);
+                if v == v_next {
+                    continue;
+                }
+                let right_n = indices.len() - left_n;
+                if left_n < config.min_samples_leaf || right_n < config.min_samples_leaf {
+                    continue;
+                }
+                let right_counts: Vec<u32> = parent_counts
+                    .iter()
+                    .zip(&left_counts)
+                    .map(|(&p, &l)| p - l)
+                    .collect();
+                let impurity = (left_n as f64 / n) * gini(&left_counts, left_n)
+                    + (right_n as f64 / n) * gini(&right_counts, right_n);
+                if impurity < best.map_or(f64::INFINITY, |(_, _, b)| b - 1e-12) {
+                    let threshold = v + (v_next - v) / 2.0;
+                    // Guard against midpoint rounding to v_next.
+                    let threshold = if threshold >= v_next { v } else { threshold };
+                    best = Some((feature, threshold, impurity));
+                }
+            }
+        }
+        best
+    }
+
+    /// Number of nodes (splits + leaves); useful for tests and debugging.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the tree (a single leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[Node], id: usize) -> usize {
+            match &nodes[id] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + rec(nodes, *left).max(rec(nodes, *right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            rec(&self.nodes, 0)
+        }
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn predict_proba(&self, features: &[f64]) -> Vec<f64> {
+        let mut id = 0;
+        loop {
+            match &self.nodes[id] {
+                Node::Leaf { proba } => return proba.clone(),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    id = if features[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+/// Gini impurity of a class-count vector over `n` samples.
+fn gini(counts: &[u32], n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let n = n as f64;
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / n;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+/// Stable in-place partition: moves elements satisfying `pred` to the
+/// front, returns the boundary index.
+fn partition<T: Copy>(slice: &mut [T], pred: impl Fn(&T) -> bool) -> usize {
+    let mut buf: Vec<T> = Vec::with_capacity(slice.len());
+    let mut mid = 0;
+    for &item in slice.iter() {
+        if pred(&item) {
+            buf.push(item);
+            mid += 1;
+        }
+    }
+    for &item in slice.iter() {
+        if !pred(&item) {
+            buf.push(item);
+        }
+    }
+    slice.copy_from_slice(&buf);
+    mid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_dataset() -> Dataset {
+        // XOR needs depth >= 2; a single split cannot separate it.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for &(a, b) in &[(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+            for jitter in 0..5 {
+                let eps = jitter as f64 * 0.01;
+                rows.push(vec![a + eps, b + eps]);
+                y.push(((a as i32) ^ (b as i32)) as usize);
+            }
+        }
+        Dataset::from_rows(&rows, &y, 2)
+    }
+
+    #[test]
+    fn fits_xor_perfectly() {
+        let ds = xor_dataset();
+        let tree = DecisionTree::fit(&ds, &TreeConfig::default(), 0);
+        assert!((tree.accuracy(&ds) - 1.0).abs() < 1e-12);
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn pure_node_is_single_leaf() {
+        let ds = Dataset::from_rows(&[vec![1.0], vec![2.0], vec![3.0]], &[1, 1, 1], 2);
+        let tree = DecisionTree::fit(&ds, &TreeConfig::default(), 0);
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict_proba(&[9.0]), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn max_depth_limits_growth() {
+        let ds = xor_dataset();
+        let config = TreeConfig {
+            max_depth: Some(1),
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&ds, &config, 0);
+        assert!(tree.depth() <= 1);
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let ds = Dataset::from_rows(
+            &[vec![0.0], vec![1.0], vec![2.0], vec![3.0]],
+            &[0, 0, 1, 1],
+            2,
+        );
+        let config = TreeConfig {
+            min_samples_leaf: 2,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&ds, &config, 0);
+        // The only legal split is the middle one.
+        assert!((tree.accuracy(&ds) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_features_give_single_leaf() {
+        let ds = Dataset::from_rows(&[vec![5.0], vec![5.0]], &[0, 1], 2);
+        let tree = DecisionTree::fit(&ds, &TreeConfig::default(), 0);
+        assert_eq!(tree.node_count(), 1);
+        let p = tree.predict_proba(&[5.0]);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proba_sums_to_one() {
+        let ds = xor_dataset();
+        let tree = DecisionTree::fit(&ds, &TreeConfig::default(), 0);
+        let p = tree.predict_proba(&[0.5, 0.5]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partition_is_stable() {
+        let mut v = [3u32, 1, 4, 1, 5, 9, 2, 6];
+        let mid = partition(&mut v, |&x| x < 4);
+        assert_eq!(mid, 4);
+        assert_eq!(&v[..mid], &[3, 1, 1, 2]);
+        assert_eq!(&v[mid..], &[4, 5, 9, 6]);
+    }
+
+    #[test]
+    fn gini_bounds() {
+        assert_eq!(gini(&[4, 0], 4), 0.0);
+        assert!((gini(&[2, 2], 4) - 0.5).abs() < 1e-12);
+        assert_eq!(gini(&[], 0), 0.0);
+    }
+
+    #[test]
+    fn max_features_resolution() {
+        assert_eq!(MaxFeatures::All.resolve(10), 10);
+        assert_eq!(MaxFeatures::Sqrt.resolve(10), 4);
+        assert_eq!(MaxFeatures::Sqrt.resolve(1), 1);
+        assert_eq!(MaxFeatures::Fixed(99).resolve(10), 10);
+        assert_eq!(MaxFeatures::Fixed(0).resolve(10), 1);
+    }
+
+    #[test]
+    fn impurity_importance_favours_the_decisive_feature() {
+        // Feature 0 decides; feature 1 is constant.
+        let ds = Dataset::from_rows(
+            &[vec![0.0, 5.0], vec![1.0, 5.0], vec![0.1, 5.0], vec![1.1, 5.0]],
+            &[0, 1, 0, 1],
+            2,
+        );
+        let tree = DecisionTree::fit(&ds, &TreeConfig::default(), 0);
+        let imp = tree.impurity_importances().unwrap();
+        assert!((imp[0] - 1.0).abs() < 1e-12);
+        assert_eq!(imp[1], 0.0);
+    }
+
+    #[test]
+    fn deserialized_trees_have_no_importances() {
+        let ds = Dataset::from_rows(&[vec![0.0], vec![1.0]], &[0, 1], 2);
+        let tree = DecisionTree::fit(&ds, &TreeConfig::default(), 0);
+        let (nodes, n_classes) = tree.raw_parts();
+        let rebuilt = DecisionTree::from_raw_parts(nodes.to_vec(), n_classes).unwrap();
+        assert!(rebuilt.impurity_importances().is_none());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = xor_dataset();
+        let config = TreeConfig {
+            max_features: MaxFeatures::Fixed(1),
+            ..TreeConfig::default()
+        };
+        let a = DecisionTree::fit(&ds, &config, 7);
+        let b = DecisionTree::fit(&ds, &config, 7);
+        for i in 0..ds.n_samples() {
+            assert_eq!(a.predict(ds.row(i)), b.predict(ds.row(i)));
+        }
+    }
+}

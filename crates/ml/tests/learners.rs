@@ -1,0 +1,178 @@
+//! Cross-learner integration tests: every classifier in the crate is
+//! exercised on common tasks, plus property tests on training invariants.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use strudel_ml::{
+    argmax, Classifier, CrfConfig, Dataset, ForestConfig, GaussianNb, Knn, LinearChainCrf,
+    LogisticConfig, LogisticRegression, MaxFeatures, Mlp, MlpConfig, RandomForest, SequenceSample,
+    TreeConfig,
+};
+
+/// Three Gaussian-ish blobs in 2D.
+fn blobs(seed: u64, n_per_class: usize, spread: f64) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let centers = [(0.0, 0.0), (6.0, 0.0), (3.0, 6.0)];
+    let mut rows = Vec::new();
+    let mut y = Vec::new();
+    for (class, &(cx, cy)) in centers.iter().enumerate() {
+        for _ in 0..n_per_class {
+            rows.push(vec![
+                cx + rng.gen_range(-spread..spread),
+                cy + rng.gen_range(-spread..spread),
+            ]);
+            y.push(class);
+        }
+    }
+    Dataset::from_rows(&rows, &y, 3)
+}
+
+#[test]
+fn all_learners_solve_three_blobs() {
+    let train = blobs(1, 40, 1.0);
+    let test = blobs(2, 20, 1.0);
+    let learners: Vec<(&str, Box<dyn Classifier>)> = vec![
+        (
+            "forest",
+            Box::new(RandomForest::fit(&train, &ForestConfig::fast(20, 0))),
+        ),
+        ("nb", Box::new(GaussianNb::fit(&train))),
+        ("knn", Box::new(Knn::fit(&train, 5))),
+        (
+            "logistic",
+            Box::new(LogisticRegression::fit(&train, &LogisticConfig::default())),
+        ),
+        (
+            "mlp",
+            Box::new(Mlp::fit(
+                &train,
+                &MlpConfig {
+                    epochs: 100,
+                    ..MlpConfig::default()
+                },
+            )),
+        ),
+    ];
+    for (name, model) in learners {
+        let acc = model.accuracy(&test);
+        assert!(acc > 0.9, "{name}: accuracy {acc}");
+        // Probabilities are well-formed on an arbitrary probe.
+        let p = model.predict_proba(&[1.0, 1.0]);
+        assert_eq!(p.len(), 3, "{name}");
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-6, "{name}");
+        assert!(p.iter().all(|&v| (0.0..=1.0 + 1e-12).contains(&v)), "{name}");
+    }
+}
+
+#[test]
+fn forest_outperforms_single_tree_on_noisy_data() {
+    // With heavy overlap, bagging should not do *worse* than one tree on
+    // held-out data (usually better).
+    let train = blobs(3, 60, 3.0);
+    let test = blobs(4, 40, 3.0);
+    let tree = RandomForest::fit(
+        &train,
+        &ForestConfig {
+            n_trees: 1,
+            bootstrap: false,
+            tree: TreeConfig {
+                max_features: MaxFeatures::All,
+                ..TreeConfig::default()
+            },
+            ..ForestConfig::fast(1, 5)
+        },
+    );
+    let forest = RandomForest::fit(&train, &ForestConfig::fast(40, 5));
+    assert!(forest.accuracy(&test) + 0.02 >= tree.accuracy(&test));
+}
+
+#[test]
+fn crf_uses_context_that_pointwise_learners_cannot() {
+    // Label depends only on the previous label (alternating), emission is
+    // uninformative: the CRF must beat 60% where pointwise models hover
+    // at chance.
+    let sequences: Vec<SequenceSample> = (0..30)
+        .map(|i| {
+            let start = i % 2;
+            let labels: Vec<usize> = (0..8).map(|t| (start + t) % 2).collect();
+            // Only the first position reveals the phase.
+            let features = (0..8)
+                .map(|t| if t == 0 { vec![start as u32] } else { vec![2u32] })
+                .collect();
+            SequenceSample { features, labels }
+        })
+        .collect();
+    let crf = LinearChainCrf::fit(&sequences, &CrfConfig::new(3, 2));
+    let mut correct = 0;
+    let mut total = 0;
+    for seq in &sequences {
+        let pred = crf.viterbi(&seq.features);
+        correct += pred.iter().zip(&seq.labels).filter(|(a, b)| a == b).count();
+        total += seq.labels.len();
+    }
+    assert!(
+        correct as f64 / total as f64 > 0.95,
+        "CRF should chain context: {correct}/{total}"
+    );
+}
+
+proptest! {
+    /// A forest fitted on any non-degenerate dataset reaches at least the
+    /// majority-class accuracy on its own training data.
+    #[test]
+    fn forest_beats_majority_baseline(seed in 0u64..50, n in 10usize..40) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
+            .collect();
+        let y: Vec<usize> = (0..n).map(|_| rng.gen_range(0..3)).collect();
+        let data = Dataset::from_rows(&rows, &y, 3);
+        let forest = RandomForest::fit(&data, &ForestConfig::fast(10, seed));
+        let majority = *data
+            .class_counts()
+            .iter()
+            .max()
+            .unwrap() as f64 / n as f64;
+        prop_assert!(forest.accuracy(&data) + 1e-9 >= majority);
+    }
+
+    /// argmax returns an index within bounds and attains the maximum.
+    #[test]
+    fn argmax_attains_max(values in proptest::collection::vec(-1e6f64..1e6, 1..20)) {
+        let idx = argmax(&values);
+        prop_assert!(idx < values.len());
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(values[idx], max);
+    }
+
+    /// Viterbi output always has the input length and in-range labels.
+    #[test]
+    fn viterbi_shape(len in 0usize..12, seed in 0u64..20) {
+        let train = vec![SequenceSample {
+            features: vec![vec![0], vec![1]],
+            labels: vec![0, 1],
+        }];
+        let crf = LinearChainCrf::fit(&train, &CrfConfig::new(2, 2));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let probe: Vec<Vec<u32>> = (0..len).map(|_| vec![rng.gen_range(0..2)]).collect();
+        let decoded = crf.viterbi(&probe);
+        prop_assert_eq!(decoded.len(), len);
+        prop_assert!(decoded.iter().all(|&l| l < 2));
+    }
+
+    /// Dataset subset/one_vs_rest preserve sample counts and shapes.
+    #[test]
+    fn dataset_transforms_preserve_shape(n in 1usize..30, positive in 0usize..3) {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let y: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        let data = Dataset::from_rows(&rows, &y, 3);
+        let ovr = data.one_vs_rest(positive);
+        prop_assert_eq!(ovr.n_samples(), n);
+        prop_assert_eq!(ovr.n_classes(), 2);
+        let half: Vec<usize> = (0..n / 2).collect();
+        let sub = data.subset(&half);
+        prop_assert_eq!(sub.n_samples(), n / 2);
+        prop_assert_eq!(sub.n_features(), 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! The six-class taxonomy of Section 3.2.
+//!
+//! Every non-empty line and cell of a verbose CSV file belongs to exactly
+//! one [`ElementClass`]. The ordering of the variants follows the paper's
+//! presentation (metadata → header → group → data → derived → notes) and is
+//! also the index order used by probability vectors and confusion matrices
+//! throughout the workspace.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Semantic class of a line or cell in a verbose CSV file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ElementClass {
+    /// Descriptive text above a table: titles, captions, source blurbs.
+    Metadata,
+    /// Column labels at the top of a table or table fraction.
+    Header,
+    /// Group headers labelling a table fraction, or the leading textual
+    /// cell of a derived line (e.g. `Sale/Manufacturing:`).
+    Group,
+    /// The main body of a table; values not derivable from other cells.
+    Data,
+    /// Aggregations (sum/mean) of other numeric cells in the same table.
+    Derived,
+    /// Descriptive text following a table: footnotes, mark legends.
+    Notes,
+}
+
+impl ElementClass {
+    /// Number of classes in the taxonomy.
+    pub const COUNT: usize = 6;
+
+    /// All classes in canonical (paper) order.
+    pub const ALL: [ElementClass; Self::COUNT] = [
+        ElementClass::Metadata,
+        ElementClass::Header,
+        ElementClass::Group,
+        ElementClass::Data,
+        ElementClass::Derived,
+        ElementClass::Notes,
+    ];
+
+    /// Canonical index of this class in `[0, COUNT)`.
+    pub fn index(self) -> usize {
+        match self {
+            ElementClass::Metadata => 0,
+            ElementClass::Header => 1,
+            ElementClass::Group => 2,
+            ElementClass::Data => 3,
+            ElementClass::Derived => 4,
+            ElementClass::Notes => 5,
+        }
+    }
+
+    /// Inverse of [`ElementClass::index`].
+    ///
+    /// # Panics
+    /// Panics when `idx >= ElementClass::COUNT`.
+    pub fn from_index(idx: usize) -> ElementClass {
+        Self::ALL[idx]
+    }
+
+    /// Lower-case class name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ElementClass::Metadata => "metadata",
+            ElementClass::Header => "header",
+            ElementClass::Group => "group",
+            ElementClass::Data => "data",
+            ElementClass::Derived => "derived",
+            ElementClass::Notes => "notes",
+        }
+    }
+}
+
+impl fmt::Display for ElementClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown class name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseClassError(pub String);
+
+impl fmt::Display for ParseClassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown element class: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseClassError {}
+
+impl FromStr for ElementClass {
+    type Err = ParseClassError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "metadata" => Ok(ElementClass::Metadata),
+            "header" => Ok(ElementClass::Header),
+            "group" => Ok(ElementClass::Group),
+            "data" => Ok(ElementClass::Data),
+            "derived" => Ok(ElementClass::Derived),
+            "notes" => Ok(ElementClass::Notes),
+            other => Err(ParseClassError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for class in ElementClass::ALL {
+            assert_eq!(ElementClass::from_index(class.index()), class);
+        }
+    }
+
+    #[test]
+    fn all_is_in_canonical_order() {
+        for (i, class) in ElementClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), i);
+        }
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for class in ElementClass::ALL {
+            let parsed: ElementClass = class.name().parse().unwrap();
+            assert_eq!(parsed, class);
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        assert_eq!("Header".parse::<ElementClass>().unwrap(), ElementClass::Header);
+        assert_eq!(" DATA ".parse::<ElementClass>().unwrap(), ElementClass::Data);
+    }
+
+    #[test]
+    fn parse_unknown_fails() {
+        assert!("table".parse::<ElementClass>().is_err());
+        assert!("".parse::<ElementClass>().is_err());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(ElementClass::Derived.to_string(), "derived");
+    }
+}

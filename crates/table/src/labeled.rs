@@ -1,0 +1,320 @@
+//! Ground-truth annotated files and corpora.
+//!
+//! A [`LabeledFile`] pairs a [`Table`] with per-line and per-cell class
+//! annotations, exactly as the paper's annotated datasets do. A [`Corpus`]
+//! is a named collection of labeled files (one of GovUK, SAUS, CIUS, DeEx,
+//! Mendeley, Troy in the evaluation) and provides the corpus-level
+//! statistics reported in Tables 3–5.
+
+use crate::class::ElementClass;
+use crate::table::Table;
+
+/// Per-cell label grid: `None` marks empty cells, which carry no class.
+pub type CellLabels = Vec<Vec<Option<ElementClass>>>;
+
+/// One verbose CSV file with ground-truth annotations.
+#[derive(Debug, Clone)]
+pub struct LabeledFile {
+    /// File identifier (unique within its corpus); used to group CV folds
+    /// so that all elements of one file land in the same fold.
+    pub name: String,
+    /// The parsed cell grid.
+    pub table: Table,
+    /// One label per line. Empty lines keep a label of `None`.
+    pub line_labels: Vec<Option<ElementClass>>,
+    /// One label per cell; `None` for empty cells.
+    pub cell_labels: CellLabels,
+}
+
+impl LabeledFile {
+    /// Construct a labeled file, validating that annotation shapes match
+    /// the table dimensions.
+    ///
+    /// # Panics
+    /// Panics when `line_labels` or `cell_labels` do not match the table's
+    /// dimensions — annotations out of sync with content are programmer
+    /// errors, not recoverable conditions.
+    pub fn new(
+        name: impl Into<String>,
+        table: Table,
+        line_labels: Vec<Option<ElementClass>>,
+        cell_labels: CellLabels,
+    ) -> LabeledFile {
+        assert_eq!(
+            line_labels.len(),
+            table.n_rows(),
+            "one line label per table row required"
+        );
+        assert_eq!(
+            cell_labels.len(),
+            table.n_rows(),
+            "one cell-label row per table row required"
+        );
+        for (r, row) in cell_labels.iter().enumerate() {
+            assert_eq!(
+                row.len(),
+                table.n_cols(),
+                "cell-label row {r} must match table width"
+            );
+        }
+        LabeledFile {
+            name: name.into(),
+            table,
+            line_labels,
+            cell_labels,
+        }
+    }
+
+    /// Derive the line label of each row as the majority class of its
+    /// non-empty cells (the convention of Figure 1's caption). Ties break
+    /// toward the rarer class by canonical order of rarity used in the
+    /// paper's ensemble voting: fewer-instance classes take priority.
+    pub fn line_labels_from_cells(table: &Table, cells: &CellLabels) -> Vec<Option<ElementClass>> {
+        (0..table.n_rows())
+            .map(|r| {
+                let mut counts = [0usize; ElementClass::COUNT];
+                for label in cells[r].iter().flatten() {
+                    counts[label.index()] += 1;
+                }
+                let max = *counts.iter().max().unwrap_or(&0);
+                if max == 0 {
+                    return None;
+                }
+                // Tie-break toward minority classes: data is the most
+                // common class overall, so prefer any non-data class.
+                let priority = [
+                    ElementClass::Derived,
+                    ElementClass::Group,
+                    ElementClass::Notes,
+                    ElementClass::Metadata,
+                    ElementClass::Header,
+                    ElementClass::Data,
+                ];
+                priority
+                    .into_iter()
+                    .find(|c| counts[c.index()] == max)
+            })
+            .collect()
+    }
+
+    /// Number of non-empty lines.
+    pub fn non_empty_line_count(&self) -> usize {
+        (0..self.table.n_rows())
+            .filter(|&r| !self.table.row_is_empty(r))
+            .count()
+    }
+
+    /// Number of non-empty cells.
+    pub fn non_empty_cell_count(&self) -> usize {
+        self.table.non_empty_count()
+    }
+
+    /// Cell-class diversity degree of one line: the number of distinct
+    /// classes among its non-empty cells (Section 5.4, Table 3).
+    pub fn diversity_degree(&self, row: usize) -> usize {
+        let mut seen = [false; ElementClass::COUNT];
+        for label in self.cell_labels[row].iter().flatten() {
+            seen[label.index()] = true;
+        }
+        seen.iter().filter(|&&s| s).count()
+    }
+}
+
+/// A named corpus of labeled files.
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    /// Corpus name, e.g. `"SAUS"`.
+    pub name: String,
+    /// The annotated files.
+    pub files: Vec<LabeledFile>,
+}
+
+/// Corpus-level statistics backing Tables 3–5 of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusStats {
+    /// Number of files.
+    pub n_files: usize,
+    /// Total non-empty lines.
+    pub n_lines: usize,
+    /// Total non-empty cells.
+    pub n_cells: usize,
+    /// Non-empty lines per class.
+    pub lines_per_class: [usize; ElementClass::COUNT],
+    /// Non-empty cells per class.
+    pub cells_per_class: [usize; ElementClass::COUNT],
+    /// Distribution of line diversity degrees; index 0 = degree 1.
+    /// Degrees above 5 are folded into the last bucket.
+    pub diversity_counts: [usize; 5],
+}
+
+impl CorpusStats {
+    /// Average non-empty cells per line of a class, as in Table 5.
+    pub fn cells_per_line(&self, class: ElementClass) -> f64 {
+        let lines = self.lines_per_class[class.index()];
+        if lines == 0 {
+            return 0.0;
+        }
+        self.cells_per_class[class.index()] as f64 / lines as f64
+    }
+
+    /// Percentage of lines with the given diversity degree (1-based).
+    pub fn diversity_pct(&self, degree: usize) -> f64 {
+        assert!((1..=5).contains(&degree));
+        let total: usize = self.diversity_counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        100.0 * self.diversity_counts[degree - 1] as f64 / total as f64
+    }
+}
+
+impl Corpus {
+    /// Create an empty corpus with the given name.
+    pub fn new(name: impl Into<String>) -> Corpus {
+        Corpus {
+            name: name.into(),
+            files: Vec::new(),
+        }
+    }
+
+    /// Compute corpus statistics (Tables 3–5).
+    pub fn stats(&self) -> CorpusStats {
+        let mut stats = CorpusStats {
+            n_files: self.files.len(),
+            n_lines: 0,
+            n_cells: 0,
+            lines_per_class: [0; ElementClass::COUNT],
+            cells_per_class: [0; ElementClass::COUNT],
+            diversity_counts: [0; 5],
+        };
+        for file in &self.files {
+            stats.n_lines += file.non_empty_line_count();
+            stats.n_cells += file.non_empty_cell_count();
+            for label in file.line_labels.iter().flatten() {
+                stats.lines_per_class[label.index()] += 1;
+            }
+            for row in &file.cell_labels {
+                for label in row.iter().flatten() {
+                    stats.cells_per_class[label.index()] += 1;
+                }
+            }
+            for r in 0..file.table.n_rows() {
+                let degree = file.diversity_degree(r);
+                if degree > 0 {
+                    stats.diversity_counts[degree.min(5) - 1] += 1;
+                }
+            }
+        }
+        stats
+    }
+
+    /// Merge several corpora into one (used for training on the
+    /// SAUS + CIUS + DeEx collection). File names are prefixed with their
+    /// corpus of origin to stay unique.
+    pub fn merged(name: impl Into<String>, parts: &[&Corpus]) -> Corpus {
+        let mut out = Corpus::new(name);
+        for part in parts {
+            for file in &part.files {
+                let mut file = file.clone();
+                file.name = format!("{}/{}", part.name, file.name);
+                out.files.push(file);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file_with(cells: Vec<Vec<(&str, Option<ElementClass>)>>) -> LabeledFile {
+        let rows: Vec<Vec<String>> = cells
+            .iter()
+            .map(|r| r.iter().map(|(v, _)| v.to_string()).collect())
+            .collect();
+        let table = Table::from_rows(rows);
+        let width = table.n_cols();
+        let labels: CellLabels = cells
+            .iter()
+            .map(|r| {
+                let mut row: Vec<Option<ElementClass>> = r.iter().map(|(_, l)| *l).collect();
+                row.resize(width, None);
+                row
+            })
+            .collect();
+        let line_labels = LabeledFile::line_labels_from_cells(&table, &labels);
+        LabeledFile::new("test.csv", table, line_labels, labels)
+    }
+
+    use ElementClass::*;
+
+    #[test]
+    fn majority_line_label() {
+        let f = file_with(vec![vec![
+            ("Total", Some(Group)),
+            ("10", Some(Derived)),
+            ("20", Some(Derived)),
+        ]]);
+        assert_eq!(f.line_labels[0], Some(Derived));
+    }
+
+    #[test]
+    fn tie_breaks_toward_minority_class() {
+        let f = file_with(vec![vec![("x", Some(Data)), ("5", Some(Derived))]]);
+        assert_eq!(f.line_labels[0], Some(Derived));
+    }
+
+    #[test]
+    fn empty_line_has_no_label() {
+        let f = file_with(vec![vec![("", None), ("", None)]]);
+        assert_eq!(f.line_labels[0], None);
+    }
+
+    #[test]
+    fn diversity_degree_counts_distinct_classes() {
+        let f = file_with(vec![
+            vec![("a", Some(Data)), ("b", Some(Data))],
+            vec![("Total", Some(Group)), ("3", Some(Derived))],
+        ]);
+        assert_eq!(f.diversity_degree(0), 1);
+        assert_eq!(f.diversity_degree(1), 2);
+    }
+
+    #[test]
+    fn corpus_stats_accumulate() {
+        let mut corpus = Corpus::new("T");
+        corpus.files.push(file_with(vec![
+            vec![("Header A", Some(Header)), ("Header B", Some(Header))],
+            vec![("x", Some(Data)), ("1", Some(Data))],
+        ]));
+        let stats = corpus.stats();
+        assert_eq!(stats.n_files, 1);
+        assert_eq!(stats.n_lines, 2);
+        assert_eq!(stats.n_cells, 4);
+        assert_eq!(stats.lines_per_class[Header.index()], 1);
+        assert_eq!(stats.cells_per_class[Data.index()], 2);
+        assert_eq!(stats.diversity_counts, [2, 0, 0, 0, 0]);
+        assert!((stats.diversity_pct(1) - 100.0).abs() < 1e-12);
+        assert!((stats.cells_per_line(Header) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_prefixes_names() {
+        let mut a = Corpus::new("A");
+        a.files.push(file_with(vec![vec![("x", Some(Data))]]));
+        let mut b = Corpus::new("B");
+        b.files.push(file_with(vec![vec![("y", Some(Data))]]));
+        let m = Corpus::merged("AB", &[&a, &b]);
+        assert_eq!(m.files.len(), 2);
+        assert_eq!(m.files[0].name, "A/test.csv");
+        assert_eq!(m.files[1].name, "B/test.csv");
+    }
+
+    #[test]
+    #[should_panic(expected = "one line label per table row")]
+    fn mismatched_labels_panic() {
+        let table = Table::from_rows(vec![vec!["a"]]);
+        LabeledFile::new("bad", table, vec![], vec![vec![None]]);
+    }
+}

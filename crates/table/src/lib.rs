@@ -1,0 +1,37 @@
+//! # strudel-table
+//!
+//! The table substrate of the Strudel reproduction (*Structure Detection in
+//! Verbose CSV Files*, EDBT 2021): the in-memory model of a verbose CSV
+//! file and its annotations.
+//!
+//! - [`Table`] — a rectangular grid of [`Cell`]s with eagerly inferred
+//!   [`DataType`]s and cached numeric values;
+//! - [`ElementClass`] — the six-class taxonomy of Section 3.2
+//!   (`metadata`, `header`, `group`, `data`, `derived`, `notes`);
+//! - [`LabeledFile`] / [`Corpus`] — ground-truth annotated files and
+//!   dataset-level statistics (Tables 3–5).
+//!
+//! ```
+//! use strudel_table::{DataType, Table};
+//!
+//! let table = Table::from_rows(vec![
+//!     vec!["Crime by drug type", "", ""],
+//!     vec!["Drug", "2019", "2020"],
+//!     vec!["Heroin", "1,204", "998"],
+//! ]);
+//! assert_eq!(table.n_rows(), 3);
+//! assert_eq!(table.cell(2, 1).dtype(), DataType::Int);
+//! assert_eq!(table.cell(2, 1).numeric(), Some(1204.0));
+//! ```
+
+#![warn(missing_docs)]
+
+mod class;
+mod labeled;
+mod table;
+mod types;
+
+pub use class::{ElementClass, ParseClassError};
+pub use labeled::{CellLabels, Corpus, CorpusStats, LabeledFile};
+pub use table::{Cell, Table};
+pub use types::{is_date, parse_number, DataType, ParsedNumber};

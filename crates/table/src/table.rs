@@ -1,0 +1,416 @@
+//! The two-dimensional cell grid underlying every classification task.
+//!
+//! A [`Table`] is the in-memory form of a parsed verbose CSV file: a
+//! rectangular grid of string cells with eagerly inferred [`DataType`]s and
+//! cached numeric values. Rows shorter than the widest row are padded with
+//! empty cells so that column-wise operations are always well defined.
+
+use crate::types::{parse_number, DataType};
+
+/// A single cell: its raw text, inferred type, and numeric value (if any).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    raw: String,
+    dtype: DataType,
+    numeric: Option<f64>,
+}
+
+impl Cell {
+    /// Build a cell from raw text, inferring its type and numeric value.
+    pub fn new(raw: impl Into<String>) -> Cell {
+        let raw = raw.into();
+        let dtype = DataType::infer(&raw);
+        let numeric = if dtype.is_numeric() {
+            parse_number(raw.trim()).map(|p| p.value)
+        } else {
+            None
+        };
+        Cell { raw, dtype, numeric }
+    }
+
+    /// An empty cell.
+    pub fn empty() -> Cell {
+        Cell {
+            raw: String::new(),
+            dtype: DataType::Empty,
+            numeric: None,
+        }
+    }
+
+    /// The raw text of the cell.
+    pub fn raw(&self) -> &str {
+        &self.raw
+    }
+
+    /// The inferred data type.
+    pub fn dtype(&self) -> DataType {
+        self.dtype
+    }
+
+    /// The parsed numeric value, when the cell is `Int` or `Float`.
+    pub fn numeric(&self) -> Option<f64> {
+        self.numeric
+    }
+
+    /// Whether the cell is empty (no characters or only whitespace).
+    pub fn is_empty(&self) -> bool {
+        self.dtype == DataType::Empty
+    }
+
+    /// Length in characters of the raw value.
+    pub fn len(&self) -> usize {
+        self.raw.chars().count()
+    }
+
+    /// Number of words: maximal runs of alphanumeric characters, per the
+    /// paper's `WordAmount` feature definition (Section 4).
+    pub fn word_count(&self) -> usize {
+        let mut count = 0;
+        let mut in_word = false;
+        for ch in self.raw.chars() {
+            if ch.is_alphanumeric() {
+                if !in_word {
+                    count += 1;
+                    in_word = true;
+                }
+            } else {
+                in_word = false;
+            }
+        }
+        count
+    }
+}
+
+/// A rectangular grid of cells parsed from one verbose CSV file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    cells: Vec<Cell>,
+    n_rows: usize,
+    n_cols: usize,
+}
+
+impl Table {
+    /// Build a table from rows of raw string values. Short rows are padded
+    /// with empty cells to the width of the widest row.
+    pub fn from_rows<R, S>(rows: R) -> Table
+    where
+        R: IntoIterator<Item = Vec<S>>,
+        S: Into<String>,
+    {
+        let raw_rows: Vec<Vec<String>> = rows
+            .into_iter()
+            .map(|r| r.into_iter().map(Into::into).collect())
+            .collect();
+        let n_cols = raw_rows.iter().map(Vec::len).max().unwrap_or(0);
+        let n_rows = raw_rows.len();
+        let mut cells = Vec::with_capacity(n_rows * n_cols);
+        for row in raw_rows {
+            let row_len = row.len();
+            for value in row {
+                cells.push(Cell::new(value));
+            }
+            for _ in row_len..n_cols {
+                cells.push(Cell::empty());
+            }
+        }
+        Table {
+            cells,
+            n_rows,
+            n_cols,
+        }
+    }
+
+    /// Number of rows (lines) in the table.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns in the table.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Total number of cell positions (`n_rows * n_cols`).
+    pub fn size(&self) -> usize {
+        self.n_rows * self.n_cols
+    }
+
+    /// The cell at `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics when the position is out of bounds.
+    pub fn cell(&self, row: usize, col: usize) -> &Cell {
+        assert!(row < self.n_rows && col < self.n_cols, "cell out of bounds");
+        &self.cells[row * self.n_cols + col]
+    }
+
+    /// The cell at `(row, col)` or `None` when out of bounds. Accepts
+    /// signed coordinates so neighbour lookups can pass `r-1`/`c-1`
+    /// without underflow checks.
+    pub fn get(&self, row: isize, col: isize) -> Option<&Cell> {
+        if row < 0 || col < 0 {
+            return None;
+        }
+        let (row, col) = (row as usize, col as usize);
+        if row >= self.n_rows || col >= self.n_cols {
+            return None;
+        }
+        Some(&self.cells[row * self.n_cols + col])
+    }
+
+    /// Iterator over the cells of one row.
+    pub fn row(&self, row: usize) -> impl Iterator<Item = &Cell> {
+        assert!(row < self.n_rows, "row out of bounds");
+        self.cells[row * self.n_cols..(row + 1) * self.n_cols].iter()
+    }
+
+    /// Iterator over the cells of one column.
+    pub fn column(&self, col: usize) -> impl Iterator<Item = &Cell> + '_ {
+        assert!(col < self.n_cols, "column out of bounds");
+        (0..self.n_rows).map(move |r| &self.cells[r * self.n_cols + col])
+    }
+
+    /// Whether every cell of `row` is empty.
+    pub fn row_is_empty(&self, row: usize) -> bool {
+        self.row(row).all(Cell::is_empty)
+    }
+
+    /// Whether every cell of `col` is empty.
+    pub fn col_is_empty(&self, col: usize) -> bool {
+        self.column(col).all(Cell::is_empty)
+    }
+
+    /// Number of non-empty cells in `row`.
+    pub fn row_non_empty_count(&self, row: usize) -> usize {
+        self.row(row).filter(|c| !c.is_empty()).count()
+    }
+
+    /// Number of non-empty cells in the whole table.
+    pub fn non_empty_count(&self) -> usize {
+        self.cells.iter().filter(|c| !c.is_empty()).count()
+    }
+
+    /// Index of the closest non-empty row strictly above `row`, if any.
+    /// "Adjacent line" in the paper's contextual features always refers to
+    /// the closest *non-empty* line (Section 4, `DataTypeMatching`).
+    pub fn prev_non_empty_row(&self, row: usize) -> Option<usize> {
+        (0..row).rev().find(|&r| !self.row_is_empty(r))
+    }
+
+    /// Index of the closest non-empty row strictly below `row`, if any.
+    pub fn next_non_empty_row(&self, row: usize) -> Option<usize> {
+        (row + 1..self.n_rows).find(|&r| !self.row_is_empty(r))
+    }
+
+    /// Crop marginal fully-empty rows and columns, as done by the paper's
+    /// data preparation (Section 6.1.1). Interior empty lines/columns are
+    /// preserved — they are meaningful visual separators.
+    pub fn cropped(&self) -> Table {
+        let first_row = (0..self.n_rows).find(|&r| !self.row_is_empty(r));
+        let Some(first_row) = first_row else {
+            return Table::from_rows(Vec::<Vec<String>>::new());
+        };
+        let last_row = (0..self.n_rows)
+            .rev()
+            .find(|&r| !self.row_is_empty(r))
+            .expect("a non-empty row exists");
+        let first_col = (0..self.n_cols)
+            .find(|&c| !self.col_is_empty(c))
+            .expect("a non-empty column exists");
+        let last_col = (0..self.n_cols)
+            .rev()
+            .find(|&c| !self.col_is_empty(c))
+            .expect("a non-empty column exists");
+        let rows: Vec<Vec<String>> = (first_row..=last_row)
+            .map(|r| {
+                (first_col..=last_col)
+                    .map(|c| self.cell(r, c).raw().to_string())
+                    .collect()
+            })
+            .collect();
+        Table::from_rows(rows)
+    }
+
+    /// Range of rows kept by [`Table::cropped`]: `(first_row, last_row)`
+    /// inclusive, or `None` for an all-empty table. Callers that maintain
+    /// per-line labels use this to crop their label vectors in lockstep.
+    pub fn crop_row_range(&self) -> Option<(usize, usize)> {
+        let first = (0..self.n_rows).find(|&r| !self.row_is_empty(r))?;
+        let last = (0..self.n_rows).rev().find(|&r| !self.row_is_empty(r))?;
+        Some((first, last))
+    }
+
+    /// Render as a GitHub-flavoured markdown table (debugging and
+    /// documentation aid). The first row becomes the header row.
+    pub fn to_markdown(&self) -> String {
+        if self.n_rows == 0 || self.n_cols == 0 {
+            return String::new();
+        }
+        let escape = |v: &str| v.replace('|', "\\|");
+        let mut out = String::new();
+        for r in 0..self.n_rows {
+            out.push('|');
+            for c in 0..self.n_cols {
+                out.push(' ');
+                out.push_str(&escape(self.cell(r, c).raw()));
+                out.push_str(" |");
+            }
+            out.push('\n');
+            if r == 0 {
+                out.push('|');
+                for _ in 0..self.n_cols {
+                    out.push_str(" --- |");
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Render the table back to delimited text (used by tests, examples,
+    /// and the scalability benchmark). Values containing the delimiter,
+    /// a quote, or a newline are quoted per RFC 4180.
+    pub fn to_delimited(&self, delimiter: char) -> String {
+        let mut out = String::new();
+        for r in 0..self.n_rows {
+            for c in 0..self.n_cols {
+                if c > 0 {
+                    out.push(delimiter);
+                }
+                let raw = self.cell(r, c).raw();
+                if raw.contains([delimiter, '"', '\n', '\r']) {
+                    out.push('"');
+                    for ch in raw.chars() {
+                        if ch == '"' {
+                            out.push('"');
+                        }
+                        out.push(ch);
+                    }
+                    out.push('"');
+                } else {
+                    out.push_str(raw);
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table::from_rows(vec![
+            vec!["Title", "", ""],
+            vec!["", "", ""],
+            vec!["a", "1", "2.5"],
+            vec!["b", "3"],
+        ])
+    }
+
+    #[test]
+    fn dimensions_and_padding() {
+        let t = sample();
+        assert_eq!(t.n_rows(), 4);
+        assert_eq!(t.n_cols(), 3);
+        assert!(t.cell(3, 2).is_empty());
+    }
+
+    #[test]
+    fn cell_types_are_inferred() {
+        let t = sample();
+        assert_eq!(t.cell(2, 0).dtype(), DataType::Str);
+        assert_eq!(t.cell(2, 1).dtype(), DataType::Int);
+        assert_eq!(t.cell(2, 2).dtype(), DataType::Float);
+        assert_eq!(t.cell(2, 2).numeric(), Some(2.5));
+    }
+
+    #[test]
+    fn empty_rows_detected() {
+        let t = sample();
+        assert!(!t.row_is_empty(0));
+        assert!(t.row_is_empty(1));
+    }
+
+    #[test]
+    fn closest_non_empty_rows_skip_blanks() {
+        let t = sample();
+        assert_eq!(t.prev_non_empty_row(2), Some(0));
+        assert_eq!(t.next_non_empty_row(0), Some(2));
+        assert_eq!(t.prev_non_empty_row(0), None);
+        assert_eq!(t.next_non_empty_row(3), None);
+    }
+
+    #[test]
+    fn get_handles_out_of_bounds() {
+        let t = sample();
+        assert!(t.get(-1, 0).is_none());
+        assert!(t.get(0, -1).is_none());
+        assert!(t.get(4, 0).is_none());
+        assert!(t.get(0, 3).is_none());
+        assert_eq!(t.get(2, 1).unwrap().numeric(), Some(1.0));
+    }
+
+    #[test]
+    fn crop_removes_marginal_blanks_only() {
+        let t = Table::from_rows(vec![
+            vec!["", "", ""],
+            vec!["", "a", ""],
+            vec!["", "", ""],
+            vec!["", "b", ""],
+            vec!["", "", ""],
+        ]);
+        let c = t.cropped();
+        assert_eq!(c.n_rows(), 3); // a, blank separator, b
+        assert_eq!(c.n_cols(), 1);
+        assert_eq!(c.cell(0, 0).raw(), "a");
+        assert!(c.row_is_empty(1));
+        assert_eq!(c.cell(2, 0).raw(), "b");
+    }
+
+    #[test]
+    fn crop_of_empty_table_is_empty() {
+        let t = Table::from_rows(vec![vec!["", ""], vec!["", ""]]);
+        let c = t.cropped();
+        assert_eq!(c.n_rows(), 0);
+        assert_eq!(c.n_cols(), 0);
+    }
+
+    #[test]
+    fn crop_row_range_matches_cropped() {
+        let t = Table::from_rows(vec![vec![""], vec!["x"], vec![""]]);
+        assert_eq!(t.crop_row_range(), Some((1, 1)));
+    }
+
+    #[test]
+    fn word_count_splits_on_non_alphanumerics() {
+        assert_eq!(Cell::new("Crime in the U.S.").word_count(), 5);
+        assert_eq!(Cell::new("").word_count(), 0);
+        assert_eq!(Cell::new("a1b2").word_count(), 1);
+        assert_eq!(Cell::new("one-two three").word_count(), 3);
+    }
+
+    #[test]
+    fn to_delimited_quotes_when_needed() {
+        let t = Table::from_rows(vec![vec!["a,b", "plain", "say \"hi\""]]);
+        let text = t.to_delimited(',');
+        assert_eq!(text, "\"a,b\",plain,\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let t = Table::from_rows(vec![vec!["a|b", "c"], vec!["1", "2"]]);
+        let md = t.to_markdown();
+        assert_eq!(md, "| a\\|b | c |\n| --- | --- |\n| 1 | 2 |\n");
+        assert_eq!(Table::from_rows(Vec::<Vec<String>>::new()).to_markdown(), "");
+    }
+
+    #[test]
+    fn column_iterates_down() {
+        let t = sample();
+        let col: Vec<&str> = t.column(0).map(Cell::raw).collect();
+        assert_eq!(col, vec!["Title", "", "a", "b"]);
+    }
+}

@@ -1,0 +1,423 @@
+//! Cell-level data types and value parsing.
+//!
+//! The paper's cell feature `DataType` distinguishes four non-empty types —
+//! `int`, `float`, `string`, and `date` (Section 5.1) — and the feature
+//! extraction pipeline additionally needs to know whether a cell is empty.
+//! [`DataType`] therefore carries five variants; [`DataType::code`] maps the
+//! four non-empty types onto the `[0..4]` range used by the feature vector,
+//! with `Empty` reserved for sentinel handling by the callers.
+
+use std::fmt;
+
+/// The inferred type of a single cell value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataType {
+    /// The cell holds no characters (or only whitespace).
+    Empty,
+    /// An integer, possibly signed, possibly with thousands separators.
+    Int,
+    /// A real number, including percentages and accounting negatives.
+    Float,
+    /// A calendar date in one of the common textual layouts.
+    Date,
+    /// Anything else: free text, codes, mixed alphanumerics.
+    Str,
+}
+
+impl DataType {
+    /// Numeric code used in feature vectors, matching the paper's `[0..4]`
+    /// encoding of the four non-empty types. `Empty` is encoded as `4.0`
+    /// only by neighbour-profile features that need a sentinel; content
+    /// features never see it because they skip empty cells.
+    pub fn code(self) -> f64 {
+        match self {
+            DataType::Int => 0.0,
+            DataType::Float => 1.0,
+            DataType::Str => 2.0,
+            DataType::Date => 3.0,
+            DataType::Empty => 4.0,
+        }
+    }
+
+    /// Whether this type carries a numeric value usable by the derived-cell
+    /// detection algorithm (Algorithm 2).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+
+    /// Infer the data type of a raw cell value.
+    ///
+    /// Inference is deliberately forgiving about real-world formatting:
+    /// thousands separators (`1,234`), accounting negatives (`(42)`),
+    /// percentages (`3.5%`), and currency prefixes (`$`, `€`, `£`) all
+    /// parse as numbers, because verbose CSV files exported from
+    /// spreadsheets use them pervasively.
+    pub fn infer(value: &str) -> DataType {
+        let v = value.trim();
+        if v.is_empty() {
+            return DataType::Empty;
+        }
+        if let Some(parsed) = parse_number(v) {
+            return if parsed.is_integer {
+                DataType::Int
+            } else {
+                DataType::Float
+            };
+        }
+        if is_date(v) {
+            return DataType::Date;
+        }
+        DataType::Str
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DataType::Empty => "empty",
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Date => "date",
+            DataType::Str => "string",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Outcome of [`parse_number`]: the numeric value plus whether the textual
+/// form was integral (no decimal point, no percent sign).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParsedNumber {
+    /// The parsed value, sign and percent scaling applied.
+    pub value: f64,
+    /// True when the source text denotes an integer.
+    pub is_integer: bool,
+}
+
+/// Parse a spreadsheet-style numeric literal.
+///
+/// Accepts optional leading currency symbol (`$`, `€`, `£`), an optional
+/// sign or accounting parentheses for negatives, thousands separators in
+/// the integer part, an optional decimal fraction, an optional exponent,
+/// and an optional trailing percent sign (which divides by 100). Returns
+/// `None` when the text is not a number under these rules.
+pub fn parse_number(value: &str) -> Option<ParsedNumber> {
+    let mut v = value.trim();
+    if v.is_empty() {
+        return None;
+    }
+
+    // Accounting negatives: "(1,234)" means -1234.
+    let mut negative = false;
+    if v.starts_with('(') && v.ends_with(')') && v.len() >= 3 {
+        negative = true;
+        v = v[1..v.len() - 1].trim();
+    }
+
+    // Currency prefix.
+    for sym in ["$", "€", "£"] {
+        if let Some(rest) = v.strip_prefix(sym) {
+            v = rest.trim_start();
+            break;
+        }
+    }
+
+    // Explicit sign.
+    if let Some(rest) = v.strip_prefix('-') {
+        if negative {
+            return None; // "(-3)" is not a number we accept
+        }
+        negative = true;
+        v = rest;
+    } else if let Some(rest) = v.strip_prefix('+') {
+        v = rest;
+    }
+
+    // Percent suffix.
+    let mut percent = false;
+    if let Some(rest) = v.strip_suffix('%') {
+        percent = true;
+        v = rest.trim_end();
+    }
+
+    if v.is_empty() {
+        return None;
+    }
+
+    // Strip well-formed thousands separators: groups of 3 digits after the
+    // first comma. We accept commas only between digit groups.
+    let cleaned = strip_thousands_separators(v)?;
+
+    let mut is_integer = !cleaned.contains('.') && !cleaned.contains(['e', 'E']);
+    let parsed: f64 = cleaned.parse().ok()?;
+    if !parsed.is_finite() {
+        return None;
+    }
+    let mut result = parsed;
+    if negative {
+        result = -result;
+    }
+    if percent {
+        result /= 100.0;
+        is_integer = false;
+    }
+    Some(ParsedNumber {
+        value: result,
+        is_integer,
+    })
+}
+
+/// Remove thousands separators, validating that commas appear only between
+/// three-digit groups of the integer part. Returns `None` if the text
+/// cannot be a number (contains characters other than digits, a single
+/// dot, a sign-free exponent, or valid separators).
+fn strip_thousands_separators(v: &str) -> Option<String> {
+    if !v.contains(',') {
+        // Fast path: still validate the character set loosely; the final
+        // f64 parse does the exact validation.
+        return if v.bytes().all(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            Some(v.to_string())
+        } else {
+            None
+        };
+    }
+    // Split integer part at the first '.', if any.
+    let (int_part, frac_part) = match v.find('.') {
+        Some(idx) => (&v[..idx], Some(&v[idx + 1..])),
+        None => (v, None),
+    };
+    if let Some(frac) = frac_part {
+        if frac.contains(',') {
+            return None;
+        }
+    }
+    let groups: Vec<&str> = int_part.split(',').collect();
+    if groups.len() < 2 {
+        return None;
+    }
+    // First group: 1-3 digits; the rest exactly 3.
+    if groups[0].is_empty() || groups[0].len() > 3 || !groups[0].bytes().all(|b| b.is_ascii_digit())
+    {
+        return None;
+    }
+    for g in &groups[1..] {
+        if g.len() != 3 || !g.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+    }
+    let mut out = groups.concat();
+    if let Some(frac) = frac_part {
+        out.push('.');
+        out.push_str(frac);
+    }
+    Some(out)
+}
+
+/// Heuristic date detection over the textual layouts common in statistical
+/// tables: ISO (`2020-03-26`), slashed (`26/03/2020`, `03/26/20`),
+/// dotted (`26.03.2020`), and month-name forms (`Mar 2020`,
+/// `26 March 2020`, `March 26, 2020`).
+pub fn is_date(value: &str) -> bool {
+    let v = value.trim();
+    if v.len() < 6 || v.len() > 30 {
+        return false;
+    }
+    is_numeric_date(v, '-') || is_numeric_date(v, '/') || is_numeric_date(v, '.') || is_month_name_date(v)
+}
+
+fn is_numeric_date(v: &str, sep: char) -> bool {
+    let parts: Vec<&str> = v.split(sep).collect();
+    if parts.len() != 3 {
+        return false;
+    }
+    if !parts
+        .iter()
+        .all(|p| !p.is_empty() && p.len() <= 4 && p.bytes().all(|b| b.is_ascii_digit()))
+    {
+        return false;
+    }
+    let nums: Vec<u32> = parts.iter().map(|p| p.parse().unwrap_or(u32::MAX)).collect();
+    // Accept year-first or year-last layouts; require a plausible
+    // day/month combination in the remaining two fields.
+    let (year, a, b) = if parts[0].len() == 4 {
+        (nums[0], nums[1], nums[2])
+    } else if parts[2].len() >= 2 {
+        (nums[2], nums[0], nums[1])
+    } else {
+        return false;
+    };
+    let year_ok = (1000..=9999).contains(&year) || (0..=99).contains(&year);
+    let day_month_ok = (1..=12).contains(&a) && (1..=31).contains(&b)
+        || (1..=31).contains(&a) && (1..=12).contains(&b);
+    year_ok && day_month_ok
+}
+
+const MONTHS: [&str; 12] = [
+    "january",
+    "february",
+    "march",
+    "april",
+    "may",
+    "june",
+    "july",
+    "august",
+    "september",
+    "october",
+    "november",
+    "december",
+];
+
+fn is_month_name(word: &str) -> bool {
+    let w = word.trim_end_matches('.').to_ascii_lowercase();
+    if w.len() < 3 {
+        return false;
+    }
+    MONTHS.iter().any(|m| *m == w || (w.len() == 3 && m.starts_with(&w)))
+}
+
+fn is_month_name_date(v: &str) -> bool {
+    let tokens: Vec<&str> = v
+        .split([' ', ','])
+        .filter(|t| !t.is_empty())
+        .collect();
+    if !(2..=3).contains(&tokens.len()) {
+        return false;
+    }
+    let month_count = tokens.iter().filter(|t| is_month_name(t)).count();
+    if month_count != 1 {
+        return false;
+    }
+    tokens.iter().all(|t| {
+        is_month_name(t)
+            || (t.len() <= 4 && t.bytes().all(|b| b.is_ascii_digit()))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_whitespace_are_empty() {
+        assert_eq!(DataType::infer(""), DataType::Empty);
+        assert_eq!(DataType::infer("   "), DataType::Empty);
+        assert_eq!(DataType::infer("\t"), DataType::Empty);
+    }
+
+    #[test]
+    fn plain_integers() {
+        assert_eq!(DataType::infer("0"), DataType::Int);
+        assert_eq!(DataType::infer("42"), DataType::Int);
+        assert_eq!(DataType::infer("-17"), DataType::Int);
+        assert_eq!(DataType::infer("+8"), DataType::Int);
+    }
+
+    #[test]
+    fn thousands_separated_integers() {
+        assert_eq!(DataType::infer("1,234"), DataType::Int);
+        assert_eq!(DataType::infer("12,345,678"), DataType::Int);
+        assert_eq!(parse_number("1,234").unwrap().value, 1234.0);
+    }
+
+    #[test]
+    fn malformed_separators_are_strings() {
+        assert_eq!(DataType::infer("1,23"), DataType::Str);
+        assert_eq!(DataType::infer("12,3456"), DataType::Str);
+        assert_eq!(DataType::infer(",123"), DataType::Str);
+        assert_eq!(DataType::infer("1,,234"), DataType::Str);
+    }
+
+    #[test]
+    fn floats() {
+        assert_eq!(DataType::infer("3.14"), DataType::Float);
+        assert_eq!(DataType::infer("-0.5"), DataType::Float);
+        assert_eq!(DataType::infer("1,234.56"), DataType::Float);
+        assert_eq!(DataType::infer("2e10"), DataType::Float);
+    }
+
+    #[test]
+    fn percentages_scale_down() {
+        let p = parse_number("25%").unwrap();
+        assert!((p.value - 0.25).abs() < 1e-12);
+        assert!(!p.is_integer);
+        assert_eq!(DataType::infer("3.5%"), DataType::Float);
+    }
+
+    #[test]
+    fn accounting_negatives() {
+        let p = parse_number("(1,500)").unwrap();
+        assert_eq!(p.value, -1500.0);
+        assert!(p.is_integer);
+    }
+
+    #[test]
+    fn currency_prefixes() {
+        assert_eq!(parse_number("$1,000").unwrap().value, 1000.0);
+        assert_eq!(parse_number("€42.50").unwrap().value, 42.5);
+        assert_eq!(parse_number("£ 7").unwrap().value, 7.0);
+    }
+
+    #[test]
+    fn double_negation_rejected() {
+        assert!(parse_number("(-3)").is_none());
+    }
+
+    #[test]
+    fn iso_dates() {
+        assert_eq!(DataType::infer("2020-03-26"), DataType::Date);
+        assert_eq!(DataType::infer("1999-12-31"), DataType::Date);
+    }
+
+    #[test]
+    fn slashed_dates() {
+        assert_eq!(DataType::infer("26/03/2020"), DataType::Date);
+        assert_eq!(DataType::infer("03/26/2020"), DataType::Date);
+        assert_eq!(DataType::infer("3/6/2020"), DataType::Date);
+    }
+
+    #[test]
+    fn month_name_dates() {
+        assert_eq!(DataType::infer("Mar 2020"), DataType::Date);
+        assert_eq!(DataType::infer("26 March 2020"), DataType::Date);
+        assert_eq!(DataType::infer("March 26, 2020"), DataType::Date);
+    }
+
+    #[test]
+    fn non_dates_remain_strings() {
+        assert_eq!(DataType::infer("26/03"), DataType::Str);
+        assert_eq!(DataType::infer("Total crime"), DataType::Str);
+        assert_eq!(DataType::infer("13/45/2020"), DataType::Str);
+        assert_eq!(DataType::infer("a-b-c"), DataType::Str);
+    }
+
+    #[test]
+    fn years_are_integers_not_dates() {
+        // A bare year like a header "2019" must be numeric: the paper's
+        // error analysis relies on numeric headers looking like data.
+        assert_eq!(DataType::infer("2019"), DataType::Int);
+    }
+
+    #[test]
+    fn codes_match_paper_range() {
+        assert_eq!(DataType::Int.code(), 0.0);
+        assert_eq!(DataType::Float.code(), 1.0);
+        assert_eq!(DataType::Str.code(), 2.0);
+        assert_eq!(DataType::Date.code(), 3.0);
+    }
+
+    #[test]
+    fn numeric_predicate() {
+        assert!(DataType::Int.is_numeric());
+        assert!(DataType::Float.is_numeric());
+        assert!(!DataType::Date.is_numeric());
+        assert!(!DataType::Str.is_numeric());
+        assert!(!DataType::Empty.is_numeric());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DataType::Int.to_string(), "int");
+        assert_eq!(DataType::Str.to_string(), "string");
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests of the table substrate: grid shape invariants,
+//! cropping laws, numeric parsing totality, and taxonomy consistency.
+
+use proptest::prelude::*;
+use strudel_table::{parse_number, Corpus, DataType, ElementClass, LabeledFile, Table};
+
+fn arb_grid() -> impl Strategy<Value = Vec<Vec<String>>> {
+    proptest::collection::vec(
+        proptest::collection::vec("[ -~]{0,8}", 0..6),
+        0..8,
+    )
+}
+
+proptest! {
+    /// The constructed grid is rectangular with the max row width, and
+    /// every original value is preserved at its position.
+    #[test]
+    fn from_rows_shape(grid in arb_grid()) {
+        let table = Table::from_rows(grid.clone());
+        let expected_cols = grid.iter().map(Vec::len).max().unwrap_or(0);
+        prop_assert_eq!(table.n_rows(), grid.len());
+        prop_assert_eq!(table.n_cols(), expected_cols);
+        for (r, row) in grid.iter().enumerate() {
+            for (c, v) in row.iter().enumerate() {
+                prop_assert_eq!(table.cell(r, c).raw(), v);
+            }
+            for c in row.len()..expected_cols {
+                prop_assert!(table.cell(r, c).is_empty());
+            }
+        }
+    }
+
+    /// Cropping is idempotent and never leaves empty marginal rows or
+    /// columns.
+    #[test]
+    fn crop_idempotent(grid in arb_grid()) {
+        let cropped = Table::from_rows(grid).cropped();
+        if cropped.n_rows() > 0 {
+            prop_assert!(!cropped.row_is_empty(0));
+            prop_assert!(!cropped.row_is_empty(cropped.n_rows() - 1));
+            prop_assert!(!cropped.col_is_empty(0));
+            prop_assert!(!cropped.col_is_empty(cropped.n_cols() - 1));
+        }
+        let twice = cropped.cropped();
+        prop_assert_eq!(twice, cropped);
+    }
+
+    /// `crop_row_range` matches what `cropped` keeps.
+    #[test]
+    fn crop_range_consistent(grid in arb_grid()) {
+        let table = Table::from_rows(grid);
+        match table.crop_row_range() {
+            None => prop_assert_eq!(table.cropped().n_rows(), 0),
+            Some((first, last)) => {
+                prop_assert!(first <= last);
+                prop_assert_eq!(table.cropped().n_rows(), last - first + 1);
+            }
+        }
+    }
+
+    /// Non-empty counts agree between row-wise and whole-table tallies.
+    #[test]
+    fn non_empty_counts_agree(grid in arb_grid()) {
+        let table = Table::from_rows(grid);
+        let by_rows: usize = (0..table.n_rows()).map(|r| table.row_non_empty_count(r)).sum();
+        prop_assert_eq!(by_rows, table.non_empty_count());
+    }
+
+    /// `prev/next_non_empty_row` return non-empty rows on the correct
+    /// side and skip nothing non-empty in between.
+    #[test]
+    fn neighbour_row_scan(grid in arb_grid(), probe in 0usize..8) {
+        let table = Table::from_rows(grid);
+        if table.n_rows() == 0 { return Ok(()); }
+        let r = probe % table.n_rows();
+        if let Some(p) = table.prev_non_empty_row(r) {
+            prop_assert!(p < r);
+            prop_assert!(!table.row_is_empty(p));
+            for between in p + 1..r {
+                prop_assert!(table.row_is_empty(between));
+            }
+        }
+        if let Some(nx) = table.next_non_empty_row(r) {
+            prop_assert!(nx > r);
+            prop_assert!(!table.row_is_empty(nx));
+        }
+    }
+
+    /// Numeric parsing never panics and is sign-consistent.
+    #[test]
+    fn parse_number_total(s in "[ -~]{0,16}") {
+        if let Some(p) = parse_number(&s) {
+            prop_assert!(p.value.is_finite());
+            if p.is_integer {
+                prop_assert_eq!(p.value.fract(), 0.0);
+            }
+        }
+    }
+
+    /// Data types of formatted floats are stable.
+    #[test]
+    fn float_formatting_types(v in -1.0e6f64..1.0e6) {
+        let one_decimal = format!("{v:.1}");
+        let t = DataType::infer(&one_decimal);
+        prop_assert!(t == DataType::Float || t == DataType::Int, "{one_decimal} -> {t:?}");
+    }
+
+    /// Line labels derived from cell labels always match some cell class
+    /// present in the line.
+    #[test]
+    fn majority_label_is_present(classes in proptest::collection::vec(0usize..6, 1..6)) {
+        let values: Vec<Vec<String>> = vec![classes.iter().map(|c| format!("v{c}")).collect()];
+        let table = Table::from_rows(values);
+        let labels = vec![classes
+            .iter()
+            .map(|&c| Some(ElementClass::from_index(c)))
+            .collect::<Vec<_>>()];
+        let line = LabeledFile::line_labels_from_cells(&table, &labels);
+        let chosen = line[0].expect("non-empty line gets a label");
+        prop_assert!(classes.contains(&chosen.index()));
+    }
+
+    /// Corpus statistics are additive under merging.
+    #[test]
+    fn merged_stats_additive(n_a in 1usize..4, n_b in 1usize..4) {
+        let make = |n: usize, tag: &str| {
+            let mut corpus = Corpus::new(tag);
+            for i in 0..n {
+                let table = Table::from_rows(vec![vec![format!("v{i}"), "1".to_string()]]);
+                let labels = vec![vec![Some(ElementClass::Data), Some(ElementClass::Data)]];
+                let lines = LabeledFile::line_labels_from_cells(&table, &labels);
+                corpus.files.push(LabeledFile::new(format!("f{i}"), table, lines, labels));
+            }
+            corpus
+        };
+        let a = make(n_a, "A");
+        let b = make(n_b, "B");
+        let merged = Corpus::merged("AB", &[&a, &b]);
+        let (sa, sb, sm) = (a.stats(), b.stats(), merged.stats());
+        prop_assert_eq!(sm.n_files, sa.n_files + sb.n_files);
+        prop_assert_eq!(sm.n_lines, sa.n_lines + sb.n_lines);
+        prop_assert_eq!(sm.n_cells, sa.n_cells + sb.n_cells);
+    }
+}

@@ -1,0 +1,77 @@
+//! Quickstart: train Strudel on a synthetic corpus and detect the
+//! structure of a verbose CSV file given as raw text.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use strudel_repro::datagen::{saus, GeneratorConfig};
+use strudel_repro::ml::ForestConfig;
+use strudel_repro::strudel::{Strudel, StrudelCellConfig, StrudelLineConfig};
+
+fn main() {
+    // 1. Training data: any collection of annotated `LabeledFile`s. Here,
+    //    a synthetic SAUS-style corpus (see strudel-datagen).
+    let corpus = saus(&GeneratorConfig {
+        n_files: 40,
+        seed: 7,
+        scale: 0.3,
+    });
+    println!(
+        "training on {} files / {} annotated lines ...",
+        corpus.files.len(),
+        corpus.stats().n_lines
+    );
+
+    // 2. Fit the two-stage model (Strudel^L then Strudel^C).
+    let config = StrudelCellConfig {
+        line: StrudelLineConfig {
+            forest: ForestConfig::fast(30, 0),
+            ..StrudelLineConfig::default()
+        },
+        forest: ForestConfig::fast(30, 1),
+        ..StrudelCellConfig::default()
+    };
+    let model = Strudel::fit(&corpus.files, &config);
+
+    // 3. Structure-detect a raw verbose CSV file: dialect detection,
+    //    parsing, line classification, cell classification in one call.
+    let text = "\
+Recorded offences by region, 2019-2020,,
+crime — reference period 2020,,
+,,
+,2019,2020
+Kent,1204,998
+Surrey,730,812
+Dorset,255,304
+Total,\"2,189\",\"2,114\"
+,,
+Source: national statistics office,,
+Figures are provisional and subject to revision,,
+";
+    let structure = model.detect_structure(text);
+
+    println!("\ndetected dialect: {}", structure.dialect);
+    println!("\nper-line classes:");
+    for (r, line) in structure.lines.iter().enumerate() {
+        let label = line.map_or("(empty)", |c| c.name());
+        let preview: Vec<String> = (0..structure.table.n_cols())
+            .map(|c| structure.table.cell(r, c).raw().to_string())
+            .collect();
+        println!("  line {r:>2}  {label:<10} {}", preview.join(" | "));
+    }
+
+    println!("\ncells that differ from their line class:");
+    for cell in &structure.cells {
+        let line_class = structure.lines[cell.row];
+        if Some(cell.class) != line_class {
+            println!(
+                "  ({}, {}) {:?} -> {}",
+                cell.row,
+                cell.col,
+                structure.table.cell(cell.row, cell.col).raw(),
+                cell.class
+            );
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Workspace facade for the Strudel reproduction.
+//!
+//! This crate re-exports the public surface of every workspace member so
+//! that examples and integration tests can depend on a single crate. For
+//! library use, depend on the individual crates (`strudel`, `strudel-table`,
+//! ...) directly.
+
+pub use strudel;
+pub use strudel_corpus as corpus;
+pub use strudel_datagen as datagen;
+pub use strudel_dialect as dialect;
+pub use strudel_eval as eval;
+pub use strudel_ml as ml;
+pub use strudel_table as table;

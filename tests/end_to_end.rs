@@ -1,0 +1,203 @@
+//! Cross-crate integration: the full Strudel pipeline from raw text to
+//! line and cell classes, exercising dialect detection, the table model,
+//! feature extraction, the ML substrate, and the evaluation harness
+//! together.
+
+use strudel_repro::datagen::{saus, troy, GeneratorConfig};
+use strudel_repro::eval::Evaluation;
+use strudel_repro::ml::ForestConfig;
+use strudel_repro::strudel::{Strudel, StrudelCellConfig, StrudelLineConfig};
+use strudel_repro::table::ElementClass;
+
+fn fast_config(trees: usize, seed: u64) -> StrudelCellConfig {
+    StrudelCellConfig {
+        line: StrudelLineConfig {
+            forest: ForestConfig::fast(trees, seed),
+            ..StrudelLineConfig::default()
+        },
+        forest: ForestConfig::fast(trees, seed ^ 1),
+        ..StrudelCellConfig::default()
+    }
+}
+
+#[test]
+fn pipeline_classifies_rendered_corpus_files() {
+    let corpus = saus(&GeneratorConfig {
+        n_files: 24,
+        seed: 17,
+        scale: 0.25,
+    });
+    let (train, test) = corpus.files.split_at(18);
+    let model = Strudel::fit(train, &fast_config(20, 3));
+
+    let mut gold = Vec::new();
+    let mut pred = Vec::new();
+    for file in test {
+        // Render to CSV text and push the *text* through the pipeline:
+        // dialect detection and parsing must reconstruct the same grid.
+        let text = file.table.to_delimited(',');
+        let structure = model.detect_structure(&text);
+        assert_eq!(structure.dialect.delimiter, ',');
+        assert_eq!(structure.table.n_rows(), file.table.n_rows());
+        assert_eq!(structure.table.n_cols(), file.table.n_cols());
+        for r in 0..file.table.n_rows() {
+            if let (Some(g), Some(p)) = (file.line_labels[r], structure.lines[r]) {
+                gold.push(g.index());
+                pred.push(p.index());
+            }
+        }
+    }
+    let eval = Evaluation::compute(&gold, &pred, ElementClass::COUNT);
+    assert!(eval.accuracy > 0.85, "line accuracy {}", eval.accuracy);
+    assert!(
+        eval.f1[ElementClass::Data.index()] > 0.9,
+        "data F1 {}",
+        eval.f1[ElementClass::Data.index()]
+    );
+}
+
+#[test]
+fn cell_stage_beats_line_broadcast_on_heterogeneous_lines() {
+    // The derived lines of the corpus carry a leading Group cell; the
+    // cell stage must recover (some of) those against the line majority.
+    let corpus = saus(&GeneratorConfig {
+        n_files: 30,
+        seed: 23,
+        scale: 0.25,
+    });
+    let (train, test) = corpus.files.split_at(24);
+    let model = Strudel::fit(train, &fast_config(25, 9));
+
+    let mut group_cells = 0usize;
+    let mut group_hits = 0usize;
+    for file in test {
+        for p in model.cell_model().predict(&file.table) {
+            if file.cell_labels[p.row][p.col] == Some(ElementClass::Group) {
+                group_cells += 1;
+                if p.class == ElementClass::Group {
+                    group_hits += 1;
+                }
+            }
+        }
+    }
+    assert!(group_cells > 0, "test split contains group cells");
+    assert!(
+        group_hits * 2 > group_cells,
+        "recovered {group_hits}/{group_cells} group cells"
+    );
+}
+
+#[test]
+fn out_of_domain_transfer_stays_reasonable() {
+    // Miniature Table 7: train SAUS, test Troy. Data must transfer well;
+    // derived is expected to collapse (anchorless aggregates).
+    let train = saus(&GeneratorConfig {
+        n_files: 24,
+        seed: 29,
+        scale: 0.25,
+    });
+    let test = troy(&GeneratorConfig {
+        n_files: 12,
+        seed: 31,
+        scale: 0.4,
+    });
+    let model = Strudel::fit(&train.files, &fast_config(20, 5));
+
+    let mut gold = Vec::new();
+    let mut pred = Vec::new();
+    for file in &test.files {
+        let structure = model.detect_structure_of_table(
+            file.table.clone(),
+            strudel_repro::dialect::Dialect::rfc4180(),
+        );
+        for r in 0..file.table.n_rows() {
+            if let (Some(g), Some(p)) = (file.line_labels[r], structure.lines[r]) {
+                gold.push(g.index());
+                pred.push(p.index());
+            }
+        }
+    }
+    let eval = Evaluation::compute(&gold, &pred, ElementClass::COUNT);
+    assert!(
+        eval.f1[ElementClass::Data.index()] > 0.8,
+        "data should transfer (F1 {})",
+        eval.f1[ElementClass::Data.index()]
+    );
+    assert!(
+        eval.f1[ElementClass::Notes.index()] > 0.6,
+        "notes should transfer (F1 {})",
+        eval.f1[ElementClass::Notes.index()]
+    );
+}
+
+#[test]
+fn structure_accessors_are_consistent() {
+    let corpus = saus(&GeneratorConfig {
+        n_files: 12,
+        seed: 37,
+        scale: 0.2,
+    });
+    let model = Strudel::fit(&corpus.files, &fast_config(10, 7));
+    let probe = &corpus.files[0];
+    let structure =
+        model.detect_structure_of_table(probe.table.clone(), strudel_repro::dialect::Dialect::rfc4180());
+
+    // Every non-empty cell got a prediction; every empty one did not.
+    assert_eq!(structure.cells.len(), probe.table.non_empty_count());
+    for cell in &structure.cells {
+        assert!(!probe.table.cell(cell.row, cell.col).is_empty());
+        assert_eq!(structure.cell_class(cell.row, cell.col), Some(cell.class));
+        assert!((cell.probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+    // data_rows only contains rows whose line class is data.
+    let data_rows = structure.data_rows();
+    let data_lines = structure
+        .lines
+        .iter()
+        .filter(|l| **l == Some(ElementClass::Data))
+        .count();
+    assert_eq!(data_rows.len(), data_lines);
+}
+
+#[test]
+fn corpus_disk_roundtrip_feeds_training() {
+    // The full on-disk loop: generate → save → load → train → classify.
+    use strudel_repro::corpus::{load_corpus, save_corpus};
+    let corpus = saus(&GeneratorConfig {
+        n_files: 10,
+        seed: 51,
+        scale: 0.2,
+    });
+    let dir = std::env::temp_dir().join(format!("strudel-e2e-corpus-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    save_corpus(&dir, &corpus).unwrap();
+    let loaded = load_corpus(&dir, "SAUS").unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    let model = Strudel::fit(&loaded.files, &fast_config(10, 11));
+    let s = model.detect_structure("a,1\nb,2\nc,3\n");
+    assert_eq!(s.lines.len(), 3);
+}
+
+#[test]
+fn relational_extraction_from_detected_structure() {
+    use strudel_repro::strudel::to_relational;
+    let corpus = saus(&GeneratorConfig {
+        n_files: 20,
+        seed: 53,
+        scale: 0.25,
+    });
+    let model = Strudel::fit(&corpus.files, &fast_config(20, 13));
+    let text = "Report,,\n,Rate 1,Rate 2\nNorth:,,\nKent,10,20\nSurrey,30,40\nTotal,40,60\n,,\nSource: office,,\n";
+    let structure = model.detect_structure(text);
+    let tables = to_relational(&structure);
+    assert_eq!(tables.len(), 1, "line classes: {:?}", structure.lines);
+    let t = &tables[0];
+    // Data tuples extracted; the derived total line is not among them.
+    assert!(t.rows.iter().any(|r| r.contains(&"Kent".to_string())));
+    assert!(!t
+        .rows
+        .iter()
+        .any(|r| r.contains(&"Total".to_string())));
+    let csv = t.to_csv();
+    assert!(csv.lines().count() >= 3);
+}

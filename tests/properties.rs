@@ -1,0 +1,144 @@
+//! Property-based tests (proptest) over the core invariants of the
+//! workspace: CSV round-tripping, value parsing, block sizes, feature
+//! ranges, metric bounds, and ensemble voting.
+
+use proptest::prelude::*;
+use strudel_repro::dialect::{parse, read_table, Dialect};
+use strudel_repro::eval::{majority_vote, Evaluation};
+use strudel_repro::strudel::{block_sizes, extract_line_features, LineFeatureConfig};
+use strudel_repro::table::{parse_number, DataType, Table};
+
+/// Arbitrary cell content including delimiters, quotes, and newlines.
+fn arb_cell() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~\n]{0,12}").expect("valid regex")
+}
+
+/// Arbitrary small ragged grids of printable cells.
+fn arb_grid() -> impl Strategy<Value = Vec<Vec<String>>> {
+    proptest::collection::vec(proptest::collection::vec(arb_cell(), 1..6), 1..8)
+}
+
+proptest! {
+    /// Writing a table as RFC 4180 text and re-reading it yields the same
+    /// cell values (up to the padding that makes rows rectangular).
+    #[test]
+    fn csv_roundtrip(grid in arb_grid()) {
+        let table = Table::from_rows(grid);
+        let text = table.to_delimited(',');
+        let parsed = parse(&text, &Dialect::rfc4180());
+        let reparsed = Table::from_rows(parsed);
+        prop_assert_eq!(reparsed.n_rows(), table.n_rows());
+        prop_assert_eq!(reparsed.n_cols(), table.n_cols());
+        for r in 0..table.n_rows() {
+            for c in 0..table.n_cols() {
+                prop_assert_eq!(reparsed.cell(r, c).raw(), table.cell(r, c).raw());
+            }
+        }
+    }
+
+    /// `parse_number` on canonical integer renderings recovers the value,
+    /// with or without thousands separators.
+    #[test]
+    fn integer_parsing_roundtrip(v in -9_999_999i64..9_999_999) {
+        let plain = v.to_string();
+        let parsed = parse_number(&plain).expect("plain integer parses");
+        prop_assert_eq!(parsed.value as i64, v);
+        prop_assert!(parsed.is_integer);
+        let fancy = strudel_repro::datagen::with_thousands(v);
+        let parsed = parse_number(&fancy).expect("separated integer parses");
+        prop_assert_eq!(parsed.value as i64, v);
+    }
+
+    /// Type inference is total and consistent with numeric parsing: a
+    /// cell inferred numeric always produces a parseable number.
+    #[test]
+    fn inference_consistent_with_parsing(s in arb_cell()) {
+        let t = DataType::infer(&s);
+        if t.is_numeric() {
+            prop_assert!(parse_number(s.trim()).is_some(), "{:?} inferred {:?}", s, t);
+        }
+        if t == DataType::Empty {
+            prop_assert!(s.trim().is_empty());
+        }
+    }
+
+    /// Block sizes: zero exactly on empty cells; every non-empty cell's
+    /// block share is in (0, 1]; cells in one block agree on the value.
+    #[test]
+    fn block_size_invariants(grid in arb_grid()) {
+        let table = Table::from_rows(grid);
+        let bs = block_sizes(&table);
+        for r in 0..table.n_rows() {
+            for c in 0..table.n_cols() {
+                if table.cell(r, c).is_empty() {
+                    prop_assert_eq!(bs[r][c], 0.0);
+                } else {
+                    prop_assert!(bs[r][c] > 0.0 && bs[r][c] <= 1.0);
+                    // Horizontal neighbours in the same block share size.
+                    if c + 1 < table.n_cols() && !table.cell(r, c + 1).is_empty() {
+                        prop_assert!((bs[r][c] - bs[r][c + 1]).abs() < 1e-12);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Line features stay within their documented [0, 1] ranges for
+    /// arbitrary content.
+    #[test]
+    fn line_features_in_range(grid in arb_grid()) {
+        let table = Table::from_rows(grid);
+        let feats = extract_line_features(&table, &LineFeatureConfig::default());
+        for row in &feats {
+            for &v in row {
+                prop_assert!((0.0..=1.0).contains(&v), "feature {v} out of range");
+            }
+        }
+    }
+
+    /// Accuracy and F1 are bounded, and accuracy 1 iff predictions match.
+    #[test]
+    fn metric_bounds(gold in proptest::collection::vec(0usize..4, 1..40),
+                     flips in proptest::collection::vec(any::<bool>(), 1..40)) {
+        let pred: Vec<usize> = gold
+            .iter()
+            .zip(flips.iter().cycle())
+            .map(|(&g, &flip)| if flip { (g + 1) % 4 } else { g })
+            .collect();
+        let eval = Evaluation::compute(&gold, &pred, 4);
+        prop_assert!((0.0..=1.0).contains(&eval.accuracy));
+        for &f1 in &eval.f1 {
+            prop_assert!((0.0..=1.0).contains(&f1));
+        }
+        let all_match = gold == pred;
+        prop_assert_eq!(all_match, eval.accuracy == 1.0);
+    }
+
+    /// Majority vote always returns one of the cast votes.
+    #[test]
+    fn majority_vote_returns_a_vote(votes in proptest::collection::vec(0usize..5, 1..20)) {
+        let freq = vec![7usize, 3, 9, 1, 5];
+        let winner = majority_vote(&votes, &freq);
+        prop_assert!(votes.contains(&winner));
+    }
+
+    /// Dialect detection on well-formed single-delimiter files recovers a
+    /// dialect that splits into the original column count.
+    #[test]
+    fn detection_recovers_column_count(
+        n_cols in 2usize..6,
+        n_rows in 3usize..10,
+        delim_idx in 0usize..3,
+    ) {
+        let delimiter = [',', ';', '\t'][delim_idx];
+        let mut text = String::new();
+        for r in 0..n_rows {
+            let row: Vec<String> = (0..n_cols).map(|c| format!("v{r}x{c}")).collect();
+            text.push_str(&row.join(&delimiter.to_string()));
+            text.push('\n');
+        }
+        let (table, dialect) = read_table(&text);
+        prop_assert_eq!(dialect.delimiter, delimiter);
+        prop_assert_eq!(table.n_cols(), n_cols);
+    }
+}
