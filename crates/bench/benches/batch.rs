@@ -1,0 +1,65 @@
+//! Batch-inference throughput: `batch::detect_all` over a synthetic
+//! corpus of ≥ 100 files, single worker vs. the machine's available
+//! parallelism. On a multi-core runner the N-thread configuration
+//! should process ≥ 2× the files/second of the 1-thread one (workers
+//! share nothing but the atomic work index); on a single core both
+//! configurations collapse to the same serial path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use strudel::batch::{detect_all, BatchConfig, BatchInput};
+use strudel::{Strudel, StrudelCellConfig, StrudelLineConfig};
+use strudel_datagen::{saus, GeneratorConfig};
+use strudel_ml::ForestConfig;
+
+fn fitted_model() -> Strudel {
+    let train = saus(&GeneratorConfig {
+        n_files: 20,
+        seed: 5,
+        scale: 0.3,
+    });
+    let config = StrudelCellConfig {
+        line: StrudelLineConfig {
+            forest: ForestConfig::fast(20, 0),
+            ..StrudelLineConfig::default()
+        },
+        forest: ForestConfig::fast(20, 1),
+        ..StrudelCellConfig::default()
+    };
+    Strudel::fit(&train.files, &config)
+}
+
+/// 120 in-memory files rendered from a held-out synthetic corpus.
+fn batch_inputs() -> Vec<BatchInput> {
+    let corpus = saus(&GeneratorConfig {
+        n_files: 120,
+        seed: 77,
+        scale: 0.25,
+    });
+    corpus
+        .files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| BatchInput::text(format!("saus-{i:04}"), f.table.to_delimited(',')))
+        .collect()
+}
+
+fn batch_throughput(c: &mut Criterion) {
+    let model = fitted_model();
+    let inputs = batch_inputs();
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut group = c.benchmark_group("batch_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(inputs.len() as u64));
+    for n_threads in [1, available] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n_threads}threads")),
+            &n_threads,
+            |b, &n_threads| b.iter(|| detect_all(&model, &inputs, &BatchConfig { n_threads })),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, batch_throughput);
+criterion_main!(benches);

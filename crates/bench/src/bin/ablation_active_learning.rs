@@ -27,8 +27,8 @@ fn macro_f1(model: &StrudelLine, test: &[LabeledFile]) -> f64 {
     let mut pred = Vec::new();
     for file in test {
         let p = model.predict(&file.table);
-        for r in 0..file.table.n_rows() {
-            if let (Some(g), Some(pr)) = (file.line_labels[r], p[r]) {
+        for (g, pr) in file.line_labels.iter().zip(&p) {
+            if let (Some(g), Some(pr)) = (g, pr) {
                 gold.push(g.index());
                 pred.push(pr.index());
             }
@@ -118,7 +118,10 @@ fn main() {
         }
     }
 
-    println!("{:<14}{:>14}{:>18}", "labeled files", "random", "uncertainty");
+    println!(
+        "{:<14}{:>14}{:>18}",
+        "labeled files", "random", "uncertainty"
+    );
     for round in 0..=ROUNDS {
         println!(
             "{:<14}{:>14.3}{:>18.3}",
@@ -127,12 +130,8 @@ fn main() {
             active[round]
         );
     }
-    let adv: f64 = active
-        .iter()
-        .zip(&random)
-        .map(|(a, r)| a - r)
-        .sum::<f64>()
-        / active.len() as f64;
+    let adv: f64 =
+        active.iter().zip(&random).map(|(a, r)| a - r).sum::<f64>() / active.len() as f64;
     println!(
         "\nMean macro-F1 advantage of uncertainty selection: {adv:+.3}\n\
          (Chen et al. [7] report active learning reduces annotation effort;\n\

@@ -65,7 +65,11 @@ fn main() {
         ];
         for (evals_slot, model) in evals.iter_mut().zip(&models) {
             let pred = model.predict_all(&test);
-            evals_slot.push(Evaluation::compute(test.targets(), &pred, ElementClass::COUNT));
+            evals_slot.push(Evaluation::compute(
+                test.targets(),
+                &pred,
+                ElementClass::COUNT,
+            ));
         }
     }
 
@@ -74,7 +78,11 @@ fn main() {
     for (b, name) in backbones.iter().enumerate() {
         let mean = Evaluation::mean(&evals[b]);
         rows.push((b, mean.accuracy, mean.macro_f1(&[])));
-        println!("{name:<14}{:>10.3}{:>11.3}", mean.accuracy, mean.macro_f1(&[]));
+        println!(
+            "{name:<14}{:>10.3}{:>11.3}",
+            mean.accuracy,
+            mean.macro_f1(&[])
+        );
     }
     let best = rows
         .iter()

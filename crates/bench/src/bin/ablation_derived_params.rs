@@ -61,8 +61,8 @@ fn main() {
             for &fi in test_idx {
                 let file = &corpus.files[fi];
                 let pred = model.predict(&file.table);
-                for r in 0..file.table.n_rows() {
-                    if let (Some(g), Some(p)) = (file.line_labels[r], pred[r]) {
+                for (r, (g, p)) in file.line_labels.iter().zip(&pred).enumerate() {
+                    if let (Some(g), Some(p)) = (g, p) {
                         preds.push(Prediction {
                             file: fi,
                             item: r,

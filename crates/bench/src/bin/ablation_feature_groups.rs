@@ -9,9 +9,7 @@
 //! computational group is near-redundant) and for the cell task (where
 //! column-anchored `IsAggregation` carries signal no other feature has).
 
-use strudel::{
-    CellFeatureConfig, LineFeatureConfig, StrudelCell, StrudelLine, StrudelLineConfig,
-};
+use strudel::{CellFeatureConfig, LineFeatureConfig, StrudelCell, StrudelLine, StrudelLineConfig};
 use strudel_bench::ExperimentArgs;
 use strudel_eval::{grouped_k_folds, Evaluation};
 use strudel_ml::{Classifier, Dataset, ForestConfig, RandomForest};
@@ -55,14 +53,12 @@ fn main() {
     );
 
     let folds = grouped_k_folds(merged.files.len(), args.folds, args.seed);
-    let line_variants: Vec<(&str, Option<std::ops::Range<usize>>)> =
-        std::iter::once(("all", None))
-            .chain(LINE_GROUPS.iter().map(|(name, r)| (*name, Some(r.clone()))))
-            .collect();
-    let cell_variants: Vec<(&str, Option<std::ops::Range<usize>>)> =
-        std::iter::once(("all", None))
-            .chain(CELL_GROUPS.iter().map(|(name, r)| (*name, Some(r.clone()))))
-            .collect();
+    let line_variants: Vec<(&str, Option<std::ops::Range<usize>>)> = std::iter::once(("all", None))
+        .chain(LINE_GROUPS.iter().map(|(name, r)| (*name, Some(r.clone()))))
+        .collect();
+    let cell_variants: Vec<(&str, Option<std::ops::Range<usize>>)> = std::iter::once(("all", None))
+        .chain(CELL_GROUPS.iter().map(|(name, r)| (*name, Some(r.clone()))))
+        .collect();
     let mut line_evals: Vec<Vec<Evaluation>> = vec![Vec::new(); line_variants.len()];
     let mut cell_evals: Vec<Vec<Evaluation>> = vec![Vec::new(); cell_variants.len()];
 
@@ -152,8 +148,16 @@ fn main() {
         }
         println!();
     };
-    print_block("=== Line task (Table 1 groups) ===", &line_variants, &line_evals);
-    print_block("=== Cell task (Table 2 groups) ===", &cell_variants, &cell_evals);
+    print_block(
+        "=== Line task (Table 1 groups) ===",
+        &line_variants,
+        &line_evals,
+    );
+    print_block(
+        "=== Cell task (Table 2 groups) ===",
+        &cell_variants,
+        &cell_evals,
+    );
     println!(
         "Reading the result: the content group carries most of the line task,\n\
          and the line-probability features carry the cell task's minority\n\

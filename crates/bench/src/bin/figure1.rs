@@ -28,12 +28,12 @@ Source: Uniform Crime Reporting program.,,,
 
 fn color(class: ElementClass) -> &'static str {
     match class {
-        ElementClass::Metadata => "\x1b[36m",  // cyan
-        ElementClass::Header => "\x1b[34m",    // blue
-        ElementClass::Group => "\x1b[35m",     // magenta
-        ElementClass::Data => "\x1b[32m",      // green
-        ElementClass::Derived => "\x1b[33m",   // yellow
-        ElementClass::Notes => "\x1b[90m",     // grey
+        ElementClass::Metadata => "\x1b[36m", // cyan
+        ElementClass::Header => "\x1b[34m",   // blue
+        ElementClass::Group => "\x1b[35m",    // magenta
+        ElementClass::Data => "\x1b[32m",     // green
+        ElementClass::Derived => "\x1b[33m",  // yellow
+        ElementClass::Notes => "\x1b[90m",    // grey
     }
 }
 
@@ -78,7 +78,9 @@ fn main() {
                 rendered.push(String::new());
                 continue;
             }
-            let class = structure.cell_class(r, c).expect("non-empty cell classified");
+            let class = structure
+                .cell_class(r, c)
+                .expect("non-empty cell classified");
             rendered.push(if plain {
                 format!("[{}]{raw}", &class.name()[..1])
             } else {

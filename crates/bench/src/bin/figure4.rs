@@ -9,15 +9,15 @@
 //! column-keyword feature drive derived; neighbour-profile features are
 //! grouped into value-length and data-type aggregates.
 
+use strudel::{
+    CellFeatureConfig, LineFeatureConfig, StrudelCell, StrudelLine, StrudelLineConfig,
+    CELL_FEATURE_NAMES, LINE_FEATURE_NAMES,
+};
 use strudel_bench::printing::importance_block;
 use strudel_bench::ExperimentArgs;
 use strudel_eval::{importance_shares, per_class_importance};
 use strudel_ml::{Dataset, ForestConfig, RandomForest};
 use strudel_table::{Corpus, ElementClass};
-use strudel::{
-    CellFeatureConfig, LineFeatureConfig, StrudelCell, StrudelLine, StrudelLineConfig,
-    CELL_FEATURE_NAMES, LINE_FEATURE_NAMES,
-};
 
 /// Fold the 16 neighbour-profile features into two aggregates for the
 /// display, as the paper does ("we grouped all neighbor profile features
@@ -84,10 +84,7 @@ fn main() {
         .expect("freshly trained forest carries importances");
     let permutation = strudel_eval::permutation_importance(&full_forest, &line_data, 5, args.seed);
     let perm_shares = importance_shares(&permutation);
-    println!(
-        "{:<30}{:>12}{:>14}",
-        "feature", "impurity", "permutation"
-    );
+    println!("{:<30}{:>12}{:>14}", "feature", "impurity", "permutation");
     let mut order: Vec<usize> = (0..LINE_FEATURE_NAMES.len()).collect();
     order.sort_by(|&a, &b| impurity[b].total_cmp(&impurity[a]));
     for j in order {

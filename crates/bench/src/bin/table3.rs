@@ -9,8 +9,14 @@ use strudel_bench::ExperimentArgs;
 fn main() {
     let args = ExperimentArgs::parse();
     println!("Table 3: percentage of lines under different diversity degrees");
-    println!("(--files {} --scale {} --seed {})\n", args.files, args.scale, args.seed);
-    println!("{:<10}{:>9}{:>9}{:>9}{:>9}{:>9}", "Dataset", "1", "2", "3", "4", "5");
+    println!(
+        "(--files {} --scale {} --seed {})\n",
+        args.files, args.scale, args.seed
+    );
+    println!(
+        "{:<10}{:>9}{:>9}{:>9}{:>9}{:>9}",
+        "Dataset", "1", "2", "3", "4", "5"
+    );
     for name in ["SAUS", "CIUS", "DeEx"] {
         let corpus = strudel_datagen::by_name(name, &args.corpus_config(name));
         let stats = corpus.stats();

@@ -10,8 +10,14 @@ use strudel_bench::ExperimentArgs;
 fn main() {
     let args = ExperimentArgs::parse();
     println!("Table 4: dataset summary");
-    println!("(--files {} --scale {} --seed {}; use --paper for Table 4 file counts)\n", args.files, args.scale, args.seed);
-    println!("{:<10}{:>9}{:>12}{:>14}", "Dataset", "# files", "# lines", "# cells");
+    println!(
+        "(--files {} --scale {} --seed {}; use --paper for Table 4 file counts)\n",
+        args.files, args.scale, args.seed
+    );
+    println!(
+        "{:<10}{:>9}{:>12}{:>14}",
+        "Dataset", "# files", "# lines", "# cells"
+    );
     for name in ["GovUK", "SAUS", "CIUS", "DeEx", "Mendeley", "Troy"] {
         let corpus = strudel_datagen::by_name(name, &args.corpus_config(name));
         let stats = corpus.stats();

@@ -18,8 +18,14 @@ fn main() {
     let stats = merged.stats();
 
     println!("Table 5: lines / cells per class (SAUS + CIUS + DeEx)");
-    println!("(--files {} --scale {} --seed {})\n", args.files, args.scale, args.seed);
-    println!("{:<10}{:>10}{:>12}{:>16}", "class", "# lines", "# cells", "# cells/line");
+    println!(
+        "(--files {} --scale {} --seed {})\n",
+        args.files, args.scale, args.seed
+    );
+    println!(
+        "{:<10}{:>10}{:>12}{:>16}",
+        "class", "# lines", "# cells", "# cells/line"
+    );
     for class in ElementClass::ALL {
         println!(
             "{:<10}{:>10}{:>12}{:>16.2}",
@@ -31,5 +37,8 @@ fn main() {
     }
     let total_lines: usize = stats.lines_per_class.iter().sum();
     let total_cells: usize = stats.cells_per_class.iter().sum();
-    println!("{:<10}{:>10}{:>12}{:>16}", "Overall", total_lines, total_cells, "-");
+    println!(
+        "{:<10}{:>10}{:>12}{:>16}",
+        "Overall", total_lines, total_cells, "-"
+    );
 }

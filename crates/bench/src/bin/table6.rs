@@ -99,10 +99,7 @@ fn main() {
 }
 
 /// Drop predictions whose gold class is excluded (Pytheas scoring).
-fn filter_gold(
-    mut outcome: strudel_eval::CvOutcome,
-    exclude: &[usize],
-) -> strudel_eval::CvOutcome {
+fn filter_gold(mut outcome: strudel_eval::CvOutcome, exclude: &[usize]) -> strudel_eval::CvOutcome {
     for preds in &mut outcome.per_repeat {
         preds.retain(|p: &Prediction| !exclude.contains(&p.gold));
     }

@@ -75,7 +75,12 @@ pub fn importance_block(
             break;
         }
         let bar = "#".repeat((share * 50.0).round() as usize);
-        out.push_str(&format!("  {:<28}{:>6.1}% {}\n", names[j], share * 100.0, bar));
+        out.push_str(&format!(
+            "  {:<28}{:>6.1}% {}\n",
+            names[j],
+            share * 100.0,
+            bar
+        ));
     }
     out
 }

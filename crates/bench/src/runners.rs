@@ -1,11 +1,16 @@
 //! Shared experiment runners: train/test and cross-validation execution
 //! for every line and cell algorithm of the evaluation.
 
-use strudel::baselines::{CrfLine, CrfLineConfig, LineCell, PytheasConfig, PytheasLine, RnnCell, RnnCellConfig};
+use strudel::baselines::{
+    CrfLine, CrfLineConfig, LineCell, PytheasConfig, PytheasLine, RnnCell, RnnCellConfig,
+};
 use strudel::{StrudelCell, StrudelCellConfig, StrudelLine, StrudelLineConfig};
 use strudel_eval::{run_cross_validation, CvConfig, CvOutcome, Prediction};
 use strudel_ml::ForestConfig;
 use strudel_table::{Corpus, ElementClass, LabeledFile};
+
+type LinePredictor = Box<dyn Fn(&LabeledFile) -> Vec<Option<ElementClass>>>;
+type CellPredictor = Box<dyn Fn(&LabeledFile) -> Vec<strudel::CellPrediction>>;
 
 /// The line-classification algorithms of Table 6 (top).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,7 +86,7 @@ pub fn train_test_line(
     trees: usize,
     seed: u64,
 ) -> Vec<Prediction> {
-    let predict: Box<dyn Fn(&LabeledFile) -> Vec<Option<ElementClass>>> = match algo {
+    let predict: LinePredictor = match algo {
         LineAlgo::Strudel | LineAlgo::StrudelGlobal => {
             let model = StrudelLine::fit(
                 train,
@@ -108,11 +113,13 @@ pub fn train_test_line(
     let mut out = Vec::new();
     for &(file_idx, file) in test {
         let pred = predict(file);
-        for r in 0..file.table.n_rows() {
-            let Some(gold) = file.line_labels[r] else { continue };
+        for (r, (label, pred_r)) in file.line_labels.iter().zip(&pred).enumerate() {
+            let Some(gold) = label else {
+                continue;
+            };
             // Every labeled line receives a prediction (the classifiers
             // label all non-empty lines); default to `data` defensively.
-            let p = pred[r].unwrap_or(ElementClass::Data);
+            let p = pred_r.unwrap_or(ElementClass::Data);
             out.push(Prediction {
                 file: file_idx,
                 item: r,
@@ -133,7 +140,7 @@ pub fn train_test_cell(
     trees: usize,
     seed: u64,
 ) -> Vec<Prediction> {
-    let predict: Box<dyn Fn(&LabeledFile) -> Vec<strudel::CellPrediction>> = match algo {
+    let predict: CellPredictor = match algo {
         CellAlgo::Strudel => {
             let config = StrudelCellConfig {
                 line: strudel_line_config(trees, seed, false),
@@ -163,7 +170,9 @@ pub fn train_test_cell(
     for &(file_idx, file) in test {
         let n_cols = file.table.n_cols();
         for p in predict(file) {
-            let Some(gold) = file.cell_labels[p.row][p.col] else { continue };
+            let Some(gold) = file.cell_labels[p.row][p.col] else {
+                continue;
+            };
             out.push(Prediction {
                 file: file_idx,
                 item: p.row * n_cols + p.col,

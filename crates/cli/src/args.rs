@@ -21,6 +21,8 @@ pub struct Options {
     pub scale: f64,
     /// `--trees N`.
     pub trees: usize,
+    /// `--threads N` — batch worker threads (0 = available parallelism).
+    pub threads: usize,
     /// `--cells` — also print per-cell predictions.
     pub cells: bool,
     /// `--repair` — apply the Koci-style post-processing repair pass.
@@ -41,26 +43,26 @@ impl Options {
         };
         while let Some(flag) = argv.next() {
             let mut value = |name: &str| -> Result<String, String> {
-                argv.next().ok_or_else(|| format!("flag {name} requires a value"))
+                argv.next()
+                    .ok_or_else(|| format!("flag {name} requires a value"))
             };
             match flag.as_str() {
                 "--corpus" => o.corpus = Some(PathBuf::from(value("--corpus")?)),
                 "--model" => o.model = Some(PathBuf::from(value("--model")?)),
                 "--out" => o.out = Some(PathBuf::from(value("--out")?)),
                 "--dataset" => o.dataset = Some(value("--dataset")?),
-                "--files" => {
-                    o.files = value("--files")?.parse().map_err(|_| "--files: integer")?
-                }
+                "--files" => o.files = value("--files")?.parse().map_err(|_| "--files: integer")?,
                 "--seed" => o.seed = value("--seed")?.parse().map_err(|_| "--seed: integer")?,
                 "--scale" => o.scale = value("--scale")?.parse().map_err(|_| "--scale: float")?,
-                "--trees" => {
-                    o.trees = value("--trees")?.parse().map_err(|_| "--trees: integer")?
+                "--trees" => o.trees = value("--trees")?.parse().map_err(|_| "--trees: integer")?,
+                "--threads" => {
+                    o.threads = value("--threads")?
+                        .parse()
+                        .map_err(|_| "--threads: integer")?
                 }
                 "--cells" => o.cells = true,
                 "--repair" => o.repair = true,
-                other if other.starts_with("--") => {
-                    return Err(format!("unknown flag {other}"))
-                }
+                other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
                 positional => o.inputs.push(PathBuf::from(positional)),
             }
         }
@@ -90,6 +92,13 @@ mod tests {
         assert_eq!(o.model.unwrap(), PathBuf::from("m.bin"));
         assert_eq!(o.inputs, vec![PathBuf::from("file.csv")]);
         assert!(o.cells);
+    }
+
+    #[test]
+    fn threads_flag() {
+        assert_eq!(parse(&[]).unwrap().threads, 0);
+        assert_eq!(parse(&["--threads", "3"]).unwrap().threads, 3);
+        assert!(parse(&["--threads", "many"]).is_err());
     }
 
     #[test]

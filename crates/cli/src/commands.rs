@@ -38,11 +38,13 @@ pub fn synth(options: &Options) -> Result<(), String> {
 
 /// `strudel train --corpus DIR --out MODEL [--trees N --seed K]`
 pub fn train(options: &Options) -> Result<(), String> {
-    let corpus_dir = options.corpus.as_deref().ok_or("train requires --corpus DIR")?;
+    let corpus_dir = options
+        .corpus
+        .as_deref()
+        .ok_or("train requires --corpus DIR")?;
     let out = options.out.as_deref().ok_or("train requires --out MODEL")?;
     let corpus_dir = existing(corpus_dir, "corpus directory")?;
-    let corpus =
-        strudel_corpus::load_corpus(&corpus_dir, "train").map_err(|e| e.to_string())?;
+    let corpus = strudel_corpus::load_corpus(&corpus_dir, "train").map_err(|e| e.to_string())?;
     if corpus.files.is_empty() {
         return Err(format!(
             "no annotated files (*.csv with *.csv.labels) in {}",
@@ -63,7 +65,10 @@ pub fn train(options: &Options) -> Result<(), String> {
 
 /// `strudel detect [--model MODEL] FILE [--cells]`
 pub fn detect(options: &Options) -> Result<(), String> {
-    let input = options.inputs.first().ok_or("detect requires an input FILE")?;
+    let input = options
+        .inputs
+        .first()
+        .ok_or("detect requires an input FILE")?;
     let input = existing(input, "input file")?;
     let text = fs::read_to_string(&input).map_err(|e| e.to_string())?;
     let model = model_from(options)?;
@@ -113,7 +118,10 @@ pub fn detect(options: &Options) -> Result<(), String> {
 
 /// `strudel extract [--model MODEL] FILE`
 pub fn extract(options: &Options) -> Result<(), String> {
-    let input = options.inputs.first().ok_or("extract requires an input FILE")?;
+    let input = options
+        .inputs
+        .first()
+        .ok_or("extract requires an input FILE")?;
     let input = existing(input, "input file")?;
     let text = fs::read_to_string(&input).map_err(|e| e.to_string())?;
     let model = model_from(options)?;
@@ -152,7 +160,10 @@ pub fn extract(options: &Options) -> Result<(), String> {
 
 /// `strudel segments [--model MODEL] FILE`
 pub fn segments(options: &Options) -> Result<(), String> {
-    let input = options.inputs.first().ok_or("segments requires an input FILE")?;
+    let input = options
+        .inputs
+        .first()
+        .ok_or("segments requires an input FILE")?;
     let input = existing(input, "input file")?;
     let text = fs::read_to_string(&input).map_err(|e| e.to_string())?;
     let model = model_from(options)?;
@@ -181,9 +192,71 @@ pub fn segments(options: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `strudel batch [--model MODEL] [--threads N] [--out FILE] DIR|FILE...`
+///
+/// Runs the full pipeline over every input on a worker pool and prints a
+/// JSON report (per-stage timings, per-file outcomes, throughput) to
+/// stdout or `--out`. A directory input contributes its `*.csv` files in
+/// name order. Per-file failures land in the report; the command itself
+/// only fails when there is nothing to process.
+pub fn batch(options: &Options) -> Result<(), String> {
+    use strudel::batch::{detect_all, BatchConfig, BatchInput};
+    if options.inputs.is_empty() {
+        return Err("batch requires input files or a directory".to_string());
+    }
+    let mut paths = Vec::new();
+    for input in &options.inputs {
+        let input = existing(input, "input")?;
+        if input.is_dir() {
+            let mut entries: Vec<_> = fs::read_dir(&input)
+                .map_err(|e| format!("reading {}: {e}", input.display()))?
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|ext| ext == "csv"))
+                .collect();
+            entries.sort();
+            paths.extend(entries);
+        } else {
+            paths.push(input);
+        }
+    }
+    if paths.is_empty() {
+        return Err("no CSV files to process".to_string());
+    }
+    let model = model_from(options)?;
+    let inputs: Vec<BatchInput> = paths.into_iter().map(BatchInput::Path).collect();
+    let result = detect_all(
+        &model,
+        &inputs,
+        &BatchConfig {
+            n_threads: options.threads,
+        },
+    );
+    eprintln!(
+        "processed {} files on {} thread(s): {} ok, {} failed, {:.1} files/s",
+        result.report.outcomes.len(),
+        result.report.n_threads,
+        result.report.n_ok(),
+        result.report.n_failed(),
+        result.report.files_per_second(),
+    );
+    let json = result.report.to_json();
+    match &options.out {
+        Some(path) => {
+            fs::write(path, &json).map_err(|e| e.to_string())?;
+            eprintln!("report written to {}", path.display());
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
 /// `strudel eval --model MODEL --corpus DIR`
 pub fn eval(options: &Options) -> Result<(), String> {
-    let corpus_dir = options.corpus.as_deref().ok_or("eval requires --corpus DIR")?;
+    let corpus_dir = options
+        .corpus
+        .as_deref()
+        .ok_or("eval requires --corpus DIR")?;
     let corpus_dir = existing(corpus_dir, "corpus directory")?;
     let corpus = strudel_corpus::load_corpus(&corpus_dir, "eval").map_err(|e| e.to_string())?;
     if corpus.files.is_empty() {
@@ -196,10 +269,8 @@ pub fn eval(options: &Options) -> Result<(), String> {
     let mut cell_gold = Vec::new();
     let mut cell_pred = Vec::new();
     for file in &corpus.files {
-        let structure = model.detect_structure_of_table(
-            file.table.clone(),
-            strudel_dialect::Dialect::rfc4180(),
-        );
+        let structure = model
+            .detect_structure_of_table(file.table.clone(), strudel_dialect::Dialect::rfc4180());
         for r in 0..file.table.n_rows() {
             if let (Some(g), Some(p)) = (file.line_labels[r], structure.lines[r]) {
                 line_gold.push(g.index());

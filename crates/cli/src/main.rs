@@ -6,6 +6,7 @@
 //! strudel detect  --model model.strudel file.csv            # classify every line and cell
 //! strudel extract --model model.strudel file.csv            # print the clean data table
 //! strudel eval    --model model.strudel --corpus corpus/    # score against annotations
+//! strudel batch   --model model.strudel --threads 8 dir/    # batch-classify, JSON report
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -40,6 +41,7 @@ fn main() -> ExitCode {
         "extract" => commands::extract(&options),
         "segments" => commands::segments(&options),
         "eval" => commands::eval(&options),
+        "batch" => commands::batch(&options),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -65,6 +67,7 @@ USAGE:
   strudel extract [--model MODEL] FILE
   strudel segments [--model MODEL] FILE
   strudel eval    --model MODEL --corpus DIR
+  strudel batch   [--model MODEL] [--threads N] [--out FILE] DIR|FILE...
 
 Without --model, detect/extract train a default model on a synthetic
 corpus first (slower, but fully self-contained).
@@ -80,7 +83,10 @@ COMMANDS:
             dropping metadata, group headers, derived totals, and notes.
   segments  Print the stacked table regions of a multi-table file
             (caption, header, body, and notes line ranges).
-  eval      Score a model against an annotated corpus (per-class F1).";
+  eval      Score a model against an annotated corpus (per-class F1).
+  batch     Detect structure for many files on a worker pool and emit a
+            JSON report: per-stage timings, per-file outcomes (failures
+            included, they never abort the batch), and throughput.";
 
 /// Train a model on a synthetic corpus when no `--model` is given.
 fn default_model() -> Strudel {

@@ -24,12 +24,24 @@ fn full_workflow() {
 
     // synth
     let out = bin()
-        .args(["synth", "--dataset", "SAUS", "--files", "16", "--scale", "0.2"])
+        .args([
+            "synth",
+            "--dataset",
+            "SAUS",
+            "--files",
+            "16",
+            "--scale",
+            "0.2",
+        ])
         .arg("--out")
         .arg(&corpus)
         .output()
         .unwrap();
-    assert!(out.status.success(), "synth failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "synth failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(corpus.join("saus_0000.csv").exists());
     assert!(corpus.join("saus_0000.csv.labels").exists());
 
@@ -42,7 +54,11 @@ fn full_workflow() {
         .arg(&model)
         .output()
         .unwrap();
-    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(model.exists());
 
     // detect
@@ -76,7 +92,10 @@ fn full_workflow() {
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Kent,12,34"), "extract output:\n{stdout}");
-    assert!(!stdout.contains("Source:"), "notes must be dropped:\n{stdout}");
+    assert!(
+        !stdout.contains("Source:"),
+        "notes must be dropped:\n{stdout}"
+    );
 
     // eval
     let out = bin()
@@ -87,12 +106,94 @@ fn full_workflow() {
         .arg(&corpus)
         .output()
         .unwrap();
-    assert!(out.status.success(), "eval failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "eval failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("line classification:"));
     assert!(stdout.contains("macro-F1"));
 
     fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batch_command_writes_json_report() {
+    let dir = temp_dir("batch");
+    let corpus = dir.join("corpus");
+    let model = dir.join("model.strudel");
+    assert!(bin()
+        .args([
+            "synth",
+            "--dataset",
+            "SAUS",
+            "--files",
+            "12",
+            "--scale",
+            "0.2"
+        ])
+        .arg("--out")
+        .arg(&corpus)
+        .status()
+        .unwrap()
+        .success());
+    assert!(bin()
+        .args(["train", "--trees", "12"])
+        .arg("--corpus")
+        .arg(&corpus)
+        .arg("--out")
+        .arg(&model)
+        .status()
+        .unwrap()
+        .success());
+    // One file in the directory is not valid UTF-8: it must fail alone
+    // without aborting the batch.
+    fs::write(corpus.join("broken.csv"), [0xFF, 0xFE, 0x41]).unwrap();
+
+    let out = bin()
+        .args(["batch", "--threads", "2"])
+        .arg("--model")
+        .arg(&model)
+        .arg(&corpus)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "batch failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"n_files\": 13"), "{stdout}");
+    assert!(stdout.contains("\"ok\": 12"), "{stdout}");
+    assert!(stdout.contains("\"failed\": 1"), "{stdout}");
+    assert!(stdout.contains("\"stages_ms\""), "{stdout}");
+    assert!(stdout.contains("\"line_classify\""), "{stdout}");
+    assert!(stdout.contains("broken.csv"), "{stdout}");
+
+    // --out writes the same report to a file instead of stdout.
+    let report = dir.join("report.json");
+    let out = bin()
+        .arg("batch")
+        .arg("--model")
+        .arg(&model)
+        .arg("--out")
+        .arg(&report)
+        .arg(&corpus)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).is_empty());
+    let json = fs::read_to_string(&report).unwrap();
+    assert!(json.contains("\"files_per_second\""), "{json}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batch_without_inputs_fails() {
+    let out = bin().arg("batch").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("input"));
 }
 
 #[test]
@@ -135,7 +236,15 @@ fn segments_command_reports_regions() {
     let corpus = dir.join("corpus");
     let model = dir.join("model.strudel");
     assert!(bin()
-        .args(["synth", "--dataset", "DeEx", "--files", "14", "--scale", "0.2"])
+        .args([
+            "synth",
+            "--dataset",
+            "DeEx",
+            "--files",
+            "14",
+            "--scale",
+            "0.2"
+        ])
         .arg("--out")
         .arg(&corpus)
         .status()
@@ -163,7 +272,11 @@ fn segments_command_reports_regions() {
         .arg(&probe)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("table region"), "{stdout}");
     assert!(stdout.contains("region 0:"));

@@ -51,11 +51,7 @@ pub fn file_uncertainty(model: &StrudelLine, table: &Table) -> f64 {
 
 /// The sheet selector: indices of the `k` most uncertain candidate
 /// tables, most uncertain first (ties keep candidate order).
-pub fn select_most_uncertain(
-    model: &StrudelLine,
-    candidates: &[&Table],
-    k: usize,
-) -> Vec<usize> {
+pub fn select_most_uncertain(model: &StrudelLine, candidates: &[&Table], k: usize) -> Vec<usize> {
     let mut scored: Vec<(usize, f64)> = candidates
         .iter()
         .enumerate()
@@ -68,7 +64,7 @@ pub fn select_most_uncertain(
 /// Sanity helper for tests and experiments: the entropy of a uniform
 /// distribution over the six classes is exactly 1.
 pub fn uniform_entropy() -> f64 {
-    normalized_entropy(&vec![1.0 / ElementClass::COUNT as f64; ElementClass::COUNT])
+    normalized_entropy(&[1.0 / ElementClass::COUNT as f64; ElementClass::COUNT])
 }
 
 #[cfg(test)]

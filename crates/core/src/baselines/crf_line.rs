@@ -89,7 +89,10 @@ impl CrfLine {
                 (!labels.is_empty()).then_some(SequenceSample { features, labels })
             })
             .collect();
-        assert!(!sequences.is_empty(), "no labeled lines in the training files");
+        assert!(
+            !sequences.is_empty(),
+            "no labeled lines in the training files"
+        );
         let crf = LinearChainCrf::fit(
             &sequences,
             &CrfConfig {

@@ -70,9 +70,7 @@ impl HeuristicCell {
                 if cell.is_empty() {
                     continue;
                 }
-                let class = if first_numeric.map_or(true, |fnr| r < fnr)
-                    && Some(r) != header_row
-                {
+                let class = if first_numeric.is_none_or(|fnr| r < fnr) && Some(r) != header_row {
                     ElementClass::Metadata
                 } else if last_numeric.is_some_and(|lnr| r > lnr) && !numeric_line(table, r) {
                     ElementClass::Notes
@@ -142,11 +140,7 @@ mod tests {
 
     #[test]
     fn group_separator_between_data() {
-        let preds = classify(vec![
-            vec!["a", "1"],
-            vec!["North:", ""],
-            vec!["b", "2"],
-        ]);
+        let preds = classify(vec![vec!["a", "1"], vec!["North:", ""], vec!["b", "2"]]);
         assert_eq!(class_at(&preds, 1, 0), Group);
     }
 

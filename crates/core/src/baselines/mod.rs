@@ -25,5 +25,5 @@ mod rnn_cell;
 pub use crf_line::{CrfLine, CrfLineConfig};
 pub use heuristic::HeuristicCell;
 pub use line_cell::LineCell;
-pub use pytheas::{PytheasLine, PytheasConfig};
+pub use pytheas::{PytheasConfig, PytheasLine};
 pub use rnn_cell::{RnnCell, RnnCellConfig};

@@ -63,7 +63,9 @@ impl PytheasLine {
 
         for file in files {
             for r in 0..file.table.n_rows() {
-                let Some(label) = file.line_labels[r] else { continue };
+                let Some(label) = file.line_labels[r] else {
+                    continue;
+                };
                 let is_data = matches!(label, ElementClass::Data | ElementClass::Derived);
                 let (d, nd) = rules_fired(&file.table, r, config);
                 for (k, &fired) in d.iter().enumerate() {
@@ -117,6 +119,9 @@ impl PytheasLine {
     }
 
     /// Predict per-line classes (`None` for empty lines).
+    // Row ranges index both `out` and `table`; iterator form would hide
+    // that the same row drives both.
+    #[allow(clippy::needless_range_loop)]
     pub fn predict(&self, table: &Table) -> Vec<Option<ElementClass>> {
         let n_rows = table.n_rows();
         let mut out = vec![None; n_rows];
@@ -183,11 +188,7 @@ impl PytheasLine {
 
         // Stage 3: class-specific rules around each body.
         for (i, body) in bodies.iter().enumerate() {
-            let context_start = if i == 0 {
-                0
-            } else {
-                bodies[i - 1].end + 1
-            };
+            let context_start = if i == 0 { 0 } else { bodies[i - 1].end + 1 };
             // Scan upwards from the body: the closest non-empty context
             // line with >= 2 non-empty cells is the header; single-cell
             // lines adjacent to the body are group headers.
@@ -252,10 +253,7 @@ fn rules_fired(
 ) -> ([bool; N_DATA_RULES], [bool; N_NONDATA_RULES]) {
     let n_cols = table.n_cols();
     let non_empty = table.row_non_empty_count(row);
-    let numeric = table
-        .row(row)
-        .filter(|c| c.dtype().is_numeric())
-        .count();
+    let numeric = table.row(row).filter(|c| c.dtype().is_numeric()).count();
     let strings = table
         .row(row)
         .filter(|c| c.dtype() == DataType::Str)
@@ -271,17 +269,13 @@ fn rules_fired(
     let first_cell_string = table
         .row(row)
         .next()
-        .map_or(false, |c| c.dtype() == DataType::Str);
+        .is_some_and(|c| c.dtype() == DataType::Str);
     let rest_numeric = non_empty >= 2 && numeric * 2 >= non_empty.saturating_sub(1);
     let has_kw = table
         .row(row)
         .any(|c| !c.is_empty() && has_aggregation_keyword(c.raw()));
     let longest = table.row(row).map(|c| c.len()).max().unwrap_or(0);
-    let max_words = table
-        .row(row)
-        .map(|c| c.word_count())
-        .max()
-        .unwrap_or(0);
+    let max_words = table.row(row).map(|c| c.word_count()).max().unwrap_or(0);
 
     let data = [
         n_cols > 0 && numeric as f64 / n_cols as f64 >= config.numeric_ratio,

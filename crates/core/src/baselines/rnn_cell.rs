@@ -66,7 +66,10 @@ impl RnnCell {
                 }
             }
         }
-        assert!(!dataset.is_empty(), "no labeled cells in the training files");
+        assert!(
+            !dataset.is_empty(),
+            "no labeled cells in the training files"
+        );
         RnnCell {
             net: Mlp::fit(&dataset, &config.mlp),
         }

@@ -1,0 +1,551 @@
+//! Bounded worker-pool batch inference.
+//!
+//! [`detect_all`] pushes N inputs (paths or in-memory strings) through a
+//! fitted [`Strudel`] model on a fixed pool of OS threads
+//! (`std::thread::scope`, like forest training in `strudel-ml`) and
+//! returns one [`Structure`] per input — in input order, byte-identical
+//! to calling [`Strudel::detect_structure`] in a loop — plus a
+//! [`BatchReport`] with per-stage wall-clock totals, per-file outcomes,
+//! and aggregate throughput.
+//!
+//! A malformed input (unreadable path, invalid UTF-8, or a panic inside
+//! detection, caught at the worker boundary) yields a per-file
+//! [`BatchError`]; it never poisons the rest of the batch.
+//!
+//! ```no_run
+//! use strudel::batch::{detect_all, BatchConfig, BatchInput};
+//! # let model: strudel::Strudel = unimplemented!();
+//! let inputs = vec![
+//!     BatchInput::path("a.csv"),
+//!     BatchInput::text("inline", "State,2019\nBerlin,1\n"),
+//! ];
+//! let result = detect_all(&model, &inputs, &BatchConfig::default());
+//! assert_eq!(result.structures.len(), 2);
+//! println!("{}", result.report.to_json());
+//! ```
+
+use crate::metrics::{Stage, StageTimings};
+use crate::pipeline::{Structure, Strudel};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// One input of a batch run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchInput {
+    /// A file on disk, read (as UTF-8) by the worker that claims it.
+    Path(PathBuf),
+    /// Raw text with a caller-chosen identifier for the report.
+    Text {
+        /// Identifier used in the report and in errors.
+        id: String,
+        /// The raw file content.
+        text: String,
+    },
+}
+
+impl BatchInput {
+    /// A path input.
+    pub fn path(p: impl Into<PathBuf>) -> BatchInput {
+        BatchInput::Path(p.into())
+    }
+
+    /// An in-memory text input under the given id.
+    pub fn text(id: impl Into<String>, text: impl Into<String>) -> BatchInput {
+        BatchInput::Text {
+            id: id.into(),
+            text: text.into(),
+        }
+    }
+
+    /// The identifier this input appears under in the report.
+    pub fn id(&self) -> String {
+        match self {
+            BatchInput::Path(p) => p.display().to_string(),
+            BatchInput::Text { id, .. } => id.clone(),
+        }
+    }
+}
+
+impl From<PathBuf> for BatchInput {
+    fn from(p: PathBuf) -> BatchInput {
+        BatchInput::Path(p)
+    }
+}
+
+impl From<&Path> for BatchInput {
+    fn from(p: &Path) -> BatchInput {
+        BatchInput::Path(p.to_path_buf())
+    }
+}
+
+/// Configuration of a batch run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchConfig {
+    /// Number of worker threads; `0` picks the available parallelism.
+    /// Each worker runs whole files, so per-file inference is pinned to
+    /// one thread whenever more than one worker exists (no
+    /// oversubscription from nested parallelism).
+    pub n_threads: usize,
+}
+
+/// Failure of one input; the rest of the batch is unaffected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchError {
+    /// Identifier of the failed input.
+    pub id: String,
+    /// Human-readable cause (I/O error, UTF-8 error, or panic message).
+    pub message: String,
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.id, self.message)
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// Outcome of one input, successful or not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileOutcome {
+    /// Identifier of the input.
+    pub id: String,
+    /// Rows of the parsed table (0 on failure).
+    pub n_rows: usize,
+    /// Classified (non-empty) cells (0 on failure).
+    pub n_cells: usize,
+    /// Input size in bytes (0 when the input could not be read).
+    pub n_bytes: usize,
+    /// Wall-clock time spent on this input by its worker.
+    pub elapsed: Duration,
+    /// The failure, if any.
+    pub error: Option<String>,
+}
+
+impl FileOutcome {
+    /// Whether the input was processed successfully.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// Aggregate report of a batch run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// Per-stage wall-clock totals summed over all workers. Stage time
+    /// can exceed [`wall`](BatchReport::wall) when workers overlap.
+    pub stage_timings: StageTimings,
+    /// Per-input outcomes, in input order.
+    pub outcomes: Vec<FileOutcome>,
+    /// End-to-end wall-clock time of the run.
+    pub wall: Duration,
+    /// Worker threads actually used.
+    pub n_threads: usize,
+}
+
+impl BatchReport {
+    /// Number of successfully processed inputs.
+    pub fn n_ok(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_ok()).count()
+    }
+
+    /// Number of failed inputs.
+    pub fn n_failed(&self) -> usize {
+        self.outcomes.len() - self.n_ok()
+    }
+
+    /// Aggregate throughput in files per second.
+    pub fn files_per_second(&self) -> f64 {
+        self.outcomes.len() as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Aggregate throughput in input bytes per second.
+    pub fn bytes_per_second(&self) -> f64 {
+        let bytes: usize = self.outcomes.iter().map(|o| o.n_bytes).sum();
+        bytes as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Render the report as a JSON object (stable schema, documented in
+    /// the repository README).
+    pub fn to_json(&self) -> String {
+        let ms = |d: Duration| format!("{:.3}", d.as_secs_f64() * 1e3);
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"n_files\": {},\n", self.outcomes.len()));
+        out.push_str(&format!("  \"ok\": {},\n", self.n_ok()));
+        out.push_str(&format!("  \"failed\": {},\n", self.n_failed()));
+        out.push_str(&format!("  \"n_threads\": {},\n", self.n_threads));
+        out.push_str(&format!("  \"wall_ms\": {},\n", ms(self.wall)));
+        out.push_str(&format!(
+            "  \"files_per_second\": {:.3},\n",
+            self.files_per_second()
+        ));
+        out.push_str(&format!(
+            "  \"bytes_per_second\": {:.1},\n",
+            self.bytes_per_second()
+        ));
+        out.push_str("  \"stages_ms\": {");
+        let stages: Vec<String> = Stage::ALL
+            .iter()
+            .map(|&s| format!("\"{}\": {}", s.name(), ms(self.stage_timings.total(s))))
+            .collect();
+        out.push_str(&stages.join(", "));
+        out.push_str("},\n");
+        out.push_str("  \"files\": [\n");
+        let files: Vec<String> = self
+            .outcomes
+            .iter()
+            .map(|o| {
+                if let Some(err) = &o.error {
+                    format!(
+                        "    {{\"id\": {}, \"ok\": false, \"error\": {}}}",
+                        json_string(&o.id),
+                        json_string(err)
+                    )
+                } else {
+                    format!(
+                        "    {{\"id\": {}, \"ok\": true, \"rows\": {}, \"cells\": {}, \"bytes\": {}, \"elapsed_ms\": {}}}",
+                        json_string(&o.id),
+                        o.n_rows,
+                        o.n_cells,
+                        o.n_bytes,
+                        ms(o.elapsed)
+                    )
+                }
+            })
+            .collect();
+        out.push_str(&files.join(",\n"));
+        out.push_str("\n  ]\n}");
+        out
+    }
+}
+
+/// Escape a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Result of a batch run: one structure (or per-file error) per input,
+/// in input order, plus the aggregate report.
+#[derive(Debug)]
+pub struct BatchResult {
+    /// Per-input detection results, aligned with the input slice.
+    pub structures: Vec<Result<Structure, BatchError>>,
+    /// The aggregate report.
+    pub report: BatchReport,
+}
+
+/// Detect the structure of every input on a bounded worker pool.
+///
+/// Results are in input order and byte-identical to a sequential
+/// [`Strudel::detect_structure`] loop regardless of the thread count:
+/// inference is a pure function of (model, input), workers only race for
+/// *which* input they claim next.
+pub fn detect_all(model: &Strudel, inputs: &[BatchInput], config: &BatchConfig) -> BatchResult {
+    let start = Instant::now();
+    let threads = if config.n_threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        config.n_threads
+    }
+    .min(inputs.len())
+    .max(1);
+    // With several file-level workers, per-file inference stays on one
+    // thread; a single worker may fan out over samples instead.
+    let inner_threads = if threads > 1 { 1 } else { 0 };
+
+    let next = AtomicUsize::new(0);
+    type Slot = (Result<Structure, BatchError>, FileOutcome);
+    let mut slots: Vec<Option<Slot>> = Vec::new();
+    slots.resize_with(inputs.len(), || None);
+    let mut stage_timings = StageTimings::default();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced: Vec<(usize, Slot)> = Vec::new();
+                    let mut timings = StageTimings::default();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= inputs.len() {
+                            break;
+                        }
+                        produced.push((i, run_one(model, &inputs[i], inner_threads, &mut timings)));
+                    }
+                    (produced, timings)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (produced, timings) = handle
+                .join()
+                .expect("batch worker panicked outside catch_unwind");
+            stage_timings.merge(&timings);
+            for (i, slot) in produced {
+                slots[i] = Some(slot);
+            }
+        }
+    });
+
+    let mut structures = Vec::with_capacity(inputs.len());
+    let mut outcomes = Vec::with_capacity(inputs.len());
+    for slot in slots {
+        let (structure, outcome) = slot.expect("every input claimed by a worker");
+        structures.push(structure);
+        outcomes.push(outcome);
+    }
+    BatchResult {
+        structures,
+        report: BatchReport {
+            stage_timings,
+            outcomes,
+            wall: start.elapsed(),
+            n_threads: threads,
+        },
+    }
+}
+
+/// Process one input end to end, catching panics at this boundary.
+fn run_one(
+    model: &Strudel,
+    input: &BatchInput,
+    inner_threads: usize,
+    timings: &mut StageTimings,
+) -> (Result<Structure, BatchError>, FileOutcome) {
+    let id = input.id();
+    let file_start = Instant::now();
+    let fail = |message: String, elapsed: Duration| {
+        (
+            Err(BatchError {
+                id: id.clone(),
+                message: message.clone(),
+            }),
+            FileOutcome {
+                id: id.clone(),
+                n_rows: 0,
+                n_cells: 0,
+                n_bytes: 0,
+                elapsed,
+                error: Some(message),
+            },
+        )
+    };
+
+    let owned;
+    let text: &str = match input {
+        BatchInput::Path(p) => match std::fs::read_to_string(p) {
+            Ok(t) => {
+                owned = t;
+                &owned
+            }
+            Err(e) => return fail(format!("reading file: {e}"), file_start.elapsed()),
+        },
+        BatchInput::Text { text, .. } => text,
+    };
+
+    // The pipeline is total over valid UTF-8, so a panic here is a bug —
+    // but one file's bug must not take the other N-1 results down.
+    let detected = catch_unwind(AssertUnwindSafe(|| {
+        model.detect_structure_with_threads(text, inner_threads, timings)
+    }));
+    match detected {
+        Ok(structure) => {
+            let outcome = FileOutcome {
+                id,
+                n_rows: structure.table.n_rows(),
+                n_cells: structure.cells.len(),
+                n_bytes: text.len(),
+                elapsed: file_start.elapsed(),
+                error: None,
+            };
+            (Ok(structure), outcome)
+        }
+        Err(payload) => {
+            let message = format!("detection panicked: {}", panic_message(payload.as_ref()));
+            fail(message, file_start.elapsed())
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "opaque panic payload"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell_classifier::StrudelCellConfig;
+    use crate::line_classifier::tests::tiny_corpus;
+    use crate::line_classifier::StrudelLineConfig;
+    use strudel_ml::ForestConfig;
+
+    fn fitted() -> Strudel {
+        let corpus = tiny_corpus(6);
+        let config = StrudelCellConfig {
+            line: StrudelLineConfig {
+                forest: ForestConfig::fast(12, 1),
+                ..StrudelLineConfig::default()
+            },
+            forest: ForestConfig::fast(12, 2),
+            ..StrudelCellConfig::default()
+        };
+        Strudel::fit(&corpus.files, &config)
+    }
+
+    fn sample_texts(n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| {
+                format!(
+                    "Report {i},,\nState,2019,2020\nBerlin,{},{}\nHamburg,{},{}\nTotal,{},{}\nSource: police,,\n",
+                    i + 1,
+                    i + 2,
+                    i + 3,
+                    i + 4,
+                    2 * i + 4,
+                    2 * i + 6,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_sequential_for_any_thread_count() {
+        let model = fitted();
+        let texts = sample_texts(7);
+        let inputs: Vec<BatchInput> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| BatchInput::text(format!("file-{i}"), t.clone()))
+            .collect();
+        let sequential: Vec<Structure> = texts.iter().map(|t| model.detect_structure(t)).collect();
+        for n_threads in [1, 4] {
+            let result = detect_all(&model, &inputs, &BatchConfig { n_threads });
+            assert_eq!(result.structures.len(), texts.len());
+            for (got, want) in result.structures.iter().zip(&sequential) {
+                assert_eq!(got.as_ref().unwrap(), want);
+            }
+            assert_eq!(result.report.n_ok(), texts.len());
+            assert_eq!(result.report.n_failed(), 0);
+        }
+    }
+
+    #[test]
+    fn malformed_input_fails_alone() {
+        let model = fitted();
+        // Write a file that is not valid UTF-8.
+        let dir = std::env::temp_dir().join(format!("strudel-batch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad_utf8 = dir.join("bad.csv");
+        std::fs::write(&bad_utf8, [0xFF, 0xFE, 0x00, 0x41]).unwrap();
+
+        let texts = sample_texts(2);
+        let inputs = vec![
+            BatchInput::text("good-0", texts[0].clone()),
+            BatchInput::path(dir.join("does-not-exist.csv")),
+            BatchInput::path(&bad_utf8),
+            BatchInput::text("good-1", texts[1].clone()),
+        ];
+        let result = detect_all(&model, &inputs, &BatchConfig { n_threads: 2 });
+        std::fs::remove_dir_all(&dir).ok();
+
+        assert_eq!(result.structures.len(), 4);
+        assert!(result.structures[0].is_ok());
+        assert!(result.structures[3].is_ok());
+        let missing = result.structures[1].as_ref().unwrap_err();
+        assert!(missing.id.ends_with("does-not-exist.csv"));
+        assert!(missing.message.contains("reading file"));
+        assert!(result.structures[2].is_err());
+        assert_eq!(result.report.n_ok(), 2);
+        assert_eq!(result.report.n_failed(), 2);
+        // Outcomes stay aligned with inputs.
+        assert!(result.report.outcomes[0].is_ok());
+        assert!(!result.report.outcomes[1].is_ok());
+        assert_eq!(result.report.outcomes[1].id, inputs[1].id());
+    }
+
+    #[test]
+    fn report_counts_stages_per_successful_file() {
+        let model = fitted();
+        let texts = sample_texts(3);
+        let inputs: Vec<BatchInput> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| BatchInput::text(format!("f{i}"), t.clone()))
+            .collect();
+        let result = detect_all(&model, &inputs, &BatchConfig { n_threads: 1 });
+        for stage in Stage::ALL {
+            assert_eq!(result.report.stage_timings.count(stage), 3);
+        }
+        assert!(result.report.files_per_second() > 0.0);
+        assert!(result.report.bytes_per_second() > 0.0);
+        let total_bytes: usize = result.report.outcomes.iter().map(|o| o.n_bytes).sum();
+        assert_eq!(total_bytes, texts.iter().map(String::len).sum::<usize>());
+    }
+
+    #[test]
+    fn empty_batch() {
+        let model = fitted();
+        let result = detect_all(&model, &[], &BatchConfig::default());
+        assert!(result.structures.is_empty());
+        assert_eq!(result.report.n_ok(), 0);
+        let json = result.report.to_json();
+        assert!(json.contains("\"n_files\": 0"));
+    }
+
+    #[test]
+    fn json_report_schema_and_escaping() {
+        let model = fitted();
+        let inputs = vec![
+            BatchInput::text("quo\"ted\nid", sample_texts(1)[0].clone()),
+            BatchInput::path("/definitely/not/here.csv"),
+        ];
+        let result = detect_all(&model, &inputs, &BatchConfig { n_threads: 1 });
+        let json = result.report.to_json();
+        for key in [
+            "\"n_files\": 2",
+            "\"ok\": 1",
+            "\"failed\": 1",
+            "\"wall_ms\"",
+            "\"files_per_second\"",
+            "\"stages_ms\"",
+            "\"dialect\"",
+            "\"cell_classify\"",
+            "\"files\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.contains("quo\\\"ted\\nid"));
+        assert!(json.contains("\"ok\": false"));
+    }
+
+    #[test]
+    fn json_string_escapes_controls() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\u{1}y"), "\"x\\u0001y\"");
+    }
+}

@@ -9,11 +9,11 @@
 
 use crate::cell_features::{extract_cell_features, CellFeatureConfig, N_CELL_FEATURES};
 use crate::line_classifier::{StrudelLine, StrudelLineConfig};
-use strudel_ml::{Classifier, Dataset, ForestConfig, RandomForest};
+use strudel_ml::{Dataset, ForestConfig, RandomForest};
 use strudel_table::{ElementClass, LabeledFile, Table};
 
 /// Configuration of `Strudel^C`.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct StrudelCellConfig {
     /// Configuration of the upstream `Strudel^L` stage.
     pub line: StrudelLineConfig,
@@ -21,16 +21,6 @@ pub struct StrudelCellConfig {
     pub features: CellFeatureConfig,
     /// Random forest hyper-parameters of the cell stage.
     pub forest: ForestConfig,
-}
-
-impl Default for StrudelCellConfig {
-    fn default() -> Self {
-        StrudelCellConfig {
-            line: StrudelLineConfig::default(),
-            features: CellFeatureConfig::default(),
-            forest: ForestConfig::default(),
-        }
-    }
 }
 
 /// One classified cell.
@@ -62,7 +52,10 @@ impl StrudelCell {
     pub fn fit(files: &[LabeledFile], config: &StrudelCellConfig) -> StrudelCell {
         let line_model = StrudelLine::fit(files, &config.line);
         let dataset = Self::build_dataset(files, &line_model, &config.features);
-        assert!(!dataset.is_empty(), "no labeled cells in the training files");
+        assert!(
+            !dataset.is_empty(),
+            "no labeled cells in the training files"
+        );
         StrudelCell {
             forest: RandomForest::fit(&dataset, &config.forest),
             line_model,
@@ -78,7 +71,10 @@ impl StrudelCell {
         forest: &ForestConfig,
     ) -> StrudelCell {
         let dataset = Self::build_dataset(files, &line_model, &features);
-        assert!(!dataset.is_empty(), "no labeled cells in the training files");
+        assert!(
+            !dataset.is_empty(),
+            "no labeled cells in the training files"
+        );
         StrudelCell {
             forest: RandomForest::fit(&dataset, forest),
             line_model,
@@ -109,10 +105,32 @@ impl StrudelCell {
     /// Classify every non-empty cell of a table.
     pub fn predict(&self, table: &Table) -> Vec<CellPrediction> {
         let probs = self.line_model.predict_probs(table);
-        extract_cell_features(table, &probs, &self.features)
+        self.predict_with_probs(table, &probs, 0)
+    }
+
+    /// Classify every non-empty cell given precomputed line probability
+    /// vectors (one per row), walking the forest across `n_threads`
+    /// worker threads (`0` = available parallelism, `1` = serial).
+    ///
+    /// The pipeline computes the line probabilities once and shares them
+    /// between the line and cell stages; results are identical to
+    /// [`predict`](Self::predict) for every thread count.
+    pub fn predict_with_probs(
+        &self,
+        table: &Table,
+        line_probs: &[Vec<f64>],
+        n_threads: usize,
+    ) -> Vec<CellPrediction> {
+        let cell_features = extract_cell_features(table, line_probs, &self.features);
+        let samples: Vec<&[f64]> = cell_features
+            .iter()
+            .map(|cf| cf.features.as_slice())
+            .collect();
+        let predicted = self.forest.predict_proba_batch(&samples, n_threads);
+        cell_features
             .into_iter()
-            .map(|cf| {
-                let p = self.forest.predict_proba(&cf.features);
+            .zip(predicted)
+            .map(|(cf, p)| {
                 let class = ElementClass::from_index(strudel_ml::argmax(&p));
                 CellPrediction {
                     row: cf.row,
@@ -201,11 +219,8 @@ mod tests {
     fn dataset_has_one_sample_per_labeled_cell() {
         let corpus = tiny_corpus(2);
         let line_model = StrudelLine::fit(&corpus.files, &fast_config().line);
-        let ds = StrudelCell::build_dataset(
-            &corpus.files,
-            &line_model,
-            &CellFeatureConfig::default(),
-        );
+        let ds =
+            StrudelCell::build_dataset(&corpus.files, &line_model, &CellFeatureConfig::default());
         let expected: usize = corpus.files.iter().map(|f| f.non_empty_cell_count()).sum();
         assert_eq!(ds.n_samples(), expected);
         assert_eq!(ds.n_features(), N_CELL_FEATURES);

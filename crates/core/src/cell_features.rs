@@ -248,11 +248,7 @@ mod tests {
         ])
     }
 
-    fn features_at(
-        feats: &[CellFeatures],
-        row: usize,
-        col: usize,
-    ) -> &CellFeatures {
+    fn features_at(feats: &[CellFeatures], row: usize, col: usize) -> &CellFeatures {
         feats
             .iter()
             .find(|f| f.row == row && f.col == col)
@@ -295,7 +291,10 @@ mod tests {
         let feats = extract_cell_features(&t, &uniform_probs(5), &CellFeatureConfig::default());
         assert_eq!(features_at(&feats, 0, 0).features[idx("RowPosition")], 0.0);
         assert_eq!(features_at(&feats, 4, 2).features[idx("RowPosition")], 1.0);
-        assert_eq!(features_at(&feats, 4, 2).features[idx("ColumnPosition")], 1.0);
+        assert_eq!(
+            features_at(&feats, 4, 2).features[idx("ColumnPosition")],
+            1.0
+        );
     }
 
     #[test]
@@ -344,14 +343,16 @@ mod tests {
 
     #[test]
     fn is_aggregation_marks_detected_cells() {
-        let t = Table::from_rows(vec![
-            vec!["a", "10"],
-            vec!["b", "20"],
-            vec!["Total", "30"],
-        ]);
+        let t = Table::from_rows(vec![vec!["a", "10"], vec!["b", "20"], vec!["Total", "30"]]);
         let feats = extract_cell_features(&t, &uniform_probs(3), &CellFeatureConfig::default());
-        assert_eq!(features_at(&feats, 2, 1).features[idx("IsAggregation")], 1.0);
-        assert_eq!(features_at(&feats, 0, 1).features[idx("IsAggregation")], 0.0);
+        assert_eq!(
+            features_at(&feats, 2, 1).features[idx("IsAggregation")],
+            1.0
+        );
+        assert_eq!(
+            features_at(&feats, 0, 1).features[idx("IsAggregation")],
+            0.0
+        );
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub fn extract_column_features(table: &Table, derived: &DerivedConfig) -> Vec<Ve
             let mut type_counts = [0usize; 5];
             let mut top_cell_text = 0.0;
             let mut seen_top = false;
-            for r in 0..n_rows {
+            for (r, derived_row) in derived_cells.iter().enumerate() {
                 let cell = table.cell(r, c);
                 match cell.dtype() {
                     DataType::Empty => empty += 1,
@@ -84,19 +84,15 @@ pub fn extract_column_features(table: &Table, derived: &DerivedConfig) -> Vec<Ve
                     if has_aggregation_keyword(cell.raw()) {
                         keyword = true;
                     }
-                    if derived_cells[r][c] {
+                    if derived_row[c] {
                         derived_count += 1;
                     }
                 }
             }
             let non_empty = lengths.len().max(1) as f64;
             let mean_len = lengths.iter().sum::<f64>() / non_empty;
-            let spread = (lengths
-                .iter()
-                .map(|l| (l - mean_len).powi(2))
-                .sum::<f64>()
-                / non_empty)
-                .sqrt();
+            let spread =
+                (lengths.iter().map(|l| (l - mean_len).powi(2)).sum::<f64>() / non_empty).sqrt();
             let homogeneity = *type_counts.iter().max().expect("non-empty") as f64 / non_empty;
             vec![
                 empty as f64 / n_rows as f64,
@@ -149,7 +145,11 @@ impl StrudelColumn {
     ///
     /// # Panics
     /// Panics when `files` contains no labeled columns.
-    pub fn fit(files: &[LabeledFile], derived: DerivedConfig, forest: &ForestConfig) -> StrudelColumn {
+    pub fn fit(
+        files: &[LabeledFile],
+        derived: DerivedConfig,
+        forest: &ForestConfig,
+    ) -> StrudelColumn {
         let mut dataset = Dataset::new(N_COLUMN_FEATURES, ElementClass::COUNT);
         for file in files {
             let features = extract_column_features(&file.table, &derived);
@@ -159,7 +159,10 @@ impl StrudelColumn {
                 }
             }
         }
-        assert!(!dataset.is_empty(), "no labeled columns in the training files");
+        assert!(
+            !dataset.is_empty(),
+            "no labeled columns in the training files"
+        );
         StrudelColumn {
             forest: RandomForest::fit(&dataset, forest),
             derived,
@@ -199,10 +202,12 @@ impl ColumnBoostedCell {
     /// Fit all three stages (line, column, boosted cell forest).
     pub fn fit(files: &[LabeledFile], config: &StrudelCellConfig) -> ColumnBoostedCell {
         let line_model = StrudelLine::fit(files, &config.line);
-        let column_model =
-            StrudelColumn::fit(files, config.features.derived, &config.forest);
+        let column_model = StrudelColumn::fit(files, config.features.derived, &config.forest);
         let dataset = Self::build_dataset(files, &line_model, &column_model, &config.features);
-        assert!(!dataset.is_empty(), "no labeled cells in the training files");
+        assert!(
+            !dataset.is_empty(),
+            "no labeled cells in the training files"
+        );
         ColumnBoostedCell {
             forest: RandomForest::fit(&dataset, &config.forest),
             line_model,

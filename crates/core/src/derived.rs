@@ -229,10 +229,10 @@ pub fn derived_coverage_per_line(table: &Table, derived: &[Vec<bool>]) -> Vec<f6
         .map(|r| {
             let mut numeric = 0usize;
             let mut hit = 0usize;
-            for c in 0..table.n_cols() {
+            for (c, &is_derived) in derived[r].iter().enumerate() {
                 if table.cell(r, c).dtype().is_numeric() {
                     numeric += 1;
-                    if derived[r][c] {
+                    if is_derived {
                         hit += 1;
                     }
                 }
@@ -393,7 +393,10 @@ mod tests {
         ];
         let table = Table::from_rows(rows.clone());
         let base = detect_derived_cells(&table, &DerivedConfig::default());
-        assert!(!base[3][1] && !base[3][2], "published algorithm: sum/mean only");
+        assert!(
+            !base[3][1] && !base[3][2],
+            "published algorithm: sum/mean only"
+        );
         let extended = detect_derived_cells(
             &table,
             &DerivedConfig {
@@ -411,10 +414,7 @@ mod tests {
         // when the values differ from that line... but when the anchor row
         // simply repeats the adjacent line, sum-detection already fires,
         // so use values that match neither sum nor mean of one line.
-        let table = Table::from_rows(vec![
-            vec!["a", "10"],
-            vec!["All", "7"],
-        ]);
+        let table = Table::from_rows(vec![vec!["a", "10"], vec!["All", "7"]]);
         let extended = detect_derived_cells(
             &table,
             &DerivedConfig {

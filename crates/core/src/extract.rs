@@ -94,17 +94,16 @@ pub fn to_relational(structure: &Structure) -> Vec<RelationalTable> {
                         group_context = first_non_empty(structure, r);
                         has_groups = true;
                     }
-                    Some(ElementClass::Derived) => {
+                    Some(ElementClass::Derived)
                         // A derived line may still *open* a group via its
                         // leading group cell (e.g. "Sale/Manufacturing:").
                         if cell_class[r]
                             .iter()
                             .flatten()
                             .any(|&c| c == ElementClass::Group)
-                        {
+                        => {
                             has_groups = true;
                         }
-                    }
                     Some(ElementClass::Data) => {
                         let values: Vec<String> = (0..n_cols)
                             .map(|c| {
@@ -188,7 +187,7 @@ mod tests {
     ) -> Structure {
         let table = Table::from_rows(rows);
         let mut cells = Vec::new();
-        for r in 0..table.n_rows() {
+        for (r, line_class) in line_classes.iter().enumerate() {
             for c in 0..table.n_cols() {
                 if table.cell(r, c).is_empty() {
                     continue;
@@ -197,7 +196,7 @@ mod tests {
                     .iter()
                     .find(|(orow, ocol, _)| *orow == r && *ocol == c)
                     .map(|(_, _, cl)| *cl)
-                    .or(line_classes[r])
+                    .or(*line_class)
                     .unwrap_or(Data);
                 let mut probs = vec![0.0; ElementClass::COUNT];
                 probs[class.index()] = 1.0;
@@ -209,13 +208,8 @@ mod tests {
                 });
             }
         }
-        Structure {
-            dialect: Dialect::rfc4180(),
-            line_probs: vec![vec![1.0 / 6.0; 6]; table.n_rows()],
-            lines: line_classes,
-            cells,
-            table,
-        }
+        let line_probs = vec![vec![1.0 / 6.0; 6]; table.n_rows()];
+        Structure::new(Dialect::rfc4180(), table, line_classes, line_probs, cells)
     }
 
     #[test]
@@ -311,11 +305,7 @@ mod tests {
 
     #[test]
     fn region_without_data_is_skipped() {
-        let s = structure(
-            vec![vec!["just a note"]],
-            vec![Some(Notes)],
-            vec![],
-        );
+        let s = structure(vec![vec!["just a note"]], vec![Some(Notes)], vec![]);
         assert!(to_relational(&s).is_empty());
     }
 }

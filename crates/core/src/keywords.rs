@@ -13,7 +13,11 @@ pub const AGGREGATION_KEYWORDS: [&str; 7] =
 /// Whether `text` contains any aggregation keyword as a whole word
 /// (case-insensitive). "Total crime" matches; "totally" does not.
 pub fn has_aggregation_keyword(text: &str) -> bool {
-    words(text).any(|w| AGGREGATION_KEYWORDS.iter().any(|k| w.eq_ignore_ascii_case(k)))
+    words(text).any(|w| {
+        AGGREGATION_KEYWORDS
+            .iter()
+            .any(|k| w.eq_ignore_ascii_case(k))
+    })
 }
 
 /// Iterator over the alphanumeric words of `text`.

@@ -17,7 +17,9 @@
 //! - Algorithm 1 ([`block_sizes`]) and Algorithm 2
 //!   ([`detect_derived_cells`]);
 //! - every baseline of the paper's evaluation ([`baselines`]):
-//!   `CRF^L`, `Pytheas^L`, `Line^C`, and the `RNN^C` stand-in.
+//!   `CRF^L`, `Pytheas^L`, `Line^C`, and the `RNN^C` stand-in;
+//! - worker-pool batch inference over many files ([`batch`]) with
+//!   per-stage wall-clock instrumentation ([`Metrics`], [`StageTimings`]).
 //!
 //! ```
 //! use strudel::{Strudel, StrudelCellConfig, StrudelLineConfig};
@@ -38,8 +40,9 @@
 
 #![warn(missing_docs)]
 
-pub mod baselines;
 mod active;
+pub mod baselines;
+pub mod batch;
 mod block;
 mod cell_classifier;
 mod cell_features;
@@ -49,6 +52,7 @@ mod extract;
 mod keywords;
 mod line_classifier;
 mod line_features;
+mod metrics;
 mod persist;
 mod pipeline;
 mod postprocess;
@@ -70,5 +74,6 @@ pub use line_classifier::{StrudelLine, StrudelLineConfig};
 pub use line_features::{
     extract_line_features, LineFeatureConfig, GLOBAL_FEATURE_NAMES, LINE_FEATURE_NAMES,
 };
-pub use pipeline::{Strudel, Structure, TableRegion};
+pub use metrics::{Metrics, NullMetrics, Stage, StageTimer, StageTimings};
+pub use pipeline::{Structure, Strudel, TableRegion};
 pub use postprocess::{repair_cells, RepairConfig, RepairReport};

@@ -10,22 +10,13 @@ use strudel_ml::{Classifier, Dataset, ForestConfig, RandomForest};
 use strudel_table::{ElementClass, LabeledFile, Table};
 
 /// Configuration of `Strudel^L`.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct StrudelLineConfig {
     /// Line feature extraction parameters.
     pub features: LineFeatureConfig,
     /// Random forest hyper-parameters (defaults follow scikit-learn's,
     /// as the paper does).
     pub forest: ForestConfig,
-}
-
-impl Default for StrudelLineConfig {
-    fn default() -> Self {
-        StrudelLineConfig {
-            features: LineFeatureConfig::default(),
-            forest: ForestConfig::default(),
-        }
-    }
 }
 
 /// A fitted `Strudel^L` model.
@@ -70,16 +61,25 @@ impl StrudelLine {
     /// a uniform vector — they are never classified, but `Strudel^C`
     /// consumes one vector per row).
     pub fn predict_probs(&self, table: &Table) -> Vec<Vec<f64>> {
-        let matrix = extract_line_features(&table, &self.features);
-        (0..table.n_rows())
-            .map(|r| {
-                if table.row_is_empty(r) {
-                    vec![1.0 / ElementClass::COUNT as f64; ElementClass::COUNT]
-                } else {
-                    self.forest.predict_proba(&matrix[r])
-                }
-            })
-            .collect()
+        self.predict_probs_with_threads(table, 0)
+    }
+
+    /// [`predict_probs`](Self::predict_probs) with an explicit worker
+    /// thread count for the forest walks (`0` = available parallelism,
+    /// `1` = serial). Results are identical for every thread count.
+    pub fn predict_probs_with_threads(&self, table: &Table, n_threads: usize) -> Vec<Vec<f64>> {
+        let matrix = extract_line_features(table, &self.features);
+        let rows: Vec<usize> = (0..table.n_rows())
+            .filter(|&r| !table.row_is_empty(r))
+            .collect();
+        let samples: Vec<&[f64]> = rows.iter().map(|&r| matrix[r].as_slice()).collect();
+        let predicted = self.forest.predict_proba_batch(&samples, n_threads);
+        let mut probs =
+            vec![vec![1.0 / ElementClass::COUNT as f64; ElementClass::COUNT]; table.n_rows()];
+        for (r, p) in rows.into_iter().zip(predicted) {
+            probs[r] = p;
+        }
+        probs
     }
 
     /// Hard class predictions: one per row, `None` for empty rows.
@@ -140,8 +140,7 @@ pub(crate) mod tests {
             ];
             let table = Table::from_rows(rows);
             let classes = [Metadata, Header, Data, Data, Derived, Notes];
-            let line_labels: Vec<Option<ElementClass>> =
-                classes.iter().map(|&c| Some(c)).collect();
+            let line_labels: Vec<Option<ElementClass>> = classes.iter().map(|&c| Some(c)).collect();
             let cell_labels: CellLabels = (0..table.n_rows())
                 .map(|r| {
                     (0..table.n_cols())

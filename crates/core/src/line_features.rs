@@ -61,7 +61,12 @@ pub struct LineFeatureConfig {
 impl LineFeatureConfig {
     /// Number of features produced per line under this configuration.
     pub fn n_features(&self) -> usize {
-        LINE_FEATURE_NAMES.len() + if self.include_global { GLOBAL_FEATURE_NAMES.len() } else { 0 }
+        LINE_FEATURE_NAMES.len()
+            + if self.include_global {
+                GLOBAL_FEATURE_NAMES.len()
+            } else {
+                0
+            }
     }
 
     /// Feature names in vector order under this configuration.
@@ -119,15 +124,9 @@ pub fn extract_line_features(table: &Table, config: &LineFeatureConfig) -> Vec<V
                 .any(|c| !c.is_empty() && has_aggregation_keyword(c.raw()));
             f.push(f64::from(has_kw)); // AggregationWord
             f.push((word_counts[r] - wc_min) / wc_span); // WordAmount
-            let numeric = table
-                .row(r)
-                .filter(|c| c.dtype().is_numeric())
-                .count() as f64;
+            let numeric = table.row(r).filter(|c| c.dtype().is_numeric()).count() as f64;
             f.push(numeric / n_cols.max(1) as f64); // NumericalCellRatio
-            let strings = table
-                .row(r)
-                .filter(|c| c.dtype() == DataType::Str)
-                .count() as f64;
+            let strings = table.row(r).filter(|c| c.dtype() == DataType::Str).count() as f64;
             f.push(strings / n_cols.max(1) as f64); // StringCellRatio
             f.push(r as f64 / (n_rows - 1).max(1) as f64); // LinePosition
 
@@ -214,10 +213,7 @@ fn empty_neighbouring(table: &Table, row: usize, direction: Direction) -> f64 {
 const LENGTH_BINS: [usize; 6] = [0, 1, 4, 8, 16, 32];
 
 fn length_bin(len: usize) -> usize {
-    LENGTH_BINS
-        .iter()
-        .rposition(|&lo| len >= lo)
-        .unwrap_or(0)
+    LENGTH_BINS.iter().rposition(|&lo| len >= lo).unwrap_or(0)
 }
 
 /// Bhattacharyya distance between the cell-length histograms of a line

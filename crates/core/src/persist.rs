@@ -145,10 +145,8 @@ mod tests {
     #[test]
     fn save_and_load_via_file() {
         let model = fitted();
-        let path = std::env::temp_dir().join(format!(
-            "strudel-model-test-{}.bin",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("strudel-model-test-{}.bin", std::process::id()));
         model.save(&path).unwrap();
         let loaded = Strudel::load(&path).unwrap();
         std::fs::remove_file(&path).ok();

@@ -7,10 +7,16 @@
 
 use crate::cell_classifier::{CellPrediction, StrudelCell, StrudelCellConfig};
 use crate::line_classifier::StrudelLine;
+use crate::metrics::{Metrics, NullMetrics, Stage, StageTimer};
+use std::collections::HashMap;
 use strudel_dialect::{detect_dialect, read_table_with, Dialect};
 use strudel_table::{ElementClass, LabeledFile, Table};
 
 /// The detected structure of one verbose CSV file.
+///
+/// Built through [`Structure::new`], which indexes the cell predictions
+/// by position so [`cell_class`](Structure::cell_class) is a hash lookup
+/// rather than a scan.
 #[derive(Debug, Clone)]
 pub struct Structure {
     /// The dialect the file was parsed with.
@@ -23,16 +29,61 @@ pub struct Structure {
     pub line_probs: Vec<Vec<f64>>,
     /// Per-cell predictions for all non-empty cells.
     pub cells: Vec<CellPrediction>,
+    /// Position → index into `cells`. Cell *positions* never change after
+    /// construction (post-processing only rewrites predicted classes), so
+    /// the index stays valid for the lifetime of the value.
+    cell_index: HashMap<(usize, usize), usize>,
+}
+
+impl PartialEq for Structure {
+    fn eq(&self, other: &Structure) -> bool {
+        // The index is derived from `cells`; comparing it would be
+        // redundant.
+        self.dialect == other.dialect
+            && self.table == other.table
+            && self.lines == other.lines
+            && self.line_probs == other.line_probs
+            && self.cells == other.cells
+    }
 }
 
 impl Structure {
+    /// Assemble a structure from its parts, building the position index
+    /// over the cell predictions.
+    pub fn new(
+        dialect: Dialect,
+        table: Table,
+        lines: Vec<Option<ElementClass>>,
+        line_probs: Vec<Vec<f64>>,
+        cells: Vec<CellPrediction>,
+    ) -> Structure {
+        let cell_index = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ((c.row, c.col), i))
+            .collect();
+        Structure {
+            dialect,
+            table,
+            lines,
+            line_probs,
+            cells,
+            cell_index,
+        }
+    }
+
     /// The predicted class of the cell at `(row, col)`, or `None` when the
     /// cell is empty.
     pub fn cell_class(&self, row: usize, col: usize) -> Option<ElementClass> {
-        self.cells
-            .iter()
-            .find(|c| c.row == row && c.col == col)
-            .map(|c| c.class)
+        self.cell_index
+            .get(&(row, col))
+            .map(|&i| self.cells[i].class)
+    }
+
+    /// The full prediction of the cell at `(row, col)`, or `None` when
+    /// the cell is empty.
+    pub fn cell_prediction(&self, row: usize, col: usize) -> Option<&CellPrediction> {
+        self.cell_index.get(&(row, col)).map(|&i| &self.cells[i])
     }
 
     /// Extract the data region as rows of raw values: every line whose
@@ -93,7 +144,7 @@ impl Structure {
 /// One vertically-delimited table region of a verbose CSV file,
 /// segmented from the line classes (a verbose file "may include multiple
 /// tables", Section 3.1; tables stack vertically per Section 3.2).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct TableRegion {
     /// Metadata lines introducing the table (caption block).
     pub metadata_rows: Vec<usize>,
@@ -186,17 +237,6 @@ impl Structure {
     }
 }
 
-impl Default for TableRegion {
-    fn default() -> Self {
-        TableRegion {
-            metadata_rows: Vec::new(),
-            header_rows: Vec::new(),
-            body_rows: Vec::new(),
-            notes_rows: Vec::new(),
-        }
-    }
-}
-
 /// The fitted two-stage Strudel model.
 pub struct Strudel {
     cell_model: StrudelCell,
@@ -218,25 +258,82 @@ impl Strudel {
     /// Detect the structure of raw text: dialect detection, parsing, and
     /// both classification stages. A leading UTF-8 BOM is stripped.
     pub fn detect_structure(&self, text: &str) -> Structure {
+        self.detect_structure_metered(text, &mut NullMetrics)
+    }
+
+    /// [`detect_structure`](Self::detect_structure) with per-stage timing
+    /// reported into `sink` — one [`Metrics::record`] call per pipeline
+    /// stage ([`Stage::ALL`]). The detected structure is identical to the
+    /// unmetered call.
+    pub fn detect_structure_metered(&self, text: &str, sink: &mut dyn Metrics) -> Structure {
+        self.detect_structure_with_threads(text, 0, sink)
+    }
+
+    /// Full pipeline with explicit inference thread count; `0` picks the
+    /// available parallelism, the batch engine pins workers to `1`.
+    pub(crate) fn detect_structure_with_threads(
+        &self,
+        text: &str,
+        n_threads: usize,
+        sink: &mut dyn Metrics,
+    ) -> Structure {
         let text = strudel_dialect::strip_bom(text);
+        let timer = StageTimer::start(Stage::Dialect);
         let dialect = detect_dialect(text);
+        timer.stop(sink);
+        let timer = StageTimer::start(Stage::Parse);
         let table = read_table_with(text, &dialect);
-        self.detect_structure_of_table(table, dialect)
+        timer.stop(sink);
+        self.detect_structure_of_table_with_threads(table, dialect, n_threads, sink)
     }
 
     /// Detect the structure of a pre-parsed table.
     pub fn detect_structure_of_table(&self, table: Table, dialect: Dialect) -> Structure {
+        self.detect_structure_of_table_metered(table, dialect, &mut NullMetrics)
+    }
+
+    /// [`detect_structure_of_table`](Self::detect_structure_of_table)
+    /// with per-stage timing reported into `sink`. Only the two
+    /// classification stages are recorded — dialect detection and parsing
+    /// did not run.
+    pub fn detect_structure_of_table_metered(
+        &self,
+        table: Table,
+        dialect: Dialect,
+        sink: &mut dyn Metrics,
+    ) -> Structure {
+        self.detect_structure_of_table_with_threads(table, dialect, 0, sink)
+    }
+
+    pub(crate) fn detect_structure_of_table_with_threads(
+        &self,
+        table: Table,
+        dialect: Dialect,
+        n_threads: usize,
+        sink: &mut dyn Metrics,
+    ) -> Structure {
         let line_model = self.cell_model.line_model();
-        let line_probs = line_model.predict_probs(&table);
-        let lines = line_model.predict(&table);
-        let cells = self.cell_model.predict(&table);
-        Structure {
-            dialect,
-            table,
-            lines,
-            line_probs,
-            cells,
-        }
+        let timer = StageTimer::start(Stage::LineClassify);
+        let line_probs = line_model.predict_probs_with_threads(&table, n_threads);
+        // Hard line classes are the argmax of the probability vectors
+        // (`Classifier::predict` is defined as exactly that), so the
+        // forest is only walked once per line.
+        let lines: Vec<Option<ElementClass>> = (0..table.n_rows())
+            .map(|r| {
+                if table.row_is_empty(r) {
+                    None
+                } else {
+                    Some(ElementClass::from_index(strudel_ml::argmax(&line_probs[r])))
+                }
+            })
+            .collect();
+        timer.stop(sink);
+        let timer = StageTimer::start(Stage::CellClassify);
+        let cells = self
+            .cell_model
+            .predict_with_probs(&table, &line_probs, n_threads);
+        timer.stop(sink);
+        Structure::new(dialect, table, lines, line_probs, cells)
     }
 
     /// The line stage.
@@ -314,13 +411,14 @@ mod tests {
             Some(Data),
             Some(Notes),
         ];
-        let s = Structure {
-            dialect: strudel_dialect::Dialect::rfc4180(),
-            line_probs: vec![vec![1.0 / 6.0; 6]; table.n_rows()],
-            lines: classes,
-            cells: Vec::new(),
+        let line_probs = vec![vec![1.0 / 6.0; 6]; table.n_rows()];
+        let s = Structure::new(
+            strudel_dialect::Dialect::rfc4180(),
             table,
-        };
+            classes,
+            line_probs,
+            Vec::new(),
+        );
         let regions = s.tables();
         assert_eq!(regions.len(), 2);
         assert_eq!(regions[0].metadata_rows, vec![0]);
@@ -357,5 +455,61 @@ mod tests {
         assert_eq!(s.cell_class(2, 1), Some(ElementClass::Data));
         // Empty cell has no class.
         assert_eq!(s.cell_class(0, 1), None);
+    }
+
+    #[test]
+    fn cell_index_hit_miss_and_empty() {
+        // `cell_class` is index-backed: a hit returns the prediction at
+        // that position, an out-of-range miss and an empty cell both
+        // return `None`, and every stored prediction is findable.
+        let model = fitted();
+        let text = "Report on crime,,\nState,2019,2020\nBerlin,14,28\nHamburg,15,29\nTotal,29,57\nSource: police,,\n";
+        let s = model.detect_structure(text);
+        for c in &s.cells {
+            assert_eq!(s.cell_class(c.row, c.col), Some(c.class));
+            assert_eq!(s.cell_prediction(c.row, c.col), Some(c));
+        }
+        // Miss: far outside the table.
+        assert_eq!(s.cell_class(999, 999), None);
+        assert!(s.cell_prediction(999, 999).is_none());
+        // Empty cell inside the table: row 0 only fills column 0.
+        assert!(s.table.cell(0, 2).is_empty());
+        assert_eq!(s.cell_class(0, 2), None);
+        // A structure with no cell predictions at all.
+        let empty = Structure::new(
+            strudel_dialect::Dialect::rfc4180(),
+            Table::from_rows(Vec::<Vec<&str>>::new()),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+        );
+        assert_eq!(empty.cell_class(0, 0), None);
+    }
+
+    #[test]
+    fn metered_detection_records_all_stages_and_matches_unmetered() {
+        use crate::metrics::{Stage, StageTimings};
+        let model = fitted();
+        let text = "Report on crime,,\nState,2019,2020\nBerlin,14,28\nHamburg,15,29\nTotal,29,57\nSource: police,,\n";
+        let mut sink = StageTimings::default();
+        let metered = model.detect_structure_metered(text, &mut sink);
+        for stage in Stage::ALL {
+            assert_eq!(sink.count(stage), 1, "stage {} recorded", stage.name());
+        }
+        assert_eq!(metered, model.detect_structure(text));
+
+        // The table entry point only runs the two classification stages.
+        let mut sink = StageTimings::default();
+        let table = strudel_dialect::read_table_with(text, &strudel_dialect::Dialect::rfc4180());
+        let s = model.detect_structure_of_table_metered(
+            table,
+            strudel_dialect::Dialect::rfc4180(),
+            &mut sink,
+        );
+        assert_eq!(sink.count(Stage::Dialect), 0);
+        assert_eq!(sink.count(Stage::Parse), 0);
+        assert_eq!(sink.count(Stage::LineClassify), 1);
+        assert_eq!(sink.count(Stage::CellClassify), 1);
+        assert_eq!(s.lines.len(), 6);
     }
 }

@@ -153,8 +153,7 @@ pub fn repair_cells(
             let others: usize = counts.iter().sum::<usize>() - 1;
             if others >= 2 {
                 // The rest of the line agrees on exactly one class?
-                let consensus = (0..ElementClass::COUNT)
-                    .find(|&c| c != own && counts[c] == others);
+                let consensus = (0..ElementClass::COUNT).find(|&c| c != own && counts[c] == others);
                 if let Some(consensus) = consensus {
                     let consensus = ElementClass::from_index(consensus);
                     let legitimate = matches!(

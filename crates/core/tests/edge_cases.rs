@@ -84,8 +84,8 @@ fn keyword_headed_data_column_is_not_detected_as_derived() {
         vec!["z", "11", "57"],
     ]);
     let derived = detect_derived_cells(&t, &DerivedConfig::default());
-    for r in 1..4 {
-        assert!(!derived[r][2], "row {r} wrongly detected");
+    for (r, row) in derived.iter().enumerate().skip(1) {
+        assert!(!row[2], "row {r} wrongly detected");
     }
 }
 

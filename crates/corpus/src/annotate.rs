@@ -136,8 +136,7 @@ mod tests {
         let a = grid(vec![vec![Some(Data)]]);
         let b = grid(vec![vec![Some(Data)]]);
         let c = grid(vec![vec![Some(Derived)]]);
-        let (merged, stats) =
-            merge_annotations(&[a, b, c], |_, _, _| panic!("no referee needed"));
+        let (merged, stats) = merge_annotations(&[a, b, c], |_, _, _| panic!("no referee needed"));
         assert_eq!(merged[0][0], Some(Data));
         assert_eq!(stats.majority_resolved, 1);
     }
@@ -160,8 +159,7 @@ mod tests {
     #[test]
     fn empty_cells_stay_empty() {
         let a = grid(vec![vec![None, Some(Data)]]);
-        let (merged, stats) =
-            merge_annotations(&[a.clone(), a], |_, _, _| panic!("no referee"));
+        let (merged, stats) = merge_annotations(&[a.clone(), a], |_, _, _| panic!("no referee"));
         assert_eq!(merged[0][0], None);
         assert_eq!(stats.total(), 1);
     }

@@ -125,7 +125,10 @@ pub fn render_labels(labels: &CellLabels) -> String {
 /// header line is optional; rows shorter than the table pad with `.`.
 pub fn parse_labels(text: &str, table: &Table) -> Result<CellLabels, String> {
     let mut rows: Vec<&str> = text.lines().collect();
-    if rows.first().is_some_and(|l| l.starts_with("#strudel-labels")) {
+    if rows
+        .first()
+        .is_some_and(|l| l.starts_with("#strudel-labels"))
+    {
         rows.remove(0);
     }
     // Allow a missing trailing blank row.
@@ -224,9 +227,7 @@ pub fn load_corpus(dir: &Path, name: impl Into<String>) -> Result<Corpus, Corpus
     let mut corpus = Corpus::new(name);
     let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
         .filter_map(|entry| entry.ok().map(|e| e.path()))
-        .filter(|p| {
-            p.extension().is_some_and(|e| e == "csv") && labels_path(p).exists()
-        })
+        .filter(|p| p.extension().is_some_and(|e| e == "csv") && labels_path(p).exists())
         .collect();
     paths.sort();
     for path in paths {
@@ -241,10 +242,8 @@ mod tests {
     use strudel_datagen::{saus, GeneratorConfig};
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "strudel-corpus-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("strudel-corpus-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir
@@ -287,11 +286,7 @@ mod tests {
 
     #[test]
     fn labels_text_roundtrip() {
-        let table = Table::from_rows(vec![
-            vec!["Title", ""],
-            vec!["", ""],
-            vec!["a", "1"],
-        ]);
+        let table = Table::from_rows(vec![vec!["Title", ""], vec!["", ""], vec!["a", "1"]]);
         let labels: CellLabels = vec![
             vec![Some(ElementClass::Metadata), None],
             vec![None, None],
@@ -342,10 +337,7 @@ mod tests {
     #[test]
     fn quoted_content_survives_roundtrip() {
         let table = Table::from_rows(vec![vec!["say \"hi\", twice", "2"]]);
-        let labels: CellLabels = vec![vec![
-            Some(ElementClass::Data),
-            Some(ElementClass::Data),
-        ]];
+        let labels: CellLabels = vec![vec![Some(ElementClass::Data), Some(ElementClass::Data)]];
         let line_labels = LabeledFile::line_labels_from_cells(&table, &labels);
         let file = LabeledFile::new("q.csv", table, line_labels, labels);
         let dir = temp_dir("quoted");

@@ -9,10 +9,8 @@ use strudel_datagen::{by_name, GeneratorConfig};
 use strudel_table::{CellLabels, ElementClass, Table};
 
 fn temp_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "strudel-corpus-prop-{tag}-{}",
-        std::process::id()
-    ));
+    let dir =
+        std::env::temp_dir().join(format!("strudel-corpus-prop-{tag}-{}", std::process::id()));
     let _ = fs::remove_dir_all(&dir);
     fs::create_dir_all(&dir).unwrap();
     dir

@@ -2,14 +2,24 @@ fn main() {
     for (files, scale) in [(8usize, 0.3f64), (20, 1.0)] {
         println!("== files {files} scale {scale} ==");
         for name in ["SAUS", "CIUS", "DeEx", "GovUK", "Troy", "Mendeley"] {
-            let cfg = strudel_datagen::GeneratorConfig { n_files: files, seed: 7, scale };
+            let cfg = strudel_datagen::GeneratorConfig {
+                n_files: files,
+                seed: 7,
+                scale,
+            };
             let stats = strudel_datagen::by_name(name, &cfg).stats();
             let total: usize = stats.diversity_counts.iter().sum();
             let d1 = stats.diversity_counts[0] as f64 / total as f64;
             let d2 = stats.diversity_counts[1] as f64 / total as f64;
             let data = stats.lines_per_class[3] as f64 / stats.n_lines as f64;
-            println!("{name:9} lines/file {:6.1} data {:.2} d1 {:.3} d2 {:.3} lines/class {:?}",
-                stats.n_lines as f64 / stats.n_files as f64, data, d1, d2, stats.lines_per_class);
+            println!(
+                "{name:9} lines/file {:6.1} data {:.2} d1 {:.3} d2 {:.3} lines/class {:?}",
+                stats.n_lines as f64 / stats.n_files as f64,
+                data,
+                d1,
+                d2,
+                stats.lines_per_class
+            );
         }
     }
 }

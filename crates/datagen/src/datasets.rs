@@ -20,7 +20,9 @@
 //!   almost never carry keywords.
 
 use crate::builder::FileBuilder;
-use crate::spec::{emit_table, DerivedColStyle, DerivedRowStyle, GroupStyle, HeaderStyle, TableSpec};
+use crate::spec::{
+    emit_table, DerivedColStyle, DerivedRowStyle, GroupStyle, HeaderStyle, TableSpec,
+};
 use crate::vocab::{self, pick};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -77,7 +79,9 @@ fn scaled(base: usize, scale: f64, min: usize) -> usize {
 fn file_rng(cfg: &GeneratorConfig, dataset: &str, index: usize) -> SmallRng {
     // Mix the dataset name into the stream so corpora differ even with
     // equal seeds.
-    let tag: u64 = dataset.bytes().fold(0u64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64));
+    let tag: u64 = dataset
+        .bytes()
+        .fold(0u64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64));
     SmallRng::seed_from_u64(cfg.seed ^ tag ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
@@ -86,7 +90,11 @@ fn push_metadata(builder: &mut FileBuilder, rng: &mut SmallRng, n_lines: usize) 
         let text = if k == 0 {
             vocab::title(rng)
         } else {
-            format!("{} — reference period {}", pick(rng, &vocab::SUBJECTS), rng.gen_range(2005..2021))
+            format!(
+                "{} — reference period {}",
+                pick(rng, &vocab::SUBJECTS),
+                rng.gen_range(2005..2021)
+            )
         };
         // A metadata area "may span across one or more lines and columns"
         // (Section 3.2): occasionally attach a revision cell.
@@ -107,8 +115,8 @@ fn push_metadata(builder: &mut FileBuilder, rng: &mut SmallRng, n_lines: usize) 
 fn push_notes(builder: &mut FileBuilder, rng: &mut SmallRng, n_lines: usize) {
     for k in 0..n_lines {
         builder.single_cell_line(
-            vocab::NOTE_TEMPLATES[(k + rng.gen_range(0..vocab::NOTE_TEMPLATES.len()))
-                % vocab::NOTE_TEMPLATES.len()],
+            vocab::NOTE_TEMPLATES
+                [(k + rng.gen_range(0..vocab::NOTE_TEMPLATES.len())) % vocab::NOTE_TEMPLATES.len()],
             ElementClass::Notes,
         );
     }
@@ -119,9 +127,9 @@ fn push_notes(builder: &mut FileBuilder, rng: &mut SmallRng, n_lines: usize) {
 fn push_note_table(builder: &mut FileBuilder, rng: &mut SmallRng) {
     let marks = ["*", "**", "†", "a", "b"];
     let n = rng.gen_range(2..=3);
-    for k in 0..n {
+    for (k, mark) in marks.iter().take(n).enumerate() {
         builder.push_row(vec![
-            (marks[k].to_string(), Some(ElementClass::Notes)),
+            (mark.to_string(), Some(ElementClass::Notes)),
             (
                 vocab::NOTE_TEMPLATES[k % vocab::NOTE_TEMPLATES.len()].to_string(),
                 Some(ElementClass::Notes),
@@ -142,20 +150,36 @@ pub fn saus(cfg: &GeneratorConfig) -> Corpus {
             b.empty_line();
         }
 
-        let n_groups = if rng.gen_bool(0.7) { rng.gen_range(2..=4) } else { 1 };
+        let n_groups = if rng.gen_bool(0.7) {
+            rng.gen_range(2..=4)
+        } else {
+            1
+        };
         let rows = scaled(rng.gen_range(8..=14), cfg.scale, 6);
         let spec = TableSpec {
             n_value_cols: rng.gen_range(3..=8),
             rows_per_group: vec![rows; n_groups],
-            header: if rng.gen_bool(0.75) { HeaderStyle::Textual } else { HeaderStyle::Years },
-            groups: if n_groups > 1 { GroupStyle::LeftCell } else { GroupStyle::None },
+            header: if rng.gen_bool(0.75) {
+                HeaderStyle::Textual
+            } else {
+                HeaderStyle::Years
+            },
+            groups: if n_groups > 1 {
+                GroupStyle::LeftCell
+            } else {
+                GroupStyle::None
+            },
             // The SAUS trait: a large share of unanchored derived rows.
             derived_row: match rng.gen_range(0..10) {
                 0..=4 => DerivedRowStyle::Keyword,
                 5..=8 => DerivedRowStyle::Anchorless,
                 _ => DerivedRowStyle::None,
             },
-            derived_col: if rng.gen_bool(0.06) { DerivedColStyle::Keyword } else { DerivedColStyle::None },
+            derived_col: if rng.gen_bool(0.06) {
+                DerivedColStyle::Keyword
+            } else {
+                DerivedColStyle::None
+            },
             grand_total: n_groups > 1 && rng.gen_bool(0.3),
             entity_pool: &vocab::REGIONS,
             value_range: (10, 9000),
@@ -254,7 +278,11 @@ pub fn deex(cfg: &GeneratorConfig) -> Corpus {
                 push_metadata(&mut b, &mut rng, 1);
             }
             b.empty_line();
-            let n_groups = if rng.gen_bool(0.4) { rng.gen_range(2..=3) } else { 1 };
+            let n_groups = if rng.gen_bool(0.4) {
+                rng.gen_range(2..=3)
+            } else {
+                1
+            };
             let rows = scaled(rng.gen_range(16..=30), cfg.scale, 6);
             let spec = TableSpec {
                 n_value_cols: rng.gen_range(2..=7),
@@ -265,7 +293,11 @@ pub fn deex(cfg: &GeneratorConfig) -> Corpus {
                     _ => HeaderStyle::Textual,
                 },
                 groups: if n_groups > 1 {
-                    if rng.gen_bool(0.5) { GroupStyle::LeftCell } else { GroupStyle::Wide }
+                    if rng.gen_bool(0.5) {
+                        GroupStyle::LeftCell
+                    } else {
+                        GroupStyle::Wide
+                    }
                 } else {
                     GroupStyle::None
                 },
@@ -274,7 +306,11 @@ pub fn deex(cfg: &GeneratorConfig) -> Corpus {
                     5..=6 => DerivedRowStyle::Anchorless,
                     _ => DerivedRowStyle::None,
                 },
-                derived_col: if rng.gen_bool(0.12) { DerivedColStyle::Keyword } else { DerivedColStyle::None },
+                derived_col: if rng.gen_bool(0.12) {
+                    DerivedColStyle::Keyword
+                } else {
+                    DerivedColStyle::None
+                },
                 grand_total: rng.gen_bool(0.2),
                 entity_pool: &vocab::PRODUCTS,
                 value_range: (1, 20000),
@@ -316,7 +352,7 @@ pub fn govuk(cfg: &GeneratorConfig) -> Corpus {
                 b.empty_line();
             }
             let n_meta = rng.gen_range(1..=3);
-        push_metadata(&mut b, &mut rng, n_meta);
+            push_metadata(&mut b, &mut rng, n_meta);
             b.empty_line();
             let n_groups = rng.gen_range(2..=5);
             let rows = scaled(rng.gen_range(24..=48), cfg.scale, 6);
@@ -325,7 +361,11 @@ pub fn govuk(cfg: &GeneratorConfig) -> Corpus {
             let spec = TableSpec {
                 n_value_cols,
                 rows_per_group: vec![rows; n_groups],
-                header: if rng.gen_bool(0.3) { HeaderStyle::Years } else { HeaderStyle::Textual },
+                header: if rng.gen_bool(0.3) {
+                    HeaderStyle::Years
+                } else {
+                    HeaderStyle::Textual
+                },
                 groups: GroupStyle::LeftCell,
                 derived_row: if floating_summary {
                     DerivedRowStyle::None
@@ -336,7 +376,11 @@ pub fn govuk(cfg: &GeneratorConfig) -> Corpus {
                         _ => DerivedRowStyle::None,
                     }
                 },
-                derived_col: if rng.gen_bool(0.08) { DerivedColStyle::Keyword } else { DerivedColStyle::None },
+                derived_col: if rng.gen_bool(0.08) {
+                    DerivedColStyle::Keyword
+                } else {
+                    DerivedColStyle::None
+                },
                 grand_total: false,
                 entity_pool: &vocab::REGIONS,
                 value_range: (100, 80000),
@@ -362,7 +406,10 @@ pub fn govuk(cfg: &GeneratorConfig) -> Corpus {
                 let mut row = vec![("England totals".to_string(), Some(ElementClass::Group))];
                 for _ in 0..n_value_cols {
                     row.push((
-                        { let v = rng.gen_range(10000..500000); vocab::format_int(&mut rng, v) },
+                        {
+                            let v = rng.gen_range(10000..500000);
+                            vocab::format_int(&mut rng, v)
+                        },
                         Some(ElementClass::Derived),
                     ));
                 }
@@ -395,15 +442,23 @@ pub fn troy(cfg: &GeneratorConfig) -> Corpus {
         let mut rng = file_rng(cfg, "Troy", i);
         let mut b = FileBuilder::new();
         let n_meta = rng.gen_range(1..=2);
-                push_metadata(&mut b, &mut rng, n_meta);
+        push_metadata(&mut b, &mut rng, n_meta);
         b.empty_line();
         let n_groups = if rng.gen_bool(0.2) { 2 } else { 1 };
         let rows = scaled(rng.gen_range(9..=16), cfg.scale, 8);
         let spec = TableSpec {
             n_value_cols: rng.gen_range(2..=5),
             rows_per_group: vec![rows; n_groups],
-            header: if rng.gen_bool(0.6) { HeaderStyle::Textual } else { HeaderStyle::Years },
-            groups: if n_groups > 1 { GroupStyle::LeftCell } else { GroupStyle::None },
+            header: if rng.gen_bool(0.6) {
+                HeaderStyle::Textual
+            } else {
+                HeaderStyle::Years
+            },
+            groups: if n_groups > 1 {
+                GroupStyle::LeftCell
+            } else {
+                GroupStyle::None
+            },
             // Troy's aggregates are out-of-domain: mostly keyword-free
             // medians that neither the detector nor magnitude cues catch.
             derived_row: match rng.gen_range(0..10) {
@@ -448,7 +503,11 @@ pub fn mendeley(cfg: &GeneratorConfig) -> Corpus {
                 let fragments = [
                     format!("Run recorded at {} C", rng.gen_range(15..35)),
                     format!("humidity {}%", rng.gen_range(20..90)),
-                    format!("sensor firmware v{}.{}", rng.gen_range(1..4), rng.gen_range(0..10)),
+                    format!(
+                        "sensor firmware v{}.{}",
+                        rng.gen_range(1..4),
+                        rng.gen_range(0..10)
+                    ),
                 ];
                 let n_frag = rng.gen_range(1..=3);
                 b.push_row(
@@ -465,8 +524,16 @@ pub fn mendeley(cfg: &GeneratorConfig) -> Corpus {
         let spec = TableSpec {
             n_value_cols: rng.gen_range(3..=8),
             rows_per_group: vec![rows / n_groups; n_groups],
-            header: if rng.gen_bool(0.7) { HeaderStyle::Textual } else { HeaderStyle::None },
-            groups: if n_groups > 1 { GroupStyle::LeftCell } else { GroupStyle::None },
+            header: if rng.gen_bool(0.7) {
+                HeaderStyle::Textual
+            } else {
+                HeaderStyle::None
+            },
+            groups: if n_groups > 1 {
+                GroupStyle::LeftCell
+            } else {
+                GroupStyle::None
+            },
             derived_row: if rng.gen_bool(0.08) {
                 DerivedRowStyle::Keyword
             } else {
@@ -546,10 +613,7 @@ mod tests {
             // At the test's reduced scale the data share shrinks (minority
             // sections have fixed size); at scale 1.0 it reaches the
             // paper's 80-90%.
-            assert!(
-                data_lines * 2 > stats.n_lines,
-                "data lines should dominate"
-            );
+            assert!(data_lines * 2 > stats.n_lines, "data lines should dominate");
             // All six classes appear somewhere in the corpus.
             for class in ElementClass::ALL {
                 assert!(
@@ -593,15 +657,16 @@ mod tests {
             for r in 0..f.table.n_rows() {
                 if f.line_labels[r] == Some(Derived) {
                     derived_lines += 1;
-                    let has_kw = f
-                        .table
-                        .row(r)
-                        .any(|c| {
-                            let lower = c.raw().to_ascii_lowercase();
-                            ["total", "sum", "average", "mean", "median", "avg", "all"]
-                                .iter()
-                                .any(|k| lower.split(|ch: char| !ch.is_alphanumeric()).any(|w| w == *k))
-                        });
+                    let has_kw = f.table.row(r).any(|c| {
+                        let lower = c.raw().to_ascii_lowercase();
+                        ["total", "sum", "average", "mean", "median", "avg", "all"]
+                            .iter()
+                            .any(|k| {
+                                lower
+                                    .split(|ch: char| !ch.is_alphanumeric())
+                                    .any(|w| w == *k)
+                            })
+                    });
                     if has_kw {
                         anchored += 1;
                     }

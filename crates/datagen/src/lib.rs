@@ -31,9 +31,7 @@ mod vocab;
 
 pub use builder::{FileBuilder, LabeledValue};
 pub use datasets::{cius, deex, govuk, mendeley, saus, troy, GeneratorConfig};
-pub use spec::{
-    emit_table, DerivedColStyle, DerivedRowStyle, GroupStyle, HeaderStyle, TableSpec,
-};
+pub use spec::{emit_table, DerivedColStyle, DerivedRowStyle, GroupStyle, HeaderStyle, TableSpec};
 pub use vocab::{format_int, with_thousands};
 
 use strudel_table::Corpus;

@@ -204,7 +204,10 @@ pub fn emit_table(builder: &mut FileBuilder, rng: &mut SmallRng, spec: &TableSpe
             if spec.unlabeled_first_col {
                 row.push((String::new(), None));
             } else {
-                row.push((pick(rng, &["Area", "Name", "Category"]).to_string(), Some(Header)));
+                row.push((
+                    pick(rng, &["Area", "Name", "Category"]).to_string(),
+                    Some(Header),
+                ));
             }
             let base_year = rng.gen_range(1995..2018);
             // The trap column sits rightmost — exactly where genuine
@@ -278,8 +281,7 @@ pub fn emit_table(builder: &mut FileBuilder, rng: &mut SmallRng, spec: &TableSpe
         // others — the irregularity real files show.
         let emit_aggregate = spec.derived_row != DerivedRowStyle::None
             && (!spec.aggregate_jitter || rng.gen_bool(0.75));
-        let aggregate_on_top =
-            emit_aggregate && spec.aggregate_jitter && rng.gen_bool(0.2);
+        let aggregate_on_top = emit_aggregate && spec.aggregate_jitter && rng.gen_bool(0.2);
         let mut data_rows: Vec<Vec<crate::builder::LabeledValue>> = Vec::new();
         for r in 0..n_rows {
             let entity = spec.entity_pool[(g * 7 + r) % spec.entity_pool.len()];
@@ -342,10 +344,7 @@ pub fn emit_table(builder: &mut FileBuilder, rng: &mut SmallRng, spec: &TableSpe
                     row.push((render(rng, spec, s), Some(Derived)));
                 }
                 if has_derived_col {
-                    row.push((
-                        render(rng, spec, aggregates.iter().sum()),
-                        Some(Derived),
-                    ));
+                    row.push((render(rng, spec, aggregates.iter().sum()), Some(Derived)));
                 }
                 if aggregate_on_top {
                     builder.push_row(row);
@@ -503,7 +502,10 @@ mod tests {
         };
         let f = build(&spec, 13);
         let last = f.table.n_rows() - 1;
-        assert_eq!(f.line_labels[last], Some(strudel_table::ElementClass::Derived));
+        assert_eq!(
+            f.line_labels[last],
+            Some(strudel_table::ElementClass::Derived)
+        );
         for col in 1..4 {
             let mut values: Vec<f64> = (1..last)
                 .map(|r| f.table.cell(r, col).numeric().unwrap())
@@ -511,7 +513,10 @@ mod tests {
             values.sort_by(f64::total_cmp);
             let expected = values[values.len() / 2];
             let rendered = f.table.cell(last, col).numeric().unwrap();
-            assert!((rendered - expected).abs() < 1.0, "col {col}: {rendered} vs {expected}");
+            assert!(
+                (rendered - expected).abs() < 1.0,
+                "col {col}: {rendered} vs {expected}"
+            );
             // Neither the sum nor the mean of the column (what Algorithm 2
             // can verify) — sums are far larger, the log-uniform mean is
             // generally off the median by more than the detector's delta.

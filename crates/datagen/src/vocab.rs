@@ -66,16 +66,7 @@ pub const OFFENCES: [&str; 12] = [
 
 /// Statistical measure names used in header cells.
 pub const MEASURES: [&str; 10] = [
-    "Rate",
-    "Count",
-    "Index",
-    "Share",
-    "Volume",
-    "Value",
-    "Amount",
-    "Score",
-    "Level",
-    "Change",
+    "Rate", "Count", "Index", "Share", "Volume", "Value", "Amount", "Score", "Level", "Change",
 ];
 
 /// Group-header phrases that deliberately avoid aggregation keywords.
@@ -157,7 +148,7 @@ pub fn with_thousands(value: i64) -> String {
     let mut out = String::with_capacity(digits.len() + digits.len() / 3 + 1);
     let offset = digits.len() % 3;
     for (i, ch) in digits.chars().enumerate() {
-        if i > 0 && (i + 3 - offset) % 3 == 0 {
+        if i > 0 && (i + 3 - offset).is_multiple_of(3) {
             out.push(',');
         }
         out.push(ch);

@@ -22,6 +22,7 @@
 mod detect;
 mod dialect;
 mod parser;
+mod write;
 
 pub use detect::{
     best_dialect, detect_dialect, score_dialect, ScoredDialect, CANDIDATE_DELIMITERS,
@@ -29,6 +30,7 @@ pub use detect::{
 };
 pub use dialect::Dialect;
 pub use parser::parse;
+pub use write::{write_delimited, write_field};
 
 use strudel_table::Table;
 

@@ -1,0 +1,161 @@
+//! Rendering records back to delimited text under a [`Dialect`].
+//!
+//! The inverse of [`crate::parse`]: [`write_delimited`] produces text
+//! that the parser maps back to the original records, for any cell
+//! content — embedded delimiters, quotes, and line breaks included —
+//! as long as the dialect can express them (a quote or an escape
+//! character is required for that; see [`write_field`]).
+
+use crate::dialect::Dialect;
+
+/// Render records as delimited text under `dialect`, one record per
+/// line, with a trailing line terminator.
+///
+/// Round-trips through [`crate::parse`]: `parse(&write_delimited(rows,
+/// d), d) == rows` whenever the dialect has a quote or escape character,
+/// with two caveats inherent to the format: a record must have at least
+/// one field (a zero-field record is unrepresentable), and an empty
+/// *record list* renders as the empty string.
+pub fn write_delimited(rows: &[Vec<String>], dialect: &Dialect) -> String {
+    let mut out = String::new();
+    for row in rows {
+        for (i, field) in row.iter().enumerate() {
+            if i > 0 {
+                out.push(dialect.delimiter);
+            }
+            write_field(field, dialect, &mut out);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Append one field to `out`, protecting content the parser would
+/// otherwise interpret structurally.
+///
+/// - With a quote character, a field containing the delimiter, the
+///   quote, the escape, or a line break is wrapped in quotes, with
+///   inner quotes doubled (RFC 4180 generalised to the dialect).
+/// - Without a quote but with an escape character, each structural
+///   character is escaped instead.
+/// - With neither, the field is written verbatim (lossy for structural
+///   content — such a dialect simply cannot express it).
+pub fn write_field(field: &str, dialect: &Dialect, out: &mut String) {
+    let structural = |c: char| {
+        c == dialect.delimiter
+            || c == '\n'
+            || c == '\r'
+            || Some(c) == dialect.quote
+            || Some(c) == dialect.escape
+    };
+    if !field.chars().any(structural) {
+        out.push_str(field);
+        return;
+    }
+    match (dialect.quote, dialect.escape) {
+        (Some(q), escape) => {
+            out.push(q);
+            for c in field.chars() {
+                if c == q {
+                    out.push(q);
+                    out.push(q);
+                } else if Some(c) == escape {
+                    // The parser honours the escape inside quotes too, so
+                    // a literal escape character must protect itself.
+                    out.push(c);
+                    out.push(c);
+                } else {
+                    out.push(c);
+                }
+            }
+            out.push(q);
+        }
+        (None, Some(e)) => {
+            for c in field.chars() {
+                if structural(c) {
+                    out.push(e);
+                }
+                out.push(c);
+            }
+        }
+        (None, None) => out.push_str(field),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(rows: &[Vec<&str>], dialect: &Dialect) {
+        let owned: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| r.iter().map(|s| s.to_string()).collect())
+            .collect();
+        let text = write_delimited(&owned, dialect);
+        assert_eq!(parse(&text, dialect), owned, "text was {text:?}");
+    }
+
+    #[test]
+    fn plain_rows() {
+        roundtrip(
+            &[vec!["a", "b", "c"], vec!["1", "2", "3"]],
+            &Dialect::rfc4180(),
+        );
+    }
+
+    #[test]
+    fn structural_content_is_quoted() {
+        roundtrip(
+            &[vec!["a,b", "say \"hi\"", "line\nbreak", "cr\rhere", ""]],
+            &Dialect::rfc4180(),
+        );
+    }
+
+    #[test]
+    fn semicolon_dialect_quotes_semicolons_not_commas() {
+        let d = Dialect::with_delimiter(';');
+        let rows = vec![vec!["1,5".to_string(), "a;b".to_string()]];
+        let text = write_delimited(&rows, &d);
+        assert_eq!(text, "1,5;\"a;b\"\n");
+        assert_eq!(parse(&text, &d), rows);
+    }
+
+    #[test]
+    fn escape_only_dialect() {
+        let d = Dialect {
+            delimiter: ',',
+            quote: None,
+            escape: Some('\\'),
+        };
+        roundtrip(&[vec!["a,b", "back\\slash", "line\nbreak"]], &d);
+    }
+
+    #[test]
+    fn quote_and_escape_dialect_protects_the_escape() {
+        let d = Dialect {
+            delimiter: ',',
+            quote: Some('"'),
+            escape: Some('\\'),
+        };
+        roundtrip(&[vec!["a\\b", "c,d", "q\"uote"]], &d);
+    }
+
+    #[test]
+    fn bare_dialect_writes_verbatim() {
+        let d = Dialect {
+            delimiter: ',',
+            quote: None,
+            escape: None,
+        };
+        let rows = vec![vec!["plain".to_string(), "text".to_string()]];
+        assert_eq!(write_delimited(&rows, &d), "plain,text\n");
+    }
+
+    #[test]
+    fn empty_rows_and_empty_fields() {
+        roundtrip(&[vec![""]], &Dialect::rfc4180());
+        roundtrip(&[vec!["", ""], vec!["a", ""]], &Dialect::rfc4180());
+        assert_eq!(write_delimited(&[], &Dialect::rfc4180()), "");
+    }
+}

@@ -2,9 +2,7 @@
 //! plus property tests on the detector's invariants.
 
 use proptest::prelude::*;
-use strudel_dialect::{
-    best_dialect, detect_dialect, parse, read_table, read_table_with, Dialect,
-};
+use strudel_dialect::{best_dialect, detect_dialect, parse, read_table, read_table_with, Dialect};
 
 #[test]
 fn single_quote_dialect_detected() {

@@ -28,7 +28,10 @@ impl ConfusionMatrix {
     /// # Panics
     /// Panics on out-of-range labels.
     pub fn add(&mut self, gold: usize, pred: usize) {
-        assert!(gold < self.n_classes && pred < self.n_classes, "label out of range");
+        assert!(
+            gold < self.n_classes && pred < self.n_classes,
+            "label out of range"
+        );
         self.counts[gold * self.n_classes + pred] += 1;
     }
 

@@ -152,7 +152,7 @@ mod tests {
     #[test]
     fn folds_are_disjoint_and_cover() {
         let folds = grouped_k_folds(23, 5, 9);
-        let mut seen = vec![false; 23];
+        let mut seen = [false; 23];
         for fold in &folds {
             for &f in fold {
                 assert!(!seen[f], "file {f} in two folds");

@@ -32,8 +32,7 @@ pub fn permutation_importance(
         .map(|j| {
             let mut drop_sum = 0.0;
             for rep in 0..n_repeats {
-                let mut rng =
-                    SmallRng::seed_from_u64(seed ^ (j as u64) << 20 ^ rep as u64);
+                let mut rng = SmallRng::seed_from_u64(seed ^ (j as u64) << 20 ^ rep as u64);
                 let mut values: Vec<f64> = (0..n).map(|i| data.x(i, j)).collect();
                 values.shuffle(&mut rng);
                 let permuted = data.with_feature_replaced(j, &values);

@@ -50,8 +50,12 @@ impl Evaluation {
             }
         }
         let safe_div = |a: usize, b: usize| if b == 0 { 0.0 } else { a as f64 / b as f64 };
-        let precision: Vec<f64> = (0..n_classes).map(|c| safe_div(tp[c], tp[c] + fp[c])).collect();
-        let recall: Vec<f64> = (0..n_classes).map(|c| safe_div(tp[c], tp[c] + fn_[c])).collect();
+        let precision: Vec<f64> = (0..n_classes)
+            .map(|c| safe_div(tp[c], tp[c] + fp[c]))
+            .collect();
+        let recall: Vec<f64> = (0..n_classes)
+            .map(|c| safe_div(tp[c], tp[c] + fn_[c]))
+            .collect();
         let f1 = (0..n_classes)
             .map(|c| {
                 let (p, r) = (precision[c], recall[c]);
@@ -75,7 +79,9 @@ impl Evaluation {
     /// (the paper leaves `derived` out when scoring Pytheas, which cannot
     /// predict it).
     pub fn macro_f1(&self, exclude: &[usize]) -> f64 {
-        let kept: Vec<usize> = (0..self.f1.len()).filter(|c| !exclude.contains(c)).collect();
+        let kept: Vec<usize> = (0..self.f1.len())
+            .filter(|c| !exclude.contains(c))
+            .collect();
         if kept.is_empty() {
             return 0.0;
         }

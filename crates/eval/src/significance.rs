@@ -58,9 +58,7 @@ pub fn bootstrap_macro_f1(
         .collect();
     scores.sort_by(f64::total_cmp);
     let alpha = (1.0 - level) / 2.0;
-    let idx = |q: f64| {
-        ((q * (n_resamples - 1) as f64).round() as usize).min(n_resamples - 1)
-    };
+    let idx = |q: f64| ((q * (n_resamples - 1) as f64).round() as usize).min(n_resamples - 1);
     ConfidenceInterval {
         estimate,
         lo: scores[idx(alpha)],

@@ -71,7 +71,11 @@ impl LinearChainCrf {
     pub fn fit(sequences: &[SequenceSample], config: &CrfConfig) -> LinearChainCrf {
         assert!(!sequences.is_empty(), "cannot fit on zero sequences");
         for seq in sequences {
-            assert_eq!(seq.features.len(), seq.labels.len(), "sequence shape mismatch");
+            assert_eq!(
+                seq.features.len(),
+                seq.labels.len(),
+                "sequence shape mismatch"
+            );
             assert!(
                 seq.labels.iter().all(|&l| l < config.n_labels),
                 "label out of range"

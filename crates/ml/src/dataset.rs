@@ -112,8 +112,8 @@ impl Dataset {
     pub fn with_feature_replaced(&self, j: usize, values: &[f64]) -> Dataset {
         assert_eq!(values.len(), self.n_samples());
         let mut out = self.clone();
-        for i in 0..out.n_samples() {
-            out.x[i * out.n_features + j] = values[i];
+        for (i, &v) in values.iter().enumerate() {
+            out.x[i * out.n_features + j] = v;
         }
         out
     }

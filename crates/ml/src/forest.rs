@@ -106,8 +106,9 @@ impl RandomForest {
                     scope.spawn(move || {
                         ids.into_iter()
                             .map(|t| {
-                                let mut rng =
-                                    SmallRng::seed_from_u64(config.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                                let mut rng = SmallRng::seed_from_u64(
+                                    config.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                                );
                                 let tree = if config.bootstrap {
                                     let n = data.n_samples();
                                     let mut indices: Vec<u32> =
@@ -119,7 +120,8 @@ impl RandomForest {
                                         &mut rng,
                                     )
                                 } else {
-                                    let mut indices: Vec<u32> = (0..data.n_samples() as u32).collect();
+                                    let mut indices: Vec<u32> =
+                                        (0..data.n_samples() as u32).collect();
                                     DecisionTree::fit_on_indices(
                                         data,
                                         &mut indices,
@@ -141,7 +143,10 @@ impl RandomForest {
         });
 
         RandomForest {
-            trees: trees.into_iter().map(|t| t.expect("all trees trained")).collect(),
+            trees: trees
+                .into_iter()
+                .map(|t| t.expect("all trees trained"))
+                .collect(),
             n_classes: data.n_classes(),
         }
     }
@@ -152,7 +157,10 @@ impl RandomForest {
     /// # Panics
     /// Panics when `config.bootstrap` is false or on an empty dataset.
     pub fn fit_with_oob(data: &Dataset, config: &ForestConfig) -> OobFit {
-        assert!(config.bootstrap, "OOB scoring requires bootstrap resampling");
+        assert!(
+            config.bootstrap,
+            "OOB scoring requires bootstrap resampling"
+        );
         assert!(!data.is_empty(), "cannot fit a forest on an empty dataset");
         let n = data.n_samples();
         // Reproduce each tree's bootstrap draw (same seed derivation as
@@ -245,6 +253,38 @@ impl RandomForest {
         Some(mean)
     }
 
+    /// Probability vectors for a batch of samples, computed across
+    /// `n_threads` worker threads (`0` picks the available parallelism).
+    ///
+    /// Prediction is a pure function of (forest, sample), so the output
+    /// is byte-identical for every thread count — each sample's vector
+    /// lands at its input position. Small batches fall back to the
+    /// serial path: below [`PARALLEL_PREDICT_THRESHOLD`] samples the
+    /// thread spawn overhead outweighs the tree walks.
+    pub fn predict_proba_batch(&self, rows: &[&[f64]], n_threads: usize) -> Vec<Vec<f64>> {
+        let threads = if n_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            n_threads
+        }
+        .min(rows.len().max(1));
+        if threads <= 1 || rows.len() < PARALLEL_PREDICT_THRESHOLD {
+            return rows.iter().map(|r| self.predict_proba(r)).collect();
+        }
+        let mut out: Vec<Vec<f64>> = vec![Vec::new(); rows.len()];
+        let chunk = rows.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (row_chunk, out_chunk) in rows.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (row, slot) in row_chunk.iter().zip(out_chunk.iter_mut()) {
+                        *slot = self.predict_proba(row);
+                    }
+                });
+            }
+        });
+        out
+    }
+
     /// Rebuild a forest from deserialized trees.
     pub fn from_raw_parts(
         trees: Vec<DecisionTree>,
@@ -259,6 +299,10 @@ impl RandomForest {
         Ok(RandomForest { trees, n_classes })
     }
 }
+
+/// Minimum batch size before [`RandomForest::predict_proba_batch`]
+/// spawns worker threads; smaller batches run serially.
+pub const PARALLEL_PREDICT_THRESHOLD: usize = 64;
 
 /// Assign `n` items to `k` buckets round-robin.
 fn split_round_robin(n: usize, k: usize) -> Vec<Vec<usize>> {
@@ -340,6 +384,31 @@ mod tests {
         for i in 0..ds.n_samples() {
             assert_eq!(a.predict_proba(ds.row(i)), b.predict_proba(ds.row(i)));
         }
+    }
+
+    #[test]
+    fn batch_prediction_matches_serial_and_is_thread_invariant() {
+        let ds = blobs(11, 60);
+        let forest = RandomForest::fit(&ds, &ForestConfig::fast(10, 7));
+        let rows: Vec<&[f64]> = (0..ds.n_samples()).map(|i| ds.row(i)).collect();
+        assert!(rows.len() >= PARALLEL_PREDICT_THRESHOLD);
+        let serial: Vec<Vec<f64>> = rows.iter().map(|r| forest.predict_proba(r)).collect();
+        let one = forest.predict_proba_batch(&rows, 1);
+        let four = forest.predict_proba_batch(&rows, 4);
+        let auto = forest.predict_proba_batch(&rows, 0);
+        assert_eq!(serial, one);
+        assert_eq!(one, four);
+        assert_eq!(one, auto);
+    }
+
+    #[test]
+    fn batch_prediction_of_empty_and_tiny_inputs() {
+        let ds = blobs(12, 20);
+        let forest = RandomForest::fit(&ds, &ForestConfig::fast(5, 3));
+        assert!(forest.predict_proba_batch(&[], 4).is_empty());
+        let row = ds.row(0);
+        let out = forest.predict_proba_batch(&[row], 4);
+        assert_eq!(out, vec![forest.predict_proba(row)]);
     }
 
     #[test]

@@ -133,13 +133,13 @@ impl Mlp {
     fn forward(&self, x: &[f64]) -> (Vec<f64>, Vec<f64>) {
         let (d, h, c) = (self.n_input, self.n_hidden, self.n_classes);
         let mut hidden = vec![0.0; h];
-        for j in 0..h {
+        for (j, hv) in hidden.iter_mut().enumerate() {
             let base = j * d;
             let mut s = self.b1[j];
             for (k, &xv) in x.iter().enumerate() {
                 s += self.w1[base + k] * xv;
             }
-            hidden[j] = s.max(0.0);
+            *hv = s.max(0.0);
         }
         let mut out = vec![0.0; c];
         for (class, o) in out.iter_mut().enumerate() {

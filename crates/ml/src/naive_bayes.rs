@@ -94,7 +94,7 @@ impl GaussianNb {
 impl Classifier for GaussianNb {
     fn predict_proba(&self, features: &[f64]) -> Vec<f64> {
         let mut log_post = vec![0.0; self.n_classes];
-        for class in 0..self.n_classes {
+        for (class, slot) in log_post.iter_mut().enumerate() {
             let mut lp = self.log_priors[class];
             if lp.is_finite() {
                 for (j, &x) in features.iter().enumerate() {
@@ -103,7 +103,7 @@ impl Classifier for GaussianNb {
                     lp += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + delta * delta / var);
                 }
             }
-            log_post[class] = lp;
+            *slot = lp;
         }
         softmax_from_log(&log_post)
     }
@@ -173,7 +173,12 @@ mod tests {
     #[test]
     fn constant_feature_does_not_blow_up() {
         let ds = Dataset::from_rows(
-            &[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 10.0], vec![1.0, 11.0]],
+            &[
+                vec![1.0, 0.0],
+                vec![1.0, 1.0],
+                vec![1.0, 10.0],
+                vec![1.0, 11.0],
+            ],
             &[0, 0, 1, 1],
             2,
         );

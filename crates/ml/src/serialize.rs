@@ -195,7 +195,7 @@ impl DecisionTree {
                 });
             }
         }
-        DecisionTree::from_raw_parts(nodes, n_classes).map_err(|e| bad(e))
+        DecisionTree::from_raw_parts(nodes, n_classes).map_err(bad)
     }
 }
 

@@ -23,7 +23,9 @@ pub trait Classifier: Send + Sync {
 
     /// Predict classes for every sample of a dataset.
     fn predict_all(&self, data: &Dataset) -> Vec<usize> {
-        (0..data.n_samples()).map(|i| self.predict(data.row(i))).collect()
+        (0..data.n_samples())
+            .map(|i| self.predict(data.row(i)))
+            .collect()
     }
 
     /// Accuracy over a labeled dataset.

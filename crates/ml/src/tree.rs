@@ -193,7 +193,7 @@ impl DecisionTree {
     ) -> usize {
         let counts = self.class_counts(data, indices);
         let n = indices.len();
-        let depth_ok = config.max_depth.map_or(true, |d| depth < d);
+        let depth_ok = config.max_depth.is_none_or(|d| depth < d);
         let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
 
         if pure || n < config.min_samples_split || !depth_ok {
@@ -210,9 +210,7 @@ impl DecisionTree {
                 self.impurity_decrease[feature] +=
                     decrease * n as f64 / self.root_samples.max(1) as f64;
                 // Partition indices in place around the threshold.
-                let mid = partition(indices, |&i| {
-                    data.x(i as usize, feature) <= threshold
-                });
+                let mid = partition(indices, |&i| data.x(i as usize, feature) <= threshold);
                 debug_assert!(mid > 0 && mid < indices.len());
                 // Reserve this node's slot before recursing.
                 let id = self.nodes.len();
@@ -268,15 +266,13 @@ impl DecisionTree {
         // any partitioning split makes a leaf.
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, impurity)
         let mut sorted: Vec<(f64, usize)> = Vec::with_capacity(indices.len());
-        let mut tried = 0usize;
 
-        for &feature in &features {
+        for (tried, &feature) in features.iter().enumerate() {
             // Keep trying features past `k` until at least one valid split
             // was seen, mirroring scikit-learn's search semantics.
             if tried >= k && best.is_some() {
                 break;
             }
-            tried += 1;
 
             sorted.clear();
             sorted.extend(
@@ -510,7 +506,12 @@ mod tests {
     fn impurity_importance_favours_the_decisive_feature() {
         // Feature 0 decides; feature 1 is constant.
         let ds = Dataset::from_rows(
-            &[vec![0.0, 5.0], vec![1.0, 5.0], vec![0.1, 5.0], vec![1.1, 5.0]],
+            &[
+                vec![0.0, 5.0],
+                vec![1.0, 5.0],
+                vec![0.1, 5.0],
+                vec![1.1, 5.0],
+            ],
             &[0, 1, 0, 1],
             2,
         );

@@ -61,7 +61,10 @@ fn all_learners_solve_three_blobs() {
         let p = model.predict_proba(&[1.0, 1.0]);
         assert_eq!(p.len(), 3, "{name}");
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-6, "{name}");
-        assert!(p.iter().all(|&v| (0.0..=1.0 + 1e-12).contains(&v)), "{name}");
+        assert!(
+            p.iter().all(|&v| (0.0..=1.0 + 1e-12).contains(&v)),
+            "{name}"
+        );
     }
 }
 
@@ -98,7 +101,13 @@ fn crf_uses_context_that_pointwise_learners_cannot() {
             let labels: Vec<usize> = (0..8).map(|t| (start + t) % 2).collect();
             // Only the first position reveals the phase.
             let features = (0..8)
-                .map(|t| if t == 0 { vec![start as u32] } else { vec![2u32] })
+                .map(|t| {
+                    if t == 0 {
+                        vec![start as u32]
+                    } else {
+                        vec![2u32]
+                    }
+                })
                 .collect();
             SequenceSample { features, labels }
         })

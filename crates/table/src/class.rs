@@ -136,8 +136,14 @@ mod tests {
 
     #[test]
     fn parse_is_case_insensitive() {
-        assert_eq!("Header".parse::<ElementClass>().unwrap(), ElementClass::Header);
-        assert_eq!(" DATA ".parse::<ElementClass>().unwrap(), ElementClass::Data);
+        assert_eq!(
+            "Header".parse::<ElementClass>().unwrap(),
+            ElementClass::Header
+        );
+        assert_eq!(
+            " DATA ".parse::<ElementClass>().unwrap(),
+            ElementClass::Data
+        );
     }
 
     #[test]

@@ -90,9 +90,7 @@ impl LabeledFile {
                     ElementClass::Header,
                     ElementClass::Data,
                 ];
-                priority
-                    .into_iter()
-                    .find(|c| counts[c.index()] == max)
+                priority.into_iter().find(|c| counts[c.index()] == max)
             })
             .collect()
     }

@@ -25,7 +25,11 @@ impl Cell {
         } else {
             None
         };
-        Cell { raw, dtype, numeric }
+        Cell {
+            raw,
+            dtype,
+            numeric,
+        }
     }
 
     /// An empty cell.
@@ -404,7 +408,10 @@ mod tests {
         let t = Table::from_rows(vec![vec!["a|b", "c"], vec!["1", "2"]]);
         let md = t.to_markdown();
         assert_eq!(md, "| a\\|b | c |\n| --- | --- |\n| 1 | 2 |\n");
-        assert_eq!(Table::from_rows(Vec::<Vec<String>>::new()).to_markdown(), "");
+        assert_eq!(
+            Table::from_rows(Vec::<Vec<String>>::new()).to_markdown(),
+            ""
+        );
     }
 
     #[test]

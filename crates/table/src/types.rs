@@ -175,7 +175,9 @@ fn strip_thousands_separators(v: &str) -> Option<String> {
     if !v.contains(',') {
         // Fast path: still validate the character set loosely; the final
         // f64 parse does the exact validation.
-        return if v.bytes().all(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        return if v
+            .bytes()
+            .all(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
         {
             Some(v.to_string())
         } else {
@@ -223,7 +225,10 @@ pub fn is_date(value: &str) -> bool {
     if v.len() < 6 || v.len() > 30 {
         return false;
     }
-    is_numeric_date(v, '-') || is_numeric_date(v, '/') || is_numeric_date(v, '.') || is_month_name_date(v)
+    is_numeric_date(v, '-')
+        || is_numeric_date(v, '/')
+        || is_numeric_date(v, '.')
+        || is_month_name_date(v)
 }
 
 fn is_numeric_date(v: &str, sep: char) -> bool {
@@ -237,7 +242,10 @@ fn is_numeric_date(v: &str, sep: char) -> bool {
     {
         return false;
     }
-    let nums: Vec<u32> = parts.iter().map(|p| p.parse().unwrap_or(u32::MAX)).collect();
+    let nums: Vec<u32> = parts
+        .iter()
+        .map(|p| p.parse().unwrap_or(u32::MAX))
+        .collect();
     // Accept year-first or year-last layouts; require a plausible
     // day/month combination in the remaining two fields.
     let (year, a, b) = if parts[0].len() == 4 {
@@ -273,14 +281,13 @@ fn is_month_name(word: &str) -> bool {
     if w.len() < 3 {
         return false;
     }
-    MONTHS.iter().any(|m| *m == w || (w.len() == 3 && m.starts_with(&w)))
+    MONTHS
+        .iter()
+        .any(|m| *m == w || (w.len() == 3 && m.starts_with(&w)))
 }
 
 fn is_month_name_date(v: &str) -> bool {
-    let tokens: Vec<&str> = v
-        .split([' ', ','])
-        .filter(|t| !t.is_empty())
-        .collect();
+    let tokens: Vec<&str> = v.split([' ', ',']).filter(|t| !t.is_empty()).collect();
     if !(2..=3).contains(&tokens.len()) {
         return false;
     }
@@ -288,10 +295,9 @@ fn is_month_name_date(v: &str) -> bool {
     if month_count != 1 {
         return false;
     }
-    tokens.iter().all(|t| {
-        is_month_name(t)
-            || (t.len() <= 4 && t.bytes().all(|b| b.is_ascii_digit()))
-    })
+    tokens
+        .iter()
+        .all(|t| is_month_name(t) || (t.len() <= 4 && t.bytes().all(|b| b.is_ascii_digit())))
 }
 
 #[cfg(test)]

@@ -5,10 +5,7 @@ use proptest::prelude::*;
 use strudel_table::{parse_number, Corpus, DataType, ElementClass, LabeledFile, Table};
 
 fn arb_grid() -> impl Strategy<Value = Vec<Vec<String>>> {
-    proptest::collection::vec(
-        proptest::collection::vec("[ -~]{0,8}", 0..6),
-        0..8,
-    )
+    proptest::collection::vec(proptest::collection::vec("[ -~]{0,8}", 0..6), 0..8)
 }
 
 proptest! {

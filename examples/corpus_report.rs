@@ -13,7 +13,9 @@ use strudel_repro::strudel::{StrudelLine, StrudelLineConfig};
 use strudel_repro::table::ElementClass;
 
 fn main() {
-    let dataset = std::env::args().nth(1).unwrap_or_else(|| "SAUS".to_string());
+    let dataset = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "SAUS".to_string());
     let corpus = by_name(
         &dataset,
         &GeneratorConfig {
@@ -24,10 +26,17 @@ fn main() {
     );
     let stats = corpus.stats();
 
-    println!("corpus {dataset}: {} files, {} lines, {} cells", stats.n_files, stats.n_lines, stats.n_cells);
+    println!(
+        "corpus {dataset}: {} files, {} lines, {} cells",
+        stats.n_files, stats.n_lines, stats.n_cells
+    );
     println!("\nper-class line counts:");
     for class in ElementClass::ALL {
-        println!("  {:<10}{:>7}", class.name(), stats.lines_per_class[class.index()]);
+        println!(
+            "  {:<10}{:>7}",
+            class.name(),
+            stats.lines_per_class[class.index()]
+        );
     }
     println!("\nline diversity degrees: {:?}", stats.diversity_counts);
 
@@ -48,8 +57,8 @@ fn main() {
         for &fi in test_idx {
             let file = &corpus.files[fi];
             let pred = model.predict(&file.table);
-            for r in 0..file.table.n_rows() {
-                if let (Some(gold), Some(p)) = (file.line_labels[r], pred[r]) {
+            for (r, (label, pred_r)) in file.line_labels.iter().zip(&pred).enumerate() {
+                if let (Some(gold), Some(p)) = (label, pred_r) {
                     preds.push(Prediction {
                         file: fi,
                         item: r,
@@ -66,5 +75,9 @@ fn main() {
     for class in ElementClass::ALL {
         println!("  {:<10} F1 {:.3}", class.name(), eval.f1[class.index()]);
     }
-    println!("  accuracy {:.3}, macro-F1 {:.3}", eval.accuracy, eval.macro_f1(&[]));
+    println!(
+        "  accuracy {:.3}, macro-F1 {:.3}",
+        eval.accuracy,
+        eval.macro_f1(&[])
+    );
 }

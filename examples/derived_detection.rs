@@ -28,10 +28,8 @@ Note: preliminary figures,,,
     // note lines form small isolated blocks.
     let blocks = block_sizes(&table);
     println!("block sizes (Algorithm 1):");
-    for r in 0..table.n_rows() {
-        let row: Vec<String> = (0..table.n_cols())
-            .map(|c| format!("{:>5.2}", blocks[r][c]))
-            .collect();
+    for block_row in &blocks {
+        let row: Vec<String> = block_row.iter().map(|b| format!("{b:>5.2}")).collect();
         println!("  {}", row.join(" "));
     }
 
@@ -40,13 +38,10 @@ Note: preliminary figures,,,
     // column are genuine aggregates and get detected; data cells do not.
     let derived = detect_derived_cells(&table, &DerivedConfig::default());
     println!("\nderived cells (Algorithm 2):");
-    for r in 0..table.n_rows() {
-        for c in 0..table.n_cols() {
-            if derived[r][c] {
-                println!(
-                    "  ({r}, {c}) = {:?}",
-                    table.cell(r, c).raw()
-                );
+    for (r, row) in derived.iter().enumerate() {
+        for (c, &is_derived) in row.iter().enumerate() {
+            if is_derived {
+                println!("  ({r}, {c}) = {:?}", table.cell(r, c).raw());
             }
         }
     }

@@ -34,7 +34,9 @@ fn main() {
     println!(
         "model saved to {} ({} KiB)",
         path.display(),
-        std::fs::metadata(&path).map(|m| m.len() / 1024).unwrap_or(0)
+        std::fs::metadata(&path)
+            .map(|m| m.len() / 1024)
+            .unwrap_or(0)
     );
 
     // 2. Reload (as a deployment would) and classify a stacked

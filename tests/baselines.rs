@@ -34,10 +34,10 @@ fn line_eval(
     let mut pred = Vec::new();
     for file in test {
         let p = predict(file);
-        for r in 0..file.table.n_rows() {
-            if let Some(g) = file.line_labels[r] {
+        for (label, pred_r) in file.line_labels.iter().zip(&p) {
+            if let Some(g) = label {
                 gold.push(g.index());
-                pred.push(p[r].unwrap_or(ElementClass::Data).index());
+                pred.push(pred_r.unwrap_or(ElementClass::Data).index());
             }
         }
     }

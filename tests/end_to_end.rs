@@ -139,8 +139,10 @@ fn structure_accessors_are_consistent() {
     });
     let model = Strudel::fit(&corpus.files, &fast_config(10, 7));
     let probe = &corpus.files[0];
-    let structure =
-        model.detect_structure_of_table(probe.table.clone(), strudel_repro::dialect::Dialect::rfc4180());
+    let structure = model.detect_structure_of_table(
+        probe.table.clone(),
+        strudel_repro::dialect::Dialect::rfc4180(),
+    );
 
     // Every non-empty cell got a prediction; every empty one did not.
     assert_eq!(structure.cells.len(), probe.table.non_empty_count());
@@ -182,22 +184,22 @@ fn corpus_disk_roundtrip_feeds_training() {
 fn relational_extraction_from_detected_structure() {
     use strudel_repro::strudel::to_relational;
     let corpus = saus(&GeneratorConfig {
-        n_files: 20,
+        n_files: 28,
         seed: 53,
         scale: 0.25,
     });
-    let model = Strudel::fit(&corpus.files, &fast_config(20, 13));
-    let text = "Report,,\n,Rate 1,Rate 2\nNorth:,,\nKent,10,20\nSurrey,30,40\nTotal,40,60\n,,\nSource: office,,\n";
+    let model = Strudel::fit(&corpus.files, &fast_config(30, 13));
+    // The probe mirrors the training distribution (SAUS-style width and
+    // layout); a 3-column file would be out of distribution for the
+    // line forest and make the region segmentation flaky.
+    let text = "Survey of crime outcomes,,,,,\n,Rate 1,Rate 2,Rate 3,Value 4,Share 5\nNorthern region:,,,,,\nKent,10,20,30,11,21\nSurrey,30,40,70,12,22\nEssex,5,6,7,13,23\nTotal,45,66,107,36,66\n,,,,,\nSource: office,,,,,\n";
     let structure = model.detect_structure(text);
     let tables = to_relational(&structure);
     assert_eq!(tables.len(), 1, "line classes: {:?}", structure.lines);
     let t = &tables[0];
     // Data tuples extracted; the derived total line is not among them.
     assert!(t.rows.iter().any(|r| r.contains(&"Kent".to_string())));
-    assert!(!t
-        .rows
-        .iter()
-        .any(|r| r.contains(&"Total".to_string())));
+    assert!(!t.rows.iter().any(|r| r.contains(&"Total".to_string())));
     let csv = t.to_csv();
     assert!(csv.lines().count() >= 3);
 }

@@ -3,9 +3,16 @@
 //! ranges, metric bounds, and ensemble voting.
 
 use proptest::prelude::*;
+use std::sync::OnceLock;
+use strudel_repro::datagen::{saus, GeneratorConfig};
 use strudel_repro::dialect::{parse, read_table, Dialect};
 use strudel_repro::eval::{majority_vote, Evaluation};
-use strudel_repro::strudel::{block_sizes, extract_line_features, LineFeatureConfig};
+use strudel_repro::ml::ForestConfig;
+use strudel_repro::strudel::batch::{detect_all, BatchConfig, BatchInput};
+use strudel_repro::strudel::{
+    block_sizes, extract_line_features, LineFeatureConfig, Strudel, StrudelCellConfig,
+    StrudelLineConfig,
+};
 use strudel_repro::table::{parse_number, DataType, Table};
 
 /// Arbitrary cell content including delimiters, quotes, and newlines.
@@ -68,15 +75,15 @@ proptest! {
     fn block_size_invariants(grid in arb_grid()) {
         let table = Table::from_rows(grid);
         let bs = block_sizes(&table);
-        for r in 0..table.n_rows() {
+        for (r, bs_row) in bs.iter().enumerate() {
             for c in 0..table.n_cols() {
                 if table.cell(r, c).is_empty() {
-                    prop_assert_eq!(bs[r][c], 0.0);
+                    prop_assert_eq!(bs_row[c], 0.0);
                 } else {
-                    prop_assert!(bs[r][c] > 0.0 && bs[r][c] <= 1.0);
+                    prop_assert!(bs_row[c] > 0.0 && bs_row[c] <= 1.0);
                     // Horizontal neighbours in the same block share size.
                     if c + 1 < table.n_cols() && !table.cell(r, c + 1).is_empty() {
-                        prop_assert!((bs[r][c] - bs[r][c + 1]).abs() < 1e-12);
+                        prop_assert!((bs_row[c] - bs_row[c + 1]).abs() < 1e-12);
                     }
                 }
             }
@@ -140,5 +147,59 @@ proptest! {
         let (table, dialect) = read_table(&text);
         prop_assert_eq!(dialect.delimiter, delimiter);
         prop_assert_eq!(table.n_cols(), n_cols);
+    }
+}
+
+/// One small fitted model shared by every batch-equivalence case —
+/// fitting dominates the runtime, inference is what's under test.
+fn shared_model() -> &'static Strudel {
+    static MODEL: OnceLock<Strudel> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let corpus = saus(&GeneratorConfig {
+            n_files: 8,
+            seed: 3,
+            scale: 0.2,
+        });
+        let config = StrudelCellConfig {
+            line: StrudelLineConfig {
+                forest: ForestConfig::fast(10, 1),
+                ..StrudelLineConfig::default()
+            },
+            forest: ForestConfig::fast(10, 2),
+            ..StrudelCellConfig::default()
+        };
+        Strudel::fit(&corpus.files, &config)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Batch inference is byte-identical to a sequential
+    /// `detect_structure` loop, for 1 and 4 worker threads, on any
+    /// input set.
+    #[test]
+    fn batch_equals_sequential(
+        grids in proptest::collection::vec(arb_grid(), 1..5),
+        four_threads in any::<bool>(),
+    ) {
+        let model = shared_model();
+        let texts: Vec<String> = grids
+            .into_iter()
+            .map(|g| Table::from_rows(g).to_delimited(','))
+            .collect();
+        let inputs: Vec<BatchInput> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| BatchInput::text(format!("grid-{i}"), t.clone()))
+            .collect();
+        let n_threads = if four_threads { 4 } else { 1 };
+        let result = detect_all(model, &inputs, &BatchConfig { n_threads });
+        prop_assert_eq!(result.report.n_failed(), 0);
+        prop_assert_eq!(result.structures.len(), texts.len());
+        for (got, text) in result.structures.iter().zip(&texts) {
+            let want = model.detect_structure(text);
+            prop_assert_eq!(got.as_ref().unwrap(), &want);
+        }
     }
 }

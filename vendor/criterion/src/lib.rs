@@ -1,0 +1,311 @@
+//! Offline vendored subset of the `criterion` 0.5 API.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the benching surface the workspace uses — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`], the
+//! `criterion_group!`/`criterion_main!` macros, and [`black_box`] —
+//! backed by a plain wall-clock harness: a warm-up pass, then
+//! `sample_size` timed samples, reporting mean/min per iteration and
+//! derived throughput.
+//!
+//! No statistical analysis, no HTML reports, no CLI filtering; numbers
+//! print to stdout in a stable `bench: <name> ... mean <t> min <t>`
+//! format that scripts can grep.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimiser from deleting a
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work-rate annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Times one routine: `iter` runs the closure and accumulates elapsed
+/// wall-clock time.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its result alive via [`black_box`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Collected timings of one benchmark.
+struct Sampled {
+    mean: Duration,
+    min: Duration,
+}
+
+/// Run `sample_size` timed samples of `routine` (after one warm-up).
+fn sample<F: FnMut(&mut Bencher)>(sample_size: usize, mut routine: F) -> Sampled {
+    let mut warmup = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut warmup);
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        let per_iter = b.elapsed / b.iters.max(1) as u32;
+        total += per_iter;
+        min = min.min(per_iter);
+    }
+    Sampled {
+        mean: total / sample_size.max(1) as u32,
+        min,
+    }
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn report(name: &str, s: &Sampled, throughput: Option<Throughput>) {
+    let rate = throughput.map(|t| {
+        let secs = s.mean.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Bytes(n) => format!(
+                " throughput {:.3} MiB/s",
+                n as f64 / secs / (1024.0 * 1024.0)
+            ),
+            Throughput::Elements(n) => format!(" throughput {:.1} elem/s", n as f64 / secs),
+        }
+    });
+    println!(
+        "bench: {:<40} mean {:>12} min {:>12}{}",
+        name,
+        human(s.mean),
+        human(s.min),
+        rate.unwrap_or_default()
+    );
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Configure from CLI arguments. The offline harness accepts and
+    /// ignores Criterion's flags (`--bench`, filters, ...).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        routine: F,
+    ) -> &mut Criterion {
+        let s = sample(self.sample_size, routine);
+        report(name, &s, None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a work rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId2>,
+        routine: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let s = sample(self.sample_size, routine);
+        report(&format!("{}/{}", self.name, id.0), &s, self.throughput);
+        self
+    }
+
+    /// Run one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self {
+        let s = sample(self.sample_size, |b| routine(b, input));
+        report(&format!("{}/{}", self.name, id.id), &s, self.throughput);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Anything accepted as a bare benchmark name (`&str` or [`BenchmarkId`]).
+pub struct BenchmarkId2(String);
+
+impl From<&str> for BenchmarkId2 {
+    fn from(s: &str) -> BenchmarkId2 {
+        BenchmarkId2(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId2 {
+    fn from(s: String) -> BenchmarkId2 {
+        BenchmarkId2(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchmarkId2 {
+    fn from(id: BenchmarkId) -> BenchmarkId2 {
+        BenchmarkId2(id.id)
+    }
+}
+
+/// Bundle benchmark functions into a callable group, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u32;
+        c.bench_function("counts_runs", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        // one warm-up + three samples
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn group_with_throughput_and_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_with_input(
+            BenchmarkId::from_parameter("1KiB"),
+            &vec![0u8; 1024],
+            |b, v| b.iter(|| v.iter().map(|&x| x as u64).sum::<u64>()),
+        );
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("10B").id, "10B");
+    }
+}

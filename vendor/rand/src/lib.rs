@@ -1,0 +1,397 @@
+//! Offline vendored subset of the `rand` 0.8 API.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the exact surface the workspace uses — [`Rng`], [`SeedableRng`],
+//! [`rngs::SmallRng`], and [`seq::SliceRandom`] — backed by a
+//! deterministic xoshiro256++ generator seeded through SplitMix64.
+//! Streams are stable across platforms and releases: seeded corpora and
+//! model fits are reproducible, which the test suite relies on.
+//!
+//! This is NOT the upstream `rand` crate and produces different streams
+//! for the same seed; everything in the workspace only depends on
+//! determinism and statistical quality, not on upstream's exact bytes.
+
+/// Low-level source of randomness: 32/64-bit outputs and byte fill.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// User-facing sampling methods, auto-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample uniformly from a range (`low..high` or `low..=high`).
+    ///
+    /// # Panics
+    /// Panics when the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// A Bernoulli draw: `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics when `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of [0,1]");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Sample a value of a type with a canonical uniform distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        T: distributions::Standard0<T>,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Fill a byte slice with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Map 64 random bits to a uniform `f64` in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Seedable generators; mirrors `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Construct from a raw byte seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanded via SplitMix64.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+
+    /// Construct from OS entropy. Offline stand-in: seeds from the
+    /// current time and a process-local counter.
+    fn from_entropy() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        Self::seed_from_u64(
+            nanos
+                ^ COUNTER
+                    .fetch_add(1, Ordering::Relaxed)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )
+    }
+}
+
+/// Named generators; mirrors `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        #[inline]
+        fn step(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.step() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.step()
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *word = u64::from_le_bytes(bytes);
+            }
+            // All-zero state is a fixed point of xoshiro; nudge it.
+            if s.iter().all(|&w| w == 0) {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            SmallRng { s }
+        }
+    }
+
+    /// The default generator; aliased to the same core as [`SmallRng`].
+    pub type StdRng = SmallRng;
+}
+
+/// Distribution plumbing behind [`Rng::gen_range`]; mirrors
+/// `rand::distributions`.
+pub mod distributions {
+    use super::RngCore;
+
+    /// Types with a canonical "standard" uniform distribution
+    /// (`Rng::gen`). The self-referential parameter keeps the method
+    /// call syntax `rng.gen::<T>()` working.
+    pub trait Standard0<T> {
+        /// Draw one sample.
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> T;
+    }
+
+    impl Standard0<bool> for bool {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Standard0<f64> for f64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+            super::unit_f64(rng.next_u64())
+        }
+    }
+
+    impl Standard0<u64> for u64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    /// Uniform range sampling; mirrors `rand::distributions::uniform`.
+    pub mod uniform {
+        use super::super::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Types with a uniform sampler over half-open and closed
+        /// intervals. The single blanket [`SampleRange`] impl per range
+        /// shape keeps integer-literal inference working (`{integer}`
+        /// unifies with the range's element type and defaults to `i32`),
+        /// exactly as upstream rand's `SampleUniform` does.
+        pub trait SampleUniform: PartialOrd + Copy {
+            /// Uniform draw from `[lo, hi)`.
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+            /// Uniform draw from `[lo, hi]`.
+            fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+        }
+
+        /// A range that can be sampled from directly.
+        pub trait SampleRange<T> {
+            /// Sample one value uniformly from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                assert!(self.start < self.end, "gen_range: empty range");
+                T::sample_half_open(rng, self.start, self.end)
+            }
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                T::sample_closed(rng, lo, hi)
+            }
+        }
+
+        macro_rules! int_uniform {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                        let span = (hi as i128 - lo as i128) as u128;
+                        let draw = (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) % span;
+                        (lo as i128 + draw as i128) as $t
+                    }
+                    fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                        let span = (hi as i128 - lo as i128) as u128 + 1;
+                        let draw = (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) % span;
+                        (lo as i128 + draw as i128) as $t
+                    }
+                }
+            )*}
+        }
+        int_uniform!(usize, u8, u16, u32, u64, isize, i8, i16, i32, i64);
+
+        macro_rules! float_uniform {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                        lo + (hi - lo) * super::super::unit_f64(rng.next_u64()) as $t
+                    }
+                    fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                        lo + (hi - lo) * super::super::unit_f64(rng.next_u64()) as $t
+                    }
+                }
+            )*}
+        }
+        float_uniform!(f32, f64);
+    }
+}
+
+/// Sequence helpers; mirrors `rand::seq`.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// One uniformly chosen element, or `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+    }
+}
+
+/// Convenience re-exports; mirrors `rand::prelude`.
+pub mod prelude {
+    pub use super::rngs::{SmallRng, StdRng};
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_rate_tracks_p() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        assert!([42].choose(&mut rng).is_some());
+    }
+}
