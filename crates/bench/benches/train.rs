@@ -1,0 +1,309 @@
+//! Forest-training throughput: the pre-sorted columnar splitter vs the
+//! retained reference splitter, single-threaded and across all cores.
+//!
+//! Three workloads:
+//!
+//! * **blob / bagged CART** — a dense synthetic blob (8 000 × 30,
+//!   6 classes, 20 % label noise, continuous feature values) trained
+//!   with `TreeConfig::default()` (all features per node). This is the
+//!   acceptance workload: the reference splitter re-sorts every feature
+//!   at every node and allocates per-threshold count vectors, while the
+//!   columnar splitter partitions pre-sorted index arrays in O(F·n) per
+//!   level with allocation-free scans, so deep noisy trees expose the
+//!   asymptotic gap.
+//! * **blob / sqrt forest** — the same blob with
+//!   `MaxFeatures::Sqrt`, the product configuration shape. Subsampled
+//!   features shrink the win (partitioning maintains all F columns but
+//!   only √F are scanned per node), reported honestly as a secondary
+//!   number.
+//! * **line dataset** — the real `Strudel^L` line-classification
+//!   dataset extracted from a generated SAUS-style corpus (14
+//!   duplicate-heavy features).
+//!
+//! Besides the Criterion display output, the bench writes a
+//! machine-readable summary to `BENCH_train.json` (override with
+//! `BENCH_TRAIN_OUT`). `BENCH_SMOKE=1` shrinks the workloads and the
+//! iteration counts for CI smoke runs.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use strudel::{LineFeatureConfig, StrudelLine};
+use strudel_datagen::{saus, GeneratorConfig};
+use strudel_ml::{Dataset, ForestConfig, MaxFeatures, RandomForest, TreeConfig};
+
+fn smoke() -> bool {
+    std::env::var("BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+/// The real line-classification dataset of a generated corpus.
+fn line_dataset(n_files: usize) -> Dataset {
+    let corpus = saus(&GeneratorConfig {
+        n_files,
+        seed: 5,
+        scale: 0.3,
+    });
+    StrudelLine::build_dataset(&corpus.files, &LineFeatureConfig::default())
+}
+
+/// A dense synthetic dataset: `n` samples, `d` continuous features
+/// whose class centres overlap between neighbouring classes, plus 20 %
+/// uniform label noise. The noise keeps class counts mixed deep into
+/// the tree, so trees grow to realistic depth instead of separating in
+/// a few levels.
+fn blob_dataset(n: usize, d: usize) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(41);
+    let n_classes = 6;
+    let noise_pct = 20;
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let class = rng.gen_range(0..n_classes);
+        let row: Vec<f64> = (0..d)
+            .map(|j| {
+                let centre = ((class + j) % n_classes) as f64;
+                centre + rng.gen_range(0..1_000_000) as f64 * 2e-6
+            })
+            .collect();
+        rows.push(row);
+        y.push(if rng.gen_range(0..100) < noise_pct {
+            rng.gen_range(0..n_classes)
+        } else {
+            class
+        });
+    }
+    Dataset::from_rows(&rows, &y, n_classes)
+}
+
+/// Bagged CART: every feature considered at every node
+/// (`TreeConfig::default()`), bootstrap sampling. The acceptance
+/// configuration for the columnar-vs-reference comparison.
+fn cart_config(n_trees: usize, n_threads: usize) -> ForestConfig {
+    ForestConfig {
+        n_trees,
+        tree: TreeConfig::default(),
+        bootstrap: true,
+        seed: 7,
+        n_threads,
+    }
+}
+
+/// The product-shaped configuration: `MaxFeatures::Sqrt` per node.
+fn sqrt_config(n_trees: usize, n_threads: usize) -> ForestConfig {
+    ForestConfig {
+        tree: TreeConfig {
+            max_features: MaxFeatures::Sqrt,
+            ..TreeConfig::default()
+        },
+        ..cart_config(n_trees, n_threads)
+    }
+}
+
+/// Mean/min wall-clock seconds of `iters` runs of `f`.
+fn time<F: FnMut()>(iters: usize, mut f: F) -> (f64, f64) {
+    let mut total = 0.0;
+    let mut min = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        let s = t.elapsed().as_secs_f64();
+        total += s;
+        min = min.min(s);
+    }
+    (total / iters as f64, min)
+}
+
+struct Measurement {
+    name: &'static str,
+    mean_s: f64,
+    min_s: f64,
+    iters: usize,
+}
+
+fn measure(
+    results: &mut Vec<Measurement>,
+    name: &'static str,
+    iters: usize,
+    data: &Dataset,
+    cfg: &ForestConfig,
+    reference: bool,
+) -> f64 {
+    let (mean, min) = time(iters, || {
+        if reference {
+            let _ = RandomForest::fit_reference(data, cfg);
+        } else {
+            let _ = RandomForest::fit(data, cfg);
+        }
+    });
+    results.push(Measurement {
+        name,
+        mean_s: mean,
+        min_s: min,
+        iters,
+    });
+    mean
+}
+
+fn write_json(
+    path: &str,
+    blob: &Dataset,
+    line: &Dataset,
+    results: &[Measurement],
+    speedup: f64,
+    threads: usize,
+) {
+    let mut entries = String::new();
+    for (i, m) in results.iter().enumerate() {
+        if i > 0 {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_s\": {:.6}, \"min_s\": {:.6}, \"iters\": {}}}",
+            m.name, m.mean_s, m.min_s, m.iters
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"train\",\n  \"smoke\": {},\n  \"threads_all\": {},\n  \
+         \"datasets\": {{\n    \"blob\": {{\"n_samples\": {}, \"n_features\": {}}},\n    \
+         \"line\": {{\"n_samples\": {}, \"n_features\": {}}}\n  }},\n  \
+         \"results\": [\n{}\n  ],\n  \
+         \"speedup_columnar_vs_reference_1t\": {:.3}\n}}\n",
+        smoke(),
+        threads,
+        blob.n_samples(),
+        blob.n_features(),
+        line.n_samples(),
+        line.n_features(),
+        entries,
+        speedup
+    );
+    std::fs::write(path, json).expect("write bench summary");
+    println!("wrote {path}");
+}
+
+/// The JSON-producing comparison: bagged-CART columnar vs reference on
+/// one thread (the acceptance number), the all-core columnar run, the
+/// sqrt-forest pair, and the line-dataset pair.
+fn summary() {
+    let (blob_n, blob_d, n_trees, iters) = if smoke() {
+        (600, 12, 4, 1)
+    } else {
+        (8000, 30, 10, 3)
+    };
+    let blob = blob_dataset(blob_n, blob_d);
+    let line = line_dataset(if smoke() { 6 } else { 20 });
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let cart_1t = cart_config(n_trees, 1);
+    let cart_all = cart_config(n_trees, 0);
+    let sqrt_1t = sqrt_config(n_trees, 1);
+
+    let mut results = Vec::new();
+    let columnar_1t = measure(
+        &mut results,
+        "blob_cart_columnar_1t",
+        iters,
+        &blob,
+        &cart_1t,
+        false,
+    );
+    let reference_1t = measure(
+        &mut results,
+        "blob_cart_reference_1t",
+        iters,
+        &blob,
+        &cart_1t,
+        true,
+    );
+    measure(
+        &mut results,
+        "blob_cart_columnar_all_cores",
+        iters,
+        &blob,
+        &cart_all,
+        false,
+    );
+    measure(
+        &mut results,
+        "blob_sqrt_columnar_1t",
+        iters,
+        &blob,
+        &sqrt_1t,
+        false,
+    );
+    measure(
+        &mut results,
+        "blob_sqrt_reference_1t",
+        iters,
+        &blob,
+        &sqrt_1t,
+        true,
+    );
+    measure(
+        &mut results,
+        "line_columnar_1t",
+        iters,
+        &line,
+        &sqrt_1t,
+        false,
+    );
+    measure(
+        &mut results,
+        "line_reference_1t",
+        iters,
+        &line,
+        &sqrt_1t,
+        true,
+    );
+
+    let speedup = reference_1t / columnar_1t;
+    println!(
+        "single-thread bagged-CART fit (blob {}x{}, {} trees): columnar {:.3}s, reference {:.3}s, {:.2}x",
+        blob.n_samples(),
+        blob.n_features(),
+        n_trees,
+        columnar_1t,
+        reference_1t,
+        speedup
+    );
+    // Default to the workspace root (cargo bench runs with the package
+    // directory as cwd), so the artifact lands next to the README.
+    let out = std::env::var("BENCH_TRAIN_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_train.json").into());
+    write_json(&out, &blob, &line, &results, speedup, threads);
+}
+
+fn train_throughput(c: &mut Criterion) {
+    let (blob_n, blob_d, n_trees) = if smoke() {
+        (600, 12, 4)
+    } else {
+        (8000, 30, 10)
+    };
+    let blob = blob_dataset(blob_n, blob_d);
+
+    let mut group = c.benchmark_group("forest_train");
+    group.sample_size(10);
+    for (label, reference, n_threads) in [
+        ("cart_columnar/1threads", false, 1),
+        ("cart_columnar/all", false, 0),
+        ("cart_reference/1threads", true, 1),
+    ] {
+        let cfg = cart_config(n_trees, n_threads);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            b.iter(|| {
+                if reference {
+                    let _ = RandomForest::fit_reference(&blob, cfg);
+                } else {
+                    let _ = RandomForest::fit(&blob, cfg);
+                }
+            })
+        });
+    }
+    group.finish();
+
+    summary();
+}
+
+criterion_group!(benches, train_throughput);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Per-table analysis cache shared across feature extractors.
+//!
+//! The derived-cell mask (Algorithm 2) feeds three feature families —
+//! `DerivedCoverage` in the line features, `IsAggregation` in the cell
+//! features, and `ColDerivedCellRatio` in the column features — and is
+//! by far the most expensive per-file precomputation. [`TableAnalysis`]
+//! computes it **exactly once per table** and hands it to every
+//! extractor; each `extract_*_with` entry point accepts one, and the
+//! plain entry points stay as convenience wrappers that build their own.
+//!
+//! A cache is only valid for the [`DerivedConfig`] it was computed with;
+//! [`TableAnalysis::derived_for`] checks the requested configuration and
+//! transparently recomputes on mismatch (correctness first — sharing is
+//! an optimisation, never an answer change).
+
+use crate::derived::{detect_derived_cells, DerivedConfig};
+use std::borrow::Cow;
+use strudel_table::{LabeledFile, Table};
+
+/// Cached single-pass analysis of one table: the derived-cell mask of
+/// Algorithm 2 under one detector configuration.
+#[derive(Debug, Clone)]
+pub struct TableAnalysis {
+    config: DerivedConfig,
+    derived: Vec<Vec<bool>>,
+}
+
+impl TableAnalysis {
+    /// Run the derived-cell detector once and cache the mask.
+    pub fn compute(table: &Table, config: DerivedConfig) -> TableAnalysis {
+        TableAnalysis {
+            config,
+            derived: detect_derived_cells(table, &config),
+        }
+    }
+
+    /// The configuration the cached mask was computed with.
+    pub fn config(&self) -> DerivedConfig {
+        self.config
+    }
+
+    /// The cached `n_rows × n_cols` derived-cell mask.
+    pub fn derived(&self) -> &[Vec<bool>] {
+        &self.derived
+    }
+
+    /// The derived-cell mask for `config`: borrowed from the cache when
+    /// the configuration matches, recomputed fresh otherwise (e.g. an
+    /// ablation probing a non-default detector against a shared cache).
+    pub fn derived_for(&self, table: &Table, config: &DerivedConfig) -> Cow<'_, Vec<Vec<bool>>> {
+        if *config == self.config {
+            Cow::Borrowed(&self.derived)
+        } else {
+            Cow::Owned(detect_derived_cells(table, config))
+        }
+    }
+}
+
+/// One [`TableAnalysis`] per file, in file order — the shape the
+/// training paths consume so the line, cell, and column stages of one
+/// `fit` all reuse the same per-file mask.
+pub fn compute_analyses(files: &[LabeledFile], config: DerivedConfig) -> Vec<TableAnalysis> {
+    files
+        .iter()
+        .map(|f| TableAnalysis::compute(&f.table, config))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table::from_rows(vec![
+            vec!["State", "2019", "2020"],
+            vec!["Berlin", "100", "120"],
+            vec!["Hamburg", "80", "85"],
+            vec!["Total", "180", "205"],
+        ])
+    }
+
+    #[test]
+    fn cached_mask_matches_direct_detection() {
+        let t = sample();
+        let config = DerivedConfig::default();
+        let analysis = TableAnalysis::compute(&t, config);
+        assert_eq!(analysis.derived(), detect_derived_cells(&t, &config));
+        assert!(matches!(
+            analysis.derived_for(&t, &config),
+            Cow::Borrowed(_)
+        ));
+    }
+
+    #[test]
+    fn config_mismatch_recomputes() {
+        let t = sample();
+        let analysis = TableAnalysis::compute(&t, DerivedConfig::default());
+        let other = DerivedConfig {
+            detect_min_max: true,
+            ..DerivedConfig::default()
+        };
+        let mask = analysis.derived_for(&t, &other);
+        assert!(matches!(mask, Cow::Owned(_)));
+        assert_eq!(*mask, detect_derived_cells(&t, &other));
+    }
+}

@@ -7,7 +7,8 @@
 //! that deviate from their line's majority class (e.g. the leading group
 //! cell of a derived line).
 
-use crate::cell_features::{extract_cell_features, CellFeatureConfig, N_CELL_FEATURES};
+use crate::analysis::{compute_analyses, TableAnalysis};
+use crate::cell_features::{extract_cell_features_with, CellFeatureConfig, N_CELL_FEATURES};
 use crate::line_classifier::{StrudelLine, StrudelLineConfig};
 use strudel_ml::{Dataset, ForestConfig, RandomForest};
 use strudel_table::{ElementClass, LabeledFile, Table};
@@ -50,8 +51,11 @@ impl StrudelCell {
     /// # Panics
     /// Panics when `files` contains no labeled cells.
     pub fn fit(files: &[LabeledFile], config: &StrudelCellConfig) -> StrudelCell {
-        let line_model = StrudelLine::fit(files, &config.line);
-        let dataset = Self::build_dataset(files, &line_model, &config.features);
+        // One analysis per file serves the line stage (fit + the
+        // probability pass below) and the cell feature extraction.
+        let analyses = compute_analyses(files, config.line.features.derived);
+        let line_model = StrudelLine::fit_with_analyses(files, &config.line, &analyses);
+        let dataset = Self::build_dataset_with(files, &line_model, &config.features, &analyses);
         assert!(
             !dataset.is_empty(),
             "no labeled cells in the training files"
@@ -90,10 +94,22 @@ impl StrudelCell {
         line_model: &StrudelLine,
         features: &CellFeatureConfig,
     ) -> Dataset {
+        let analyses = compute_analyses(files, line_model.feature_config().derived);
+        Self::build_dataset_with(files, line_model, features, &analyses)
+    }
+
+    /// [`build_dataset`](Self::build_dataset) reusing precomputed
+    /// per-file analyses (one per file, in file order).
+    pub(crate) fn build_dataset_with(
+        files: &[LabeledFile],
+        line_model: &StrudelLine,
+        features: &CellFeatureConfig,
+        analyses: &[TableAnalysis],
+    ) -> Dataset {
         let mut dataset = Dataset::new(N_CELL_FEATURES, ElementClass::COUNT);
-        for file in files {
-            let probs = line_model.predict_probs(&file.table);
-            for cf in extract_cell_features(&file.table, &probs, features) {
+        for (file, analysis) in files.iter().zip(analyses) {
+            let probs = line_model.predict_probs_with_analysis(&file.table, analysis, 0);
+            for cf in extract_cell_features_with(&file.table, &probs, features, analysis) {
                 if let Some(label) = file.cell_labels[cf.row][cf.col] {
                     dataset.push(&cf.features, label.index());
                 }
@@ -104,8 +120,11 @@ impl StrudelCell {
 
     /// Classify every non-empty cell of a table.
     pub fn predict(&self, table: &Table) -> Vec<CellPrediction> {
-        let probs = self.line_model.predict_probs(table);
-        self.predict_with_probs(table, &probs, 0)
+        let analysis = TableAnalysis::compute(table, self.line_model.feature_config().derived);
+        let probs = self
+            .line_model
+            .predict_probs_with_analysis(table, &analysis, 0);
+        self.predict_with_probs_analysed(table, &probs, 0, &analysis)
     }
 
     /// Classify every non-empty cell given precomputed line probability
@@ -121,7 +140,21 @@ impl StrudelCell {
         line_probs: &[Vec<f64>],
         n_threads: usize,
     ) -> Vec<CellPrediction> {
-        let cell_features = extract_cell_features(table, line_probs, &self.features);
+        let analysis = TableAnalysis::compute(table, self.features.derived);
+        self.predict_with_probs_analysed(table, line_probs, n_threads, &analysis)
+    }
+
+    /// [`predict_with_probs`](Self::predict_with_probs) reusing a
+    /// precomputed [`TableAnalysis`] (the pipeline computes one per
+    /// table and shares it across the line and cell stages).
+    pub fn predict_with_probs_analysed(
+        &self,
+        table: &Table,
+        line_probs: &[Vec<f64>],
+        n_threads: usize,
+        analysis: &TableAnalysis,
+    ) -> Vec<CellPrediction> {
+        let cell_features = extract_cell_features_with(table, line_probs, &self.features, analysis);
         let samples: Vec<&[f64]> = cell_features
             .iter()
             .map(|cf| cf.features.as_slice())

@@ -13,8 +13,9 @@
 //! - **computational** — `IsAggregation` from the derived-cell detector
 //!   (Algorithm 2).
 
+use crate::analysis::TableAnalysis;
 use crate::block::block_sizes;
-use crate::derived::{detect_derived_cells, DerivedConfig};
+use crate::derived::DerivedConfig;
 use crate::keywords::has_aggregation_keyword;
 use strudel_table::{ElementClass, Table};
 
@@ -108,6 +109,24 @@ pub fn extract_cell_features(
     line_probs: &[Vec<f64>],
     config: &CellFeatureConfig,
 ) -> Vec<CellFeatures> {
+    let analysis = TableAnalysis::compute(table, config.derived);
+    extract_cell_features_with(table, line_probs, config, &analysis)
+}
+
+/// [`extract_cell_features`] reusing a precomputed [`TableAnalysis`], so
+/// one derived-cell detection per file serves the line, cell, and column
+/// extractors (the mask is recomputed if `analysis` was built for a
+/// different [`DerivedConfig`]).
+///
+/// # Panics
+/// Panics when `line_probs` does not have one entry of length
+/// [`ElementClass::COUNT`] per table row.
+pub fn extract_cell_features_with(
+    table: &Table,
+    line_probs: &[Vec<f64>],
+    config: &CellFeatureConfig,
+    analysis: &TableAnalysis,
+) -> Vec<CellFeatures> {
     let (n_rows, n_cols) = (table.n_rows(), table.n_cols());
     assert_eq!(line_probs.len(), n_rows, "one probability vector per row");
     assert!(
@@ -120,7 +139,7 @@ pub fn extract_cell_features(
     }
 
     let blocks = block_sizes(table);
-    let derived = detect_derived_cells(table, &config.derived);
+    let derived = analysis.derived_for(table, &config.derived);
 
     // ValueLength is min–max normalised per file over non-empty cells.
     let mut len_min = f64::INFINITY;

@@ -10,9 +10,10 @@
 //! probability vector to the cell features — the experiment the
 //! `ablation_column_features` binary runs.
 
+use crate::analysis::{compute_analyses, TableAnalysis};
 use crate::cell_classifier::{CellPrediction, StrudelCell, StrudelCellConfig};
-use crate::cell_features::{extract_cell_features, CellFeatureConfig, N_CELL_FEATURES};
-use crate::derived::{detect_derived_cells, DerivedConfig};
+use crate::cell_features::{extract_cell_features_with, CellFeatureConfig, N_CELL_FEATURES};
+use crate::derived::DerivedConfig;
 use crate::keywords::has_aggregation_keyword;
 use crate::line_classifier::StrudelLine;
 use strudel_ml::{Classifier, Dataset, ForestConfig, RandomForest};
@@ -40,11 +41,24 @@ pub const N_COLUMN_FEATURES: usize = COLUMN_FEATURE_NAMES.len();
 
 /// Extract one feature row per table column.
 pub fn extract_column_features(table: &Table, derived: &DerivedConfig) -> Vec<Vec<f64>> {
+    let analysis = TableAnalysis::compute(table, *derived);
+    extract_column_features_with(table, derived, &analysis)
+}
+
+/// [`extract_column_features`] reusing a precomputed [`TableAnalysis`],
+/// so one derived-cell detection per file serves the line, cell, and
+/// column extractors (the mask is recomputed if `analysis` was built for
+/// a different [`DerivedConfig`]).
+pub fn extract_column_features_with(
+    table: &Table,
+    derived: &DerivedConfig,
+    analysis: &TableAnalysis,
+) -> Vec<Vec<f64>> {
     let (n_rows, n_cols) = (table.n_rows(), table.n_cols());
     if n_rows == 0 || n_cols == 0 {
         return Vec::new();
     }
-    let derived_cells = detect_derived_cells(table, derived);
+    let derived_cells = analysis.derived_for(table, derived);
 
     // Per-file value-length normaliser (as for the cell features).
     let mut len_max = 1.0f64;
@@ -150,9 +164,21 @@ impl StrudelColumn {
         derived: DerivedConfig,
         forest: &ForestConfig,
     ) -> StrudelColumn {
+        let analyses = compute_analyses(files, derived);
+        Self::fit_with_analyses(files, derived, forest, &analyses)
+    }
+
+    /// [`fit`](Self::fit) reusing precomputed per-file analyses (one per
+    /// file, in file order).
+    pub(crate) fn fit_with_analyses(
+        files: &[LabeledFile],
+        derived: DerivedConfig,
+        forest: &ForestConfig,
+        analyses: &[TableAnalysis],
+    ) -> StrudelColumn {
         let mut dataset = Dataset::new(N_COLUMN_FEATURES, ElementClass::COUNT);
-        for file in files {
-            let features = extract_column_features(&file.table, &derived);
+        for (file, analysis) in files.iter().zip(analyses) {
+            let features = extract_column_features_with(&file.table, &derived, analysis);
             for (c, label) in column_labels(file).into_iter().enumerate() {
                 if let Some(label) = label {
                     dataset.push(&features[c], label.index());
@@ -171,7 +197,18 @@ impl StrudelColumn {
 
     /// Class probability vectors for every column.
     pub fn predict_probs(&self, table: &Table) -> Vec<Vec<f64>> {
-        extract_column_features(table, &self.derived)
+        let analysis = TableAnalysis::compute(table, self.derived);
+        self.predict_probs_with_analysis(table, &analysis)
+    }
+
+    /// [`predict_probs`](Self::predict_probs) reusing a precomputed
+    /// [`TableAnalysis`].
+    pub fn predict_probs_with_analysis(
+        &self,
+        table: &Table,
+        analysis: &TableAnalysis,
+    ) -> Vec<Vec<f64>> {
+        extract_column_features_with(table, &self.derived, analysis)
             .iter()
             .map(|f| self.forest.predict_proba(f))
             .collect()
@@ -199,11 +236,25 @@ impl ColumnBoostedCell {
     /// Total feature width (cell + column probabilities).
     pub const N_FEATURES: usize = N_CELL_FEATURES + ElementClass::COUNT;
 
-    /// Fit all three stages (line, column, boosted cell forest).
+    /// Fit all three stages (line, column, boosted cell forest). One
+    /// [`TableAnalysis`] per file is computed up front and shared by the
+    /// line, column, and cell feature extractors.
     pub fn fit(files: &[LabeledFile], config: &StrudelCellConfig) -> ColumnBoostedCell {
-        let line_model = StrudelLine::fit(files, &config.line);
-        let column_model = StrudelColumn::fit(files, config.features.derived, &config.forest);
-        let dataset = Self::build_dataset(files, &line_model, &column_model, &config.features);
+        let analyses = compute_analyses(files, config.line.features.derived);
+        let line_model = StrudelLine::fit_with_analyses(files, &config.line, &analyses);
+        let column_model = StrudelColumn::fit_with_analyses(
+            files,
+            config.features.derived,
+            &config.forest,
+            &analyses,
+        );
+        let dataset = Self::build_dataset(
+            files,
+            &line_model,
+            &column_model,
+            &config.features,
+            &analyses,
+        );
         assert!(
             !dataset.is_empty(),
             "no labeled cells in the training files"
@@ -221,12 +272,13 @@ impl ColumnBoostedCell {
         line_model: &StrudelLine,
         column_model: &StrudelColumn,
         features: &CellFeatureConfig,
+        analyses: &[TableAnalysis],
     ) -> Dataset {
         let mut dataset = Dataset::new(Self::N_FEATURES, ElementClass::COUNT);
-        for file in files {
-            let line_probs = line_model.predict_probs(&file.table);
-            let col_probs = column_model.predict_probs(&file.table);
-            for cf in extract_cell_features(&file.table, &line_probs, features) {
+        for (file, analysis) in files.iter().zip(analyses) {
+            let line_probs = line_model.predict_probs_with_analysis(&file.table, analysis, 0);
+            let col_probs = column_model.predict_probs_with_analysis(&file.table, analysis);
+            for cf in extract_cell_features_with(&file.table, &line_probs, features, analysis) {
                 if let Some(label) = file.cell_labels[cf.row][cf.col] {
                     let mut row = cf.features;
                     row.extend_from_slice(&col_probs[cf.col]);
@@ -239,9 +291,14 @@ impl ColumnBoostedCell {
 
     /// Classify every non-empty cell.
     pub fn predict(&self, table: &Table) -> Vec<CellPrediction> {
-        let line_probs = self.line_model.predict_probs(table);
-        let col_probs = self.column_model.predict_probs(table);
-        extract_cell_features(table, &line_probs, &self.features)
+        let analysis = TableAnalysis::compute(table, self.line_model.feature_config().derived);
+        let line_probs = self
+            .line_model
+            .predict_probs_with_analysis(table, &analysis, 0);
+        let col_probs = self
+            .column_model
+            .predict_probs_with_analysis(table, &analysis);
+        extract_cell_features_with(table, &line_probs, &self.features, &analysis)
             .into_iter()
             .map(|cf| {
                 let mut row = cf.features;

@@ -18,7 +18,7 @@ use crate::keywords::has_aggregation_keyword;
 use strudel_table::Table;
 
 /// Parameters of Algorithm 2.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DerivedConfig {
     /// Element-wise slack `d` when comparing a candidate with the running
     /// aggregate (the paper sets 0.1, enough to absorb rounded means).

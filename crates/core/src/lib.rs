@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod active;
+mod analysis;
 pub mod baselines;
 pub mod batch;
 mod block;
@@ -58,6 +59,7 @@ mod pipeline;
 mod postprocess;
 
 pub use active::{file_uncertainty, normalized_entropy, select_most_uncertain, uniform_entropy};
+pub use analysis::{compute_analyses, TableAnalysis};
 pub use block::block_sizes;
 pub use cell_classifier::{CellPrediction, StrudelCell, StrudelCellConfig};
 pub use cell_features::{

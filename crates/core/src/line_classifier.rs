@@ -5,7 +5,8 @@
 //! vectors — these are the `LineClassProbability` features consumed by
 //! `Strudel^C` (Section 5.4).
 
-use crate::line_features::{extract_line_features, LineFeatureConfig};
+use crate::analysis::{compute_analyses, TableAnalysis};
+use crate::line_features::{extract_line_features, extract_line_features_with, LineFeatureConfig};
 use strudel_ml::{Classifier, Dataset, ForestConfig, RandomForest};
 use strudel_table::{ElementClass, LabeledFile, Table};
 
@@ -31,7 +32,22 @@ impl StrudelLine {
     /// # Panics
     /// Panics when no labeled line exists in `files`.
     pub fn fit(files: &[LabeledFile], config: &StrudelLineConfig) -> StrudelLine {
-        let dataset = Self::build_dataset(files, &config.features);
+        let analyses = compute_analyses(files, config.features.derived);
+        Self::fit_with_analyses(files, config, &analyses)
+    }
+
+    /// [`fit`](Self::fit) reusing precomputed per-file analyses (one per
+    /// file, in file order) — the cell and column training paths compute
+    /// them once and share them across all stages.
+    ///
+    /// # Panics
+    /// Panics when no labeled line exists in `files`.
+    pub(crate) fn fit_with_analyses(
+        files: &[LabeledFile],
+        config: &StrudelLineConfig,
+        analyses: &[TableAnalysis],
+    ) -> StrudelLine {
+        let dataset = Self::build_dataset_with(files, &config.features, analyses);
         assert!(
             !dataset.is_empty(),
             "no labeled non-empty lines in the training files"
@@ -45,9 +61,20 @@ impl StrudelLine {
     /// Assemble the supervised line dataset of a file collection: one
     /// sample per labeled non-empty line.
     pub fn build_dataset(files: &[LabeledFile], features: &LineFeatureConfig) -> Dataset {
+        let analyses = compute_analyses(files, features.derived);
+        Self::build_dataset_with(files, features, &analyses)
+    }
+
+    /// [`build_dataset`](Self::build_dataset) reusing precomputed
+    /// per-file analyses (one per file, in file order).
+    pub(crate) fn build_dataset_with(
+        files: &[LabeledFile],
+        features: &LineFeatureConfig,
+        analyses: &[TableAnalysis],
+    ) -> Dataset {
         let mut dataset = Dataset::new(features.n_features(), ElementClass::COUNT);
-        for file in files {
-            let matrix = extract_line_features(&file.table, features);
+        for (file, analysis) in files.iter().zip(analyses) {
+            let matrix = extract_line_features_with(&file.table, features, analysis);
             for (r, row_features) in matrix.iter().enumerate() {
                 if let Some(label) = file.line_labels[r] {
                     dataset.push(row_features, label.index());
@@ -68,7 +95,20 @@ impl StrudelLine {
     /// thread count for the forest walks (`0` = available parallelism,
     /// `1` = serial). Results are identical for every thread count.
     pub fn predict_probs_with_threads(&self, table: &Table, n_threads: usize) -> Vec<Vec<f64>> {
-        let matrix = extract_line_features(table, &self.features);
+        let analysis = TableAnalysis::compute(table, self.features.derived);
+        self.predict_probs_with_analysis(table, &analysis, n_threads)
+    }
+
+    /// [`predict_probs_with_threads`](Self::predict_probs_with_threads)
+    /// reusing a precomputed [`TableAnalysis`] — the pipeline and the
+    /// cell/column stages compute one per table and share it.
+    pub fn predict_probs_with_analysis(
+        &self,
+        table: &Table,
+        analysis: &TableAnalysis,
+        n_threads: usize,
+    ) -> Vec<Vec<f64>> {
+        let matrix = extract_line_features_with(table, &self.features, analysis);
         let rows: Vec<usize> = (0..table.n_rows())
             .filter(|&r| !table.row_is_empty(r))
             .collect();

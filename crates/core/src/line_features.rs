@@ -17,7 +17,8 @@
 //! [`LineFeatureConfig::include_global`] so the ablation experiment can
 //! reproduce that finding.
 
-use crate::derived::{derived_coverage_per_line, detect_derived_cells, DerivedConfig};
+use crate::analysis::TableAnalysis;
+use crate::derived::{derived_coverage_per_line, DerivedConfig};
 use crate::keywords::has_aggregation_keyword;
 use strudel_table::{DataType, Table};
 
@@ -85,13 +86,26 @@ const NEIGHBOUR_WINDOW: usize = 5;
 /// Extract one feature row per table line (empty lines included — callers
 /// classify only non-empty lines but indices stay aligned with rows).
 pub fn extract_line_features(table: &Table, config: &LineFeatureConfig) -> Vec<Vec<f64>> {
+    let analysis = TableAnalysis::compute(table, config.derived);
+    extract_line_features_with(table, config, &analysis)
+}
+
+/// [`extract_line_features`] reusing a precomputed [`TableAnalysis`], so
+/// one derived-cell detection per file serves the line, cell, and column
+/// extractors (the mask is recomputed if `analysis` was built for a
+/// different [`DerivedConfig`]).
+pub fn extract_line_features_with(
+    table: &Table,
+    config: &LineFeatureConfig,
+    analysis: &TableAnalysis,
+) -> Vec<Vec<f64>> {
     let n_rows = table.n_rows();
     if n_rows == 0 {
         return Vec::new();
     }
     let n_cols = table.n_cols();
 
-    let derived = detect_derived_cells(table, &config.derived);
+    let derived = analysis.derived_for(table, &config.derived);
     let derived_cov = derived_coverage_per_line(table, &derived);
 
     // WordAmount is min–max normalised per file over non-empty lines.

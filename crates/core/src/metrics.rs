@@ -1,8 +1,10 @@
 //! Pipeline instrumentation: per-stage wall-clock timing.
 //!
-//! Structure detection runs four stages (Figure 2): dialect detection,
-//! table parsing, `Strudel^L` line classification, and `Strudel^C` cell
-//! classification. The [`Metrics`] sink trait lets callers observe how
+//! Structure detection runs five stages: dialect detection, table
+//! parsing, the shared per-table derived-cell analysis (Algorithm 2,
+//! computed once per table and reused by both classifiers), `Strudel^L`
+//! line classification, and `Strudel^C` cell classification. The
+//! [`Metrics`] sink trait lets callers observe how
 //! long each stage took without the pipeline knowing who is listening:
 //! [`detect_structure_metered`](crate::Strudel::detect_structure_metered)
 //! reports into any sink, the plain
@@ -19,6 +21,9 @@ pub enum Stage {
     Dialect,
     /// Parsing the text into a [`strudel_table::Table`].
     Parse,
+    /// The shared per-table analysis ([`crate::TableAnalysis`]): one
+    /// derived-cell detection (Algorithm 2) reused by both classifiers.
+    DerivedCells,
     /// `Strudel^L` line classification.
     LineClassify,
     /// `Strudel^C` cell classification.
@@ -27,9 +32,10 @@ pub enum Stage {
 
 impl Stage {
     /// All stages, in execution order.
-    pub const ALL: [Stage; 4] = [
+    pub const ALL: [Stage; 5] = [
         Stage::Dialect,
         Stage::Parse,
+        Stage::DerivedCells,
         Stage::LineClassify,
         Stage::CellClassify,
     ];
@@ -39,6 +45,7 @@ impl Stage {
         match self {
             Stage::Dialect => "dialect",
             Stage::Parse => "parse",
+            Stage::DerivedCells => "derived_cells",
             Stage::LineClassify => "line_classify",
             Stage::CellClassify => "cell_classify",
         }
@@ -49,8 +56,9 @@ impl Stage {
         match self {
             Stage::Dialect => 0,
             Stage::Parse => 1,
-            Stage::LineClassify => 2,
-            Stage::CellClassify => 3,
+            Stage::DerivedCells => 2,
+            Stage::LineClassify => 3,
+            Stage::CellClassify => 4,
         }
     }
 }
@@ -76,8 +84,8 @@ impl Metrics for NullMetrics {
 /// Accumulated per-stage totals and observation counts.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct StageTimings {
-    totals: [Duration; 4],
-    counts: [u64; 4],
+    totals: [Duration; 5],
+    counts: [u64; 5],
 }
 
 impl StageTimings {
@@ -154,7 +162,13 @@ mod tests {
         let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
         assert_eq!(
             names,
-            vec!["dialect", "parse", "line_classify", "cell_classify"]
+            vec![
+                "dialect",
+                "parse",
+                "derived_cells",
+                "line_classify",
+                "cell_classify"
+            ]
         );
         for (i, s) in Stage::ALL.iter().enumerate() {
             assert_eq!(s.index(), i);

@@ -5,6 +5,7 @@
 //! the two fitted stages and exposes one-call structure detection for raw
 //! text or pre-parsed tables.
 
+use crate::analysis::TableAnalysis;
 use crate::cell_classifier::{CellPrediction, StrudelCell, StrudelCellConfig};
 use crate::line_classifier::StrudelLine;
 use crate::metrics::{Metrics, NullMetrics, Stage, StageTimer};
@@ -293,9 +294,9 @@ impl Strudel {
     }
 
     /// [`detect_structure_of_table`](Self::detect_structure_of_table)
-    /// with per-stage timing reported into `sink`. Only the two
-    /// classification stages are recorded — dialect detection and parsing
-    /// did not run.
+    /// with per-stage timing reported into `sink`. Only the shared
+    /// derived-cell analysis and the two classification stages are
+    /// recorded — dialect detection and parsing did not run.
     pub fn detect_structure_of_table_metered(
         &self,
         table: Table,
@@ -313,8 +314,13 @@ impl Strudel {
         sink: &mut dyn Metrics,
     ) -> Structure {
         let line_model = self.cell_model.line_model();
+        // One derived-cell detection (Algorithm 2) per table, shared by
+        // the line and cell feature extractors.
+        let timer = StageTimer::start(Stage::DerivedCells);
+        let analysis = TableAnalysis::compute(&table, line_model.feature_config().derived);
+        timer.stop(sink);
         let timer = StageTimer::start(Stage::LineClassify);
-        let line_probs = line_model.predict_probs_with_threads(&table, n_threads);
+        let line_probs = line_model.predict_probs_with_analysis(&table, &analysis, n_threads);
         // Hard line classes are the argmax of the probability vectors
         // (`Classifier::predict` is defined as exactly that), so the
         // forest is only walked once per line.
@@ -329,9 +335,9 @@ impl Strudel {
             .collect();
         timer.stop(sink);
         let timer = StageTimer::start(Stage::CellClassify);
-        let cells = self
-            .cell_model
-            .predict_with_probs(&table, &line_probs, n_threads);
+        let cells =
+            self.cell_model
+                .predict_with_probs_analysed(&table, &line_probs, n_threads, &analysis);
         timer.stop(sink);
         Structure::new(dialect, table, lines, line_probs, cells)
     }
@@ -498,7 +504,8 @@ mod tests {
         }
         assert_eq!(metered, model.detect_structure(text));
 
-        // The table entry point only runs the two classification stages.
+        // The table entry point skips dialect detection and parsing but
+        // still records the shared analysis and both classifiers.
         let mut sink = StageTimings::default();
         let table = strudel_dialect::read_table_with(text, &strudel_dialect::Dialect::rfc4180());
         let s = model.detect_structure_of_table_metered(
@@ -508,6 +515,7 @@ mod tests {
         );
         assert_eq!(sink.count(Stage::Dialect), 0);
         assert_eq!(sink.count(Stage::Parse), 0);
+        assert_eq!(sink.count(Stage::DerivedCells), 1);
         assert_eq!(sink.count(Stage::LineClassify), 1);
         assert_eq!(sink.count(Stage::CellClassify), 1);
         assert_eq!(s.lines.len(), 6);

@@ -82,6 +82,19 @@ impl RandomForest {
     /// # Panics
     /// Panics when `data` is empty or `config.n_trees == 0`.
     pub fn fit(data: &Dataset, config: &ForestConfig) -> RandomForest {
+        Self::fit_impl(data, config, false)
+    }
+
+    /// Fit with the retained pre-columnar splitter
+    /// ([`DecisionTree::fit_reference`]). Bit-identical to
+    /// [`fit`](Self::fit) for any configuration — kept as a correctness
+    /// oracle for the equivalence tests and as the baseline the training
+    /// bench measures the columnar splitter against.
+    pub fn fit_reference(data: &Dataset, config: &ForestConfig) -> RandomForest {
+        Self::fit_impl(data, config, true)
+    }
+
+    fn fit_impl(data: &Dataset, config: &ForestConfig, reference: bool) -> RandomForest {
         assert!(!data.is_empty(), "cannot fit a forest on an empty dataset");
         assert!(config.n_trees > 0, "n_trees must be positive");
 
@@ -109,22 +122,23 @@ impl RandomForest {
                                 let mut rng = SmallRng::seed_from_u64(
                                     config.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                                 );
-                                let tree = if config.bootstrap {
+                                let indices: Vec<u32> = if config.bootstrap {
                                     let n = data.n_samples();
-                                    let mut indices: Vec<u32> =
-                                        (0..n).map(|_| rng.gen_range(0..n) as u32).collect();
-                                    DecisionTree::fit_on_indices(
+                                    (0..n).map(|_| rng.gen_range(0..n) as u32).collect()
+                                } else {
+                                    (0..data.n_samples() as u32).collect()
+                                };
+                                let tree = if reference {
+                                    DecisionTree::fit_on_indices_reference(
                                         data,
-                                        &mut indices,
+                                        &indices,
                                         &config.tree,
                                         &mut rng,
                                     )
                                 } else {
-                                    let mut indices: Vec<u32> =
-                                        (0..data.n_samples() as u32).collect();
                                     DecisionTree::fit_on_indices(
                                         data,
-                                        &mut indices,
+                                        &indices,
                                         &config.tree,
                                         &mut rng,
                                     )
@@ -179,10 +193,7 @@ impl RandomForest {
             let tree = &forest.trees[t];
             for i in 0..n {
                 if !in_bag[i] {
-                    let p = tree.predict_proba(data.row(i));
-                    for (acc, v) in votes[i].iter_mut().zip(&p) {
-                        *acc += v;
-                    }
+                    tree.accumulate_proba(data.row(i), &mut votes[i]);
                     voted[i] = true;
                 }
             }
@@ -285,6 +296,20 @@ impl RandomForest {
         out
     }
 
+    /// Write the ensemble-averaged probability vector for one sample
+    /// into `out` (length `n_classes`) without allocating: each tree
+    /// walk borrows its leaf distribution and accumulates element-wise.
+    pub fn predict_proba_into(&self, features: &[f64], out: &mut [f64]) {
+        out.iter_mut().for_each(|a| *a = 0.0);
+        for tree in &self.trees {
+            tree.accumulate_proba(features, out);
+        }
+        let n = self.trees.len() as f64;
+        for a in out.iter_mut() {
+            *a /= n;
+        }
+    }
+
     /// Rebuild a forest from deserialized trees.
     pub fn from_raw_parts(
         trees: Vec<DecisionTree>,
@@ -317,16 +342,7 @@ fn split_round_robin(n: usize, k: usize) -> Vec<Vec<usize>> {
 impl Classifier for RandomForest {
     fn predict_proba(&self, features: &[f64]) -> Vec<f64> {
         let mut acc = vec![0.0; self.n_classes];
-        for tree in &self.trees {
-            let p = tree.predict_proba(features);
-            for (a, v) in acc.iter_mut().zip(&p) {
-                *a += v;
-            }
-        }
-        let n = self.trees.len() as f64;
-        for a in &mut acc {
-            *a /= n;
-        }
+        self.predict_proba_into(features, &mut acc);
         acc
     }
 
@@ -468,6 +484,33 @@ mod tests {
             ..ForestConfig::fast(3, 0)
         };
         let _ = RandomForest::fit_with_oob(&ds, &config);
+    }
+
+    #[test]
+    fn columnar_fit_matches_reference_splitter() {
+        let ds = blobs(13, 40);
+        for bootstrap in [true, false] {
+            let config = ForestConfig {
+                bootstrap,
+                ..ForestConfig::fast(8, 21)
+            };
+            let fast = RandomForest::fit(&ds, &config);
+            let slow = RandomForest::fit_reference(&ds, &config);
+            for (a, b) in fast.trees_raw().iter().zip(slow.trees_raw()) {
+                assert_eq!(a.raw_parts().0, b.raw_parts().0);
+            }
+        }
+    }
+
+    #[test]
+    fn predict_proba_into_matches_allocating_path() {
+        let ds = blobs(14, 30);
+        let forest = RandomForest::fit(&ds, &ForestConfig::fast(9, 5));
+        let mut buf = vec![9.0; 2];
+        for i in 0..ds.n_samples() {
+            forest.predict_proba_into(ds.row(i), &mut buf);
+            assert_eq!(buf, forest.predict_proba(ds.row(i)));
+        }
     }
 
     #[test]

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Run the forest-training bench and write the machine-readable summary
+# to BENCH_train.json (override with BENCH_TRAIN_OUT).
+#
+# Set BENCH_SMOKE=1 for a quick CI-sized run: tiny datasets, few trees,
+# one timing iteration — it exercises the full bench path (both
+# splitters, JSON emission) in a few seconds without producing
+# publication-grade numbers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo bench -p strudel-bench --bench train
+
+out="${BENCH_TRAIN_OUT:-BENCH_train.json}"
+if [[ ! -f "$out" ]]; then
+  echo "error: bench did not write $out" >&2
+  exit 1
+fi
+echo "--- $out ---"
+cat "$out"
