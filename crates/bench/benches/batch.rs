@@ -55,7 +55,18 @@ fn batch_throughput(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{n_threads}threads")),
             &n_threads,
-            |b, &n_threads| b.iter(|| detect_all(&model, &inputs, &BatchConfig { n_threads })),
+            |b, &n_threads| {
+                b.iter(|| {
+                    detect_all(
+                        &model,
+                        &inputs,
+                        &BatchConfig {
+                            n_threads,
+                            ..BatchConfig::default()
+                        },
+                    )
+                })
+            },
         );
     }
     group.finish();

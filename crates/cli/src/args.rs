@@ -1,6 +1,8 @@
 //! Flag parsing for the `strudel` CLI.
 
 use std::path::PathBuf;
+use std::time::Duration;
+use strudel::Limits;
 
 /// Parsed command options. Every command uses a subset.
 #[derive(Debug, Default)]
@@ -27,6 +29,16 @@ pub struct Options {
     pub cells: bool,
     /// `--repair` — apply the Koci-style post-processing repair pass.
     pub repair: bool,
+    /// `--max-bytes N` — override the per-file input size limit.
+    pub max_bytes: Option<u64>,
+    /// `--max-rows N` — override the parsed-row limit.
+    pub max_rows: Option<u64>,
+    /// `--max-cells N` — override the padded-grid cell limit.
+    pub max_cells: Option<u64>,
+    /// `--max-file-ms N` — override the per-file wall-clock budget.
+    pub max_file_ms: Option<u64>,
+    /// `--no-limits` — disable all input limits (trusted input only).
+    pub no_limits: bool,
     /// Positional arguments (input files).
     pub inputs: Vec<PathBuf>,
 }
@@ -62,11 +74,63 @@ impl Options {
                 }
                 "--cells" => o.cells = true,
                 "--repair" => o.repair = true,
+                "--max-bytes" => {
+                    o.max_bytes = Some(
+                        value("--max-bytes")?
+                            .parse()
+                            .map_err(|_| "--max-bytes: integer")?,
+                    )
+                }
+                "--max-rows" => {
+                    o.max_rows = Some(
+                        value("--max-rows")?
+                            .parse()
+                            .map_err(|_| "--max-rows: integer")?,
+                    )
+                }
+                "--max-cells" => {
+                    o.max_cells = Some(
+                        value("--max-cells")?
+                            .parse()
+                            .map_err(|_| "--max-cells: integer")?,
+                    )
+                }
+                "--max-file-ms" => {
+                    o.max_file_ms = Some(
+                        value("--max-file-ms")?
+                            .parse()
+                            .map_err(|_| "--max-file-ms: integer")?,
+                    )
+                }
+                "--no-limits" => o.no_limits = true,
                 other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
                 positional => o.inputs.push(PathBuf::from(positional)),
             }
         }
         Ok(o)
+    }
+
+    /// The input [`Limits`] these options describe: the standard limits,
+    /// individually overridden by `--max-*` flags, or none at all under
+    /// `--no-limits`.
+    pub fn limits(&self) -> Limits {
+        if self.no_limits {
+            return Limits::unbounded();
+        }
+        let mut limits = Limits::standard();
+        if let Some(n) = self.max_bytes {
+            limits.max_input_bytes = Some(n);
+        }
+        if let Some(n) = self.max_rows {
+            limits.max_rows = Some(n);
+        }
+        if let Some(n) = self.max_cells {
+            limits.max_cells = Some(n);
+        }
+        if let Some(ms) = self.max_file_ms {
+            limits.max_file_wall = Some(Duration::from_millis(ms));
+        }
+        limits
     }
 }
 
@@ -99,6 +163,31 @@ mod tests {
         assert_eq!(parse(&[]).unwrap().threads, 0);
         assert_eq!(parse(&["--threads", "3"]).unwrap().threads, 3);
         assert!(parse(&["--threads", "many"]).is_err());
+    }
+
+    #[test]
+    fn limit_flags_override_standard() {
+        let o = parse(&[
+            "--max-bytes",
+            "1000",
+            "--max-rows",
+            "50",
+            "--max-file-ms",
+            "200",
+        ])
+        .unwrap();
+        let limits = o.limits();
+        assert_eq!(limits.max_input_bytes, Some(1000));
+        assert_eq!(limits.max_rows, Some(50));
+        assert_eq!(limits.max_file_wall, Some(Duration::from_millis(200)));
+        // Untouched fields keep the standard values.
+        assert_eq!(limits.max_cells, Limits::standard().max_cells);
+    }
+
+    #[test]
+    fn no_limits_disables_everything() {
+        let o = parse(&["--no-limits", "--max-bytes", "1000"]).unwrap();
+        assert_eq!(o.limits(), Limits::unbounded());
     }
 
     #[test]

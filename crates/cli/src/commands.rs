@@ -1,12 +1,12 @@
 //! Implementations of the `strudel` subcommands.
 
 use crate::args::Options;
-use crate::{existing, fast_config, model_from, print_evaluation};
+use crate::{existing, fast_config, model_from, print_evaluation, CliError};
 use std::fs;
 use strudel::{repair_cells, RepairConfig, Strudel};
 
 /// `strudel synth --dataset NAME --out DIR [--files N --seed K --scale S]`
-pub fn synth(options: &Options) -> Result<(), String> {
+pub fn synth(options: &Options) -> Result<(), CliError> {
     let dataset = options
         .dataset
         .as_deref()
@@ -14,7 +14,7 @@ pub fn synth(options: &Options) -> Result<(), String> {
     let out = options.out.as_deref().ok_or("synth requires --out DIR")?;
     let known = ["govuk", "saus", "cius", "deex", "mendeley", "troy"];
     if !known.contains(&dataset.to_ascii_lowercase().as_str()) {
-        return Err(format!("unknown dataset {dataset:?}; known: {known:?}"));
+        return Err(format!("unknown dataset {dataset:?}; known: {known:?}").into());
     }
     let corpus = strudel_datagen::by_name(
         dataset,
@@ -37,7 +37,7 @@ pub fn synth(options: &Options) -> Result<(), String> {
 }
 
 /// `strudel train --corpus DIR --out MODEL [--trees N --seed K]`
-pub fn train(options: &Options) -> Result<(), String> {
+pub fn train(options: &Options) -> Result<(), CliError> {
     let corpus_dir = options
         .corpus
         .as_deref()
@@ -49,7 +49,8 @@ pub fn train(options: &Options) -> Result<(), String> {
         return Err(format!(
             "no annotated files (*.csv with *.csv.labels) in {}",
             corpus_dir.display()
-        ));
+        )
+        .into());
     }
     eprintln!(
         "training on {} files / {} labeled lines ...",
@@ -57,22 +58,25 @@ pub fn train(options: &Options) -> Result<(), String> {
         corpus.stats().n_lines
     );
     let model = Strudel::fit(&corpus.files, &fast_config(options.trees, options.seed));
-    model.save(out).map_err(|e| e.to_string())?;
+    model.save(out)?;
     let size = fs::metadata(out).map(|m| m.len()).unwrap_or(0);
     println!("model saved to {} ({} KiB)", out.display(), size / 1024);
     Ok(())
 }
 
 /// `strudel detect [--model MODEL] FILE [--cells]`
-pub fn detect(options: &Options) -> Result<(), String> {
+pub fn detect(options: &Options) -> Result<(), CliError> {
     let input = options
         .inputs
         .first()
         .ok_or("detect requires an input FILE")?;
     let input = existing(input, "input file")?;
-    let text = fs::read_to_string(&input).map_err(|e| e.to_string())?;
+    let bytes = fs::read(&input)
+        .map_err(|e| strudel::StrudelError::io(&e, Some(&input.display().to_string())))?;
     let model = model_from(options)?;
-    let mut structure = model.detect_structure(&text);
+    let mut structure = model
+        .try_detect_structure_bytes(&bytes, &options.limits())
+        .map_err(|e| e.with_file(input.display().to_string()))?;
     if options.repair {
         let report = repair_cells(
             &structure.table,
@@ -117,7 +121,7 @@ pub fn detect(options: &Options) -> Result<(), String> {
 }
 
 /// `strudel extract [--model MODEL] FILE`
-pub fn extract(options: &Options) -> Result<(), String> {
+pub fn extract(options: &Options) -> Result<(), CliError> {
     let input = options
         .inputs
         .first()
@@ -159,7 +163,7 @@ pub fn extract(options: &Options) -> Result<(), String> {
 }
 
 /// `strudel segments [--model MODEL] FILE`
-pub fn segments(options: &Options) -> Result<(), String> {
+pub fn segments(options: &Options) -> Result<(), CliError> {
     let input = options
         .inputs
         .first()
@@ -199,10 +203,10 @@ pub fn segments(options: &Options) -> Result<(), String> {
 /// stdout or `--out`. A directory input contributes its `*.csv` files in
 /// name order. Per-file failures land in the report; the command itself
 /// only fails when there is nothing to process.
-pub fn batch(options: &Options) -> Result<(), String> {
+pub fn batch(options: &Options) -> Result<(), CliError> {
     use strudel::batch::{detect_all, BatchConfig, BatchInput};
     if options.inputs.is_empty() {
-        return Err("batch requires input files or a directory".to_string());
+        return Err("batch requires input files or a directory".into());
     }
     let mut paths = Vec::new();
     for input in &options.inputs {
@@ -221,7 +225,7 @@ pub fn batch(options: &Options) -> Result<(), String> {
         }
     }
     if paths.is_empty() {
-        return Err("no CSV files to process".to_string());
+        return Err("no CSV files to process".into());
     }
     let model = model_from(options)?;
     let inputs: Vec<BatchInput> = paths.into_iter().map(BatchInput::Path).collect();
@@ -230,6 +234,7 @@ pub fn batch(options: &Options) -> Result<(), String> {
         &inputs,
         &BatchConfig {
             n_threads: options.threads,
+            limits: options.limits(),
         },
     );
     eprintln!(
@@ -252,7 +257,7 @@ pub fn batch(options: &Options) -> Result<(), String> {
 }
 
 /// `strudel eval --model MODEL --corpus DIR`
-pub fn eval(options: &Options) -> Result<(), String> {
+pub fn eval(options: &Options) -> Result<(), CliError> {
     let corpus_dir = options
         .corpus
         .as_deref()
@@ -260,7 +265,7 @@ pub fn eval(options: &Options) -> Result<(), String> {
     let corpus_dir = existing(corpus_dir, "corpus directory")?;
     let corpus = strudel_corpus::load_corpus(&corpus_dir, "eval").map_err(|e| e.to_string())?;
     if corpus.files.is_empty() {
-        return Err("no annotated files in the corpus directory".to_string());
+        return Err("no annotated files in the corpus directory".into());
     }
     let model = model_from(options)?;
 

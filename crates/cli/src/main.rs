@@ -9,9 +9,10 @@
 //! strudel batch   --model model.strudel --threads 8 dir/    # batch-classify, JSON report
 //! ```
 
+use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use strudel::{Strudel, StrudelCellConfig, StrudelLineConfig};
+use strudel::{Strudel, StrudelCellConfig, StrudelError, StrudelLineConfig};
 use strudel_eval::Evaluation;
 use strudel_ml::ForestConfig;
 use strudel_table::ElementClass;
@@ -20,6 +21,61 @@ mod args;
 mod commands;
 
 use args::Options;
+
+/// A CLI failure: either a usage-level error (bad flags, missing inputs)
+/// or a typed pipeline error. Each [`StrudelError`] category maps to its
+/// own exit code so scripts can react without parsing stderr.
+pub enum CliError {
+    /// Wrong invocation — exit code 1.
+    Usage(String),
+    /// A typed failure from the pipeline — exit codes 2–10.
+    Pipeline(StrudelError),
+}
+
+impl CliError {
+    /// The process exit code for this failure (see `USAGE`).
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 1,
+            CliError::Pipeline(e) => match e.category() {
+                "io" => 2,
+                "parse" => 3,
+                "dialect" => 4,
+                "table" => 5,
+                "limit" => 6,
+                "model" => 7,
+                _ => 10,
+            },
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Pipeline(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> CliError {
+        CliError::Usage(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> CliError {
+        CliError::Usage(msg.to_string())
+    }
+}
+
+impl From<StrudelError> for CliError {
+    fn from(e: StrudelError) -> CliError {
+        CliError::Pipeline(e)
+    }
+}
 
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);
@@ -46,13 +102,13 @@ fn main() -> ExitCode {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -71,6 +127,19 @@ USAGE:
 
 Without --model, detect/extract train a default model on a synthetic
 corpus first (slower, but fully self-contained).
+
+LIMITS (detect and batch):
+  --max-bytes N     per-file input size limit       [default 256 MiB]
+  --max-rows N      parsed row limit                [default 4194304]
+  --max-cells N     padded-grid cell limit          [default 67108864]
+  --max-file-ms N   per-file wall-clock budget      [default 60000]
+  --no-limits       disable every limit (trusted input only)
+
+EXIT CODES:
+  0 success    1 usage     2 io       3 parse     4 dialect
+  5 table      6 limit     7 model    10 internal
+  (batch exits 0 even when individual files fail; per-file errors and
+  their categories land in the JSON report instead)
 
 COMMANDS:
   synth     Export a seeded synthetic annotated corpus (SAUS, CIUS, DeEx,
@@ -118,10 +187,11 @@ fn fast_config(trees: usize, seed: u64) -> StrudelCellConfig {
     }
 }
 
-/// Load the model from `--model`, or train a default one.
-fn model_from(options: &Options) -> Result<Strudel, String> {
+/// Load the model from `--model`, or train a default one. A corrupt or
+/// unreadable model file surfaces as a typed error (exit code 7 or 2).
+fn model_from(options: &Options) -> Result<Strudel, CliError> {
     match &options.model {
-        Some(path) => Strudel::load(path).map_err(|e| format!("loading {}: {e}", path.display())),
+        Some(path) => Ok(Strudel::load(path)?),
         None => Ok(default_model()),
     }
 }
@@ -146,11 +216,19 @@ fn print_evaluation(title: &str, gold: &[usize], pred: &[usize]) {
     );
 }
 
-/// Resolve a path argument that must exist.
-fn existing(path: &Path, what: &str) -> Result<PathBuf, String> {
+/// Resolve a path argument that must exist. A missing path is an I/O
+/// failure (exit code 2), not a usage error: the command line was
+/// well-formed, the filesystem just doesn't match it.
+fn existing(path: &Path, what: &str) -> Result<PathBuf, CliError> {
     if path.exists() {
         Ok(path.to_path_buf())
     } else {
-        Err(format!("{what} {} does not exist", path.display()))
+        Err(CliError::Pipeline(StrudelError::io(
+            &std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("{what} does not exist"),
+            ),
+            Some(&path.display().to_string()),
+        )))
     }
 }

@@ -81,6 +81,56 @@ fn full_workflow() {
     assert!(stdout.contains("data"));
     assert!(stdout.contains("notes") || stdout.contains("metadata"));
 
+    // detect with a too-small --max-bytes budget: typed limit error,
+    // dedicated exit code 6.
+    let out = bin()
+        .args(["detect", "--max-bytes", "10"])
+        .arg("--model")
+        .arg(&model)
+        .arg(&probe)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(6), "limit errors must exit 6");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("input_bytes"), "stderr: {stderr}");
+
+    // detect on a binary file: rejected as non-CSV content, exit code 4.
+    let binary = dir.join("binary.csv");
+    fs::write(&binary, b"PK\x03\x04\x00\x00csv?no").unwrap();
+    let out = bin()
+        .arg("detect")
+        .arg("--model")
+        .arg(&model)
+        .arg(&binary)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4), "binary input must exit 4");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("binary"));
+
+    // detect with a corrupt model file: typed model error, exit code 7.
+    let corrupt = dir.join("corrupt.strudel");
+    fs::write(&corrupt, b"not a model").unwrap();
+    let out = bin()
+        .arg("detect")
+        .arg("--model")
+        .arg(&corrupt)
+        .arg(&probe)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(7), "corrupt models must exit 7");
+
+    // detect on a missing input file: I/O error, exit code 2 (not a
+    // usage error — the command line itself was fine).
+    let out = bin()
+        .arg("detect")
+        .arg("--model")
+        .arg(&model)
+        .arg(dir.join("no_such_file.csv"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "missing inputs must exit 2");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("does not exist"));
+
     // extract
     let out = bin()
         .arg("extract")
@@ -170,6 +220,9 @@ fn batch_command_writes_json_report() {
     assert!(stdout.contains("\"stages_ms\""), "{stdout}");
     assert!(stdout.contains("\"line_classify\""), "{stdout}");
     assert!(stdout.contains("broken.csv"), "{stdout}");
+    // The failure carries its StrudelError category in the report.
+    assert!(stdout.contains("\"category\": \"parse\""), "{stdout}");
+    assert!(stdout.contains("invalid UTF-8"), "{stdout}");
 
     // --out writes the same report to a file instead of stdout.
     let report = dir.join("report.json");

@@ -8,9 +8,13 @@
 //! [`BatchReport`] with per-stage wall-clock totals, per-file outcomes,
 //! and aggregate throughput.
 //!
-//! A malformed input (unreadable path, invalid UTF-8, or a panic inside
-//! detection, caught at the worker boundary) yields a per-file
-//! [`BatchError`]; it never poisons the rest of the batch.
+//! A malformed input (unreadable path, invalid UTF-8, a violated
+//! resource limit, or — as a last resort — a panic caught at the worker
+//! boundary) yields a per-file typed [`StrudelError`]; it never poisons
+//! the rest of the batch. [`BatchConfig::limits`] bounds what one file
+//! may consume, including a per-file wall-clock budget
+//! ([`Limits::max_file_wall`]), so one pathological input can neither
+//! OOM nor stall the batch.
 //!
 //! ```no_run
 //! use strudel::batch::{detect_all, BatchConfig, BatchInput};
@@ -30,6 +34,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
+use strudel_table::{Limits, StrudelError};
 
 /// One input of a batch run.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,31 +86,27 @@ impl From<&Path> for BatchInput {
 }
 
 /// Configuration of a batch run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct BatchConfig {
     /// Number of worker threads; `0` picks the available parallelism.
     /// Each worker runs whole files, so per-file inference is pinned to
     /// one thread whenever more than one worker exists (no
     /// oversubscription from nested parallelism).
     pub n_threads: usize,
+    /// Per-file resource limits, including the wall-clock budget. The
+    /// default is [`Limits::standard`]; use [`Limits::unbounded`] to
+    /// reproduce the pre-guardrail behaviour.
+    pub limits: Limits,
 }
 
-/// Failure of one input; the rest of the batch is unaffected.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct BatchError {
-    /// Identifier of the failed input.
-    pub id: String,
-    /// Human-readable cause (I/O error, UTF-8 error, or panic message).
-    pub message: String,
-}
-
-impl std::fmt::Display for BatchError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}: {}", self.id, self.message)
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig {
+            n_threads: 0,
+            limits: Limits::standard(),
+        }
     }
 }
-
-impl std::error::Error for BatchError {}
 
 /// Outcome of one input, successful or not.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -120,8 +121,10 @@ pub struct FileOutcome {
     pub n_bytes: usize,
     /// Wall-clock time spent on this input by its worker.
     pub elapsed: Duration,
-    /// The failure, if any.
+    /// The failure, if any (rendered [`StrudelError`]).
     pub error: Option<String>,
+    /// Stable error category ([`StrudelError::category`]) on failure.
+    pub category: Option<&'static str>,
 }
 
 impl FileOutcome {
@@ -200,8 +203,9 @@ impl BatchReport {
             .map(|o| {
                 if let Some(err) = &o.error {
                     format!(
-                        "    {{\"id\": {}, \"ok\": false, \"error\": {}}}",
+                        "    {{\"id\": {}, \"ok\": false, \"category\": {}, \"error\": {}}}",
                         json_string(&o.id),
+                        json_string(o.category.unwrap_or("internal")),
                         json_string(err)
                     )
                 } else {
@@ -241,12 +245,13 @@ fn json_string(s: &str) -> String {
     out
 }
 
-/// Result of a batch run: one structure (or per-file error) per input,
-/// in input order, plus the aggregate report.
+/// Result of a batch run: one structure (or per-file typed error) per
+/// input, in input order, plus the aggregate report.
 #[derive(Debug)]
 pub struct BatchResult {
-    /// Per-input detection results, aligned with the input slice.
-    pub structures: Vec<Result<Structure, BatchError>>,
+    /// Per-input detection results, aligned with the input slice. Errors
+    /// carry the input identifier in their `file` context.
+    pub structures: Vec<Result<Structure, StrudelError>>,
     /// The aggregate report.
     pub report: BatchReport,
 }
@@ -271,7 +276,7 @@ pub fn detect_all(model: &Strudel, inputs: &[BatchInput], config: &BatchConfig) 
     let inner_threads = if threads > 1 { 1 } else { 0 };
 
     let next = AtomicUsize::new(0);
-    type Slot = (Result<Structure, BatchError>, FileOutcome);
+    type Slot = (Result<Structure, StrudelError>, FileOutcome);
     let mut slots: Vec<Option<Slot>> = Vec::new();
     slots.resize_with(inputs.len(), || None);
     let mut stage_timings = StageTimings::default();
@@ -287,7 +292,16 @@ pub fn detect_all(model: &Strudel, inputs: &[BatchInput], config: &BatchConfig) 
                         if i >= inputs.len() {
                             break;
                         }
-                        produced.push((i, run_one(model, &inputs[i], inner_threads, &mut timings)));
+                        produced.push((
+                            i,
+                            run_one(
+                                model,
+                                &inputs[i],
+                                inner_threads,
+                                &config.limits,
+                                &mut timings,
+                            ),
+                        ));
                     }
                     (produced, timings)
                 })
@@ -322,65 +336,73 @@ pub fn detect_all(model: &Strudel, inputs: &[BatchInput], config: &BatchConfig) 
     }
 }
 
-/// Process one input end to end, catching panics at this boundary.
+/// Process one input end to end. Failures are typed [`StrudelError`]s
+/// from the guarded pipeline; `catch_unwind` remains as a true last
+/// resort for bugs, surfacing as [`StrudelError::Internal`].
 fn run_one(
     model: &Strudel,
     input: &BatchInput,
     inner_threads: usize,
+    limits: &Limits,
     timings: &mut StageTimings,
-) -> (Result<Structure, BatchError>, FileOutcome) {
+) -> (Result<Structure, StrudelError>, FileOutcome) {
     let id = input.id();
     let file_start = Instant::now();
-    let fail = |message: String, elapsed: Duration| {
-        (
-            Err(BatchError {
-                id: id.clone(),
-                message: message.clone(),
-            }),
-            FileOutcome {
-                id: id.clone(),
-                n_rows: 0,
-                n_cells: 0,
-                n_bytes: 0,
-                elapsed,
-                error: Some(message),
-            },
-        )
+    let fail = |error: StrudelError, n_bytes: usize, elapsed: Duration| {
+        let error = error.with_file(id.clone());
+        let outcome = FileOutcome {
+            id: id.clone(),
+            n_rows: 0,
+            n_cells: 0,
+            n_bytes,
+            elapsed,
+            error: Some(error.to_string()),
+            category: Some(error.category()),
+        };
+        (Err(error), outcome)
     };
 
     let owned;
-    let text: &str = match input {
-        BatchInput::Path(p) => match std::fs::read_to_string(p) {
-            Ok(t) => {
-                owned = t;
+    let bytes: &[u8] = match input {
+        BatchInput::Path(p) => match std::fs::read(p) {
+            Ok(b) => {
+                owned = b;
                 &owned
             }
-            Err(e) => return fail(format!("reading file: {e}"), file_start.elapsed()),
+            Err(e) => return fail(StrudelError::io(&e, None), 0, file_start.elapsed()),
         },
-        BatchInput::Text { text, .. } => text,
+        BatchInput::Text { text, .. } => text.as_bytes(),
     };
 
-    // The pipeline is total over valid UTF-8, so a panic here is a bug —
-    // but one file's bug must not take the other N-1 results down.
+    // The per-file wall-clock budget starts once the bytes are in
+    // memory; it is polled at stage boundaries and inside the parser.
+    let deadline = limits.start_deadline();
     let detected = catch_unwind(AssertUnwindSafe(|| {
-        model.detect_structure_with_threads(text, inner_threads, timings)
+        let text = strudel_dialect::decode_utf8(bytes)?;
+        model.try_detect_structure_guarded(text, limits, deadline, inner_threads, timings)
     }));
     match detected {
-        Ok(structure) => {
+        Ok(Ok(structure)) => {
             let outcome = FileOutcome {
                 id,
                 n_rows: structure.table.n_rows(),
                 n_cells: structure.cells.len(),
-                n_bytes: text.len(),
+                n_bytes: bytes.len(),
                 elapsed: file_start.elapsed(),
                 error: None,
+                category: None,
             };
             (Ok(structure), outcome)
         }
-        Err(payload) => {
-            let message = format!("detection panicked: {}", panic_message(payload.as_ref()));
-            fail(message, file_start.elapsed())
-        }
+        Ok(Err(error)) => fail(error, bytes.len(), file_start.elapsed()),
+        Err(payload) => fail(
+            StrudelError::Internal {
+                file: None,
+                reason: panic_message(payload.as_ref()).to_string(),
+            },
+            bytes.len(),
+            file_start.elapsed(),
+        ),
     }
 }
 
@@ -443,7 +465,14 @@ mod tests {
             .collect();
         let sequential: Vec<Structure> = texts.iter().map(|t| model.detect_structure(t)).collect();
         for n_threads in [1, 4] {
-            let result = detect_all(&model, &inputs, &BatchConfig { n_threads });
+            let result = detect_all(
+                &model,
+                &inputs,
+                &BatchConfig {
+                    n_threads,
+                    ..BatchConfig::default()
+                },
+            );
             assert_eq!(result.structures.len(), texts.len());
             for (got, want) in result.structures.iter().zip(&sequential) {
                 assert_eq!(got.as_ref().unwrap(), want);
@@ -469,16 +498,25 @@ mod tests {
             BatchInput::path(&bad_utf8),
             BatchInput::text("good-1", texts[1].clone()),
         ];
-        let result = detect_all(&model, &inputs, &BatchConfig { n_threads: 2 });
+        let result = detect_all(
+            &model,
+            &inputs,
+            &BatchConfig {
+                n_threads: 2,
+                ..BatchConfig::default()
+            },
+        );
         std::fs::remove_dir_all(&dir).ok();
 
         assert_eq!(result.structures.len(), 4);
         assert!(result.structures[0].is_ok());
         assert!(result.structures[3].is_ok());
         let missing = result.structures[1].as_ref().unwrap_err();
-        assert!(missing.id.ends_with("does-not-exist.csv"));
-        assert!(missing.message.contains("reading file"));
-        assert!(result.structures[2].is_err());
+        assert!(missing.file().unwrap().ends_with("does-not-exist.csv"));
+        assert_eq!(missing.category(), "io");
+        let utf8 = result.structures[2].as_ref().unwrap_err();
+        assert_eq!(utf8.category(), "parse");
+        assert!(utf8.to_string().contains("invalid UTF-8"));
         assert_eq!(result.report.n_ok(), 2);
         assert_eq!(result.report.n_failed(), 2);
         // Outcomes stay aligned with inputs.
@@ -496,7 +534,14 @@ mod tests {
             .enumerate()
             .map(|(i, t)| BatchInput::text(format!("f{i}"), t.clone()))
             .collect();
-        let result = detect_all(&model, &inputs, &BatchConfig { n_threads: 1 });
+        let result = detect_all(
+            &model,
+            &inputs,
+            &BatchConfig {
+                n_threads: 1,
+                ..BatchConfig::default()
+            },
+        );
         for stage in Stage::ALL {
             assert_eq!(result.report.stage_timings.count(stage), 3);
         }
@@ -523,7 +568,14 @@ mod tests {
             BatchInput::text("quo\"ted\nid", sample_texts(1)[0].clone()),
             BatchInput::path("/definitely/not/here.csv"),
         ];
-        let result = detect_all(&model, &inputs, &BatchConfig { n_threads: 1 });
+        let result = detect_all(
+            &model,
+            &inputs,
+            &BatchConfig {
+                n_threads: 1,
+                ..BatchConfig::default()
+            },
+        );
         let json = result.report.to_json();
         for key in [
             "\"n_files\": 2",

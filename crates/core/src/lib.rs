@@ -79,3 +79,7 @@ pub use line_features::{
 pub use metrics::{Metrics, NullMetrics, Stage, StageTimer, StageTimings};
 pub use pipeline::{Structure, Strudel, TableRegion};
 pub use postprocess::{repair_cells, RepairConfig, RepairReport};
+
+// Re-export the shared error/limit vocabulary so downstream users of the
+// fallible API need no direct `strudel-table` dependency.
+pub use strudel_table::{Deadline, LimitKind, Limits, StrudelError};

@@ -5,9 +5,15 @@
 //! so a model trained on an annotated corpus can be shipped and used for
 //! classification without retraining — the workflow behind the
 //! `strudel-cli` tool.
+//!
+//! Model files are untrusted input: [`Strudel::read_from`] returns a
+//! typed [`StrudelError::Model`] for any structural defect (truncation,
+//! bad magic or version, malformed forests) and additionally validates
+//! the loaded forests against the pipeline's feature arity and class
+//! count, so a corrupt file can never panic at predict time.
 
 use crate::cell_classifier::StrudelCell;
-use crate::cell_features::CellFeatureConfig;
+use crate::cell_features::{CellFeatureConfig, N_CELL_FEATURES};
 use crate::derived::DerivedConfig;
 use crate::line_classifier::StrudelLine;
 use crate::line_features::LineFeatureConfig;
@@ -16,6 +22,7 @@ use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 use strudel_ml::{ModelReader, ModelWriter, RandomForest};
+use strudel_table::{ElementClass, StrudelError};
 
 fn write_derived<W: Write>(w: &mut ModelWriter<W>, d: &DerivedConfig) -> io::Result<()> {
     w.f64(d.delta)?;
@@ -31,6 +38,56 @@ fn read_derived<R: Read>(r: &mut ModelReader<R>) -> io::Result<DerivedConfig> {
     })
 }
 
+/// Map an I/O error raised while decoding a model stream to a typed
+/// error. `InvalidData` and `UnexpectedEof` mean the *content* is bad
+/// (bad magic, bad version, truncation, malformed forest); anything else
+/// is a genuine I/O failure of the underlying reader.
+fn model_error(e: io::Error) -> StrudelError {
+    match e.kind() {
+        io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof => StrudelError::Model {
+            file: None,
+            reason: e.to_string(),
+        },
+        _ => StrudelError::io(&e, None),
+    }
+}
+
+/// Reject a deserialized forest whose shape does not match the pipeline
+/// stage it is about to serve. `from_raw_parts` already validates the
+/// internal tree structure; this checks the *external* contract — the
+/// class count must be [`ElementClass::COUNT`] (class indices are mapped
+/// back through `ElementClass::from_index`, which panics out of range)
+/// and every split's feature index must be addressable in the feature
+/// vectors the stage produces.
+fn validate_forest(
+    forest: &RandomForest,
+    stage: &str,
+    n_features: usize,
+) -> Result<(), StrudelError> {
+    let n_classes = forest.n_classes_raw();
+    if n_classes != ElementClass::COUNT {
+        return Err(StrudelError::Model {
+            file: None,
+            reason: format!(
+                "{stage} forest has {n_classes} classes, expected {}",
+                ElementClass::COUNT
+            ),
+        });
+    }
+    if let Some(max) = forest.max_feature_index() {
+        if max >= n_features {
+            return Err(StrudelError::Model {
+                file: None,
+                reason: format!(
+                    "{stage} forest references feature index {max}, but the stage \
+                     produces only {n_features} features"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
 impl StrudelLine {
     /// Serialize the fitted line model (forest + feature configuration).
     pub fn write_to<W: Write>(&self, w: &mut ModelWriter<W>) -> io::Result<()> {
@@ -41,17 +98,16 @@ impl StrudelLine {
     }
 
     /// Deserialize a line model written by [`StrudelLine::write_to`].
-    pub fn read_from<R: Read>(r: &mut ModelReader<R>) -> io::Result<StrudelLine> {
-        let derived = read_derived(r)?;
-        let include_global = r.bool()?;
-        let forest = RandomForest::read_from(r)?;
-        Ok(StrudelLine::from_parts(
-            forest,
-            LineFeatureConfig {
-                derived,
-                include_global,
-            },
-        ))
+    pub fn read_from<R: Read>(r: &mut ModelReader<R>) -> Result<StrudelLine, StrudelError> {
+        let derived = read_derived(r).map_err(model_error)?;
+        let include_global = r.bool().map_err(model_error)?;
+        let forest = RandomForest::read_from(r).map_err(model_error)?;
+        let features = LineFeatureConfig {
+            derived,
+            include_global,
+        };
+        validate_forest(&forest, "line", features.n_features())?;
+        Ok(StrudelLine::from_parts(forest, features))
     }
 }
 
@@ -64,10 +120,11 @@ impl StrudelCell {
     }
 
     /// Deserialize a model written by [`StrudelCell::write_to`].
-    pub fn read_from<R: Read>(r: &mut ModelReader<R>) -> io::Result<StrudelCell> {
+    pub fn read_from<R: Read>(r: &mut ModelReader<R>) -> Result<StrudelCell, StrudelError> {
         let line_model = StrudelLine::read_from(r)?;
-        let derived = read_derived(r)?;
-        let forest = RandomForest::read_from(r)?;
+        let derived = read_derived(r).map_err(model_error)?;
+        let forest = RandomForest::read_from(r).map_err(model_error)?;
+        validate_forest(&forest, "cell", N_CELL_FEATURES)?;
         Ok(StrudelCell::from_parts(
             line_model,
             forest,
@@ -78,26 +135,37 @@ impl StrudelCell {
 
 impl Strudel {
     /// Serialize the pipeline model to any writer.
-    pub fn write_to<W: Write>(&self, writer: W) -> io::Result<()> {
-        let mut w = ModelWriter::new(writer)?;
-        self.cell_model().write_to(&mut w)?;
-        w.finish().flush()
+    pub fn write_to<W: Write>(&self, writer: W) -> Result<(), StrudelError> {
+        let inner = || -> io::Result<()> {
+            let mut w = ModelWriter::new(writer)?;
+            self.cell_model().write_to(&mut w)?;
+            w.finish().flush()
+        };
+        inner().map_err(|e| StrudelError::io(&e, None))
     }
 
-    /// Deserialize a pipeline model from any reader.
-    pub fn read_from<R: Read>(reader: R) -> io::Result<Strudel> {
-        let mut r = ModelReader::new(reader)?;
+    /// Deserialize a pipeline model from any reader. Truncated streams,
+    /// bad magic/version, malformed forests, and forests inconsistent
+    /// with the pipeline's feature arity or class count all yield a
+    /// typed error — never a panic, neither here nor at predict time.
+    pub fn read_from<R: Read>(reader: R) -> Result<Strudel, StrudelError> {
+        let mut r = ModelReader::new(reader).map_err(model_error)?;
         Ok(Strudel::from_cell_model(StrudelCell::read_from(&mut r)?))
     }
 
     /// Save the model to a file.
-    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        self.write_to(BufWriter::new(File::create(path)?))
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), StrudelError> {
+        let name = path.as_ref().display().to_string();
+        let file = File::create(path.as_ref()).map_err(|e| StrudelError::io(&e, Some(&name)))?;
+        self.write_to(BufWriter::new(file))
+            .map_err(|e| e.with_file(name))
     }
 
     /// Load a model from a file.
-    pub fn load(path: impl AsRef<Path>) -> io::Result<Strudel> {
-        Strudel::read_from(BufReader::new(File::open(path)?))
+    pub fn load(path: impl AsRef<Path>) -> Result<Strudel, StrudelError> {
+        let name = path.as_ref().display().to_string();
+        let file = File::open(path.as_ref()).map_err(|e| StrudelError::io(&e, Some(&name)))?;
+        Strudel::read_from(BufReader::new(file)).map_err(|e| e.with_file(name))
     }
 }
 
@@ -108,6 +176,14 @@ mod tests {
     use crate::line_classifier::tests::tiny_corpus;
     use crate::line_classifier::StrudelLineConfig;
     use strudel_ml::ForestConfig;
+
+    /// `unwrap_err` without requiring `Debug` on the (large) model types.
+    fn expect_err<T>(r: Result<T, StrudelError>) -> StrudelError {
+        match r {
+            Err(e) => e,
+            Ok(_) => panic!("expected a StrudelError"),
+        }
+    }
 
     fn fitted() -> Strudel {
         let corpus = tiny_corpus(6);
@@ -122,6 +198,12 @@ mod tests {
                 ..StrudelCellConfig::default()
             },
         )
+    }
+
+    fn serialized() -> Vec<u8> {
+        let mut buf = Vec::new();
+        fitted().write_to(&mut buf).unwrap();
+        buf
     }
 
     #[test]
@@ -158,16 +240,116 @@ mod tests {
     }
 
     #[test]
+    fn load_missing_file_is_io_error_with_path() {
+        let err = expect_err(Strudel::load("/nonexistent/strudel-no-such-model.bin"));
+        assert_eq!(err.category(), "io");
+        assert!(err.file().unwrap().contains("strudel-no-such-model.bin"));
+    }
+
+    #[test]
     fn garbage_file_rejected() {
-        let err = match Strudel::read_from(&b"garbage"[..]) {
-            Err(e) => e,
-            Ok(_) => panic!("garbage accepted"),
+        let err = expect_err(Strudel::read_from(&b"garbage"[..]));
+        // Either too short (truncation) or bad magic — both are Model.
+        assert_eq!(err.category(), "model");
+    }
+
+    #[test]
+    fn truncated_model_rejected_at_every_prefix() {
+        let buf = serialized();
+        // Every strict prefix must fail with a typed Model error; step by
+        // a prime so the test stays fast on multi-kilobyte models.
+        for len in (0..buf.len()).step_by(211) {
+            let err = match Strudel::read_from(&buf[..len]) {
+                Err(e) => e,
+                Ok(_) => panic!("accepted a {len}-byte prefix of a {}-byte model", buf.len()),
+            };
+            assert_eq!(err.category(), "model", "prefix length {len}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = serialized();
+        buf[0] ^= 0xFF;
+        let err = expect_err(Strudel::read_from(buf.as_slice()));
+        assert_eq!(err.category(), "model");
+        assert!(
+            err.to_string().contains("not a Strudel model"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = serialized();
+        // The version u32 follows the 8-byte magic.
+        buf[8] = 0xFF;
+        let err = expect_err(Strudel::read_from(buf.as_slice()));
+        assert_eq!(err.category(), "model");
+        assert!(err.to_string().contains("version"), "got: {err}");
+    }
+
+    #[test]
+    fn out_of_range_class_count_rejected() {
+        // Serialize a structurally valid forest with an inflated class
+        // count: the forest itself decodes fine, but the pipeline
+        // contract (n_classes == ElementClass::COUNT) is violated.
+        let arity = ElementClass::COUNT + 3;
+        let tree = strudel_ml::DecisionTree::from_raw_parts(
+            vec![strudel_ml::RawNode::Leaf {
+                proba: vec![1.0 / arity as f64; arity],
+            }],
+            arity,
+        )
+        .unwrap();
+        let bogus = RandomForest::from_raw_parts(vec![tree], arity).unwrap();
+        let mut buf = Vec::new();
+        let mut w = ModelWriter::new(&mut buf).unwrap();
+        write_derived(&mut w, &DerivedConfig::default()).unwrap();
+        w.bool(false).unwrap();
+        bogus.write_to(&mut w).unwrap();
+        w.finish().flush().unwrap();
+
+        let mut r = ModelReader::new(buf.as_slice()).unwrap();
+        let err = expect_err(StrudelLine::read_from(&mut r));
+        assert_eq!(err.category(), "model");
+        assert!(err.to_string().contains("classes"), "got: {err}");
+    }
+
+    #[test]
+    fn out_of_range_feature_index_rejected() {
+        // A forest splitting on feature 999 is structurally valid but can
+        // never be served by the line stage (14 + 4 features at most).
+        let leaf = strudel_ml::RawNode::Leaf {
+            proba: vec![1.0 / ElementClass::COUNT as f64; ElementClass::COUNT],
         };
-        // Either too short (UnexpectedEof) or bad magic (InvalidData).
-        assert!(matches!(
-            err.kind(),
-            io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof
-        ));
+        let tree = strudel_ml::DecisionTree::from_raw_parts(
+            vec![
+                strudel_ml::RawNode::Split {
+                    feature: 999,
+                    threshold: 0.5,
+                    left: 1,
+                    right: 2,
+                },
+                leaf.clone(),
+                leaf,
+            ],
+            ElementClass::COUNT,
+        )
+        .unwrap();
+        let bogus = RandomForest::from_raw_parts(vec![tree], ElementClass::COUNT).unwrap();
+
+        let mut buf = Vec::new();
+        let mut w = ModelWriter::new(&mut buf).unwrap();
+        write_derived(&mut w, &DerivedConfig::default()).unwrap();
+        w.bool(false).unwrap();
+        bogus.write_to(&mut w).unwrap();
+        w.finish().flush().unwrap();
+
+        let mut r = ModelReader::new(buf.as_slice()).unwrap();
+        let err = expect_err(StrudelLine::read_from(&mut r));
+        assert_eq!(err.category(), "model");
+        assert!(err.to_string().contains("feature index 999"), "got: {err}");
     }
 
     #[test]

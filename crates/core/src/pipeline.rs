@@ -10,8 +10,8 @@ use crate::cell_classifier::{CellPrediction, StrudelCell, StrudelCellConfig};
 use crate::line_classifier::StrudelLine;
 use crate::metrics::{Metrics, NullMetrics, Stage, StageTimer};
 use std::collections::HashMap;
-use strudel_dialect::{detect_dialect, read_table_with, Dialect};
-use strudel_table::{ElementClass, LabeledFile, Table};
+use strudel_dialect::{decode_utf8, try_detect_dialect, try_read_table_with, Dialect};
+use strudel_table::{Deadline, ElementClass, LabeledFile, LimitKind, Limits, StrudelError, Table};
 
 /// The detected structure of one verbose CSV file.
 ///
@@ -258,6 +258,10 @@ impl Strudel {
 
     /// Detect the structure of raw text: dialect detection, parsing, and
     /// both classification stages. A leading UTF-8 BOM is stripped.
+    ///
+    /// This legacy entry point runs without resource limits and cannot
+    /// fail; untrusted input should go through
+    /// [`try_detect_structure`](Self::try_detect_structure) instead.
     pub fn detect_structure(&self, text: &str) -> Structure {
         self.detect_structure_metered(text, &mut NullMetrics)
     }
@@ -278,14 +282,100 @@ impl Strudel {
         n_threads: usize,
         sink: &mut dyn Metrics,
     ) -> Structure {
+        // With unbounded limits and no deadline, no error path of the
+        // guarded pipeline is reachable on `&str` input.
+        self.try_detect_structure_guarded(
+            text,
+            &Limits::unbounded(),
+            Deadline::none(),
+            n_threads,
+            sink,
+        )
+        .expect("unbounded detection cannot fail")
+    }
+
+    /// [`detect_structure`](Self::detect_structure) under resource
+    /// [`Limits`]: every stage either succeeds or reports a typed
+    /// [`StrudelError`] — never a panic, never unbounded memory. Within
+    /// the limits the result is identical to the unbounded entry point.
+    pub fn try_detect_structure(
+        &self,
+        text: &str,
+        limits: &Limits,
+    ) -> Result<Structure, StrudelError> {
+        self.try_detect_structure_metered(text, limits, &mut NullMetrics)
+    }
+
+    /// [`try_detect_structure`](Self::try_detect_structure) over raw
+    /// bytes: decodes UTF-8 first (a typed parse error on failure, with
+    /// the offending byte offset), then runs the guarded pipeline. The
+    /// entry point for untrusted file contents.
+    pub fn try_detect_structure_bytes(
+        &self,
+        bytes: &[u8],
+        limits: &Limits,
+    ) -> Result<Structure, StrudelError> {
+        if let Some(max) = limits.max_input_bytes {
+            if bytes.len() as u64 > max {
+                return Err(StrudelError::limit(
+                    LimitKind::InputBytes,
+                    bytes.len() as u64,
+                    max,
+                ));
+            }
+        }
+        self.try_detect_structure(decode_utf8(bytes)?, limits)
+    }
+
+    /// [`try_detect_structure`](Self::try_detect_structure) with
+    /// per-stage timing reported into `sink`.
+    pub fn try_detect_structure_metered(
+        &self,
+        text: &str,
+        limits: &Limits,
+        sink: &mut dyn Metrics,
+    ) -> Result<Structure, StrudelError> {
+        self.try_detect_structure_guarded(text, limits, limits.start_deadline(), 0, sink)
+    }
+
+    /// The guarded pipeline core: limits enforced in every pre-model
+    /// stage, the wall-clock deadline polled at stage boundaries and
+    /// inside the parser loop.
+    pub(crate) fn try_detect_structure_guarded(
+        &self,
+        text: &str,
+        limits: &Limits,
+        deadline: Deadline,
+        n_threads: usize,
+        sink: &mut dyn Metrics,
+    ) -> Result<Structure, StrudelError> {
         let text = strudel_dialect::strip_bom(text);
+        if let Some(max) = limits.max_input_bytes {
+            if text.len() as u64 > max {
+                return Err(StrudelError::limit(
+                    LimitKind::InputBytes,
+                    text.len() as u64,
+                    max,
+                ));
+            }
+        }
+        if limits.reject_binary {
+            if let Some(pos) = text.bytes().position(|b| b == 0) {
+                return Err(StrudelError::Dialect {
+                    file: None,
+                    reason: format!("binary content: NUL byte at offset {pos}"),
+                });
+            }
+        }
         let timer = StageTimer::start(Stage::Dialect);
-        let dialect = detect_dialect(text);
+        let dialect = try_detect_dialect(text, limits, deadline)?;
         timer.stop(sink);
+        deadline.check()?;
         let timer = StageTimer::start(Stage::Parse);
-        let table = read_table_with(text, &dialect);
+        let table = try_read_table_with(text, &dialect, limits, deadline)?;
         timer.stop(sink);
-        self.detect_structure_of_table_with_threads(table, dialect, n_threads, sink)
+        deadline.check()?;
+        Ok(self.detect_structure_of_table_with_threads(table, dialect, n_threads, sink))
     }
 
     /// Detect the structure of a pre-parsed table.

@@ -14,7 +14,7 @@
 
 use crate::dialect::Dialect;
 use crate::parser::parse;
-use strudel_table::DataType;
+use strudel_table::{DataType, Deadline, LimitKind, Limits, StrudelError};
 
 /// Delimiters considered by the detector, in tie-break preference order.
 pub const CANDIDATE_DELIMITERS: [char; 7] = [',', ';', '\t', '|', ':', '^', '~'];
@@ -43,6 +43,56 @@ pub struct ScoredDialect {
 /// detection linear and cheap even for multi-megabyte files.
 pub fn detect_dialect(text: &str) -> Dialect {
     best_dialect(text).dialect
+}
+
+/// [`detect_dialect`] under [`Limits`] and a wall-clock [`Deadline`].
+///
+/// Enforced bounds: the sampled region must not contain a physical line
+/// longer than `max_line_bytes` (detection would otherwise buffer it per
+/// candidate), inputs with NUL bytes in the sample are rejected as binary
+/// when `reject_binary` is set (no CSV dialect is meaningful for binary
+/// data), and the deadline is polled between candidate scorings.
+pub fn try_detect_dialect(
+    text: &str,
+    limits: &Limits,
+    deadline: Deadline,
+) -> Result<Dialect, StrudelError> {
+    let sample = sample_lines(text, DETECTION_LINE_BUDGET);
+    if let Some(max) = limits.max_line_bytes {
+        let mut line_start = 0usize;
+        for (idx, b) in sample.bytes().enumerate() {
+            if b == b'\n' || b == b'\r' {
+                line_start = idx + 1;
+            } else if (idx - line_start) as u64 >= max {
+                return Err(StrudelError::limit(
+                    LimitKind::LineBytes,
+                    (idx - line_start) as u64 + 1,
+                    max,
+                ));
+            }
+        }
+    }
+    if limits.reject_binary {
+        if let Some(pos) = sample.bytes().position(|b| b == 0) {
+            return Err(StrudelError::Dialect {
+                file: None,
+                reason: format!("binary content: NUL byte at offset {pos}"),
+            });
+        }
+    }
+    let mut best: Option<ScoredDialect> = None;
+    for dialect in candidate_dialects(sample) {
+        deadline.check()?;
+        let scored = score_dialect(sample, &dialect);
+        let better = match &best {
+            None => true,
+            Some(b) => scored.score > b.score + 1e-12,
+        };
+        if better {
+            best = Some(scored);
+        }
+    }
+    Ok(best.map_or(Dialect::rfc4180(), |b| b.dialect))
 }
 
 /// Maximum number of lines inspected by the detector.
@@ -75,14 +125,20 @@ pub fn best_dialect(text: &str) -> ScoredDialect {
 }
 
 fn sample_lines(text: &str, budget: usize) -> &str {
-    let mut newlines = 0;
+    // Count both `\n` and `\r` as line breaks (a `\r\n` pair counts
+    // once): files with CR-only line endings used to defeat the budget
+    // entirely and push the whole input through every candidate scoring.
+    let mut breaks = 0;
+    let mut prev_cr = false;
     for (idx, b) in text.bytes().enumerate() {
-        if b == b'\n' {
-            newlines += 1;
-            if newlines >= budget {
+        let is_break = b == b'\n' || b == b'\r';
+        if is_break && !(b == b'\n' && prev_cr) {
+            breaks += 1;
+            if breaks >= budget {
                 return &text[..=idx];
             }
         }
+        prev_cr = b == b'\r';
     }
     text
 }

@@ -25,12 +25,16 @@ mod parser;
 mod write;
 
 pub use detect::{
-    best_dialect, detect_dialect, score_dialect, ScoredDialect, CANDIDATE_DELIMITERS,
-    CANDIDATE_QUOTES, DETECTION_LINE_BUDGET,
+    best_dialect, detect_dialect, score_dialect, try_detect_dialect, ScoredDialect,
+    CANDIDATE_DELIMITERS, CANDIDATE_QUOTES, DETECTION_LINE_BUDGET,
 };
 pub use dialect::Dialect;
-pub use parser::parse;
+pub use parser::{parse, try_parse, try_parse_within};
 pub use write::{write_delimited, write_field};
+
+// Re-export the shared error/limit types so downstream crates can use
+// the fallible API without a direct `strudel-table` dependency.
+pub use strudel_table::{Deadline, LimitKind, Limits, StrudelError};
 
 use strudel_table::Table;
 
@@ -61,6 +65,61 @@ pub fn read_table(text: &str) -> (Table, Dialect) {
 /// UTF-8 BOM is stripped.
 pub fn read_table_with(text: &str, dialect: &Dialect) -> Table {
     Table::from_rows(parse(strip_bom(text), dialect))
+}
+
+/// Decode `bytes` as UTF-8, or report a typed parse error with the byte
+/// offset at which decoding failed. The entry point for untrusted raw
+/// file contents — the pipeline proper operates on `&str`.
+pub fn decode_utf8(bytes: &[u8]) -> Result<&str, StrudelError> {
+    std::str::from_utf8(bytes).map_err(|e| {
+        let byte = e.valid_up_to() as u64;
+        StrudelError::Parse {
+            file: None,
+            line: bytes[..e.valid_up_to()]
+                .iter()
+                .filter(|&&b| b == b'\n')
+                .count() as u64,
+            byte,
+            reason: "invalid UTF-8".to_string(),
+        }
+    })
+}
+
+/// [`read_table`] under [`Limits`] and a wall-clock [`Deadline`]: dialect
+/// detection, guarded parsing, and guarded grid construction. Every
+/// failure is a typed [`StrudelError`]; valid input within the limits
+/// yields exactly the table and dialect of the unbounded entry point.
+pub fn try_read_table(
+    text: &str,
+    limits: &Limits,
+    deadline: Deadline,
+) -> Result<(Table, Dialect), StrudelError> {
+    let text = strip_bom(text);
+    if let Some(max) = limits.max_input_bytes {
+        if text.len() as u64 > max {
+            return Err(StrudelError::limit(
+                LimitKind::InputBytes,
+                text.len() as u64,
+                max,
+            ));
+        }
+    }
+    let dialect = try_detect_dialect(text, limits, deadline)?;
+    deadline.check()?;
+    let table = try_read_table_with(text, &dialect, limits, deadline)?;
+    Ok((table, dialect))
+}
+
+/// [`read_table_with`] under [`Limits`] and a wall-clock [`Deadline`].
+pub fn try_read_table_with(
+    text: &str,
+    dialect: &Dialect,
+    limits: &Limits,
+    deadline: Deadline,
+) -> Result<Table, StrudelError> {
+    let rows = try_parse_within(strip_bom(text), dialect, limits, deadline)?;
+    deadline.check()?;
+    Table::try_from_rows(rows, limits)
 }
 
 #[cfg(test)]

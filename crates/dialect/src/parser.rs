@@ -6,20 +6,81 @@
 //! character protects the next character, and quoted fields may contain
 //! embedded line breaks. Both `\n` and `\r\n` (and bare `\r`) are accepted
 //! as record terminators.
+//!
+//! [`try_parse`] is the guarded entry point: it enforces [`Limits`] (input
+//! size, physical line length, rows, columns, cells, quoted-field length)
+//! and an optional wall-clock [`Deadline`] while parsing, so a
+//! pathological input fails with a typed [`StrudelError`] instead of
+//! exhausting memory or stalling. [`parse`] is the unbounded legacy entry
+//! point; it cannot fail.
 
 use crate::dialect::Dialect;
+use strudel_table::{Deadline, LimitKind, Limits, StrudelError};
 
-/// Parse `text` into records of fields under the given dialect.
+/// How many characters the guarded parser consumes between wall-clock
+/// deadline checks. `Instant::now` costs tens of nanoseconds; checking
+/// every 64Ki characters keeps the overhead unmeasurable while bounding
+/// the overshoot past an expired deadline.
+const DEADLINE_CHECK_INTERVAL: usize = 1 << 16;
+
+/// Parse `text` into records of fields under the given dialect, without
+/// resource limits.
 ///
 /// The parser never fails: malformed input (e.g. an unterminated quote)
 /// degrades gracefully by treating the remainder of the file as the final
 /// field, which mirrors the forgiving behaviour of spreadsheet importers
 /// that the paper's corpora were produced by.
 pub fn parse(text: &str, dialect: &Dialect) -> Vec<Vec<String>> {
+    // With unbounded limits and no deadline, no error path of the guarded
+    // parser is reachable.
+    try_parse_within(text, dialect, &Limits::unbounded(), Deadline::none())
+        .expect("unbounded parse cannot fail")
+}
+
+/// [`parse`] with [`Limits`] enforced while parsing.
+///
+/// Returns [`StrudelError::LimitExceeded`] at the first violated bound;
+/// partial output is discarded. The limits are checked *during* the
+/// parse, so a 10 GiB single-line file fails at `max_line_bytes` after
+/// reading that many bytes, not after materialising the whole record.
+pub fn try_parse(
+    text: &str,
+    dialect: &Dialect,
+    limits: &Limits,
+) -> Result<Vec<Vec<String>>, StrudelError> {
+    try_parse_within(text, dialect, limits, Deadline::none())
+}
+
+/// [`try_parse`] with an explicit wall-clock [`Deadline`], checked every
+/// [`DEADLINE_CHECK_INTERVAL`] characters. Used by the batch engine's
+/// per-file budget.
+pub fn try_parse_within(
+    text: &str,
+    dialect: &Dialect,
+    limits: &Limits,
+    deadline: Deadline,
+) -> Result<Vec<Vec<String>>, StrudelError> {
+    if let Some(max) = limits.max_input_bytes {
+        if text.len() as u64 > max {
+            return Err(StrudelError::limit(
+                LimitKind::InputBytes,
+                text.len() as u64,
+                max,
+            ));
+        }
+    }
+
     let mut records: Vec<Vec<String>> = Vec::new();
     let mut record: Vec<String> = Vec::new();
     let mut field = String::new();
-    let mut chars = text.chars().peekable();
+    let mut chars = text.char_indices().peekable();
+
+    // Physical-line accounting (independent of quoting: a quoted field
+    // spanning lines still produces physical lines on disk).
+    let mut line_start: usize = 0;
+    // Total fields produced, for the streaming cell bound.
+    let mut n_cells: u64 = 0;
+    let mut since_deadline_check: usize = 0;
 
     #[derive(PartialEq)]
     enum State {
@@ -38,6 +99,21 @@ pub fn parse(text: &str, dialect: &Dialect) -> Vec<Vec<String>> {
 
     macro_rules! end_field {
         () => {{
+            if let Some(max) = limits.max_cols {
+                if record.len() as u64 >= max {
+                    return Err(StrudelError::limit(
+                        LimitKind::Cols,
+                        record.len() as u64 + 1,
+                        max,
+                    ));
+                }
+            }
+            n_cells += 1;
+            if let Some(max) = limits.max_cells {
+                if n_cells > max {
+                    return Err(StrudelError::limit(LimitKind::Cells, n_cells, max));
+                }
+            }
             record.push(std::mem::take(&mut field));
             state = State::FieldStart;
         }};
@@ -45,11 +121,33 @@ pub fn parse(text: &str, dialect: &Dialect) -> Vec<Vec<String>> {
     macro_rules! end_record {
         () => {{
             end_field!();
+            if let Some(max) = limits.max_rows {
+                if records.len() as u64 >= max {
+                    return Err(StrudelError::limit(
+                        LimitKind::Rows,
+                        records.len() as u64 + 1,
+                        max,
+                    ));
+                }
+            }
             records.push(std::mem::take(&mut record));
         }};
     }
 
-    while let Some(ch) = chars.next() {
+    while let Some((idx, ch)) = chars.next() {
+        since_deadline_check += 1;
+        if since_deadline_check >= DEADLINE_CHECK_INTERVAL {
+            since_deadline_check = 0;
+            deadline.check()?;
+        }
+        if ch == '\n' || ch == '\r' {
+            line_start = idx + 1;
+        } else if let Some(max) = limits.max_line_bytes {
+            let line_bytes = (idx - line_start) as u64 + ch.len_utf8() as u64;
+            if line_bytes > max {
+                return Err(StrudelError::limit(LimitKind::LineBytes, line_bytes, max));
+            }
+        }
         match state {
             State::FieldStart => {
                 if Some(ch) == dialect.quote {
@@ -59,12 +157,12 @@ pub fn parse(text: &str, dialect: &Dialect) -> Vec<Vec<String>> {
                 } else if ch == '\n' {
                     end_record!();
                 } else if ch == '\r' {
-                    if chars.peek() == Some(&'\n') {
+                    if chars.peek().map(|&(_, c)| c) == Some('\n') {
                         chars.next();
                     }
                     end_record!();
                 } else if Some(ch) == dialect.escape {
-                    if let Some(next) = chars.next() {
+                    if let Some((_, next)) = chars.next() {
                         field.push(next);
                     }
                     state = State::Unquoted;
@@ -79,12 +177,12 @@ pub fn parse(text: &str, dialect: &Dialect) -> Vec<Vec<String>> {
                 } else if ch == '\n' {
                     end_record!();
                 } else if ch == '\r' {
-                    if chars.peek() == Some(&'\n') {
+                    if chars.peek().map(|&(_, c)| c) == Some('\n') {
                         chars.next();
                     }
                     end_record!();
                 } else if Some(ch) == dialect.escape {
-                    if let Some(next) = chars.next() {
+                    if let Some((_, next)) = chars.next() {
                         field.push(next);
                     }
                 } else {
@@ -95,11 +193,20 @@ pub fn parse(text: &str, dialect: &Dialect) -> Vec<Vec<String>> {
                 if Some(ch) == dialect.quote {
                     state = State::QuoteInQuoted;
                 } else if Some(ch) == dialect.escape {
-                    if let Some(next) = chars.next() {
+                    if let Some((_, next)) = chars.next() {
                         field.push(next);
                     }
                 } else {
                     field.push(ch);
+                }
+                if let Some(max) = limits.max_quoted_field_bytes {
+                    if field.len() as u64 > max {
+                        return Err(StrudelError::limit(
+                            LimitKind::QuotedFieldBytes,
+                            field.len() as u64,
+                            max,
+                        ));
+                    }
                 }
             }
             State::QuoteInQuoted => {
@@ -112,7 +219,7 @@ pub fn parse(text: &str, dialect: &Dialect) -> Vec<Vec<String>> {
                 } else if ch == '\n' {
                     end_record!();
                 } else if ch == '\r' {
-                    if chars.peek() == Some(&'\n') {
+                    if chars.peek().map(|&(_, c)| c) == Some('\n') {
                         chars.next();
                     }
                     end_record!();
@@ -126,12 +233,19 @@ pub fn parse(text: &str, dialect: &Dialect) -> Vec<Vec<String>> {
         }
     }
 
-    // Flush a trailing record without a final newline.
-    if !field.is_empty() || !record.is_empty() || state == State::Quoted {
+    // Flush a trailing record without a final newline. A quote state at
+    // EOF (unterminated quote, or a closing quote as the very last
+    // character) still denotes a field — even an empty one, so that a
+    // file ending in `""` keeps its final record.
+    if !field.is_empty()
+        || !record.is_empty()
+        || state == State::Quoted
+        || state == State::QuoteInQuoted
+    {
         record.push(field);
         records.push(record);
     }
-    records
+    Ok(records)
 }
 
 #[cfg(test)]
@@ -233,5 +347,132 @@ mod tests {
     #[test]
     fn stray_text_after_closing_quote_is_kept() {
         assert_eq!(rows("\"ab\"cd,e\n"), vec![vec!["abcd", "e"]]);
+    }
+
+    #[test]
+    fn empty_quoted_field_at_eof_keeps_its_record() {
+        // Regression: `""` with no trailing newline used to vanish — the
+        // EOF flush ignored the QuoteInQuoted state when both the field
+        // and the record were empty.
+        assert_eq!(rows("\"\""), vec![vec![""]]);
+        assert_eq!(rows("a,\"\""), vec![vec!["a", ""]]);
+        assert_eq!(rows("\""), vec![vec![""]]);
+    }
+
+    #[test]
+    fn limit_input_bytes() {
+        let mut limits = Limits::unbounded();
+        limits.max_input_bytes = Some(4);
+        let err = try_parse("a,b,c\n", &Dialect::rfc4180(), &limits).unwrap_err();
+        assert!(matches!(
+            err,
+            StrudelError::LimitExceeded {
+                limit: LimitKind::InputBytes,
+                actual: 6,
+                max: 4,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn limit_line_bytes_triggers_on_long_line_even_quoted() {
+        let mut limits = Limits::unbounded();
+        limits.max_line_bytes = Some(8);
+        let long = format!("{}\n", "x".repeat(32));
+        assert!(matches!(
+            try_parse(&long, &Dialect::rfc4180(), &limits).unwrap_err(),
+            StrudelError::LimitExceeded {
+                limit: LimitKind::LineBytes,
+                ..
+            }
+        ));
+        // A quoted field spanning many short physical lines is fine …
+        let quoted = "\"a\nb\nc\nd\ne\",x\n";
+        assert!(try_parse(quoted, &Dialect::rfc4180(), &limits).is_ok());
+        // … but a single long physical line inside quotes is not.
+        let quoted_long = format!("\"{}\"\n", "y".repeat(32));
+        assert!(try_parse(&quoted_long, &Dialect::rfc4180(), &limits).is_err());
+    }
+
+    #[test]
+    fn limit_rows_cols_cells() {
+        let mut limits = Limits::unbounded();
+        limits.max_rows = Some(2);
+        assert!(matches!(
+            try_parse("a\nb\nc\n", &Dialect::rfc4180(), &limits).unwrap_err(),
+            StrudelError::LimitExceeded {
+                limit: LimitKind::Rows,
+                actual: 3,
+                max: 2,
+                ..
+            }
+        ));
+
+        let mut limits = Limits::unbounded();
+        limits.max_cols = Some(2);
+        assert!(matches!(
+            try_parse("a,b,c\n", &Dialect::rfc4180(), &limits).unwrap_err(),
+            StrudelError::LimitExceeded {
+                limit: LimitKind::Cols,
+                actual: 3,
+                max: 2,
+                ..
+            }
+        ));
+
+        let mut limits = Limits::unbounded();
+        limits.max_cells = Some(3);
+        assert!(matches!(
+            try_parse("a,b\nc,d\n", &Dialect::rfc4180(), &limits).unwrap_err(),
+            StrudelError::LimitExceeded {
+                limit: LimitKind::Cells,
+                actual: 4,
+                max: 3,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn limit_quoted_field_bytes_caps_unterminated_quotes() {
+        let mut limits = Limits::unbounded();
+        limits.max_quoted_field_bytes = Some(8);
+        // Unterminated quote: without the cap the whole remainder would
+        // be buffered into one field.
+        let text = format!("\"{}", "z".repeat(100));
+        assert!(matches!(
+            try_parse(&text, &Dialect::rfc4180(), &limits).unwrap_err(),
+            StrudelError::LimitExceeded {
+                limit: LimitKind::QuotedFieldBytes,
+                ..
+            }
+        ));
+        assert!(try_parse("\"short\",x\n", &Dialect::rfc4180(), &limits).is_ok());
+    }
+
+    #[test]
+    fn within_limits_matches_unbounded_parse() {
+        let text = "Report,,\nState,2019,2020\n\"a,b\",1,2\n";
+        let bounded = try_parse(text, &Dialect::rfc4180(), &Limits::default()).unwrap();
+        assert_eq!(bounded, rows(text));
+    }
+
+    #[test]
+    fn expired_deadline_fails_large_input() {
+        // The deadline is only polled every DEADLINE_CHECK_INTERVAL
+        // characters, so the input must exceed one interval.
+        let text = "a,b\n".repeat(DEADLINE_CHECK_INTERVAL / 2);
+        let deadline = Deadline::after(std::time::Duration::ZERO);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let err = try_parse_within(&text, &Dialect::rfc4180(), &Limits::unbounded(), deadline)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            StrudelError::LimitExceeded {
+                limit: LimitKind::WallClock,
+                ..
+            }
+        ));
     }
 }

@@ -1,0 +1,84 @@
+//! Regression tests for parser and detection edge cases that used to
+//! panic, lose data, or blow the detection budget: unterminated quotes
+//! at EOF, CR-only line endings, and literal quote characters inside
+//! unquoted fields.
+
+use strudel_dialect::{detect_dialect, parse, read_table, try_parse, Dialect, Limits};
+
+fn rows(text: &str) -> Vec<Vec<String>> {
+    parse(text, &Dialect::rfc4180())
+}
+
+fn owned(rows: &[&[&str]]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| r.iter().map(|s| s.to_string()).collect())
+        .collect()
+}
+
+#[test]
+fn unterminated_quote_at_eof_keeps_all_content() {
+    // The open quote swallows the rest of the file into one field; that
+    // field must still be flushed at EOF, never dropped.
+    assert_eq!(rows("a,\"bc"), owned(&[&["a", "bc"]]));
+    assert_eq!(rows("a,\"b\nc,d"), owned(&[&["a", "b\nc,d"]]));
+    // A lone quote is an empty unterminated field, not an empty file.
+    assert_eq!(rows("\""), owned(&[&[""]]));
+    // Closing quote as the very last byte: one empty quoted field.
+    assert_eq!(rows("\"\""), owned(&[&[""]]));
+    assert_eq!(rows("a,\"\""), owned(&[&["a", ""]]));
+}
+
+#[test]
+fn unterminated_quote_roundtrips_through_the_full_reader() {
+    let (table, _) = read_table("x,y\n1,\"open");
+    assert_eq!(table.n_rows(), 2);
+    assert_eq!(table.cell(1, 1).raw(), "open");
+}
+
+#[test]
+fn cr_only_line_endings_separate_records() {
+    assert_eq!(
+        rows("a,b\rc,d\re,f"),
+        owned(&[&["a", "b"], &["c", "d"], &["e", "f"]])
+    );
+    // Mixed endings in one file: each break yields exactly one record.
+    assert_eq!(
+        rows("a,b\r\nc,d\re,f\n"),
+        owned(&[&["a", "b"], &["c", "d"], &["e", "f"]])
+    );
+}
+
+#[test]
+fn cr_only_file_detects_its_dialect() {
+    // CR-only files previously defeated the detection line budget (the
+    // sampler only counted `\n`), degrading detection to a full-file
+    // scan per candidate. The result must match the `\n` twin.
+    let lf = "name;score\nalice;3,5\nbob;2,25\ncarl;4,75\n";
+    let cr = lf.replace('\n', "\r");
+    assert_eq!(detect_dialect(&cr).delimiter, ';');
+    assert_eq!(detect_dialect(&cr), detect_dialect(lf));
+}
+
+#[test]
+fn cr_only_file_respects_parse_limits() {
+    let cr = "a,b\r".repeat(100);
+    let mut limits = Limits::unbounded();
+    limits.max_rows = Some(10);
+    assert!(try_parse(&cr, &Dialect::rfc4180(), &limits).is_err());
+}
+
+#[test]
+fn quote_char_inside_unquoted_field_is_literal() {
+    // RFC 4180 only gives `"` special meaning at the start of a field;
+    // mid-field quotes are data.
+    assert_eq!(rows("a\"b,c"), owned(&[&["a\"b", "c"]]));
+    assert_eq!(rows("5\" disk,10"), owned(&[&["5\" disk", "10"]]));
+    // Even a pair of them stays literal mid-field.
+    assert_eq!(rows("it\"\"s,x"), owned(&[&["it\"\"s", "x"]]));
+}
+
+#[test]
+fn quote_noise_does_not_derail_detection() {
+    let text = "item,size\ndisk,5\" drive\ntape,9\" reel\ncable,3\" lead\n";
+    assert_eq!(detect_dialect(text).delimiter, ',');
+}

@@ -3,7 +3,9 @@
 //! newlines, carriage returns, and escape characters included.
 
 use proptest::prelude::*;
-use strudel_dialect::{parse, write_delimited, Dialect};
+use strudel_dialect::{
+    decode_utf8, parse, try_read_table, write_delimited, Deadline, Dialect, Limits,
+};
 
 /// Arbitrary cell content over the full printable-ASCII range (which
 /// contains every structural character of the tested dialects) plus
@@ -54,5 +56,42 @@ proptest! {
     fn write_is_deterministic(rows in arb_rows()) {
         let d = Dialect::rfc4180();
         prop_assert_eq!(write_delimited(&rows, &d), write_delimited(&rows, &d));
+    }
+
+    /// Feeding *any* byte string through the guarded reader either
+    /// produces a table or a typed error — never a panic. Invalid UTF-8
+    /// is rejected as a parse error with a byte position.
+    #[test]
+    fn arbitrary_bytes_yield_table_or_typed_error(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        match decode_utf8(&bytes) {
+            Err(e) => prop_assert_eq!(e.category(), "parse"),
+            Ok(text) => {
+                if let Err(e) = try_read_table(text, &Limits::standard(), Deadline::none()) {
+                    prop_assert!(!e.category().is_empty());
+                }
+            }
+        }
+    }
+
+    /// One parse→rejoin cycle over arbitrary text reaches a fixed point:
+    /// re-parsing the rejoined text reproduces the records exactly, even
+    /// when the original text was structurally malformed (unterminated
+    /// quotes, ragged rows, stray carriage returns).
+    #[test]
+    fn parse_then_rejoin_is_a_fixed_point(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+        d_idx in 0usize..5,
+    ) {
+        if let Ok(text) = std::str::from_utf8(&bytes) {
+            let d = dialect(d_idx);
+            let rows = parse(text, &d);
+            let rejoined = write_delimited(&rows, &d);
+            prop_assert_eq!(
+                parse(&rejoined, &d), rows,
+                "dialect {:?}, rejoined {:?}", d, rejoined
+            );
+        }
     }
 }

@@ -1,0 +1,425 @@
+//! Deterministic adversarial fuzzing for the Strudel pipeline.
+//!
+//! The harness asserts the central contract of the typed-error refactor:
+//! **every byte string fed to structure detection yields `Ok(Structure)`
+//! or a typed [`StrudelError`] — never a panic.**
+//!
+//! Inputs come from a seeded mutation engine: well-formed verbose CSV
+//! files (from `strudel-datagen`, rendered with several delimiters) and
+//! a set of handcrafted pathological bases are corrupted by a random
+//! stack of byte-level mutations — truncation (possibly mid-UTF-8
+//! sequence), quote and escape corruption, delimiter injection, NUL /
+//! BOM / invalid-UTF-8 splices, ragged rows, line-ending churn, chunk
+//! duplication, and megabyte single lines.
+//!
+//! Everything is driven by a single `u64` seed, so any failure found in
+//! a long soak ([`run`] via the `strudel-fuzz` binary or
+//! `scripts/fuzz.sh`) replays exactly in a debugger, and the bounded
+//! tier-1 smoke test is fully reproducible in CI.
+
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+use strudel::{Strudel, StrudelCellConfig, StrudelLineConfig};
+use strudel_ml::ForestConfig;
+use strudel_table::{LimitKind, Limits, StrudelError};
+
+/// Fit the small fixed model the fuzz targets run under. Inference is a
+/// pure function of (model, input), so one cheap model exercises the
+/// exact same parsing and classification code paths as a full-size one.
+pub fn fuzz_model() -> Strudel {
+    let corpus = strudel_datagen::saus(&strudel_datagen::GeneratorConfig {
+        n_files: 8,
+        seed: 7,
+        scale: 0.2,
+    });
+    Strudel::fit(
+        &corpus.files,
+        &StrudelCellConfig {
+            line: StrudelLineConfig {
+                forest: ForestConfig::fast(6, 1),
+                ..StrudelLineConfig::default()
+            },
+            forest: ForestConfig::fast(6, 2),
+            ..StrudelCellConfig::default()
+        },
+    )
+}
+
+/// Well-formed and pathological base inputs the mutation engine starts
+/// from. All deterministic: synthetic corpora under fixed seeds rendered
+/// with several delimiters, plus handcrafted structural edge cases.
+pub fn base_inputs() -> Vec<Vec<u8>> {
+    let mut bases: Vec<Vec<u8>> = Vec::new();
+    let cfg = strudel_datagen::GeneratorConfig {
+        n_files: 3,
+        seed: 11,
+        scale: 0.2,
+    };
+    for name in ["saus", "deex", "govuk"] {
+        let corpus = strudel_datagen::by_name(name, &cfg);
+        for (i, file) in corpus.files.iter().enumerate() {
+            let delimiter = [',', ';', '\t'][i % 3];
+            bases.push(file.table.to_delimited(delimiter).into_bytes());
+        }
+    }
+    for text in [
+        "",
+        "\n",
+        "\u{FEFF}a,b\n1,2\n",
+        "\"\"",
+        "\"unterminated\nquote,runs\nto,eof",
+        "a,b,c\n1\n1,2,3,4,5\n",
+        "only one column\nno delimiter here\n",
+        "\r\rcr,only\rline,endings\r",
+        "x,\"quote \"\" inside\",y\n",
+        "Notes: total includes \"estimates\", see appendix\na,b\n1,2\n",
+    ] {
+        bases.push(text.as_bytes().to_vec());
+    }
+    bases
+}
+
+/// Number of distinct mutation operators in [`mutate_once`].
+pub const N_MUTATIONS: usize = 11;
+
+/// Apply one random byte-level mutation to `data` in place.
+pub fn mutate_once(data: &mut Vec<u8>, rng: &mut SmallRng) {
+    // Positions are byte offsets, deliberately blind to UTF-8 boundaries:
+    // splitting a multi-byte sequence is one of the adversarial cases.
+    let pos = |data: &Vec<u8>, rng: &mut SmallRng| rng.gen_range(0..data.len().max(1));
+    match rng.gen_range(0..N_MUTATIONS) {
+        // Truncate at an arbitrary byte.
+        0 => {
+            let at = pos(data, rng);
+            data.truncate(at);
+        }
+        // Flip one byte to an arbitrary value.
+        1 => {
+            if !data.is_empty() {
+                let at = pos(data, rng);
+                data[at] = rng.gen_range(0..=255u32) as u8;
+            }
+        }
+        // Insert or delete a quote character.
+        2 => {
+            let at = pos(data, rng);
+            if rng.gen_bool(0.5) || data.is_empty() {
+                data.insert(at.min(data.len()), b'"');
+            } else {
+                data.remove(at);
+            }
+        }
+        // Inject a delimiter or escape character.
+        3 => {
+            let ch = *[b',', b';', b'\t', b'|', b':', b'\\']
+                .get(rng.gen_range(0..6))
+                .unwrap();
+            let at = pos(data, rng);
+            data.insert(at.min(data.len()), ch);
+        }
+        // Splice NUL bytes (binary content).
+        4 => {
+            let at = pos(data, rng).min(data.len());
+            for _ in 0..rng.gen_range(1..4usize) {
+                data.insert(at, 0);
+            }
+        }
+        // Splice a UTF-8 BOM, at the start or mid-stream.
+        5 => {
+            let at = if rng.gen_bool(0.5) {
+                0
+            } else {
+                pos(data, rng).min(data.len())
+            };
+            for &b in [0xEF, 0xBB, 0xBF].iter().rev() {
+                data.insert(at, b);
+            }
+        }
+        // Splice invalid UTF-8 (lone continuation / impossible bytes).
+        6 => {
+            let at = pos(data, rng).min(data.len());
+            let junk: &[u8] = match rng.gen_range(0..3) {
+                0 => &[0xFF, 0xFE],
+                1 => &[0x80, 0x80],
+                _ => &[0xC3], // truncated 2-byte sequence
+            };
+            for &b in junk.iter().rev() {
+                data.insert(at, b);
+            }
+        }
+        // Make rows ragged: prepend delimiters to one line.
+        7 => {
+            let at = pos(data, rng).min(data.len());
+            for _ in 0..rng.gen_range(1..5usize) {
+                data.insert(at, b',');
+            }
+        }
+        // Splice a very long single line (no newline inside).
+        8 => {
+            let at = pos(data, rng).min(data.len());
+            let run = rng.gen_range(1_000..32_000usize);
+            data.splice(at..at, std::iter::repeat_n(b'x', run));
+        }
+        // Line-ending churn: rewrite `\n` as `\r` or `\r\n`.
+        9 => {
+            let crlf = rng.gen_bool(0.5);
+            let mut out = Vec::with_capacity(data.len() + 16);
+            for &b in data.iter() {
+                if b == b'\n' {
+                    out.push(b'\r');
+                    if crlf {
+                        out.push(b'\n');
+                    }
+                } else {
+                    out.push(b);
+                }
+            }
+            *data = out;
+        }
+        // Duplicate a random chunk to a random position.
+        _ => {
+            if !data.is_empty() {
+                let start = pos(data, rng);
+                let end = (start + rng.gen_range(1..256usize)).min(data.len());
+                let chunk: Vec<u8> = data[start..end].to_vec();
+                let at = pos(data, rng).min(data.len());
+                data.splice(at..at, chunk);
+            }
+        }
+    }
+}
+
+/// Produce the `i`-th adversarial input for `seed`: a random base with a
+/// random stack of 1–4 mutations applied.
+pub fn mutated_input(bases: &[Vec<u8>], seed: u64, i: u64) -> Vec<u8> {
+    // One RNG per input (keyed on seed and index) so any single failing
+    // input replays without regenerating its predecessors.
+    let mut rng = SmallRng::seed_from_u64(seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut data = bases[rng.gen_range(0..bases.len())].clone();
+    for _ in 0..rng.gen_range(1..=4usize) {
+        mutate_once(&mut data, &mut rng);
+    }
+    data
+}
+
+/// Tight limits for fuzzing: low enough that mutated inputs actually
+/// trip every limit kind, high enough that most well-formed bases pass.
+pub fn fuzz_limits() -> Limits {
+    let mut limits = Limits::standard();
+    limits.max_input_bytes = Some(512 * 1024);
+    limits.max_line_bytes = Some(16 * 1024);
+    limits.max_rows = Some(4_096);
+    limits.max_cols = Some(256);
+    limits.max_cells = Some(65_536);
+    limits.max_quoted_field_bytes = Some(8 * 1024);
+    limits.max_file_wall = Some(Duration::from_secs(10));
+    limits
+}
+
+/// Outcome tally of a fuzz run.
+#[derive(Debug, Default, Clone)]
+pub struct FuzzReport {
+    /// Inputs that produced a structure.
+    pub ok: u64,
+    /// Inputs that produced a typed error, tallied by category.
+    pub errors: BTreeMap<&'static str, u64>,
+    /// Inputs that panicked — must be zero; kept as a count (with the
+    /// first offending index) so a soak reports all of them.
+    pub panics: u64,
+    /// Index of the first panicking input, for replay.
+    pub first_panic: Option<u64>,
+}
+
+impl FuzzReport {
+    /// Total number of inputs processed.
+    pub fn total(&self) -> u64 {
+        self.ok + self.errors.values().sum::<u64>() + self.panics
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        let errs: Vec<String> = self
+            .errors
+            .iter()
+            .map(|(cat, n)| format!("{cat}: {n}"))
+            .collect();
+        format!(
+            "{} inputs: {} ok, {} panics, errors {{{}}}",
+            self.total(),
+            self.ok,
+            self.panics,
+            errs.join(", ")
+        )
+    }
+}
+
+/// Feed one input through guarded structure detection, recording the
+/// outcome. Panics are caught and tallied, never propagated — the soak
+/// keeps going to find every offending input, not just the first.
+pub fn run_one(model: &Strudel, input: &[u8], limits: &Limits, i: u64, report: &mut FuzzReport) {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        model.try_detect_structure_bytes(input, limits).map(|_| ())
+    }));
+    match result {
+        Ok(Ok(())) => report.ok += 1,
+        Ok(Err(e)) => *report.errors.entry(e.category()).or_insert(0) += 1,
+        Err(_) => {
+            report.panics += 1;
+            report.first_panic.get_or_insert(i);
+        }
+    }
+}
+
+/// Run `iterations` seeded adversarial inputs through the pipeline under
+/// `limits` and tally the outcomes.
+pub fn run(model: &Strudel, seed: u64, iterations: u64, limits: &Limits) -> FuzzReport {
+    let bases = base_inputs();
+    let mut report = FuzzReport::default();
+    for i in 0..iterations {
+        let input = mutated_input(&bases, seed, i);
+        run_one(model, &input, limits, i, &mut report);
+    }
+    report
+}
+
+/// One probe input per [`LimitKind`]: a `(kind, limits, input)` triple
+/// whose detection must fail with exactly `LimitExceeded { limit: kind }`.
+/// The smoke test runs all of them so every configured limit is known to
+/// actually fire, not just to exist.
+pub fn limit_probes() -> Vec<(LimitKind, Limits, Vec<u8>)> {
+    let base = Limits::unbounded;
+    let csv = |rows: usize, cols: usize| -> Vec<u8> {
+        let row = vec!["v"; cols].join(",");
+        let mut out = String::new();
+        for _ in 0..rows {
+            out.push_str(&row);
+            out.push('\n');
+        }
+        out.into_bytes()
+    };
+    vec![
+        (
+            LimitKind::InputBytes,
+            {
+                let mut l = base();
+                l.max_input_bytes = Some(8);
+                l
+            },
+            b"a,b\n1,2\n3,4\n".to_vec(),
+        ),
+        (
+            LimitKind::LineBytes,
+            {
+                let mut l = base();
+                l.max_line_bytes = Some(16);
+                l
+            },
+            format!("a,b\n{},end\n", "x".repeat(64)).into_bytes(),
+        ),
+        (
+            LimitKind::Rows,
+            {
+                let mut l = base();
+                l.max_rows = Some(4);
+                l
+            },
+            csv(10, 2),
+        ),
+        (
+            LimitKind::Cols,
+            {
+                let mut l = base();
+                l.max_cols = Some(4);
+                l
+            },
+            csv(2, 10),
+        ),
+        (
+            LimitKind::Cells,
+            {
+                let mut l = base();
+                l.max_cells = Some(16);
+                l
+            },
+            csv(10, 5),
+        ),
+        (
+            LimitKind::QuotedFieldBytes,
+            {
+                let mut l = base();
+                l.max_quoted_field_bytes = Some(16);
+                l
+            },
+            format!("a,\"{}\"\n", "q".repeat(64)).into_bytes(),
+        ),
+        (
+            LimitKind::WallClock,
+            {
+                let mut l = base();
+                l.max_file_wall = Some(Duration::ZERO);
+                l
+            },
+            csv(50, 3),
+        ),
+    ]
+}
+
+/// Assert that every limit probe fails with its own limit kind. Returns
+/// the offending description on failure (used by both the smoke test and
+/// the soak binary).
+pub fn check_limit_probes(model: &Strudel) -> Result<(), String> {
+    for (kind, limits, input) in limit_probes() {
+        match model.try_detect_structure_bytes(&input, &limits) {
+            Err(StrudelError::LimitExceeded { limit, .. }) if limit == kind => {}
+            Err(e) => {
+                return Err(format!(
+                    "probe for {kind:?} failed with the wrong error: {e}"
+                ))
+            }
+            Ok(_) => return Err(format!("probe for {kind:?} did not trip its limit")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutated_inputs_are_deterministic() {
+        let bases = base_inputs();
+        for i in 0..32 {
+            assert_eq!(
+                mutated_input(&bases, 99, i),
+                mutated_input(&bases, 99, i),
+                "input {i} not reproducible"
+            );
+        }
+    }
+
+    #[test]
+    fn bases_are_nonempty_and_varied() {
+        let bases = base_inputs();
+        assert!(bases.len() > 12);
+        assert!(bases.iter().any(|b| b.is_empty()));
+        assert!(bases.iter().any(|b| b.len() > 200));
+    }
+
+    #[test]
+    fn mutation_engine_visits_every_operator() {
+        // With 500 draws, every operator index should have been chosen.
+        let mut seen = [false; N_MUTATIONS];
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..500 {
+            // Mirror the operator draw in mutate_once.
+            seen[rng.gen_range(0..N_MUTATIONS)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,72 @@
+//! `strudel-fuzz` — unbounded soak mode of the adversarial harness.
+//!
+//! ```text
+//! strudel-fuzz [SEED] [ITERATIONS]
+//! ```
+//!
+//! Runs seeded mutated inputs through guarded structure detection until
+//! `ITERATIONS` is reached (default: run forever, reporting every 10k
+//! inputs). Exits non-zero as soon as a panic or a limit-probe failure
+//! is observed; the printed seed and input index replay the failure
+//! deterministically.
+
+use strudel_fuzz::{
+    base_inputs, check_limit_probes, fuzz_limits, fuzz_model, mutated_input, run_one, FuzzReport,
+};
+
+fn main() -> std::process::ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let seed: u64 = argv
+        .next()
+        .map(|s| s.parse().expect("SEED must be an integer"))
+        .unwrap_or(0xC0FFEE);
+    let iterations: Option<u64> = argv
+        .next()
+        .map(|s| s.parse().expect("ITERATIONS must be an integer"));
+
+    eprintln!("fitting fuzz model ...");
+    let model = fuzz_model();
+
+    if let Err(msg) = check_limit_probes(&model) {
+        eprintln!("limit probe failure: {msg}");
+        return std::process::ExitCode::FAILURE;
+    }
+    eprintln!("limit probes ok; soaking with seed {seed} ...");
+
+    // Panics are tallied by the harness; silence the default hook's
+    // backtrace spam so the report stays readable.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let bases = base_inputs();
+    let limits = fuzz_limits();
+    let mut report = FuzzReport::default();
+    let mut i: u64 = 0;
+    loop {
+        if iterations.is_some_and(|n| i >= n) {
+            break;
+        }
+        let input = mutated_input(&bases, seed, i);
+        run_one(&model, &input, &limits, i, &mut report);
+        i += 1;
+        if i.is_multiple_of(10_000) {
+            eprintln!("{}", report.summary());
+        }
+        if report.panics > 0 {
+            break;
+        }
+    }
+    let _ = std::panic::take_hook();
+
+    eprintln!("{}", report.summary());
+    if report.panics > 0 {
+        eprintln!(
+            "PANIC on input {} (replay: strudel-fuzz {seed} and inspect \
+             mutated_input(&bases, {seed}, {}))",
+            report.first_panic.unwrap(),
+            report.first_panic.unwrap(),
+        );
+        std::process::ExitCode::FAILURE
+    } else {
+        std::process::ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,78 @@
+//! Bounded, reproducible fuzz smoke test — part of tier-1.
+//!
+//! Fixed seed, a few thousand mutated inputs: guarded structure
+//! detection must return `Ok` or a typed `StrudelError` for every one of
+//! them, with zero panics. `FUZZ_ITERS` scales the run up (CI sets
+//! `FUZZ_SMOKE=1` with the default count; a nightly soak can use more,
+//! or run the unbounded `strudel-fuzz` binary via `scripts/fuzz.sh`).
+
+use strudel_fuzz::{check_limit_probes, fuzz_limits, fuzz_model, run};
+use strudel_table::Limits;
+
+const SEED: u64 = 0xC0FFEE;
+
+#[test]
+fn every_mutated_input_yields_ok_or_typed_error() {
+    let iterations: u64 = std::env::var("FUZZ_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_500);
+    let model = fuzz_model();
+
+    // Under the tight fuzz limits: inputs may be rejected, never panic.
+    let bounded = run(&model, SEED, iterations, &fuzz_limits());
+    assert_eq!(
+        bounded.panics,
+        0,
+        "panic on input {:?}: {}",
+        bounded.first_panic,
+        bounded.summary()
+    );
+    assert_eq!(bounded.total(), iterations);
+    // The corpus must exercise both sides of the contract.
+    assert!(bounded.ok > 0, "no input survived: {}", bounded.summary());
+    assert!(
+        !bounded.errors.is_empty(),
+        "no input was rejected: {}",
+        bounded.summary()
+    );
+    // Mutations splice NULs and invalid UTF-8 into most bases, so the
+    // dialect (binary) and parse (UTF-8) categories must both appear.
+    assert!(
+        bounded.errors.contains_key("dialect"),
+        "{}",
+        bounded.summary()
+    );
+    assert!(
+        bounded.errors.contains_key("parse"),
+        "{}",
+        bounded.summary()
+    );
+    assert!(
+        bounded.errors.contains_key("limit"),
+        "{}",
+        bounded.summary()
+    );
+
+    // Unbounded (legacy-equivalent) limits: still no panics, and only
+    // UTF-8 decoding may reject an input.
+    let unbounded = run(&model, SEED, iterations.min(1_000), &Limits::unbounded());
+    assert_eq!(
+        unbounded.panics,
+        0,
+        "panic on input {:?}: {}",
+        unbounded.first_panic,
+        unbounded.summary()
+    );
+    assert!(
+        unbounded.errors.keys().all(|&cat| cat == "parse"),
+        "unbounded run must only reject invalid UTF-8: {}",
+        unbounded.summary()
+    );
+}
+
+#[test]
+fn every_configured_limit_fires() {
+    let model = fuzz_model();
+    check_limit_probes(&model).unwrap();
+}

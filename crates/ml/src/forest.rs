@@ -234,6 +234,21 @@ impl RandomForest {
         self.n_classes
     }
 
+    /// Highest feature index referenced by any split node across all
+    /// trees, or `None` for a forest of pure leaves. Deserialized models
+    /// are validated against the feature arity of their pipeline stage
+    /// with this; an out-of-range index would panic at predict time.
+    pub fn max_feature_index(&self) -> Option<usize> {
+        self.trees
+            .iter()
+            .flat_map(|t| t.raw_parts().0)
+            .filter_map(|node| match node {
+                crate::tree::RawNode::Split { feature, .. } => Some(*feature),
+                crate::tree::RawNode::Leaf { .. } => None,
+            })
+            .max()
+    }
+
     /// Per-feature mean decrease in impurity averaged over trees,
     /// normalised to sum 1 — scikit-learn's `feature_importances_`.
     /// `None` when any tree was rebuilt from serialized form (training

@@ -1,0 +1,477 @@
+//! Typed errors and resource limits for the whole Strudel pipeline.
+//!
+//! The paper's corpora are verbose CSV files scraped from open-data
+//! portals — untrusted input that routinely violates RFC 4180. A
+//! production pipeline must degrade gracefully on such files: every
+//! stage reports failure through [`StrudelError`] instead of panicking,
+//! and [`Limits`] bounds the resources one pathological file may consume
+//! (bytes, rows, columns, cells, and — in the batch engine — wall-clock
+//! time), so a single adversarial input can neither OOM nor stall a
+//! batch.
+//!
+//! The type lives in `strudel-table` because this crate is the root of
+//! the workspace dependency graph; `strudel-dialect` and `strudel`
+//! re-export it.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Which configured resource limit a [`StrudelError::LimitExceeded`]
+/// refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LimitKind {
+    /// Total input size in bytes ([`Limits::max_input_bytes`]).
+    InputBytes,
+    /// Length of a single physical line in bytes
+    /// ([`Limits::max_line_bytes`]).
+    LineBytes,
+    /// Number of parsed records ([`Limits::max_rows`]).
+    Rows,
+    /// Number of fields in a single record ([`Limits::max_cols`]).
+    Cols,
+    /// Total cells of the padded grid ([`Limits::max_cells`]).
+    Cells,
+    /// Length of a single quoted field in bytes
+    /// ([`Limits::max_quoted_field_bytes`]).
+    QuotedFieldBytes,
+    /// Per-file wall-clock budget ([`Limits::max_file_wall`]).
+    WallClock,
+}
+
+impl LimitKind {
+    /// Stable lower-case name used in reports and error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            LimitKind::InputBytes => "input_bytes",
+            LimitKind::LineBytes => "line_bytes",
+            LimitKind::Rows => "rows",
+            LimitKind::Cols => "cols",
+            LimitKind::Cells => "cells",
+            LimitKind::QuotedFieldBytes => "quoted_field_bytes",
+            LimitKind::WallClock => "wall_clock_ms",
+        }
+    }
+}
+
+impl fmt::Display for LimitKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Typed failure of any Strudel pipeline stage.
+///
+/// Every variant carries enough context to locate the failure: the input
+/// identifier (filled in by the layer that knows it, see
+/// [`with_file`](StrudelError::with_file)) and, where meaningful, line
+/// and byte positions. [`category`](StrudelError::category) gives the
+/// stable name used in `BatchReport` JSON and for CLI exit codes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StrudelError {
+    /// Dialect detection failed — e.g. the input is binary data (NUL
+    /// bytes) for which no CSV dialect is meaningful.
+    Dialect {
+        /// Input identifier, when known.
+        file: Option<String>,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The input could not be parsed as delimited text (e.g. invalid
+    /// UTF-8).
+    Parse {
+        /// Input identifier, when known.
+        file: Option<String>,
+        /// 0-based line at which parsing failed.
+        line: u64,
+        /// Byte offset of the failure within the input.
+        byte: u64,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The parsed records could not be assembled into a table grid.
+    Table {
+        /// Input identifier, when known.
+        file: Option<String>,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A configured [`Limits`] bound was exceeded.
+    LimitExceeded {
+        /// Input identifier, when known.
+        file: Option<String>,
+        /// Which limit.
+        limit: LimitKind,
+        /// Observed value (best effort — the stage stops at the first
+        /// violation, so this is at least `max + 1`).
+        actual: u64,
+        /// The configured bound.
+        max: u64,
+    },
+    /// A serialized model could not be loaded (bad magic, unsupported
+    /// version, truncation, or internally inconsistent contents).
+    Model {
+        /// Model file path, when known.
+        file: Option<String>,
+        /// What went wrong.
+        reason: String,
+    },
+    /// An I/O operation failed.
+    Io {
+        /// File path, when known.
+        file: Option<String>,
+        /// What went wrong (rendered `std::io::Error`).
+        reason: String,
+    },
+    /// A panic escaped a pipeline stage and was caught at the batch
+    /// worker boundary — always a bug, kept as the last resort so one
+    /// file cannot take down a batch.
+    Internal {
+        /// Input identifier, when known.
+        file: Option<String>,
+        /// The panic message, best effort.
+        reason: String,
+    },
+}
+
+impl StrudelError {
+    /// Stable lower-case category name (used in `BatchReport` JSON and
+    /// mapped to CLI exit codes).
+    pub fn category(&self) -> &'static str {
+        match self {
+            StrudelError::Dialect { .. } => "dialect",
+            StrudelError::Parse { .. } => "parse",
+            StrudelError::Table { .. } => "table",
+            StrudelError::LimitExceeded { .. } => "limit",
+            StrudelError::Model { .. } => "model",
+            StrudelError::Io { .. } => "io",
+            StrudelError::Internal { .. } => "internal",
+        }
+    }
+
+    /// The input identifier attached to this error, if any.
+    pub fn file(&self) -> Option<&str> {
+        match self {
+            StrudelError::Dialect { file, .. }
+            | StrudelError::Parse { file, .. }
+            | StrudelError::Table { file, .. }
+            | StrudelError::LimitExceeded { file, .. }
+            | StrudelError::Model { file, .. }
+            | StrudelError::Io { file, .. }
+            | StrudelError::Internal { file, .. } => file.as_deref(),
+        }
+    }
+
+    /// Attach (or replace) the input identifier — used by the layers
+    /// that know the file name (batch engine, CLI) to contextualise
+    /// errors produced deeper in the pipeline.
+    pub fn with_file(mut self, name: impl Into<String>) -> StrudelError {
+        let name = name.into();
+        match &mut self {
+            StrudelError::Dialect { file, .. }
+            | StrudelError::Parse { file, .. }
+            | StrudelError::Table { file, .. }
+            | StrudelError::LimitExceeded { file, .. }
+            | StrudelError::Model { file, .. }
+            | StrudelError::Io { file, .. }
+            | StrudelError::Internal { file, .. } => *file = Some(name),
+        }
+        self
+    }
+
+    /// Shorthand constructor for a limit violation without file context.
+    pub fn limit(limit: LimitKind, actual: u64, max: u64) -> StrudelError {
+        StrudelError::LimitExceeded {
+            file: None,
+            limit,
+            actual,
+            max,
+        }
+    }
+
+    /// Wrap an [`std::io::Error`] with optional file context.
+    pub fn io(err: &std::io::Error, file: Option<&str>) -> StrudelError {
+        StrudelError::Io {
+            file: file.map(str::to_string),
+            reason: err.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for StrudelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let file = |file: &Option<String>| match file {
+            Some(name) => format!("{name}: "),
+            None => String::new(),
+        };
+        match self {
+            StrudelError::Dialect { file: fl, reason } => {
+                write!(f, "{}dialect detection failed: {reason}", file(fl))
+            }
+            StrudelError::Parse {
+                file: fl,
+                line,
+                byte,
+                reason,
+            } => write!(
+                f,
+                "{}parse error at line {line}, byte {byte}: {reason}",
+                file(fl)
+            ),
+            StrudelError::Table { file: fl, reason } => {
+                write!(f, "{}table construction failed: {reason}", file(fl))
+            }
+            StrudelError::LimitExceeded {
+                file: fl,
+                limit,
+                actual,
+                max,
+            } => write!(f, "{}limit exceeded: {limit} {actual} > {max}", file(fl)),
+            StrudelError::Model { file: fl, reason } => {
+                write!(f, "{}invalid model: {reason}", file(fl))
+            }
+            StrudelError::Io { file: fl, reason } => write!(f, "{}I/O error: {reason}", file(fl)),
+            StrudelError::Internal { file: fl, reason } => {
+                write!(f, "{}internal error (caught panic): {reason}", file(fl))
+            }
+        }
+    }
+}
+
+impl std::error::Error for StrudelError {}
+
+/// Resource limits enforced in the pipeline's hot paths.
+///
+/// Every field is optional; `None` disables that bound.
+/// [`Limits::unbounded`] disables all of them (the behaviour of the
+/// infallible legacy API), [`Limits::default`] applies production
+/// defaults generous enough for any legitimate verbose CSV file while
+/// keeping one pathological file from exhausting memory or stalling a
+/// batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum input size in bytes.
+    pub max_input_bytes: Option<u64>,
+    /// Maximum length of a single physical line in bytes.
+    pub max_line_bytes: Option<u64>,
+    /// Maximum number of parsed records.
+    pub max_rows: Option<u64>,
+    /// Maximum number of fields in a single record.
+    pub max_cols: Option<u64>,
+    /// Maximum cells of the padded grid (`rows × widest row`).
+    pub max_cells: Option<u64>,
+    /// Maximum length of a single quoted field in bytes (an unterminated
+    /// quote swallows the rest of the file; this caps the damage).
+    pub max_quoted_field_bytes: Option<u64>,
+    /// Per-file wall-clock budget, enforced at stage boundaries and
+    /// periodically inside the parser loop.
+    pub max_file_wall: Option<Duration>,
+    /// Reject inputs containing NUL bytes before dialect detection
+    /// (binary data masquerading as text).
+    pub reject_binary: bool,
+}
+
+impl Limits {
+    /// No limits at all — the behaviour of the infallible legacy API.
+    /// With unbounded limits the fallible entry points cannot fail on
+    /// valid UTF-8 input.
+    pub fn unbounded() -> Limits {
+        Limits {
+            max_input_bytes: None,
+            max_line_bytes: None,
+            max_rows: None,
+            max_cols: None,
+            max_cells: None,
+            max_quoted_field_bytes: None,
+            max_file_wall: None,
+            reject_binary: false,
+        }
+    }
+
+    /// Production defaults: 256 MiB input, 16 MiB lines and quoted
+    /// fields, 4M rows, 16k columns, 64M cells, 60 s per file, binary
+    /// rejection on.
+    pub fn standard() -> Limits {
+        Limits {
+            max_input_bytes: Some(256 << 20),
+            max_line_bytes: Some(16 << 20),
+            max_rows: Some(4_000_000),
+            max_cols: Some(16_384),
+            max_cells: Some(64_000_000),
+            max_quoted_field_bytes: Some(16 << 20),
+            max_file_wall: Some(Duration::from_secs(60)),
+            reject_binary: true,
+        }
+    }
+
+    /// Start the wall-clock budget now, yielding the [`Deadline`] to
+    /// thread through the stages.
+    pub fn start_deadline(&self) -> Deadline {
+        match self.max_file_wall {
+            Some(budget) => Deadline::after(budget),
+            None => Deadline::none(),
+        }
+    }
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits::standard()
+    }
+}
+
+/// A wall-clock deadline threaded through pipeline stages.
+///
+/// Checked at stage boundaries and periodically inside the parser loop;
+/// an expired deadline surfaces as
+/// [`StrudelError::LimitExceeded`]`(WallClock)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    at: Option<Instant>,
+    budget: Duration,
+}
+
+impl Deadline {
+    /// No deadline: checks always pass.
+    pub fn none() -> Deadline {
+        Deadline {
+            at: None,
+            budget: Duration::ZERO,
+        }
+    }
+
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Deadline {
+        Deadline {
+            at: Some(Instant::now() + budget),
+            budget,
+        }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.at.is_some_and(|at| Instant::now() > at)
+    }
+
+    /// `Ok(())` while the deadline has not passed, the typed error
+    /// afterwards.
+    pub fn check(&self) -> Result<(), StrudelError> {
+        if self.expired() {
+            let max = self.budget.as_millis() as u64;
+            Err(StrudelError::limit(LimitKind::WallClock, max + 1, max))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_are_stable() {
+        let cases: Vec<(StrudelError, &str)> = vec![
+            (
+                StrudelError::Dialect {
+                    file: None,
+                    reason: "x".into(),
+                },
+                "dialect",
+            ),
+            (
+                StrudelError::Parse {
+                    file: None,
+                    line: 0,
+                    byte: 0,
+                    reason: "x".into(),
+                },
+                "parse",
+            ),
+            (
+                StrudelError::Table {
+                    file: None,
+                    reason: "x".into(),
+                },
+                "table",
+            ),
+            (StrudelError::limit(LimitKind::Rows, 11, 10), "limit"),
+            (
+                StrudelError::Model {
+                    file: None,
+                    reason: "x".into(),
+                },
+                "model",
+            ),
+            (
+                StrudelError::Io {
+                    file: None,
+                    reason: "x".into(),
+                },
+                "io",
+            ),
+            (
+                StrudelError::Internal {
+                    file: None,
+                    reason: "x".into(),
+                },
+                "internal",
+            ),
+        ];
+        for (err, want) in cases {
+            assert_eq!(err.category(), want);
+        }
+    }
+
+    #[test]
+    fn with_file_attaches_context() {
+        let err = StrudelError::limit(LimitKind::Cells, 100, 10).with_file("big.csv");
+        assert_eq!(err.file(), Some("big.csv"));
+        assert!(err.to_string().contains("big.csv"));
+        assert!(err.to_string().contains("cells"));
+    }
+
+    #[test]
+    fn unbounded_disables_everything() {
+        let l = Limits::unbounded();
+        assert!(l.max_input_bytes.is_none());
+        assert!(l.max_file_wall.is_none());
+        assert!(!l.reject_binary);
+        assert!(!l.start_deadline().expired());
+    }
+
+    #[test]
+    fn standard_defaults_are_finite() {
+        let l = Limits::default();
+        assert!(l.max_input_bytes.is_some());
+        assert!(l.max_rows.is_some());
+        assert!(l.reject_binary);
+    }
+
+    #[test]
+    fn expired_deadline_reports_wall_clock_limit() {
+        let d = Deadline::after(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(d.expired());
+        let err = d.check().unwrap_err();
+        assert!(matches!(
+            err,
+            StrudelError::LimitExceeded {
+                limit: LimitKind::WallClock,
+                ..
+            }
+        ));
+        assert!(Deadline::none().check().is_ok());
+    }
+
+    #[test]
+    fn display_renders_positions() {
+        let err = StrudelError::Parse {
+            file: Some("f.csv".into()),
+            line: 3,
+            byte: 120,
+            reason: "invalid UTF-8".into(),
+        };
+        let s = err.to_string();
+        assert!(s.contains("f.csv") && s.contains("line 3") && s.contains("byte 120"));
+    }
+}

@@ -27,11 +27,13 @@
 #![warn(missing_docs)]
 
 mod class;
+mod error;
 mod labeled;
 mod table;
 mod types;
 
 pub use class::{ElementClass, ParseClassError};
+pub use error::{Deadline, LimitKind, Limits, StrudelError};
 pub use labeled::{CellLabels, Corpus, CorpusStats, LabeledFile};
 pub use table::{Cell, Table};
 pub use types::{is_date, parse_number, DataType, ParsedNumber};

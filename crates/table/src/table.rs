@@ -5,6 +5,7 @@
 //! cached numeric values. Rows shorter than the widest row are padded with
 //! empty cells so that column-wise operations are always well defined.
 
+use crate::error::{LimitKind, Limits, StrudelError};
 use crate::types::{parse_number, DataType};
 
 /// A single cell: its raw text, inferred type, and numeric value (if any).
@@ -122,6 +123,45 @@ impl Table {
             n_rows,
             n_cols,
         }
+    }
+
+    /// [`Table::from_rows`] with [`Limits`] enforced *before* the padded
+    /// grid is allocated: a few ragged records can imply a grid orders of
+    /// magnitude larger than the input text (`rows × widest row`), so the
+    /// row/column/cell bounds must be checked against the implied
+    /// dimensions, not the raw cell count.
+    pub fn try_from_rows(rows: Vec<Vec<String>>, limits: &Limits) -> Result<Table, StrudelError> {
+        let n_cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+        let n_rows = rows.len();
+        if let Some(max) = limits.max_rows {
+            if n_rows as u64 > max {
+                return Err(StrudelError::limit(LimitKind::Rows, n_rows as u64, max));
+            }
+        }
+        if let Some(max) = limits.max_cols {
+            if n_cols as u64 > max {
+                return Err(StrudelError::limit(LimitKind::Cols, n_cols as u64, max));
+            }
+        }
+        let implied =
+            (n_rows as u64)
+                .checked_mul(n_cols as u64)
+                .ok_or_else(|| StrudelError::Table {
+                    file: None,
+                    reason: format!("grid dimensions {n_rows}x{n_cols} overflow"),
+                })?;
+        if let Some(max) = limits.max_cells {
+            if implied > max {
+                return Err(StrudelError::limit(LimitKind::Cells, implied, max));
+            }
+        }
+        if usize::try_from(implied).is_err() {
+            return Err(StrudelError::Table {
+                file: None,
+                reason: format!("grid of {implied} cells exceeds the address space"),
+            });
+        }
+        Ok(Table::from_rows(rows))
     }
 
     /// Number of rows (lines) in the table.
@@ -419,5 +459,60 @@ mod tests {
         let t = sample();
         let col: Vec<&str> = t.column(0).map(Cell::raw).collect();
         assert_eq!(col, vec!["Title", "", "a", "b"]);
+    }
+
+    #[test]
+    fn try_from_rows_within_limits_matches_from_rows() {
+        let rows = vec![
+            vec!["a".to_string(), "b".to_string()],
+            vec!["1".to_string()],
+        ];
+        let t = Table::try_from_rows(rows.clone(), &Limits::default()).unwrap();
+        assert_eq!(t, Table::from_rows(rows));
+        assert!(Table::try_from_rows(Vec::new(), &Limits::default()).is_ok());
+    }
+
+    #[test]
+    fn try_from_rows_enforces_row_col_and_cell_bounds() {
+        let row = |n: usize| vec![String::from("x"); n];
+        let mut limits = Limits::unbounded();
+        limits.max_rows = Some(2);
+        let err = Table::try_from_rows(vec![row(1), row(1), row(1)], &limits).unwrap_err();
+        assert!(matches!(
+            err,
+            StrudelError::LimitExceeded {
+                limit: LimitKind::Rows,
+                actual: 3,
+                max: 2,
+                ..
+            }
+        ));
+
+        let mut limits = Limits::unbounded();
+        limits.max_cols = Some(2);
+        let err = Table::try_from_rows(vec![row(3)], &limits).unwrap_err();
+        assert!(matches!(
+            err,
+            StrudelError::LimitExceeded {
+                limit: LimitKind::Cols,
+                ..
+            }
+        ));
+
+        // The cell bound applies to the *padded* grid: one wide row plus
+        // many short ones implies rows × widest cells.
+        let mut limits = Limits::unbounded();
+        limits.max_cells = Some(10);
+        let ragged = vec![row(6), row(1), row(1)]; // implied 3 × 6 = 18
+        let err = Table::try_from_rows(ragged, &limits).unwrap_err();
+        assert!(matches!(
+            err,
+            StrudelError::LimitExceeded {
+                limit: LimitKind::Cells,
+                actual: 18,
+                max: 10,
+                ..
+            }
+        ));
     }
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Adversarial fuzzing of the Strudel pipeline.
+#
+#   scripts/fuzz.sh                 # unbounded soak, random-ish seed
+#   scripts/fuzz.sh 1234            # unbounded soak, fixed seed
+#   scripts/fuzz.sh 1234 100000     # bounded run (CI / pre-commit)
+#   FUZZ_SMOKE=1 scripts/fuzz.sh    # quick bounded smoke (fixed seed)
+#
+# The harness is fully deterministic per seed: any reported failing
+# input index replays exactly. Exits non-zero on the first panic or
+# limit-probe failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${FUZZ_SMOKE:-0}" == "1" ]]; then
+  exec cargo run --release -p strudel-fuzz -- 12648430 25000
+fi
+
+seed="${1:-$(date +%s)}"
+iters="${2:-}"
+exec cargo run --release -p strudel-fuzz -- "$seed" ${iters:+"$iters"}

@@ -180,6 +180,128 @@ fn corpus_disk_roundtrip_feeds_training() {
     assert_eq!(s.lines.len(), 3);
 }
 
+/// Render the detected structure as JSON for the golden snapshots:
+/// dialect delimiter, one line class per row (null for empty rows), and
+/// the cells whose class differs from their line class.
+fn structure_to_json(structure: &strudel_repro::strudel::Structure) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    out.push_str("{\n");
+    writeln!(
+        out,
+        "  \"delimiter\": \"{}\",",
+        structure.dialect.delimiter.escape_default()
+    )
+    .unwrap();
+    let lines: Vec<String> = structure
+        .lines
+        .iter()
+        .map(|l| match l {
+            Some(c) => format!("\"{}\"", c.name()),
+            None => "null".to_string(),
+        })
+        .collect();
+    writeln!(out, "  \"lines\": [{}],", lines.join(", ")).unwrap();
+    out.push_str("  \"cells\": [\n");
+    let diff: Vec<String> = structure
+        .cells
+        .iter()
+        .filter(|cell| Some(cell.class) != structure.lines[cell.row])
+        .map(|cell| {
+            format!(
+                "    {{\"row\": {}, \"col\": {}, \"class\": \"{}\"}}",
+                cell.row,
+                cell.col,
+                cell.class.name()
+            )
+        })
+        .collect();
+    out.push_str(&diff.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Tokenize JSON structurally: strings stay intact (with escapes),
+/// whitespace between tokens is insignificant. Golden files can be
+/// reformatted by hand without breaking the comparison.
+fn json_tokens(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(ch) = chars.next() {
+        match ch {
+            c if c.is_whitespace() => {}
+            '"' => {
+                let mut s = String::from('"');
+                while let Some(c) = chars.next() {
+                    s.push(c);
+                    if c == '\\' {
+                        s.extend(chars.next());
+                    } else if c == '"' {
+                        break;
+                    }
+                }
+                tokens.push(s);
+            }
+            '{' | '}' | '[' | ']' | ':' | ',' => tokens.push(ch.to_string()),
+            c => {
+                // Number / literal token.
+                let mut s = String::from(c);
+                while let Some(&n) = chars.peek() {
+                    if n.is_whitespace() || "{}[]:,\"".contains(n) {
+                        break;
+                    }
+                    s.push(n);
+                    chars.next();
+                }
+                tokens.push(s);
+            }
+        }
+    }
+    tokens
+}
+
+#[test]
+fn golden_structure_snapshots() {
+    // Small verbose files with known shapes: stacked tables, trailing
+    // notes, derived totals, and degenerate inputs (empty, header-only,
+    // BOM-prefixed). The detected structure is frozen as JSON; behavior
+    // drift fails the test. To accept intended changes:
+    //   GOLDEN_REGEN=1 cargo test --test end_to_end golden
+    let corpus = saus(&GeneratorConfig {
+        n_files: 28,
+        seed: 53,
+        scale: 0.25,
+    });
+    let model = Strudel::fit(&corpus.files, &fast_config(30, 13));
+
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let regen = std::env::var("GOLDEN_REGEN").is_ok();
+    let mut failures = Vec::new();
+    for name in [
+        "multi_table",
+        "notes_trailing",
+        "derived_rows",
+        "empty",
+        "header_only",
+        "bom_prefixed",
+    ] {
+        let text = std::fs::read_to_string(dir.join(format!("{name}.csv"))).unwrap();
+        let rendered = structure_to_json(&model.detect_structure(&text));
+        let expected_path = dir.join(format!("{name}.expected.json"));
+        if regen {
+            std::fs::write(&expected_path, &rendered).unwrap();
+            continue;
+        }
+        let expected = std::fs::read_to_string(&expected_path).unwrap();
+        if json_tokens(&expected) != json_tokens(&rendered) {
+            failures.push(format!(
+                "golden mismatch for {name}:\n--- expected ---\n{expected}\n--- got ---\n{rendered}"
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n\n"));
+}
+
 #[test]
 fn relational_extraction_from_detected_structure() {
     use strudel_repro::strudel::to_relational;

@@ -194,7 +194,7 @@ proptest! {
             .map(|(i, t)| BatchInput::text(format!("grid-{i}"), t.clone()))
             .collect();
         let n_threads = if four_threads { 4 } else { 1 };
-        let result = detect_all(model, &inputs, &BatchConfig { n_threads });
+        let result = detect_all(model, &inputs, &BatchConfig { n_threads, ..BatchConfig::default() });
         prop_assert_eq!(result.report.n_failed(), 0);
         prop_assert_eq!(result.structures.len(), texts.len());
         for (got, text) in result.structures.iter().zip(&texts) {
