@@ -27,6 +27,16 @@ pub struct Options {
     pub threads: usize,
     /// `--cells` — also print per-cell predictions.
     pub cells: bool,
+    /// `--json` — print detection results as canonical structure JSON.
+    pub json: bool,
+    /// `--host H` — serve bind host.
+    pub host: String,
+    /// `--port N` — serve bind port (0 picks an ephemeral port).
+    pub port: u16,
+    /// `--queue N` — serve admission-queue capacity.
+    pub queue: usize,
+    /// `--cache N` — serve result-cache capacity (0 disables).
+    pub cache: usize,
     /// `--repair` — apply the Koci-style post-processing repair pass.
     pub repair: bool,
     /// `--max-bytes N` — override the per-file input size limit.
@@ -51,6 +61,10 @@ impl Options {
             seed: 42,
             scale: 0.3,
             trees: 50,
+            host: "127.0.0.1".to_string(),
+            port: 8080,
+            queue: 64,
+            cache: 256,
             ..Options::default()
         };
         while let Some(flag) = argv.next() {
@@ -73,7 +87,12 @@ impl Options {
                         .map_err(|_| "--threads: integer")?
                 }
                 "--cells" => o.cells = true,
+                "--json" => o.json = true,
                 "--repair" => o.repair = true,
+                "--host" => o.host = value("--host")?,
+                "--port" => o.port = value("--port")?.parse().map_err(|_| "--port: integer")?,
+                "--queue" => o.queue = value("--queue")?.parse().map_err(|_| "--queue: integer")?,
+                "--cache" => o.cache = value("--cache")?.parse().map_err(|_| "--cache: integer")?,
                 "--max-bytes" => {
                     o.max_bytes = Some(
                         value("--max-bytes")?
@@ -156,6 +175,26 @@ mod tests {
         assert_eq!(o.model.unwrap(), PathBuf::from("m.bin"));
         assert_eq!(o.inputs, vec![PathBuf::from("file.csv")]);
         assert!(o.cells);
+    }
+
+    #[test]
+    fn serve_flags() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.host, "127.0.0.1");
+        assert_eq!(o.port, 8080);
+        assert_eq!(o.queue, 64);
+        assert_eq!(o.cache, 256);
+        assert!(!o.json);
+        let o = parse(&[
+            "--host", "0.0.0.0", "--port", "0", "--queue", "8", "--cache", "0", "--json",
+        ])
+        .unwrap();
+        assert_eq!(o.host, "0.0.0.0");
+        assert_eq!(o.port, 0);
+        assert_eq!(o.queue, 8);
+        assert_eq!(o.cache, 0);
+        assert!(o.json);
+        assert!(parse(&["--port", "not-a-port"]).is_err());
     }
 
     #[test]

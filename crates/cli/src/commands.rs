@@ -86,6 +86,13 @@ pub fn detect(options: &Options) -> Result<(), CliError> {
         eprintln!("repair pass fixed {} cells", report.total());
     }
 
+    if options.json {
+        // The canonical machine-readable rendering — byte-identical to
+        // what `strudel serve` returns for the same bytes.
+        println!("{}", structure.to_json());
+        return Ok(());
+    }
+
     println!("dialect: {}", structure.dialect);
     for (r, class) in structure.lines.iter().enumerate() {
         let label = class.map_or("(empty)", |c| c.name());
@@ -253,6 +260,43 @@ pub fn batch(options: &Options) -> Result<(), CliError> {
         }
         None => println!("{json}"),
     }
+    Ok(())
+}
+
+/// `strudel serve [--model MODEL] [--host H --port N] [--threads N]
+/// [--queue N] [--cache N]`
+///
+/// Runs the resident classification daemon: loads the model once, binds
+/// the listener, prints the resolved address (machine-parseable, for
+/// ephemeral ports), and serves until `POST /admin/shutdown`.
+pub fn serve(options: &Options) -> Result<(), CliError> {
+    use std::io::Write;
+    use strudel_server::{Server, ServerConfig};
+    let model = model_from(options)?;
+    let config = ServerConfig {
+        addr: format!("{}:{}", options.host, options.port),
+        n_workers: options.threads,
+        queue_capacity: options.queue,
+        cache_capacity: options.cache,
+        limits: options.limits(),
+        model_path: options.model.clone(),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(model, &config)
+        .map_err(|e| CliError::Pipeline(strudel::StrudelError::io(&e, Some(&config.addr))))?;
+    println!(
+        "strudel serve listening on http://{} ({} workers, queue {}, cache {})",
+        server.local_addr(),
+        server.n_workers(),
+        options.queue,
+        options.cache,
+    );
+    // The line above is the startup handshake for scripts (`--port 0`
+    // prints the ephemeral port); make sure it is on the wire before
+    // blocking in the accept loop.
+    std::io::stdout().flush().ok();
+    server.run();
+    eprintln!("strudel serve: drained and shut down cleanly");
     Ok(())
 }
 

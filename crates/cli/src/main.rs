@@ -7,6 +7,7 @@
 //! strudel extract --model model.strudel file.csv            # print the clean data table
 //! strudel eval    --model model.strudel --corpus corpus/    # score against annotations
 //! strudel batch   --model model.strudel --threads 8 dir/    # batch-classify, JSON report
+//! strudel serve   --model model.strudel --port 8080         # resident classification daemon
 //! ```
 
 use std::fmt;
@@ -98,6 +99,7 @@ fn main() -> ExitCode {
         "segments" => commands::segments(&options),
         "eval" => commands::eval(&options),
         "batch" => commands::batch(&options),
+        "serve" => commands::serve(&options),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -119,16 +121,34 @@ strudel — structure detection in verbose CSV files (EDBT 2021)
 USAGE:
   strudel synth   --dataset NAME --out DIR [--files N] [--seed K] [--scale S]
   strudel train   --corpus DIR --out MODEL [--trees N] [--seed K]
-  strudel detect  [--model MODEL] FILE [--cells] [--repair]
+  strudel detect  [--model MODEL] FILE [--cells] [--repair] [--json]
   strudel extract [--model MODEL] FILE
   strudel segments [--model MODEL] FILE
   strudel eval    --model MODEL --corpus DIR
   strudel batch   [--model MODEL] [--threads N] [--out FILE] DIR|FILE...
+  strudel serve   [--model MODEL] [--host H] [--port N] [--threads N]
+                  [--queue N] [--cache N]
 
-Without --model, detect/extract train a default model on a synthetic
-corpus first (slower, but fully self-contained).
+Without --model, detect/extract/serve train a default model on a
+synthetic corpus first (slower, but fully self-contained).
 
-LIMITS (detect and batch):
+THREADS (batch and serve):
+  --threads N       worker threads; 0 (the default) resolves via the
+                    STRUDEL_THREADS environment variable, then the
+                    machine's available parallelism
+
+SERVING:
+  --host H          bind host                        [default 127.0.0.1]
+  --port N          bind port, 0 = ephemeral         [default 8080]
+  --queue N         admission-queue capacity; overflow is shed
+                    with 503 + Retry-After           [default 64]
+  --cache N         result-cache entries, 0 disables [default 256]
+  Endpoints: POST /classify (CSV bytes -> structure JSON, identical to
+  `detect --json`), GET /healthz, GET /metrics (Prometheus text),
+  POST /admin/reload (validate + swap model), POST /admin/shutdown
+  (graceful, drains in-flight requests).
+
+LIMITS (detect, batch, and serve):
   --max-bytes N     per-file input size limit       [default 256 MiB]
   --max-rows N      parsed row limit                [default 4194304]
   --max-cells N     padded-grid cell limit          [default 67108864]
@@ -155,7 +175,11 @@ COMMANDS:
   eval      Score a model against an annotated corpus (per-class F1).
   batch     Detect structure for many files on a worker pool and emit a
             JSON report: per-stage timings, per-file outcomes (failures
-            included, they never abort the batch), and throughput.";
+            included, they never abort the batch), and throughput.
+  serve     Run the resident classification daemon: model loaded once
+            and kept warm, bounded worker pool with load shedding,
+            content-hash result cache, model hot-reload, Prometheus
+            metrics, graceful shutdown.";
 
 /// Train a model on a synthetic corpus when no `--model` is given.
 fn default_model() -> Strudel {

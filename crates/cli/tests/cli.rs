@@ -1,9 +1,13 @@
 //! End-to-end tests of the `strudel` binary: the synth → train → detect
-//! → extract → eval workflow over a temporary directory.
+//! → extract → eval workflow over a temporary directory, plus the
+//! `serve` daemon driven over loopback TCP.
 
 use std::fs;
-use std::path::PathBuf;
-use std::process::Command;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
 
 fn bin() -> Command {
     Command::new(env!("CARGO_BIN_EXE_strudel"))
@@ -239,6 +243,225 @@ fn batch_command_writes_json_report() {
     assert!(String::from_utf8_lossy(&out.stdout).is_empty());
     let json = fs::read_to_string(&report).unwrap();
     assert!(json.contains("\"files_per_second\""), "{json}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// Synthesize a small corpus and train a model into `dir`, returning
+/// the model path.
+fn train_tiny_model(dir: &Path) -> PathBuf {
+    let corpus = dir.join("corpus");
+    let model = dir.join("model.strudel");
+    assert!(bin()
+        .args([
+            "synth",
+            "--dataset",
+            "SAUS",
+            "--files",
+            "12",
+            "--scale",
+            "0.2"
+        ])
+        .arg("--out")
+        .arg(&corpus)
+        .status()
+        .unwrap()
+        .success());
+    assert!(bin()
+        .args(["train", "--trees", "12"])
+        .arg("--corpus")
+        .arg(&corpus)
+        .arg("--out")
+        .arg(&model)
+        .status()
+        .unwrap()
+        .success());
+    model
+}
+
+/// Kill the serve process if the test panics before shutting it down.
+struct ServeGuard(Child);
+
+impl Drop for ServeGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+    }
+}
+
+/// One HTTP exchange against the daemon, returning (status, body).
+fn http(addr: &str, method: &str, path: &str, body: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to daemon");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(
+            format!(
+                "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("write request");
+    stream.write_all(body).expect("write body");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8_lossy(&raw);
+    let (head, payload) = text.split_once("\r\n\r\n").expect("complete response");
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, payload.to_string())
+}
+
+#[test]
+fn serve_roundtrip_matches_detect_json() {
+    let dir = temp_dir("serve");
+    let model = train_tiny_model(&dir);
+    let probe = dir.join("probe.csv");
+    fs::write(
+        &probe,
+        "Survey of crime outcomes,,\n,,\n,Rate 1,Rate 2\nKent,12,34\nSurrey,56,78\nTotal,68,112\n,,\nSource: national statistics office,,\n",
+    )
+    .unwrap();
+
+    // The canonical one-shot rendering the daemon must reproduce.
+    let out = bin()
+        .args(["detect", "--json"])
+        .arg("--model")
+        .arg(&model)
+        .arg(&probe)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "detect --json failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let expected = String::from_utf8_lossy(&out.stdout).trim().to_string();
+    assert!(expected.starts_with('{'), "not JSON: {expected}");
+
+    // Start the daemon on an ephemeral port; --threads must show up in
+    // the resolved worker count on the handshake line.
+    let mut child = ServeGuard(
+        bin()
+            .args(["serve", "--port", "0", "--threads", "2", "--queue", "8"])
+            .arg("--model")
+            .arg(&model)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap(),
+    );
+    let mut handshake = String::new();
+    BufReader::new(child.0.stdout.take().unwrap())
+        .read_line(&mut handshake)
+        .unwrap();
+    assert!(
+        handshake.contains("strudel serve listening on http://"),
+        "handshake: {handshake}"
+    );
+    assert!(handshake.contains("(2 workers"), "handshake: {handshake}");
+    let addr = handshake
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("address in handshake")
+        .to_string();
+
+    let (status, body) = http(&addr, "GET", "/healthz", b"");
+    assert_eq!(status, 200);
+    assert_eq!(body, "ok\n");
+
+    // Served JSON is byte-identical to `detect --json` for the same bytes.
+    let csv = fs::read(&probe).unwrap();
+    let (status, body) = http(&addr, "POST", "/classify", &csv);
+    assert_eq!(status, 200, "classify body: {body}");
+    assert_eq!(body.trim(), expected);
+
+    let (status, metrics) = http(&addr, "GET", "/metrics", b"");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("strudel_requests_total{endpoint=\"classify\",outcome=\"ok\"} 1"));
+
+    let (status, body) = http(&addr, "POST", "/admin/shutdown", b"");
+    assert_eq!(status, 200, "shutdown body: {body}");
+    let exit = child.0.wait().unwrap();
+    assert!(exit.success(), "serve exited with {exit}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn threads_flag_and_env_are_respected() {
+    let dir = temp_dir("threads");
+    let model = train_tiny_model(&dir);
+    let corpus = dir.join("corpus");
+
+    // --threads pins the batch worker count in the report.
+    let out = bin()
+        .args(["batch", "--threads", "2"])
+        .arg("--model")
+        .arg(&model)
+        .arg(&corpus)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"n_threads\": 2"), "{stdout}");
+
+    // Without the flag, STRUDEL_THREADS decides.
+    let out = bin()
+        .arg("batch")
+        .env("STRUDEL_THREADS", "3")
+        .arg("--model")
+        .arg(&model)
+        .arg(&corpus)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"n_threads\": 3"), "{stdout}");
+
+    // The explicit flag beats the environment.
+    let out = bin()
+        .args(["batch", "--threads", "1"])
+        .env("STRUDEL_THREADS", "3")
+        .arg("--model")
+        .arg(&model)
+        .arg(&corpus)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"n_threads\": 1"), "{stdout}");
+
+    // serve resolves the same way: STRUDEL_THREADS sets the pool size
+    // when --threads is absent.
+    let mut child = ServeGuard(
+        bin()
+            .args(["serve", "--port", "0"])
+            .env("STRUDEL_THREADS", "3")
+            .arg("--model")
+            .arg(&model)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap(),
+    );
+    let mut handshake = String::new();
+    BufReader::new(child.0.stdout.take().unwrap())
+        .read_line(&mut handshake)
+        .unwrap();
+    assert!(handshake.contains("(3 workers"), "handshake: {handshake}");
+    let addr = handshake
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("address in handshake")
+        .to_string();
+    let (status, _) = http(&addr, "POST", "/admin/shutdown", b"");
+    assert_eq!(status, 200);
+    assert!(child.0.wait().unwrap().success());
     fs::remove_dir_all(&dir).ok();
 }
 

@@ -28,6 +28,7 @@
 //! println!("{}", result.report.to_json());
 //! ```
 
+use crate::json::json_string;
 use crate::metrics::{Stage, StageTimings};
 use crate::pipeline::{Structure, Strudel};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -159,15 +160,17 @@ impl BatchReport {
         self.outcomes.len() - self.n_ok()
     }
 
-    /// Aggregate throughput in files per second.
+    /// Aggregate throughput in files per second ([`rate`]; `0.0` when no
+    /// time has elapsed).
     pub fn files_per_second(&self) -> f64 {
-        self.outcomes.len() as f64 / self.wall.as_secs_f64().max(1e-9)
+        rate(self.outcomes.len() as f64, self.wall)
     }
 
-    /// Aggregate throughput in input bytes per second.
+    /// Aggregate throughput in input bytes per second ([`rate`]; `0.0`
+    /// when no time has elapsed).
     pub fn bytes_per_second(&self) -> f64 {
         let bytes: usize = self.outcomes.iter().map(|o| o.n_bytes).sum();
-        bytes as f64 / self.wall.as_secs_f64().max(1e-9)
+        rate(bytes as f64, self.wall)
     }
 
     /// Render the report as a JSON object (stable schema, documented in
@@ -226,23 +229,38 @@ impl BatchReport {
     }
 }
 
-/// Escape a string as a JSON string literal.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+/// Throughput as events per second: `count / elapsed`, with a guarded
+/// zero — an empty or instantaneous run reports `0.0` rather than an
+/// infinity or NaN. The shared helper behind
+/// [`BatchReport::files_per_second`] / [`bytes_per_second`]
+/// (BatchReport::bytes_per_second) and the `strudel serve` `/metrics`
+/// throughput gauges.
+pub fn rate(count: f64, elapsed: Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs <= 0.0 || count <= 0.0 {
+        0.0
+    } else {
+        count / secs
+    }
+}
+
+/// Resolve a requested worker-thread count to an effective one: an
+/// explicit request (> 0) wins, then a positive integer in the
+/// `STRUDEL_THREADS` environment variable, then the machine's available
+/// parallelism. The single source of truth behind the `--threads` flag
+/// of both `strudel batch` and `strudel serve`.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var("STRUDEL_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
         }
     }
-    out.push('"');
-    out
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Result of a batch run: one structure (or per-file typed error) per
@@ -264,13 +282,7 @@ pub struct BatchResult {
 /// *which* input they claim next.
 pub fn detect_all(model: &Strudel, inputs: &[BatchInput], config: &BatchConfig) -> BatchResult {
     let start = Instant::now();
-    let threads = if config.n_threads == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    } else {
-        config.n_threads
-    }
-    .min(inputs.len())
-    .max(1);
+    let threads = resolve_threads(config.n_threads).min(inputs.len()).max(1);
     // With several file-level workers, per-file inference stays on one
     // thread; a single worker may fan out over samples instead.
     let inner_threads = if threads > 1 { 1 } else { 0 };
@@ -595,9 +607,43 @@ mod tests {
     }
 
     #[test]
-    fn json_string_escapes_controls() {
-        assert_eq!(json_string("plain"), "\"plain\"");
-        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
-        assert_eq!(json_string("x\u{1}y"), "\"x\\u0001y\"");
+    fn throughput_guards_zero_elapsed() {
+        // A report whose wall clock never advanced (possible on coarse
+        // timers, or when rendering metrics immediately after startup)
+        // must report zero throughput, not inf/NaN — `strudel serve`
+        // renders these numbers into /metrics where NaN is invalid.
+        let report = BatchReport {
+            stage_timings: StageTimings::default(),
+            outcomes: vec![FileOutcome {
+                id: "x".into(),
+                n_rows: 1,
+                n_cells: 1,
+                n_bytes: 100,
+                elapsed: Duration::ZERO,
+                error: None,
+                category: None,
+            }],
+            wall: Duration::ZERO,
+            n_threads: 1,
+        };
+        assert_eq!(report.files_per_second(), 0.0);
+        assert_eq!(report.bytes_per_second(), 0.0);
+        assert!(report.files_per_second().is_finite());
+
+        // The shared helper itself: zero elapsed, zero count, and the
+        // normal case.
+        assert_eq!(rate(5.0, Duration::ZERO), 0.0);
+        assert_eq!(rate(0.0, Duration::from_secs(2)), 0.0);
+        assert_eq!(rate(6.0, Duration::from_secs(2)), 3.0);
+    }
+
+    #[test]
+    fn resolve_threads_explicit_request_wins() {
+        // The env fallback is exercised end-to-end by the CLI tests
+        // (subprocess-scoped env); in-process we only pin the explicit
+        // path, which must ignore the environment entirely.
+        assert_eq!(resolve_threads(3), 3);
+        assert_eq!(resolve_threads(1), 1);
+        assert!(resolve_threads(0) >= 1);
     }
 }

@@ -50,6 +50,7 @@ mod cell_features;
 mod column;
 mod derived;
 mod extract;
+mod json;
 mod keywords;
 mod line_classifier;
 mod line_features;

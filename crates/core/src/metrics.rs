@@ -106,11 +106,60 @@ impl StageTimings {
     }
 
     /// Fold another accumulator into this one (used to merge per-worker
-    /// timings after a batch run).
+    /// timings after a batch run, and by concurrent sinks such as the
+    /// `strudel serve` metrics registry). Merging is commutative and
+    /// order-independent: any partition of the same observations into
+    /// accumulators folds to the same result.
     pub fn merge(&mut self, other: &StageTimings) {
         for i in 0..self.totals.len() {
             self.totals[i] += other.totals[i];
             self.counts[i] += other.counts[i];
+        }
+    }
+
+    /// Render the accumulated totals in Prometheus text exposition
+    /// format: two counter families, `<prefix>_stage_seconds_total` and
+    /// `<prefix>_stage_observations_total`, one sample per
+    /// [`Stage`] with a `stage="<name>"` label, in [`Stage::ALL`] order.
+    ///
+    /// Both families are monotone counters as long as the accumulator
+    /// only ever grows (via [`record`](Metrics::record) or
+    /// [`merge`](StageTimings::merge)), which is how `strudel serve`
+    /// uses it behind `/metrics`.
+    pub fn to_prometheus(&self, prefix: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# TYPE {prefix}_stage_seconds_total counter\n"));
+        for stage in Stage::ALL {
+            out.push_str(&format!(
+                "{prefix}_stage_seconds_total{{stage=\"{}\"}} {:.9}\n",
+                stage.name(),
+                self.total(stage).as_secs_f64()
+            ));
+        }
+        out.push_str(&format!(
+            "# TYPE {prefix}_stage_observations_total counter\n"
+        ));
+        for stage in Stage::ALL {
+            out.push_str(&format!(
+                "{prefix}_stage_observations_total{{stage=\"{}\"}} {}\n",
+                stage.name(),
+                self.count(stage)
+            ));
+        }
+        out
+    }
+}
+
+/// A lock-guarded [`StageTimings`] is itself a [`Metrics`] sink, so
+/// concurrent pipelines (the `strudel serve` workers) can report into
+/// one shared accumulator. Workers that batch many observations should
+/// still accumulate locally and [`merge`](StageTimings::merge) once to
+/// keep lock traffic down; this impl is the convenience path for
+/// one-off metered calls.
+impl Metrics for &std::sync::Mutex<StageTimings> {
+    fn record(&mut self, stage: Stage, elapsed: Duration) {
+        if let Ok(mut guard) = self.lock() {
+            guard.record(stage, elapsed);
         }
     }
 }

@@ -315,6 +315,22 @@ impl Strudel {
         bytes: &[u8],
         limits: &Limits,
     ) -> Result<Structure, StrudelError> {
+        self.try_detect_structure_bytes_metered(bytes, limits, 0, &mut NullMetrics)
+    }
+
+    /// [`try_detect_structure_bytes`](Self::try_detect_structure_bytes)
+    /// with per-stage timing reported into `sink` and an explicit
+    /// inference thread count: `0` picks the available parallelism;
+    /// resident services running several request workers (the `strudel
+    /// serve` daemon) pin `1`, like the batch engine, so per-request
+    /// inference never oversubscribes the machine.
+    pub fn try_detect_structure_bytes_metered(
+        &self,
+        bytes: &[u8],
+        limits: &Limits,
+        n_threads: usize,
+        sink: &mut dyn Metrics,
+    ) -> Result<Structure, StrudelError> {
         if let Some(max) = limits.max_input_bytes {
             if bytes.len() as u64 > max {
                 return Err(StrudelError::limit(
@@ -324,7 +340,8 @@ impl Strudel {
                 ));
             }
         }
-        self.try_detect_structure(decode_utf8(bytes)?, limits)
+        let text = decode_utf8(bytes)?;
+        self.try_detect_structure_guarded(text, limits, limits.start_deadline(), n_threads, sink)
     }
 
     /// [`try_detect_structure`](Self::try_detect_structure) with

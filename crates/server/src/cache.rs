@@ -1,0 +1,191 @@
+//! Content-addressed LRU cache of classification results.
+//!
+//! The daemon's dominant cost is the classification pipeline, and real
+//! ingestion traffic is highly repetitive — the same report is uploaded
+//! to several endpoints, retried, or re-validated. Keying the finished
+//! structure JSON by a content hash of the raw request bytes lets a
+//! repeat request skip the entire pipeline (dialect → parse → classify)
+//! and answer from memory.
+//!
+//! The key is 136 bits of content fingerprint: two independent FNV-1a
+//! 64-bit hashes (different offset bases) plus the input length. FNV is
+//! not cryptographic, but a collision requires the *same* pair of
+//! independent 64-bit digests and the same length — vanishingly unlikely
+//! for accidental traffic, and the cache is an in-process optimisation,
+//! not a trust boundary (a colliding attacker only poisons their own
+//! deployment's cache). Eviction is least-recently-used via a monotonic
+//! use-stamp and an `O(capacity)` scan on insert — capacities are
+//! hundreds of entries, so the scan is noise next to one pipeline run.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A 136-bit content fingerprint of a request body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    h1: u64,
+    h2: u64,
+    len: u64,
+}
+
+impl CacheKey {
+    /// Fingerprint raw request bytes.
+    pub fn of(bytes: &[u8]) -> CacheKey {
+        CacheKey {
+            h1: fnv1a(bytes, 0xcbf2_9ce4_8422_2325),
+            h2: fnv1a(bytes, 0x9e37_79b9_7f4a_7c15),
+            len: bytes.len() as u64,
+        }
+    }
+}
+
+/// FNV-1a over `bytes` from the given offset basis.
+fn fnv1a(bytes: &[u8], basis: u64) -> u64 {
+    let mut hash = basis;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+struct Entry {
+    value: Arc<String>,
+    last_used: u64,
+}
+
+/// Fixed-capacity LRU map from content fingerprints to rendered
+/// structure JSON. A capacity of `0` disables caching entirely (every
+/// lookup misses, inserts are dropped).
+pub struct ResultCache {
+    capacity: usize,
+    map: HashMap<CacheKey, Entry>,
+    tick: u64,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity` results.
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1024)),
+            tick: 0,
+        }
+    }
+
+    /// Look up a fingerprint, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<String>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.map.get_mut(key)?;
+        entry.last_used = tick;
+        Some(Arc::clone(&entry.value))
+    }
+
+    /// Insert a result, evicting the least-recently-used entry when the
+    /// cache is full.
+    pub fn insert(&mut self, key: CacheKey, value: Arc<String>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Drop every entry (used after a successful model reload — a new
+    /// model may classify the same bytes differently).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache currently holds no results.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arc(s: &str) -> Arc<String> {
+        Arc::new(s.to_string())
+    }
+
+    #[test]
+    fn keys_differ_for_different_content() {
+        let a = CacheKey::of(b"State,2019\nBerlin,1\n");
+        let b = CacheKey::of(b"State,2019\nBerlin,2\n");
+        let a2 = CacheKey::of(b"State,2019\nBerlin,1\n");
+        assert_ne!(a, b);
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn hit_miss_and_lru_eviction() {
+        let mut cache = ResultCache::new(2);
+        let (k1, k2, k3) = (CacheKey::of(b"1"), CacheKey::of(b"2"), CacheKey::of(b"3"));
+        assert!(cache.get(&k1).is_none());
+        cache.insert(k1, arc("one"));
+        cache.insert(k2, arc("two"));
+        // Touch k1 so k2 becomes the LRU entry.
+        assert_eq!(cache.get(&k1).unwrap().as_str(), "one");
+        cache.insert(k3, arc("three"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&k2).is_none(), "k2 was least recently used");
+        assert!(cache.get(&k1).is_some());
+        assert!(cache.get(&k3).is_some());
+    }
+
+    #[test]
+    fn reinserting_existing_key_does_not_evict() {
+        let mut cache = ResultCache::new(2);
+        let (k1, k2) = (CacheKey::of(b"1"), CacheKey::of(b"2"));
+        cache.insert(k1, arc("one"));
+        cache.insert(k2, arc("two"));
+        cache.insert(k1, arc("one again"));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&k1).unwrap().as_str(), "one again");
+        assert!(cache.get(&k2).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = ResultCache::new(0);
+        let k = CacheKey::of(b"x");
+        cache.insert(k, arc("value"));
+        assert!(cache.get(&k).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_the_cache() {
+        let mut cache = ResultCache::new(4);
+        cache.insert(CacheKey::of(b"a"), arc("a"));
+        cache.insert(CacheKey::of(b"b"), arc("b"));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert!(cache.get(&CacheKey::of(b"a")).is_none());
+    }
+}

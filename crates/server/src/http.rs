@@ -1,0 +1,275 @@
+//! Minimal HTTP/1.1 framing over `std::net::TcpStream`.
+//!
+//! The daemon serves a handful of fixed routes to known clients (load
+//! balancers, ingestion services, `curl`), so this is deliberately not a
+//! general web server: requests are parsed strictly (request line,
+//! headers, `Content-Length`-framed body), responses always carry
+//! `Connection: close`, and anything outside that contract is rejected
+//! with a typed [`HttpError`] that maps onto a 4xx/5xx status. No
+//! keep-alive, no chunked encoding, no TLS — and no dependencies.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers). Requests
+/// with larger heads are malformed for our routes.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Hard ceiling on request bodies when the configured input limits are
+/// unbounded, so `--no-limits` cannot turn the daemon into an
+/// unbounded-allocation service.
+pub const FALLBACK_MAX_BODY: u64 = 1 << 30;
+
+/// A parsed HTTP/1.1 request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path, query string stripped.
+    pub path: String,
+    /// `(lower-cased name, value)` header pairs, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (`Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lower-cased name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The bytes on the wire are not a well-formed HTTP/1.1 request
+    /// (responds 400).
+    Malformed(String),
+    /// The declared body exceeds the configured input limit (responds
+    /// 413 before reading the body).
+    BodyTooLarge {
+        /// Declared `Content-Length`.
+        declared: u64,
+        /// The configured cap it exceeds.
+        max: u64,
+    },
+    /// Valid HTTP that this server deliberately does not speak, e.g.
+    /// chunked transfer encoding (responds 501).
+    Unsupported(String),
+    /// The socket failed or timed out mid-request; no response can be
+    /// delivered.
+    Io(std::io::Error),
+}
+
+/// Read and parse one request from the stream.
+///
+/// `max_body` caps the declared `Content-Length`; an oversized request
+/// is rejected *before* its body is read, so a client cannot make the
+/// server buffer data it is going to refuse anyway.
+pub fn read_request(stream: &mut TcpStream, max_body: u64) -> Result<Request, HttpError> {
+    // Accumulate until the blank line that ends the head.
+    let mut buf = Vec::with_capacity(1024);
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::Malformed(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::Malformed(
+                "connection closed before request head completed".to_string(),
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::Malformed("request head is not valid UTF-8".to_string()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request".to_string()))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| HttpError::Malformed("missing method".to_string()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing request target".to_string()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing HTTP version".to_string()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported protocol {version:?}"
+        )));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("malformed header {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut request = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    if let Some(te) = request.header("transfer-encoding") {
+        return Err(HttpError::Unsupported(format!(
+            "transfer-encoding {te:?} not supported; use content-length framing"
+        )));
+    }
+    let content_length: u64 = match request.header("content-length") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("invalid content-length {v:?}")))?,
+        None => 0,
+    };
+    if content_length > max_body {
+        return Err(HttpError::BodyTooLarge {
+            declared: content_length,
+            max: max_body,
+        });
+    }
+
+    // The head read may have pulled in a body prefix.
+    let body_start = head_end + 4; // past "\r\n\r\n"
+    let mut body = buf.split_off(body_start.min(buf.len()));
+    body.truncate(content_length as usize);
+    let mut remaining = content_length as usize - body.len();
+    body.reserve_exact(remaining);
+    while remaining > 0 {
+        let mut chunk = vec![0u8; remaining.min(64 * 1024)];
+        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::Malformed(format!(
+                "connection closed {remaining} bytes short of the declared content-length"
+            )));
+        }
+        body.extend_from_slice(&chunk[..n]);
+        remaining -= n;
+    }
+    request.body = body;
+    Ok(request)
+}
+
+/// Byte offset of the `\r\n\r\n` separator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// An HTTP response ready to be written to a stream.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// Extra headers beyond the standard set.
+    pub extra_headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A response with the given status, content type, and body.
+    pub fn new(status: u16, content_type: &'static str, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type,
+            extra_headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A `application/json` response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response::new(status, "application/json", body)
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response::new(status, "text/plain; charset=utf-8", body)
+    }
+
+    /// Add a header to the response.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.extra_headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Serialize and write the response; the caller closes the stream
+    /// (every response carries `Connection: close`).
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            status_reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Canonical reason phrase for the status codes this server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
+        assert_eq!(find_head_end(b"partial\r\n"), None);
+        assert_eq!(find_head_end(b""), None);
+    }
+
+    #[test]
+    fn reason_phrases() {
+        assert_eq!(status_reason(200), "OK");
+        assert_eq!(status_reason(503), "Service Unavailable");
+        assert_eq!(status_reason(418), "Unknown");
+    }
+}

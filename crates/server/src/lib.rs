@@ -1,0 +1,51 @@
+//! # strudel-server
+//!
+//! A resident HTTP/1.1 classification daemon for Strudel — the serving
+//! layer the ROADMAP's production north star asks for. The one-shot CLI
+//! pays model load (or training) on every invocation; downstream
+//! consumers of structure detection (ingestion services, RAG chunking
+//! pipelines) call it per document at request time, where cold starts
+//! dominate. `strudel serve` loads the trained model once, keeps it
+//! warm, and classifies request bodies (raw CSV bytes) into the
+//! canonical structure JSON of `Structure::to_json` — byte-identical to
+//! `strudel detect --json` on the same input.
+//!
+//! Built on `std::net::TcpListener` only: zero external dependencies,
+//! like the rest of the workspace.
+//!
+//! ## Endpoints
+//!
+//! | Route | Method | Purpose |
+//! |---|---|---|
+//! | `/classify` (or `/`) | POST | classify raw CSV bytes → structure JSON |
+//! | `/healthz` | GET | liveness probe (`200 ok`) |
+//! | `/metrics` | GET | Prometheus text: request/cache/shed counters + per-stage timings |
+//! | `/admin/reload` | POST | validate + atomically swap the model (body: optional path) |
+//! | `/admin/shutdown` | POST | graceful shutdown, draining in-flight requests |
+//!
+//! ## Operational properties
+//!
+//! - **Admission control**: a fixed-capacity connection queue feeds the
+//!   worker pool; overflow is shed immediately with `503` +
+//!   `Retry-After`, so latency stays bounded under overload.
+//! - **Result caching**: a content-hash-keyed LRU maps request bytes to
+//!   finished structure JSON; repeat requests skip the whole pipeline.
+//!   Hit/miss counters are exported via `/metrics`.
+//! - **Per-request limits**: the core [`Limits`](strudel::Limits) and
+//!   deadline machinery bounds bytes, rows, cells, and wall clock per
+//!   request; an oversized body is refused with `413` *before* it is
+//!   read.
+//! - **Hot reload**: a new model file is fully loaded and validated
+//!   (corrupt-model checks) before the `Arc` swap — a bad file never
+//!   takes down the server.
+
+#![warn(missing_docs)]
+
+mod cache;
+pub mod http;
+mod metrics;
+mod server;
+
+pub use cache::{CacheKey, ResultCache};
+pub use metrics::Registry;
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,180 @@
+//! The daemon's metrics registry and its Prometheus text rendering.
+//!
+//! Counters are lock-free atomics bumped on the request path; the
+//! per-stage pipeline timings reuse the core
+//! [`StageTimings`] accumulator behind a mutex — request workers time
+//! stages into a thread-local accumulator and
+//! [`merge`](StageTimings::merge) once per request, so the lock is taken
+//! once per classification rather than once per stage.
+//!
+//! `GET /metrics` renders everything in Prometheus text exposition
+//! format: request counters by endpoint and outcome, cache hit/miss and
+//! shed counters, the stage counters from
+//! [`StageTimings::to_prometheus`], and throughput gauges computed with
+//! the guarded [`strudel::batch::rate`] helper (zero, never NaN, on an
+//! idle or freshly started server).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+use strudel::batch::rate;
+use strudel::StageTimings;
+
+/// One monotone counter per (endpoint, outcome) pair plus the cache,
+/// shed, and byte counters. All relaxed atomics: the metrics are
+/// statistical, not synchronizing.
+#[derive(Debug)]
+pub struct Registry {
+    started: Instant,
+    /// Successful classifications (cache hits included).
+    pub classify_ok: AtomicU64,
+    /// Classifications that returned a typed error.
+    pub classify_err: AtomicU64,
+    /// `GET /healthz` requests served.
+    pub healthz: AtomicU64,
+    /// `GET /metrics` requests served.
+    pub metrics: AtomicU64,
+    /// Successful `POST /admin/reload` swaps.
+    pub reload_ok: AtomicU64,
+    /// Rejected `POST /admin/reload` attempts (the old model kept
+    /// serving).
+    pub reload_err: AtomicU64,
+    /// Requests that never reached a handler (bad framing, unknown
+    /// route, wrong method).
+    pub http_err: AtomicU64,
+    /// Result-cache hits (classification skipped).
+    pub cache_hits: AtomicU64,
+    /// Result-cache misses (full pipeline ran).
+    pub cache_misses: AtomicU64,
+    /// Connections shed by admission control with `503`.
+    pub shed: AtomicU64,
+    /// Total classify request-body bytes accepted.
+    pub bytes_in: AtomicU64,
+    /// Aggregated per-stage pipeline timings across all workers.
+    pub stage_timings: Mutex<StageTimings>,
+}
+
+impl Registry {
+    /// A fresh registry; uptime counts from now.
+    pub fn new() -> Registry {
+        Registry {
+            started: Instant::now(),
+            classify_ok: AtomicU64::new(0),
+            classify_err: AtomicU64::new(0),
+            healthz: AtomicU64::new(0),
+            metrics: AtomicU64::new(0),
+            reload_ok: AtomicU64::new(0),
+            reload_err: AtomicU64::new(0),
+            http_err: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            stage_timings: Mutex::new(StageTimings::default()),
+        }
+    }
+
+    /// Bump a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold a request worker's local stage timings into the registry.
+    pub fn merge_timings(&self, timings: &StageTimings) {
+        if let Ok(mut guard) = self.stage_timings.lock() {
+            guard.merge(timings);
+        }
+    }
+
+    /// Render the registry in Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let uptime = self.started.elapsed();
+        let classified = get(&self.classify_ok) + get(&self.classify_err);
+        let mut out = String::new();
+        out.push_str("# TYPE strudel_requests_total counter\n");
+        for (endpoint, outcome, value) in [
+            ("classify", "ok", get(&self.classify_ok)),
+            ("classify", "error", get(&self.classify_err)),
+            ("healthz", "ok", get(&self.healthz)),
+            ("metrics", "ok", get(&self.metrics)),
+            ("reload", "ok", get(&self.reload_ok)),
+            ("reload", "error", get(&self.reload_err)),
+            ("other", "error", get(&self.http_err)),
+        ] {
+            out.push_str(&format!(
+                "strudel_requests_total{{endpoint=\"{endpoint}\",outcome=\"{outcome}\"}} {value}\n"
+            ));
+        }
+        for (name, value) in [
+            ("strudel_cache_hits_total", get(&self.cache_hits)),
+            ("strudel_cache_misses_total", get(&self.cache_misses)),
+            ("strudel_shed_total", get(&self.shed)),
+            ("strudel_bytes_in_total", get(&self.bytes_in)),
+        ] {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+        }
+        out.push_str(&format!(
+            "# TYPE strudel_uptime_seconds gauge\nstrudel_uptime_seconds {:.3}\n",
+            uptime.as_secs_f64()
+        ));
+        // Lifetime throughput via the same guarded helpers the batch
+        // report uses; both are 0.0 (not NaN) at zero uptime.
+        out.push_str(&format!(
+            "# TYPE strudel_files_per_second gauge\nstrudel_files_per_second {:.6}\n",
+            rate(classified as f64, uptime)
+        ));
+        out.push_str(&format!(
+            "# TYPE strudel_bytes_per_second gauge\nstrudel_bytes_per_second {:.3}\n",
+            rate(get(&self.bytes_in) as f64, uptime)
+        ));
+        let timings = self
+            .stage_timings
+            .lock()
+            .map(|t| t.clone())
+            .unwrap_or_default();
+        out.push_str(&timings.to_prometheus("strudel"));
+        out
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use strudel::{Metrics, Stage};
+
+    #[test]
+    fn render_contains_every_family() {
+        let registry = Registry::new();
+        Registry::bump(&registry.classify_ok);
+        Registry::bump(&registry.cache_hits);
+        let mut local = StageTimings::default();
+        local.record(Stage::Dialect, Duration::from_millis(2));
+        registry.merge_timings(&local);
+        let text = registry.render();
+        for needle in [
+            "strudel_requests_total{endpoint=\"classify\",outcome=\"ok\"} 1",
+            "strudel_requests_total{endpoint=\"reload\",outcome=\"error\"} 0",
+            "strudel_cache_hits_total 1",
+            "strudel_cache_misses_total 0",
+            "strudel_shed_total 0",
+            "strudel_bytes_in_total 0",
+            "strudel_uptime_seconds",
+            "strudel_files_per_second",
+            "strudel_bytes_per_second",
+            "strudel_stage_seconds_total{stage=\"dialect\"}",
+            "strudel_stage_observations_total{stage=\"cell_classify\"} 0",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        // No NaN/inf anywhere, even on a near-zero uptime.
+        assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
+    }
+}

@@ -1,0 +1,594 @@
+//! The resident daemon: bounded worker pool, admission control, request
+//! routing, hot reload, and graceful shutdown.
+//!
+//! ## Threading model
+//!
+//! One acceptor thread owns the listening socket; `n_workers` request
+//! workers own the classification pipeline. Between them sits a
+//! fixed-capacity queue of accepted connections — the admission
+//! controller. When the queue is full the connection never reaches a
+//! worker: a transient thread answers `503` with `Retry-After` and
+//! closes, so overload sheds in microseconds instead of queueing
+//! unboundedly (the load balancer in front of a fleet of these retries
+//! elsewhere). Each worker pins
+//! per-request inference to one thread (like the batch engine), so a
+//! pool of W workers uses W cores, not W × cores.
+//!
+//! ## Model lifecycle
+//!
+//! The fitted [`Strudel`] model loads once and stays warm behind an
+//! `RwLock<Arc<Strudel>>`. Workers snapshot the `Arc` per request, so a
+//! concurrent `POST /admin/reload` never blocks in-flight
+//! classifications: the new model is fully loaded and validated (the
+//! corrupt-model checks of `Strudel::load`) *before* the write lock is
+//! taken for the pointer swap, and a rejected file leaves the old model
+//! serving. A successful swap clears the result cache — a new model may
+//! classify the same bytes differently.
+//!
+//! ## Shutdown
+//!
+//! `POST /admin/shutdown` answers `200`, then flips the shutdown flag
+//! and wakes the acceptor. Workers drain the queue (every accepted
+//! connection is served) and exit; [`Server::run`] joins them all before
+//! returning.
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::http::{read_request, HttpError, Request, Response, FALLBACK_MAX_BODY};
+use crate::metrics::Registry;
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+use std::time::Duration;
+use strudel::batch::resolve_threads;
+use strudel::{LimitKind, Limits, StageTimings, Strudel, StrudelError};
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:8080` (port `0` picks an ephemeral
+    /// port; read it back from [`Server::local_addr`]).
+    pub addr: String,
+    /// Request worker threads; `0` resolves via
+    /// [`resolve_threads`] (the `STRUDEL_THREADS` environment variable,
+    /// then the available parallelism).
+    pub n_workers: usize,
+    /// Admission-control queue capacity: accepted connections waiting
+    /// for a worker beyond this are shed with `503`.
+    pub queue_capacity: usize,
+    /// Result-cache capacity in entries; `0` disables caching.
+    pub cache_capacity: usize,
+    /// Per-request input limits and wall-clock budget (the PR 3
+    /// [`Limits`] machinery; `max_input_bytes` doubles as the HTTP body
+    /// cap, enforced before the body is read).
+    pub limits: Limits,
+    /// Path the model was loaded from, used by `POST /admin/reload`
+    /// when the request body names no path.
+    pub model_path: Option<PathBuf>,
+    /// Socket read/write timeout, bounding how long a slow client can
+    /// hold a worker.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:8080".to_string(),
+            n_workers: 0,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            limits: Limits::standard(),
+            model_path: None,
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// State shared between the acceptor and the workers.
+struct Shared {
+    model: RwLock<Arc<Strudel>>,
+    model_path: Mutex<Option<PathBuf>>,
+    cache: Mutex<ResultCache>,
+    registry: Registry,
+    limits: Limits,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    queue_capacity: usize,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    inner_threads: usize,
+    io_timeout: Duration,
+}
+
+/// Lock a mutex, recovering from poisoning — a worker panic must not
+/// wedge the whole daemon.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Flip the shutdown flag and wake both the idle workers and the
+    /// blocked acceptor.
+    fn initiate_shutdown(&self) {
+        {
+            // Hold the queue lock while flipping the flag so a worker
+            // cannot check-then-sleep between the store and the
+            // notification (the classic missed-wakeup race).
+            let _guard = lock(&self.queue);
+            self.shutdown.store(true, Ordering::Release);
+        }
+        self.available.notify_all();
+        // A throwaway connection unblocks the acceptor's `accept()`.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A bound, not-yet-running classification daemon.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    n_workers: usize,
+}
+
+/// A running server, for embedding in tests or other binaries.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The bound address of the running server.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Block until the server has shut down and drained.
+    pub fn join(self) {
+        let _ = self.thread.join();
+    }
+}
+
+impl Server {
+    /// Bind the listener and prepare the shared state. The model is
+    /// already loaded and warm; no request work happens until
+    /// [`run`](Server::run).
+    pub fn bind(model: Strudel, config: &ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let n_workers = resolve_threads(config.n_workers).max(1);
+        let shared = Arc::new(Shared {
+            model: RwLock::new(Arc::new(model)),
+            model_path: Mutex::new(config.model_path.clone()),
+            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            registry: Registry::new(),
+            limits: config.limits,
+            queue: Mutex::new(VecDeque::with_capacity(config.queue_capacity)),
+            available: Condvar::new(),
+            queue_capacity: config.queue_capacity.max(1),
+            shutdown: AtomicBool::new(false),
+            addr,
+            inner_threads: if n_workers > 1 { 1 } else { 0 },
+            io_timeout: config.io_timeout,
+        });
+        Ok(Server {
+            listener,
+            shared,
+            n_workers,
+        })
+    }
+
+    /// The address the listener is bound to (resolves port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The resolved worker count.
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Serve until shutdown: spawns the workers, runs the accept loop on
+    /// the calling thread, and joins everything (in-flight and queued
+    /// requests included) before returning.
+    pub fn run(self) {
+        let shared = self.shared;
+        let workers: Vec<_> = (0..self.n_workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("strudel-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn request worker")
+            })
+            .collect();
+        accept_loop(&shared, &self.listener);
+        shared.available.notify_all();
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+
+    /// Run the server on a background thread and return a handle with
+    /// the bound address (the embedding entry point used by the
+    /// integration tests).
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let thread = std::thread::Builder::new()
+            .name("strudel-serve".to_string())
+            .spawn(move || self.run())
+            .expect("spawn server thread");
+        ServerHandle { addr, thread }
+    }
+}
+
+/// Accept connections and enqueue them, shedding with `503` when the
+/// queue is full.
+fn accept_loop(shared: &Shared, listener: &TcpListener) {
+    for stream in listener.incoming() {
+        if shared.shutting_down() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_read_timeout(Some(shared.io_timeout));
+        let _ = stream.set_write_timeout(Some(shared.io_timeout));
+        let mut queue = lock(&shared.queue);
+        if shared.shutting_down() {
+            break;
+        }
+        if queue.len() >= shared.queue_capacity {
+            drop(queue);
+            Registry::bump(&shared.registry.shed);
+            // A transient thread writes the 503 so the acceptor returns
+            // to `accept()` in microseconds even when shed clients are
+            // slow to read.
+            std::thread::spawn(move || shed_connection(stream));
+        } else {
+            queue.push_back(stream);
+            drop(queue);
+            shared.available.notify_one();
+        }
+    }
+}
+
+/// Refuse one connection with `503` + `Retry-After`. The client has
+/// usually already sent (part of) its request; closing a socket with
+/// unread input makes the kernel send RST, which can discard the 503
+/// from the client's receive buffer. So: answer, half-close the write
+/// side, then drain briefly until the client sees EOF and hangs up — a
+/// lingering close.
+fn shed_connection(mut stream: TcpStream) {
+    let response = Response::json(
+        503,
+        "{\"error\": \"server overloaded, request shed by admission control\", \
+         \"category\": \"overload\"}\n",
+    )
+    .with_header("Retry-After", "1");
+    if response.write_to(&mut stream).is_err() {
+        return;
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut sink = [0u8; 4096];
+    while let Ok(n) = std::io::Read::read(&mut stream, &mut sink) {
+        if n == 0 {
+            break;
+        }
+    }
+}
+
+/// A request worker: pop connections until the queue is drained *and*
+/// shutdown is flagged. A panic while handling one request is caught so
+/// the worker (and the pool) survives it.
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let stream = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(s) = queue.pop_front() {
+                    break Some(s);
+                }
+                if shared.shutting_down() {
+                    break None;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some(stream) = stream else { break };
+        if catch_unwind(AssertUnwindSafe(|| handle_connection(shared, stream))).is_err() {
+            Registry::bump(&shared.registry.http_err);
+        }
+    }
+}
+
+/// Serve one connection: read a request, route it, write the response,
+/// close. Initiating shutdown happens after the response is on the wire
+/// so the shutdown request itself gets a clean `200`.
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let max_body = shared.limits.max_input_bytes.unwrap_or(FALLBACK_MAX_BODY);
+    let request = match read_request(&mut stream, max_body) {
+        Ok(request) => request,
+        Err(error) => {
+            let response = match error {
+                HttpError::Malformed(reason) => {
+                    Registry::bump(&shared.registry.http_err);
+                    Response::json(400, error_body(&reason, "http", None))
+                }
+                HttpError::BodyTooLarge { declared, max } => {
+                    Registry::bump(&shared.registry.classify_err);
+                    error_response(&StrudelError::limit(LimitKind::InputBytes, declared, max))
+                }
+                HttpError::Unsupported(reason) => {
+                    Registry::bump(&shared.registry.http_err);
+                    Response::json(501, error_body(&reason, "http", None))
+                }
+                HttpError::Io(_) => return, // nobody left to answer
+            };
+            let _ = response.write_to(&mut stream);
+            return;
+        }
+    };
+    let (response, shutdown) = route(shared, &request);
+    let _ = response.write_to(&mut stream);
+    drop(stream);
+    if shutdown {
+        shared.initiate_shutdown();
+    }
+}
+
+/// Dispatch a parsed request to its handler. The boolean asks the
+/// caller to initiate shutdown once the response has been written.
+fn route(shared: &Shared, request: &Request) -> (Response, bool) {
+    const ROUTES: [&str; 5] = ["/", "/classify", "/healthz", "/metrics", "/admin/reload"];
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/classify") | ("POST", "/") => (classify(shared, &request.body), false),
+        ("GET", "/healthz") => {
+            Registry::bump(&shared.registry.healthz);
+            (Response::text(200, "ok\n"), false)
+        }
+        ("GET", "/metrics") => {
+            Registry::bump(&shared.registry.metrics);
+            (
+                Response::new(
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    shared.registry.render(),
+                ),
+                false,
+            )
+        }
+        ("POST", "/admin/reload") => (reload(shared, &request.body), false),
+        ("POST", "/admin/shutdown") => (Response::json(200, "{\"shutting_down\": true}\n"), true),
+        (_, path) if path == "/admin/shutdown" || ROUTES.contains(&path) => {
+            Registry::bump(&shared.registry.http_err);
+            (
+                Response::json(
+                    405,
+                    error_body(
+                        &format!("method {} not allowed", request.method),
+                        "http",
+                        None,
+                    ),
+                ),
+                false,
+            )
+        }
+        (_, path) => {
+            Registry::bump(&shared.registry.http_err);
+            (
+                Response::json(404, error_body(&format!("no route {path}"), "http", None)),
+                false,
+            )
+        }
+    }
+}
+
+/// `POST /classify`: cache lookup, then the full guarded pipeline on a
+/// snapshot of the current model.
+fn classify(shared: &Shared, body: &[u8]) -> Response {
+    shared
+        .registry
+        .bytes_in
+        .fetch_add(body.len() as u64, Ordering::Relaxed);
+    let key = CacheKey::of(body);
+    if let Some(cached) = lock(&shared.cache).get(&key) {
+        Registry::bump(&shared.registry.cache_hits);
+        Registry::bump(&shared.registry.classify_ok);
+        return Response::json(200, cached.as_bytes().to_vec())
+            .with_header("X-Strudel-Cache", "hit");
+    }
+    Registry::bump(&shared.registry.cache_misses);
+
+    // Snapshot the model Arc and release the read lock immediately, so
+    // a reload's pointer swap never waits on a long classification.
+    let model = Arc::clone(&shared.model.read().unwrap_or_else(|e| e.into_inner()));
+    let mut timings = StageTimings::default();
+    let detected = catch_unwind(AssertUnwindSafe(|| {
+        model.try_detect_structure_bytes_metered(
+            body,
+            &shared.limits,
+            shared.inner_threads,
+            &mut timings,
+        )
+    }));
+    shared.registry.merge_timings(&timings);
+    match detected {
+        Ok(Ok(structure)) => {
+            let json = Arc::new(structure.to_json());
+            lock(&shared.cache).insert(key, Arc::clone(&json));
+            Registry::bump(&shared.registry.classify_ok);
+            Response::json(200, json.as_bytes().to_vec()).with_header("X-Strudel-Cache", "miss")
+        }
+        Ok(Err(error)) => {
+            Registry::bump(&shared.registry.classify_err);
+            error_response(&error)
+        }
+        Err(_) => {
+            Registry::bump(&shared.registry.classify_err);
+            Response::json(
+                500,
+                error_body("panic during classification", "internal", None),
+            )
+        }
+    }
+}
+
+/// `POST /admin/reload`: load and validate a model file, then swap it in
+/// atomically. Any failure leaves the serving model untouched.
+fn reload(shared: &Shared, body: &[u8]) -> Response {
+    let requested = String::from_utf8_lossy(body).trim().to_string();
+    let path = if requested.is_empty() {
+        match lock(&shared.model_path).clone() {
+            Some(path) => path,
+            None => {
+                Registry::bump(&shared.registry.reload_err);
+                return Response::json(
+                    409,
+                    error_body(
+                        "no model path on record; the server was started from an in-memory \
+                         model — name a path in the request body",
+                        "model",
+                        None,
+                    ),
+                );
+            }
+        }
+    } else {
+        PathBuf::from(&requested)
+    };
+    // Full load + corrupt-model validation happens before any shared
+    // state is touched.
+    match Strudel::load(&path) {
+        Ok(model) => {
+            let swapped = Arc::new(model);
+            *shared.model.write().unwrap_or_else(|e| e.into_inner()) = swapped;
+            *lock(&shared.model_path) = Some(path.clone());
+            lock(&shared.cache).clear();
+            Registry::bump(&shared.registry.reload_ok);
+            Response::json(
+                200,
+                format!(
+                    "{{\"reloaded\": true, \"model\": {}}}\n",
+                    json_escape(&path.display().to_string())
+                ),
+            )
+        }
+        Err(error) => {
+            Registry::bump(&shared.registry.reload_err);
+            Response::json(422, error_body(&error.to_string(), error.category(), None))
+        }
+    }
+}
+
+/// Map a typed pipeline error to an HTTP response: size limits are the
+/// client's fault (`413`), an exhausted wall-clock budget is pressure
+/// (`503` + `Retry-After`), unparseable content is `422`, anything else
+/// is a server fault (`500`). The body always carries the stable
+/// [`StrudelError::category`] (plus the limit name, when applicable) so
+/// clients can react without parsing prose.
+fn error_response(error: &StrudelError) -> Response {
+    let limit = match error {
+        StrudelError::LimitExceeded { limit, .. } => Some(*limit),
+        _ => None,
+    };
+    let status = match (error.category(), limit) {
+        ("limit", Some(LimitKind::WallClock)) => 503,
+        ("limit", _) => 413,
+        ("parse", _) | ("dialect", _) | ("table", _) => 422,
+        _ => 500,
+    };
+    let body = error_body(
+        &error.to_string(),
+        error.category(),
+        limit.map(|l| l.name()),
+    );
+    let response = Response::json(status, body);
+    if status == 503 {
+        response.with_header("Retry-After", "1")
+    } else {
+        response
+    }
+}
+
+/// Render the uniform error body `{"error": ..., "category": ...}`,
+/// with a `"limit"` field when a resource limit was violated.
+fn error_body(message: &str, category: &str, limit: Option<&str>) -> String {
+    let mut body = format!(
+        "{{\"error\": {}, \"category\": {}",
+        json_escape(message),
+        json_escape(category)
+    );
+    if let Some(limit) = limit {
+        body.push_str(&format!(", \"limit\": {}", json_escape(limit)));
+    }
+    body.push_str("}\n");
+    body
+}
+
+/// Escape a string as a JSON string literal (local copy of the core
+/// helper, which is crate-private there).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_status_mapping() {
+        let too_big = StrudelError::limit(LimitKind::InputBytes, 100, 10);
+        assert_eq!(error_response(&too_big).status, 413);
+        let wall = StrudelError::limit(LimitKind::WallClock, 1001, 1000);
+        let resp = error_response(&wall);
+        assert_eq!(resp.status, 503);
+        assert!(resp
+            .extra_headers
+            .iter()
+            .any(|(n, v)| n == "Retry-After" && v == "1"));
+        let parse = StrudelError::Parse {
+            file: None,
+            line: 0,
+            byte: 0,
+            reason: "bad".into(),
+        };
+        assert_eq!(error_response(&parse).status, 422);
+        let internal = StrudelError::Internal {
+            file: None,
+            reason: "bug".into(),
+        };
+        assert_eq!(error_response(&internal).status, 500);
+    }
+
+    #[test]
+    fn error_body_carries_category_and_limit() {
+        let body = error_body("too big", "limit", Some("input_bytes"));
+        assert!(body.contains("\"category\": \"limit\""));
+        assert!(body.contains("\"limit\": \"input_bytes\""));
+        let plain = error_body("no \"route\"", "http", None);
+        assert!(plain.contains("\\\"route\\\""));
+        assert!(!plain.contains("\"limit\""));
+    }
+}

@@ -1,0 +1,350 @@
+//! Loopback integration tests for the classification daemon: real TCP
+//! sockets against a [`Server`] running in-process, covering the
+//! acceptance paths of the serving subsystem — classify round-trip and
+//! cache hits, oversized-body rejection, admission-control shedding,
+//! corrupt-model reload, and graceful drain on shutdown.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+use strudel::{Limits, Strudel, StrudelCellConfig, StrudelLineConfig};
+use strudel_ml::ForestConfig;
+use strudel_server::{Server, ServerConfig};
+
+/// A verbose CSV in the shape the synthetic corpora train on: metadata
+/// preamble, header, data, a derived total, and a notes line.
+const SAMPLE: &str = "Crime Report 2020,,\n\
+    State,2019,2020\n\
+    Berlin,17,23\n\
+    Hamburg,11,13\n\
+    Munich,5,8\n\
+    Total,33,44\n\
+    Source: state police,,\n";
+
+fn tiny_model() -> Strudel {
+    let corpus = strudel_datagen::saus(&strudel_datagen::GeneratorConfig {
+        n_files: 8,
+        seed: 7,
+        scale: 0.2,
+    });
+    let config = StrudelCellConfig {
+        line: StrudelLineConfig {
+            forest: ForestConfig::fast(12, 1),
+            ..StrudelLineConfig::default()
+        },
+        forest: ForestConfig::fast(12, 2),
+        ..StrudelCellConfig::default()
+    };
+    Strudel::fit(&corpus.files, &config)
+}
+
+/// A per-test scratch directory under the system temp dir.
+fn scratch(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("strudel-daemon-{label}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// A parsed HTTP response off the wire.
+struct Reply {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl Reply {
+    fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Read one `Connection: close` response until EOF and parse it.
+fn read_reply(stream: &mut TcpStream) -> Reply {
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("utf-8 response");
+    let (head, body) = text.split_once("\r\n\r\n").expect("complete head");
+    let mut lines = head.lines();
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Reply {
+        status,
+        headers,
+        body: body.to_string(),
+    }
+}
+
+/// One full request/response exchange on a fresh connection.
+fn request(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> Reply {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body).expect("write body");
+    read_reply(&mut stream)
+}
+
+fn config_with(limits: Limits) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        n_workers: 2,
+        queue_capacity: 16,
+        cache_capacity: 64,
+        limits,
+        io_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn classify_roundtrip_matches_one_shot_and_caches() {
+    let model = tiny_model();
+    let expected = model
+        .try_detect_structure_bytes(SAMPLE.as_bytes(), &Limits::standard())
+        .expect("one-shot detection")
+        .to_json();
+    let server = Server::bind(model, &config_with(Limits::standard())).expect("bind");
+    let handle = server.spawn();
+    let addr = handle.addr();
+
+    // First request: full pipeline, byte-identical to the one-shot API.
+    let first = request(addr, "POST", "/classify", SAMPLE.as_bytes());
+    assert_eq!(first.status, 200, "body: {}", first.body);
+    assert_eq!(first.body, expected);
+    assert_eq!(first.header("x-strudel-cache"), Some("miss"));
+
+    // Second identical request: served from the result cache.
+    let second = request(addr, "POST", "/classify", SAMPLE.as_bytes());
+    assert_eq!(second.status, 200);
+    assert_eq!(second.body, expected);
+    assert_eq!(second.header("x-strudel-cache"), Some("hit"));
+
+    // The hit is visible in /metrics, along with the stage counters.
+    let metrics = request(addr, "GET", "/metrics", b"");
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.body.contains("strudel_cache_hits_total 1"));
+    assert!(metrics.body.contains("strudel_cache_misses_total 1"));
+    assert!(metrics
+        .body
+        .contains("strudel_requests_total{endpoint=\"classify\",outcome=\"ok\"} 2"));
+    assert!(metrics
+        .body
+        .contains("strudel_stage_seconds_total{stage=\"parse\"}"));
+
+    let health = request(addr, "GET", "/healthz", b"");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body, "ok\n");
+
+    let bye = request(addr, "POST", "/admin/shutdown", b"");
+    assert_eq!(bye.status, 200);
+    handle.join();
+}
+
+#[test]
+fn oversized_body_is_rejected_with_typed_413() {
+    let mut limits = Limits::standard();
+    limits.max_input_bytes = Some(64);
+    let server = Server::bind(tiny_model(), &config_with(limits)).expect("bind");
+    let handle = server.spawn();
+    let addr = handle.addr();
+
+    let big = vec![b'x'; 200];
+    let reply = request(addr, "POST", "/classify", &big);
+    assert_eq!(reply.status, 413, "body: {}", reply.body);
+    assert!(reply.body.contains("\"category\": \"limit\""));
+    assert!(reply.body.contains("\"limit\": \"input_bytes\""));
+
+    // The rejection happened before the pipeline ran; serving continues.
+    let small = request(addr, "POST", "/classify", b"a,b\n1,2\n");
+    assert_eq!(small.status, 200);
+
+    request(addr, "POST", "/admin/shutdown", b"");
+    handle.join();
+}
+
+#[test]
+fn full_queue_sheds_with_503_and_recovers() {
+    let config = ServerConfig {
+        n_workers: 1,
+        queue_capacity: 1,
+        ..config_with(Limits::standard())
+    };
+    let server = Server::bind(tiny_model(), &config).expect("bind");
+    let handle = server.spawn();
+    let addr = handle.addr();
+
+    // Occupy the only worker: a connection whose request head never
+    // completes keeps the worker blocked in `read_request`.
+    let mut staller = TcpStream::connect(addr).expect("connect staller");
+    staller
+        .write_all(b"POST /classify HTTP/1.1\r\n")
+        .expect("partial head");
+    // Let the worker dequeue the staller before the burst arrives.
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Burst: one connection fits in the queue, the rest must be shed by
+    // the acceptor with 503 + Retry-After.
+    let mut replies = Vec::new();
+    let mut streams: Vec<TcpStream> = (0..6)
+        .map(|_| {
+            let mut s = TcpStream::connect(addr).expect("connect burst");
+            s.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+            s.write_all(b"GET /healthz HTTP/1.1\r\nContent-Length: 0\r\n\r\n")
+                .expect("write burst");
+            s
+        })
+        .collect();
+    // Release the worker: closing the staller fails its pending read and
+    // frees it to drain the queued connection.
+    drop(staller);
+    for stream in &mut streams {
+        replies.push(read_reply(stream));
+    }
+    let shed = replies.iter().filter(|r| r.status == 503).count();
+    let served = replies.iter().filter(|r| r.status == 200).count();
+    assert!(shed >= 1, "expected at least one shed 503");
+    assert!(served >= 1, "expected the queued request to be served");
+    for reply in replies.iter().filter(|r| r.status == 503) {
+        assert_eq!(reply.header("retry-after"), Some("1"));
+        assert!(reply.body.contains("\"category\": \"overload\""));
+    }
+
+    // Shedding is observable and the server still answers.
+    let metrics = request(addr, "GET", "/metrics", b"");
+    assert_eq!(metrics.status, 200);
+    let shed_line = metrics
+        .body
+        .lines()
+        .find(|l| l.starts_with("strudel_shed_total "))
+        .expect("shed counter present");
+    let count: u64 = shed_line["strudel_shed_total ".len()..].parse().unwrap();
+    assert!(count >= shed as u64);
+
+    request(addr, "POST", "/admin/shutdown", b"");
+    handle.join();
+}
+
+#[test]
+fn corrupt_reload_is_rejected_and_old_model_keeps_serving() {
+    let dir = scratch("reload");
+    let good = dir.join("good.strudel");
+    let corrupt = dir.join("corrupt.strudel");
+    tiny_model().save(&good).expect("save model");
+    std::fs::write(&corrupt, b"STRUDEL?not a model at all").expect("write corrupt file");
+
+    let model = Strudel::load(&good).expect("load model");
+    let expected = model
+        .try_detect_structure_bytes(SAMPLE.as_bytes(), &Limits::standard())
+        .expect("one-shot detection")
+        .to_json();
+    let config = ServerConfig {
+        model_path: Some(good.clone()),
+        ..config_with(Limits::standard())
+    };
+    let server = Server::bind(model, &config).expect("bind");
+    let handle = server.spawn();
+    let addr = handle.addr();
+
+    // Warm the cache so we can observe the reload clearing it.
+    let first = request(addr, "POST", "/classify", SAMPLE.as_bytes());
+    assert_eq!(first.status, 200);
+    assert_eq!(first.header("x-strudel-cache"), Some("miss"));
+
+    // A corrupt file is rejected during validation, before the swap.
+    let bad = request(
+        addr,
+        "POST",
+        "/admin/reload",
+        corrupt.display().to_string().as_bytes(),
+    );
+    assert_eq!(bad.status, 422, "body: {}", bad.body);
+    assert!(bad.body.contains("\"category\": \"model\""));
+
+    // The old model (and its warm cache) keeps serving.
+    let after = request(addr, "POST", "/classify", SAMPLE.as_bytes());
+    assert_eq!(after.status, 200);
+    assert_eq!(after.body, expected);
+    assert_eq!(after.header("x-strudel-cache"), Some("hit"));
+
+    // Reloading without a body falls back to the recorded model path and
+    // succeeds — which must invalidate the result cache.
+    let ok = request(addr, "POST", "/admin/reload", b"");
+    assert_eq!(ok.status, 200, "body: {}", ok.body);
+    assert!(ok.body.contains("\"reloaded\": true"));
+    let refreshed = request(addr, "POST", "/classify", SAMPLE.as_bytes());
+    assert_eq!(refreshed.status, 200);
+    assert_eq!(refreshed.body, expected);
+    assert_eq!(refreshed.header("x-strudel-cache"), Some("miss"));
+
+    let metrics = request(addr, "GET", "/metrics", b"");
+    assert!(metrics
+        .body
+        .contains("strudel_requests_total{endpoint=\"reload\",outcome=\"error\"} 1"));
+    assert!(metrics
+        .body
+        .contains("strudel_requests_total{endpoint=\"reload\",outcome=\"ok\"} 1"));
+
+    request(addr, "POST", "/admin/shutdown", b"");
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_request() {
+    let server = Server::bind(tiny_model(), &config_with(Limits::standard())).expect("bind");
+    let handle = server.spawn();
+    let addr = handle.addr();
+
+    // Start a classify request but hold back the last bytes of the body,
+    // so it is in flight (a worker is blocked reading it) when shutdown
+    // arrives.
+    let body = SAMPLE.as_bytes();
+    let split = body.len() - 10;
+    let mut in_flight = TcpStream::connect(addr).expect("connect");
+    in_flight
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    in_flight
+        .write_all(
+            format!(
+                "POST /classify HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("write head");
+    in_flight.write_all(&body[..split]).expect("write partial");
+    std::thread::sleep(Duration::from_millis(100));
+
+    let bye = request(addr, "POST", "/admin/shutdown", b"");
+    assert_eq!(bye.status, 200);
+    assert!(bye.body.contains("\"shutting_down\": true"));
+
+    // Deliver the rest: the in-flight request must still complete.
+    in_flight.write_all(&body[split..]).expect("write rest");
+    let reply = read_reply(&mut in_flight);
+    assert_eq!(reply.status, 200, "body: {}", reply.body);
+    assert!(reply.body.contains("\"lines\""));
+
+    // And the server exits once drained.
+    handle.join();
+}
