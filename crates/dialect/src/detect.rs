@@ -13,7 +13,7 @@
 //! text file becomes a verbose CSV file only after its dialect is known.
 
 use crate::dialect::Dialect;
-use crate::parser::parse;
+use crate::scan::scan_records;
 use strudel_table::{DataType, Deadline, LimitKind, Limits, StrudelError};
 
 /// Delimiters considered by the detector, in tie-break preference order.
@@ -180,8 +180,13 @@ fn candidate_dialects(text: &str) -> Vec<Dialect> {
 }
 
 /// Compute the consistency measure `Q = P × T` of one dialect.
+///
+/// Scoring runs over the zero-copy scanner output: every candidate
+/// dialect re-reads the same sample, so materialising owned cells here
+/// would multiply allocation cost by the number of candidates. Clean
+/// fields are inspected as borrowed slices of the sample.
 pub fn score_dialect(text: &str, dialect: &Dialect) -> ScoredDialect {
-    let records = parse(text, dialect);
+    let records = scan_records(text, dialect);
     if records.is_empty() {
         return ScoredDialect {
             dialect: *dialect,
@@ -198,10 +203,10 @@ pub fn score_dialect(text: &str, dialect: &Dialect) -> ScoredDialect {
     // the file scores zero; many distinct row shapes dilute the score.
     let mut pattern_counts: std::collections::HashMap<usize, usize> =
         std::collections::HashMap::new();
-    for rec in &records {
+    for rec in records.iter() {
         *pattern_counts.entry(rec.len()).or_insert(0) += 1;
     }
-    let n_rows = records.len() as f64;
+    let n_rows = records.n_records() as f64;
     let raw: f64 = pattern_counts
         .iter()
         .map(|(&len, &count)| count as f64 * (len.saturating_sub(1)) as f64 / len.max(1) as f64)
@@ -212,10 +217,10 @@ pub fn score_dialect(text: &str, dialect: &Dialect) -> ScoredDialect {
     // dialect. A small epsilon keeps all-unknown files comparable.
     let mut total = 0usize;
     let mut clean = 0usize;
-    for rec in &records {
-        for cell in rec {
+    for rec in records.iter() {
+        for cell in rec.iter() {
             total += 1;
-            if is_clean_cell(cell) {
+            if is_clean_cell(&cell) {
                 clean += 1;
             }
         }

@@ -21,7 +21,9 @@
 
 mod detect;
 mod dialect;
+pub mod legacy;
 mod parser;
+mod scan;
 mod write;
 
 pub use detect::{
@@ -30,13 +32,14 @@ pub use detect::{
 };
 pub use dialect::Dialect;
 pub use parser::{parse, try_parse, try_parse_within};
+pub use scan::{scan_records, try_scan_records, try_scan_records_within, RecordRef, RecordsRef};
 pub use write::{write_delimited, write_field};
 
 // Re-export the shared error/limit types so downstream crates can use
 // the fallible API without a direct `strudel-table` dependency.
 pub use strudel_table::{Deadline, LimitKind, Limits, StrudelError};
 
-use strudel_table::Table;
+use strudel_table::{Cell, Table};
 
 /// The UTF-8 byte-order mark, as emitted by Excel's "CSV UTF-8" export.
 pub const UTF8_BOM: char = '\u{FEFF}';
@@ -63,8 +66,29 @@ pub fn read_table(text: &str) -> (Table, Dialect) {
 
 /// Parse `text` under a known dialect and build a [`Table`]. A leading
 /// UTF-8 BOM is stripped.
+///
+/// The grid is built directly from the zero-copy scanner output: cells
+/// are constructed straight from borrowed field slices, without the
+/// intermediate owned `Vec<Vec<String>>` of [`parse`].
 pub fn read_table_with(text: &str, dialect: &Dialect) -> Table {
-    Table::from_rows(parse(strip_bom(text), dialect))
+    table_from_records(&scan_records(strip_bom(text), dialect))
+}
+
+/// Assemble the padded cell grid from borrowed records.
+fn table_from_records(records: &RecordsRef<'_>) -> Table {
+    let n_rows = records.n_records();
+    let n_cols = records.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut cells = Vec::with_capacity(n_rows * n_cols);
+    for rec in records.iter() {
+        let len = rec.len();
+        for field in rec.iter() {
+            cells.push(Cell::new(field));
+        }
+        for _ in len..n_cols {
+            cells.push(Cell::empty());
+        }
+    }
+    Table::from_cell_grid(cells, n_rows, n_cols)
 }
 
 /// Decode `bytes` as UTF-8, or report a typed parse error with the byte
@@ -117,9 +141,16 @@ pub fn try_read_table_with(
     limits: &Limits,
     deadline: Deadline,
 ) -> Result<Table, StrudelError> {
-    let rows = try_parse_within(strip_bom(text), dialect, limits, deadline)?;
+    let records = try_scan_records_within(strip_bom(text), dialect, limits, deadline)?;
     deadline.check()?;
-    Table::try_from_rows(rows, limits)
+    // The scanner bounds streamed rows/cols/cells, but the *padded* grid
+    // (rows × widest row) can still exceed the cell bound — check the
+    // implied dimensions before allocating, exactly as
+    // [`Table::try_from_rows`] does.
+    let n_rows = records.n_records();
+    let n_cols = records.iter().map(|r| r.len()).max().unwrap_or(0);
+    Table::check_grid_limits(n_rows, n_cols, limits)?;
+    Ok(table_from_records(&records))
 }
 
 #[cfg(test)]

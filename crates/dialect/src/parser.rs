@@ -1,4 +1,4 @@
-//! State-machine CSV parser parameterised by a [`Dialect`].
+//! Owned-rows CSV parsing API, parameterised by a [`Dialect`].
 //!
 //! The parser implements RFC 4180 semantics generalised to arbitrary
 //! dialects: fields may be wrapped in the quote character, a doubled quote
@@ -7,21 +7,24 @@
 //! embedded line breaks. Both `\n` and `\r\n` (and bare `\r`) are accepted
 //! as record terminators.
 //!
+//! Since the block-scanner rewrite these entry points are thin adapters:
+//! the actual parsing is done zero-copy by [`crate::scan`], and the
+//! borrowed records are materialised into the historical
+//! `Vec<Vec<String>>` shape for callers that want owned rows. New code
+//! that only needs to *look* at fields should call
+//! [`crate::scan_records`] / [`crate::try_scan_records`] directly and
+//! skip the per-field allocations.
+//!
 //! [`try_parse`] is the guarded entry point: it enforces [`Limits`] (input
 //! size, physical line length, rows, columns, cells, quoted-field length)
 //! and an optional wall-clock [`Deadline`] while parsing, so a
 //! pathological input fails with a typed [`StrudelError`] instead of
-//! exhausting memory or stalling. [`parse`] is the unbounded legacy entry
+//! exhausting memory or stalling. [`parse`] is the unbounded entry
 //! point; it cannot fail.
 
 use crate::dialect::Dialect;
-use strudel_table::{Deadline, LimitKind, Limits, StrudelError};
-
-/// How many characters the guarded parser consumes between wall-clock
-/// deadline checks. `Instant::now` costs tens of nanoseconds; checking
-/// every 64Ki characters keeps the overhead unmeasurable while bounding
-/// the overshoot past an expired deadline.
-const DEADLINE_CHECK_INTERVAL: usize = 1 << 16;
+use crate::scan::try_scan_records_within;
+use strudel_table::{Deadline, Limits, StrudelError};
 
 /// Parse `text` into records of fields under the given dialect, without
 /// resource limits.
@@ -51,206 +54,22 @@ pub fn try_parse(
     try_parse_within(text, dialect, limits, Deadline::none())
 }
 
-/// [`try_parse`] with an explicit wall-clock [`Deadline`], checked every
-/// [`DEADLINE_CHECK_INTERVAL`] characters. Used by the batch engine's
-/// per-file budget.
+/// [`try_parse`] with an explicit wall-clock [`Deadline`], polled once
+/// per block of scanned input. Used by the batch engine's per-file
+/// budget.
 pub fn try_parse_within(
     text: &str,
     dialect: &Dialect,
     limits: &Limits,
     deadline: Deadline,
 ) -> Result<Vec<Vec<String>>, StrudelError> {
-    if let Some(max) = limits.max_input_bytes {
-        if text.len() as u64 > max {
-            return Err(StrudelError::limit(
-                LimitKind::InputBytes,
-                text.len() as u64,
-                max,
-            ));
-        }
-    }
-
-    let mut records: Vec<Vec<String>> = Vec::new();
-    let mut record: Vec<String> = Vec::new();
-    let mut field = String::new();
-    let mut chars = text.char_indices().peekable();
-
-    // Physical-line accounting (independent of quoting: a quoted field
-    // spanning lines still produces physical lines on disk).
-    let mut line_start: usize = 0;
-    // Total fields produced, for the streaming cell bound.
-    let mut n_cells: u64 = 0;
-    let mut since_deadline_check: usize = 0;
-
-    #[derive(PartialEq)]
-    enum State {
-        /// At the start of a field (quoting may begin here).
-        FieldStart,
-        /// Inside an unquoted field.
-        Unquoted,
-        /// Inside a quoted field.
-        Quoted,
-        /// Just saw a quote inside a quoted field: could be the end of the
-        /// field or the first half of a doubled quote.
-        QuoteInQuoted,
-    }
-
-    let mut state = State::FieldStart;
-
-    macro_rules! end_field {
-        () => {{
-            if let Some(max) = limits.max_cols {
-                if record.len() as u64 >= max {
-                    return Err(StrudelError::limit(
-                        LimitKind::Cols,
-                        record.len() as u64 + 1,
-                        max,
-                    ));
-                }
-            }
-            n_cells += 1;
-            if let Some(max) = limits.max_cells {
-                if n_cells > max {
-                    return Err(StrudelError::limit(LimitKind::Cells, n_cells, max));
-                }
-            }
-            record.push(std::mem::take(&mut field));
-            state = State::FieldStart;
-        }};
-    }
-    macro_rules! end_record {
-        () => {{
-            end_field!();
-            if let Some(max) = limits.max_rows {
-                if records.len() as u64 >= max {
-                    return Err(StrudelError::limit(
-                        LimitKind::Rows,
-                        records.len() as u64 + 1,
-                        max,
-                    ));
-                }
-            }
-            records.push(std::mem::take(&mut record));
-        }};
-    }
-
-    while let Some((idx, ch)) = chars.next() {
-        since_deadline_check += 1;
-        if since_deadline_check >= DEADLINE_CHECK_INTERVAL {
-            since_deadline_check = 0;
-            deadline.check()?;
-        }
-        if ch == '\n' || ch == '\r' {
-            line_start = idx + 1;
-        } else if let Some(max) = limits.max_line_bytes {
-            let line_bytes = (idx - line_start) as u64 + ch.len_utf8() as u64;
-            if line_bytes > max {
-                return Err(StrudelError::limit(LimitKind::LineBytes, line_bytes, max));
-            }
-        }
-        match state {
-            State::FieldStart => {
-                if Some(ch) == dialect.quote {
-                    state = State::Quoted;
-                } else if ch == dialect.delimiter {
-                    end_field!();
-                } else if ch == '\n' {
-                    end_record!();
-                } else if ch == '\r' {
-                    if chars.peek().map(|&(_, c)| c) == Some('\n') {
-                        chars.next();
-                    }
-                    end_record!();
-                } else if Some(ch) == dialect.escape {
-                    if let Some((_, next)) = chars.next() {
-                        field.push(next);
-                    }
-                    state = State::Unquoted;
-                } else {
-                    field.push(ch);
-                    state = State::Unquoted;
-                }
-            }
-            State::Unquoted => {
-                if ch == dialect.delimiter {
-                    end_field!();
-                } else if ch == '\n' {
-                    end_record!();
-                } else if ch == '\r' {
-                    if chars.peek().map(|&(_, c)| c) == Some('\n') {
-                        chars.next();
-                    }
-                    end_record!();
-                } else if Some(ch) == dialect.escape {
-                    if let Some((_, next)) = chars.next() {
-                        field.push(next);
-                    }
-                } else {
-                    field.push(ch);
-                }
-            }
-            State::Quoted => {
-                if Some(ch) == dialect.quote {
-                    state = State::QuoteInQuoted;
-                } else if Some(ch) == dialect.escape {
-                    if let Some((_, next)) = chars.next() {
-                        field.push(next);
-                    }
-                } else {
-                    field.push(ch);
-                }
-                if let Some(max) = limits.max_quoted_field_bytes {
-                    if field.len() as u64 > max {
-                        return Err(StrudelError::limit(
-                            LimitKind::QuotedFieldBytes,
-                            field.len() as u64,
-                            max,
-                        ));
-                    }
-                }
-            }
-            State::QuoteInQuoted => {
-                if Some(ch) == dialect.quote {
-                    // Doubled quote: literal quote character.
-                    field.push(ch);
-                    state = State::Quoted;
-                } else if ch == dialect.delimiter {
-                    end_field!();
-                } else if ch == '\n' {
-                    end_record!();
-                } else if ch == '\r' {
-                    if chars.peek().map(|&(_, c)| c) == Some('\n') {
-                        chars.next();
-                    }
-                    end_record!();
-                } else {
-                    // Stray content after a closing quote: keep it, the
-                    // file is malformed but we stay total.
-                    field.push(ch);
-                    state = State::Unquoted;
-                }
-            }
-        }
-    }
-
-    // Flush a trailing record without a final newline. A quote state at
-    // EOF (unterminated quote, or a closing quote as the very last
-    // character) still denotes a field — even an empty one, so that a
-    // file ending in `""` keeps its final record.
-    if !field.is_empty()
-        || !record.is_empty()
-        || state == State::Quoted
-        || state == State::QuoteInQuoted
-    {
-        record.push(field);
-        records.push(record);
-    }
-    Ok(records)
+    Ok(try_scan_records_within(text, dialect, limits, deadline)?.to_owned_rows())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use strudel_table::LimitKind;
 
     fn rows(text: &str) -> Vec<Vec<String>> {
         parse(text, &Dialect::rfc4180())
@@ -460,9 +279,9 @@ mod tests {
 
     #[test]
     fn expired_deadline_fails_large_input() {
-        // The deadline is only polled every DEADLINE_CHECK_INTERVAL
-        // characters, so the input must exceed one interval.
-        let text = "a,b\n".repeat(DEADLINE_CHECK_INTERVAL / 2);
+        // The deadline is only polled every DEADLINE_CHECK_BYTES bytes
+        // of classified blocks, so the input must exceed one interval.
+        let text = "a,b\n".repeat(crate::scan::DEADLINE_CHECK_BYTES / 2);
         let deadline = Deadline::after(std::time::Duration::ZERO);
         std::thread::sleep(std::time::Duration::from_millis(2));
         let err = try_parse_within(&text, &Dialect::rfc4180(), &Limits::unbounded(), deadline)

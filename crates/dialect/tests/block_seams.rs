@@ -1,0 +1,154 @@
+//! Block-seam regression fixtures: structural characters positioned to
+//! straddle the scanner's 16/32/64-byte block boundaries exactly.
+//!
+//! The block scanner classifies input in 64-byte SWAR blocks (and 8-byte
+//! words within them), carrying parser state across block seams. These
+//! tests pin the carry logic: a delimiter as the last byte of a block, a
+//! quote toggling right at a seam, a `\r\n` pair split across two
+//! blocks, and multi-byte UTF-8 sequences whose lead/continuation bytes
+//! fall on different sides of a boundary. Each fixture is checked for
+//! byte-identical output against the retained legacy char-walker.
+
+use strudel_dialect::legacy::parse_legacy;
+use strudel_dialect::{parse, try_parse, Dialect, Limits};
+
+/// The word and block widths whose seams we engineer around.
+const SEAMS: [usize; 4] = [8, 16, 32, 64];
+
+fn assert_parity(text: &str, dialect: &Dialect) {
+    assert_eq!(
+        parse(text, dialect),
+        parse_legacy(text, dialect),
+        "divergence on {text:?}"
+    );
+}
+
+/// Pad with `n` filler bytes so the interesting character lands at an
+/// exact absolute offset.
+fn pad(n: usize) -> String {
+    "x".repeat(n)
+}
+
+#[test]
+fn delimiter_on_each_side_of_every_seam() {
+    let d = Dialect::rfc4180();
+    for seam in SEAMS {
+        // Delimiter at seam-1 (last byte of a block), seam (first byte
+        // of the next), and seam+1.
+        for offset in [seam - 1, seam, seam + 1] {
+            let text = format!("{},b\n", pad(offset));
+            assert_parity(&text, &d);
+        }
+    }
+}
+
+#[test]
+fn quote_toggles_straddle_seams() {
+    let d = Dialect::rfc4180();
+    for seam in SEAMS {
+        // Opening quote exactly at the seam; closing quote exactly at
+        // the seam; the quoted content crossing the seam.
+        let open_at_seam = format!("{},\"q\",z\n", pad(seam - 1));
+        assert_parity(&open_at_seam, &d);
+        let close_at_seam = format!("\"{}\",z\n", pad(seam - 1));
+        assert_parity(&close_at_seam, &d);
+        let content_across = format!("\"{}\",z\n", pad(seam + 3));
+        assert_parity(&content_across, &d);
+        // Doubled quote split by the seam: first quote at seam-1,
+        // second at seam.
+        let doubled_across = format!("\"{}\"\"tail\",z\n", pad(seam - 2));
+        assert_parity(&doubled_across, &d);
+    }
+}
+
+#[test]
+fn crlf_pairs_split_across_seams() {
+    let d = Dialect::rfc4180();
+    for seam in SEAMS {
+        // \r as the last byte of a block, \n as the first of the next.
+        let split = format!("{}\r\nnext,row\n", pad(seam - 1));
+        assert_parity(&split, &d);
+        // Bare \r at the seam (no \n following).
+        let bare = format!("{}\rnext,row\n", pad(seam - 1));
+        assert_parity(&bare, &d);
+        // \r\n fully inside the previous block, record start at seam.
+        let before = format!("{}\r\n{}", pad(seam - 2), "a,b\n");
+        assert_parity(&before, &d);
+    }
+}
+
+#[test]
+fn multibyte_utf8_straddles_seams() {
+    let d = Dialect::rfc4180();
+    // é = 2 bytes, € = 3 bytes, 🙂 = 4 bytes. Position each so the seam
+    // falls between its lead and continuation bytes, at every possible
+    // interior split.
+    for seam in SEAMS {
+        for (ch, width) in [('\u{00E9}', 2), ('\u{20AC}', 3), ('\u{1F642}', 4)] {
+            for split in 1..width {
+                let text = format!("{}{ch},b\n", pad(seam - split));
+                assert_parity(&text, &d);
+                // Same, inside a quoted field.
+                let quoted = format!("\"{}{ch}\",b\n", pad(seam - split - 1));
+                assert_parity(&quoted, &d);
+            }
+        }
+    }
+}
+
+#[test]
+fn escape_consuming_across_seams() {
+    let d = Dialect {
+        delimiter: ',',
+        quote: Some('"'),
+        escape: Some('\\'),
+    };
+    for seam in SEAMS {
+        // Escape as the last byte of a block: the escaped character is
+        // the first byte of the next block.
+        let escaped_delim = format!("{}\\,tail,z\n", pad(seam - 1));
+        assert_parity(&escaped_delim, &d);
+        // Escape whose escaped character is multi-byte and straddles.
+        let escaped_wide = format!("{}\\\u{1F642},z\n", pad(seam - 1));
+        assert_parity(&escaped_wide, &d);
+        // Escape at seam inside quotes.
+        let escaped_quoted = format!("\"{}\\\"x\",z\n", pad(seam - 2));
+        assert_parity(&escaped_quoted, &d);
+    }
+}
+
+#[test]
+fn field_and_record_limits_across_seams() {
+    // Limit crossings computed inside a run that spans multiple blocks
+    // must report the same actual/max as the per-char legacy walk.
+    let d = Dialect::rfc4180();
+    for seam in SEAMS {
+        let mut limits = Limits::unbounded();
+        limits.max_line_bytes = Some(seam as u64);
+        for width in [seam - 1, seam, seam + 1, seam + 17] {
+            let text = format!("{}\nshort\n", pad(width));
+            let legacy = strudel_dialect::legacy::try_parse_legacy(&text, &d, &limits);
+            let fast = try_parse(&text, &d, &limits);
+            match (legacy, fast) {
+                (Ok(a), Ok(b)) => assert_eq!(b, a),
+                (Err(a), Err(b)) => assert_eq!(format!("{b}"), format!("{a}")),
+                (a, b) => panic!("outcome diverges at width {width}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn dense_structural_runs_across_seams() {
+    // Pathological all-structural input: every byte is an event, across
+    // several blocks. Exercises the cached-mask bit consumption.
+    let d = Dialect::rfc4180();
+    for len in [63, 64, 65, 127, 128, 129, 200] {
+        assert_parity(&",".repeat(len), &d);
+        assert_parity(&"\"".repeat(len), &d);
+        assert_parity(&"\n".repeat(len), &d);
+        assert_parity(&"\r".repeat(len), &d);
+        assert_parity(&"\r\n".repeat(len), &d);
+        assert_parity(&",\"\n".repeat(len), &d);
+    }
+}

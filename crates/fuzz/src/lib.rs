@@ -16,6 +16,13 @@
 //! a long soak ([`run`] via the `strudel-fuzz` binary or
 //! `scripts/fuzz.sh`) replays exactly in a debugger, and the bounded
 //! tier-1 smoke test is fully reproducible in CI.
+//!
+//! Since the zero-copy block-scanner rewrite the harness is also a
+//! **differential** fuzzer: every input is additionally parsed by both
+//! the production scanner and the retained legacy char-walker under a
+//! panel of dialects, and any divergence — different rows, different
+//! limit kind, different limit counts — is a failure in its own right,
+//! tallied separately from panics ([`FuzzReport::divergences`]).
 
 #![warn(missing_docs)]
 
@@ -25,6 +32,8 @@ use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 use strudel::{Strudel, StrudelCellConfig, StrudelLineConfig};
+use strudel_dialect::legacy::try_parse_legacy;
+use strudel_dialect::{try_parse, Dialect};
 use strudel_ml::ForestConfig;
 use strudel_table::{LimitKind, Limits, StrudelError};
 
@@ -233,6 +242,11 @@ pub struct FuzzReport {
     pub panics: u64,
     /// Index of the first panicking input, for replay.
     pub first_panic: Option<u64>,
+    /// Inputs on which the block scanner and the legacy char-walker
+    /// disagreed — must be zero.
+    pub divergences: u64,
+    /// Index and description of the first divergence, for replay.
+    pub first_divergence: Option<(u64, String)>,
 }
 
 impl FuzzReport {
@@ -249,18 +263,94 @@ impl FuzzReport {
             .map(|(cat, n)| format!("{cat}: {n}"))
             .collect();
         format!(
-            "{} inputs: {} ok, {} panics, errors {{{}}}",
+            "{} inputs: {} ok, {} panics, {} parser divergences, errors {{{}}}",
             self.total(),
             self.ok,
             self.panics,
+            self.divergences,
             errs.join(", ")
         )
     }
 }
 
+/// The dialect panel every fuzz input is differentially parsed under:
+/// the common production dialects plus quote/escape combinations that
+/// stress the scanner's copy-on-write and state-carry paths.
+pub fn divergence_dialects() -> Vec<Dialect> {
+    vec![
+        Dialect::rfc4180(),
+        Dialect::with_delimiter(';'),
+        Dialect::with_delimiter('\t'),
+        Dialect {
+            delimiter: ',',
+            quote: Some('"'),
+            escape: Some('\\'),
+        },
+        Dialect {
+            delimiter: ',',
+            quote: None,
+            escape: Some('\\'),
+        },
+        Dialect {
+            delimiter: '|',
+            quote: Some('\''),
+            escape: None,
+        },
+    ]
+}
+
+/// Differentially parse one input with the block scanner and the legacy
+/// char-walker under every panel dialect, both unbounded and under
+/// `limits`. Returns a description of the first divergence, or `None`
+/// when the two paths are indistinguishable on this input.
+///
+/// Inputs that are not valid UTF-8 are skipped: both parsers operate on
+/// `&str`, so decoding rejects such inputs before either path runs.
+pub fn check_divergence(input: &[u8], limits: &Limits) -> Option<String> {
+    let text = match std::str::from_utf8(input) {
+        Ok(t) => t,
+        Err(_) => return None,
+    };
+    for dialect in divergence_dialects() {
+        for (label, bounds) in [
+            ("unbounded", Limits::unbounded()),
+            ("bounded", *limits),
+        ] {
+            let legacy = try_parse_legacy(text, &dialect, &bounds);
+            let fast = try_parse(text, &dialect, &bounds);
+            let agree = match (&legacy, &fast) {
+                (Ok(a), Ok(b)) => a == b,
+                (
+                    Err(StrudelError::LimitExceeded {
+                        limit: la,
+                        actual: aa,
+                        max: ma,
+                        ..
+                    }),
+                    Err(StrudelError::LimitExceeded {
+                        limit: lb,
+                        actual: ab,
+                        max: mb,
+                        ..
+                    }),
+                ) => la == lb && aa == ab && ma == mb,
+                (Err(a), Err(b)) => a == b,
+                _ => false,
+            };
+            if !agree {
+                return Some(format!(
+                    "{label} parse under {dialect:?}: legacy {legacy:?} vs scanner {fast:?}"
+                ));
+            }
+        }
+    }
+    None
+}
+
 /// Feed one input through guarded structure detection, recording the
-/// outcome. Panics are caught and tallied, never propagated — the soak
-/// keeps going to find every offending input, not just the first.
+/// outcome, then differentially parse it through both parser paths.
+/// Panics are caught and tallied, never propagated — the soak keeps
+/// going to find every offending input, not just the first.
 pub fn run_one(model: &Strudel, input: &[u8], limits: &Limits, i: u64, report: &mut FuzzReport) {
     let result = catch_unwind(AssertUnwindSafe(|| {
         model.try_detect_structure_bytes(input, limits).map(|_| ())
@@ -269,6 +359,22 @@ pub fn run_one(model: &Strudel, input: &[u8], limits: &Limits, i: u64, report: &
         Ok(Ok(())) => report.ok += 1,
         Ok(Err(e)) => *report.errors.entry(e.category()).or_insert(0) += 1,
         Err(_) => {
+            report.panics += 1;
+            report.first_panic.get_or_insert(i);
+        }
+    }
+    let divergence = catch_unwind(AssertUnwindSafe(|| check_divergence(input, limits)));
+    match divergence {
+        Ok(None) => {}
+        Ok(Some(desc)) => {
+            report.divergences += 1;
+            if report.first_divergence.is_none() {
+                report.first_divergence = Some((i, desc));
+            }
+        }
+        Err(_) => {
+            // A panic inside either parser path is both a panic and, by
+            // definition, a divergence from the non-panicking reference.
             report.panics += 1;
             report.first_panic.get_or_insert(i);
         }

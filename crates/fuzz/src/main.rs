@@ -4,11 +4,12 @@
 //! strudel-fuzz [SEED] [ITERATIONS]
 //! ```
 //!
-//! Runs seeded mutated inputs through guarded structure detection until
-//! `ITERATIONS` is reached (default: run forever, reporting every 10k
-//! inputs). Exits non-zero as soon as a panic or a limit-probe failure
-//! is observed; the printed seed and input index replay the failure
-//! deterministically.
+//! Runs seeded mutated inputs through guarded structure detection — and
+//! differentially through the block scanner and the legacy char-walker —
+//! until `ITERATIONS` is reached (default: run forever, reporting every
+//! 10k inputs). Exits non-zero as soon as a panic, a parser divergence,
+//! or a limit-probe failure is observed; the printed seed and input
+//! index replay the failure deterministically.
 
 use strudel_fuzz::{
     base_inputs, check_limit_probes, fuzz_limits, fuzz_model, mutated_input, run_one, FuzzReport,
@@ -51,7 +52,7 @@ fn main() -> std::process::ExitCode {
         if i.is_multiple_of(10_000) {
             eprintln!("{}", report.summary());
         }
-        if report.panics > 0 {
+        if report.panics > 0 || report.divergences > 0 {
             break;
         }
     }
@@ -64,6 +65,13 @@ fn main() -> std::process::ExitCode {
              mutated_input(&bases, {seed}, {}))",
             report.first_panic.unwrap(),
             report.first_panic.unwrap(),
+        );
+        std::process::ExitCode::FAILURE
+    } else if report.divergences > 0 {
+        let (idx, desc) = report.first_divergence.as_ref().unwrap();
+        eprintln!(
+            "PARSER DIVERGENCE on input {idx} (replay: mutated_input(&bases, {seed}, {idx})):\n\
+             {desc}"
         );
         std::process::ExitCode::FAILURE
     } else {

@@ -2,7 +2,8 @@
 //!
 //! Fixed seed, a few thousand mutated inputs: guarded structure
 //! detection must return `Ok` or a typed `StrudelError` for every one of
-//! them, with zero panics. `FUZZ_ITERS` scales the run up (CI sets
+//! them, with zero panics — and the block scanner must agree with the
+//! legacy char-walker on every input (zero divergences). `FUZZ_ITERS` scales the run up (CI sets
 //! `FUZZ_SMOKE=1` with the default count; a nightly soak can use more,
 //! or run the unbounded `strudel-fuzz` binary via `scripts/fuzz.sh`).
 
@@ -26,6 +27,13 @@ fn every_mutated_input_yields_ok_or_typed_error() {
         0,
         "panic on input {:?}: {}",
         bounded.first_panic,
+        bounded.summary()
+    );
+    assert_eq!(
+        bounded.divergences,
+        0,
+        "parser divergence on input {:?}: {}",
+        bounded.first_divergence,
         bounded.summary()
     );
     assert_eq!(bounded.total(), iterations);
@@ -62,6 +70,13 @@ fn every_mutated_input_yields_ok_or_typed_error() {
         0,
         "panic on input {:?}: {}",
         unbounded.first_panic,
+        unbounded.summary()
+    );
+    assert_eq!(
+        unbounded.divergences,
+        0,
+        "parser divergence on input {:?}: {}",
+        unbounded.first_divergence,
         unbounded.summary()
     );
     assert!(

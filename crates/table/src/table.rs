@@ -133,6 +133,19 @@ impl Table {
     pub fn try_from_rows(rows: Vec<Vec<String>>, limits: &Limits) -> Result<Table, StrudelError> {
         let n_cols = rows.iter().map(Vec::len).max().unwrap_or(0);
         let n_rows = rows.len();
+        Table::check_grid_limits(n_rows, n_cols, limits)?;
+        Ok(Table::from_rows(rows))
+    }
+
+    /// Check that an `n_rows × n_cols` padded grid would respect the
+    /// row/column/cell bounds and fit the address space, *before* it is
+    /// allocated. Shared by [`Table::try_from_rows`] and the parsers
+    /// that build cells directly from borrowed records.
+    pub fn check_grid_limits(
+        n_rows: usize,
+        n_cols: usize,
+        limits: &Limits,
+    ) -> Result<(), StrudelError> {
         if let Some(max) = limits.max_rows {
             if n_rows as u64 > max {
                 return Err(StrudelError::limit(LimitKind::Rows, n_rows as u64, max));
@@ -161,7 +174,27 @@ impl Table {
                 reason: format!("grid of {implied} cells exceeds the address space"),
             });
         }
-        Ok(Table::from_rows(rows))
+        Ok(())
+    }
+
+    /// Build a table from an already-padded row-major cell grid. The
+    /// zero-copy parse path uses this to construct cells straight from
+    /// borrowed field slices, skipping the intermediate
+    /// `Vec<Vec<String>>` of [`Table::from_rows`].
+    ///
+    /// # Panics
+    /// Panics when `cells.len() != n_rows * n_cols`.
+    pub fn from_cell_grid(cells: Vec<Cell>, n_rows: usize, n_cols: usize) -> Table {
+        assert_eq!(
+            cells.len(),
+            n_rows * n_cols,
+            "cell grid does not match its dimensions"
+        );
+        Table {
+            cells,
+            n_rows,
+            n_cols,
+        }
     }
 
     /// Number of rows (lines) in the table.

@@ -7,8 +7,10 @@
 #   FUZZ_SMOKE=1 scripts/fuzz.sh    # quick bounded smoke (fixed seed)
 #
 # The harness is fully deterministic per seed: any reported failing
-# input index replays exactly. Exits non-zero on the first panic or
-# limit-probe failure.
+# input index replays exactly. Every input is also differentially parsed
+# by the block scanner and the retained legacy char-walker. Exits
+# non-zero on the first panic, parser divergence, or limit-probe
+# failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

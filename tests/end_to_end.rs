@@ -284,6 +284,7 @@ fn golden_structure_snapshots() {
         "empty",
         "header_only",
         "bom_prefixed",
+        "quoted_multiline",
     ] {
         let text = std::fs::read_to_string(dir.join(format!("{name}.csv"))).unwrap();
         let rendered = structure_to_json(&model.detect_structure(&text));
