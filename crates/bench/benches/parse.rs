@@ -26,20 +26,45 @@
 //!   full owned materialisation). Apples-to-apples with legacy's output
 //!   shape; reported so the adapter's allocation cost stays visible.
 //!
+//! Two further sections measure the chunk-parallel scanner and the
+//! end-to-end pipeline:
+//!
+//! * **parallel_scan** — `try_scan_records_threaded` at 1/2/4/8 worker
+//!   threads per workload, with speedups reported against the 1-thread
+//!   (serial) scan *on this host*. The summary records `host_cpus`; on
+//!   a single-core host the multi-thread numbers honestly show the
+//!   chunking overhead instead of a fabricated speedup.
+//! * **classify** — the full detection pipeline on a fitted model, two
+//!   ways: the retained owned path (detect dialect, parse to owned
+//!   `Table`, classify) vs the borrowed path (`try_detect_structure`:
+//!   chunked scan, classification over borrowed cells, owned
+//!   materialisation deferred to the end). Their ratio is the
+//!   `pipeline_speedup` headline.
+//!
 //! Besides the Criterion display output, the bench writes a
 //! machine-readable summary to `BENCH_parse.json` (override with
-//! `BENCH_PARSE_OUT`). `BENCH_SMOKE=1` shrinks the workloads and the
-//! iteration counts for CI smoke runs. `scripts/bench_parse.sh` gates
-//! on the headline `speedup_scan_vs_legacy` against the committed
-//! baseline.
+//! `BENCH_PARSE_OUT`). Every headline ratio is computed from the
+//! min-over-iterations of each side, after a warm-up run — see [`time`]
+//! for why the mean is the wrong estimator on shared hosts. Means are
+//! still recorded alongside. `BENCH_SMOKE=1` shrinks the workloads and
+//! the iteration counts for CI smoke runs. `scripts/bench_parse.sh`
+//! gates on the headlines `speedup_scan_vs_legacy` and
+//! `pipeline_speedup` against the committed baseline, and (on hosts
+//! with ≥ 4 CPUs) on the 4-thread parallel-scan speedup.
 
 use std::hint::black_box;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::prelude::*;
+use strudel::{Limits, Strudel, StrudelCellConfig, StrudelLineConfig};
+use strudel_datagen::{saus, GeneratorConfig};
 use strudel_dialect::legacy::parse_legacy;
-use strudel_dialect::{parse, scan_records, Dialect};
+use strudel_dialect::{
+    detect_dialect, parse, scan_records, try_scan_records_threaded, Deadline, Dialect,
+};
+use strudel_ml::ForestConfig;
+use strudel_table::Table;
 
 fn smoke() -> bool {
     std::env::var("BENCH_SMOKE").is_ok_and(|v| v == "1")
@@ -140,8 +165,15 @@ fn workloads() -> Vec<Workload> {
     ]
 }
 
-/// Mean/min wall-clock seconds of `iters` runs of `f`.
+/// Mean/min wall-clock seconds of `iters` runs of `f`, after one
+/// untimed warm-up run (page cache, allocator pools). The headline
+/// ratios below are computed from the *min*: on shared or single-core
+/// hosts the mean absorbs scheduler noise that hits a 30 ms scan much
+/// harder in relative terms than a 140 ms walk, producing phantom
+/// regressions; the min of several runs is the stable estimator of
+/// what the code path actually costs.
 fn time<F: FnMut()>(iters: usize, mut f: F) -> (f64, f64) {
+    f();
     let mut total = 0.0;
     let mut min = f64::INFINITY;
     for _ in 0..iters {
@@ -160,6 +192,7 @@ struct Measurement {
     scan_mean_s: f64,
     scan_min_s: f64,
     owned_mean_s: f64,
+    owned_min_s: f64,
     legacy_mean_s: f64,
     legacy_min_s: f64,
     iters: usize,
@@ -167,23 +200,24 @@ struct Measurement {
 
 impl Measurement {
     /// The headline ratio: zero-copy scan (with every field resolved)
-    /// vs the legacy materialising walker.
+    /// vs the legacy materialising walker, min-over-iterations on both
+    /// sides (see [`time`]).
     fn speedup(&self) -> f64 {
-        self.legacy_mean_s / self.scan_mean_s
+        self.legacy_min_s / self.scan_min_s
     }
 
     /// Secondary ratio: owned-adapter `parse` vs legacy — same output
     /// shape, so the allocation cost is identical on both sides.
     fn owned_speedup(&self) -> f64 {
-        self.legacy_mean_s / self.owned_mean_s
+        self.legacy_min_s / self.owned_min_s
     }
 
     fn scan_mb_s(&self) -> f64 {
-        self.bytes as f64 / self.scan_mean_s / 1e6
+        self.bytes as f64 / self.scan_min_s / 1e6
     }
 
     fn legacy_mb_s(&self) -> f64 {
-        self.bytes as f64 / self.legacy_mean_s / 1e6
+        self.bytes as f64 / self.legacy_min_s / 1e6
     }
 }
 
@@ -205,7 +239,7 @@ fn measure(w: &Workload, iters: usize, dialect: &Dialect) -> Measurement {
     let (scan_mean, scan_min) = time(iters, || {
         black_box(scan_and_resolve(&w.text, dialect));
     });
-    let (owned_mean, _) = time(iters, || {
+    let (owned_mean, owned_min) = time(iters, || {
         black_box(parse(&w.text, dialect));
     });
     let (legacy_mean, legacy_min) = time(iters, || {
@@ -217,13 +251,156 @@ fn measure(w: &Workload, iters: usize, dialect: &Dialect) -> Measurement {
         scan_mean_s: scan_mean,
         scan_min_s: scan_min,
         owned_mean_s: owned_mean,
+        owned_min_s: owned_min,
         legacy_mean_s: legacy_mean,
         legacy_min_s: legacy_min,
         iters,
     }
 }
 
-fn write_json(path: &str, results: &[Measurement], headline: f64) {
+/// Thread counts of the parallel-scan sweep. 1 is the serial baseline
+/// (`try_scan_records_threaded` falls back below 2 workers).
+const SCAN_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// One (workload, thread-count) cell of the parallel-scan sweep.
+struct ParallelMeasurement {
+    workload: &'static str,
+    threads: usize,
+    mean_s: f64,
+    min_s: f64,
+}
+
+/// Chunk-parallel scan plus the same touch-every-field resolution loop
+/// as [`scan_and_resolve`], so the thread sweep is comparable with the
+/// serial `scan` numbers above.
+fn scan_threaded_and_resolve(text: &str, dialect: &Dialect, n_threads: usize) -> usize {
+    let records = try_scan_records_threaded(
+        text,
+        dialect,
+        &Limits::unbounded(),
+        Deadline::none(),
+        n_threads,
+    )
+    .expect("unbounded scan succeeds");
+    let mut total = 0usize;
+    for rec in records.iter() {
+        for cell in rec.iter() {
+            total += cell.len();
+        }
+    }
+    total
+}
+
+fn measure_parallel(w: &Workload, iters: usize, dialect: &Dialect) -> Vec<ParallelMeasurement> {
+    SCAN_THREADS
+        .iter()
+        .map(|&threads| {
+            let (mean, min) = time(iters, || {
+                black_box(scan_threaded_and_resolve(&w.text, dialect, threads));
+            });
+            ParallelMeasurement {
+                workload: w.name,
+                threads,
+                mean_s: mean,
+                min_s: min,
+            }
+        })
+        .collect()
+}
+
+/// End-to-end pipeline comparison on a fitted model.
+struct ClassifyMeasurement {
+    bytes: usize,
+    owned_mean_s: f64,
+    owned_min_s: f64,
+    borrowed_mean_s: f64,
+    borrowed_min_s: f64,
+    iters: usize,
+}
+
+impl ClassifyMeasurement {
+    /// The end-to-end headline: owned-path detection time over
+    /// borrowed-path detection time, min-over-iterations on both sides.
+    fn pipeline_speedup(&self) -> f64 {
+        self.owned_min_s / self.borrowed_min_s
+    }
+}
+
+/// Fit a small but real model for the end-to-end comparison. The fit is
+/// outside all timed regions; only detection is measured.
+fn fit_model() -> Strudel {
+    let corpus = saus(&GeneratorConfig {
+        n_files: 8,
+        seed: 3,
+        scale: 1.0,
+    });
+    let config = StrudelCellConfig {
+        line: StrudelLineConfig {
+            forest: ForestConfig::fast(10, 0),
+            ..StrudelLineConfig::default()
+        },
+        forest: ForestConfig::fast(10, 0),
+        ..StrudelCellConfig::default()
+    };
+    Strudel::fit(&corpus.files, &config)
+}
+
+/// The pre-refactor pipeline shape: detect the dialect, parse to a
+/// fully owned `Table` up front, then classify the owned grid.
+fn detect_owned_path(model: &Strudel, text: &str) -> usize {
+    let dialect = detect_dialect(text);
+    let table = Table::from_rows(parse(text, &dialect));
+    model.detect_structure_of_table(table, dialect).lines.len()
+}
+
+/// The borrowed path: `try_detect_structure` scans in chunks, extracts
+/// features over borrowed field spans, and materialises owned cells
+/// only for the final `Structure`.
+fn detect_borrowed_path(model: &Strudel, text: &str) -> usize {
+    model
+        .try_detect_structure(text, &Limits::unbounded())
+        .expect("unbounded detection succeeds")
+        .lines
+        .len()
+}
+
+fn measure_classify(model: &Strudel, text: &str, iters: usize) -> ClassifyMeasurement {
+    let owned_lines = detect_owned_path(model, text);
+    let borrowed_lines = detect_borrowed_path(model, text);
+    assert_eq!(
+        owned_lines, borrowed_lines,
+        "owned and borrowed pipelines must agree before being compared"
+    );
+    let (owned_mean, owned_min) = time(iters, || {
+        black_box(detect_owned_path(model, text));
+    });
+    let (borrowed_mean, borrowed_min) = time(iters, || {
+        black_box(detect_borrowed_path(model, text));
+    });
+    ClassifyMeasurement {
+        bytes: text.len(),
+        owned_mean_s: owned_mean,
+        owned_min_s: owned_min,
+        borrowed_mean_s: borrowed_mean,
+        borrowed_min_s: borrowed_min,
+        iters,
+    }
+}
+
+fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn write_json(
+    path: &str,
+    results: &[Measurement],
+    parallel: &[ParallelMeasurement],
+    classify: &ClassifyMeasurement,
+    headline: f64,
+    parallel_4t: f64,
+) {
     let mut entries = String::new();
     for (i, m) in results.iter().enumerate() {
         if i > 0 {
@@ -250,13 +427,50 @@ fn write_json(path: &str, results: &[Measurement], headline: f64) {
             m.iters
         ));
     }
+    let mut parallel_entries = String::new();
+    for (i, p) in parallel.iter().enumerate() {
+        if i > 0 {
+            parallel_entries.push_str(",\n");
+        }
+        let serial = parallel
+            .iter()
+            .find(|q| q.workload == p.workload && q.threads == 1)
+            .expect("1-thread baseline present");
+        parallel_entries.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"threads\": {}, \
+             \"mean_s\": {:.6}, \"min_s\": {:.6}, \
+             \"speedup_vs_serial\": {:.3}}}",
+            p.workload,
+            p.threads,
+            p.mean_s,
+            p.min_s,
+            serial.min_s / p.min_s
+        ));
+    }
     let json = format!(
         "{{\n  \"bench\": \"parse\",\n  \"smoke\": {},\n  \
+         \"host_cpus\": {},\n  \
          \"results\": [\n{}\n  ],\n  \
-         \"speedup_scan_vs_legacy\": {:.3}\n}}\n",
+         \"parallel_scan\": [\n{}\n  ],\n  \
+         \"classify\": {{\"bytes\": {}, \"owned_mean_s\": {:.6}, \
+         \"owned_min_s\": {:.6}, \"borrowed_mean_s\": {:.6}, \
+         \"borrowed_min_s\": {:.6}, \"iters\": {}}},\n  \
+         \"speedup_scan_vs_legacy\": {:.3},\n  \
+         \"parallel_scan_speedup_4t\": {:.3},\n  \
+         \"pipeline_speedup\": {:.3}\n}}\n",
         smoke(),
+        host_cpus(),
         entries,
-        headline
+        parallel_entries,
+        classify.bytes,
+        classify.owned_mean_s,
+        classify.owned_min_s,
+        classify.borrowed_mean_s,
+        classify.borrowed_min_s,
+        classify.iters,
+        headline,
+        parallel_4t,
+        classify.pipeline_speedup()
     );
     std::fs::write(path, json).expect("write bench summary");
     println!("wrote {path}");
@@ -269,24 +483,66 @@ fn write_json(path: &str, results: &[Measurement], headline: f64) {
 fn summary() {
     let iters = if smoke() { 3 } else { 7 };
     let dialect = Dialect::rfc4180();
-    let results: Vec<Measurement> = workloads()
-        .iter()
-        .map(|w| measure(w, iters, &dialect))
-        .collect();
+    let loads = workloads();
+    let results: Vec<Measurement> = loads.iter().map(|w| measure(w, iters, &dialect)).collect();
     for m in &results {
         println!(
-            "{}: scan {:.1} MB/s ({:.4}s), legacy {:.1} MB/s ({:.4}s), {:.2}x \
-             (owned adapter {:.4}s, {:.2}x)",
+            "{}: scan {:.1} MB/s ({:.4}s min), legacy {:.1} MB/s ({:.4}s min), {:.2}x \
+             (owned adapter {:.4}s min, {:.2}x)",
             m.workload,
             m.scan_mb_s(),
-            m.scan_mean_s,
+            m.scan_min_s,
             m.legacy_mb_s(),
-            m.legacy_mean_s,
+            m.legacy_min_s,
             m.speedup(),
-            m.owned_mean_s,
+            m.owned_min_s,
             m.owned_speedup(),
         );
     }
+
+    let parallel: Vec<ParallelMeasurement> = loads
+        .iter()
+        .flat_map(|w| measure_parallel(w, iters, &dialect))
+        .collect();
+    println!("host_cpus: {}", host_cpus());
+    for p in &parallel {
+        let serial = parallel
+            .iter()
+            .find(|q| q.workload == p.workload && q.threads == 1)
+            .expect("1-thread baseline present");
+        println!(
+            "parallel_scan {} @{} threads: {:.4}s min ({:.2}x vs serial)",
+            p.workload,
+            p.threads,
+            p.min_s,
+            serial.min_s / p.min_s
+        );
+    }
+    let parallel_4t = {
+        let serial = parallel
+            .iter()
+            .find(|p| p.workload == "verbose_mixed" && p.threads == 1)
+            .expect("verbose_mixed serial scan present");
+        let four = parallel
+            .iter()
+            .find(|p| p.workload == "verbose_mixed" && p.threads == 4)
+            .expect("verbose_mixed 4-thread scan present");
+        serial.min_s / four.min_s
+    };
+
+    // End-to-end classification runs on a smaller verbose file than the
+    // parse workloads: feature extraction and forest walks cost far
+    // more per byte than scanning does.
+    let model = fit_model();
+    let classify_text = verbose_mixed(if smoke() { 128 << 10 } else { 1 << 20 });
+    let classify = measure_classify(&model, &classify_text, if smoke() { 3 } else { 7 });
+    println!(
+        "classify: owned {:.4}s min, borrowed {:.4}s min, pipeline_speedup {:.2}x",
+        classify.owned_min_s,
+        classify.borrowed_min_s,
+        classify.pipeline_speedup()
+    );
+
     let headline = results
         .iter()
         .find(|m| m.workload == "verbose_mixed")
@@ -296,7 +552,7 @@ fn summary() {
     // directory as cwd), so the artifact lands next to BENCH_train.json.
     let out = std::env::var("BENCH_PARSE_OUT")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parse.json").into());
-    write_json(&out, &results, headline);
+    write_json(&out, &results, &parallel, &classify, headline, parallel_4t);
 }
 
 fn parse_throughput(c: &mut Criterion) {
@@ -324,6 +580,27 @@ fn parse_throughput(c: &mut Criterion) {
         }
     }
     group.finish();
+
+    // The thread sweep as Criterion entries, on the representative
+    // workload only — the JSON summary covers all workloads.
+    let verbose = loads
+        .iter()
+        .find(|w| w.name == "verbose_mixed")
+        .expect("verbose_mixed workload present");
+    let mut pgroup = c.benchmark_group("parallel_scan");
+    pgroup.sample_size(10);
+    for &threads in &SCAN_THREADS {
+        pgroup.bench_with_input(
+            BenchmarkId::from_parameter(format!("verbose_mixed/{threads}t")),
+            &verbose.text,
+            |b, text| {
+                b.iter(|| {
+                    black_box(scan_threaded_and_resolve(text, &dialect, threads));
+                })
+            },
+        );
+    }
+    pgroup.finish();
 
     summary();
 }

@@ -462,6 +462,35 @@ fn threads_flag_and_env_are_respected() {
     let (status, _) = http(&addr, "POST", "/admin/shutdown", b"");
     assert_eq!(status, 200);
     assert!(child.0.wait().unwrap().success());
+
+    // ... and an explicit --threads beats the environment for serve
+    // exactly as it does for batch: every entry point funnels through
+    // the same `resolve_threads`.
+    let mut child = ServeGuard(
+        bin()
+            .args(["serve", "--port", "0", "--threads", "2"])
+            .env("STRUDEL_THREADS", "3")
+            .arg("--model")
+            .arg(&model)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap(),
+    );
+    let mut handshake = String::new();
+    BufReader::new(child.0.stdout.take().unwrap())
+        .read_line(&mut handshake)
+        .unwrap();
+    assert!(handshake.contains("(2 workers"), "handshake: {handshake}");
+    let addr = handshake
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("address in handshake")
+        .to_string();
+    let (status, _) = http(&addr, "POST", "/admin/shutdown", b"");
+    assert_eq!(status, 200);
+    assert!(child.0.wait().unwrap().success());
     fs::remove_dir_all(&dir).ok();
 }
 

@@ -13,9 +13,9 @@
 //! transparently recomputes on mismatch (correctness first — sharing is
 //! an optimisation, never an answer change).
 
-use crate::derived::{detect_derived_cells, DerivedConfig};
+use crate::derived::{detect_derived_cells, detect_derived_cells_view, DerivedConfig};
 use std::borrow::Cow;
-use strudel_table::{LabeledFile, Table};
+use strudel_table::{CellView, GridView, LabeledFile, Table};
 
 /// Cached single-pass analysis of one table: the derived-cell mask of
 /// Algorithm 2 under one detector configuration.
@@ -28,9 +28,18 @@ pub struct TableAnalysis {
 impl TableAnalysis {
     /// Run the derived-cell detector once and cache the mask.
     pub fn compute(table: &Table, config: DerivedConfig) -> TableAnalysis {
+        TableAnalysis::compute_view(table.view(), config)
+    }
+
+    /// [`compute`](Self::compute) over any cell grid — the zero-copy
+    /// detection path analyses the borrowed grid directly.
+    pub fn compute_view<C: CellView>(
+        table: GridView<'_, C>,
+        config: DerivedConfig,
+    ) -> TableAnalysis {
         TableAnalysis {
             config,
-            derived: detect_derived_cells(table, &config),
+            derived: detect_derived_cells_view(table, &config),
         }
     }
 
@@ -52,6 +61,19 @@ impl TableAnalysis {
             Cow::Borrowed(&self.derived)
         } else {
             Cow::Owned(detect_derived_cells(table, config))
+        }
+    }
+
+    /// [`derived_for`](Self::derived_for) over any cell grid.
+    pub fn derived_for_view<C: CellView>(
+        &self,
+        table: GridView<'_, C>,
+        config: &DerivedConfig,
+    ) -> Cow<'_, Vec<Vec<bool>>> {
+        if *config == self.config {
+            Cow::Borrowed(&self.derived)
+        } else {
+            Cow::Owned(detect_derived_cells_view(table, config))
         }
     }
 }

@@ -9,7 +9,7 @@
 //! flood fill visiting every non-empty cell exactly once — `O(n)` in the
 //! number of non-empty cells.
 
-use strudel_table::Table;
+use strudel_table::{CellView, GridView, Table};
 
 /// Per-cell block sizes, normalised to `[0, 1]` by the table size.
 ///
@@ -17,6 +17,12 @@ use strudel_table::Table;
 /// to no block). The normaliser is `table.size()` (total cell positions),
 /// matching the paper's "normalized ... by the size of the file".
 pub fn block_sizes(table: &Table) -> Vec<Vec<f64>> {
+    block_sizes_view(table.view())
+}
+
+/// [`block_sizes`] over any cell grid — owned tables and the borrowed
+/// grids of the zero-copy detection path run the same flood fill.
+pub fn block_sizes_view<C: CellView>(table: GridView<'_, C>) -> Vec<Vec<f64>> {
     let (rows, cols) = (table.n_rows(), table.n_cols());
     let mut out = vec![vec![0.0; cols]; rows];
     if rows == 0 || cols == 0 {

@@ -8,10 +8,12 @@
 //! cell of a derived line).
 
 use crate::analysis::{compute_analyses, TableAnalysis};
-use crate::cell_features::{extract_cell_features_with, CellFeatureConfig, N_CELL_FEATURES};
+use crate::cell_features::{
+    extract_cell_features_view, extract_cell_features_with, CellFeatureConfig, N_CELL_FEATURES,
+};
 use crate::line_classifier::{StrudelLine, StrudelLineConfig};
 use strudel_ml::{Dataset, ForestConfig, RandomForest};
-use strudel_table::{ElementClass, LabeledFile, Table};
+use strudel_table::{CellView, ElementClass, GridView, LabeledFile, Table};
 
 /// Configuration of `Strudel^C`.
 #[derive(Debug, Clone, Copy, Default)]
@@ -154,7 +156,21 @@ impl StrudelCell {
         n_threads: usize,
         analysis: &TableAnalysis,
     ) -> Vec<CellPrediction> {
-        let cell_features = extract_cell_features_with(table, line_probs, &self.features, analysis);
+        self.predict_with_probs_view(table.view(), line_probs, n_threads, analysis)
+    }
+
+    /// [`predict_with_probs_analysed`](Self::predict_with_probs_analysed)
+    /// over any cell grid: the zero-copy detection path classifies the
+    /// borrowed grid directly, with predictions identical to the
+    /// owned-table entry points.
+    pub fn predict_with_probs_view<C: CellView>(
+        &self,
+        table: GridView<'_, C>,
+        line_probs: &[Vec<f64>],
+        n_threads: usize,
+        analysis: &TableAnalysis,
+    ) -> Vec<CellPrediction> {
+        let cell_features = extract_cell_features_view(table, line_probs, &self.features, analysis);
         let samples: Vec<&[f64]> = cell_features
             .iter()
             .map(|cf| cf.features.as_slice())

@@ -14,10 +14,10 @@
 //!   (Algorithm 2).
 
 use crate::analysis::TableAnalysis;
-use crate::block::block_sizes;
+use crate::block::block_sizes_view;
 use crate::derived::DerivedConfig;
 use crate::keywords::has_aggregation_keyword;
-use strudel_table::{ElementClass, Table};
+use strudel_table::{CellView, ElementClass, GridView, Table};
 
 /// Names of the 37 cell features, in vector order.
 pub const CELL_FEATURE_NAMES: [&str; 37] = [
@@ -127,6 +127,22 @@ pub fn extract_cell_features_with(
     config: &CellFeatureConfig,
     analysis: &TableAnalysis,
 ) -> Vec<CellFeatures> {
+    extract_cell_features_view(table.view(), line_probs, config, analysis)
+}
+
+/// [`extract_cell_features_with`] over any cell grid — owned tables
+/// (training, compatibility API) and the borrowed grids of the
+/// zero-copy detection path produce byte-identical feature vectors.
+///
+/// # Panics
+/// Panics when `line_probs` does not have one entry of length
+/// [`ElementClass::COUNT`] per table row.
+pub fn extract_cell_features_view<C: CellView>(
+    table: GridView<'_, C>,
+    line_probs: &[Vec<f64>],
+    config: &CellFeatureConfig,
+    analysis: &TableAnalysis,
+) -> Vec<CellFeatures> {
     let (n_rows, n_cols) = (table.n_rows(), table.n_cols());
     assert_eq!(line_probs.len(), n_rows, "one probability vector per row");
     assert!(
@@ -138,8 +154,8 @@ pub fn extract_cell_features_with(
         return Vec::new();
     }
 
-    let blocks = block_sizes(table);
-    let derived = analysis.derived_for(table, &config.derived);
+    let blocks = block_sizes_view(table);
+    let derived = analysis.derived_for_view(table, &config.derived);
 
     // ValueLength is min–max normalised per file over non-empty cells.
     let mut len_min = f64::INFINITY;

@@ -15,7 +15,7 @@
 //! anchored row/column are reported as derived.
 
 use crate::keywords::has_aggregation_keyword;
-use strudel_table::Table;
+use strudel_table::{CellView, GridView, Table};
 
 /// Parameters of Algorithm 2.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,6 +46,15 @@ impl Default for DerivedConfig {
 
 /// Detect derived cells; returns an `n_rows × n_cols` boolean grid.
 pub fn detect_derived_cells(table: &Table, config: &DerivedConfig) -> Vec<Vec<bool>> {
+    detect_derived_cells_view(table.view(), config)
+}
+
+/// [`detect_derived_cells`] over any cell grid — owned tables and the
+/// borrowed grids of the zero-copy detection path run the same code.
+pub fn detect_derived_cells_view<C: CellView>(
+    table: GridView<'_, C>,
+    config: &DerivedConfig,
+) -> Vec<Vec<bool>> {
     let (rows, cols) = (table.n_rows(), table.n_cols());
     let mut out = vec![vec![false; cols]; rows];
     if rows == 0 || cols == 0 {
@@ -132,8 +141,8 @@ impl Accumulator {
 /// Scan rows away from `anchor_row`, accumulating values at the candidate
 /// columns; report whether any enabled aggregate ever covers the
 /// candidates.
-fn scan_rows(
-    table: &Table,
+fn scan_rows<C: CellView>(
+    table: GridView<'_, C>,
     anchor_row: usize,
     candidates: &[(usize, f64)],
     config: &DerivedConfig,
@@ -162,8 +171,8 @@ fn scan_rows(
 }
 
 /// Column-direction counterpart of [`scan_rows`].
-fn scan_cols(
-    table: &Table,
+fn scan_cols<C: CellView>(
+    table: GridView<'_, C>,
     anchor_col: usize,
     candidates: &[(usize, f64)],
     config: &DerivedConfig,
@@ -225,6 +234,14 @@ fn covered(candidates: &[(usize, f64)], acc: &Accumulator, config: &DerivedConfi
 /// Per-line derived coverage: the fraction of a line's numeric cells that
 /// Algorithm 2 recognises as derived (the `DerivedCoverage` line feature).
 pub fn derived_coverage_per_line(table: &Table, derived: &[Vec<bool>]) -> Vec<f64> {
+    derived_coverage_per_line_view(table.view(), derived)
+}
+
+/// [`derived_coverage_per_line`] over any cell grid.
+pub fn derived_coverage_per_line_view<C: CellView>(
+    table: GridView<'_, C>,
+    derived: &[Vec<bool>],
+) -> Vec<f64> {
     (0..table.n_rows())
         .map(|r| {
             let mut numeric = 0usize;

@@ -61,26 +61,34 @@ mod postprocess;
 
 pub use active::{file_uncertainty, normalized_entropy, select_most_uncertain, uniform_entropy};
 pub use analysis::{compute_analyses, TableAnalysis};
-pub use block::block_sizes;
+pub use block::{block_sizes, block_sizes_view};
 pub use cell_classifier::{CellPrediction, StrudelCell, StrudelCellConfig};
 pub use cell_features::{
-    extract_cell_features, CellFeatureConfig, CellFeatures, CELL_FEATURE_NAMES, N_CELL_FEATURES,
+    extract_cell_features, extract_cell_features_view, CellFeatureConfig, CellFeatures,
+    CELL_FEATURE_NAMES, N_CELL_FEATURES,
 };
 pub use column::{
     column_labels, extract_column_features, fit_plain_and_boosted, ColumnBoostedCell,
     StrudelColumn, COLUMN_FEATURE_NAMES, N_COLUMN_FEATURES,
 };
-pub use derived::{derived_coverage_per_line, detect_derived_cells, DerivedConfig};
+pub use derived::{
+    derived_coverage_per_line, derived_coverage_per_line_view, detect_derived_cells,
+    detect_derived_cells_view, DerivedConfig,
+};
 pub use extract::{to_relational, RelationalTable};
 pub use keywords::{has_aggregation_keyword, AGGREGATION_KEYWORDS};
 pub use line_classifier::{StrudelLine, StrudelLineConfig};
 pub use line_features::{
-    extract_line_features, LineFeatureConfig, GLOBAL_FEATURE_NAMES, LINE_FEATURE_NAMES,
+    extract_line_features, extract_line_features_view, LineFeatureConfig, GLOBAL_FEATURE_NAMES,
+    LINE_FEATURE_NAMES,
 };
 pub use metrics::{Metrics, NullMetrics, Stage, StageTimer, StageTimings};
 pub use pipeline::{Structure, Strudel, TableRegion};
 pub use postprocess::{repair_cells, RepairConfig, RepairReport};
 
 // Re-export the shared error/limit vocabulary so downstream users of the
-// fallible API need no direct `strudel-table` dependency.
-pub use strudel_table::{Deadline, LimitKind, Limits, StrudelError};
+// fallible API need no direct `strudel-table` dependency, plus the
+// borrowed-grid vocabulary the `*_view` entry points speak.
+pub use strudel_table::{
+    CellRef, CellView, Deadline, GridView, LimitKind, Limits, StrudelError, TableRef,
+};

@@ -6,9 +6,12 @@
 //! `Strudel^C` (Section 5.4).
 
 use crate::analysis::{compute_analyses, TableAnalysis};
-use crate::line_features::{extract_line_features, extract_line_features_with, LineFeatureConfig};
+use crate::line_features::{
+    extract_line_features, extract_line_features_view, extract_line_features_with,
+    LineFeatureConfig,
+};
 use strudel_ml::{Classifier, Dataset, ForestConfig, RandomForest};
-use strudel_table::{ElementClass, LabeledFile, Table};
+use strudel_table::{CellView, ElementClass, GridView, LabeledFile, Table};
 
 /// Configuration of `Strudel^L`.
 #[derive(Debug, Clone, Copy, Default)]
@@ -108,7 +111,20 @@ impl StrudelLine {
         analysis: &TableAnalysis,
         n_threads: usize,
     ) -> Vec<Vec<f64>> {
-        let matrix = extract_line_features_with(table, &self.features, analysis);
+        self.predict_probs_view(table.view(), analysis, n_threads)
+    }
+
+    /// [`predict_probs_with_analysis`](Self::predict_probs_with_analysis)
+    /// over any cell grid: the zero-copy detection path classifies the
+    /// borrowed grid directly, with probabilities identical to the
+    /// owned-table entry points.
+    pub fn predict_probs_view<C: CellView>(
+        &self,
+        table: GridView<'_, C>,
+        analysis: &TableAnalysis,
+        n_threads: usize,
+    ) -> Vec<Vec<f64>> {
+        let matrix = extract_line_features_view(table, &self.features, analysis);
         let rows: Vec<usize> = (0..table.n_rows())
             .filter(|&r| !table.row_is_empty(r))
             .collect();

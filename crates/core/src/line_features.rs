@@ -18,9 +18,9 @@
 //! reproduce that finding.
 
 use crate::analysis::TableAnalysis;
-use crate::derived::{derived_coverage_per_line, DerivedConfig};
+use crate::derived::{derived_coverage_per_line_view, DerivedConfig};
 use crate::keywords::has_aggregation_keyword;
-use strudel_table::{DataType, Table};
+use strudel_table::{CellView, DataType, GridView, Table};
 
 /// Names of the 14 local line features, in vector order.
 pub const LINE_FEATURE_NAMES: [&str; 14] = [
@@ -99,14 +99,25 @@ pub fn extract_line_features_with(
     config: &LineFeatureConfig,
     analysis: &TableAnalysis,
 ) -> Vec<Vec<f64>> {
+    extract_line_features_view(table.view(), config, analysis)
+}
+
+/// [`extract_line_features_with`] over any cell grid — owned tables
+/// (training, compatibility API) and the borrowed grids of the
+/// zero-copy detection path produce byte-identical feature matrices.
+pub fn extract_line_features_view<C: CellView>(
+    table: GridView<'_, C>,
+    config: &LineFeatureConfig,
+    analysis: &TableAnalysis,
+) -> Vec<Vec<f64>> {
     let n_rows = table.n_rows();
     if n_rows == 0 {
         return Vec::new();
     }
     let n_cols = table.n_cols();
 
-    let derived = analysis.derived_for(table, &config.derived);
-    let derived_cov = derived_coverage_per_line(table, &derived);
+    let derived = analysis.derived_for_view(table, &config.derived);
+    let derived_cov = derived_coverage_per_line_view(table, &derived);
 
     // WordAmount is min–max normalised per file over non-empty lines.
     let word_counts: Vec<f64> = (0..n_rows)
@@ -168,7 +179,7 @@ pub fn extract_line_features_with(
 /// Discounted cumulative gain over the non-emptiness vector of a line,
 /// normalised by the ideal DCG (all cells non-empty). Left-more positions
 /// weigh more, modelling users laying out content left to right.
-fn dcg(table: &Table, row: usize) -> f64 {
+fn dcg<C: CellView>(table: GridView<'_, C>, row: usize) -> f64 {
     let mut gain = 0.0;
     let mut ideal = 0.0;
     for (i, cell) in table.row(row).enumerate() {
@@ -187,7 +198,11 @@ fn dcg(table: &Table, row: usize) -> f64 {
 
 /// Percentage of cells whose data type matches the same column of the
 /// adjacent (closest non-empty) line; 0 when no such line exists.
-fn data_type_matching(table: &Table, row: usize, other: Option<usize>) -> f64 {
+fn data_type_matching<C: CellView>(
+    table: GridView<'_, C>,
+    row: usize,
+    other: Option<usize>,
+) -> f64 {
     let Some(other) = other else { return 0.0 };
     let n_cols = table.n_cols();
     if n_cols == 0 {
@@ -206,7 +221,11 @@ enum Direction {
 
 /// Fraction of empty lines among the five lines above/below; positions
 /// beyond the file boundary count as empty (the file margin is blank).
-fn empty_neighbouring(table: &Table, row: usize, direction: Direction) -> f64 {
+fn empty_neighbouring<C: CellView>(
+    table: GridView<'_, C>,
+    row: usize,
+    direction: Direction,
+) -> f64 {
     let mut empty = 0usize;
     for step in 1..=NEIGHBOUR_WINDOW {
         let r = match direction {
@@ -233,7 +252,11 @@ fn length_bin(len: usize) -> usize {
 /// Bhattacharyya distance between the cell-length histograms of a line
 /// and its closest non-empty neighbour; 1.0 (maximal difference) when no
 /// neighbour exists.
-fn cell_length_difference(table: &Table, row: usize, other: Option<usize>) -> f64 {
+fn cell_length_difference<C: CellView>(
+    table: GridView<'_, C>,
+    row: usize,
+    other: Option<usize>,
+) -> f64 {
     let Some(other) = other else { return 1.0 };
     let hist = |r: usize| {
         let mut h = [0.0f64; LENGTH_BINS.len()];
@@ -262,7 +285,7 @@ fn cell_length_difference(table: &Table, row: usize, other: Option<usize>) -> f6
 /// The four global features of the paper's negative ablation: empty-line
 /// ratio, width, length, and count of empty-line blocks (each scaled to a
 /// comparable range).
-fn global_features(table: &Table) -> Vec<f64> {
+fn global_features<C: CellView>(table: GridView<'_, C>) -> Vec<f64> {
     let n_rows = table.n_rows();
     let empty_lines = (0..n_rows).filter(|&r| table.row_is_empty(r)).count();
     let mut blocks = 0usize;

@@ -1,9 +1,11 @@
 //! Pipeline instrumentation: per-stage wall-clock timing.
 //!
-//! Structure detection runs five stages: dialect detection, table
-//! parsing, the shared per-table derived-cell analysis (Algorithm 2,
-//! computed once per table and reused by both classifiers), `Strudel^L`
-//! line classification, and `Strudel^C` cell classification. The
+//! Structure detection runs six stages: dialect detection, table
+//! parsing (borrowed, zero-copy), the shared per-table derived-cell
+//! analysis (Algorithm 2, computed once per table and reused by both
+//! classifiers), `Strudel^L` line classification, `Strudel^C` cell
+//! classification, and finally materialisation of the owned output
+//! table from the borrowed grid. The
 //! [`Metrics`] sink trait lets callers observe how
 //! long each stage took without the pipeline knowing who is listening:
 //! [`detect_structure_metered`](crate::Strudel::detect_structure_metered)
@@ -28,16 +30,21 @@ pub enum Stage {
     LineClassify,
     /// `Strudel^C` cell classification.
     CellClassify,
+    /// Materialising the owned output [`strudel_table::Table`] from the
+    /// borrowed grid the classifiers ran over — the single point at
+    /// which cell text is copied out of the input buffer.
+    Materialize,
 }
 
 impl Stage {
     /// All stages, in execution order.
-    pub const ALL: [Stage; 5] = [
+    pub const ALL: [Stage; 6] = [
         Stage::Dialect,
         Stage::Parse,
         Stage::DerivedCells,
         Stage::LineClassify,
         Stage::CellClassify,
+        Stage::Materialize,
     ];
 
     /// Stable snake_case name (used as a JSON key by the batch report).
@@ -48,6 +55,7 @@ impl Stage {
             Stage::DerivedCells => "derived_cells",
             Stage::LineClassify => "line_classify",
             Stage::CellClassify => "cell_classify",
+            Stage::Materialize => "materialize",
         }
     }
 
@@ -59,6 +67,7 @@ impl Stage {
             Stage::DerivedCells => 2,
             Stage::LineClassify => 3,
             Stage::CellClassify => 4,
+            Stage::Materialize => 5,
         }
     }
 }
@@ -71,6 +80,13 @@ impl Stage {
 pub trait Metrics {
     /// Observe that `stage` ran for `elapsed`.
     fn record(&mut self, stage: Stage, elapsed: Duration);
+
+    /// Observe that the parse stage scanned the input in `chunks`
+    /// chunks (`1` = serial scan). Sinks that only care about timing
+    /// keep the default no-op.
+    fn record_parse_chunks(&mut self, chunks: u64) {
+        let _ = chunks;
+    }
 }
 
 /// The discard sink: structure detection without instrumentation.
@@ -84,8 +100,9 @@ impl Metrics for NullMetrics {
 /// Accumulated per-stage totals and observation counts.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct StageTimings {
-    totals: [Duration; 5],
-    counts: [u64; 5],
+    totals: [Duration; 6],
+    counts: [u64; 6],
+    parse_chunks: u64,
 }
 
 impl StageTimings {
@@ -98,6 +115,13 @@ impl StageTimings {
     /// batch run).
     pub fn count(&self, stage: Stage) -> u64 {
         self.counts[stage.index()]
+    }
+
+    /// Total scan chunks across all recorded parse stages (a serial
+    /// parse contributes `1`; a chunk-parallel one contributes its
+    /// chunk count).
+    pub fn parse_chunks(&self) -> u64 {
+        self.parse_chunks
     }
 
     /// Sum over all stages.
@@ -115,6 +139,7 @@ impl StageTimings {
             self.totals[i] += other.totals[i];
             self.counts[i] += other.counts[i];
         }
+        self.parse_chunks += other.parse_chunks;
     }
 
     /// Render the accumulated totals in Prometheus text exposition
@@ -146,6 +171,11 @@ impl StageTimings {
                 self.count(stage)
             ));
         }
+        out.push_str(&format!("# TYPE {prefix}_parse_chunks_total counter\n"));
+        out.push_str(&format!(
+            "{prefix}_parse_chunks_total {}\n",
+            self.parse_chunks
+        ));
         out
     }
 }
@@ -162,12 +192,22 @@ impl Metrics for &std::sync::Mutex<StageTimings> {
             guard.record(stage, elapsed);
         }
     }
+
+    fn record_parse_chunks(&mut self, chunks: u64) {
+        if let Ok(mut guard) = self.lock() {
+            guard.record_parse_chunks(chunks);
+        }
+    }
 }
 
 impl Metrics for StageTimings {
     fn record(&mut self, stage: Stage, elapsed: Duration) {
         self.totals[stage.index()] += elapsed;
         self.counts[stage.index()] += 1;
+    }
+
+    fn record_parse_chunks(&mut self, chunks: u64) {
+        self.parse_chunks += chunks;
     }
 }
 
@@ -216,7 +256,8 @@ mod tests {
                 "parse",
                 "derived_cells",
                 "line_classify",
-                "cell_classify"
+                "cell_classify",
+                "materialize"
             ]
         );
         for (i, s) in Stage::ALL.iter().enumerate() {
@@ -240,6 +281,21 @@ mod tests {
         assert_eq!(b.total(Stage::Parse), Duration::from_millis(12));
         assert_eq!(b.total(Stage::CellClassify), Duration::from_millis(3));
         assert_eq!(b.count(Stage::Dialect), 1);
+    }
+
+    #[test]
+    fn parse_chunks_accumulate_merge_and_render() {
+        let mut a = StageTimings::default();
+        a.record_parse_chunks(1);
+        a.record_parse_chunks(4);
+        assert_eq!(a.parse_chunks(), 5);
+        let mut b = StageTimings::default();
+        b.record_parse_chunks(2);
+        b.merge(&a);
+        assert_eq!(b.parse_chunks(), 7);
+        let text = b.to_prometheus("strudel");
+        assert!(text.contains("# TYPE strudel_parse_chunks_total counter"));
+        assert!(text.contains("strudel_parse_chunks_total 7"));
     }
 
     #[test]

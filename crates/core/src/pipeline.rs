@@ -10,8 +10,10 @@ use crate::cell_classifier::{CellPrediction, StrudelCell, StrudelCellConfig};
 use crate::line_classifier::StrudelLine;
 use crate::metrics::{Metrics, NullMetrics, Stage, StageTimer};
 use std::collections::HashMap;
-use strudel_dialect::{decode_utf8, try_detect_dialect, try_read_table_with, Dialect};
-use strudel_table::{Deadline, ElementClass, LabeledFile, LimitKind, Limits, StrudelError, Table};
+use strudel_dialect::{decode_utf8, try_detect_dialect, try_read_table_ref_with, Dialect};
+use strudel_table::{
+    CellView, Deadline, ElementClass, GridView, LabeledFile, LimitKind, Limits, StrudelError, Table,
+};
 
 /// The detected structure of one verbose CSV file.
 ///
@@ -384,15 +386,28 @@ impl Strudel {
                 });
             }
         }
+        // Thread knobs resolve exactly once for the whole pipeline
+        // (explicit request → STRUDEL_THREADS → available parallelism):
+        // the chunk-parallel scanner and both forest walks see the same
+        // effective count.
+        let n_threads = crate::batch::resolve_threads(n_threads);
         let timer = StageTimer::start(Stage::Dialect);
         let dialect = try_detect_dialect(text, limits, deadline)?;
         timer.stop(sink);
         deadline.check()?;
         let timer = StageTimer::start(Stage::Parse);
-        let table = try_read_table_with(text, &dialect, limits, deadline)?;
+        let (table_ref, records) =
+            try_read_table_ref_with(text, &dialect, limits, deadline, n_threads)?;
+        sink.record_parse_chunks(records.n_chunks() as u64);
         timer.stop(sink);
         deadline.check()?;
-        Ok(self.detect_structure_of_table_with_threads(table, dialect, n_threads, sink))
+        // Classification runs over the borrowed grid — no cell text has
+        // been copied out of the input buffer yet.
+        let (lines, line_probs, cells) = self.classify_grid(table_ref.view(), n_threads, sink);
+        let timer = StageTimer::start(Stage::Materialize);
+        let table = table_ref.into_table();
+        timer.stop(sink);
+        Ok(Structure::new(dialect, table, lines, line_probs, cells))
     }
 
     /// Detect the structure of a pre-parsed table.
@@ -420,20 +435,37 @@ impl Strudel {
         n_threads: usize,
         sink: &mut dyn Metrics,
     ) -> Structure {
+        let n_threads = crate::batch::resolve_threads(n_threads);
+        let (lines, line_probs, cells) = self.classify_grid(table.view(), n_threads, sink);
+        Structure::new(dialect, table, lines, line_probs, cells)
+    }
+
+    /// The classification core, shared by the owned-table entry points
+    /// and the borrowed zero-copy detection path: one derived-cell
+    /// analysis, `Strudel^L` line probabilities (with hard classes as
+    /// their argmax — the forest is only walked once per line), and
+    /// `Strudel^C` cell predictions, each metered as its own stage.
+    fn classify_grid<C: CellView>(
+        &self,
+        grid: GridView<'_, C>,
+        n_threads: usize,
+        sink: &mut dyn Metrics,
+    ) -> (
+        Vec<Option<ElementClass>>,
+        Vec<Vec<f64>>,
+        Vec<CellPrediction>,
+    ) {
         let line_model = self.cell_model.line_model();
         // One derived-cell detection (Algorithm 2) per table, shared by
         // the line and cell feature extractors.
         let timer = StageTimer::start(Stage::DerivedCells);
-        let analysis = TableAnalysis::compute(&table, line_model.feature_config().derived);
+        let analysis = TableAnalysis::compute_view(grid, line_model.feature_config().derived);
         timer.stop(sink);
         let timer = StageTimer::start(Stage::LineClassify);
-        let line_probs = line_model.predict_probs_with_analysis(&table, &analysis, n_threads);
-        // Hard line classes are the argmax of the probability vectors
-        // (`Classifier::predict` is defined as exactly that), so the
-        // forest is only walked once per line.
-        let lines: Vec<Option<ElementClass>> = (0..table.n_rows())
+        let line_probs = line_model.predict_probs_view(grid, &analysis, n_threads);
+        let lines: Vec<Option<ElementClass>> = (0..grid.n_rows())
             .map(|r| {
-                if table.row_is_empty(r) {
+                if grid.row_is_empty(r) {
                     None
                 } else {
                     Some(ElementClass::from_index(strudel_ml::argmax(&line_probs[r])))
@@ -444,9 +476,9 @@ impl Strudel {
         let timer = StageTimer::start(Stage::CellClassify);
         let cells =
             self.cell_model
-                .predict_with_probs_analysed(&table, &line_probs, n_threads, &analysis);
+                .predict_with_probs_view(grid, &line_probs, n_threads, &analysis);
         timer.stop(sink);
-        Structure::new(dialect, table, lines, line_probs, cells)
+        (lines, line_probs, cells)
     }
 
     /// The line stage.
@@ -609,6 +641,8 @@ mod tests {
         for stage in Stage::ALL {
             assert_eq!(sink.count(stage), 1, "stage {} recorded", stage.name());
         }
+        // A small input scans serially: exactly one chunk.
+        assert_eq!(sink.parse_chunks(), 1);
         assert_eq!(metered, model.detect_structure(text));
 
         // The table entry point skips dialect detection and parsing but
@@ -625,6 +659,9 @@ mod tests {
         assert_eq!(sink.count(Stage::DerivedCells), 1);
         assert_eq!(sink.count(Stage::LineClassify), 1);
         assert_eq!(sink.count(Stage::CellClassify), 1);
+        // The table was already owned — nothing to materialise.
+        assert_eq!(sink.count(Stage::Materialize), 0);
+        assert_eq!(sink.parse_chunks(), 0);
         assert_eq!(s.lines.len(), 6);
     }
 }

@@ -68,8 +68,8 @@ fn sample_values(text: &str, family: &str) -> Vec<f64> {
 #[test]
 fn prometheus_counters_are_monotone_under_recording() {
     let mut timings = StageTimings::default();
-    let mut previous_seconds = vec![0.0; 5];
-    let mut previous_counts = vec![0.0; 5];
+    let mut previous_seconds = vec![0.0; Stage::ALL.len()];
+    let mut previous_counts = vec![0.0; Stage::ALL.len()];
     for round in 0..4 {
         for (i, stage) in Stage::ALL.into_iter().enumerate() {
             if (round + i) % 2 == 0 {
@@ -79,7 +79,7 @@ fn prometheus_counters_are_monotone_under_recording() {
         let text = timings.to_prometheus("strudel");
         let seconds = sample_values(&text, "strudel_stage_seconds_total");
         let counts = sample_values(&text, "strudel_stage_observations_total");
-        for i in 0..5 {
+        for i in 0..Stage::ALL.len() {
             assert!(
                 seconds[i] >= previous_seconds[i],
                 "seconds regressed for stage {i} in round {round}"
@@ -95,8 +95,10 @@ fn prometheus_counters_are_monotone_under_recording() {
 }
 
 /// An arbitrary observation stream. Each `u64` encodes one observation:
-/// the stage index is `v % 5`, the duration is `v / 5 + 1` microseconds
-/// (the vendored proptest shim has no tuple strategies).
+/// the stage index is `v % 6`, the duration is `v / 6 + 1` microseconds
+/// (the vendored proptest shim has no tuple strategies). Every seventh
+/// value additionally records a parse-chunk count so the merge algebra
+/// covers the chunk counter too.
 fn observations() -> impl Strategy<Value = Vec<u64>> {
     proptest::collection::vec(0u64..50_000, 0..40)
 }
@@ -105,9 +107,12 @@ fn accumulate(observations: &[u64]) -> StageTimings {
     let mut t = StageTimings::default();
     for &v in observations {
         t.record(
-            Stage::ALL[(v % 5) as usize],
-            Duration::from_micros(v / 5 + 1),
+            Stage::ALL[(v % 6) as usize],
+            Duration::from_micros(v / 6 + 1),
         );
+        if v % 7 == 0 {
+            t.record_parse_chunks(v % 16 + 1);
+        }
     }
     t
 }

@@ -22,6 +22,7 @@
 mod detect;
 mod dialect;
 pub mod legacy;
+mod parallel;
 mod parser;
 mod scan;
 mod write;
@@ -31,6 +32,7 @@ pub use detect::{
     CANDIDATE_DELIMITERS, CANDIDATE_QUOTES, DETECTION_LINE_BUDGET,
 };
 pub use dialect::Dialect;
+pub use parallel::{try_scan_records_chunked, try_scan_records_threaded};
 pub use parser::{parse, try_parse, try_parse_within};
 pub use scan::{scan_records, try_scan_records, try_scan_records_within, RecordRef, RecordsRef};
 pub use write::{write_delimited, write_field};
@@ -39,7 +41,7 @@ pub use write::{write_delimited, write_field};
 // the fallible API without a direct `strudel-table` dependency.
 pub use strudel_table::{Deadline, LimitKind, Limits, StrudelError};
 
-use strudel_table::{Cell, Table};
+use strudel_table::{Cell, CellRef, Table, TableRef};
 
 /// The UTF-8 byte-order mark, as emitted by Excel's "CSV UTF-8" export.
 pub const UTF8_BOM: char = '\u{FEFF}';
@@ -89,6 +91,47 @@ fn table_from_records(records: &RecordsRef<'_>) -> Table {
         }
     }
     Table::from_cell_grid(cells, n_rows, n_cols)
+}
+
+/// Assemble the padded **borrowed** cell grid from borrowed records:
+/// field values stay `Cow` slices of the input buffer (owned only for
+/// unescaped fields), so no cell text is copied. The borrowed
+/// counterpart of [`table_from_records`], with identical padding and
+/// identical inference per cell.
+pub fn table_ref_from_records<'a>(records: &RecordsRef<'a>) -> TableRef<'a> {
+    let n_rows = records.n_records();
+    let n_cols = records.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut cells = Vec::with_capacity(n_rows * n_cols);
+    for rec in records.iter() {
+        let len = rec.len();
+        for field in rec.iter() {
+            cells.push(CellRef::new(field));
+        }
+        for _ in len..n_cols {
+            cells.push(CellRef::empty());
+        }
+    }
+    TableRef::from_cell_grid(cells, n_rows, n_cols)
+}
+
+/// The zero-copy detection parse: scan `text` (in `n_threads` chunks
+/// when `> 1`) under [`Limits`] and a [`Deadline`], check the implied
+/// grid dimensions, and build the borrowed table. Returns the records
+/// alongside the table so callers can report scan metadata (chunk
+/// counts) without re-scanning.
+pub fn try_read_table_ref_with<'a>(
+    text: &'a str,
+    dialect: &Dialect,
+    limits: &Limits,
+    deadline: Deadline,
+    n_threads: usize,
+) -> Result<(TableRef<'a>, RecordsRef<'a>), StrudelError> {
+    let records = try_scan_records_threaded(strip_bom(text), dialect, limits, deadline, n_threads)?;
+    deadline.check()?;
+    let n_rows = records.n_records();
+    let n_cols = records.iter().map(|r| r.len()).max().unwrap_or(0);
+    Table::check_grid_limits(n_rows, n_cols, limits)?;
+    Ok((table_ref_from_records(&records), records))
 }
 
 /// Decode `bytes` as UTF-8, or report a typed parse error with the byte

@@ -1,0 +1,366 @@
+//! Chunk-parallel block scanning with speculative entry states and
+//! seam repair.
+//!
+//! The serial scanner ([`crate::scan`]) is resumable: its entire state
+//! between records is a small [`ScanState`] of absolute byte offsets.
+//! The parallel scanner exploits that to cut one input into chunks at
+//! candidate record boundaries (one past a `\n` byte near each even
+//! split point), scan every chunk concurrently, and stitch the results
+//! back into a single record stream:
+//!
+//! 1. **Speculation.** A byte one past a `\n` *usually* starts a fresh
+//!    record — unless the `\n` was quoted content, the second byte of a
+//!    `\r\n` pair mid-field, or escaped. Each worker scans its chunk
+//!    assuming the clean-entry state ([`ScanState::clean_at`]); the
+//!    stitcher later compares that assumption against the true carried
+//!    state. CSV's structure makes the speculation overwhelmingly right
+//!    on real data, and *checking* it is exact, so a wrong guess costs
+//!    time, never correctness.
+//! 2. **Chunk scans record, never fail.** Workers scan under a copy of
+//!    the limits with the streaming row/col/cell bounds disabled (those
+//!    are global counters a chunk cannot know) but line-length and
+//!    quoted-field bounds active, recording any local limit error
+//!    instead of aborting the pool. Alongside the field spans each
+//!    worker records the byte offset (and `line_start`) of every record
+//!    boundary it produced — the synchronisation points for repair.
+//! 3. **Stitch + seam repair.** A single pass walks the chunks in
+//!    order, holding the one true [`Sink`] (full limits, global
+//!    row/col/cell counters). When the carried state equals the
+//!    chunk's assumed entry state, the chunk's spans are *spliced*:
+//!    replayed through `Sink::end_field`/`end_record`, which reapplies
+//!    the row/col/cell checks in exactly the serial order at O(1) per
+//!    field. Otherwise the seam is *repaired*: the scanner re-runs
+//!    serially from the true state until a record boundary lands on one
+//!    of the chunk's recorded boundaries (with matching `line_start`
+//!    when a line bound is set), then splices the remainder. A chunk
+//!    that never re-synchronises has simply been scanned serially — the
+//!    fallback for unresolvable entry parity. Because CSV
+//!    self-synchronises at the next unquoted record end, repairs
+//!    typically cover a single record.
+//!
+//! The result is **bit-identical** to the serial scan — same spans,
+//! same copy-on-write flags, same limit-error kind/actual/max — which
+//! `tests/parallel_parity.rs` and the fuzz harness's chunk dimension
+//! enforce. The wall-clock deadline is polled per chunk-local 64 KiB of
+//! classified blocks ([`crate::scan::DEADLINE_CHECK_BYTES`]); a trip in
+//! any worker surfaces the same `LimitKind::WallClock` payload as the
+//! serial scanner (all deadline errors carry `actual = budget + 1`).
+
+use crate::dialect::Dialect;
+use crate::scan::{
+    finish_scan, scan_blocks_range, try_scan_records_within, FieldSpan, RecordsRef, ScanState,
+    Sink, Specials,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use strudel_table::{Deadline, LimitKind, Limits, StrudelError};
+
+/// Inputs below this size are scanned serially: chunk bookkeeping and
+/// thread hand-off would dominate the scan itself.
+pub(crate) const MIN_PARALLEL_BYTES: usize = 64 * 1024;
+
+/// [`crate::try_scan_records_within`] on a worker pool: scan `text` in
+/// `n_threads` chunks split at candidate record boundaries, with seam
+/// repair guaranteeing a result identical to the serial scan (records,
+/// spans, and limit-error payloads alike).
+///
+/// `n_threads` is an explicit worker count — resolve `0`/env-driven
+/// knobs with `strudel::batch::resolve_threads` first. Values `<= 1`,
+/// small inputs, dialects outside the block scanner's reach, and inputs
+/// without usable split points all fall back to the serial scan.
+pub fn try_scan_records_threaded<'a>(
+    text: &'a str,
+    dialect: &Dialect,
+    limits: &Limits,
+    deadline: Deadline,
+    n_threads: usize,
+) -> Result<RecordsRef<'a>, StrudelError> {
+    if n_threads <= 1 || text.len() < MIN_PARALLEL_BYTES {
+        return try_scan_records_within(text, dialect, limits, deadline);
+    }
+    try_scan_records_bounded(text, dialect, limits, deadline, n_threads, n_threads)
+}
+
+/// Deterministic chunked scan for the parity harness: exactly the
+/// stitching path of [`try_scan_records_threaded`] with a caller-chosen
+/// chunk count and no size floor, chunks scanned on the calling thread.
+/// Exposed so proptests and the fuzz harness can drive pathological
+/// seam placements reproducibly.
+pub fn try_scan_records_chunked<'a>(
+    text: &'a str,
+    dialect: &Dialect,
+    limits: &Limits,
+    deadline: Deadline,
+    n_chunks: usize,
+) -> Result<RecordsRef<'a>, StrudelError> {
+    try_scan_records_bounded(text, dialect, limits, deadline, n_chunks.max(1), 1)
+}
+
+fn try_scan_records_bounded<'a>(
+    text: &'a str,
+    dialect: &Dialect,
+    limits: &Limits,
+    deadline: Deadline,
+    n_chunks: usize,
+    n_threads: usize,
+) -> Result<RecordsRef<'a>, StrudelError> {
+    let sp = match Specials::of(dialect) {
+        Some(sp) => sp,
+        // Exotic dialects take the scalar fallback, which is serial.
+        None => return try_scan_records_within(text, dialect, limits, deadline),
+    };
+    if let Some(max) = limits.max_input_bytes {
+        if text.len() as u64 > max {
+            return Err(StrudelError::limit(
+                LimitKind::InputBytes,
+                text.len() as u64,
+                max,
+            ));
+        }
+    }
+    let bounds = chunk_bounds(text, n_chunks);
+    if bounds.len() <= 2 {
+        return try_scan_records_within(text, dialect, limits, deadline);
+    }
+
+    // Worker copy of the limits: streaming row/col/cell bounds are
+    // global counters the stitcher replays; everything else (line and
+    // quoted-field byte bounds) is locally checkable given the entry
+    // speculation, which the stitcher verifies before trusting it.
+    let local = Limits {
+        max_rows: None,
+        max_cols: None,
+        max_cells: None,
+        ..*limits
+    };
+    let chunks = scan_chunks(text, dialect, &sp, &local, deadline, &bounds, n_threads);
+    let n_chunks = chunks.len();
+    let (fields, record_ends) = stitch(text, dialect, &sp, limits, deadline, chunks)?;
+    Ok(RecordsRef::from_parts(
+        text,
+        *dialect,
+        fields,
+        record_ends,
+        n_chunks,
+    ))
+}
+
+/// Chunk boundary offsets: `[0, b_1, .., b_{k-1}, len]`, strictly
+/// increasing, every interior boundary one past a `\n` byte. Boundaries
+/// are placed at the first `\n` at or after each even split point; when
+/// a stretch has no `\n` the chunk simply grows (worst case: one chunk,
+/// and the caller falls back to a serial scan).
+fn chunk_bounds(text: &str, n_chunks: usize) -> Vec<usize> {
+    let bytes = text.as_bytes();
+    let len = bytes.len();
+    let mut bounds = Vec::with_capacity(n_chunks + 1);
+    bounds.push(0);
+    for i in 1..n_chunks {
+        let target = (len * i / n_chunks).max(*bounds.last().unwrap());
+        match bytes[target..].iter().position(|&b| b == b'\n') {
+            Some(off) if target + off + 1 < len => bounds.push(target + off + 1),
+            _ => break,
+        }
+    }
+    bounds.push(len);
+    bounds
+}
+
+/// One worker's speculative scan of `[from, to)`.
+struct ChunkScan {
+    from: usize,
+    to: usize,
+    /// Fields and record ends exactly as a [`Sink`] records them, but
+    /// local to the chunk (indices into `fields`).
+    fields: Vec<FieldSpan>,
+    record_ends: Vec<usize>,
+    /// Byte start of each record the chunk produced, **plus** the start
+    /// of the trailing partial record: `rec_starts[0] == from`, length
+    /// `record_ends.len() + 1`. These are the positions at which a
+    /// repair scan can re-synchronise with the speculative result.
+    rec_starts: Vec<usize>,
+    /// `line_start` in effect at each entry of `rec_starts` — compared
+    /// during repair only when a line-length bound is configured.
+    rec_line_starts: Vec<usize>,
+    /// Carried state at the chunk end, or the first local limit /
+    /// deadline error. An error is only surfaced when the stitcher
+    /// proves the chunk's entry speculation right (directly or via
+    /// repair); all spans recorded before the error stay usable.
+    end: Result<ScanState, StrudelError>,
+}
+
+fn scan_chunk(
+    text: &str,
+    dialect: &Dialect,
+    sp: &Specials,
+    local: &Limits,
+    deadline: Deadline,
+    from: usize,
+    to: usize,
+) -> ChunkScan {
+    let mut sink = Sink::new(local);
+    let mut rec_starts = vec![from];
+    let mut rec_line_starts = vec![from];
+    let scan = scan_blocks_range(
+        text,
+        dialect,
+        sp,
+        local,
+        deadline,
+        &mut sink,
+        from,
+        to,
+        ScanState::clean_at(from),
+        |after, line_start| {
+            rec_starts.push(after);
+            rec_line_starts.push(line_start);
+            false
+        },
+    );
+    ChunkScan {
+        from,
+        to,
+        fields: sink.fields,
+        record_ends: sink.record_ends,
+        rec_starts,
+        rec_line_starts,
+        end: scan.map(|r| r.st),
+    }
+}
+
+/// Scan every chunk, on a pool of `n_threads` workers when `> 1`.
+fn scan_chunks(
+    text: &str,
+    dialect: &Dialect,
+    sp: &Specials,
+    local: &Limits,
+    deadline: Deadline,
+    bounds: &[usize],
+    n_threads: usize,
+) -> Vec<ChunkScan> {
+    let n = bounds.len() - 1;
+    if n_threads <= 1 {
+        return (0..n)
+            .map(|i| scan_chunk(text, dialect, sp, local, deadline, bounds[i], bounds[i + 1]))
+            .collect();
+    }
+    let slots: Vec<Mutex<Option<ChunkScan>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..n_threads.min(n) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let cs = scan_chunk(text, dialect, sp, local, deadline, bounds[i], bounds[i + 1]);
+                *slots[i].lock().expect("chunk slot poisoned") = Some(cs);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("chunk slot poisoned")
+                .expect("worker pool completed every chunk")
+        })
+        .collect()
+}
+
+/// Replay a chunk's recorded spans from record `from_rec` onward
+/// through the true sink, reapplying the streaming row/col/cell checks
+/// in exactly the serial order.
+fn splice(sink: &mut Sink, ch: &ChunkScan, from_rec: usize) -> Result<(), StrudelError> {
+    let mut idx = if from_rec == 0 {
+        0
+    } else {
+        ch.record_ends[from_rec - 1]
+    };
+    for &re in &ch.record_ends[from_rec..] {
+        while idx + 1 < re {
+            sink.end_field(ch.fields[idx])?;
+            idx += 1;
+        }
+        sink.end_record(ch.fields[idx])?;
+        idx += 1;
+    }
+    // Fields of the trailing partial record continue into the next
+    // chunk (or the EOF flush); the open record's length carries in the
+    // sink.
+    for &f in &ch.fields[idx..] {
+        sink.end_field(f)?;
+    }
+    Ok(())
+}
+
+/// Walk the chunks in order with the single true sink, splicing
+/// verified speculative results and serially repairing seams where the
+/// speculation missed.
+fn stitch(
+    text: &str,
+    dialect: &Dialect,
+    sp: &Specials,
+    limits: &Limits,
+    deadline: Deadline,
+    chunks: Vec<ChunkScan>,
+) -> Result<(Vec<FieldSpan>, Vec<usize>), StrudelError> {
+    // `line_start` only feeds the line-length bound, so entry states
+    // and repair sync points need only agree on it when that bound is
+    // configured (the `\r\n`-pair quirk makes the speculative value one
+    // byte off whenever a chunk boundary follows a CRLF terminator).
+    let line_sensitive = limits.max_line_bytes.is_some();
+    let mut sink = Sink::new(limits);
+    let mut carry = ScanState::clean_at(0);
+    for ch in chunks {
+        let assumed = ScanState::clean_at(ch.from);
+        let entry_ok = if line_sensitive {
+            carry == assumed
+        } else {
+            carry.eq_ignoring_line_start(&assumed)
+        };
+        let splice_from = if entry_ok {
+            Some(0)
+        } else {
+            // Seam repair: rescan from the true state until a record
+            // boundary lands on one the speculative scan recorded.
+            let mut sync = None;
+            let scan = scan_blocks_range(
+                text,
+                dialect,
+                sp,
+                limits,
+                deadline,
+                &mut sink,
+                ch.from,
+                ch.to,
+                carry,
+                |after, line_start| match ch.rec_starts.binary_search(&after) {
+                    Ok(j) if !line_sensitive || ch.rec_line_starts[j] == line_start => {
+                        sync = Some(j);
+                        true
+                    }
+                    _ => false,
+                },
+            )?;
+            if scan.stopped {
+                sync
+            } else {
+                // Never re-synchronised: the chunk has been scanned
+                // serially end to end — the per-chunk fallback.
+                carry = scan.st;
+                None
+            }
+        };
+        if let Some(j) = splice_from {
+            splice(&mut sink, &ch, j)?;
+            // Surface a worker's local error only now: every span it
+            // recorded precedes the error position, so the replayed
+            // global checks fire first exactly when the serial scan's
+            // would have.
+            carry = ch.end?;
+        }
+    }
+    finish_scan(text, dialect, limits, &mut sink, carry)?;
+    Ok((sink.fields, sink.record_ends))
+}

@@ -1,0 +1,366 @@
+//! Parallel ≡ serial parity: the chunked scanner against the serial
+//! block scanner (which `tests/parity.rs` in turn holds equal to the
+//! legacy reference walker).
+//!
+//! Layers:
+//!
+//! 1. **Deterministic chunked emulation** via
+//!    [`try_scan_records_chunked`] — every seam-placement decision is
+//!    reproducible, so proptests can sweep arbitrary chunk counts and
+//!    pathological seams (quoted fields spanning chunks, CRLF pairs at
+//!    seams, quote == delimiter dialects).
+//! 2. **Limit parity**: under tight `Limits` the chunked scan must fail
+//!    with the same kind/actual/max as the serial scan, or both succeed
+//!    identically — splice replay and seam repair preserve the exact
+//!    serial check order.
+//! 3. **Real concurrency** via [`try_scan_records_threaded`] on inputs
+//!    large enough to clear the parallel floor, at the thread count CI
+//!    injects through `STRUDEL_THREADS` (2-thread and max-thread runs).
+//! 4. **Deadline payload pinning**: a deadline trip inside a worker
+//!    reports the identical `LimitKind::WallClock` payload as the
+//!    serial scanner.
+
+use proptest::prelude::*;
+use std::time::Duration;
+use strudel_dialect::{
+    scan_records, try_scan_records, try_scan_records_chunked, try_scan_records_threaded, Deadline,
+    Dialect, LimitKind, Limits, StrudelError,
+};
+
+/// Assert the chunked scan at `n_chunks` matches the serial scan on
+/// records, spans (via materialised rows), and the copy-on-write count.
+fn assert_chunk_parity(text: &str, dialect: &Dialect, n_chunks: usize) {
+    let serial = scan_records(text, dialect);
+    let chunked = try_scan_records_chunked(
+        text,
+        dialect,
+        &Limits::unbounded(),
+        Deadline::none(),
+        n_chunks,
+    )
+    .expect("unbounded chunked scan cannot fail");
+    assert_eq!(
+        chunked.to_owned_rows(),
+        serial.to_owned_rows(),
+        "rows diverge on {text:?} under {dialect:?} with {n_chunks} chunks"
+    );
+    assert_eq!(chunked.n_records(), serial.n_records());
+    assert_eq!(chunked.n_fields(), serial.n_fields());
+    assert_eq!(
+        chunked.n_cow_fields(),
+        serial.n_cow_fields(),
+        "cow spans diverge on {text:?} under {dialect:?} with {n_chunks} chunks"
+    );
+    assert!(chunked.n_chunks() >= 1);
+}
+
+/// Assert serial and chunked scans agree under `limits`: identical rows
+/// on success, identical limit kind/actual/max on failure.
+fn assert_chunk_limit_parity(text: &str, dialect: &Dialect, limits: &Limits, n_chunks: usize) {
+    let serial = try_scan_records(text, dialect, limits).map(|r| r.to_owned_rows());
+    let chunked = try_scan_records_chunked(text, dialect, limits, Deadline::none(), n_chunks)
+        .map(|r| r.to_owned_rows());
+    match (serial, chunked) {
+        (Ok(a), Ok(b)) => assert_eq!(b, a, "rows diverge on {text:?} with {n_chunks} chunks"),
+        (
+            Err(StrudelError::LimitExceeded {
+                limit: la,
+                actual: aa,
+                max: ma,
+                ..
+            }),
+            Err(StrudelError::LimitExceeded {
+                limit: lb,
+                actual: ab,
+                max: mb,
+                ..
+            }),
+        ) => {
+            assert_eq!(
+                (lb, ab, mb),
+                (la, aa, ma),
+                "limit payload diverges on {text:?} under {dialect:?} with {n_chunks} chunks"
+            );
+        }
+        (a, b) => panic!(
+            "outcome diverges on {text:?} under {dialect:?} with {n_chunks} chunks: \
+             serial {a:?}, chunked {b:?}"
+        ),
+    }
+}
+
+fn arb_dialect(idx: usize) -> Dialect {
+    match idx % 6 {
+        0 => Dialect::rfc4180(),
+        1 => Dialect::with_delimiter(';'),
+        2 => Dialect {
+            delimiter: ',',
+            quote: Some('"'),
+            escape: Some('\\'),
+        },
+        3 => Dialect {
+            delimiter: ',',
+            quote: None,
+            escape: Some('\\'),
+        },
+        // Degenerate collision: quote == delimiter.
+        4 => Dialect {
+            delimiter: ',',
+            quote: Some(','),
+            escape: None,
+        },
+        _ => Dialect {
+            delimiter: ',',
+            quote: Some('"'),
+            escape: Some('"'),
+        },
+    }
+}
+
+/// Multi-line inputs with structural characters over-weighted so most
+/// cases contain quotes, escapes, CRLF pairs, and short lines — lots of
+/// candidate seams for any chunk count.
+fn arb_input() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[-a-z0-9,\"\\\\\n\r ]{0,160}").expect("valid regex")
+}
+
+proptest! {
+    /// Unbounded parity on arbitrary inputs × dialects × chunk counts.
+    #[test]
+    fn chunked_matches_serial(text in arb_input(), d_idx in 0usize..6, k in 1usize..9) {
+        assert_chunk_parity(&text, &arb_dialect(d_idx), k);
+    }
+
+    /// Limit parity on arbitrary inputs × dialects × chunk counts ×
+    /// tight bounds of every streaming kind.
+    #[test]
+    fn chunked_matches_serial_under_limits(
+        text in arb_input(),
+        d_idx in 0usize..6,
+        k in 2usize..7,
+        line in 1u64..12,
+        quoted in 1u64..12,
+        rows in 1u64..6,
+        cols in 1u64..6,
+        cells in 1u64..12,
+    ) {
+        let d = arb_dialect(d_idx);
+        for limits in [
+            {
+                let mut l = Limits::unbounded();
+                l.max_line_bytes = Some(line);
+                l
+            },
+            {
+                let mut l = Limits::unbounded();
+                l.max_quoted_field_bytes = Some(quoted);
+                l
+            },
+            {
+                let mut l = Limits::unbounded();
+                l.max_rows = Some(rows);
+                l.max_cols = Some(cols);
+                l.max_cells = Some(cells);
+                l
+            },
+        ] {
+            assert_chunk_limit_parity(&text, &d, &limits, k);
+        }
+    }
+
+    /// Quoted fields engineered to span chunk boundaries: `\n` bytes
+    /// inside quotes are exactly the split candidates the boundary
+    /// picker chooses, so entry speculation is wrong and seam repair
+    /// must recover.
+    #[test]
+    fn quoted_fields_spanning_chunks(
+        pre_lines in 0usize..6,
+        quoted_lines in 1usize..8,
+        post_lines in 0usize..6,
+        k in 2usize..9,
+    ) {
+        let mut text = String::new();
+        for i in 0..pre_lines {
+            text.push_str(&format!("p{i},x\n"));
+        }
+        text.push('"');
+        for i in 0..quoted_lines {
+            text.push_str(&format!("q{i} line\n"));
+        }
+        text.push_str("\",tail\n");
+        for i in 0..post_lines {
+            text.push_str(&format!("s{i},y\r\n"));
+        }
+        assert_chunk_parity(&text, &Dialect::rfc4180(), k);
+        let mut l = Limits::unbounded();
+        l.max_line_bytes = Some(6);
+        assert_chunk_limit_parity(&text, &Dialect::rfc4180(), &l, k);
+    }
+
+    /// CRLF terminators at every seam: boundary derivation must never
+    /// split a `\r\n` pair, and the `line_start` off-by-one of the
+    /// post-CRLF entry state must be handled (splice when no line bound
+    /// is set, repair when one is).
+    #[test]
+    fn crlf_heavy_inputs(lines in 1usize..24, k in 2usize..9, line_bound in 1u64..10) {
+        let text: String = (0..lines).map(|i| format!("r{i},v{i}\r\n")).collect();
+        assert_chunk_parity(&text, &Dialect::rfc4180(), k);
+        let mut l = Limits::unbounded();
+        l.max_line_bytes = Some(line_bound);
+        assert_chunk_limit_parity(&text, &Dialect::rfc4180(), &l, k);
+    }
+}
+
+/// Unterminated quote swallowing the rest of the file: every later
+/// chunk's speculation is wrong and no sync point exists — the per-chunk
+/// serial fallback must still reproduce the serial result.
+#[test]
+fn unterminated_quote_disables_all_later_chunks() {
+    let mut text = String::from("a,b\nc,d\n\"open");
+    for i in 0..200 {
+        text.push_str(&format!("\nline{i},x"));
+    }
+    for k in [2, 3, 5, 8] {
+        assert_chunk_parity(&text, &Dialect::rfc4180(), k);
+    }
+}
+
+/// Escaped `\n` immediately before a chunk boundary: the escape consumes
+/// the newline, so the boundary is mid-field and speculation is wrong.
+#[test]
+fn escaped_newline_at_seam() {
+    let esc = Dialect {
+        delimiter: ',',
+        quote: Some('"'),
+        escape: Some('\\'),
+    };
+    // Boundary targets land inside and after the escaped-newline runs.
+    let text = "head,1\nval\\\nue,2\nnext\\\n\\\n,3\ntail,4\n";
+    for k in 1..=text.len().min(12) {
+        assert_chunk_parity(text, &esc, k);
+    }
+}
+
+/// More chunks than lines, chunks than bytes, empty input, input
+/// without any newline: degenerate splits must all fall back cleanly.
+#[test]
+fn degenerate_chunk_counts() {
+    for (text, d) in [
+        ("", Dialect::rfc4180()),
+        ("no newline at all", Dialect::rfc4180()),
+        ("a,b\n", Dialect::rfc4180()),
+        ("\n\n\n\n", Dialect::rfc4180()),
+        ("x\r\n", Dialect::rfc4180()),
+    ] {
+        for k in [1, 2, 3, 16, 64] {
+            assert_chunk_parity(text, &d, k);
+        }
+    }
+}
+
+/// Thread count CI injects for the concurrency runs (defaults to 4).
+fn ci_threads() -> usize {
+    std::env::var("STRUDEL_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or(4)
+}
+
+/// A large mixed workload (quoted multiline fields, CRLF, ragged rows)
+/// scanned on a real worker pool must equal the serial scan.
+#[test]
+fn threaded_pool_matches_serial_on_large_input() {
+    let mut text = String::with_capacity(300 << 10);
+    let mut i = 0usize;
+    while text.len() < 256 << 10 {
+        match i % 5 {
+            0 => text.push_str(&format!("row{i},alpha,\"quoted {i}\",12.5\n")),
+            1 => text.push_str(&format!("row{i},\"multi\nline\nnote {i}\",x\r\n")),
+            2 => text.push_str(&format!("row{i},plain,{i}\r\n")),
+            3 => text.push_str(&format!("ragged{i}\n")),
+            _ => text.push_str(&format!("row{i},\"say \"\"hi\"\" {i}\",end\n")),
+        }
+        i += 1;
+    }
+    let d = Dialect::rfc4180();
+    let serial = scan_records(&text, &d);
+    for threads in [2, ci_threads()] {
+        let par =
+            try_scan_records_threaded(&text, &d, &Limits::unbounded(), Deadline::none(), threads)
+                .expect("unbounded scan cannot fail");
+        assert_eq!(par.to_owned_rows(), serial.to_owned_rows());
+        assert_eq!(par.n_cow_fields(), serial.n_cow_fields());
+        assert!(par.n_chunks() >= 1);
+    }
+}
+
+/// Threaded scan under streaming limits: the replayed global counters
+/// must trip with the serial payload even when the trip happens deep in
+/// a later chunk.
+#[test]
+fn threaded_pool_matches_serial_under_limits() {
+    let text: String = (0..20_000).map(|i| format!("a{i},b{i},c{i}\n")).collect();
+    let d = Dialect::rfc4180();
+    let mut limits = Limits::unbounded();
+    limits.max_rows = Some(17_500);
+    let serial = try_scan_records(&text, &d, &limits).unwrap_err();
+    let par =
+        try_scan_records_threaded(&text, &d, &limits, Deadline::none(), ci_threads()).unwrap_err();
+    match (serial, par) {
+        (
+            StrudelError::LimitExceeded {
+                limit: la,
+                actual: aa,
+                max: ma,
+                ..
+            },
+            StrudelError::LimitExceeded {
+                limit: lb,
+                actual: ab,
+                max: mb,
+                ..
+            },
+        ) => assert_eq!((lb, ab, mb), (la, aa, ma)),
+        other => panic!("unexpected: {other:?}"),
+    }
+}
+
+/// Satellite pin: a deadline trip observed inside a worker carries the
+/// identical `LimitKind::WallClock` payload as the serial scanner
+/// (`actual = budget_ms + 1`, `max = budget_ms`) — the parallel path
+/// polls per chunk-local 64 KiB but the error construction is shared.
+#[test]
+fn deadline_trip_payload_matches_serial() {
+    // Large enough that every chunk of a 4-way split crosses the 64 KiB
+    // polling interval, so workers (not the entry checks) observe the
+    // expired deadline.
+    let text: String = (0..40_000).map(|i| format!("r{i},value{i}\n")).collect();
+    assert!(text.len() > 512 << 10);
+    let d = Dialect::rfc4180();
+    let expired = Deadline::after(Duration::ZERO);
+    let serial = strudel_dialect::try_scan_records_within(&text, &d, &Limits::unbounded(), expired)
+        .unwrap_err();
+    let par = try_scan_records_threaded(&text, &d, &Limits::unbounded(), expired, 4).unwrap_err();
+    let chunked =
+        try_scan_records_chunked(&text, &d, &Limits::unbounded(), expired, 4).unwrap_err();
+    for err in [&serial, &par, &chunked] {
+        match err {
+            StrudelError::LimitExceeded {
+                limit, actual, max, ..
+            } => {
+                assert_eq!(*limit, LimitKind::WallClock);
+                assert_eq!(*actual, *max + 1, "deadline payload is budget-derived");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+    let payload = |e: &StrudelError| match e {
+        StrudelError::LimitExceeded {
+            limit, actual, max, ..
+        } => (*limit, *actual, *max),
+        _ => unreachable!(),
+    };
+    assert_eq!(payload(&par), payload(&serial));
+    assert_eq!(payload(&chunked), payload(&serial));
+}

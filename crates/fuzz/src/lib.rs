@@ -33,9 +33,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 use strudel::{Strudel, StrudelCellConfig, StrudelLineConfig};
 use strudel_dialect::legacy::try_parse_legacy;
-use strudel_dialect::{try_parse, Dialect};
+use strudel_dialect::{try_parse, try_scan_records_chunked, try_scan_records_within, Dialect};
 use strudel_ml::ForestConfig;
-use strudel_table::{LimitKind, Limits, StrudelError};
+use strudel_table::{Deadline, LimitKind, Limits, StrudelError};
 
 /// Fit the small fixed model the fuzz targets run under. Inference is a
 /// pure function of (model, input), so one cheap model exercises the
@@ -312,10 +312,7 @@ pub fn check_divergence(input: &[u8], limits: &Limits) -> Option<String> {
         Err(_) => return None,
     };
     for dialect in divergence_dialects() {
-        for (label, bounds) in [
-            ("unbounded", Limits::unbounded()),
-            ("bounded", *limits),
-        ] {
+        for (label, bounds) in [("unbounded", Limits::unbounded()), ("bounded", *limits)] {
             let legacy = try_parse_legacy(text, &dialect, &bounds);
             let fast = try_parse(text, &dialect, &bounds);
             let agree = match (&legacy, &fast) {
@@ -342,6 +339,57 @@ pub fn check_divergence(input: &[u8], limits: &Limits) -> Option<String> {
                     "{label} parse under {dialect:?}: legacy {legacy:?} vs scanner {fast:?}"
                 ));
             }
+            if let Some(desc) = check_chunk_divergence(text, &dialect, &bounds, label) {
+                return Some(desc);
+            }
+        }
+    }
+    None
+}
+
+/// Chunk counts the chunk-parity dimension sweeps: a fixed panel of
+/// small, awkward, and oversized counts, plus one count derived from the
+/// input length so the seam positions vary with every mutated input.
+fn chunk_panel(len: usize) -> [usize; 4] {
+    [2, 5, 16, len % 11 + 2]
+}
+
+/// Compare the chunked scan against the serial scan at several chunk
+/// counts: identical records (spans and unescaped values) on success,
+/// identical limit payloads on failure. Any disagreement is a seam bug
+/// in the chunk-parallel scanner.
+fn check_chunk_divergence(
+    text: &str,
+    dialect: &Dialect,
+    bounds: &Limits,
+    label: &str,
+) -> Option<String> {
+    let serial = try_scan_records_within(text, dialect, bounds, Deadline::none());
+    for k in chunk_panel(text.len()) {
+        let chunked = try_scan_records_chunked(text, dialect, bounds, Deadline::none(), k);
+        let agree = match (&serial, &chunked) {
+            (Ok(a), Ok(b)) => a.to_owned_rows() == b.to_owned_rows(),
+            (
+                Err(StrudelError::LimitExceeded {
+                    limit: la,
+                    actual: aa,
+                    max: ma,
+                    ..
+                }),
+                Err(StrudelError::LimitExceeded {
+                    limit: lb,
+                    actual: ab,
+                    max: mb,
+                    ..
+                }),
+            ) => la == lb && aa == ab && ma == mb,
+            (Err(a), Err(b)) => a == b,
+            _ => false,
+        };
+        if !agree {
+            return Some(format!(
+                "{label} chunked scan ({k} chunks) under {dialect:?} diverges from serial"
+            ));
         }
     }
     None

@@ -31,9 +31,11 @@ mod error;
 mod labeled;
 mod table;
 mod types;
+mod view;
 
 pub use class::{ElementClass, ParseClassError};
 pub use error::{Deadline, LimitKind, Limits, StrudelError};
 pub use labeled::{CellLabels, Corpus, CorpusStats, LabeledFile};
 pub use table::{Cell, Table};
 pub use types::{is_date, parse_number, DataType, ParsedNumber};
+pub use view::{CellRef, CellView, GridView, TableRef};

@@ -7,6 +7,40 @@
 
 use crate::error::{LimitKind, Limits, StrudelError};
 use crate::types::{parse_number, DataType};
+use crate::view::GridView;
+
+/// The one inference routine behind both [`Cell::new`] and the borrowed
+/// [`crate::CellRef::new`]: eager type inference plus cached numeric
+/// parsing. Keeping it shared guarantees an owned and a borrowed cell
+/// over the same raw text are indistinguishable to every consumer.
+pub(crate) fn infer_cell_parts(raw: &str) -> (DataType, Option<f64>) {
+    let dtype = DataType::infer(raw);
+    let numeric = if dtype.is_numeric() {
+        parse_number(raw.trim()).map(|p| p.value)
+    } else {
+        None
+    };
+    (dtype, numeric)
+}
+
+/// Number of words in `raw`: maximal runs of alphanumeric characters,
+/// per the paper's `WordAmount` feature definition (Section 4). Shared
+/// by [`Cell`] and [`crate::CellRef`].
+pub(crate) fn word_count_of(raw: &str) -> usize {
+    let mut count = 0;
+    let mut in_word = false;
+    for ch in raw.chars() {
+        if ch.is_alphanumeric() {
+            if !in_word {
+                count += 1;
+                in_word = true;
+            }
+        } else {
+            in_word = false;
+        }
+    }
+    count
+}
 
 /// A single cell: its raw text, inferred type, and numeric value (if any).
 #[derive(Debug, Clone, PartialEq)]
@@ -20,12 +54,18 @@ impl Cell {
     /// Build a cell from raw text, inferring its type and numeric value.
     pub fn new(raw: impl Into<String>) -> Cell {
         let raw = raw.into();
-        let dtype = DataType::infer(&raw);
-        let numeric = if dtype.is_numeric() {
-            parse_number(raw.trim()).map(|p| p.value)
-        } else {
-            None
-        };
+        let (dtype, numeric) = infer_cell_parts(&raw);
+        Cell {
+            raw,
+            dtype,
+            numeric,
+        }
+    }
+
+    /// Assemble a cell from already-inferred parts — the materialisation
+    /// path of [`crate::TableRef::into_table`], which reuses the types
+    /// and numbers inferred on the borrowed side.
+    pub(crate) fn from_parts(raw: String, dtype: DataType, numeric: Option<f64>) -> Cell {
         Cell {
             raw,
             dtype,
@@ -70,19 +110,7 @@ impl Cell {
     /// Number of words: maximal runs of alphanumeric characters, per the
     /// paper's `WordAmount` feature definition (Section 4).
     pub fn word_count(&self) -> usize {
-        let mut count = 0;
-        let mut in_word = false;
-        for ch in self.raw.chars() {
-            if ch.is_alphanumeric() {
-                if !in_word {
-                    count += 1;
-                    in_word = true;
-                }
-            } else {
-                in_word = false;
-            }
-        }
-        count
+        word_count_of(&self.raw)
     }
 }
 
@@ -195,6 +223,13 @@ impl Table {
             n_rows,
             n_cols,
         }
+    }
+
+    /// The grid view the classification stages consume — the owned
+    /// table and the borrowed [`crate::TableRef`] expose the same view
+    /// type, so feature extraction is written once over [`GridView`].
+    pub fn view(&self) -> GridView<'_, Cell> {
+        GridView::over(&self.cells, self.n_rows, self.n_cols)
     }
 
     /// Number of rows (lines) in the table.

@@ -1,0 +1,367 @@
+//! Borrowed cell grids: classify without materialising owned cells.
+//!
+//! The zero-copy scanner hands the pipeline field values as `Cow<str>`
+//! slices of the input buffer. Historically the pipeline immediately
+//! copied every one of them into an owned [`Cell`] before feature
+//! extraction ever ran — the single largest allocation burst of the hot
+//! path. This module removes that step:
+//!
+//! - [`CellRef`] is a cell whose raw value may *borrow* the parsed
+//!   input, with the same eagerly inferred [`DataType`] and cached
+//!   numeric value as [`Cell`] (both are built by one shared inference
+//!   routine, so a `CellRef` and the `Cell` it would materialise to are
+//!   indistinguishable to every consumer — the property that keeps
+//!   golden classification snapshots byte-identical);
+//! - [`TableRef`] is the borrowed counterpart of [`Table`]: the same
+//!   padded row-major grid over `CellRef`s;
+//! - [`CellView`] + [`GridView`] abstract over the two layouts so the
+//!   feature-extraction and classification stages are written once and
+//!   run on either — owned tables for training and the compatibility
+//!   API, borrowed tables for the end-to-end detection hot path;
+//! - [`TableRef::into_table`] materialises the owned [`Table`] for the
+//!   final `Structure` output, reusing every inferred type and parsed
+//!   number instead of recomputing them.
+
+use crate::table::{Cell, Table};
+use crate::types::DataType;
+use std::borrow::Cow;
+
+/// The cell interface the classification stages consume: raw text plus
+/// the eagerly inferred type and numeric value. Implemented by owned
+/// [`Cell`]s and borrowed [`CellRef`]s.
+pub trait CellView {
+    /// The raw text of the cell.
+    fn raw(&self) -> &str;
+    /// The inferred data type.
+    fn dtype(&self) -> DataType;
+    /// The parsed numeric value, when the cell is `Int` or `Float`.
+    fn numeric(&self) -> Option<f64>;
+
+    /// Whether the cell is empty (no characters or only whitespace).
+    fn is_empty(&self) -> bool {
+        self.dtype() == DataType::Empty
+    }
+
+    /// Length in characters of the raw value.
+    fn len(&self) -> usize {
+        self.raw().chars().count()
+    }
+
+    /// Number of words: maximal runs of alphanumeric characters, per
+    /// the paper's `WordAmount` feature definition (Section 4).
+    fn word_count(&self) -> usize {
+        crate::table::word_count_of(self.raw())
+    }
+}
+
+impl CellView for Cell {
+    fn raw(&self) -> &str {
+        Cell::raw(self)
+    }
+    fn dtype(&self) -> DataType {
+        Cell::dtype(self)
+    }
+    fn numeric(&self) -> Option<f64> {
+        Cell::numeric(self)
+    }
+}
+
+/// A cell whose raw value may borrow the parsed input buffer. Type
+/// inference and numeric parsing are identical to [`Cell::new`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRef<'a> {
+    raw: Cow<'a, str>,
+    dtype: DataType,
+    numeric: Option<f64>,
+}
+
+impl<'a> CellRef<'a> {
+    /// Build a borrowed cell, inferring its type and numeric value with
+    /// the same routine as [`Cell::new`].
+    pub fn new(raw: Cow<'a, str>) -> CellRef<'a> {
+        let (dtype, numeric) = crate::table::infer_cell_parts(&raw);
+        CellRef {
+            raw,
+            dtype,
+            numeric,
+        }
+    }
+
+    /// An empty borrowed cell.
+    pub fn empty() -> CellRef<'a> {
+        CellRef {
+            raw: Cow::Borrowed(""),
+            dtype: DataType::Empty,
+            numeric: None,
+        }
+    }
+
+    /// Materialise the owned [`Cell`], reusing the inferred parts.
+    pub fn into_cell(self) -> Cell {
+        Cell::from_parts(self.raw.into_owned(), self.dtype, self.numeric)
+    }
+}
+
+impl CellView for CellRef<'_> {
+    fn raw(&self) -> &str {
+        &self.raw
+    }
+    fn dtype(&self) -> DataType {
+        self.dtype
+    }
+    fn numeric(&self) -> Option<f64> {
+        self.numeric
+    }
+}
+
+/// The borrowed counterpart of [`Table`]: a padded row-major grid of
+/// [`CellRef`]s tied to the lifetime of the parsed input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef<'a> {
+    cells: Vec<CellRef<'a>>,
+    n_rows: usize,
+    n_cols: usize,
+}
+
+impl<'a> TableRef<'a> {
+    /// Build a borrowed table from an already-padded row-major grid.
+    ///
+    /// # Panics
+    /// Panics when `cells.len() != n_rows * n_cols`.
+    pub fn from_cell_grid(cells: Vec<CellRef<'a>>, n_rows: usize, n_cols: usize) -> TableRef<'a> {
+        assert_eq!(
+            cells.len(),
+            n_rows * n_cols,
+            "cell grid does not match its dimensions"
+        );
+        TableRef {
+            cells,
+            n_rows,
+            n_cols,
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// The grid view the classification stages consume.
+    pub fn view(&self) -> GridView<'_, CellRef<'a>> {
+        GridView {
+            cells: &self.cells,
+            n_rows: self.n_rows,
+            n_cols: self.n_cols,
+        }
+    }
+
+    /// Materialise the owned [`Table`], reusing every inferred type and
+    /// parsed number. This is the single point at which the detection
+    /// pipeline copies cell text out of the input buffer.
+    pub fn into_table(self) -> Table {
+        let cells: Vec<Cell> = self.cells.into_iter().map(CellRef::into_cell).collect();
+        Table::from_cell_grid(cells, self.n_rows, self.n_cols)
+    }
+}
+
+/// A borrowed, `Copy` view of a padded row-major cell grid — the common
+/// shape of [`Table`] and [`TableRef`]. Every grid helper the
+/// classification stages use is implemented once, here.
+#[derive(Debug)]
+pub struct GridView<'g, C> {
+    cells: &'g [C],
+    n_rows: usize,
+    n_cols: usize,
+}
+
+impl<C> Clone for GridView<'_, C> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<C> Copy for GridView<'_, C> {}
+
+impl<'g, C: CellView> GridView<'g, C> {
+    pub(crate) fn over(cells: &'g [C], n_rows: usize, n_cols: usize) -> GridView<'g, C> {
+        debug_assert_eq!(cells.len(), n_rows * n_cols);
+        GridView {
+            cells,
+            n_rows,
+            n_cols,
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Total number of cell positions (`n_rows * n_cols`).
+    pub fn size(&self) -> usize {
+        self.n_rows * self.n_cols
+    }
+
+    /// The cell at `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics when the position is out of bounds.
+    pub fn cell(&self, row: usize, col: usize) -> &'g C {
+        assert!(row < self.n_rows && col < self.n_cols, "cell out of bounds");
+        &self.cells[row * self.n_cols + col]
+    }
+
+    /// The cell at `(row, col)` or `None` when out of bounds. Accepts
+    /// signed coordinates so neighbour lookups can pass `r-1`/`c-1`
+    /// without underflow checks.
+    pub fn get(&self, row: isize, col: isize) -> Option<&'g C> {
+        if row < 0 || col < 0 {
+            return None;
+        }
+        let (row, col) = (row as usize, col as usize);
+        if row >= self.n_rows || col >= self.n_cols {
+            return None;
+        }
+        Some(&self.cells[row * self.n_cols + col])
+    }
+
+    /// Iterator over the cells of one row.
+    pub fn row(&self, row: usize) -> impl Iterator<Item = &'g C> {
+        assert!(row < self.n_rows, "row out of bounds");
+        self.cells[row * self.n_cols..(row + 1) * self.n_cols].iter()
+    }
+
+    /// Iterator over the cells of one column.
+    pub fn column(&self, col: usize) -> impl Iterator<Item = &'g C> {
+        assert!(col < self.n_cols, "column out of bounds");
+        let (cells, n_cols) = (self.cells, self.n_cols);
+        (0..self.n_rows).map(move |r| &cells[r * n_cols + col])
+    }
+
+    /// Whether every cell of `row` is empty.
+    pub fn row_is_empty(&self, row: usize) -> bool {
+        self.row(row).all(C::is_empty)
+    }
+
+    /// Whether every cell of `col` is empty.
+    pub fn col_is_empty(&self, col: usize) -> bool {
+        self.column(col).all(C::is_empty)
+    }
+
+    /// Number of non-empty cells in `row`.
+    pub fn row_non_empty_count(&self, row: usize) -> usize {
+        self.row(row).filter(|c| !c.is_empty()).count()
+    }
+
+    /// Number of non-empty cells in the whole grid.
+    pub fn non_empty_count(&self) -> usize {
+        self.cells.iter().filter(|c| !c.is_empty()).count()
+    }
+
+    /// Index of the closest non-empty row strictly above `row`, if any.
+    pub fn prev_non_empty_row(&self, row: usize) -> Option<usize> {
+        (0..row).rev().find(|&r| !self.row_is_empty(r))
+    }
+
+    /// Index of the closest non-empty row strictly below `row`, if any.
+    pub fn next_non_empty_row(&self, row: usize) -> Option<usize> {
+        (row + 1..self.n_rows).find(|&r| !self.row_is_empty(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn owned() -> Table {
+        Table::from_rows(vec![
+            vec!["Title", "", ""],
+            vec!["", "", ""],
+            vec!["a", "1", "2.5"],
+            vec!["b", "3"],
+        ])
+    }
+
+    fn borrowed() -> TableRef<'static> {
+        let rows: Vec<Vec<&'static str>> = vec![
+            vec!["Title", "", ""],
+            vec!["", "", ""],
+            vec!["a", "1", "2.5"],
+            vec!["b", "3", ""],
+        ];
+        let n_rows = rows.len();
+        let n_cols = 3;
+        let cells = rows
+            .into_iter()
+            .flat_map(|r| r.into_iter().map(|v| CellRef::new(Cow::Borrowed(v))))
+            .collect();
+        TableRef::from_cell_grid(cells, n_rows, n_cols)
+    }
+
+    #[test]
+    fn cellref_infers_like_cell() {
+        for raw in ["", "  ", "abc", "1,204", "2.5", "-3", "12%", "Crime U.S."] {
+            let owned = Cell::new(raw);
+            let brw = CellRef::new(Cow::Borrowed(raw));
+            assert_eq!(CellView::dtype(&brw), owned.dtype(), "dtype for {raw:?}");
+            assert_eq!(
+                CellView::numeric(&brw),
+                owned.numeric(),
+                "numeric for {raw:?}"
+            );
+            assert_eq!(
+                CellView::word_count(&brw),
+                owned.word_count(),
+                "words for {raw:?}"
+            );
+            assert_eq!(CellView::len(&brw), owned.len());
+            assert_eq!(brw.into_cell(), owned);
+        }
+    }
+
+    #[test]
+    fn grid_views_agree_across_layouts() {
+        let t = owned();
+        let r = borrowed();
+        let (tv, rv) = (t.view(), r.view());
+        assert_eq!(tv.n_rows(), rv.n_rows());
+        assert_eq!(tv.n_cols(), rv.n_cols());
+        assert_eq!(tv.non_empty_count(), rv.non_empty_count());
+        for row in 0..tv.n_rows() {
+            assert_eq!(tv.row_is_empty(row), rv.row_is_empty(row));
+            assert_eq!(tv.row_non_empty_count(row), rv.row_non_empty_count(row));
+            assert_eq!(tv.prev_non_empty_row(row), rv.prev_non_empty_row(row));
+            assert_eq!(tv.next_non_empty_row(row), rv.next_non_empty_row(row));
+            for col in 0..tv.n_cols() {
+                assert_eq!(tv.cell(row, col).raw(), rv.cell(row, col).raw());
+                assert_eq!(tv.cell(row, col).dtype(), rv.cell(row, col).dtype());
+            }
+        }
+        assert!(rv.get(-1, 0).is_none());
+        assert!(rv.get(0, 3).is_none());
+        assert_eq!(rv.get(2, 1).unwrap().numeric(), Some(1.0));
+    }
+
+    #[test]
+    fn into_table_materialises_identically() {
+        let direct = Table::from_rows(vec![vec!["a", "1"], vec!["b", "2.5"]]);
+        let cells = vec![
+            CellRef::new(Cow::Borrowed("a")),
+            CellRef::new(Cow::Borrowed("1")),
+            CellRef::new(Cow::Borrowed("b")),
+            CellRef::new(Cow::Borrowed("2.5")),
+        ];
+        let materialised = TableRef::from_cell_grid(cells, 2, 2).into_table();
+        assert_eq!(materialised, direct);
+    }
+}

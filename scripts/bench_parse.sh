@@ -3,10 +3,14 @@
 # BENCH_parse.json (override with BENCH_PARSE_OUT).
 #
 # When a committed BENCH_parse.json baseline exists, the run is gated:
-# the fresh headline `speedup_scan_vs_legacy` (a same-machine ratio, so
-# comparable across hosts) must not regress more than 20% below the
-# baseline's. The baseline file is only overwritten after the gate
-# passes.
+# the fresh headlines `speedup_scan_vs_legacy` and `pipeline_speedup`
+# (same-machine ratios, so comparable across hosts) must not regress
+# more than 20% below the baseline's. On hosts with at least 4 CPUs the
+# 4-thread chunk-parallel scan must additionally clear an absolute
+# 1.8x-over-serial floor on the representative workload (the committed
+# baseline may come from a smaller host, so this gate is against the
+# floor, not the baseline). The baseline file is only overwritten after
+# the gates pass.
 #
 # Set BENCH_SMOKE=1 for a quick CI-sized run: 1 MiB workloads and few
 # timing iterations — it exercises the full bench path (all three parse
@@ -27,27 +31,54 @@ if [[ ! -s "$fresh" ]]; then
   exit 1
 fi
 
-speedup_of() {
-  sed -n 's/.*"speedup_scan_vs_legacy": \([0-9.]*\).*/\1/p' "$1"
+field_of() {
+  sed -n "s/.*\"$2\": \([0-9.]*\).*/\1/p" "$1"
 }
 
-new="$(speedup_of "$fresh")"
-if [[ -z "$new" ]]; then
-  echo "error: no speedup_scan_vs_legacy in bench output" >&2
-  exit 1
-fi
-
-if [[ -f "$baseline" ]]; then
-  base="$(speedup_of "$baseline")"
-  if [[ -n "$base" ]]; then
-    floor="$(awk -v b="$base" 'BEGIN { printf "%.3f", b * 0.8 }')"
-    ok="$(awk -v n="$new" -v f="$floor" 'BEGIN { print (n >= f) ? 1 : 0 }')"
-    if [[ "$ok" != "1" ]]; then
-      echo "error: parse speedup regressed: ${new}x < 80% of baseline ${base}x (floor ${floor}x)" >&2
-      exit 1
-    fi
-    echo "parse speedup ${new}x vs baseline ${base}x: ok (floor ${floor}x)"
+# Gate a fresh headline against 80% of the committed baseline's value.
+gate_ratio() {
+  local name="$1"
+  local new base floor ok
+  new="$(field_of "$fresh" "$name")"
+  if [[ -z "$new" ]]; then
+    echo "error: no $name in bench output" >&2
+    exit 1
   fi
+  if [[ -f "$baseline" ]]; then
+    base="$(field_of "$baseline" "$name")"
+    if [[ -n "$base" ]]; then
+      floor="$(awk -v b="$base" 'BEGIN { printf "%.3f", b * 0.8 }')"
+      ok="$(awk -v n="$new" -v f="$floor" 'BEGIN { print (n >= f) ? 1 : 0 }')"
+      if [[ "$ok" != "1" ]]; then
+        echo "error: $name regressed: ${new}x < 80% of baseline ${base}x (floor ${floor}x)" >&2
+        exit 1
+      fi
+      echo "$name ${new}x vs baseline ${base}x: ok (floor ${floor}x)"
+    fi
+  fi
+}
+
+gate_ratio speedup_scan_vs_legacy
+gate_ratio pipeline_speedup
+
+# Chunk-parallel scan gate: only meaningful with real cores to spread
+# the chunks over. Single- and dual-core hosts report their honest
+# numbers in the JSON but are not held to the multi-core floor.
+cpus="$(nproc 2>/dev/null || echo 1)"
+if [[ "$cpus" -ge 4 ]]; then
+  par="$(field_of "$fresh" parallel_scan_speedup_4t)"
+  if [[ -z "$par" ]]; then
+    echo "error: no parallel_scan_speedup_4t in bench output" >&2
+    exit 1
+  fi
+  ok="$(awk -v n="$par" 'BEGIN { print (n >= 1.8) ? 1 : 0 }')"
+  if [[ "$ok" != "1" ]]; then
+    echo "error: 4-thread parallel scan ${par}x < 1.8x floor on a ${cpus}-CPU host" >&2
+    exit 1
+  fi
+  echo "parallel scan 4t ${par}x on ${cpus} CPUs: ok (floor 1.8x)"
+else
+  echo "parallel scan gate skipped: ${cpus} CPU(s) < 4 (numbers recorded, not gated)"
 fi
 
 # A smoke run gates against the baseline but never replaces it (its
