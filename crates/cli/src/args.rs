@@ -49,6 +49,15 @@ pub struct Options {
     pub max_file_ms: Option<u64>,
     /// `--no-limits` — disable all input limits (trusted input only).
     pub no_limits: bool,
+    /// `--stream` — classify through the bounded-memory streaming path.
+    pub stream: bool,
+    /// `--window-rows N` — streaming window row cap.
+    pub window_rows: Option<usize>,
+    /// `--window-bytes N` — streaming window byte cap.
+    pub window_bytes: Option<usize>,
+    /// `--max-total-bytes N` — whole-stream byte cap (streaming only;
+    /// `--max-bytes` caps each window there).
+    pub max_total_bytes: Option<u64>,
     /// Positional arguments (input files).
     pub inputs: Vec<PathBuf>,
 }
@@ -122,6 +131,28 @@ impl Options {
                     )
                 }
                 "--no-limits" => o.no_limits = true,
+                "--stream" => o.stream = true,
+                "--window-rows" => {
+                    o.window_rows = Some(
+                        value("--window-rows")?
+                            .parse()
+                            .map_err(|_| "--window-rows: integer")?,
+                    )
+                }
+                "--window-bytes" => {
+                    o.window_bytes = Some(
+                        value("--window-bytes")?
+                            .parse()
+                            .map_err(|_| "--window-bytes: integer")?,
+                    )
+                }
+                "--max-total-bytes" => {
+                    o.max_total_bytes = Some(
+                        value("--max-total-bytes")?
+                            .parse()
+                            .map_err(|_| "--max-total-bytes: integer")?,
+                    )
+                }
                 other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
                 positional => o.inputs.push(PathBuf::from(positional)),
             }
@@ -150,6 +181,27 @@ impl Options {
             limits.max_file_wall = Some(Duration::from_millis(ms));
         }
         limits
+    }
+
+    /// The streaming configuration these options describe: the default
+    /// window geometry, overridden by `--window-*`, with [`limits`]
+    /// (`--max-*` applying per window) and `--threads` threaded through.
+    ///
+    /// [`limits`]: Options::limits
+    pub fn stream_config(&self) -> strudel::StreamConfig {
+        let mut config = strudel::StreamConfig {
+            limits: self.limits(),
+            n_threads: self.threads,
+            max_total_bytes: self.max_total_bytes,
+            ..strudel::StreamConfig::default()
+        };
+        if let Some(n) = self.window_rows {
+            config.window_rows = n;
+        }
+        if let Some(n) = self.window_bytes {
+            config.window_bytes = n;
+        }
+        config
     }
 }
 
@@ -227,6 +279,39 @@ mod tests {
     fn no_limits_disables_everything() {
         let o = parse(&["--no-limits", "--max-bytes", "1000"]).unwrap();
         assert_eq!(o.limits(), Limits::unbounded());
+    }
+
+    #[test]
+    fn stream_flags() {
+        let o = parse(&[]).unwrap();
+        assert!(!o.stream);
+        let defaults = strudel::StreamConfig::default();
+        assert_eq!(o.stream_config().window_rows, defaults.window_rows);
+        assert_eq!(o.stream_config().window_bytes, defaults.window_bytes);
+
+        let o = parse(&[
+            "--stream",
+            "--window-rows",
+            "100",
+            "--window-bytes",
+            "4096",
+            "--max-total-bytes",
+            "9000",
+            "--max-bytes",
+            "2048",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        assert!(o.stream);
+        let config = o.stream_config();
+        assert_eq!(config.window_rows, 100);
+        assert_eq!(config.window_bytes, 4096);
+        assert_eq!(config.max_total_bytes, Some(9000));
+        // --max-bytes stays the per-window cap in streaming mode.
+        assert_eq!(config.limits.max_input_bytes, Some(2048));
+        assert_eq!(config.n_threads, 2);
+        assert!(parse(&["--window-rows", "lots"]).is_err());
     }
 
     #[test]

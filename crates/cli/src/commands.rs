@@ -66,6 +66,9 @@ pub fn train(options: &Options) -> Result<(), CliError> {
 
 /// `strudel detect [--model MODEL] FILE [--cells]`
 pub fn detect(options: &Options) -> Result<(), CliError> {
+    if options.stream {
+        return detect_stream(options);
+    }
     let input = options
         .inputs
         .first()
@@ -122,6 +125,94 @@ pub fn detect(options: &Options) -> Result<(), CliError> {
         }
         if !any {
             println!("  (none)");
+        }
+    }
+    Ok(())
+}
+
+/// `strudel detect --stream`: the input is read in fixed-size chunks
+/// through the bounded-memory [`strudel::StreamClassifier`]; line
+/// classes print incrementally as each window closes. `--json` buffers
+/// the emitted windows to assemble the canonical document (the output
+/// itself is file-sized, so that buffering changes nothing
+/// asymptotically) — on any input that fits in one window it is
+/// byte-identical to plain `detect --json`.
+fn detect_stream(options: &Options) -> Result<(), CliError> {
+    use std::io::Write;
+    let input = options
+        .inputs
+        .first()
+        .ok_or("detect requires an input FILE")?;
+    let input = existing(input, "input file")?;
+    let name = input.display().to_string();
+    let mut file =
+        fs::File::open(&input).map_err(|e| strudel::StrudelError::io(&e, Some(&name)))?;
+    let model = model_from(options)?;
+
+    let mut buffered: Vec<strudel::StreamWindow> = Vec::new();
+    let mut differing: Vec<(usize, usize, &'static str, String)> = Vec::new();
+    let mut repaired = 0usize;
+    let mut dialect_printed = false;
+    let mut on_window = |mut w: strudel::StreamWindow| {
+        if options.repair {
+            repaired += repair_cells(
+                &w.structure.table,
+                &mut w.structure.cells,
+                &RepairConfig::default(),
+            )
+            .total();
+        }
+        if options.json {
+            buffered.push(w);
+            return;
+        }
+        if !dialect_printed {
+            println!("dialect: {}", w.structure.dialect);
+            dialect_printed = true;
+        }
+        for (r, class) in w.structure.lines.iter().enumerate() {
+            let label = class.map_or("(empty)", |c| c.name());
+            let preview: Vec<&str> = (0..w.structure.table.n_cols())
+                .map(|c| w.structure.table.cell(r, c).raw())
+                .collect();
+            let mut joined = preview.join(" | ");
+            if joined.chars().count() > 72 {
+                joined = joined.chars().take(69).collect::<String>() + "...";
+            }
+            println!("{:>4}  {label:<10} {joined}", w.first_row + r);
+        }
+        if options.cells {
+            for cell in &w.structure.cells {
+                if Some(cell.class) != w.structure.lines[cell.row] {
+                    differing.push((
+                        w.first_row + cell.row,
+                        cell.col,
+                        cell.class.name(),
+                        w.structure.table.cell(cell.row, cell.col).raw().to_string(),
+                    ));
+                }
+            }
+        }
+        std::io::stdout().flush().ok();
+        // `w` is dropped here — non-JSON output stays O(window).
+    };
+    strudel::classify_reader(&model, &mut file, options.stream_config(), &mut on_window)
+        .map_err(|e| e.with_file(name))?;
+
+    if options.repair {
+        eprintln!("repair pass fixed {repaired} cells");
+    }
+    if options.json {
+        println!("{}", strudel::stream_to_json(&buffered));
+        return Ok(());
+    }
+    if options.cells {
+        println!("\ncells differing from their line class:");
+        if differing.is_empty() {
+            println!("  (none)");
+        }
+        for (row, col, class, raw) in differing {
+            println!("  ({row}, {col}) {class:<10} {raw:?}");
         }
     }
     Ok(())
@@ -211,7 +302,9 @@ pub fn segments(options: &Options) -> Result<(), CliError> {
 /// name order. Per-file failures land in the report; the command itself
 /// only fails when there is nothing to process.
 pub fn batch(options: &Options) -> Result<(), CliError> {
-    use strudel::batch::{detect_all, BatchConfig, BatchInput};
+    use strudel::batch::{
+        detect_all, detect_all_streamed, peak_rss_bytes, BatchConfig, BatchInput,
+    };
     if options.inputs.is_empty() {
         return Err("batch requires input files or a directory".into());
     }
@@ -236,23 +329,31 @@ pub fn batch(options: &Options) -> Result<(), CliError> {
     }
     let model = model_from(options)?;
     let inputs: Vec<BatchInput> = paths.into_iter().map(BatchInput::Path).collect();
-    let result = detect_all(
-        &model,
-        &inputs,
-        &BatchConfig {
-            n_threads: options.threads,
-            limits: options.limits(),
-        },
-    );
+    let config = BatchConfig {
+        n_threads: options.threads,
+        limits: options.limits(),
+    };
+    let report = if options.stream {
+        // Files are read and classified in chunks, windows dropped as
+        // counted: per-worker peak memory is O(window), not O(file).
+        let report = detect_all_streamed(&model, &inputs, &config, &options.stream_config());
+        if let Some(rss) = peak_rss_bytes() {
+            // Machine-parseable, for the bench script and the RSS guard.
+            eprintln!("peak_rss_bytes: {rss}");
+        }
+        report
+    } else {
+        detect_all(&model, &inputs, &config).report
+    };
     eprintln!(
         "processed {} files on {} thread(s): {} ok, {} failed, {:.1} files/s",
-        result.report.outcomes.len(),
-        result.report.n_threads,
-        result.report.n_ok(),
-        result.report.n_failed(),
-        result.report.files_per_second(),
+        report.outcomes.len(),
+        report.n_threads,
+        report.n_ok(),
+        report.n_failed(),
+        report.files_per_second(),
     );
-    let json = result.report.to_json();
+    let json = report.to_json();
     match &options.out {
         Some(path) => {
             fs::write(path, &json).map_err(|e| e.to_string())?;
@@ -280,6 +381,7 @@ pub fn serve(options: &Options) -> Result<(), CliError> {
         cache_capacity: options.cache,
         limits: options.limits(),
         model_path: options.model.clone(),
+        stream: options.stream_config(),
         ..ServerConfig::default()
     };
     let server = Server::bind(model, &config)

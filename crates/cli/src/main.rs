@@ -121,11 +121,11 @@ strudel — structure detection in verbose CSV files (EDBT 2021)
 USAGE:
   strudel synth   --dataset NAME --out DIR [--files N] [--seed K] [--scale S]
   strudel train   --corpus DIR --out MODEL [--trees N] [--seed K]
-  strudel detect  [--model MODEL] FILE [--cells] [--repair] [--json]
+  strudel detect  [--model MODEL] FILE [--cells] [--repair] [--json] [--stream]
   strudel extract [--model MODEL] FILE
   strudel segments [--model MODEL] FILE
   strudel eval    --model MODEL --corpus DIR
-  strudel batch   [--model MODEL] [--threads N] [--out FILE] DIR|FILE...
+  strudel batch   [--model MODEL] [--threads N] [--out FILE] [--stream] DIR|FILE...
   strudel serve   [--model MODEL] [--host H] [--port N] [--threads N]
                   [--queue N] [--cache N]
 
@@ -144,9 +144,11 @@ SERVING:
                     with 503 + Retry-After           [default 64]
   --cache N         result-cache entries, 0 disables [default 256]
   Endpoints: POST /classify (CSV bytes -> structure JSON, identical to
-  `detect --json`), GET /healthz, GET /metrics (Prometheus text),
-  POST /admin/reload (validate + swap model), POST /admin/shutdown
-  (graceful, drains in-flight requests).
+  `detect --json`), POST /classify/stream (chunked or content-length
+  body -> chunked NDJSON window events, O(window) memory per
+  connection; honors --window-rows/--window-bytes), GET /healthz,
+  GET /metrics (Prometheus text), POST /admin/reload (validate + swap
+  model), POST /admin/shutdown (graceful, drains in-flight requests).
 
 LIMITS (detect, batch, and serve):
   --max-bytes N     per-file input size limit       [default 256 MiB]
@@ -154,6 +156,22 @@ LIMITS (detect, batch, and serve):
   --max-cells N     padded-grid cell limit          [default 67108864]
   --max-file-ms N   per-file wall-clock budget      [default 60000]
   --no-limits       disable every limit (trusted input only)
+
+STREAMING (detect, batch, and serve's /classify/stream):
+  --stream          classify in bounded memory: the input is read in
+                    chunks and classified window by window, so peak
+                    memory is O(window), not O(file). Output on inputs
+                    that fit one window (the common case) is
+                    byte-identical to the whole-file path; larger
+                    streams classify each window independently under
+                    the prefix-detected dialect.
+  --window-rows N   rows per window                 [default 65536]
+  --window-bytes N  bytes per window                [default 8 MiB]
+  --max-total-bytes N
+                    whole-stream byte cap. In streaming mode the
+                    --max-bytes cap applies to each window instead of
+                    the whole input; this flag restores a stream-wide
+                    cap when one is wanted.
 
 EXIT CODES:
   0 success    1 usage     2 io       3 parse     4 dialect

@@ -31,6 +31,7 @@
 use crate::json::json_string;
 use crate::metrics::{Stage, StageTimings};
 use crate::pipeline::{Structure, Strudel};
+use crate::stream::{StreamClassifier, StreamConfig, STREAM_CHUNK_BYTES};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -348,6 +349,172 @@ pub fn detect_all(model: &Strudel, inputs: &[BatchInput], config: &BatchConfig) 
     }
 }
 
+/// Streamed counterpart of [`detect_all`]: every input flows through a
+/// [`StreamClassifier`] in [`STREAM_CHUNK_BYTES`] chunks, windows are
+/// dropped as soon as they are counted, and path inputs are read
+/// incrementally — so per-worker peak memory is O(window), not O(file).
+/// Because retaining the structures would defeat exactly that bound, the
+/// result is the [`BatchReport`] alone; [`FileOutcome::n_rows`] and
+/// [`FileOutcome::n_cells`] aggregate over all windows of each input.
+///
+/// `config` supplies the worker-pool shape and per-window limits (its
+/// `limits` and thread policy override the ones inside `stream`, keeping
+/// one source of truth with [`detect_all`]); `stream` supplies the
+/// window geometry.
+pub fn detect_all_streamed(
+    model: &Strudel,
+    inputs: &[BatchInput],
+    config: &BatchConfig,
+    stream: &StreamConfig,
+) -> BatchReport {
+    let start = Instant::now();
+    let threads = resolve_threads(config.n_threads).min(inputs.len()).max(1);
+    let inner_threads = if threads > 1 { 1 } else { 0 };
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<FileOutcome>> = Vec::new();
+    slots.resize_with(inputs.len(), || None);
+    let mut stage_timings = StageTimings::default();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced: Vec<(usize, FileOutcome)> = Vec::new();
+                    let mut timings = StageTimings::default();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= inputs.len() {
+                            break;
+                        }
+                        let cfg = StreamConfig {
+                            limits: config.limits,
+                            n_threads: inner_threads,
+                            ..stream.clone()
+                        };
+                        produced.push((i, run_one_streamed(model, &inputs[i], cfg, &mut timings)));
+                    }
+                    (produced, timings)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (produced, timings) = handle
+                .join()
+                .expect("streamed batch worker panicked outside catch_unwind");
+            stage_timings.merge(&timings);
+            for (i, outcome) in produced {
+                slots[i] = Some(outcome);
+            }
+        }
+    });
+
+    BatchReport {
+        stage_timings,
+        outcomes: slots
+            .into_iter()
+            .map(|s| s.expect("every input claimed by a worker"))
+            .collect(),
+        wall: start.elapsed(),
+        n_threads: threads,
+    }
+}
+
+/// Stream one input through a fresh classifier, counting rows/cells per
+/// window and dropping each window immediately.
+fn run_one_streamed(
+    model: &Strudel,
+    input: &BatchInput,
+    config: StreamConfig,
+    timings: &mut StageTimings,
+) -> FileOutcome {
+    let id = input.id();
+    let file_start = Instant::now();
+    let caught = catch_unwind(AssertUnwindSafe(|| match input {
+        BatchInput::Path(p) => {
+            let mut file = std::fs::File::open(p).map_err(|e| StrudelError::io(&e, None))?;
+            stream_one(model, &mut file, config, timings)
+        }
+        BatchInput::Text { text, .. } => stream_one(model, &mut text.as_bytes(), config, timings),
+    }));
+    let result = match caught {
+        Ok(r) => r,
+        Err(payload) => Err(StrudelError::Internal {
+            file: None,
+            reason: panic_message(payload.as_ref()).to_string(),
+        }),
+    };
+    match result {
+        Ok((n_bytes, n_rows, n_cells)) => FileOutcome {
+            id,
+            n_rows,
+            n_cells,
+            n_bytes,
+            elapsed: file_start.elapsed(),
+            error: None,
+            category: None,
+        },
+        Err(error) => {
+            let error = error.with_file(id.clone());
+            FileOutcome {
+                id,
+                n_rows: 0,
+                n_cells: 0,
+                n_bytes: 0,
+                elapsed: file_start.elapsed(),
+                error: Some(error.to_string()),
+                category: Some(error.category()),
+            }
+        }
+    }
+}
+
+/// The bounded-memory inner loop of [`run_one_streamed`]: chunked reads,
+/// windows counted and dropped on the spot. Timings merge even when the
+/// stream fails, so partial work still shows up in the report.
+fn stream_one<R: std::io::Read>(
+    model: &Strudel,
+    reader: &mut R,
+    config: StreamConfig,
+    timings: &mut StageTimings,
+) -> Result<(usize, usize, usize), StrudelError> {
+    let mut classifier = StreamClassifier::new(model, config);
+    let mut n_cells = 0usize;
+    let mut chunk = vec![0u8; STREAM_CHUNK_BYTES];
+    let result = (|| {
+        loop {
+            let n = reader
+                .read(&mut chunk)
+                .map_err(|e| StrudelError::io(&e, None))?;
+            if n == 0 {
+                break;
+            }
+            classifier.push(&chunk[..n])?;
+            for w in classifier.drain_windows() {
+                n_cells += w.structure.cells.len();
+            }
+        }
+        let summary = classifier.finish()?;
+        for w in classifier.drain_windows() {
+            n_cells += w.structure.cells.len();
+        }
+        Ok((summary.total_bytes as usize, summary.n_rows, n_cells))
+    })();
+    timings.merge(classifier.timings());
+    result
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where that interface does not exist.
+/// The streamed batch path reports it so the O(window) memory claim is
+/// checkable from scripts and CI, not just asserted in prose.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
+}
+
 /// Process one input end to end. Failures are typed [`StrudelError`]s
 /// from the guarded pipeline; `catch_unwind` remains as a true last
 /// resort for bugs, surfacing as [`StrudelError::Internal`].
@@ -555,7 +722,9 @@ mod tests {
             },
         );
         for stage in Stage::ALL {
-            assert_eq!(result.report.stage_timings.count(stage), 3);
+            // Whole-file batch runs never touch the streaming stage.
+            let want = if stage == Stage::Stream { 0 } else { 3 };
+            assert_eq!(result.report.stage_timings.count(stage), want);
         }
         assert!(result.report.files_per_second() > 0.0);
         assert!(result.report.bytes_per_second() > 0.0);
@@ -635,6 +804,52 @@ mod tests {
         assert_eq!(rate(5.0, Duration::ZERO), 0.0);
         assert_eq!(rate(0.0, Duration::from_secs(2)), 0.0);
         assert_eq!(rate(6.0, Duration::from_secs(2)), 3.0);
+    }
+
+    #[test]
+    fn streamed_batch_matches_whole_file_counts_and_isolates_failures() {
+        let model = fitted();
+        let texts = sample_texts(5);
+        let mut inputs: Vec<BatchInput> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| BatchInput::text(format!("f{i}"), t.clone()))
+            .collect();
+        inputs.push(BatchInput::path("/definitely/not/here.csv"));
+        let config = BatchConfig {
+            n_threads: 2,
+            ..BatchConfig::default()
+        };
+        let whole = detect_all(&model, &inputs, &config);
+        let streamed = detect_all_streamed(&model, &inputs, &config, &StreamConfig::default());
+        assert_eq!(streamed.outcomes.len(), whole.report.outcomes.len());
+        // Every text fits in one default window, so the streamed counts
+        // come from the identical whole-file pipeline.
+        for (s, w) in streamed.outcomes.iter().zip(&whole.report.outcomes) {
+            assert_eq!(s.id, w.id);
+            assert_eq!(s.n_rows, w.n_rows, "{}", s.id);
+            assert_eq!(s.n_cells, w.n_cells, "{}", s.id);
+            assert_eq!(s.n_bytes, w.n_bytes, "{}", s.id);
+            assert_eq!(s.category, w.category, "{}", s.id);
+        }
+        assert_eq!(streamed.n_ok(), texts.len());
+        assert_eq!(streamed.n_failed(), 1);
+        assert_eq!(
+            streamed.stage_timings.count(Stage::Stream),
+            texts.len() as u64
+        );
+        assert_eq!(streamed.stage_timings.stream_windows(), texts.len() as u64);
+        // The report schema is unchanged — the stream stage key simply
+        // carries time now.
+        assert!(streamed.to_json().contains("\"stream\":"));
+    }
+
+    #[test]
+    fn peak_rss_reads_proc_on_linux() {
+        if cfg!(target_os = "linux") {
+            let rss = peak_rss_bytes().expect("VmHWM available on Linux");
+            assert!(rss > 0);
+        }
     }
 
     #[test]

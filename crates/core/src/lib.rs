@@ -58,6 +58,7 @@ mod metrics;
 mod persist;
 mod pipeline;
 mod postprocess;
+pub mod stream;
 
 pub use active::{file_uncertainty, normalized_entropy, select_most_uncertain, uniform_entropy};
 pub use analysis::{compute_analyses, TableAnalysis};
@@ -85,10 +86,15 @@ pub use line_features::{
 pub use metrics::{Metrics, NullMetrics, Stage, StageTimer, StageTimings};
 pub use pipeline::{Structure, Strudel, TableRegion};
 pub use postprocess::{repair_cells, RepairConfig, RepairReport};
+pub use stream::{
+    classify_reader, stream_to_json, StreamClassifier, StreamConfig, StreamSummary, StreamWindow,
+    STREAM_CHUNK_BYTES,
+};
 
 // Re-export the shared error/limit vocabulary so downstream users of the
 // fallible API need no direct `strudel-table` dependency, plus the
 // borrowed-grid vocabulary the `*_view` entry points speak.
+pub use strudel_dialect::Dialect;
 pub use strudel_table::{
     CellRef, CellView, Deadline, GridView, LimitKind, Limits, StrudelError, TableRef,
 };

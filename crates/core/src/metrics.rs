@@ -5,7 +5,8 @@
 //! analysis (Algorithm 2, computed once per table and reused by both
 //! classifiers), `Strudel^L` line classification, `Strudel^C` cell
 //! classification, and finally materialisation of the owned output
-//! table from the borrowed grid. The
+//! table from the borrowed grid. Streaming classification adds a
+//! seventh, [`Stage::Stream`], covering its windowing bookkeeping. The
 //! [`Metrics`] sink trait lets callers observe how
 //! long each stage took without the pipeline knowing who is listening:
 //! [`detect_structure_metered`](crate::Strudel::detect_structure_metered)
@@ -34,17 +35,24 @@ pub enum Stage {
     /// borrowed grid the classifiers ran over — the single point at
     /// which cell text is copied out of the input buffer.
     Materialize,
+    /// Streaming bookkeeping of the bounded-memory classifier
+    /// ([`crate::stream`]): incremental UTF-8 validation, record
+    /// tracking, and window management. Recorded once per streamed
+    /// input with the total bookkeeping time; the per-window pipeline
+    /// stages are recorded under their own names as usual.
+    Stream,
 }
 
 impl Stage {
     /// All stages, in execution order.
-    pub const ALL: [Stage; 6] = [
+    pub const ALL: [Stage; 7] = [
         Stage::Dialect,
         Stage::Parse,
         Stage::DerivedCells,
         Stage::LineClassify,
         Stage::CellClassify,
         Stage::Materialize,
+        Stage::Stream,
     ];
 
     /// Stable snake_case name (used as a JSON key by the batch report).
@@ -56,6 +64,7 @@ impl Stage {
             Stage::LineClassify => "line_classify",
             Stage::CellClassify => "cell_classify",
             Stage::Materialize => "materialize",
+            Stage::Stream => "stream",
         }
     }
 
@@ -68,6 +77,7 @@ impl Stage {
             Stage::LineClassify => 3,
             Stage::CellClassify => 4,
             Stage::Materialize => 5,
+            Stage::Stream => 6,
         }
     }
 }
@@ -87,6 +97,13 @@ pub trait Metrics {
     fn record_parse_chunks(&mut self, chunks: u64) {
         let _ = chunks;
     }
+
+    /// Observe that the streaming classifier closed and emitted
+    /// `windows` windows. Sinks that only care about timing keep the
+    /// default no-op.
+    fn record_stream_windows(&mut self, windows: u64) {
+        let _ = windows;
+    }
 }
 
 /// The discard sink: structure detection without instrumentation.
@@ -100,9 +117,10 @@ impl Metrics for NullMetrics {
 /// Accumulated per-stage totals and observation counts.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct StageTimings {
-    totals: [Duration; 6],
-    counts: [u64; 6],
+    totals: [Duration; 7],
+    counts: [u64; 7],
     parse_chunks: u64,
+    stream_windows: u64,
 }
 
 impl StageTimings {
@@ -124,6 +142,11 @@ impl StageTimings {
         self.parse_chunks
     }
 
+    /// Total windows emitted by streaming classification runs.
+    pub fn stream_windows(&self) -> u64 {
+        self.stream_windows
+    }
+
     /// Sum over all stages.
     pub fn grand_total(&self) -> Duration {
         self.totals.iter().sum()
@@ -140,6 +163,7 @@ impl StageTimings {
             self.counts[i] += other.counts[i];
         }
         self.parse_chunks += other.parse_chunks;
+        self.stream_windows += other.stream_windows;
     }
 
     /// Render the accumulated totals in Prometheus text exposition
@@ -176,6 +200,11 @@ impl StageTimings {
             "{prefix}_parse_chunks_total {}\n",
             self.parse_chunks
         ));
+        out.push_str(&format!("# TYPE {prefix}_stream_windows_total counter\n"));
+        out.push_str(&format!(
+            "{prefix}_stream_windows_total {}\n",
+            self.stream_windows
+        ));
         out
     }
 }
@@ -198,6 +227,12 @@ impl Metrics for &std::sync::Mutex<StageTimings> {
             guard.record_parse_chunks(chunks);
         }
     }
+
+    fn record_stream_windows(&mut self, windows: u64) {
+        if let Ok(mut guard) = self.lock() {
+            guard.record_stream_windows(windows);
+        }
+    }
 }
 
 impl Metrics for StageTimings {
@@ -208,6 +243,10 @@ impl Metrics for StageTimings {
 
     fn record_parse_chunks(&mut self, chunks: u64) {
         self.parse_chunks += chunks;
+    }
+
+    fn record_stream_windows(&mut self, windows: u64) {
+        self.stream_windows += windows;
     }
 }
 
@@ -257,7 +296,8 @@ mod tests {
                 "derived_cells",
                 "line_classify",
                 "cell_classify",
-                "materialize"
+                "materialize",
+                "stream"
             ]
         );
         for (i, s) in Stage::ALL.iter().enumerate() {
@@ -296,6 +336,22 @@ mod tests {
         let text = b.to_prometheus("strudel");
         assert!(text.contains("# TYPE strudel_parse_chunks_total counter"));
         assert!(text.contains("strudel_parse_chunks_total 7"));
+    }
+
+    #[test]
+    fn stream_windows_accumulate_merge_and_render() {
+        let mut a = StageTimings::default();
+        a.record_stream_windows(2);
+        a.record_stream_windows(3);
+        assert_eq!(a.stream_windows(), 5);
+        let mut b = StageTimings::default();
+        b.record_stream_windows(1);
+        b.merge(&a);
+        assert_eq!(b.stream_windows(), 6);
+        let text = b.to_prometheus("strudel");
+        assert!(text.contains("# TYPE strudel_stream_windows_total counter"));
+        assert!(text.contains("strudel_stream_windows_total 6"));
+        assert!(text.contains("stage=\"stream\""));
     }
 
     #[test]

@@ -369,6 +369,22 @@ impl Strudel {
         sink: &mut dyn Metrics,
     ) -> Result<Structure, StrudelError> {
         let text = strudel_dialect::strip_bom(text);
+        self.try_detect_structure_stripped(text, limits, deadline, n_threads, sink)
+    }
+
+    /// [`try_detect_structure_guarded`](Self::try_detect_structure_guarded)
+    /// minus the BOM strip: the entry for callers that already consumed
+    /// a leading BOM (the streaming classifier strips it at the byte
+    /// level, so a second strip here would eat genuine `U+FEFF`
+    /// content).
+    pub(crate) fn try_detect_structure_stripped(
+        &self,
+        text: &str,
+        limits: &Limits,
+        deadline: Deadline,
+        n_threads: usize,
+        sink: &mut dyn Metrics,
+    ) -> Result<Structure, StrudelError> {
         if let Some(max) = limits.max_input_bytes {
             if text.len() as u64 > max {
                 return Err(StrudelError::limit(
@@ -408,6 +424,58 @@ impl Strudel {
         let table = table_ref.into_table();
         timer.stop(sink);
         Ok(Structure::new(dialect, table, lines, line_probs, cells))
+    }
+
+    /// The guarded pipeline with a *known* dialect: byte-cap and binary
+    /// checks, guarded parsing, and both classification stages — dialect
+    /// detection is skipped. This is the per-window work unit of the
+    /// streaming classifier ([`crate::stream`]): each closed window is
+    /// classified exactly as if its text were an independent document
+    /// parsed under the stream's prefix-detected dialect, which is also
+    /// what the streaming-vs-whole-file differential tests re-run on
+    /// window slices to prove the windows were cut and buffered
+    /// correctly. Limits apply to `text` as given (so
+    /// `max_input_bytes` caps the window, not the whole stream), and the
+    /// NUL offset of a `reject_binary` failure is relative to `text`.
+    pub fn try_detect_structure_with_dialect(
+        &self,
+        text: &str,
+        dialect: &Dialect,
+        limits: &Limits,
+        deadline: Deadline,
+        n_threads: usize,
+        sink: &mut dyn Metrics,
+    ) -> Result<Structure, StrudelError> {
+        if let Some(max) = limits.max_input_bytes {
+            if text.len() as u64 > max {
+                return Err(StrudelError::limit(
+                    LimitKind::InputBytes,
+                    text.len() as u64,
+                    max,
+                ));
+            }
+        }
+        if limits.reject_binary {
+            if let Some(pos) = text.bytes().position(|b| b == 0) {
+                return Err(StrudelError::Dialect {
+                    file: None,
+                    reason: format!("binary content: NUL byte at offset {pos}"),
+                });
+            }
+        }
+        let n_threads = crate::batch::resolve_threads(n_threads);
+        deadline.check()?;
+        let timer = StageTimer::start(Stage::Parse);
+        let (table_ref, records) =
+            try_read_table_ref_with(text, dialect, limits, deadline, n_threads)?;
+        sink.record_parse_chunks(records.n_chunks() as u64);
+        timer.stop(sink);
+        deadline.check()?;
+        let (lines, line_probs, cells) = self.classify_grid(table_ref.view(), n_threads, sink);
+        let timer = StageTimer::start(Stage::Materialize);
+        let table = table_ref.into_table();
+        timer.stop(sink);
+        Ok(Structure::new(*dialect, table, lines, line_probs, cells))
     }
 
     /// Detect the structure of a pre-parsed table.
@@ -639,7 +707,10 @@ mod tests {
         let mut sink = StageTimings::default();
         let metered = model.detect_structure_metered(text, &mut sink);
         for stage in Stage::ALL {
-            assert_eq!(sink.count(stage), 1, "stage {} recorded", stage.name());
+            // The whole-file pipeline records every stage except the
+            // streaming-only bookkeeping stage.
+            let want = u64::from(stage != Stage::Stream);
+            assert_eq!(sink.count(stage), want, "stage {} recorded", stage.name());
         }
         // A small input scans serially: exactly one chunk.
         assert_eq!(sink.parse_chunks(), 1);

@@ -25,6 +25,7 @@ pub mod legacy;
 mod parallel;
 mod parser;
 mod scan;
+pub mod stream;
 mod write;
 
 pub use detect::{
@@ -35,6 +36,7 @@ pub use dialect::Dialect;
 pub use parallel::{try_scan_records_chunked, try_scan_records_threaded};
 pub use parser::{parse, try_parse, try_parse_within};
 pub use scan::{scan_records, try_scan_records, try_scan_records_within, RecordRef, RecordsRef};
+pub use stream::{RecordEnd, RecordTracker, Utf8Feeder};
 pub use write::{write_delimited, write_field};
 
 // Re-export the shared error/limit types so downstream crates can use

@@ -23,6 +23,15 @@
 //! panel of dialects, and any divergence — different rows, different
 //! limit kind, different limit counts — is a failure in its own right,
 //! tallied separately from panics ([`FuzzReport::divergences`]).
+//!
+//! The bounded-memory streaming classifier adds a third differential
+//! dimension: every input is also classified through
+//! [`strudel::StreamClassifier`] under the [`stream_panel`] of window
+//! geometries. The huge-window geometry must reproduce the whole-file
+//! [`Strudel::try_detect_structure_bytes`] output — structure JSON *and*
+//! error payloads — exactly, and every geometry must be invariant to how
+//! the byte stream is chunked. Any disagreement counts as a divergence
+//! and fails the soak ([`check_stream_divergence`]).
 
 #![warn(missing_docs)]
 
@@ -31,7 +40,10 @@ use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
-use strudel::{Strudel, StrudelCellConfig, StrudelLineConfig};
+use strudel::{
+    stream_to_json, StreamClassifier, StreamConfig, StreamSummary, Strudel, StrudelCellConfig,
+    StrudelLineConfig,
+};
 use strudel_dialect::legacy::try_parse_legacy;
 use strudel_dialect::{try_parse, try_scan_records_chunked, try_scan_records_within, Dialect};
 use strudel_ml::ForestConfig;
@@ -242,8 +254,10 @@ pub struct FuzzReport {
     pub panics: u64,
     /// Index of the first panicking input, for replay.
     pub first_panic: Option<u64>,
-    /// Inputs on which the block scanner and the legacy char-walker
-    /// disagreed — must be zero.
+    /// Inputs on which any differential check disagreed — the block
+    /// scanner vs the legacy char-walker, the chunked vs the serial
+    /// scan, or the streaming panel vs the whole-file oracle — must be
+    /// zero.
     pub divergences: u64,
     /// Index and description of the first divergence, for replay.
     pub first_divergence: Option<(u64, String)>,
@@ -395,6 +409,159 @@ fn check_chunk_divergence(
     None
 }
 
+/// The window geometries every fuzz input is streamed under. One thread
+/// each: the chunk-parallel scanner has its own parity dimension, and a
+/// serial window keeps the per-input cost of the panel flat.
+pub fn stream_panel() -> [StreamConfig; 3] {
+    let serial = StreamConfig {
+        n_threads: 1,
+        ..StreamConfig::default()
+    };
+    [
+        // A window far beyond any fuzz input: the stream always takes
+        // the single-window whole-file path, so its output and error
+        // payloads must match `try_detect_structure_bytes` exactly.
+        StreamConfig {
+            window_rows: 1 << 30,
+            window_bytes: 1 << 30,
+            prefix_bytes: 1 << 30,
+            ..serial.clone()
+        },
+        // Row-driven windows with a tiny dialect-detection prefix.
+        StreamConfig {
+            window_rows: 8,
+            window_bytes: 1 << 20,
+            prefix_bytes: 32,
+            ..serial.clone()
+        },
+        // Byte-driven windows: the 2x hard cap cuts mid-table, and the
+        // oversized-record guard fires on long single lines.
+        StreamConfig {
+            window_rows: 1 << 16,
+            window_bytes: 512,
+            prefix_bytes: 16,
+            ..serial
+        },
+    ]
+}
+
+/// Stream one input through [`StreamClassifier`] in `chunk`-byte pushes,
+/// reducing the outcome to what the parity checks compare: the summary
+/// and the assembled canonical JSON, or the first typed error.
+fn run_stream(
+    model: &Strudel,
+    input: &[u8],
+    config: &StreamConfig,
+    chunk: usize,
+) -> Result<(StreamSummary, String), StrudelError> {
+    let mut classifier = StreamClassifier::new(model, config.clone());
+    let mut windows = Vec::new();
+    for piece in input.chunks(chunk.max(1)) {
+        classifier.push(piece)?;
+        windows.extend(classifier.drain_windows());
+    }
+    let summary = classifier.finish()?;
+    windows.extend(classifier.drain_windows());
+    Ok((summary, stream_to_json(&windows)))
+}
+
+/// Typed-error agreement for the streaming checks: `LimitExceeded`
+/// payloads must match on (kind, actual, max) — the `file` tag differs
+/// by entry point — and every other error must be exactly equal.
+fn errors_agree(a: &StrudelError, b: &StrudelError) -> bool {
+    match (a, b) {
+        (
+            StrudelError::LimitExceeded {
+                limit: la,
+                actual: aa,
+                max: ma,
+                ..
+            },
+            StrudelError::LimitExceeded {
+                limit: lb,
+                actual: ab,
+                max: mb,
+                ..
+            },
+        ) => la == lb && aa == ab && ma == mb,
+        _ => a == b,
+    }
+}
+
+/// The one documented error-order divergence of the streaming path: on
+/// an input that is both oversized and invalid UTF-8, whole-file mode
+/// checks the raw byte cap before decoding anything, while the
+/// streaming path hits the invalid sequence while bytes are still
+/// flowing in (errors arrive in stream-offset order).
+fn phase_order_corner(whole: &StrudelError, stream: &StrudelError) -> bool {
+    matches!(
+        whole,
+        StrudelError::LimitExceeded {
+            limit: LimitKind::InputBytes,
+            ..
+        }
+    ) && matches!(stream, StrudelError::Parse { reason, .. } if reason == "invalid UTF-8")
+}
+
+/// Differentially classify one input through the streaming panel.
+/// Returns a description of the first divergence, or `None` when every
+/// geometry is chunk-invariant and the huge-window geometry reproduces
+/// the whole-file oracle.
+pub fn check_stream_divergence(model: &Strudel, input: &[u8], limits: &Limits) -> Option<String> {
+    let whole = model
+        .try_detect_structure_bytes(input, limits)
+        .map(|s| s.to_json());
+    for (p, base) in stream_panel().into_iter().enumerate() {
+        let config = StreamConfig {
+            limits: *limits,
+            ..base
+        };
+        // One push of everything, plus an input-length-derived chunking
+        // so the seam positions vary with every mutated input.
+        let chunkings = [input.len().max(1), input.len() % 53 + 7];
+        let mut reference: Option<Result<(StreamSummary, String), StrudelError>> = None;
+        for chunk in chunkings {
+            let got = run_stream(model, input, &config, chunk);
+            if p == 0 {
+                let agree = match (&whole, &got) {
+                    (Ok(a), Ok((_, b))) => a == b,
+                    (Err(a), Err(b)) => errors_agree(a, b) || phase_order_corner(a, b),
+                    _ => false,
+                };
+                if !agree {
+                    fn show<T>(r: &Result<T, StrudelError>) -> String {
+                        match r {
+                            Ok(_) => "Ok(json)".to_string(),
+                            Err(e) => format!("{e:?}"),
+                        }
+                    }
+                    return Some(format!(
+                        "stream (chunk {chunk}): whole-file {} vs stream {}",
+                        show(&whole),
+                        show(&got),
+                    ));
+                }
+            }
+            match &reference {
+                None => reference = Some(got),
+                Some(first) => {
+                    let agree = match (first, &got) {
+                        (Ok(a), Ok(b)) => a == b,
+                        (Err(a), Err(b)) => errors_agree(a, b),
+                        _ => false,
+                    };
+                    if !agree {
+                        return Some(format!(
+                            "stream config {p}: chunk size {chunk} diverges from single-push"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
 /// Feed one input through guarded structure detection, recording the
 /// outcome, then differentially parse it through both parser paths.
 /// Panics are caught and tallied, never propagated — the soak keeps
@@ -411,20 +578,27 @@ pub fn run_one(model: &Strudel, input: &[u8], limits: &Limits, i: u64, report: &
             report.first_panic.get_or_insert(i);
         }
     }
-    let divergence = catch_unwind(AssertUnwindSafe(|| check_divergence(input, limits)));
-    match divergence {
-        Ok(None) => {}
-        Ok(Some(desc)) => {
-            report.divergences += 1;
-            if report.first_divergence.is_none() {
-                report.first_divergence = Some((i, desc));
+    for check in [
+        catch_unwind(AssertUnwindSafe(|| check_divergence(input, limits))),
+        catch_unwind(AssertUnwindSafe(|| {
+            check_stream_divergence(model, input, limits)
+        })),
+    ] {
+        match check {
+            Ok(None) => {}
+            Ok(Some(desc)) => {
+                report.divergences += 1;
+                if report.first_divergence.is_none() {
+                    report.first_divergence = Some((i, desc));
+                }
             }
-        }
-        Err(_) => {
-            // A panic inside either parser path is both a panic and, by
-            // definition, a divergence from the non-panicking reference.
-            report.panics += 1;
-            report.first_panic.get_or_insert(i);
+            Err(_) => {
+                // A panic inside a differential path is both a panic
+                // and, by definition, a divergence from the
+                // non-panicking reference.
+                report.panics += 1;
+                report.first_panic.get_or_insert(i);
+            }
         }
     }
 }

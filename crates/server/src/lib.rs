@@ -18,6 +18,7 @@
 //! | Route | Method | Purpose |
 //! |---|---|---|
 //! | `/classify` (or `/`) | POST | classify raw CSV bytes → structure JSON |
+//! | `/classify/stream` | POST | bounded-memory streaming classification: chunked request body → chunked NDJSON window events |
 //! | `/healthz` | GET | liveness probe (`200 ok`) |
 //! | `/metrics` | GET | Prometheus text: request/cache/shed counters + per-stage timings |
 //! | `/admin/reload` | POST | validate + atomically swap the model (body: optional path) |
@@ -38,6 +39,12 @@
 //! - **Hot reload**: a new model file is fully loaded and validated
 //!   (corrupt-model checks) before the `Arc` swap — a bad file never
 //!   takes down the server.
+//! - **Bounded-memory streaming**: `POST /classify/stream` pipes the
+//!   request body (chunked transfer encoding or `Content-Length`)
+//!   through a per-connection [`StreamClassifier`](strudel::StreamClassifier),
+//!   emitting one NDJSON event per classified window as it closes plus
+//!   a final summary — peak memory per connection is O(window),
+//!   independent of body size.
 
 #![warn(missing_docs)]
 

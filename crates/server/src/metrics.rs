@@ -30,6 +30,11 @@ pub struct Registry {
     pub classify_ok: AtomicU64,
     /// Classifications that returned a typed error.
     pub classify_err: AtomicU64,
+    /// Streaming classifications that ran to the final summary event.
+    pub stream_ok: AtomicU64,
+    /// Streaming classifications that ended in a typed error, a broken
+    /// body, or a vanished client.
+    pub stream_err: AtomicU64,
     /// `GET /healthz` requests served.
     pub healthz: AtomicU64,
     /// `GET /metrics` requests served.
@@ -61,6 +66,8 @@ impl Registry {
             started: Instant::now(),
             classify_ok: AtomicU64::new(0),
             classify_err: AtomicU64::new(0),
+            stream_ok: AtomicU64::new(0),
+            stream_err: AtomicU64::new(0),
             healthz: AtomicU64::new(0),
             metrics: AtomicU64::new(0),
             reload_ok: AtomicU64::new(0),
@@ -96,6 +103,8 @@ impl Registry {
         for (endpoint, outcome, value) in [
             ("classify", "ok", get(&self.classify_ok)),
             ("classify", "error", get(&self.classify_err)),
+            ("classify_stream", "ok", get(&self.stream_ok)),
+            ("classify_stream", "error", get(&self.stream_err)),
             ("healthz", "ok", get(&self.healthz)),
             ("metrics", "ok", get(&self.metrics)),
             ("reload", "ok", get(&self.reload_ok)),
@@ -161,6 +170,7 @@ mod tests {
         let text = registry.render();
         for needle in [
             "strudel_requests_total{endpoint=\"classify\",outcome=\"ok\"} 1",
+            "strudel_requests_total{endpoint=\"classify_stream\",outcome=\"ok\"} 0",
             "strudel_requests_total{endpoint=\"reload\",outcome=\"error\"} 0",
             "strudel_cache_hits_total 1",
             "strudel_cache_misses_total 0",

@@ -33,7 +33,10 @@
 //! returning.
 
 use crate::cache::{CacheKey, ResultCache};
-use crate::http::{read_request, HttpError, Request, Response, FALLBACK_MAX_BODY};
+use crate::http::{
+    read_request_body, read_request_head, BodyDecoder, ChunkedWriter, HttpError, Request, Response,
+    FALLBACK_MAX_BODY,
+};
 use crate::metrics::Registry;
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -43,7 +46,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::time::Duration;
 use strudel::batch::resolve_threads;
-use strudel::{LimitKind, Limits, StageTimings, Strudel, StrudelError};
+use strudel::{
+    Dialect, LimitKind, Limits, StageTimings, StreamClassifier, StreamConfig, Strudel, StrudelError,
+};
 
 /// Configuration of a [`Server`].
 #[derive(Debug, Clone)]
@@ -70,6 +75,12 @@ pub struct ServerConfig {
     /// Socket read/write timeout, bounding how long a slow client can
     /// hold a worker.
     pub io_timeout: Duration,
+    /// Window geometry for `POST /classify/stream`. Its `limits` and
+    /// `n_threads` fields are ignored — the server's own [`limits`] and
+    /// per-worker thread pinning apply to the streaming route too.
+    ///
+    /// [`limits`]: ServerConfig::limits
+    pub stream: StreamConfig,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +93,7 @@ impl Default for ServerConfig {
             limits: Limits::standard(),
             model_path: None,
             io_timeout: Duration::from_secs(10),
+            stream: StreamConfig::default(),
         }
     }
 }
@@ -100,6 +112,7 @@ struct Shared {
     addr: SocketAddr,
     inner_threads: usize,
     io_timeout: Duration,
+    stream: StreamConfig,
 }
 
 /// Lock a mutex, recovering from poisoning — a worker panic must not
@@ -175,6 +188,7 @@ impl Server {
             addr,
             inner_threads: if n_workers > 1 { 1 } else { 0 },
             io_timeout: config.io_timeout,
+            stream: config.stream.clone(),
         });
         Ok(Server {
             listener,
@@ -312,27 +326,29 @@ fn worker_loop(shared: &Arc<Shared>) {
 /// Serve one connection: read a request, route it, write the response,
 /// close. Initiating shutdown happens after the response is on the wire
 /// so the shutdown request itself gets a clean `200`.
+///
+/// The streaming classify route branches off between the head and body
+/// reads: its body is consumed incrementally (chunked transfer encoding
+/// allowed) instead of being buffered whole, so the strict
+/// `Content-Length` contract — including the `501` on chunked requests
+/// — is preserved for every other route.
 fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let (head, leftover) = match read_request_head(&mut stream) {
+        Ok(pair) => pair,
+        Err(error) => {
+            respond_framing_error(shared, &mut stream, error);
+            return;
+        }
+    };
+    if head.method == "POST" && head.path == "/classify/stream" {
+        classify_stream(shared, &head, leftover, &mut stream);
+        return;
+    }
     let max_body = shared.limits.max_input_bytes.unwrap_or(FALLBACK_MAX_BODY);
-    let request = match read_request(&mut stream, max_body) {
+    let request = match read_request_body(&mut stream, head, leftover, max_body) {
         Ok(request) => request,
         Err(error) => {
-            let response = match error {
-                HttpError::Malformed(reason) => {
-                    Registry::bump(&shared.registry.http_err);
-                    Response::json(400, error_body(&reason, "http", None))
-                }
-                HttpError::BodyTooLarge { declared, max } => {
-                    Registry::bump(&shared.registry.classify_err);
-                    error_response(&StrudelError::limit(LimitKind::InputBytes, declared, max))
-                }
-                HttpError::Unsupported(reason) => {
-                    Registry::bump(&shared.registry.http_err);
-                    Response::json(501, error_body(&reason, "http", None))
-                }
-                HttpError::Io(_) => return, // nobody left to answer
-            };
-            let _ = response.write_to(&mut stream);
+            respond_framing_error(shared, &mut stream, error);
             return;
         }
     };
@@ -344,10 +360,38 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     }
 }
 
+/// Answer a request-framing failure (when anyone is still listening)
+/// and record it in the registry.
+fn respond_framing_error(shared: &Shared, stream: &mut TcpStream, error: HttpError) {
+    let response = match error {
+        HttpError::Malformed(reason) => {
+            Registry::bump(&shared.registry.http_err);
+            Response::json(400, error_body(&reason, "http", None))
+        }
+        HttpError::BodyTooLarge { declared, max } => {
+            Registry::bump(&shared.registry.classify_err);
+            error_response(&StrudelError::limit(LimitKind::InputBytes, declared, max))
+        }
+        HttpError::Unsupported(reason) => {
+            Registry::bump(&shared.registry.http_err);
+            Response::json(501, error_body(&reason, "http", None))
+        }
+        HttpError::Io(_) => return, // nobody left to answer
+    };
+    let _ = response.write_to(stream);
+}
+
 /// Dispatch a parsed request to its handler. The boolean asks the
 /// caller to initiate shutdown once the response has been written.
 fn route(shared: &Shared, request: &Request) -> (Response, bool) {
-    const ROUTES: [&str; 5] = ["/", "/classify", "/healthz", "/metrics", "/admin/reload"];
+    const ROUTES: [&str; 6] = [
+        "/",
+        "/classify",
+        "/classify/stream",
+        "/healthz",
+        "/metrics",
+        "/admin/reload",
+    ];
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/classify") | ("POST", "/") => (classify(shared, &request.body), false),
         ("GET", "/healthz") => {
@@ -439,6 +483,199 @@ fn classify(shared: &Shared, body: &[u8]) -> Response {
             )
         }
     }
+}
+
+/// How a streaming classify exchange ended.
+enum StreamOutcome {
+    /// The stream classified to completion.
+    Done(strudel::StreamSummary),
+    /// The pipeline returned a typed error.
+    Pipeline(StrudelError),
+    /// The request body framing failed.
+    Framing(HttpError),
+    /// Writing the response failed; nobody is listening.
+    Gone,
+}
+
+/// `POST /classify/stream`: feed the request body — chunked
+/// transfer-encoded or `Content-Length`-framed — through a
+/// per-connection [`StreamClassifier`] and answer with a chunked NDJSON
+/// event stream: one `{"window": ...}` line per window as it closes
+/// (its `structure` is the canonical JSON of the window classified as
+/// an independent document), then a final `{"done": true, ...}` summary
+/// line. Peak memory per connection is O(window), independent of body
+/// size: body bytes are pushed into the classifier and dropped, and
+/// each window's text is freed when its event is emitted. Results are
+/// not cached — the body is never retained whole, so there is nothing
+/// to key on.
+///
+/// An error before the first window still gets a plain status-mapped
+/// response ([`error_response`]); after the `200` head is committed,
+/// errors arrive as a final `{"error": ...}` event line instead.
+fn classify_stream(shared: &Shared, request: &Request, leftover: Vec<u8>, stream: &mut TcpStream) {
+    // The cumulative wire cap only backstops unbounded *work* (memory
+    // is bounded by construction); the configured input limit is the
+    // per-window cap here and must not truncate the stream.
+    let mut decoder = match BodyDecoder::new(request, leftover, FALLBACK_MAX_BODY) {
+        Ok(decoder) => decoder,
+        Err(error) => {
+            respond_framing_error(shared, stream, error);
+            return;
+        }
+    };
+    let model = Arc::clone(&shared.model.read().unwrap_or_else(|e| e.into_inner()));
+    let config = StreamConfig {
+        limits: shared.limits,
+        n_threads: shared.inner_threads,
+        ..shared.stream.clone()
+    };
+    let mut classifier = StreamClassifier::new(&model, config);
+    let mut writer: Option<ChunkedWriter> = None;
+    let mut chunk = Vec::new();
+    let outcome = loop {
+        chunk.clear();
+        let done = match decoder.next_chunk(stream, &mut chunk) {
+            Ok(done) => done,
+            Err(error) => break StreamOutcome::Framing(error),
+        };
+        shared
+            .registry
+            .bytes_in
+            .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+        if !chunk.is_empty() {
+            if let Err(error) = classifier.push(&chunk) {
+                break StreamOutcome::Pipeline(error);
+            }
+            if emit_windows(&mut writer, stream, &mut classifier).is_err() {
+                break StreamOutcome::Gone;
+            }
+        }
+        if done {
+            break match classifier.finish() {
+                Ok(summary) => StreamOutcome::Done(summary),
+                Err(error) => StreamOutcome::Pipeline(error),
+            };
+        }
+    };
+    shared.registry.merge_timings(classifier.timings());
+    match outcome {
+        StreamOutcome::Done(summary) => {
+            // A single-window stream emits its window only at finish.
+            if emit_windows(&mut writer, stream, &mut classifier).is_err() {
+                Registry::bump(&shared.registry.stream_err);
+                return;
+            }
+            let line = format!(
+                "{{\"done\": true, \"dialect\": {}, \"n_windows\": {}, \"n_rows\": {}, \
+                 \"total_bytes\": {}}}\n",
+                dialect_json(&summary.dialect),
+                summary.n_windows,
+                summary.n_rows,
+                summary.total_bytes,
+            );
+            let sent = (|| {
+                ensure_started(&mut writer, stream)?.write_chunk(stream, line.as_bytes())?;
+                writer.take().expect("writer started").finish(stream)
+            })();
+            Registry::bump(if sent.is_ok() {
+                &shared.registry.stream_ok
+            } else {
+                &shared.registry.stream_err
+            });
+        }
+        StreamOutcome::Pipeline(error) => {
+            Registry::bump(&shared.registry.stream_err);
+            match writer.take() {
+                // Nothing committed yet: the error payload and status
+                // are identical to the one-shot route's.
+                None => {
+                    let _ = error_response(&error).write_to(stream);
+                }
+                // Mid-stream: the `200` is on the wire; the uniform
+                // error body becomes the final event line.
+                Some(mut w) => {
+                    let limit = match &error {
+                        StrudelError::LimitExceeded { limit, .. } => Some(limit.name()),
+                        _ => None,
+                    };
+                    let line = error_body(&error.to_string(), error.category(), limit);
+                    let _ = w.write_chunk(stream, line.as_bytes());
+                    let _ = w.finish(stream);
+                }
+            }
+        }
+        StreamOutcome::Framing(error) => match writer.take() {
+            None => respond_framing_error(shared, stream, error),
+            Some(w) => {
+                Registry::bump(&shared.registry.stream_err);
+                if let HttpError::Malformed(reason) | HttpError::Unsupported(reason) = error {
+                    let mut w = w;
+                    let _ = w.write_chunk(stream, error_body(&reason, "http", None).as_bytes());
+                }
+                // An Io error or a completed error write both end here;
+                // dropping the writer truncates the chunked body, which
+                // the client sees as an incomplete stream.
+            }
+        },
+        StreamOutcome::Gone => {
+            Registry::bump(&shared.registry.stream_err);
+        }
+    }
+}
+
+/// Write every newly closed window as one NDJSON event line, starting
+/// the chunked response at the first.
+fn emit_windows(
+    writer: &mut Option<ChunkedWriter>,
+    stream: &mut TcpStream,
+    classifier: &mut StreamClassifier<'_>,
+) -> std::io::Result<()> {
+    for window in classifier.drain_windows() {
+        let line = format!(
+            "{{\"window\": {}, \"first_row\": {}, \"start_byte\": {}, \"end_byte\": {}, \
+             \"structure\": {}}}\n",
+            window.index,
+            window.first_row,
+            window.start_byte,
+            window.end_byte,
+            compact_json(&window.structure.to_json()),
+        );
+        ensure_started(writer, stream)?.write_chunk(stream, line.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// Commit the `200` chunked NDJSON response head, once.
+fn ensure_started<'w>(
+    writer: &'w mut Option<ChunkedWriter>,
+    stream: &mut TcpStream,
+) -> std::io::Result<&'w mut ChunkedWriter> {
+    if writer.is_none() {
+        *writer = Some(ChunkedWriter::start(stream, 200, "application/x-ndjson")?);
+    }
+    Ok(writer.as_mut().expect("writer just ensured"))
+}
+
+/// Flatten pretty-printed canonical structure JSON onto one line so it
+/// can ride in an NDJSON event. Raw newlines in `to_json` output are
+/// always formatting (string content is escaped), so joining trimmed
+/// lines is a faithful compaction.
+fn compact_json(pretty: &str) -> String {
+    pretty.lines().map(str::trim_start).collect()
+}
+
+/// The dialect object of the canonical structure JSON, one-lined.
+fn dialect_json(dialect: &Dialect) -> String {
+    let char_field = |c: Option<char>| match c {
+        Some(c) => json_escape(&c.to_string()),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"delimiter\": {}, \"quote\": {}, \"escape\": {}}}",
+        json_escape(&dialect.delimiter.to_string()),
+        char_field(dialect.quote),
+        char_field(dialect.escape),
+    )
 }
 
 /// `POST /admin/reload`: load and validate a model file, then swap it in

@@ -308,6 +308,209 @@ fn corrupt_reload_is_rejected_and_old_model_keeps_serving() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Decode a chunked transfer-encoded response body.
+fn dechunk(body: &str) -> String {
+    let mut out = String::new();
+    let mut rest = body;
+    while let Some((size_line, after)) = rest.split_once("\r\n") {
+        let size = usize::from_str_radix(size_line.split(';').next().unwrap().trim(), 16)
+            .expect("hex chunk size");
+        if size == 0 {
+            break;
+        }
+        out.push_str(&after[..size]);
+        rest = &after[size + 2..]; // past the data and its CRLF
+    }
+    out
+}
+
+/// One streaming exchange: the body goes out with chunked transfer
+/// encoding, split into `pieces` chunks.
+fn stream_request(addr: SocketAddr, body: &[u8], pieces: usize) -> Reply {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    stream
+        .write_all(
+            b"POST /classify/stream HTTP/1.1\r\nHost: localhost\r\n\
+              Transfer-Encoding: chunked\r\n\r\n",
+        )
+        .expect("write head");
+    let step = body.len().div_ceil(pieces.max(1)).max(1);
+    for piece in body.chunks(step) {
+        stream
+            .write_all(format!("{:x}\r\n", piece.len()).as_bytes())
+            .expect("write chunk size");
+        stream.write_all(piece).expect("write chunk");
+        stream.write_all(b"\r\n").expect("write chunk end");
+    }
+    stream.write_all(b"0\r\n\r\n").expect("write terminator");
+    read_reply(&mut stream)
+}
+
+/// Compact pretty-printed canonical JSON the way the server does when
+/// embedding it in an NDJSON event line.
+fn compact(pretty: &str) -> String {
+    pretty.lines().map(str::trim_start).collect()
+}
+
+#[test]
+fn streaming_classify_emits_window_events_with_whole_file_parity() {
+    let model = tiny_model();
+    let expected = model
+        .try_detect_structure_bytes(SAMPLE.as_bytes(), &Limits::standard())
+        .expect("one-shot detection")
+        .to_json();
+    let server = Server::bind(model, &config_with(Limits::standard())).expect("bind");
+    let handle = server.spawn();
+    let addr = handle.addr();
+
+    // Chunked request in, chunked NDJSON out. SAMPLE fits one window,
+    // so the single event carries the whole-file canonical structure
+    // JSON, compacted onto the event line.
+    let reply = stream_request(addr, SAMPLE.as_bytes(), 3);
+    assert_eq!(reply.status, 200, "body: {}", reply.body);
+    assert_eq!(reply.header("transfer-encoding"), Some("chunked"));
+    assert_eq!(reply.header("content-type"), Some("application/x-ndjson"));
+    let ndjson = dechunk(&reply.body);
+    let lines: Vec<&str> = ndjson.lines().collect();
+    assert_eq!(lines.len(), 2, "events:\n{ndjson}");
+    let event = format!(
+        "{{\"window\": 0, \"first_row\": 0, \"start_byte\": 0, \"end_byte\": {}, \
+         \"structure\": {}}}",
+        SAMPLE.len(),
+        compact(&expected)
+    );
+    assert_eq!(lines[0], event);
+    assert!(
+        lines[1].starts_with("{\"done\": true, \"dialect\": {\"delimiter\": \",\""),
+        "summary: {}",
+        lines[1]
+    );
+    assert!(lines[1].contains("\"n_windows\": 1"));
+    assert!(lines[1].contains(&format!("\"total_bytes\": {}", SAMPLE.len())));
+
+    // A Content-Length framed body streams identically.
+    let plain = request(addr, "POST", "/classify/stream", SAMPLE.as_bytes());
+    assert_eq!(plain.status, 200);
+    assert_eq!(dechunk(&plain.body), ndjson);
+
+    // Chunked transfer encoding stays refused on every other route.
+    let mut refused = TcpStream::connect(addr).expect("connect");
+    refused
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    refused
+        .write_all(
+            b"POST /classify HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+              4\r\na,b\n\r\n0\r\n\r\n",
+        )
+        .expect("write chunked one-shot");
+    assert_eq!(read_reply(&mut refused).status, 501);
+
+    // Wrong method on the streaming route is a 405, not a 404.
+    assert_eq!(request(addr, "GET", "/classify/stream", b"").status, 405);
+
+    // Both exchanges and the stream stage land in /metrics.
+    let metrics = request(addr, "GET", "/metrics", b"");
+    assert!(metrics
+        .body
+        .contains("strudel_requests_total{endpoint=\"classify_stream\",outcome=\"ok\"} 2"));
+    assert!(metrics
+        .body
+        .contains("strudel_stage_seconds_total{stage=\"stream\"}"));
+    let windows_line = metrics
+        .body
+        .lines()
+        .find(|l| l.starts_with("strudel_stream_windows_total "))
+        .expect("stream windows counter");
+    let windows: u64 = windows_line["strudel_stream_windows_total ".len()..]
+        .parse()
+        .unwrap();
+    assert_eq!(windows, 2);
+
+    request(addr, "POST", "/admin/shutdown", b"");
+    handle.join();
+}
+
+#[test]
+fn streaming_classify_emits_multiple_windows_under_a_small_window_config() {
+    // Six stacked tables, each closed by a blank line — the same
+    // fixture shape the core streaming tests tile into windows.
+    let mut text = String::new();
+    for t in 0..6 {
+        text.push_str(&format!("Table {t} about crime,,\n"));
+        text.push_str("State,2019,2020\n");
+        for r in 0..8 {
+            text.push_str(&format!("City{r},{},{}\n", r + t, r * 2 + t));
+        }
+        text.push_str("Total,29,57\n\n");
+    }
+    let config = ServerConfig {
+        stream: strudel::StreamConfig {
+            window_rows: 8,
+            window_bytes: 1 << 20,
+            prefix_bytes: 32,
+            ..strudel::StreamConfig::default()
+        },
+        ..config_with(Limits::standard())
+    };
+    let server = Server::bind(tiny_model(), &config).expect("bind");
+    let handle = server.spawn();
+    let addr = handle.addr();
+
+    let reply = stream_request(addr, text.as_bytes(), 7);
+    assert_eq!(reply.status, 200, "body: {}", reply.body);
+    let ndjson = dechunk(&reply.body);
+    let lines: Vec<&str> = ndjson.lines().collect();
+    assert!(lines.len() > 2, "expected several windows:\n{ndjson}");
+    for (i, line) in lines[..lines.len() - 1].iter().enumerate() {
+        assert!(
+            line.starts_with(&format!("{{\"window\": {i}, ")),
+            "event {i}: {line}"
+        );
+        assert!(line.contains("\"structure\": {\"dialect\": "));
+    }
+    let summary = lines.last().unwrap();
+    assert!(summary.contains("\"done\": true"), "summary: {summary}");
+    assert!(summary.contains(&format!("\"n_windows\": {}", lines.len() - 1)));
+    assert!(summary.contains(&format!("\"total_bytes\": {}", text.len())));
+
+    request(addr, "POST", "/admin/shutdown", b"");
+    handle.join();
+}
+
+#[test]
+fn streaming_limit_error_before_first_window_is_a_typed_413() {
+    let mut limits = Limits::standard();
+    limits.max_input_bytes = Some(64);
+    let server = Server::bind(tiny_model(), &config_with(limits)).expect("bind");
+    let handle = server.spawn();
+    let addr = handle.addr();
+
+    // The body exceeds the (per-window) input cap before any window
+    // closes, so no response head has been committed yet and the error
+    // arrives exactly like the one-shot route's: a typed 413.
+    let big = vec![b'x'; 200];
+    let reply = stream_request(addr, &big, 4);
+    assert_eq!(reply.status, 413, "body: {}", reply.body);
+    assert!(reply.body.contains("\"category\": \"limit\""));
+    assert!(reply.body.contains("\"limit\": \"input_bytes\""));
+
+    let metrics = request(addr, "GET", "/metrics", b"");
+    assert!(metrics
+        .body
+        .contains("strudel_requests_total{endpoint=\"classify_stream\",outcome=\"error\"} 1"));
+
+    // Serving continues.
+    let small = request(addr, "POST", "/classify/stream", b"a,b\n1,2\n");
+    assert_eq!(small.status, 200);
+
+    request(addr, "POST", "/admin/shutdown", b"");
+    handle.join();
+}
+
 #[test]
 fn graceful_shutdown_drains_in_flight_request() {
     let server = Server::bind(tiny_model(), &config_with(Limits::standard())).expect("bind");

@@ -6,7 +6,9 @@
 use strudel_repro::datagen::{saus, troy, GeneratorConfig};
 use strudel_repro::eval::Evaluation;
 use strudel_repro::ml::ForestConfig;
-use strudel_repro::strudel::{Strudel, StrudelCellConfig, StrudelLineConfig};
+use strudel_repro::strudel::{
+    StreamClassifier, StreamConfig, Strudel, StrudelCellConfig, StrudelLineConfig,
+};
 use strudel_repro::table::ElementClass;
 
 fn fast_config(trees: usize, seed: u64) -> StrudelCellConfig {
@@ -285,6 +287,7 @@ fn golden_structure_snapshots() {
         "header_only",
         "bom_prefixed",
         "quoted_multiline",
+        "stream_multi_table",
     ] {
         let text = std::fs::read_to_string(dir.join(format!("{name}.csv"))).unwrap();
         let rendered = structure_to_json(&model.detect_structure(&text));
@@ -301,6 +304,113 @@ fn golden_structure_snapshots() {
         }
     }
     assert!(failures.is_empty(), "{}", failures.join("\n\n"));
+}
+
+/// Every golden snapshot re-verified through the streaming path: under
+/// the default window every fixture fits in one window, whose structure
+/// must match the frozen whole-file snapshot exactly (the streaming
+/// parity contract, checked against real files instead of generated
+/// ones — BOM prefixes, quoted multiline fields, and empty inputs
+/// included).
+#[test]
+fn golden_snapshots_reverify_through_streaming() {
+    let corpus = saus(&GeneratorConfig {
+        n_files: 28,
+        seed: 53,
+        scale: 0.25,
+    });
+    let model = Strudel::fit(&corpus.files, &fast_config(30, 13));
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let mut failures = Vec::new();
+    for name in [
+        "multi_table",
+        "notes_trailing",
+        "derived_rows",
+        "empty",
+        "header_only",
+        "bom_prefixed",
+        "quoted_multiline",
+        "stream_multi_table",
+    ] {
+        let bytes = std::fs::read(dir.join(format!("{name}.csv"))).unwrap();
+        let mut classifier = StreamClassifier::new(
+            &model,
+            StreamConfig {
+                n_threads: 1,
+                ..StreamConfig::default()
+            },
+        );
+        let mut windows = Vec::new();
+        for chunk in bytes.chunks(64) {
+            classifier.push(chunk).unwrap();
+            windows.extend(classifier.drain_windows());
+        }
+        let summary = classifier.finish().unwrap();
+        windows.extend(classifier.drain_windows());
+        assert_eq!(summary.n_windows, 1, "{name} must fit one window");
+        let rendered = structure_to_json(&windows[0].structure);
+        let expected = std::fs::read_to_string(dir.join(format!("{name}.expected.json"))).unwrap();
+        if json_tokens(&expected) != json_tokens(&rendered) {
+            failures.push(format!(
+                "streaming golden mismatch for {name}:\n--- expected ---\n{expected}\n--- got ---\n{rendered}"
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n\n"));
+}
+
+/// The large multi-table fixture under small windows: table boundaries
+/// are emitted mid-stream — several windows, each cut at a blank-line
+/// table boundary, tiling the file exactly.
+#[test]
+fn streaming_emits_table_boundaries_mid_stream() {
+    let corpus = saus(&GeneratorConfig {
+        n_files: 28,
+        seed: 53,
+        scale: 0.25,
+    });
+    let model = Strudel::fit(&corpus.files, &fast_config(30, 13));
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let text = std::fs::read_to_string(dir.join("stream_multi_table.csv")).unwrap();
+    let mut classifier = StreamClassifier::new(
+        &model,
+        StreamConfig {
+            window_rows: 16,
+            window_bytes: 1 << 20,
+            prefix_bytes: 64,
+            n_threads: 1,
+            ..StreamConfig::default()
+        },
+    );
+    let mut windows = Vec::new();
+    for chunk in text.as_bytes().chunks(256) {
+        classifier.push(chunk).unwrap();
+        windows.extend(classifier.drain_windows());
+    }
+    let summary = classifier.finish().unwrap();
+    windows.extend(classifier.drain_windows());
+    assert!(
+        summary.n_windows > 1,
+        "fixture must span several windows, got {}",
+        summary.n_windows
+    );
+    // Windows tile the file; every non-final cut lands right after a
+    // blank record (the '\n\n' between stacked tables).
+    let mut next = 0u64;
+    for w in &windows {
+        assert_eq!(w.start_byte, next);
+        next = w.end_byte;
+    }
+    assert_eq!(next, text.len() as u64);
+    for w in &windows[..windows.len() - 1] {
+        let end = w.end_byte as usize;
+        assert_eq!(
+            &text[end - 2..end],
+            "\n\n",
+            "window {} must end at a table boundary",
+            w.index
+        );
+    }
 }
 
 #[test]
