@@ -1,0 +1,328 @@
+//! Packed-container costs: pack and unpack throughput, container size
+//! against the plain byte stream it replaces, and the random-access
+//! payoff — extracting one column against decoding the whole container.
+//!
+//! The workload is a deterministic stacked-table verbose file (titles,
+//! headers, data, derived totals, source notes, repeated), sized so the
+//! streaming classifier inside the writer seals several block groups —
+//! random access has real blocks to skip.
+//!
+//! Timed three ways, min-over-iterations after a warm-up (see
+//! `benches/parse.rs` for why the min, not the mean, is the estimator):
+//!
+//! * **pack** — `pack_bytes` end to end: streaming classification plus
+//!   container assembly. Classification dominates; the MB/s here is the
+//!   pipeline's, not the encoder's.
+//! * **unpack** — `unpack_bytes`: full byte-identical reconstruction,
+//!   every block checksummed. No model involved.
+//! * **random access** — open + extract one column of one table,
+//!   against open + full unpack of the same container. Their ratio is
+//!   the `random_access_speedup` headline; the column path must read
+//!   exactly one block.
+//!
+//! The container trades bytes for addressability: `pack_ratio`
+//! (container bytes over original bytes) is recorded and gated as a
+//! ceiling, not a win — the directory and per-block checksums cost a
+//! few percent.
+//!
+//! Besides the Criterion display output, the bench writes a
+//! machine-readable summary to `BENCH_pack.json` (override with
+//! `BENCH_PACK_OUT`). `BENCH_SMOKE=1` shrinks the workload and the
+//! iteration counts for CI smoke runs. `scripts/bench_pack.sh` gates
+//! `random_access_speedup` against the committed baseline and
+//! `pack_ratio` against a ceiling.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use strudel::{StreamConfig, Strudel, StrudelCellConfig, StrudelLineConfig};
+use strudel_datagen::{saus, GeneratorConfig};
+use strudel_ml::ForestConfig;
+use strudel_pack::{pack_bytes, unpack_bytes, PackReader};
+
+fn smoke() -> bool {
+    std::env::var("BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+/// Stacked verbose sections: title, blank, header, data rows with a
+/// leading label column, a derived total, blank, source note. The shape
+/// the detector is trained on, repeated until `target_bytes`.
+fn stacked_verbose(target_bytes: usize) -> String {
+    let mut rng = SmallRng::seed_from_u64(41);
+    let mut s = String::with_capacity(target_bytes + 1024);
+    let mut section = 0u64;
+    while s.len() < target_bytes {
+        s.push_str(&format!("Table {}. Outcomes by area,,,\n", 100 + section));
+        s.push_str(",,,\n");
+        s.push_str(",Rate 1,Rate 2,Share\n");
+        let n_rows = 12 + (section % 20) as usize;
+        let (mut t1, mut t2) = (0u64, 0u64);
+        for r in 0..n_rows {
+            let a = rng.gen_range(0..90_000u64);
+            let b = rng.gen_range(0..9_000u64);
+            let pct = rng.gen_range(0..1000) as f64 / 10.0;
+            t1 += a;
+            t2 += b;
+            s.push_str(&format!("Area {section}-{r},{a},{b},{pct:.1}\n"));
+        }
+        s.push_str(&format!("Total,{t1},{t2},100.0\n"));
+        s.push_str(",,,\n");
+        s.push_str("Source: synthetic statistical abstract generator,,,\n");
+        section += 1;
+    }
+    s
+}
+
+/// Fit a small but real model; the fit is outside all timed regions.
+fn fit_model() -> Strudel {
+    let corpus = saus(&GeneratorConfig {
+        n_files: 12,
+        seed: 1,
+        scale: 0.3,
+    });
+    let config = StrudelCellConfig {
+        line: StrudelLineConfig {
+            forest: ForestConfig::fast(15, 1),
+            ..StrudelLineConfig::default()
+        },
+        forest: ForestConfig::fast(15, 2),
+        ..StrudelCellConfig::default()
+    };
+    Strudel::fit(&corpus.files, &config)
+}
+
+/// Serial, with a window small enough that the writer seals several
+/// block groups per run (the default 64Ki-row window would swallow the
+/// whole workload into one group, hiding the multi-group read path).
+fn serial_config() -> StreamConfig {
+    StreamConfig {
+        n_threads: 1,
+        window_rows: 2048,
+        window_bytes: 1 << 20,
+        ..StreamConfig::default()
+    }
+}
+
+/// Mean/min wall-clock seconds of `iters` runs of `f`, after one
+/// untimed warm-up run.
+fn time<F: FnMut()>(iters: usize, mut f: F) -> (f64, f64) {
+    f();
+    let mut total = 0.0;
+    let mut min = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        let s = t.elapsed().as_secs_f64();
+        total += s;
+        min = min.min(s);
+    }
+    (total / iters as f64, min)
+}
+
+fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+struct Summary {
+    bytes: usize,
+    container_bytes: usize,
+    n_groups: u64,
+    n_tables: usize,
+    n_blocks: usize,
+    pack_mean_s: f64,
+    pack_min_s: f64,
+    unpack_mean_s: f64,
+    unpack_min_s: f64,
+    column_mean_s: f64,
+    column_min_s: f64,
+    full_mean_s: f64,
+    full_min_s: f64,
+    column_name: String,
+    iters: usize,
+}
+
+impl Summary {
+    /// Container bytes over original bytes: above 1.0 the directory and
+    /// checksums cost more than columnar layout saves.
+    fn pack_ratio(&self) -> f64 {
+        self.container_bytes as f64 / self.bytes as f64
+    }
+
+    /// The headline: open-and-full-unpack time over open-and-extract-
+    /// one-column time on the same container.
+    fn random_access_speedup(&self) -> f64 {
+        self.full_min_s / self.column_min_s
+    }
+
+    fn pack_mb_s(&self) -> f64 {
+        self.bytes as f64 / self.pack_min_s / 1e6
+    }
+
+    fn unpack_mb_s(&self) -> f64 {
+        self.bytes as f64 / self.unpack_min_s / 1e6
+    }
+}
+
+fn measure(model: &Strudel, text: &str, iters: usize) -> Summary {
+    let packed =
+        pack_bytes(model, text.as_bytes(), serial_config()).expect("workload packs cleanly");
+    let container = packed.bytes.clone();
+    assert_eq!(
+        unpack_bytes(&container).expect("workload unpacks"),
+        text.as_bytes(),
+        "round-trip must be byte-identical before being timed"
+    );
+
+    // A middle table's first column: far enough into the container that
+    // O(1) directory addressing, not block order, is what's measured.
+    let reader = PackReader::open(&container).expect("container opens");
+    let n_tables = reader.tables().len();
+    assert!(n_tables > 0, "workload must contain detected tables");
+    let table = n_tables / 2;
+    let column_name = reader.tables()[table].columns[0].clone();
+    drop(reader);
+
+    let (pack_mean, pack_min) = time(iters, || {
+        black_box(pack_bytes(model, text.as_bytes(), serial_config()).expect("packs"));
+    });
+    let (unpack_mean, unpack_min) = time(iters, || {
+        black_box(unpack_bytes(&container).expect("unpacks"));
+    });
+    let (column_mean, column_min) = time(iters, || {
+        let mut r = PackReader::open(&container).expect("opens");
+        black_box(r.extract_column(table, 0).expect("column extracts"));
+        assert_eq!(r.blocks_read(), 1, "column extraction must read one block");
+    });
+    let (full_mean, full_min) = time(iters, || {
+        let mut r = PackReader::open(&container).expect("opens");
+        black_box(r.unpack().expect("unpacks"));
+    });
+
+    Summary {
+        bytes: text.len(),
+        container_bytes: container.len(),
+        n_groups: packed.n_groups,
+        n_tables: packed.n_tables,
+        n_blocks: packed.n_blocks,
+        pack_mean_s: pack_mean,
+        pack_min_s: pack_min,
+        unpack_mean_s: unpack_mean,
+        unpack_min_s: unpack_min,
+        column_mean_s: column_mean,
+        column_min_s: column_min,
+        full_mean_s: full_mean,
+        full_min_s: full_min,
+        column_name,
+        iters,
+    }
+}
+
+fn write_json(path: &str, s: &Summary) {
+    let json = format!(
+        "{{\n  \"bench\": \"pack\",\n  \"smoke\": {},\n  \
+         \"host_cpus\": {},\n  \
+         \"input_bytes\": {},\n  \"container_bytes\": {},\n  \
+         \"n_groups\": {},\n  \"n_tables\": {},\n  \"n_blocks\": {},\n  \
+         \"pack\": {{\"mean_s\": {:.6}, \"min_s\": {:.6}, \"mb_s\": {:.2}}},\n  \
+         \"unpack\": {{\"mean_s\": {:.6}, \"min_s\": {:.6}, \"mb_s\": {:.2}}},\n  \
+         \"random_access\": {{\"column\": \"{}\", \"column_mean_s\": {:.6}, \
+         \"column_min_s\": {:.6}, \"full_mean_s\": {:.6}, \"full_min_s\": {:.6}}},\n  \
+         \"iters\": {},\n  \
+         \"pack_ratio\": {:.4},\n  \
+         \"random_access_speedup\": {:.3}\n}}\n",
+        smoke(),
+        host_cpus(),
+        s.bytes,
+        s.container_bytes,
+        s.n_groups,
+        s.n_tables,
+        s.n_blocks,
+        s.pack_mean_s,
+        s.pack_min_s,
+        s.pack_mb_s(),
+        s.unpack_mean_s,
+        s.unpack_min_s,
+        s.unpack_mb_s(),
+        s.column_name,
+        s.column_mean_s,
+        s.column_min_s,
+        s.full_mean_s,
+        s.full_min_s,
+        s.iters,
+        s.pack_ratio(),
+        s.random_access_speedup()
+    );
+    std::fs::write(path, json).expect("write bench summary");
+    println!("wrote {path}");
+}
+
+fn summary(model: &Strudel, text: &str) {
+    let iters = if smoke() { 3 } else { 7 };
+    let s = measure(model, text, iters);
+    println!(
+        "pack: {:.2} MB/s ({:.4}s min), unpack: {:.2} MB/s ({:.4}s min), ratio {:.4}",
+        s.pack_mb_s(),
+        s.pack_min_s,
+        s.unpack_mb_s(),
+        s.unpack_min_s,
+        s.pack_ratio()
+    );
+    println!(
+        "random access ({} tables, {} blocks): column {:.6}s min vs full {:.6}s min, {:.2}x",
+        s.n_tables,
+        s.n_blocks,
+        s.column_min_s,
+        s.full_min_s,
+        s.random_access_speedup()
+    );
+    let out = std::env::var("BENCH_PACK_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pack.json").into());
+    write_json(&out, &s);
+}
+
+fn pack_costs(c: &mut Criterion) {
+    let target = if smoke() { 96 << 10 } else { 1 << 20 };
+    let text = stacked_verbose(target);
+    let model = fit_model();
+    let container = pack_bytes(&model, text.as_bytes(), serial_config())
+        .expect("workload packs cleanly")
+        .bytes;
+    let table = PackReader::open(&container).expect("opens").tables().len() / 2;
+
+    let mut group = c.benchmark_group("pack");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("pack"), &text, |b, text| {
+        b.iter(|| {
+            black_box(pack_bytes(&model, text.as_bytes(), serial_config()).expect("packs"));
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("unpack"),
+        &container,
+        |b, container| {
+            b.iter(|| {
+                black_box(unpack_bytes(container).expect("unpacks"));
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("extract_column"),
+        &container,
+        |b, container| {
+            b.iter(|| {
+                let mut r = PackReader::open(container).expect("opens");
+                black_box(r.extract_column(table, 0).expect("extracts"));
+            })
+        },
+    );
+    group.finish();
+
+    summary(&model, &text);
+}
+
+criterion_group!(benches, pack_costs);
+criterion_main!(benches);

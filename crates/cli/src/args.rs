@@ -58,6 +58,10 @@ pub struct Options {
     /// `--max-total-bytes N` — whole-stream byte cap (streaming only;
     /// `--max-bytes` caps each window there).
     pub max_total_bytes: Option<u64>,
+    /// `--table N` — select one table of a packed container.
+    pub table: Option<usize>,
+    /// `--column NAME` — select one column of a packed container.
+    pub column: Option<String>,
     /// Positional arguments (input files).
     pub inputs: Vec<PathBuf>,
 }
@@ -153,6 +157,10 @@ impl Options {
                             .map_err(|_| "--max-total-bytes: integer")?,
                     )
                 }
+                "--table" => {
+                    o.table = Some(value("--table")?.parse().map_err(|_| "--table: integer")?)
+                }
+                "--column" => o.column = Some(value("--column")?),
                 other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
                 positional => o.inputs.push(PathBuf::from(positional)),
             }
@@ -312,6 +320,18 @@ mod tests {
         assert_eq!(config.limits.max_input_bytes, Some(2048));
         assert_eq!(config.n_threads, 2);
         assert!(parse(&["--window-rows", "lots"]).is_err());
+    }
+
+    #[test]
+    fn pack_selection_flags() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.table, None);
+        assert_eq!(o.column, None);
+        let o = parse(&["--table", "2", "--column", "2019", "c.pack"]).unwrap();
+        assert_eq!(o.table, Some(2));
+        assert_eq!(o.column.as_deref(), Some("2019"));
+        assert!(parse(&["--table", "minus one"]).is_err());
+        assert!(parse(&["--column"]).is_err());
     }
 
     #[test]

@@ -402,6 +402,121 @@ pub fn serve(options: &Options) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `strudel pack [--model MODEL] FILE [--out CONTAINER]`
+///
+/// Streams the input through the bounded-memory classifier and writes a
+/// structure-aware packed container: skeleton + per-column blocks, one
+/// block group per stream window, O(window) peak memory. The default
+/// output path is the input with `.pack` appended.
+pub fn pack(options: &Options) -> Result<(), CliError> {
+    use std::io::Read;
+    let input = options
+        .inputs
+        .first()
+        .ok_or("pack requires an input FILE")?;
+    let input = existing(input, "input file")?;
+    let name = input.display().to_string();
+    let model = model_from(options)?;
+    let mut file =
+        fs::File::open(&input).map_err(|e| strudel::StrudelError::io(&e, Some(&name)))?;
+    let mut writer = strudel_pack::PackWriter::new(&model, options.stream_config());
+    let mut chunk = vec![0u8; strudel::STREAM_CHUNK_BYTES];
+    loop {
+        let n = file
+            .read(&mut chunk)
+            .map_err(|e| strudel::StrudelError::io(&e, Some(&name)))?;
+        if n == 0 {
+            break;
+        }
+        writer
+            .push(&chunk[..n])
+            .map_err(|e| e.with_file(name.clone()))?;
+    }
+    let packed = writer.finish().map_err(|e| e.with_file(name.clone()))?;
+    let out = options
+        .out
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from(format!("{name}.pack")));
+    fs::write(&out, &packed.bytes)
+        .map_err(|e| strudel::StrudelError::io(&e, Some(&out.display().to_string())))?;
+    eprintln!(
+        "packed {} ({} bytes) -> {} ({} bytes, {:.3}x): {} group(s), {} table(s), {} block(s)",
+        name,
+        packed.original.len,
+        out.display(),
+        packed.bytes.len(),
+        packed.ratio(),
+        packed.n_groups,
+        packed.n_tables,
+        packed.n_blocks,
+    );
+    Ok(())
+}
+
+/// `strudel unpack CONTAINER [--out FILE] [--table N] [--column NAME]`
+///
+/// Without selectors, reconstructs the original input byte for byte
+/// (verified against the packed fingerprint). `--table N` extracts one
+/// table (header rows verbatim plus reassembled body rows); `--column
+/// NAME` (optionally scoped by `--table N`) extracts one column's
+/// parsed values, one per line, decoding only that column's block.
+pub fn unpack(options: &Options) -> Result<(), CliError> {
+    use std::io::Write;
+    let input = options
+        .inputs
+        .first()
+        .ok_or("unpack requires a CONTAINER file")?;
+    let input = existing(input, "container file")?;
+    let name = input.display().to_string();
+    let bytes = fs::read(&input).map_err(|e| strudel::StrudelError::io(&e, Some(&name)))?;
+    let mut reader =
+        strudel_pack::PackReader::open(&bytes).map_err(|e| e.with_file(name.clone()))?;
+    let out = match (&options.column, options.table) {
+        (Some(column), table) => {
+            let (t, c) = reader.find_column(column, table).ok_or_else(|| {
+                let scope = table.map_or(String::new(), |t| format!(" in table {t}"));
+                let known: Vec<&str> = reader
+                    .tables()
+                    .iter()
+                    .flat_map(|t| t.columns.iter().map(String::as_str))
+                    .collect();
+                CliError::Usage(format!(
+                    "no column named {column:?}{scope}; container has: {known:?}"
+                ))
+            })?;
+            let values = reader
+                .extract_column(t, c)
+                .map_err(|e| e.with_file(name.clone()))?;
+            let mut text = String::new();
+            for value in values {
+                text.push_str(&value.unwrap_or_default());
+                text.push('\n');
+            }
+            text.into_bytes()
+        }
+        (None, Some(table)) => reader
+            .extract_table(table)
+            .map_err(|e| e.with_file(name.clone()))?
+            .into_bytes(),
+        (None, None) => reader.unpack().map_err(|e| e.with_file(name.clone()))?,
+    };
+    match &options.out {
+        Some(path) => {
+            fs::write(path, &out)
+                .map_err(|e| strudel::StrudelError::io(&e, Some(&path.display().to_string())))?;
+            eprintln!("wrote {} bytes to {}", out.len(), path.display());
+        }
+        None => {
+            let mut stdout = std::io::stdout().lock();
+            stdout
+                .write_all(&out)
+                .and_then(|()| stdout.flush())
+                .map_err(|e| strudel::StrudelError::io(&e, None))?;
+        }
+    }
+    Ok(())
+}
+
 /// `strudel eval --model MODEL --corpus DIR`
 pub fn eval(options: &Options) -> Result<(), CliError> {
     let corpus_dir = options

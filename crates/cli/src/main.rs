@@ -99,6 +99,8 @@ fn main() -> ExitCode {
         "segments" => commands::segments(&options),
         "eval" => commands::eval(&options),
         "batch" => commands::batch(&options),
+        "pack" => commands::pack(&options),
+        "unpack" => commands::unpack(&options),
         "serve" => commands::serve(&options),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -126,6 +128,8 @@ USAGE:
   strudel segments [--model MODEL] FILE
   strudel eval    --model MODEL --corpus DIR
   strudel batch   [--model MODEL] [--threads N] [--out FILE] [--stream] DIR|FILE...
+  strudel pack    [--model MODEL] FILE [--out CONTAINER]
+  strudel unpack  CONTAINER [--out FILE] [--table N] [--column NAME]
   strudel serve   [--model MODEL] [--host H] [--port N] [--threads N]
                   [--queue N] [--cache N]
 
@@ -136,6 +140,16 @@ THREADS (batch and serve):
   --threads N       worker threads; 0 (the default) resolves via the
                     STRUDEL_THREADS environment variable, then the
                     machine's available parallelism
+
+PACKING:
+  pack writes a structure-aware columnar container (.pack): skeleton
+  rows (metadata/header/notes, dialect, line endings) and per-column
+  value streams per detected table, in checksummed blocks addressed by
+  a footer directory. unpack without selectors reproduces the original
+  file byte for byte; --table N extracts one table, --column NAME one
+  column's values (decoding only that column's block).
+  Streaming flags (--window-rows/--window-bytes) shape the writer's
+  block groups; packing is always O(window) memory.
 
 SERVING:
   --host H          bind host                        [default 127.0.0.1]
@@ -194,6 +208,10 @@ COMMANDS:
   batch     Detect structure for many files on a worker pool and emit a
             JSON report: per-stage timings, per-file outcomes (failures
             included, they never abort the batch), and throughput.
+  pack      Pack a verbose CSV file into the structure-aware columnar
+            container with O(1) random access to tables and columns.
+  unpack    Reconstruct a packed file byte for byte, or selectively
+            extract one table (--table) or one column (--column).
   serve     Run the resident classification daemon: model loaded once
             and kept warm, bounded worker pool with load shedding,
             content-hash result cache, model hot-reload, Prometheus

@@ -708,6 +708,107 @@ fn stream_batch_peak_rss_is_bounded_by_the_window() {
 }
 
 #[test]
+fn pack_unpack_roundtrip_is_byte_identical() {
+    let dir = temp_dir("pack");
+    let model = train_tiny_model(&dir);
+    let probe = dir.join("probe.csv");
+    let original =
+        "Survey of crime outcomes,,\n,,\n,Rate 1,Rate 2\nKent,12,34\nSurrey,56,78\nTotal,68,112\n,,\nSource: national statistics office,,\n";
+    fs::write(&probe, original).unwrap();
+
+    // pack writes a STRUPAK1 container and reports the ratio on stderr.
+    let container = dir.join("probe.pack");
+    let out = bin()
+        .arg("pack")
+        .arg("--model")
+        .arg(&model)
+        .arg(&probe)
+        .arg("--out")
+        .arg(&container)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "pack failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let packed = fs::read(&container).unwrap();
+    assert!(packed.starts_with(b"STRUPAK1"), "missing container magic");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("group(s)"), "stderr: {stderr}");
+
+    // unpack without selectors reproduces the original byte for byte,
+    // both to stdout and through --out.
+    let out = bin().arg("unpack").arg(&container).output().unwrap();
+    assert!(
+        out.status.success(),
+        "unpack failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(out.stdout, original.as_bytes(), "unpack must be lossless");
+    let restored = dir.join("restored.csv");
+    let out = bin()
+        .arg("unpack")
+        .arg(&container)
+        .arg("--out")
+        .arg(&restored)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert_eq!(fs::read(&restored).unwrap(), original.as_bytes());
+
+    // --table 0 extracts one table: every emitted line is a line of the
+    // original file (header rows verbatim, body rows reassembled under
+    // the same dialect), and nothing else rides along.
+    let out = bin()
+        .args(["unpack", "--table", "0"])
+        .arg(&container)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "unpack --table failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let table = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(!table.trim().is_empty(), "table 0 must not be empty");
+    for line in table.lines() {
+        assert!(
+            original.lines().any(|l| l == line),
+            "extracted line {line:?} not in the original"
+        );
+    }
+    assert!(
+        !table.contains("Survey of crime outcomes"),
+        "metadata must not leak into --table output:\n{table}"
+    );
+
+    // A table index past the directory is a typed table error (exit 5);
+    // an unknown column name is a usage error (exit 1) listing what the
+    // container does have.
+    let out = bin()
+        .args(["unpack", "--table", "99"])
+        .arg(&container)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(5), "bad table index must exit 5");
+    let out = bin()
+        .args(["unpack", "--column", "no such column"])
+        .arg(&container)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "unknown column must exit 1");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no column named"));
+
+    // A corrupt container is a typed parse error (exit 3), not a panic.
+    let garbage = dir.join("garbage.pack");
+    fs::write(&garbage, b"STRUPAK1 but not really").unwrap();
+    let out = bin().arg("unpack").arg(&garbage).output().unwrap();
+    assert_eq!(out.status.code(), Some(3), "corrupt containers must exit 3");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn batch_without_inputs_fails() {
     let out = bin().arg("batch").output().unwrap();
     assert!(!out.status.success());

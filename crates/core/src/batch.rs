@@ -722,8 +722,13 @@ mod tests {
             },
         );
         for stage in Stage::ALL {
-            // Whole-file batch runs never touch the streaming stage.
-            let want = if stage == Stage::Stream { 0 } else { 3 };
+            // Whole-file batch runs never touch the streaming stage or
+            // the container encode/decode stages.
+            let want = if matches!(stage, Stage::Stream | Stage::Pack | Stage::Unpack) {
+                0
+            } else {
+                3
+            };
             assert_eq!(result.report.stage_timings.count(stage), want);
         }
         assert!(result.report.files_per_second() > 0.0);

@@ -1,0 +1,195 @@
+//! Shared content fingerprinting: 2×FNV-1a-64 plus length.
+//!
+//! One hashing implementation serves every consumer that needs a cheap,
+//! deterministic content identity: the `strudel serve` result cache keys
+//! classification results by it, and the packed container format
+//! (`strudel-pack`) checksums every block and the whole original input
+//! with it. FNV is not cryptographic, but a collision requires the
+//! *same* pair of independent 64-bit digests and the same length —
+//! vanishingly unlikely for accidental corruption or repeat traffic, and
+//! neither consumer treats the hash as a trust boundary (a cache
+//! collision poisons only the attacker's own deployment; a container
+//! checksum guards against truncation and bit rot, not forgery).
+
+/// A 136-bit content fingerprint: two independent FNV-1a 64-bit digests
+/// (different offset bases) plus the input length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ContentHash {
+    /// FNV-1a digest from the standard offset basis.
+    pub h1: u64,
+    /// FNV-1a digest from the alternate (golden-ratio) offset basis.
+    pub h2: u64,
+    /// Input length in bytes.
+    pub len: u64,
+}
+
+/// The standard FNV-1a 64-bit offset basis.
+const FNV_BASIS_1: u64 = 0xcbf2_9ce4_8422_2325;
+/// The alternate offset basis (the 64-bit golden-ratio constant),
+/// making the second digest independent of the first.
+const FNV_BASIS_2: u64 = 0x9e37_79b9_7f4a_7c15;
+/// The FNV 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+impl ContentHash {
+    /// Fingerprint raw bytes.
+    pub fn of(bytes: &[u8]) -> ContentHash {
+        ContentHash {
+            h1: fnv1a(bytes, FNV_BASIS_1),
+            h2: fnv1a(bytes, FNV_BASIS_2),
+            len: bytes.len() as u64,
+        }
+    }
+
+    /// Render as 48 lowercase hex digits: `h1` (16) + `h2` (16) +
+    /// `len` (16) — compact enough for a URL path segment while keeping
+    /// the full fingerprint.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}{:016x}", self.h1, self.h2, self.len)
+    }
+
+    /// Parse the representation produced by [`ContentHash::to_hex`].
+    pub fn from_hex(s: &str) -> Option<ContentHash> {
+        if s.len() != 48 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let part = |range: std::ops::Range<usize>| u64::from_str_radix(&s[range], 16).ok();
+        Some(ContentHash {
+            h1: part(0..16)?,
+            h2: part(16..32)?,
+            len: part(32..48)?,
+        })
+    }
+}
+
+/// Incremental [`ContentHash`] computation, for callers that see the
+/// input in chunks (the packed-container writer hashes the original
+/// stream as it flows through without ever buffering it whole).
+/// Feeding the same bytes in any chunking yields exactly
+/// [`ContentHash::of`] over their concatenation.
+#[derive(Debug, Clone)]
+pub struct ContentHasher {
+    h1: u64,
+    h2: u64,
+    len: u64,
+}
+
+impl Default for ContentHasher {
+    fn default() -> ContentHasher {
+        ContentHasher::new()
+    }
+}
+
+impl ContentHasher {
+    /// Start a fresh fingerprint.
+    pub fn new() -> ContentHasher {
+        ContentHasher {
+            h1: FNV_BASIS_1,
+            h2: FNV_BASIS_2,
+            len: 0,
+        }
+    }
+
+    /// Fold one chunk into the fingerprint.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.h1 = (self.h1 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            self.h2 = (self.h2 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        self.len += bytes.len() as u64;
+    }
+
+    /// The fingerprint of everything fed so far.
+    pub fn finish(&self) -> ContentHash {
+        ContentHash {
+            h1: self.h1,
+            h2: self.h2,
+            len: self.len,
+        }
+    }
+}
+
+/// FNV-1a over `bytes` from the given offset basis.
+fn fnv1a(bytes: &[u8], basis: u64) -> u64 {
+    let mut hash = basis;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Independent reference FNV-1a, written without reuse of the
+    /// production helper, so a typo in one constant cannot hide.
+    fn reference_fnv1a(bytes: &[u8], basis: u64) -> u64 {
+        bytes.iter().fold(basis, |h, &b| {
+            (h ^ u64::from(b)).wrapping_mul(0x100000001B3)
+        })
+    }
+
+    #[test]
+    fn matches_reference_implementation() {
+        for input in [
+            &b""[..],
+            b"a",
+            b"State,2019\nBerlin,1\n",
+            b"\xff\x00\xfe arbitrary bytes",
+        ] {
+            let h = ContentHash::of(input);
+            assert_eq!(h.h1, reference_fnv1a(input, 0xcbf29ce484222325));
+            assert_eq!(h.h2, reference_fnv1a(input, 0x9e3779b97f4a7c15));
+            assert_eq!(h.len, input.len() as u64);
+        }
+    }
+
+    #[test]
+    fn known_digest_of_empty_input_is_the_fnv_offset_basis() {
+        let h = ContentHash::of(b"");
+        assert_eq!(h.h1, 0xcbf2_9ce4_8422_2325);
+        assert_eq!(h.h2, 0x9e37_79b9_7f4a_7c15);
+        assert_eq!(h.len, 0);
+    }
+
+    #[test]
+    fn differs_on_content_and_matches_on_equal_content() {
+        let a = ContentHash::of(b"State,2019\nBerlin,1\n");
+        let b = ContentHash::of(b"State,2019\nBerlin,2\n");
+        assert_ne!(a, b);
+        assert_eq!(a, ContentHash::of(b"State,2019\nBerlin,1\n"));
+    }
+
+    #[test]
+    fn incremental_hasher_is_chunking_invariant() {
+        let input = b"State,2019\nBerlin,1\nHamburg,2\n";
+        let whole = ContentHash::of(input);
+        for chunk in [1, 2, 3, 7, input.len()] {
+            let mut hasher = ContentHasher::new();
+            for piece in input.chunks(chunk) {
+                hasher.update(piece);
+            }
+            assert_eq!(hasher.finish(), whole, "chunk size {chunk}");
+        }
+        assert_eq!(ContentHasher::new().finish(), ContentHash::of(b""));
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        for input in [&b""[..], b"x", b"longer input with, commas\n"] {
+            let h = ContentHash::of(input);
+            let hex = h.to_hex();
+            assert_eq!(hex.len(), 48);
+            assert_eq!(ContentHash::from_hex(&hex), Some(h));
+        }
+        assert_eq!(ContentHash::from_hex(""), None);
+        assert_eq!(ContentHash::from_hex("zz"), None);
+        let valid = ContentHash::of(b"x").to_hex();
+        assert_eq!(ContentHash::from_hex(&valid[..47]), None);
+        let mut bad = valid.clone();
+        bad.replace_range(0..1, "g");
+        assert_eq!(ContentHash::from_hex(&bad), None);
+    }
+}

@@ -50,6 +50,7 @@ mod cell_features;
 mod column;
 mod derived;
 mod extract;
+pub mod hash;
 mod json;
 mod keywords;
 mod line_classifier;
@@ -77,6 +78,7 @@ pub use derived::{
     detect_derived_cells_view, DerivedConfig,
 };
 pub use extract::{to_relational, RelationalTable};
+pub use hash::{ContentHash, ContentHasher};
 pub use keywords::{has_aggregation_keyword, AGGREGATION_KEYWORDS};
 pub use line_classifier::{StrudelLine, StrudelLineConfig};
 pub use line_features::{

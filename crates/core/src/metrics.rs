@@ -6,7 +6,9 @@
 //! classifiers), `Strudel^L` line classification, `Strudel^C` cell
 //! classification, and finally materialisation of the owned output
 //! table from the borrowed grid. Streaming classification adds a
-//! seventh, [`Stage::Stream`], covering its windowing bookkeeping. The
+//! seventh, [`Stage::Stream`], covering its windowing bookkeeping, and
+//! the packed container format adds [`Stage::Pack`]/[`Stage::Unpack`]
+//! for container encode/decode. The
 //! [`Metrics`] sink trait lets callers observe how
 //! long each stage took without the pipeline knowing who is listening:
 //! [`detect_structure_metered`](crate::Strudel::detect_structure_metered)
@@ -41,11 +43,19 @@ pub enum Stage {
     /// input with the total bookkeeping time; the per-window pipeline
     /// stages are recorded under their own names as usual.
     Stream,
+    /// Encoding a classified input into the packed columnar container
+    /// (`strudel-pack`): skeleton/column stream splitting, block
+    /// sealing, and directory writing. The classification feeding the
+    /// packer records its own stages as usual.
+    Pack,
+    /// Decoding a packed container back into CSV text — full unpack or
+    /// selective table/column extraction.
+    Unpack,
 }
 
 impl Stage {
     /// All stages, in execution order.
-    pub const ALL: [Stage; 7] = [
+    pub const ALL: [Stage; 9] = [
         Stage::Dialect,
         Stage::Parse,
         Stage::DerivedCells,
@@ -53,6 +63,8 @@ impl Stage {
         Stage::CellClassify,
         Stage::Materialize,
         Stage::Stream,
+        Stage::Pack,
+        Stage::Unpack,
     ];
 
     /// Stable snake_case name (used as a JSON key by the batch report).
@@ -65,6 +77,8 @@ impl Stage {
             Stage::CellClassify => "cell_classify",
             Stage::Materialize => "materialize",
             Stage::Stream => "stream",
+            Stage::Pack => "pack",
+            Stage::Unpack => "unpack",
         }
     }
 
@@ -78,6 +92,8 @@ impl Stage {
             Stage::CellClassify => 4,
             Stage::Materialize => 5,
             Stage::Stream => 6,
+            Stage::Pack => 7,
+            Stage::Unpack => 8,
         }
     }
 }
@@ -117,8 +133,8 @@ impl Metrics for NullMetrics {
 /// Accumulated per-stage totals and observation counts.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct StageTimings {
-    totals: [Duration; 7],
-    counts: [u64; 7],
+    totals: [Duration; 9],
+    counts: [u64; 9],
     parse_chunks: u64,
     stream_windows: u64,
 }
@@ -297,7 +313,9 @@ mod tests {
                 "line_classify",
                 "cell_classify",
                 "materialize",
-                "stream"
+                "stream",
+                "pack",
+                "unpack"
             ]
         );
         for (i, s) in Stage::ALL.iter().enumerate() {

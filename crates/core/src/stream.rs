@@ -17,7 +17,12 @@
 //! under the default configuration) is classified by the *exact*
 //! whole-file pipeline over the buffered bytes, so its output —
 //! including every limit/deadline error payload — is byte-identical to
-//! [`Strudel::try_detect_structure_bytes`]. Once a stream spans several
+//! [`Strudel::try_detect_structure_bytes`]. Dialect detection runs
+//! exactly once per input: when the stream crossed the prefix threshold
+//! the fallback reuses the prefix-detected dialect rather than
+//! re-detecting (detection is bounded by its line budget, so both see
+//! the same sample on any input large enough to fill the prefix). Once
+//! a stream spans several
 //! windows, whole-file identity is impossible by construction (the
 //! paper's line features aggregate over the whole file), so each window
 //! is classified independently under the prefix-detected dialect; the
@@ -79,6 +84,12 @@ pub struct StreamConfig {
     /// Threads for per-window parsing and inference; `0` resolves via
     /// [`crate::batch::resolve_threads`].
     pub n_threads: usize,
+    /// Retain each window's text on its [`StreamWindow`] instead of
+    /// dropping it when the window closes. Off by default (the text
+    /// would defeat the O(window) memory story for callers that retain
+    /// windows); the packed-container writer turns it on because it
+    /// needs the raw bytes to seal one block group per window.
+    pub capture_text: bool,
 }
 
 impl Default for StreamConfig {
@@ -90,6 +101,7 @@ impl Default for StreamConfig {
             max_total_bytes: None,
             limits: Limits::standard(),
             n_threads: 0,
+            capture_text: false,
         }
     }
 }
@@ -110,6 +122,9 @@ pub struct StreamWindow {
     /// Relational tables extracted from the window
     /// ([`crate::to_relational`]).
     pub tables: Vec<RelationalTable>,
+    /// The window's post-BOM text, retained only when
+    /// [`StreamConfig::capture_text`] is set; empty otherwise.
+    pub text: String,
 }
 
 /// Aggregate result of a finished stream.
@@ -310,25 +325,46 @@ impl<'m> StreamClassifier<'m> {
         self.timings
             .record(Stage::Stream, std::mem::take(&mut self.stream_time));
         // The feeder already consumed the BOM, so enter the pipeline
-        // past its own strip.
-        let structure = self.model.try_detect_structure_stripped(
-            &self.buf,
-            &self.config.limits,
-            self.deadline,
-            self.config.n_threads,
-            &mut self.timings,
-        )?;
+        // past its own strip. When the prefix detector already ran, its
+        // dialect is reused — detection happens exactly once per input
+        // (pinned by the stage-timings assertion) instead of being
+        // recomputed here for every single-window stream that crossed
+        // the prefix threshold.
+        let structure = match self.dialect {
+            Some(dialect) => self.model.try_detect_structure_with_dialect(
+                &self.buf,
+                &dialect,
+                &self.config.limits,
+                self.deadline,
+                self.config.n_threads,
+                &mut self.timings,
+            )?,
+            None => self.model.try_detect_structure_stripped(
+                &self.buf,
+                &self.config.limits,
+                self.deadline,
+                self.config.n_threads,
+                &mut self.timings,
+            )?,
+        };
         self.timings.record_stream_windows(1);
         let dialect = structure.dialect;
         let n_rows = structure.table.n_rows();
         let tables = to_relational(&structure);
+        let end_byte = self.buf.len() as u64;
+        let text = if self.config.capture_text {
+            std::mem::take(&mut self.buf)
+        } else {
+            String::new()
+        };
         self.out.push(StreamWindow {
             index: 0,
             first_row: 0,
             start_byte: 0,
-            end_byte: self.buf.len() as u64,
+            end_byte,
             structure,
             tables,
+            text,
         });
         self.n_windows = 1;
         self.first_row = n_rows;
@@ -345,8 +381,12 @@ impl<'m> StreamClassifier<'m> {
     /// Detect the dialect on the deterministic prefix — the first
     /// `prefix_bytes` of post-BOM text (aligned down to a character
     /// boundary), trimmed to the last complete line — and start the
-    /// record tracker from stream offset 0.
+    /// record tracker from stream offset 0. This is the *only* dialect
+    /// detection a streamed input runs: the single-window fallback and
+    /// every window close reuse the result, so each input records
+    /// exactly one [`Stage::Dialect`] observation.
     fn detect_dialect(&mut self) -> Result<(), StrudelError> {
+        let timer = crate::metrics::StageTimer::start(Stage::Dialect);
         let mut cut = self.config.prefix_bytes.min(self.buf.len());
         while cut > 0 && !self.buf.is_char_boundary(cut) {
             cut -= 1;
@@ -357,6 +397,7 @@ impl<'m> StreamClassifier<'m> {
             None => prefix,
         };
         let dialect = try_detect_dialect(sample, &self.config.limits, self.deadline)?;
+        timer.stop(&mut self.timings);
         self.dialect = Some(dialect);
         self.tracker = Some(RecordTracker::new(dialect));
         self.buf_fed = 0;
@@ -457,6 +498,11 @@ impl<'m> StreamClassifier<'m> {
         self.timings.record_stream_windows(1);
         let tables = to_relational(&structure);
         let n_rows = structure.table.n_rows();
+        let text = if self.config.capture_text {
+            self.buf[..upto].to_string()
+        } else {
+            String::new()
+        };
         self.out.push(StreamWindow {
             index: self.n_windows,
             first_row: self.first_row,
@@ -464,6 +510,7 @@ impl<'m> StreamClassifier<'m> {
             end_byte: self.base + upto as u64,
             structure,
             tables,
+            text,
         });
         self.n_windows += 1;
         self.first_row += n_rows;
@@ -868,6 +915,89 @@ mod tests {
             let err = run_stream(&model, bad, StreamConfig::default(), chunk).unwrap_err();
             assert_eq!(err, whole, "chunk={chunk}");
         }
+    }
+
+    /// The dialect-hoist pin: a streamed input runs dialect detection
+    /// exactly once, whether the prefix detector fired (single- or
+    /// multi-window) or the single-window fallback detected it.
+    #[test]
+    fn streamed_input_detects_dialect_exactly_once() {
+        let model = fitted();
+        let text = multi_table_text();
+
+        // Prefix fired, stream stayed single-window: the fallback must
+        // reuse the prefix result instead of re-detecting.
+        let config = StreamConfig {
+            prefix_bytes: 32,
+            ..StreamConfig::default()
+        };
+        let (summary, windows) = run_stream(&model, text.as_bytes(), config, 16).unwrap();
+        assert_eq!(summary.n_windows, 1);
+        let mut c = StreamClassifier::new(
+            &model,
+            StreamConfig {
+                prefix_bytes: 32,
+                ..StreamConfig::default()
+            },
+        );
+        c.push(text.as_bytes()).unwrap();
+        c.finish().unwrap();
+        assert_eq!(c.timings().count(Stage::Dialect), 1);
+        // The hoisted dialect agrees with whole-file detection, so the
+        // output is unchanged by the reuse.
+        let whole = model
+            .try_detect_structure_bytes(text.as_bytes(), &Limits::standard())
+            .unwrap();
+        assert_eq!(stream_to_json(&windows), whole.to_json());
+
+        // Prefix fired, multi-window: still exactly one detection.
+        let mut c = StreamClassifier::new(&model, small_windows());
+        c.push(text.as_bytes()).unwrap();
+        c.finish().unwrap();
+        assert!(c.timings().stream_windows() > 1);
+        assert_eq!(c.timings().count(Stage::Dialect), 1);
+
+        // Prefix never filled (default 64 KiB): the whole-file fallback
+        // is the single detection.
+        let mut c = StreamClassifier::new(&model, StreamConfig::default());
+        c.push(VERBOSE.as_bytes()).unwrap();
+        c.finish().unwrap();
+        assert_eq!(c.timings().count(Stage::Dialect), 1);
+    }
+
+    /// `capture_text` retains each window's exact post-BOM text; off by
+    /// default the field stays empty.
+    #[test]
+    fn capture_text_retains_window_slices() {
+        let model = fitted();
+        let text = multi_table_text();
+        let config = StreamConfig {
+            capture_text: true,
+            ..small_windows()
+        };
+        let (_, windows) = run_stream(&model, text.as_bytes(), config, 64).unwrap();
+        assert!(windows.len() > 1);
+        let joined: String = windows.iter().map(|w| w.text.as_str()).collect();
+        assert_eq!(joined, text, "captured texts must tile the stream");
+        for w in &windows {
+            assert_eq!(
+                w.text,
+                &text[w.start_byte as usize..w.end_byte as usize],
+                "window {}",
+                w.index
+            );
+        }
+        let (_, plain) = run_stream(&model, text.as_bytes(), small_windows(), 64).unwrap();
+        assert!(plain.iter().all(|w| w.text.is_empty()));
+
+        // Single-window fallback captures too.
+        let config = StreamConfig {
+            capture_text: true,
+            ..StreamConfig::default()
+        };
+        let (_, one) = run_stream(&model, VERBOSE.as_bytes(), config, 16).unwrap();
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].text, VERBOSE);
     }
 
     #[test]

@@ -24,6 +24,7 @@ mod dialect;
 pub mod legacy;
 mod parallel;
 mod parser;
+pub mod raw;
 mod scan;
 pub mod stream;
 mod write;
@@ -35,6 +36,7 @@ pub use detect::{
 pub use dialect::Dialect;
 pub use parallel::{try_scan_records_chunked, try_scan_records_threaded};
 pub use parser::{parse, try_parse, try_parse_within};
+pub use raw::{raw_records, RawRecord, Terminator};
 pub use scan::{scan_records, try_scan_records, try_scan_records_within, RecordRef, RecordsRef};
 pub use stream::{RecordEnd, RecordTracker, Utf8Feeder};
 pub use write::{write_delimited, write_field};

@@ -32,6 +32,13 @@
 //! error payloads — exactly, and every geometry must be invariant to how
 //! the byte stream is chunked. Any disagreement counts as a divergence
 //! and fails the soak ([`check_stream_divergence`]).
+//!
+//! The packed container format adds a fourth dimension
+//! ([`check_pack_roundtrip`]): every input that packs cleanly must
+//! unpack byte-identically, and the container must fail *typed* at
+//! every truncation prefix and under a spread of single-byte
+//! corruptions — a panic or a silent wrong reconstruction anywhere in
+//! the pack→unpack path fails the soak.
 
 #![warn(missing_docs)]
 
@@ -562,6 +569,91 @@ pub fn check_stream_divergence(model: &Strudel, input: &[u8], limits: &Limits) -
     None
 }
 
+/// The window geometries every input is packed under: the default
+/// single-window path and a tiny window that seals many block groups,
+/// exercising the multi-group container layout.
+pub fn pack_panel() -> [StreamConfig; 2] {
+    let serial = StreamConfig {
+        n_threads: 1,
+        ..StreamConfig::default()
+    };
+    [
+        serial.clone(),
+        StreamConfig {
+            window_rows: 8,
+            window_bytes: 1 << 20,
+            prefix_bytes: 32,
+            ..serial
+        },
+    ]
+}
+
+/// Pack→unpack differential check: every input that packs cleanly must
+/// unpack byte-identically under every panel geometry, and the
+/// resulting container must fail *typed* — never panic, never
+/// reconstruct different bytes — at every truncation prefix and under a
+/// spread of single-byte corruptions. Inputs the packer rejects (binary
+/// content, limit violations) are legitimate typed outcomes, not
+/// divergences.
+pub fn check_pack_roundtrip(model: &Strudel, input: &[u8], limits: &Limits) -> Option<String> {
+    for (p, base) in pack_panel().into_iter().enumerate() {
+        let config = StreamConfig {
+            limits: *limits,
+            ..base
+        };
+        let packed = match strudel_pack::pack_bytes(model, input, config) {
+            Ok(packed) => packed,
+            Err(_) => continue,
+        };
+        match strudel_pack::unpack_bytes(&packed.bytes) {
+            Ok(bytes) if bytes == input => {}
+            Ok(_) => {
+                return Some(format!(
+                    "pack config {p}: unpack is not byte-identical to the input"
+                ))
+            }
+            Err(e) => {
+                return Some(format!(
+                    "pack config {p}: fresh container failed to unpack: {e}"
+                ))
+            }
+        }
+        // Truncation at every prefix: a cut container must never
+        // silently reconstruct different bytes. (`open` fails fast on a
+        // missing tail, so the sweep is linear in the container size.)
+        for prefix in 0..packed.bytes.len() {
+            if let Ok(mut reader) = strudel_pack::PackReader::open(&packed.bytes[..prefix]) {
+                if let Ok(bytes) = reader.unpack() {
+                    if bytes != input {
+                        return Some(format!(
+                            "pack config {p}: truncation at {prefix} unpacked different bytes"
+                        ));
+                    }
+                }
+            }
+        }
+        // Single-byte corruption spread: every region of the container
+        // (blocks, directory, tail) is covered by a checksum or a
+        // structural check, so a flipped byte must be rejected or — if
+        // the flip never reaches a decoded path — reproduce the input.
+        let step = (packed.bytes.len() / 16).max(1);
+        for at in (0..packed.bytes.len()).step_by(step) {
+            let mut corrupt = packed.bytes.clone();
+            corrupt[at] ^= 0x41;
+            if let Ok(mut reader) = strudel_pack::PackReader::open(&corrupt) {
+                if let Ok(bytes) = reader.unpack() {
+                    if bytes != input {
+                        return Some(format!(
+                            "pack config {p}: byte flip at {at} unpacked different bytes"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
 /// Feed one input through guarded structure detection, recording the
 /// outcome, then differentially parse it through both parser paths.
 /// Panics are caught and tallied, never propagated — the soak keeps
@@ -582,6 +674,9 @@ pub fn run_one(model: &Strudel, input: &[u8], limits: &Limits, i: u64, report: &
         catch_unwind(AssertUnwindSafe(|| check_divergence(input, limits))),
         catch_unwind(AssertUnwindSafe(|| {
             check_stream_divergence(model, input, limits)
+        })),
+        catch_unwind(AssertUnwindSafe(|| {
+            check_pack_roundtrip(model, input, limits)
         })),
     ] {
         match check {

@@ -1,0 +1,434 @@
+//! The container's on-disk vocabulary: magic numbers, block/table
+//! metadata records, and the footer directory codec.
+//!
+//! A container is laid out as
+//!
+//! ```text
+//! ┌──────────┬─────────────┬───────────┬───────────────────┐
+//! │ STRUPAK1 │ blocks ...  │ directory │ 40-byte fixed tail│
+//! └──────────┴─────────────┴───────────┴───────────────────┘
+//! ```
+//!
+//! Blocks are opaque byte runs; everything needed to find and verify
+//! them lives in the directory, and everything needed to find the
+//! directory lives in the fixed-size tail (offset, length, checksum,
+//! `STRUEND1`). A reader therefore needs exactly two ranged reads —
+//! tail, then directory — before it can address any single block, which
+//! is what makes selective extraction O(1) in directory lookups.
+
+use crate::corrupt;
+use crate::varint::{read_varint, write_varint};
+use strudel::{ContentHash, Dialect, StrudelError};
+
+/// Leading magic: identifies the file type and major layout.
+pub const MAGIC: &[u8; 8] = b"STRUPAK1";
+/// Trailing magic: the last 8 bytes of every well-formed container,
+/// letting truncation be detected before any structure is trusted.
+pub const END_MAGIC: &[u8; 8] = b"STRUEND1";
+/// Fixed tail: directory offset, directory length, directory checksum
+/// (two u64 digests), end magic — five 8-byte fields.
+pub const TAIL_LEN: usize = 40;
+/// Directory format version written by this crate.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Skeleton directive kind: a verbatim row (metadata, notes, blank, or
+/// unclassified content) stored inline in the skeleton stream.
+pub const ROW_SKELETON: u8 = 0;
+/// Skeleton directive kind: a body row of some table — the skeleton
+/// holds only its geometry (table, field count); the bytes live in the
+/// table's column blocks.
+pub const ROW_BODY: u8 = 1;
+/// Skeleton directive kind: a header row, stored verbatim like a
+/// skeleton row but tagged with its table so selective table extraction
+/// can include it.
+pub const ROW_HEADER: u8 = 2;
+
+/// What a block holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// Per-group skeleton stream: one directive per raw record.
+    Skeleton,
+    /// One column of one table: length-prefixed raw field bytes per
+    /// body row.
+    Column,
+}
+
+impl BlockKind {
+    fn code(self) -> u8 {
+        match self {
+            BlockKind::Skeleton => 0,
+            BlockKind::Column => 1,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<BlockKind> {
+        match code {
+            0 => Some(BlockKind::Skeleton),
+            1 => Some(BlockKind::Column),
+            _ => None,
+        }
+    }
+}
+
+/// One directory entry: where a block sits and what its payload hashes
+/// to. `len` doubles as the third checksum component (a
+/// [`ContentHash`] is two digests plus length).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockEntry {
+    /// What the block holds.
+    pub kind: BlockKind,
+    /// The block group (sealed stream window) the block belongs to.
+    pub group: u64,
+    /// Global table index (column blocks; `0` for skeletons).
+    pub table: u64,
+    /// Column index within the table (column blocks; `0` for skeletons).
+    pub column: u64,
+    /// Byte offset of the payload within the container.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// First FNV-1a digest of the payload.
+    pub h1: u64,
+    /// Second FNV-1a digest of the payload.
+    pub h2: u64,
+}
+
+/// Directory metadata of one detected table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableMeta {
+    /// The block group holding this table's rows.
+    pub group: u64,
+    /// Number of body rows packed into the column blocks.
+    pub n_body_rows: u64,
+    /// Column names, from the table's first header row (reparsed to
+    /// values) or synthesized `colN` placeholders.
+    pub columns: Vec<String>,
+}
+
+/// The decoded footer directory: everything about a container except
+/// the block payloads themselves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Directory {
+    /// The dialect the input was segmented under.
+    pub dialect: Dialect,
+    /// Whether the original input began with a UTF-8 BOM (stripped
+    /// before segmentation, re-emitted on unpack).
+    pub bom: bool,
+    /// Fingerprint of the complete original input, BOM included —
+    /// verified after every full unpack.
+    pub original: ContentHash,
+    /// Number of block groups (sealed stream windows).
+    pub n_groups: u64,
+    /// Every detected table, in group/document order.
+    pub tables: Vec<TableMeta>,
+    /// Every block, in container order.
+    pub blocks: Vec<BlockEntry>,
+}
+
+/// Append `v` as 8 little-endian bytes.
+pub fn write_u64le(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Read 8 little-endian bytes at `pos` (the caller guarantees bounds).
+pub fn read_u64le(data: &[u8], pos: usize) -> u64 {
+    u64::from_le_bytes(data[pos..pos + 8].try_into().expect("8 bytes"))
+}
+
+fn write_char(out: &mut Vec<u8>, c: char) {
+    write_varint(out, u64::from(u32::from(c)));
+}
+
+fn write_opt_char(out: &mut Vec<u8>, c: Option<char>) {
+    match c {
+        Some(c) => {
+            out.push(1);
+            write_char(out, c);
+        }
+        None => out.push(0),
+    }
+}
+
+/// Encode `dir` to its wire form. The inverse of [`decode_directory`].
+pub fn encode_directory(dir: &Directory) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_varint(&mut out, FORMAT_VERSION);
+    write_char(&mut out, dir.dialect.delimiter);
+    write_opt_char(&mut out, dir.dialect.quote);
+    write_opt_char(&mut out, dir.dialect.escape);
+    out.push(u8::from(dir.bom));
+    write_u64le(&mut out, dir.original.h1);
+    write_u64le(&mut out, dir.original.h2);
+    write_u64le(&mut out, dir.original.len);
+    write_varint(&mut out, dir.n_groups);
+    write_varint(&mut out, dir.tables.len() as u64);
+    for table in &dir.tables {
+        write_varint(&mut out, table.group);
+        write_varint(&mut out, table.n_body_rows);
+        write_varint(&mut out, table.columns.len() as u64);
+        for name in &table.columns {
+            write_varint(&mut out, name.len() as u64);
+            out.extend_from_slice(name.as_bytes());
+        }
+    }
+    write_varint(&mut out, dir.blocks.len() as u64);
+    for block in &dir.blocks {
+        out.push(block.kind.code());
+        write_varint(&mut out, block.group);
+        write_varint(&mut out, block.table);
+        write_varint(&mut out, block.column);
+        write_varint(&mut out, block.offset);
+        write_varint(&mut out, block.len);
+        write_u64le(&mut out, block.h1);
+        write_u64le(&mut out, block.h2);
+    }
+    out
+}
+
+/// A bounds-checked reader over the directory bytes. Offsets in its
+/// errors are relative to the directory start.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn varint(&mut self, what: &str) -> Result<u64, StrudelError> {
+        let at = self.pos;
+        read_varint(self.data, &mut self.pos)
+            .ok_or_else(|| corrupt(at as u64, format!("truncated or oversized varint ({what})")))
+    }
+
+    fn byte(&mut self, what: &str) -> Result<u8, StrudelError> {
+        let b = *self
+            .data
+            .get(self.pos)
+            .ok_or_else(|| corrupt(self.pos as u64, format!("truncated directory ({what})")))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u64le(&mut self, what: &str) -> Result<u64, StrudelError> {
+        if self.pos + 8 > self.data.len() {
+            return Err(corrupt(
+                self.pos as u64,
+                format!("truncated directory ({what})"),
+            ));
+        }
+        let v = read_u64le(self.data, self.pos);
+        self.pos += 8;
+        Ok(v)
+    }
+
+    fn bytes(&mut self, len: usize, what: &str) -> Result<&'a [u8], StrudelError> {
+        if len > self.data.len() - self.pos {
+            return Err(corrupt(
+                self.pos as u64,
+                format!("truncated directory ({what})"),
+            ));
+        }
+        let slice = &self.data[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(slice)
+    }
+
+    fn char(&mut self, what: &str) -> Result<char, StrudelError> {
+        let at = self.pos;
+        let v = self.varint(what)?;
+        u32::try_from(v)
+            .ok()
+            .and_then(char::from_u32)
+            .ok_or_else(|| corrupt(at as u64, format!("invalid character ({what})")))
+    }
+
+    fn opt_char(&mut self, what: &str) -> Result<Option<char>, StrudelError> {
+        match self.byte(what)? {
+            0 => Ok(None),
+            1 => Ok(Some(self.char(what)?)),
+            other => Err(corrupt(
+                (self.pos - 1) as u64,
+                format!("invalid presence flag {other} ({what})"),
+            )),
+        }
+    }
+}
+
+/// Decode the directory bytes. The caller has already verified the
+/// directory checksum, so failures here mean a version mismatch or an
+/// encoder bug, not bit rot — but every read is still bounds-checked
+/// and every failure is a typed error (the fuzz harness feeds this
+/// arbitrary bytes).
+pub fn decode_directory(data: &[u8]) -> Result<Directory, StrudelError> {
+    let mut c = Cursor { data, pos: 0 };
+    let version = c.varint("format version")?;
+    if version != FORMAT_VERSION {
+        return Err(corrupt(
+            0,
+            format!("unsupported container version {version} (expected {FORMAT_VERSION})"),
+        ));
+    }
+    let dialect = Dialect {
+        delimiter: c.char("delimiter")?,
+        quote: c.opt_char("quote")?,
+        escape: c.opt_char("escape")?,
+    };
+    let bom = match c.byte("bom flag")? {
+        0 => false,
+        1 => true,
+        other => {
+            return Err(corrupt(
+                (c.pos - 1) as u64,
+                format!("invalid BOM flag {other}"),
+            ))
+        }
+    };
+    let original = ContentHash {
+        h1: c.u64le("original h1")?,
+        h2: c.u64le("original h2")?,
+        len: c.u64le("original length")?,
+    };
+    let n_groups = c.varint("group count")?;
+    let n_tables = c.varint("table count")?;
+    let mut tables = Vec::new();
+    for t in 0..n_tables {
+        let group = c.varint("table group")?;
+        let n_body_rows = c.varint("table row count")?;
+        let n_cols = c.varint("table column count")?;
+        let mut columns = Vec::new();
+        for col in 0..n_cols {
+            let len = c.varint("column name length")? as usize;
+            let at = c.pos;
+            let bytes = c.bytes(len, "column name")?;
+            let name = std::str::from_utf8(bytes)
+                .map_err(|_| {
+                    corrupt(
+                        at as u64,
+                        format!("column name {col} of table {t} is not UTF-8"),
+                    )
+                })?
+                .to_string();
+            columns.push(name);
+        }
+        tables.push(TableMeta {
+            group,
+            n_body_rows,
+            columns,
+        });
+    }
+    let n_blocks = c.varint("block count")?;
+    let mut blocks = Vec::new();
+    for _ in 0..n_blocks {
+        let at = c.pos;
+        let kind = BlockKind::from_code(c.byte("block kind")?)
+            .ok_or_else(|| corrupt(at as u64, "invalid block kind"))?;
+        blocks.push(BlockEntry {
+            kind,
+            group: c.varint("block group")?,
+            table: c.varint("block table")?,
+            column: c.varint("block column")?,
+            offset: c.varint("block offset")?,
+            len: c.varint("block length")?,
+            h1: c.u64le("block h1")?,
+            h2: c.u64le("block h2")?,
+        });
+    }
+    if c.pos != data.len() {
+        return Err(corrupt(
+            c.pos as u64,
+            format!("{} trailing directory bytes", data.len() - c.pos),
+        ));
+    }
+    Ok(Directory {
+        dialect,
+        bom,
+        original,
+        n_groups,
+        tables,
+        blocks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Directory {
+        Directory {
+            dialect: Dialect {
+                delimiter: ';',
+                quote: Some('"'),
+                escape: None,
+            },
+            bom: true,
+            original: ContentHash::of(b"State;2019\nBerlin;1\n"),
+            n_groups: 2,
+            tables: vec![
+                TableMeta {
+                    group: 0,
+                    n_body_rows: 3,
+                    columns: vec!["State".into(), "2019".into()],
+                },
+                TableMeta {
+                    group: 1,
+                    n_body_rows: 0,
+                    columns: vec![],
+                },
+            ],
+            blocks: vec![
+                BlockEntry {
+                    kind: BlockKind::Skeleton,
+                    group: 0,
+                    table: 0,
+                    column: 0,
+                    offset: 8,
+                    len: 40,
+                    h1: 1,
+                    h2: 2,
+                },
+                BlockEntry {
+                    kind: BlockKind::Column,
+                    group: 0,
+                    table: 0,
+                    column: 1,
+                    offset: 48,
+                    len: 9,
+                    h1: 3,
+                    h2: 4,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn directory_roundtrip() {
+        let dir = sample();
+        let bytes = encode_directory(&dir);
+        assert_eq!(decode_directory(&bytes).unwrap(), dir);
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let bytes = encode_directory(&sample());
+        for cut in 0..bytes.len() {
+            let err = decode_directory(&bytes[..cut]).unwrap_err();
+            assert_eq!(err.category(), "parse", "cut at {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn version_and_flag_corruption_are_rejected() {
+        let mut bytes = encode_directory(&sample());
+        bytes[0] = 9; // future version
+        assert!(decode_directory(&bytes)
+            .unwrap_err()
+            .to_string()
+            .contains("version"));
+        let bytes = encode_directory(&sample());
+        let mut with_junk = bytes.clone();
+        with_junk.push(0);
+        assert!(decode_directory(&with_junk)
+            .unwrap_err()
+            .to_string()
+            .contains("trailing"));
+    }
+}

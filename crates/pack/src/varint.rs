@@ -1,0 +1,94 @@
+//! LEB128 unsigned varints — the container's integer wire format.
+//!
+//! Every count, length, and index in the directory and in block
+//! payloads is a base-128 varint: 7 value bits per byte, the high bit
+//! marking continuation. Small values (the overwhelmingly common case:
+//! field lengths, column indices, terminator-tagged directives)
+//! therefore cost one byte.
+
+/// Append `v` to `out` as an LEB128 varint.
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read one LEB128 varint from `data` at `*pos`, advancing `*pos`.
+/// Returns `None` on truncation or on an encoding that would overflow
+/// `u64` (more than 64 significant bits).
+pub fn read_varint(data: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *data.get(*pos)?;
+        *pos += 1;
+        if shift > 63 || (shift == 63 && (b & 0x7f) > 1) {
+            return None;
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn single_byte_for_small_values() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 127);
+        assert_eq!(buf, [127]);
+    }
+
+    #[test]
+    fn truncation_and_overflow_are_rejected() {
+        // Truncated: continuation bit set but no next byte.
+        assert_eq!(read_varint(&[0x80], &mut 0), None);
+        // Eleven continuation bytes overflow 64 bits.
+        let buf = [0xff; 11];
+        assert_eq!(read_varint(&buf, &mut 0), None);
+        // Ten bytes whose tenth carries more than the last u64 bit.
+        let mut buf = vec![0xff; 9];
+        buf.push(0x02);
+        assert_eq!(read_varint(&buf, &mut 0), None);
+        // u64::MAX itself is exactly representable.
+        let mut ok = Vec::new();
+        write_varint(&mut ok, u64::MAX);
+        assert_eq!(read_varint(&ok, &mut 0), Some(u64::MAX));
+    }
+}

@@ -1,71 +1,50 @@
-//! Content-addressed LRU cache of classification results.
+//! Content-addressed LRU caches for classification and pack results.
 //!
 //! The daemon's dominant cost is the classification pipeline, and real
 //! ingestion traffic is highly repetitive — the same report is uploaded
-//! to several endpoints, retried, or re-validated. Keying the finished
-//! structure JSON by a content hash of the raw request bytes lets a
-//! repeat request skip the entire pipeline (dialect → parse → classify)
-//! and answer from memory.
+//! to several endpoints, retried, or re-validated. Keying finished
+//! results by a content hash of the raw request bytes lets a repeat
+//! request skip the entire pipeline (dialect → parse → classify) and
+//! answer from memory.
 //!
-//! The key is 136 bits of content fingerprint: two independent FNV-1a
-//! 64-bit hashes (different offset bases) plus the input length. FNV is
-//! not cryptographic, but a collision requires the *same* pair of
-//! independent 64-bit digests and the same length — vanishingly unlikely
-//! for accidental traffic, and the cache is an in-process optimisation,
-//! not a trust boundary (a colliding attacker only poisons their own
-//! deployment's cache). Eviction is least-recently-used via a monotonic
-//! use-stamp and an `O(capacity)` scan on insert — capacities are
-//! hundreds of entries, so the scan is noise next to one pipeline run.
+//! The key is the shared [`strudel::ContentHash`] fingerprint: two
+//! independent FNV-1a 64-bit hashes (different offset bases) plus the
+//! input length — 136 bits of content identity, also used by the packed
+//! container format for block checksums. FNV is not cryptographic, but
+//! a collision requires the *same* pair of independent 64-bit digests
+//! and the same length — vanishingly unlikely for accidental traffic,
+//! and the cache is an in-process optimisation, not a trust boundary (a
+//! colliding attacker only poisons their own deployment's cache).
+//! Eviction is least-recently-used via a monotonic use-stamp and an
+//! `O(capacity)` scan on insert — capacities are hundreds of entries,
+//! so the scan is noise next to one pipeline run.
+//!
+//! [`ResultCache`] is generic over the cached value so the same LRU
+//! logic serves both the structure-JSON cache (`Arc<String>`) and the
+//! packed-container store (`Arc<Vec<u8>>`).
 
 use std::collections::HashMap;
-use std::sync::Arc;
 
-/// A 136-bit content fingerprint of a request body.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct CacheKey {
-    h1: u64,
-    h2: u64,
-    len: u64,
-}
+pub use strudel::ContentHash as CacheKey;
 
-impl CacheKey {
-    /// Fingerprint raw request bytes.
-    pub fn of(bytes: &[u8]) -> CacheKey {
-        CacheKey {
-            h1: fnv1a(bytes, 0xcbf2_9ce4_8422_2325),
-            h2: fnv1a(bytes, 0x9e37_79b9_7f4a_7c15),
-            len: bytes.len() as u64,
-        }
-    }
-}
-
-/// FNV-1a over `bytes` from the given offset basis.
-fn fnv1a(bytes: &[u8], basis: u64) -> u64 {
-    let mut hash = basis;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    hash
-}
-
-struct Entry {
-    value: Arc<String>,
+struct Entry<V> {
+    value: V,
     last_used: u64,
 }
 
-/// Fixed-capacity LRU map from content fingerprints to rendered
-/// structure JSON. A capacity of `0` disables caching entirely (every
-/// lookup misses, inserts are dropped).
-pub struct ResultCache {
+/// Fixed-capacity LRU map from content fingerprints to cached values
+/// (values must be cheap to clone — in practice `Arc`s). A capacity of
+/// `0` disables caching entirely (every lookup misses, inserts are
+/// dropped).
+pub struct ResultCache<V> {
     capacity: usize,
-    map: HashMap<CacheKey, Entry>,
+    map: HashMap<CacheKey, Entry<V>>,
     tick: u64,
 }
 
-impl ResultCache {
+impl<V: Clone> ResultCache<V> {
     /// An empty cache holding at most `capacity` results.
-    pub fn new(capacity: usize) -> ResultCache {
+    pub fn new(capacity: usize) -> ResultCache<V> {
         ResultCache {
             capacity,
             map: HashMap::with_capacity(capacity.min(1024)),
@@ -74,17 +53,17 @@ impl ResultCache {
     }
 
     /// Look up a fingerprint, refreshing its recency on a hit.
-    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<String>> {
+    pub fn get(&mut self, key: &CacheKey) -> Option<V> {
         self.tick += 1;
         let tick = self.tick;
         let entry = self.map.get_mut(key)?;
         entry.last_used = tick;
-        Some(Arc::clone(&entry.value))
+        Some(entry.value.clone())
     }
 
     /// Insert a result, evicting the least-recently-used entry when the
     /// cache is full.
-    pub fn insert(&mut self, key: CacheKey, value: Arc<String>) {
+    pub fn insert(&mut self, key: CacheKey, value: V) {
         if self.capacity == 0 {
             return;
         }
@@ -128,6 +107,7 @@ impl ResultCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     fn arc(s: &str) -> Arc<String> {
         Arc::new(s.to_string())
@@ -140,6 +120,28 @@ mod tests {
         let a2 = CacheKey::of(b"State,2019\nBerlin,1\n");
         assert_ne!(a, b);
         assert_eq!(a, a2);
+    }
+
+    /// The shared `strudel::ContentHash` must reproduce the digests the
+    /// server cache computed before the helper was extracted, so cached
+    /// keys stay stable across the refactor. Digests pinned against an
+    /// independent inline FNV-1a implementation.
+    #[test]
+    fn key_digests_match_the_historical_server_implementation() {
+        fn fnv1a(bytes: &[u8], basis: u64) -> u64 {
+            let mut hash = basis;
+            for &b in bytes {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            hash
+        }
+        for input in [&b""[..], b"State,2019\nBerlin,1\n", b"\x00\xff"] {
+            let key = CacheKey::of(input);
+            assert_eq!(key.h1, fnv1a(input, 0xcbf2_9ce4_8422_2325));
+            assert_eq!(key.h2, fnv1a(input, 0x9e37_79b9_7f4a_7c15));
+            assert_eq!(key.len, input.len() as u64);
+        }
     }
 
     #[test]
@@ -187,5 +189,13 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert!(cache.get(&CacheKey::of(b"a")).is_none());
+    }
+
+    #[test]
+    fn caches_binary_values_too() {
+        let mut cache: ResultCache<Arc<Vec<u8>>> = ResultCache::new(2);
+        let k = CacheKey::of(b"container");
+        cache.insert(k, Arc::new(vec![0xde, 0xad]));
+        assert_eq!(cache.get(&k).unwrap().as_slice(), &[0xde, 0xad]);
     }
 }

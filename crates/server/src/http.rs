@@ -31,6 +31,9 @@ pub struct Request {
     pub method: String,
     /// Request path, query string stripped.
     pub path: String,
+    /// The query string after `?`, percent-encoded as received (empty
+    /// when the target has none).
+    pub query: String,
     /// `(lower-cased name, value)` header pairs, in arrival order.
     pub headers: Vec<(String, String)>,
     /// The request body (`Content-Length` bytes).
@@ -128,7 +131,10 @@ pub fn read_request_head(stream: &mut TcpStream) -> Result<(Request, Vec<u8>), H
             "unsupported protocol {version:?}"
         )));
     }
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path.to_string(), query.to_string()),
+        None => (target.to_string(), String::new()),
+    };
 
     let mut headers = Vec::new();
     for line in lines {
@@ -144,6 +150,7 @@ pub fn read_request_head(stream: &mut TcpStream) -> Result<(Request, Vec<u8>), H
     let request = Request {
         method,
         path,
+        query,
         headers,
         body: Vec::new(),
     };
@@ -573,6 +580,7 @@ mod tests {
         Request {
             method: "POST".to_string(),
             path: "/classify/stream".to_string(),
+            query: String::new(),
             headers: vec![("transfer-encoding".to_string(), "chunked".to_string())],
             body: Vec::new(),
         }
@@ -631,6 +639,7 @@ mod tests {
         let request = Request {
             method: "POST".to_string(),
             path: "/classify/stream".to_string(),
+            query: String::new(),
             headers: vec![("content-length".to_string(), "100".to_string())],
             body: Vec::new(),
         };
@@ -649,6 +658,7 @@ mod tests {
         let request = Request {
             method: "POST".to_string(),
             path: "/classify/stream".to_string(),
+            query: String::new(),
             headers: vec![("transfer-encoding".to_string(), "gzip".to_string())],
             body: Vec::new(),
         };
@@ -663,6 +673,7 @@ mod tests {
         let request = Request {
             method: "POST".to_string(),
             path: "/classify/stream".to_string(),
+            query: String::new(),
             headers: vec![("content-length".to_string(), "5".to_string())],
             body: Vec::new(),
         };

@@ -19,6 +19,8 @@
 //! |---|---|---|
 //! | `/classify` (or `/`) | POST | classify raw CSV bytes → structure JSON |
 //! | `/classify/stream` | POST | bounded-memory streaming classification: chunked request body → chunked NDJSON window events |
+//! | `/pack` | POST | pack raw CSV bytes into the structure-aware container; the `X-Strudel-Pack-Key` header returns its content-hash address |
+//! | `/pack/<key>` | GET | fetch a cached container, or selectively unpack it with `?table=N` / `?column=NAME[&table=N]` |
 //! | `/healthz` | GET | liveness probe (`200 ok`) |
 //! | `/metrics` | GET | Prometheus text: request/cache/shed counters + per-stage timings |
 //! | `/admin/reload` | POST | validate + atomically swap the model (body: optional path) |

@@ -35,6 +35,15 @@ pub struct Registry {
     /// Streaming classifications that ended in a typed error, a broken
     /// body, or a vanished client.
     pub stream_err: AtomicU64,
+    /// `POST /pack` requests that produced (or re-served) a container.
+    pub pack_ok: AtomicU64,
+    /// `POST /pack` requests that failed with a typed error.
+    pub pack_err: AtomicU64,
+    /// `GET /pack/<key>` fetches and selective extractions served.
+    pub unpack_ok: AtomicU64,
+    /// `GET /pack/<key>` requests that failed (unknown key, bad
+    /// selector, corrupt container).
+    pub unpack_err: AtomicU64,
     /// `GET /healthz` requests served.
     pub healthz: AtomicU64,
     /// `GET /metrics` requests served.
@@ -68,6 +77,10 @@ impl Registry {
             classify_err: AtomicU64::new(0),
             stream_ok: AtomicU64::new(0),
             stream_err: AtomicU64::new(0),
+            pack_ok: AtomicU64::new(0),
+            pack_err: AtomicU64::new(0),
+            unpack_ok: AtomicU64::new(0),
+            unpack_err: AtomicU64::new(0),
             healthz: AtomicU64::new(0),
             metrics: AtomicU64::new(0),
             reload_ok: AtomicU64::new(0),
@@ -105,6 +118,10 @@ impl Registry {
             ("classify", "error", get(&self.classify_err)),
             ("classify_stream", "ok", get(&self.stream_ok)),
             ("classify_stream", "error", get(&self.stream_err)),
+            ("pack", "ok", get(&self.pack_ok)),
+            ("pack", "error", get(&self.pack_err)),
+            ("unpack", "ok", get(&self.unpack_ok)),
+            ("unpack", "error", get(&self.unpack_err)),
             ("healthz", "ok", get(&self.healthz)),
             ("metrics", "ok", get(&self.metrics)),
             ("reload", "ok", get(&self.reload_ok)),
@@ -171,6 +188,8 @@ mod tests {
         for needle in [
             "strudel_requests_total{endpoint=\"classify\",outcome=\"ok\"} 1",
             "strudel_requests_total{endpoint=\"classify_stream\",outcome=\"ok\"} 0",
+            "strudel_requests_total{endpoint=\"pack\",outcome=\"ok\"} 0",
+            "strudel_requests_total{endpoint=\"unpack\",outcome=\"error\"} 0",
             "strudel_requests_total{endpoint=\"reload\",outcome=\"error\"} 0",
             "strudel_cache_hits_total 1",
             "strudel_cache_misses_total 0",

@@ -102,7 +102,12 @@ impl Default for ServerConfig {
 struct Shared {
     model: RwLock<Arc<Strudel>>,
     model_path: Mutex<Option<PathBuf>>,
-    cache: Mutex<ResultCache>,
+    cache: Mutex<ResultCache<Arc<String>>>,
+    /// Finished containers by the content hash of the *original* bytes
+    /// — the same fingerprint `POST /pack` returns in
+    /// `X-Strudel-Pack-Key`, so a later `GET /pack/<key>` addresses the
+    /// container without resending the input.
+    packs: Mutex<ResultCache<Arc<Vec<u8>>>>,
     registry: Registry,
     limits: Limits,
     queue: Mutex<VecDeque<TcpStream>>,
@@ -179,6 +184,7 @@ impl Server {
             model: RwLock::new(Arc::new(model)),
             model_path: Mutex::new(config.model_path.clone()),
             cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            packs: Mutex::new(ResultCache::new(config.cache_capacity)),
             registry: Registry::new(),
             limits: config.limits,
             queue: Mutex::new(VecDeque::with_capacity(config.queue_capacity)),
@@ -384,16 +390,33 @@ fn respond_framing_error(shared: &Shared, stream: &mut TcpStream, error: HttpErr
 /// Dispatch a parsed request to its handler. The boolean asks the
 /// caller to initiate shutdown once the response has been written.
 fn route(shared: &Shared, request: &Request) -> (Response, bool) {
-    const ROUTES: [&str; 6] = [
+    const ROUTES: [&str; 7] = [
         "/",
         "/classify",
         "/classify/stream",
         "/healthz",
         "/metrics",
         "/admin/reload",
+        "/pack",
     ];
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/classify") | ("POST", "/") => (classify(shared, &request.body), false),
+        ("POST", "/pack") => (pack(shared, &request.body), false),
+        ("GET", path) if path.strip_prefix("/pack/").is_some() => (unpack(shared, request), false),
+        (_, path) if path.strip_prefix("/pack/").is_some() => {
+            Registry::bump(&shared.registry.http_err);
+            (
+                Response::json(
+                    405,
+                    error_body(
+                        &format!("method {} not allowed", request.method),
+                        "http",
+                        None,
+                    ),
+                ),
+                false,
+            )
+        }
         ("GET", "/healthz") => {
             Registry::bump(&shared.registry.healthz);
             (Response::text(200, "ok\n"), false)
@@ -483,6 +506,204 @@ fn classify(shared: &Shared, body: &[u8]) -> Response {
             )
         }
     }
+}
+
+/// `POST /pack`: build (or re-serve) the packed container for the raw
+/// CSV body. The response is the container bytes, and the
+/// `X-Strudel-Pack-Key` header carries the content fingerprint of the
+/// *original* bytes — the address for later `GET /pack/<key>` fetches
+/// and selective extractions. Containers share the classify cache's
+/// keying (the same [`CacheKey`] fingerprint) but live in their own
+/// LRU, so packing traffic cannot evict classification results.
+fn pack(shared: &Shared, body: &[u8]) -> Response {
+    shared
+        .registry
+        .bytes_in
+        .fetch_add(body.len() as u64, Ordering::Relaxed);
+    let key = CacheKey::of(body);
+    if let Some(cached) = lock(&shared.packs).get(&key) {
+        Registry::bump(&shared.registry.cache_hits);
+        Registry::bump(&shared.registry.pack_ok);
+        return Response::new(200, "application/octet-stream", cached.as_ref().clone())
+            .with_header("X-Strudel-Pack-Key", key.to_hex())
+            .with_header("X-Strudel-Cache", "hit");
+    }
+    Registry::bump(&shared.registry.cache_misses);
+
+    let model = Arc::clone(&shared.model.read().unwrap_or_else(|e| e.into_inner()));
+    let config = StreamConfig {
+        limits: shared.limits,
+        n_threads: shared.inner_threads,
+        ..shared.stream.clone()
+    };
+    let mut timings = StageTimings::default();
+    let packed = catch_unwind(AssertUnwindSafe(|| {
+        strudel_pack::pack_bytes_metered(&model, body, config, &mut timings)
+    }));
+    shared.registry.merge_timings(&timings);
+    match packed {
+        Ok(Ok(packed)) => {
+            let container = Arc::new(packed.bytes);
+            lock(&shared.packs).insert(key, Arc::clone(&container));
+            Registry::bump(&shared.registry.pack_ok);
+            Response::new(200, "application/octet-stream", container.as_ref().clone())
+                .with_header("X-Strudel-Pack-Key", key.to_hex())
+                .with_header("X-Strudel-Cache", "miss")
+        }
+        Ok(Err(error)) => {
+            Registry::bump(&shared.registry.pack_err);
+            error_response(&error)
+        }
+        Err(_) => {
+            Registry::bump(&shared.registry.pack_err);
+            Response::json(500, error_body("panic during packing", "internal", None))
+        }
+    }
+}
+
+/// `GET /pack/<key>`: fetch a cached container by its fingerprint, or
+/// selectively unpack it — `?table=N` extracts one table's text,
+/// `?column=NAME` (optionally scoped with `&table=N`) one column's
+/// values, one per line, decoding only that column's block.
+fn unpack(shared: &Shared, request: &Request) -> Response {
+    let hex = request.path.strip_prefix("/pack/").unwrap_or_default();
+    let Some(key) = CacheKey::from_hex(hex) else {
+        Registry::bump(&shared.registry.unpack_err);
+        return Response::json(
+            404,
+            error_body(
+                &format!("{hex:?} is not a pack key (48 hex digits)"),
+                "http",
+                None,
+            ),
+        );
+    };
+    let Some(container) = lock(&shared.packs).get(&key) else {
+        Registry::bump(&shared.registry.unpack_err);
+        return Response::json(
+            404,
+            error_body(
+                "no container under this key; POST the original bytes to /pack first",
+                "http",
+                None,
+            ),
+        );
+    };
+
+    // Parse the selectors before touching the container.
+    let mut table: Option<usize> = None;
+    let mut column: Option<String> = None;
+    for pair in request.query.split('&').filter(|p| !p.is_empty()) {
+        let (name, value) = pair.split_once('=').unwrap_or((pair, ""));
+        let value = percent_decode(value);
+        match name {
+            "table" => match value.parse() {
+                Ok(t) => table = Some(t),
+                Err(_) => {
+                    Registry::bump(&shared.registry.unpack_err);
+                    return Response::json(
+                        400,
+                        error_body(&format!("table={value:?} is not an index"), "http", None),
+                    );
+                }
+            },
+            "column" => column = Some(value),
+            other => {
+                Registry::bump(&shared.registry.unpack_err);
+                return Response::json(
+                    400,
+                    error_body(&format!("unknown query parameter {other:?}"), "http", None),
+                );
+            }
+        }
+    }
+
+    // No selectors: the container itself.
+    if table.is_none() && column.is_none() {
+        Registry::bump(&shared.registry.unpack_ok);
+        return Response::new(200, "application/octet-stream", container.as_ref().clone())
+            .with_header("X-Strudel-Pack-Key", key.to_hex());
+    }
+
+    let mut timings = StageTimings::default();
+    let timer = strudel::StageTimer::start(strudel::Stage::Unpack);
+    let result = extract_selection(&container, table, column.as_deref());
+    timer.stop(&mut timings);
+    shared.registry.merge_timings(&timings);
+    match result {
+        Ok(Some(text)) => {
+            Registry::bump(&shared.registry.unpack_ok);
+            Response::new(200, "text/csv; charset=utf-8", text.into_bytes())
+                .with_header("X-Strudel-Pack-Key", key.to_hex())
+        }
+        Ok(None) => {
+            Registry::bump(&shared.registry.unpack_err);
+            let column = column.unwrap_or_default();
+            Response::json(
+                404,
+                error_body(&format!("no column named {column:?}"), "http", None),
+            )
+        }
+        Err(error) => {
+            Registry::bump(&shared.registry.unpack_err);
+            error_response(&error)
+        }
+    }
+}
+
+/// Run one selective extraction against a container. `Ok(None)` means
+/// the named column does not exist (the caller owns the 404 wording).
+fn extract_selection(
+    container: &[u8],
+    table: Option<usize>,
+    column: Option<&str>,
+) -> Result<Option<String>, StrudelError> {
+    let mut reader = strudel_pack::PackReader::open(container)?;
+    match (column, table) {
+        (Some(column), table) => {
+            let Some((t, c)) = reader.find_column(column, table) else {
+                return Ok(None);
+            };
+            let values = reader.extract_column(t, c)?;
+            let mut text = String::new();
+            for value in values {
+                text.push_str(&value.unwrap_or_default());
+                text.push('\n');
+            }
+            Ok(Some(text))
+        }
+        (None, Some(table)) => reader.extract_table(table).map(Some),
+        (None, None) => unreachable!("caller handles the selector-free fetch"),
+    }
+}
+
+/// Decode the percent-encoding of one query value (`+` is a space, the
+/// form encoding every HTTP client applies to query strings). Invalid
+/// escapes pass through literally — selectors are matched against
+/// column names, so a mangled value simply fails to match.
+fn percent_decode(value: &str) -> String {
+    let bytes = value.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' => match bytes
+                .get(i + 1..i + 3)
+                .and_then(|h| std::str::from_utf8(h).ok())
+                .and_then(|h| u8::from_str_radix(h, 16).ok())
+            {
+                Some(b) => {
+                    out.push(b);
+                    i += 2;
+                }
+                None => out.push(b'%'),
+            },
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
 }
 
 /// How a streaming classify exchange ended.
@@ -709,6 +930,9 @@ fn reload(shared: &Shared, body: &[u8]) -> Response {
             *shared.model.write().unwrap_or_else(|e| e.into_inner()) = swapped;
             *lock(&shared.model_path) = Some(path.clone());
             lock(&shared.cache).clear();
+            // A new model may segment the same bytes into different
+            // tables, so cached containers are stale too.
+            lock(&shared.packs).clear();
             Registry::bump(&shared.registry.reload_ok);
             Response::json(
                 200,

@@ -103,6 +103,43 @@ fn request(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> Reply {
     read_reply(&mut stream)
 }
 
+/// One exchange whose response body may be binary (the pack routes).
+fn request_bytes(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body).expect("write body");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("complete head");
+    let head = String::from_utf8(raw[..split].to_vec()).expect("utf-8 head");
+    let mut lines = head.lines();
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, raw[split + 4..].to_vec())
+}
+
 fn config_with(limits: Limits) -> ServerConfig {
     ServerConfig {
         addr: "127.0.0.1:0".to_string(),
@@ -506,6 +543,133 @@ fn streaming_limit_error_before_first_window_is_a_typed_413() {
     // Serving continues.
     let small = request(addr, "POST", "/classify/stream", b"a,b\n1,2\n");
     assert_eq!(small.status, 200);
+
+    request(addr, "POST", "/admin/shutdown", b"");
+    handle.join();
+}
+
+#[test]
+fn pack_endpoints_roundtrip_and_selectively_extract() {
+    let server = Server::bind(tiny_model(), &config_with(Limits::standard())).expect("bind");
+    let handle = server.spawn();
+    let addr = handle.addr();
+    let header = |headers: &[(String, String)], name: &str| -> Option<String> {
+        headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
+    };
+
+    // POST /pack builds the container and returns its content-hash key.
+    let expected_key = strudel_server::CacheKey::of(SAMPLE.as_bytes()).to_hex();
+    let (status, headers, container) = request_bytes(addr, "POST", "/pack", SAMPLE.as_bytes());
+    assert_eq!(status, 200);
+    assert_eq!(
+        header(&headers, "content-type").as_deref(),
+        Some("application/octet-stream")
+    );
+    assert_eq!(
+        header(&headers, "x-strudel-pack-key").as_deref(),
+        Some(expected_key.as_str())
+    );
+    assert_eq!(header(&headers, "x-strudel-cache").as_deref(), Some("miss"));
+    assert!(container.starts_with(b"STRUPAK1"), "container magic");
+    assert_eq!(
+        strudel_pack::unpack_bytes(&container).expect("lossless container"),
+        SAMPLE.as_bytes()
+    );
+
+    // A repeat POST is served from the pack cache.
+    let (status, headers, again) = request_bytes(addr, "POST", "/pack", SAMPLE.as_bytes());
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-strudel-cache").as_deref(), Some("hit"));
+    assert_eq!(again, container);
+
+    // GET /pack/<key> fetches the cached container without resending
+    // the input.
+    let (status, _, fetched) = request_bytes(addr, "GET", &format!("/pack/{expected_key}"), b"");
+    assert_eq!(status, 200);
+    assert_eq!(fetched, container);
+
+    // ?table=0 extracts one table: every emitted line is a line of the
+    // original sample.
+    let (status, headers, table) =
+        request_bytes(addr, "GET", &format!("/pack/{expected_key}?table=0"), b"");
+    assert_eq!(status, 200, "body: {}", String::from_utf8_lossy(&table));
+    assert_eq!(
+        header(&headers, "content-type").as_deref(),
+        Some("text/csv; charset=utf-8")
+    );
+    let table = String::from_utf8(table).expect("utf-8 table");
+    assert!(!table.trim().is_empty());
+    for line in table.lines() {
+        assert!(
+            SAMPLE.lines().any(|l| l == line),
+            "extracted line {line:?} not in the sample"
+        );
+    }
+
+    // ?column=NAME serves one column's parsed values, one per line —
+    // matched against the same extraction through the library API.
+    let mut reader = strudel_pack::PackReader::open(&container).expect("open container");
+    let name = reader.tables()[0].columns[0].clone();
+    let expected: String = reader
+        .extract_column(0, 0)
+        .expect("library extraction")
+        .into_iter()
+        .map(|v| v.unwrap_or_default() + "\n")
+        .collect();
+    let (status, _, values) = request_bytes(
+        addr,
+        "GET",
+        &format!("/pack/{expected_key}?table=0&column={name}"),
+        b"",
+    );
+    assert_eq!(status, 200);
+    assert_eq!(String::from_utf8(values).expect("utf-8 values"), expected);
+
+    // Unknown column, unknown key, malformed key, bad selector, wrong
+    // method: all typed refusals, never 500s.
+    let (status, _, body) = request_bytes(
+        addr,
+        "GET",
+        &format!("/pack/{expected_key}?column=no+such+column"),
+        b"",
+    );
+    assert_eq!(status, 404);
+    let body = String::from_utf8_lossy(&body).into_owned();
+    assert!(body.contains("no column named"), "body: {body}");
+    assert!(body.contains("no such column"), "body: {body}");
+    let (status, _, _) = request_bytes(addr, "GET", &format!("/pack/{}", "0".repeat(48)), b"");
+    assert_eq!(status, 404);
+    let (status, _, _) = request_bytes(addr, "GET", "/pack/not-a-key", b"");
+    assert_eq!(status, 404);
+    let (status, _, _) = request_bytes(
+        addr,
+        "GET",
+        &format!("/pack/{expected_key}?table=minus-one"),
+        b"",
+    );
+    assert_eq!(status, 400);
+    let (status, _, _) = request_bytes(addr, "POST", &format!("/pack/{expected_key}"), b"");
+    assert_eq!(status, 405);
+    let (status, _, _) = request_bytes(addr, "GET", "/pack", b"");
+    assert_eq!(status, 405);
+
+    // The exchanges and the pack/unpack stages land in /metrics.
+    let metrics = request(addr, "GET", "/metrics", b"");
+    assert!(metrics
+        .body
+        .contains("strudel_requests_total{endpoint=\"pack\",outcome=\"ok\"} 2"));
+    assert!(metrics
+        .body
+        .contains("strudel_requests_total{endpoint=\"unpack\",outcome=\"ok\"} 3"));
+    assert!(metrics
+        .body
+        .contains("strudel_stage_seconds_total{stage=\"pack\"}"));
+    assert!(metrics
+        .body
+        .contains("strudel_stage_seconds_total{stage=\"unpack\"}"));
 
     request(addr, "POST", "/admin/shutdown", b"");
     handle.join();

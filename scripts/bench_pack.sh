@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Run the packed-container bench and write the machine-readable summary
+# to BENCH_pack.json (override with BENCH_PACK_OUT).
+#
+# When a committed BENCH_pack.json baseline exists, the run is gated:
+# the fresh `random_access_speedup` headline (a same-machine ratio, so
+# comparable across hosts) must not regress more than 20% below the
+# baseline's, and `pack_ratio` — container bytes over original bytes —
+# must not grow more than 10% above the baseline's (nor past an
+# absolute 1.5x ceiling: the container trades bytes for addressability,
+# but the trade must stay bounded). The baseline file is only
+# overwritten after the gates pass.
+#
+# Set BENCH_SMOKE=1 for a quick CI-sized run: a ~100 KiB workload and
+# few timing iterations — it exercises the full bench path (pack,
+# unpack, selective extraction, JSON emission, the gates) in seconds
+# without producing publication-grade numbers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="BENCH_pack.json"
+out="${BENCH_PACK_OUT:-$baseline}"
+
+fresh="$(mktemp)"
+trap 'rm -f "$fresh"' EXIT
+BENCH_PACK_OUT="$fresh" cargo bench -p strudel-bench --bench pack
+
+if [[ ! -s "$fresh" ]]; then
+  echo "error: bench did not write its summary" >&2
+  exit 1
+fi
+
+field_of() {
+  sed -n "s/.*\"$2\": \([0-9.]*\).*/\1/p" "$1"
+}
+
+speedup="$(field_of "$fresh" random_access_speedup)"
+ratio="$(field_of "$fresh" pack_ratio)"
+if [[ -z "$speedup" || -z "$ratio" ]]; then
+  echo "error: missing random_access_speedup or pack_ratio in bench output" >&2
+  exit 1
+fi
+
+# Absolute size ceiling, baseline or not.
+ok="$(awk -v r="$ratio" 'BEGIN { print (r <= 1.5) ? 1 : 0 }')"
+if [[ "$ok" != "1" ]]; then
+  echo "error: pack_ratio ${ratio} exceeds the absolute 1.5x ceiling" >&2
+  exit 1
+fi
+
+if [[ -f "$baseline" ]]; then
+  base_speedup="$(field_of "$baseline" random_access_speedup)"
+  if [[ -n "$base_speedup" ]]; then
+    floor="$(awk -v b="$base_speedup" 'BEGIN { printf "%.3f", b * 0.8 }')"
+    ok="$(awk -v n="$speedup" -v f="$floor" 'BEGIN { print (n >= f) ? 1 : 0 }')"
+    if [[ "$ok" != "1" ]]; then
+      echo "error: random_access_speedup regressed: ${speedup}x < 80% of baseline ${base_speedup}x (floor ${floor}x)" >&2
+      exit 1
+    fi
+    echo "random_access_speedup ${speedup}x vs baseline ${base_speedup}x: ok (floor ${floor}x)"
+  fi
+  base_ratio="$(field_of "$baseline" pack_ratio)"
+  if [[ -n "$base_ratio" ]]; then
+    ceiling="$(awk -v b="$base_ratio" 'BEGIN { printf "%.4f", b * 1.1 }')"
+    ok="$(awk -v n="$ratio" -v c="$ceiling" 'BEGIN { print (n <= c) ? 1 : 0 }')"
+    if [[ "$ok" != "1" ]]; then
+      echo "error: pack_ratio grew: ${ratio} > 110% of baseline ${base_ratio} (ceiling ${ceiling})" >&2
+      exit 1
+    fi
+    echo "pack_ratio ${ratio} vs baseline ${base_ratio}: ok (ceiling ${ceiling})"
+  fi
+fi
+
+# A smoke run gates against the baseline but never replaces it (its
+# numbers are not publication-grade); write it out only when the caller
+# asked for an explicit destination.
+if [[ "${BENCH_SMOKE:-0}" == "1" && -z "${BENCH_PACK_OUT:-}" ]]; then
+  echo "--- smoke summary (baseline $baseline left untouched) ---"
+  cat "$fresh"
+  exit 0
+fi
+
+cp "$fresh" "$out"
+echo "--- $out ---"
+cat "$out"

@@ -11,4 +11,5 @@ pub use strudel_datagen as datagen;
 pub use strudel_dialect as dialect;
 pub use strudel_eval as eval;
 pub use strudel_ml as ml;
+pub use strudel_pack as pack;
 pub use strudel_table as table;

@@ -1,0 +1,222 @@
+//! Packed-container invariants over the whole workspace: lossless
+//! pack→unpack round-trips on arbitrary inputs, selective extraction
+//! equivalent to full-unpack-then-slice, and every golden fixture
+//! re-verified byte-identically through the container.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use strudel_repro::datagen::{saus, GeneratorConfig};
+use strudel_repro::dialect::parse;
+use strudel_repro::ml::ForestConfig;
+use strudel_repro::pack::{pack_bytes, PackReader};
+use strudel_repro::strudel::{StreamConfig, Strudel, StrudelCellConfig, StrudelLineConfig};
+use strudel_repro::table::Table;
+
+/// One fitted model shared by every case — fitting dominates runtime,
+/// packing is what's under test. Sized like the pack crate's own test
+/// model so header rows are actually detected (column names matter for
+/// selective extraction).
+fn shared_model() -> &'static Strudel {
+    static MODEL: OnceLock<Strudel> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let corpus = saus(&GeneratorConfig {
+            n_files: 12,
+            seed: 1,
+            scale: 0.3,
+        });
+        let config = StrudelCellConfig {
+            line: StrudelLineConfig {
+                forest: ForestConfig::fast(15, 1),
+                ..StrudelLineConfig::default()
+            },
+            forest: ForestConfig::fast(15, 2),
+            ..StrudelCellConfig::default()
+        };
+        Strudel::fit(&corpus.files, &config)
+    })
+}
+
+fn serial_config() -> StreamConfig {
+    StreamConfig {
+        n_threads: 1,
+        ..StreamConfig::default()
+    }
+}
+
+/// Arbitrary cell content including delimiters, quotes, and newlines.
+fn arb_cell() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~\n]{0,12}").expect("valid regex")
+}
+
+/// Arbitrary small ragged grids of printable cells.
+fn arb_grid() -> impl Strategy<Value = Vec<Vec<String>>> {
+    proptest::collection::vec(proptest::collection::vec(arb_cell(), 1..6), 1..8)
+}
+
+/// Selective extraction must agree with slicing the full unpack: the
+/// structure re-detected on the unpacked bytes names each table's body
+/// rows, and every packed column equals the column slice of those rows
+/// — decoded from exactly one block. (All inputs here fit one stream
+/// window, where streaming classification — which built the pack — and
+/// whole-file detection agree by the parity contract.)
+fn assert_selection_equals_slicing(model: &Strudel, container: &[u8]) {
+    let mut full_reader = PackReader::open(container).expect("container opens");
+    let dialect = full_reader.dialect();
+    let full_text =
+        String::from_utf8(full_reader.unpack().expect("full unpack")).expect("UTF-8 input");
+    let structure = model.detect_structure(&full_text);
+    let body = full_text.strip_prefix('\u{feff}').unwrap_or(&full_text);
+    let full_records = parse(body, &dialect);
+    let regions = structure.tables();
+    let tables = full_reader.tables().to_vec();
+    assert_eq!(
+        tables.len(),
+        regions.len(),
+        "container and re-detection must agree on the table count"
+    );
+    for (t, (meta, region)) in tables.iter().zip(regions.iter()).enumerate() {
+        assert_eq!(
+            meta.n_body_rows as usize,
+            region.body_rows.len(),
+            "table {t} body row count"
+        );
+        let mut reader = PackReader::open(container).expect("container re-opens");
+        let table_text = reader.extract_table(t).expect("table extracts");
+        let table_records = parse(&table_text, &dialect);
+        // The table's records appear in the full document, in order.
+        let mut cursor = 0;
+        for record in &table_records {
+            while cursor < full_records.len() && &full_records[cursor] != record {
+                cursor += 1;
+            }
+            assert!(
+                cursor < full_records.len(),
+                "table {t} record {record:?} not found (in order) in the full unpack"
+            );
+            cursor += 1;
+        }
+        // Each column equals the column slice of the body rows.
+        for c in 0..meta.columns.len() {
+            let mut reader = PackReader::open(container).expect("container re-opens");
+            let column = reader.extract_column(t, c).expect("column extracts");
+            assert_eq!(
+                reader.blocks_read(),
+                1,
+                "single-column extraction must decode exactly one block"
+            );
+            assert_eq!(
+                column.len(),
+                region.body_rows.len(),
+                "one entry per body row"
+            );
+            for (i, &r) in region.body_rows.iter().enumerate() {
+                let expected = full_records.get(r).and_then(|row| row.get(c));
+                match &column[i] {
+                    Some(v) => assert_eq!(
+                        Some(v),
+                        expected,
+                        "table {t} column {c} body row {i} (document row {r})"
+                    ),
+                    None => assert!(
+                        expected.is_none(),
+                        "table {t} column {c}: None for document row {r} which has the field"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Packing any renderable grid and unpacking yields the exact
+    /// original bytes, for every delimiter and terminator flavour the
+    /// writer can meet — and packing is deterministic.
+    #[test]
+    fn pack_roundtrip_is_lossless(
+        grid in arb_grid(),
+        delim_idx in 0usize..3,
+        crlf in any::<bool>(),
+    ) {
+        let delimiter = [',', ';', '\t'][delim_idx];
+        let mut text = Table::from_rows(grid).to_delimited(delimiter);
+        if crlf {
+            // Terminator flavour only; leaves quoted newlines quoted.
+            text = text.replace('\n', "\r\n").replace("\"\r\n", "\"\n");
+        }
+        let model = shared_model();
+        let packed = match pack_bytes(model, text.as_bytes(), serial_config()) {
+            Ok(p) => p,
+            // Inputs the pipeline rejects (dialect/parse/limit) are out
+            // of scope here; the fuzz harness owns typed-error coverage.
+            Err(_) => return Ok(()),
+        };
+        let restored = strudel_repro::pack::unpack_bytes(&packed.bytes).expect("unpack");
+        prop_assert_eq!(&restored, text.as_bytes(), "round-trip must be byte-identical");
+        prop_assert!(packed.ratio() > 0.0);
+        let again = pack_bytes(model, text.as_bytes(), serial_config()).expect("repack");
+        prop_assert_eq!(&again.bytes, &packed.bytes, "packing must be deterministic");
+    }
+
+    /// Whatever tables the model detects in an arbitrary grid, selective
+    /// extraction agrees with slicing the full unpack.
+    #[test]
+    fn selective_extraction_equals_full_unpack_then_slice(grid in arb_grid()) {
+        let text = Table::from_rows(grid).to_delimited(',');
+        let model = shared_model();
+        let packed = match pack_bytes(model, text.as_bytes(), serial_config()) {
+            Ok(p) => p,
+            Err(_) => return Ok(()),
+        };
+        assert_selection_equals_slicing(model, &packed.bytes);
+    }
+}
+
+/// A verbose probe the shared model reliably segments: the selective
+/// path must cover a real header + body + derived-rows layout, not just
+/// whatever tables proptest happens to hit.
+#[test]
+fn probe_with_detected_table_extracts_selectively() {
+    let probe = "Survey of crime outcomes,,\n,,\n,Rate 1,Rate 2\nKent,12,34\nSurrey,56,78\nTotal,68,112\n,,\nSource: national statistics office,,\n";
+    let model = shared_model();
+    let packed = pack_bytes(model, probe.as_bytes(), serial_config()).expect("packs");
+    let mut reader = PackReader::open(&packed.bytes).expect("opens");
+    assert!(
+        !reader.tables().is_empty(),
+        "probe must contain a detected table"
+    );
+    assert_eq!(reader.unpack().expect("unpacks"), probe.as_bytes());
+    assert_selection_equals_slicing(model, &packed.bytes);
+}
+
+/// Every golden fixture — stacked tables, trailing notes, BOM prefixes,
+/// quoted multiline fields, empty and header-only degenerates — survives
+/// pack→unpack byte-identically, and selective extraction stays
+/// consistent on each.
+#[test]
+fn golden_fixtures_survive_pack_roundtrip() {
+    let model = shared_model();
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    for name in [
+        "multi_table",
+        "notes_trailing",
+        "derived_rows",
+        "empty",
+        "header_only",
+        "bom_prefixed",
+        "quoted_multiline",
+        "stream_multi_table",
+    ] {
+        let bytes = std::fs::read(dir.join(format!("{name}.csv"))).unwrap();
+        let packed = pack_bytes(model, &bytes, serial_config())
+            .unwrap_or_else(|e| panic!("{name} must pack: {e}"));
+        let restored = strudel_repro::pack::unpack_bytes(&packed.bytes)
+            .unwrap_or_else(|e| panic!("{name} must unpack: {e}"));
+        assert_eq!(
+            restored, bytes,
+            "{name}: pack→unpack must be byte-identical"
+        );
+        assert_selection_equals_slicing(model, &packed.bytes);
+    }
+}
