@@ -33,10 +33,21 @@ pub struct Options {
     pub host: String,
     /// `--port N` — serve bind port (0 picks an ephemeral port).
     pub port: u16,
-    /// `--queue N` — serve admission-queue capacity.
-    pub queue: usize,
+    /// `--conns N` (alias `--queue`) — serve per-shard connection
+    /// budget; overflow is shed with 503.
+    pub conns: usize,
     /// `--cache N` — serve result-cache capacity (0 disables).
     pub cache: usize,
+    /// `--rps F` — loadtest target arrival rate (0 = saturation).
+    pub rps: f64,
+    /// `--connections N` — loadtest concurrent client connections.
+    pub connections: usize,
+    /// `--duration-ms N` — loadtest measurement window.
+    pub duration_ms: u64,
+    /// `--mode keepalive|close` — loadtest connection mode.
+    pub mode: String,
+    /// `--path P` — loadtest request path.
+    pub path: String,
     /// `--repair` — apply the Koci-style post-processing repair pass.
     pub repair: bool,
     /// `--max-bytes N` — override the per-file input size limit.
@@ -76,8 +87,13 @@ impl Options {
             trees: 50,
             host: "127.0.0.1".to_string(),
             port: 8080,
-            queue: 64,
+            conns: 256,
             cache: 256,
+            rps: 0.0,
+            connections: 8,
+            duration_ms: 5000,
+            mode: "keepalive".to_string(),
+            path: "/classify".to_string(),
             ..Options::default()
         };
         while let Some(flag) = argv.next() {
@@ -104,8 +120,33 @@ impl Options {
                 "--repair" => o.repair = true,
                 "--host" => o.host = value("--host")?,
                 "--port" => o.port = value("--port")?.parse().map_err(|_| "--port: integer")?,
-                "--queue" => o.queue = value("--queue")?.parse().map_err(|_| "--queue: integer")?,
+                // `--queue` survives as an alias from the admission-queue
+                // era; the budget is per-shard connections now.
+                "--conns" | "--queue" => {
+                    o.conns = value("--conns")?.parse().map_err(|_| "--conns: integer")?
+                }
                 "--cache" => o.cache = value("--cache")?.parse().map_err(|_| "--cache: integer")?,
+                "--rps" => o.rps = value("--rps")?.parse().map_err(|_| "--rps: number")?,
+                "--connections" => {
+                    o.connections = value("--connections")?
+                        .parse()
+                        .map_err(|_| "--connections: integer")?
+                }
+                "--duration-ms" => {
+                    o.duration_ms = value("--duration-ms")?
+                        .parse()
+                        .map_err(|_| "--duration-ms: integer")?
+                }
+                "--mode" => {
+                    o.mode = value("--mode")?;
+                    if o.mode != "keepalive" && o.mode != "close" {
+                        return Err(format!(
+                            "--mode must be keepalive or close, got {:?}",
+                            o.mode
+                        ));
+                    }
+                }
+                "--path" => o.path = value("--path")?,
                 "--max-bytes" => {
                     o.max_bytes = Some(
                         value("--max-bytes")?
@@ -242,19 +283,51 @@ mod tests {
         let o = parse(&[]).unwrap();
         assert_eq!(o.host, "127.0.0.1");
         assert_eq!(o.port, 8080);
-        assert_eq!(o.queue, 64);
+        assert_eq!(o.conns, 256);
         assert_eq!(o.cache, 256);
         assert!(!o.json);
         let o = parse(&[
-            "--host", "0.0.0.0", "--port", "0", "--queue", "8", "--cache", "0", "--json",
+            "--host", "0.0.0.0", "--port", "0", "--conns", "8", "--cache", "0", "--json",
         ])
         .unwrap();
         assert_eq!(o.host, "0.0.0.0");
         assert_eq!(o.port, 0);
-        assert_eq!(o.queue, 8);
+        assert_eq!(o.conns, 8);
         assert_eq!(o.cache, 0);
         assert!(o.json);
+        // The admission-queue-era spelling still parses.
+        assert_eq!(parse(&["--queue", "12"]).unwrap().conns, 12);
         assert!(parse(&["--port", "not-a-port"]).is_err());
+    }
+
+    #[test]
+    fn loadtest_flags() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.rps, 0.0);
+        assert_eq!(o.connections, 8);
+        assert_eq!(o.duration_ms, 5000);
+        assert_eq!(o.mode, "keepalive");
+        assert_eq!(o.path, "/classify");
+        let o = parse(&[
+            "--rps",
+            "500.5",
+            "--connections",
+            "64",
+            "--duration-ms",
+            "2000",
+            "--mode",
+            "close",
+            "--path",
+            "/healthz",
+        ])
+        .unwrap();
+        assert_eq!(o.rps, 500.5);
+        assert_eq!(o.connections, 64);
+        assert_eq!(o.duration_ms, 2000);
+        assert_eq!(o.mode, "close");
+        assert_eq!(o.path, "/healthz");
+        assert!(parse(&["--mode", "pipelined"]).is_err());
+        assert!(parse(&["--rps", "fast"]).is_err());
     }
 
     #[test]

@@ -365,7 +365,7 @@ pub fn batch(options: &Options) -> Result<(), CliError> {
 }
 
 /// `strudel serve [--model MODEL] [--host H --port N] [--threads N]
-/// [--queue N] [--cache N]`
+/// [--conns N] [--cache N]`
 ///
 /// Runs the resident classification daemon: loads the model once, binds
 /// the listener, prints the resolved address (machine-parseable, for
@@ -376,8 +376,8 @@ pub fn serve(options: &Options) -> Result<(), CliError> {
     let model = model_from(options)?;
     let config = ServerConfig {
         addr: format!("{}:{}", options.host, options.port),
-        n_workers: options.threads,
-        queue_capacity: options.queue,
+        n_shards: options.threads,
+        conns_per_shard: options.conns,
         cache_capacity: options.cache,
         limits: options.limits(),
         model_path: options.model.clone(),
@@ -387,18 +387,63 @@ pub fn serve(options: &Options) -> Result<(), CliError> {
     let server = Server::bind(model, &config)
         .map_err(|e| CliError::Pipeline(strudel::StrudelError::io(&e, Some(&config.addr))))?;
     println!(
-        "strudel serve listening on http://{} ({} workers, queue {}, cache {})",
+        "strudel serve listening on http://{} ({} shards, conns/shard {}, cache {})",
         server.local_addr(),
-        server.n_workers(),
-        options.queue,
+        server.n_shards(),
+        options.conns,
         options.cache,
     );
     // The line above is the startup handshake for scripts (`--port 0`
     // prints the ephemeral port); make sure it is on the wire before
-    // blocking in the accept loop.
+    // the shard loops take over.
     std::io::stdout().flush().ok();
     server.run();
     eprintln!("strudel serve: drained and shut down cleanly");
+    Ok(())
+}
+
+/// `strudel loadtest --host H --port N [--path P] [--mode keepalive|close]
+/// [--rps F] [--connections N] [--duration-ms N] [FILE]`
+///
+/// Open-loop load generator against a running daemon (the measurement
+/// half of `scripts/bench_serve.sh`). `FILE` becomes the POST body
+/// (e.g. a CSV for `/classify`); without it the request is a GET.
+/// Prints one JSON object: the run configuration plus throughput and
+/// p50/p90/p99/p999 latency (µs, measured from the *scheduled* arrival
+/// in open-loop mode, so server queueing is not hidden).
+pub fn loadtest(options: &Options) -> Result<(), CliError> {
+    use strudel_server::loadtest::{run, LoadConfig};
+    let body = match options.inputs.first() {
+        Some(path) => {
+            let path = existing(path, "request-body file")?;
+            std::fs::read(&path)
+                .map_err(|e| strudel::StrudelError::io(&e, Some(&path.display().to_string())))?
+        }
+        None => Vec::new(),
+    };
+    let config = LoadConfig {
+        addr: format!("{}:{}", options.host, options.port),
+        path: options.path.clone(),
+        body,
+        rps: options.rps,
+        connections: options.connections,
+        duration: std::time::Duration::from_millis(options.duration_ms),
+        keep_alive: options.mode != "close",
+    };
+    let report = run(&config);
+    let inner = report.to_json();
+    println!(
+        "{{\"mode\": \"{}\", \"path\": \"{}\", \"target_rps\": {}, \"connections\": {}, {}",
+        if config.keep_alive {
+            "keepalive"
+        } else {
+            "close"
+        },
+        config.path,
+        config.rps,
+        config.connections,
+        inner.strip_prefix('{').unwrap_or(&inner),
+    );
     Ok(())
 }
 

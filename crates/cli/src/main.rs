@@ -8,6 +8,7 @@
 //! strudel eval    --model model.strudel --corpus corpus/    # score against annotations
 //! strudel batch   --model model.strudel --threads 8 dir/    # batch-classify, JSON report
 //! strudel serve   --model model.strudel --port 8080         # resident classification daemon
+//! strudel loadtest --port 8080 --rps 500 file.csv           # open-loop load generator
 //! ```
 
 use std::fmt;
@@ -102,6 +103,7 @@ fn main() -> ExitCode {
         "pack" => commands::pack(&options),
         "unpack" => commands::unpack(&options),
         "serve" => commands::serve(&options),
+        "loadtest" => commands::loadtest(&options),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -131,7 +133,9 @@ USAGE:
   strudel pack    [--model MODEL] FILE [--out CONTAINER]
   strudel unpack  CONTAINER [--out FILE] [--table N] [--column NAME]
   strudel serve   [--model MODEL] [--host H] [--port N] [--threads N]
-                  [--queue N] [--cache N]
+                  [--conns N] [--cache N]
+  strudel loadtest [--host H] [--port N] [--path P] [--mode keepalive|close]
+                  [--rps F] [--connections N] [--duration-ms N] [FILE]
 
 Without --model, detect/extract/serve train a default model on a
 synthetic corpus first (slower, but fully self-contained).
@@ -154,15 +158,31 @@ PACKING:
 SERVING:
   --host H          bind host                        [default 127.0.0.1]
   --port N          bind port, 0 = ephemeral         [default 8080]
-  --queue N         admission-queue capacity; overflow is shed
-                    with 503 + Retry-After           [default 64]
+  --conns N         per-shard connection budget; overflow is shed
+                    with 503 + Retry-After (--queue is accepted as an
+                    alias)                           [default 256]
   --cache N         result-cache entries, 0 disables [default 256]
+  The daemon serves shard-per-core: --threads N shards (0 resolves
+  like batch), each driving its own keep-alive connections with a
+  nonblocking poll loop — no accept queue, no cross-shard lock.
   Endpoints: POST /classify (CSV bytes -> structure JSON, identical to
   `detect --json`), POST /classify/stream (chunked or content-length
   body -> chunked NDJSON window events, O(window) memory per
   connection; honors --window-rows/--window-bytes), GET /healthz,
   GET /metrics (Prometheus text), POST /admin/reload (validate + swap
-  model), POST /admin/shutdown (graceful, drains in-flight requests).
+  model), POST /admin/shutdown (graceful, drains in-flight pipelines).
+
+LOAD TESTING:
+  --rps F           target arrival rate; 0 = closed-loop saturation
+                    (as fast as the connections go)  [default 0]
+  --connections N   concurrent client connections    [default 8]
+  --duration-ms N   scheduled-arrival window         [default 5000]
+  --mode M          keepalive (persistent connections) or close (one
+                    connection per request)          [default keepalive]
+  --path P          request path                     [default /classify]
+  FILE, when given, is POSTed as the request body; latencies are
+  measured from the scheduled arrival (open-loop), so server queueing
+  shows up in p99 instead of being absorbed by client backoff.
 
 LIMITS (detect, batch, and serve):
   --max-bytes N     per-file input size limit       [default 256 MiB]
@@ -213,9 +233,12 @@ COMMANDS:
   unpack    Reconstruct a packed file byte for byte, or selectively
             extract one table (--table) or one column (--column).
   serve     Run the resident classification daemon: model loaded once
-            and kept warm, bounded worker pool with load shedding,
-            content-hash result cache, model hot-reload, Prometheus
-            metrics, graceful shutdown.";
+            and kept warm, shard-per-core keep-alive serving with load
+            shedding, content-hash result caches, model hot-reload,
+            Prometheus metrics, graceful shutdown.
+  loadtest  Drive a running daemon with open-loop arrivals and print
+            throughput + latency percentiles as JSON (the measurement
+            half of scripts/bench_serve.sh).";
 
 /// Train a model on a synthetic corpus when no `--model` is given.
 fn default_model() -> Strudel {

@@ -293,10 +293,13 @@ fn http(addr: &str, method: &str, path: &str, body: &[u8]) -> (u16, String) {
     stream
         .set_read_timeout(Some(Duration::from_secs(30)))
         .unwrap();
+    // `Connection: close` so `read_to_end` sees EOF after one exchange
+    // (the daemon otherwise keeps the connection alive).
     stream
         .write_all(
             format!(
-                "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n",
+                "{method} {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\
+                 Content-Length: {}\r\n\r\n",
                 body.len()
             )
             .as_bytes(),
@@ -343,10 +346,10 @@ fn serve_roundtrip_matches_detect_json() {
     assert!(expected.starts_with('{'), "not JSON: {expected}");
 
     // Start the daemon on an ephemeral port; --threads must show up in
-    // the resolved worker count on the handshake line.
+    // the resolved shard count on the handshake line.
     let mut child = ServeGuard(
         bin()
-            .args(["serve", "--port", "0", "--threads", "2", "--queue", "8"])
+            .args(["serve", "--port", "0", "--threads", "2", "--conns", "8"])
             .arg("--model")
             .arg(&model)
             .stdout(Stdio::piped())
@@ -362,7 +365,7 @@ fn serve_roundtrip_matches_detect_json() {
         handshake.contains("strudel serve listening on http://"),
         "handshake: {handshake}"
     );
-    assert!(handshake.contains("(2 workers"), "handshake: {handshake}");
+    assert!(handshake.contains("(2 shards"), "handshake: {handshake}");
     let addr = handshake
         .split("http://")
         .nth(1)
@@ -388,6 +391,99 @@ fn serve_roundtrip_matches_detect_json() {
     assert_eq!(status, 200, "shutdown body: {body}");
     let exit = child.0.wait().unwrap();
     assert!(exit.success(), "serve exited with {exit}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn loadtest_drives_a_running_daemon_and_reports_percentiles() {
+    let dir = temp_dir("loadtest");
+    let model = train_tiny_model(&dir);
+    let body = dir.join("body.csv");
+    fs::write(&body, "Region,2019,2020\nKent,12,34\nSurrey,56,78\n").unwrap();
+
+    let mut child = ServeGuard(
+        bin()
+            .args(["serve", "--port", "0", "--threads", "2"])
+            .arg("--model")
+            .arg(&model)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap(),
+    );
+    let mut handshake = String::new();
+    BufReader::new(child.0.stdout.take().unwrap())
+        .read_line(&mut handshake)
+        .unwrap();
+    let addr = handshake
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("address in handshake")
+        .to_string();
+    let (host, port) = addr.split_once(':').expect("host:port in handshake");
+
+    // Open-loop arrivals are deterministic: 200 rps over a 400 ms
+    // window schedules exactly 80 requests, whatever the latencies.
+    let out = bin()
+        .args([
+            "loadtest",
+            "--host",
+            host,
+            "--port",
+            port,
+            "--rps",
+            "200",
+            "--duration-ms",
+            "400",
+            "--connections",
+            "2",
+        ])
+        .arg(&body)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "loadtest failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = String::from_utf8_lossy(&out.stdout);
+    assert!(report.contains("\"mode\": \"keepalive\""), "{report}");
+    assert!(report.contains("\"path\": \"/classify\""), "{report}");
+    assert!(report.contains("\"sent\": 80"), "{report}");
+    assert!(report.contains("\"ok\": 80"), "{report}");
+    assert!(report.contains("\"errors\": 0"), "{report}");
+    assert!(report.contains("\"p99_us\": "), "{report}");
+
+    // `--mode close` opens a connection per request and reports it.
+    let out = bin()
+        .args([
+            "loadtest",
+            "--host",
+            host,
+            "--port",
+            port,
+            "--path",
+            "/healthz",
+            "--mode",
+            "close",
+            "--rps",
+            "100",
+            "--duration-ms",
+            "200",
+            "--connections",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let report = String::from_utf8_lossy(&out.stdout);
+    assert!(report.contains("\"mode\": \"close\""), "{report}");
+    assert!(report.contains("\"ok\": 20"), "{report}");
+
+    let (status, _) = http(&addr, "POST", "/admin/shutdown", b"");
+    assert_eq!(status, 200);
+    assert!(child.0.wait().unwrap().success());
     fs::remove_dir_all(&dir).ok();
 }
 
@@ -452,7 +548,7 @@ fn threads_flag_and_env_are_respected() {
     BufReader::new(child.0.stdout.take().unwrap())
         .read_line(&mut handshake)
         .unwrap();
-    assert!(handshake.contains("(3 workers"), "handshake: {handshake}");
+    assert!(handshake.contains("(3 shards"), "handshake: {handshake}");
     let addr = handshake
         .split("http://")
         .nth(1)
@@ -481,7 +577,7 @@ fn threads_flag_and_env_are_respected() {
     BufReader::new(child.0.stdout.take().unwrap())
         .read_line(&mut handshake)
         .unwrap();
-    assert!(handshake.contains("(2 workers"), "handshake: {handshake}");
+    assert!(handshake.contains("(2 shards"), "handshake: {handshake}");
     let addr = handshake
         .split("http://")
         .nth(1)

@@ -3,14 +3,24 @@
 //! The daemon serves a handful of fixed routes to known clients (load
 //! balancers, ingestion services, `curl`), so this is deliberately not a
 //! general web server: requests are parsed strictly (request line,
-//! headers, `Content-Length`-framed body), responses always carry
-//! `Connection: close`, and anything outside that contract is rejected
-//! with a typed [`HttpError`] that maps onto a 4xx/5xx status. No
-//! keep-alive, no TLS — and no dependencies. Chunked transfer encoding
-//! is spoken only where streaming demands it: the streaming classify
-//! route reads chunked request bodies through [`BodyDecoder`] and
-//! answers through [`ChunkedWriter`]; every other route keeps the
-//! strict `Content-Length` contract (chunked requests get `501`).
+//! headers, `Content-Length`-framed body), and anything outside that
+//! contract is rejected with a typed [`HttpError`] that maps onto a
+//! 4xx/5xx status. No TLS — and no dependencies.
+//!
+//! Since the shard-per-core rework the daemon speaks HTTP/1.1
+//! keep-alive with pipelining: [`parse_request_head`] parses a request
+//! head straight out of a connection's accumulation buffer (returning
+//! `None` until the head is complete, so a nonblocking readiness loop
+//! can feed it incrementally), [`Request::keep_alive`] decides whether
+//! the connection persists (honoring case-insensitive `Connection`
+//! tokens and the HTTP/1.0 default), and [`Response::write_to_conn`]
+//! frames the response with the matching `Connection: keep-alive` /
+//! `close` header. Chunked transfer encoding is spoken only where
+//! streaming demands it: the streaming classify route reads chunked
+//! request bodies through [`BodyDecoder`] and answers through
+//! [`ChunkedWriter`] (always `Connection: close`); every other route
+//! keeps the strict `Content-Length` contract (chunked requests get
+//! `501`).
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -34,6 +44,9 @@ pub struct Request {
     /// The query string after `?`, percent-encoded as received (empty
     /// when the target has none).
     pub query: String,
+    /// Minor HTTP version: `0` for `HTTP/1.0`, `1` for `HTTP/1.1` (the
+    /// keep-alive default differs between them).
+    pub minor_version: u8,
     /// `(lower-cased name, value)` header pairs, in arrival order.
     pub headers: Vec<(String, String)>,
     /// The request body (`Content-Length` bytes).
@@ -47,6 +60,29 @@ impl Request {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the `Connection` header carries `token` — a
+    /// case-insensitive comma-separated token match, as the grammar
+    /// demands (`Connection: Keep-Alive`, `connection: CLOSE, TE` both
+    /// parse).
+    pub fn connection_has_token(&self, token: &str) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.split(',').any(|t| t.trim().eq_ignore_ascii_case(token)))
+    }
+
+    /// Whether the client wants the connection to persist after this
+    /// exchange: `Connection: close` always ends it; otherwise HTTP/1.1
+    /// defaults to keep-alive and HTTP/1.0 requires an explicit
+    /// `Connection: keep-alive`.
+    pub fn keep_alive(&self) -> bool {
+        if self.connection_has_token("close") {
+            return false;
+        }
+        if self.minor_version == 0 {
+            return self.connection_has_token("keep-alive");
+        }
+        true
     }
 }
 
@@ -89,14 +125,10 @@ pub fn read_request(stream: &mut TcpStream, max_body: u64) -> Result<Request, Ht
 pub fn read_request_head(stream: &mut TcpStream) -> Result<(Request, Vec<u8>), HttpError> {
     // Accumulate until the blank line that ends the head.
     let mut buf = Vec::with_capacity(1024);
-    let head_end = loop {
-        if let Some(pos) = find_head_end(&buf) {
-            break pos;
-        }
-        if buf.len() > MAX_HEAD_BYTES {
-            return Err(HttpError::Malformed(format!(
-                "request head exceeds {MAX_HEAD_BYTES} bytes"
-            )));
+    loop {
+        if let Some((request, body_start)) = parse_request_head(&buf)? {
+            let leftover = buf.split_off(body_start);
+            return Ok((request, leftover));
         }
         let mut chunk = [0u8; 4096];
         let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
@@ -106,7 +138,33 @@ pub fn read_request_head(stream: &mut TcpStream) -> Result<(Request, Vec<u8>), H
             ));
         }
         buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Parse one request head out of an accumulation buffer, without
+/// touching a socket — the entry point of the keep-alive readiness
+/// loop, which reads whatever the wire offers and retries as bytes
+/// arrive.
+///
+/// Returns `Ok(None)` while the head is still incomplete (no blank line
+/// yet), `Ok(Some((request, body_start)))` once it parses — the request
+/// carries an empty body, and `body_start` is the buffer offset just
+/// past the `\r\n\r\n`, where the body (or the next pipelined request)
+/// begins. An oversized or malformed head is a typed error.
+pub fn parse_request_head(buf: &[u8]) -> Result<Option<(Request, usize)>, HttpError> {
+    let Some(head_end) = find_head_end(buf) else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::Malformed(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        return Ok(None);
     };
+    if head_end > MAX_HEAD_BYTES {
+        return Err(HttpError::Malformed(format!(
+            "request head exceeds {MAX_HEAD_BYTES} bytes"
+        )));
+    }
 
     let head = std::str::from_utf8(&buf[..head_end])
         .map_err(|_| HttpError::Malformed("request head is not valid UTF-8".to_string()))?;
@@ -131,6 +189,7 @@ pub fn read_request_head(stream: &mut TcpStream) -> Result<(Request, Vec<u8>), H
             "unsupported protocol {version:?}"
         )));
     }
+    let minor_version = u8::from(version != "HTTP/1.0");
     let (path, query) = match target.split_once('?') {
         Some((path, query)) => (path.to_string(), query.to_string()),
         None => (target.to_string(), String::new()),
@@ -151,13 +210,11 @@ pub fn read_request_head(stream: &mut TcpStream) -> Result<(Request, Vec<u8>), H
         method,
         path,
         query,
+        minor_version,
         headers,
         body: Vec::new(),
     };
-    // The head read may have pulled in a body prefix.
-    let body_start = head_end + 4; // past "\r\n\r\n"
-    let leftover = buf.split_off(body_start.min(buf.len()));
-    Ok((request, leftover))
+    Ok(Some((request, head_end + 4))) // past "\r\n\r\n"
 }
 
 /// Read a strictly `Content-Length`-framed body into the request —
@@ -468,9 +525,12 @@ impl ChunkedWriter {
         if bytes.is_empty() {
             return Ok(());
         }
-        write!(stream, "{:x}\r\n", bytes.len())?;
-        stream.write_all(bytes)?;
-        stream.write_all(b"\r\n")?;
+        // One buffer per chunk frame (see `write_to_conn` on why split
+        // writes stall under Nagle).
+        let mut frame = format!("{:x}\r\n", bytes.len()).into_bytes();
+        frame.extend_from_slice(bytes);
+        frame.extend_from_slice(b"\r\n");
+        stream.write_all(&frame)?;
         stream.flush()
     }
 
@@ -521,22 +581,39 @@ impl Response {
         self
     }
 
-    /// Serialize and write the response; the caller closes the stream
-    /// (every response carries `Connection: close`).
+    /// Serialize and write the response with `Connection: close`; the
+    /// caller closes the stream afterwards. This is the framing of
+    /// every single-exchange path (shed responses, framing errors, the
+    /// blocking test helpers).
     pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        self.write_to_conn(stream, false)
+    }
+
+    /// Serialize and write the response, announcing whether the
+    /// connection persists: `Connection: keep-alive` when the serving
+    /// loop will read another request off this socket, `Connection:
+    /// close` when it is about to hang up.
+    pub fn write_to_conn(&self, stream: &mut TcpStream, keep_alive: bool) -> std::io::Result<()> {
+        let connection = if keep_alive { "keep-alive" } else { "close" };
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             status_reason(self.status),
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            connection,
         );
         for (name, value) in &self.extra_headers {
             head.push_str(&format!("{name}: {value}\r\n"));
         }
         head.push_str("\r\n");
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(&self.body)?;
+        // One buffer, one write: a head-then-body write pair interacts
+        // with Nagle + delayed ACK (the body is held until the head is
+        // ACKed, the peer delays the ACK expecting more) into ~40 ms
+        // stalls per exchange on persistent connections.
+        let mut wire = head.into_bytes();
+        wire.extend_from_slice(&self.body);
+        stream.write_all(&wire)?;
         stream.flush()
     }
 }
@@ -570,6 +647,116 @@ mod tests {
     }
 
     #[test]
+    fn head_parses_incrementally_across_tiny_feeds() {
+        // The readiness loop feeds the parser whatever the wire offers;
+        // every strict prefix must yield `Ok(None)`, and the complete
+        // head must parse with the body offset just past the blank
+        // line.
+        let wire = b"POST /classify?x=1 HTTP/1.1\r\nHost: a\r\nContent-Length: 4\r\n\r\nbody";
+        let head_len = wire.len() - 4;
+        for cut in 0..head_len {
+            assert!(
+                matches!(parse_request_head(&wire[..cut]), Ok(None)),
+                "prefix of {cut} bytes should be incomplete"
+            );
+        }
+        let (request, body_start) = parse_request_head(wire)
+            .expect("well-formed head")
+            .expect("complete head");
+        assert_eq!(body_start, head_len);
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/classify");
+        assert_eq!(request.query, "x=1");
+        assert_eq!(request.minor_version, 1);
+        assert_eq!(request.header("content-length"), Some("4"));
+    }
+
+    #[test]
+    fn oversized_head_is_rejected_with_or_without_a_blank_line() {
+        // No head terminator yet but past the cap: a slow-loris head.
+        let endless = vec![b'a'; MAX_HEAD_BYTES + 1];
+        assert!(matches!(
+            parse_request_head(&endless),
+            Err(HttpError::Malformed(_))
+        ));
+        // Terminator present but the head itself exceeds the cap.
+        let mut huge = b"GET / HTTP/1.1\r\nX-Pad: ".to_vec();
+        huge.extend(std::iter::repeat_n(b'p', MAX_HEAD_BYTES));
+        huge.extend_from_slice(b"\r\n\r\n");
+        assert!(matches!(
+            parse_request_head(&huge),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn connection_tokens_parse_case_insensitively() {
+        let parse = |head: &str| {
+            parse_request_head(head.as_bytes())
+                .expect("well-formed")
+                .expect("complete")
+                .0
+        };
+        let r = parse("GET / HTTP/1.1\r\nConnection: CLOSE\r\n\r\n");
+        assert!(r.connection_has_token("close"));
+        assert!(!r.keep_alive());
+        let r = parse("GET / HTTP/1.1\r\nConnection: Keep-Alive, TE\r\n\r\n");
+        assert!(r.connection_has_token("keep-alive"));
+        assert!(r.keep_alive());
+        // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
+        assert!(parse("GET / HTTP/1.1\r\n\r\n").keep_alive());
+        let r10 = parse("GET / HTTP/1.0\r\n\r\n");
+        assert_eq!(r10.minor_version, 0);
+        assert!(!r10.keep_alive());
+        assert!(parse("GET / HTTP/1.0\r\nConnection: keep-ALIVE\r\n\r\n").keep_alive());
+    }
+
+    #[test]
+    fn transfer_encoding_value_is_case_insensitive() {
+        let mut request = chunked_request();
+        request.headers[0].1 = "Chunked".to_string();
+        assert!(BodyDecoder::new(&request, Vec::new(), 1 << 20).is_ok());
+        request.headers[0].1 = "CHUNKED".to_string();
+        assert!(BodyDecoder::new(&request, Vec::new(), 1 << 20).is_ok());
+    }
+
+    #[test]
+    fn pipelined_heads_parse_back_to_back_from_one_buffer() {
+        // Two requests in one TCP segment: parsing the first yields the
+        // offset where the second begins, and the leftover parses too.
+        let wire = b"POST / HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /healthz HTTP/1.1\r\n\r\n";
+        let (first, body_start) = parse_request_head(wire).unwrap().unwrap();
+        assert_eq!(first.method, "POST");
+        let rest = &wire[body_start..];
+        assert_eq!(&rest[..2], b"hi"); // first request's body
+        let (second, second_start) = parse_request_head(&rest[2..]).unwrap().unwrap();
+        assert_eq!(second.method, "GET");
+        assert_eq!(second.path, "/healthz");
+        assert_eq!(second_start, rest[2..].len());
+    }
+
+    #[test]
+    fn response_connection_header_tracks_keep_alive() {
+        let r = Response::text(200, "ok");
+        // `write_to_conn` needs a TcpStream; assert on the framing
+        // logic via a loopback pair.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        for (keep, needle) in [
+            (true, "Connection: keep-alive"),
+            (false, "Connection: close"),
+        ] {
+            let mut client = TcpStream::connect(addr).unwrap();
+            let (mut server_side, _) = listener.accept().unwrap();
+            r.write_to_conn(&mut server_side, keep).unwrap();
+            drop(server_side);
+            let mut raw = String::new();
+            client.read_to_string(&mut raw).unwrap();
+            assert!(raw.contains(needle), "{raw}");
+        }
+    }
+
+    #[test]
     fn reason_phrases() {
         assert_eq!(status_reason(200), "OK");
         assert_eq!(status_reason(503), "Service Unavailable");
@@ -581,6 +768,7 @@ mod tests {
             method: "POST".to_string(),
             path: "/classify/stream".to_string(),
             query: String::new(),
+            minor_version: 1,
             headers: vec![("transfer-encoding".to_string(), "chunked".to_string())],
             body: Vec::new(),
         }
@@ -640,6 +828,7 @@ mod tests {
             method: "POST".to_string(),
             path: "/classify/stream".to_string(),
             query: String::new(),
+            minor_version: 1,
             headers: vec![("content-length".to_string(), "100".to_string())],
             body: Vec::new(),
         };
@@ -659,6 +848,7 @@ mod tests {
             method: "POST".to_string(),
             path: "/classify/stream".to_string(),
             query: String::new(),
+            minor_version: 1,
             headers: vec![("transfer-encoding".to_string(), "gzip".to_string())],
             body: Vec::new(),
         };
@@ -674,6 +864,7 @@ mod tests {
             method: "POST".to_string(),
             path: "/classify/stream".to_string(),
             query: String::new(),
+            minor_version: 1,
             headers: vec![("content-length".to_string(), "5".to_string())],
             body: Vec::new(),
         };

@@ -28,12 +28,19 @@
 //!
 //! ## Operational properties
 //!
-//! - **Admission control**: a fixed-capacity connection queue feeds the
-//!   worker pool; overflow is shed immediately with `503` +
-//!   `Retry-After`, so latency stays bounded under overload.
-//! - **Result caching**: a content-hash-keyed LRU maps request bytes to
-//!   finished structure JSON; repeat requests skip the whole pipeline.
-//!   Hit/miss counters are exported via `/metrics`.
+//! - **Shard-per-core serving**: the listener is dup'ed into N
+//!   shared-nothing shard threads, each driving its own accepted
+//!   connections with a nonblocking `poll(2)` readiness loop — no
+//!   accept queue, no lock on the accept→serve path. Connections are
+//!   HTTP/1.1 keep-alive with pipelining, bounded by idle and
+//!   per-connection request caps.
+//! - **Admission control**: each shard owns a fixed connection budget;
+//!   overflow is shed immediately with `503` + `Retry-After` +
+//!   `Connection: close`, so latency stays bounded under overload.
+//! - **Result caching**: content-hash-keyed per-shard LRUs map request
+//!   bytes to finished structure JSON (and `/pack` containers);
+//!   repeat requests skip the whole pipeline. Hit/miss counters for
+//!   both cache families are exported via `/metrics`.
 //! - **Per-request limits**: the core [`Limits`](strudel::Limits) and
 //!   deadline machinery bounds bytes, rows, cells, and wall clock per
 //!   request; an oversized body is refused with `413` *before* it is
@@ -52,8 +59,10 @@
 
 mod cache;
 pub mod http;
+pub mod loadtest;
 mod metrics;
 mod server;
+mod shard;
 
 pub use cache::{CacheKey, ResultCache};
 pub use metrics::Registry;

@@ -1,0 +1,448 @@
+//! Open-loop HTTP load generator for the daemon — the measurement half
+//! of the serving benchmark (`strudel loadtest`, `scripts/bench_serve.sh`).
+//!
+//! ## Open-loop arrivals
+//!
+//! A closed-loop client (send, wait, send) backs off exactly when the
+//! server slows down, hiding queueing delay — the coordinated-omission
+//! trap. This generator is open-loop instead: request *arrival times*
+//! are fixed on a global schedule (`start + i / rps`, claimed from one
+//! shared atomic counter), and each latency sample is measured **from
+//! the scheduled arrival**, not from the moment the worker got around
+//! to sending. A server that falls behind schedule therefore shows the
+//! queueing it caused. `rps = 0` switches to closed-loop saturation
+//! mode — every worker sends back-to-back — which measures peak
+//! throughput instead of latency under a target rate.
+//!
+//! ## Connection modes
+//!
+//! `keep_alive = true` gives each worker one persistent HTTP/1.1
+//! connection (re-opened on error); `false` opens a fresh connection
+//! per request and asks for `Connection: close` — the pre-shard
+//! serving model, kept as the baseline the keep-alive speedup is
+//! gated against in `BENCH_serve.json`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Target `host:port`.
+    pub addr: String,
+    /// Request path, e.g. `/classify`.
+    pub path: String,
+    /// Request body; empty means `GET`, non-empty means `POST`.
+    pub body: Vec<u8>,
+    /// Target arrival rate in requests/second; `0.0` means closed-loop
+    /// saturation (as fast as the connections go).
+    pub rps: f64,
+    /// Concurrent client connections (worker threads).
+    pub connections: usize,
+    /// Scheduled-arrival window. Open-loop runs send every arrival
+    /// scheduled inside it (finishing late if the server queues);
+    /// saturation runs stop sending when it elapses.
+    pub duration: Duration,
+    /// Persistent connections (`true`) vs one connection per request
+    /// with `Connection: close` (`false`).
+    pub keep_alive: bool,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            addr: "127.0.0.1:8080".to_string(),
+            path: "/healthz".to_string(),
+            body: Vec::new(),
+            rps: 0.0,
+            connections: 8,
+            duration: Duration::from_secs(5),
+            keep_alive: true,
+        }
+    }
+}
+
+/// Aggregated result of a load run. Latencies are in microseconds,
+/// measured from the *scheduled* arrival in open-loop mode.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests attempted (sent or failed to send).
+    pub sent: u64,
+    /// `2xx` responses.
+    pub ok: u64,
+    /// Non-`2xx` responses plus transport failures.
+    pub errors: u64,
+    /// Completed requests per second of wall clock.
+    pub throughput_rps: f64,
+    /// Median latency, µs.
+    pub p50_us: u64,
+    /// 90th-percentile latency, µs.
+    pub p90_us: u64,
+    /// 99th-percentile latency, µs.
+    pub p99_us: u64,
+    /// 99.9th-percentile latency, µs.
+    pub p999_us: u64,
+    /// Worst observed latency, µs.
+    pub max_us: u64,
+    /// Wall clock of the whole run.
+    pub elapsed: Duration,
+}
+
+impl LoadReport {
+    /// The report as a flat JSON object (the inner fields of one mode
+    /// in `BENCH_serve.json`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"sent\": {}, \"ok\": {}, \"errors\": {}, \"throughput_rps\": {:.1}, \
+             \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \
+             \"max_us\": {}, \"elapsed_s\": {:.3}}}",
+            self.sent,
+            self.ok,
+            self.errors,
+            self.throughput_rps,
+            self.p50_us,
+            self.p90_us,
+            self.p99_us,
+            self.p999_us,
+            self.max_us,
+            self.elapsed.as_secs_f64(),
+        )
+    }
+}
+
+/// Per-worker tally, merged after the join.
+#[derive(Default)]
+struct Tally {
+    sent: u64,
+    ok: u64,
+    errors: u64,
+    latencies_us: Vec<u64>,
+}
+
+/// Run one load generation. Blocks until every worker finishes its
+/// schedule (open-loop) or the window elapses (saturation).
+pub fn run(config: &LoadConfig) -> LoadReport {
+    let request = Arc::new(render_request(config));
+    let ticket = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let workers: Vec<_> = (0..config.connections.max(1))
+        .map(|_| {
+            let config = config.clone();
+            let request = Arc::clone(&request);
+            let ticket = Arc::clone(&ticket);
+            std::thread::spawn(move || worker(&config, &request, &ticket, start))
+        })
+        .collect();
+    let mut tally = Tally::default();
+    for worker in workers {
+        if let Ok(local) = worker.join() {
+            tally.sent += local.sent;
+            tally.ok += local.ok;
+            tally.errors += local.errors;
+            tally.latencies_us.extend(local.latencies_us);
+        }
+    }
+    let elapsed = start.elapsed();
+    tally.latencies_us.sort_unstable();
+    let completed = tally.ok + tally.errors;
+    LoadReport {
+        sent: tally.sent,
+        ok: tally.ok,
+        errors: tally.errors,
+        throughput_rps: strudel::batch::rate(completed as f64, elapsed),
+        p50_us: percentile(&tally.latencies_us, 0.50),
+        p90_us: percentile(&tally.latencies_us, 0.90),
+        p99_us: percentile(&tally.latencies_us, 0.99),
+        p999_us: percentile(&tally.latencies_us, 0.999),
+        max_us: tally.latencies_us.last().copied().unwrap_or(0),
+        elapsed,
+    }
+}
+
+/// One worker: claim arrivals (open-loop) or spin (saturation), send,
+/// time, tally.
+fn worker(config: &LoadConfig, request: &[u8], ticket: &AtomicU64, start: Instant) -> Tally {
+    let mut tally = Tally::default();
+    let mut conn: Option<(TcpStream, Vec<u8>)> = None;
+    loop {
+        // When does this request count from?
+        let measure_from = if config.rps > 0.0 {
+            // Open-loop: claim the next scheduled arrival; past the
+            // window means the schedule is exhausted.
+            let i = ticket.fetch_add(1, Ordering::Relaxed);
+            let offset = Duration::from_secs_f64(i as f64 / config.rps);
+            if offset >= config.duration {
+                break;
+            }
+            let scheduled = start + offset;
+            if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            scheduled
+        } else {
+            // Saturation: back-to-back until the window closes.
+            if start.elapsed() >= config.duration {
+                break;
+            }
+            Instant::now()
+        };
+        tally.sent += 1;
+        match exchange(config, request, &mut conn) {
+            Ok(status) if (200..300).contains(&status) => {
+                tally.ok += 1;
+                tally
+                    .latencies_us
+                    .push(measure_from.elapsed().as_micros() as u64);
+            }
+            Ok(_) => tally.errors += 1,
+            Err(_) => {
+                tally.errors += 1;
+                conn = None;
+            }
+        }
+        if !config.keep_alive {
+            conn = None;
+        }
+    }
+    tally
+}
+
+/// Send one request and read one response, reusing (or opening) the
+/// worker's connection. Returns the response status.
+fn exchange(
+    config: &LoadConfig,
+    request: &[u8],
+    conn: &mut Option<(TcpStream, Vec<u8>)>,
+) -> std::io::Result<u16> {
+    if conn.is_none() {
+        let stream = TcpStream::connect(&config.addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        *conn = Some((stream, Vec::new()));
+    }
+    let (stream, carry) = conn.as_mut().expect("connection just ensured");
+    stream.write_all(request)?;
+    let (status, server_closes) = read_response(stream, carry)?;
+    if server_closes {
+        // The server announced `Connection: close` (per-connection
+        // request cap, drain): reconnect on the next exchange instead
+        // of writing into a socket about to EOF.
+        *conn = None;
+    }
+    Ok(status)
+}
+
+/// Read one `Content-Length`-framed response off the stream; `carry`
+/// holds over-read bytes between responses on a persistent connection.
+/// Returns the status and whether the server announced
+/// `Connection: close`.
+fn read_response(stream: &mut TcpStream, carry: &mut Vec<u8>) -> std::io::Result<(u16, bool)> {
+    let head_end = loop {
+        if let Some(pos) = carry.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let mut chunk = [0u8; 16 * 1024];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        carry.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&carry[..head_end]).into_owned();
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed status line")
+        })?;
+    let content_length: usize = head
+        .lines()
+        .find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().ok())?
+        })
+        .unwrap_or(0);
+    let server_closes = head.lines().any(|line| {
+        line.split_once(':').is_some_and(|(name, value)| {
+            name.eq_ignore_ascii_case("connection")
+                && value
+                    .split(',')
+                    .any(|token| token.trim().eq_ignore_ascii_case("close"))
+        })
+    });
+    let total = head_end + 4 + content_length;
+    while carry.len() < total {
+        let mut chunk = [0u8; 16 * 1024];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        carry.extend_from_slice(&chunk[..n]);
+    }
+    carry.drain(..total);
+    Ok((status, server_closes))
+}
+
+/// Serialize the one request every worker sends.
+fn render_request(config: &LoadConfig) -> Vec<u8> {
+    let method = if config.body.is_empty() {
+        "GET"
+    } else {
+        "POST"
+    };
+    let connection = if config.keep_alive {
+        "keep-alive"
+    } else {
+        "close"
+    };
+    let mut wire = format!(
+        "{} {} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        method,
+        config.path,
+        config.addr,
+        config.body.len(),
+        connection,
+    )
+    .into_bytes();
+    wire.extend_from_slice(&config.body);
+    wire
+}
+
+/// Nearest-rank percentile (`⌈q·N⌉`-th smallest) of an
+/// ascending-sorted sample, `0` when empty.
+fn percentile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = (sorted_us.len() as f64 * q).ceil() as usize;
+    sorted_us[rank.clamp(1, sorted_us.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let sample: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sample, 0.50), 50);
+        assert_eq!(percentile(&sample, 0.90), 90);
+        assert_eq!(percentile(&sample, 0.99), 99);
+        assert_eq!(percentile(&sample, 0.999), 100);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.999), 7);
+    }
+
+    #[test]
+    fn request_rendering_tracks_mode_and_body() {
+        let config = LoadConfig {
+            path: "/classify".to_string(),
+            body: b"a,b\n1,2\n".to_vec(),
+            keep_alive: false,
+            ..LoadConfig::default()
+        };
+        let wire = render_request(&config);
+        let text = String::from_utf8_lossy(&wire);
+        assert!(text.starts_with("POST /classify HTTP/1.1\r\n"), "{text}");
+        assert!(text.contains("Connection: close"), "{text}");
+        assert!(text.contains("Content-Length: 8"), "{text}");
+        assert!(text.ends_with("a,b\n1,2\n"), "{text}");
+
+        let get = render_request(&LoadConfig::default());
+        let text = String::from_utf8_lossy(&get);
+        assert!(text.starts_with("GET /healthz HTTP/1.1\r\n"), "{text}");
+        assert!(text.contains("Connection: keep-alive"), "{text}");
+    }
+
+    #[test]
+    fn response_reader_frames_back_to_back_responses() {
+        // Two pipelined responses arriving in one segment: the carry
+        // buffer must split them correctly.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        server_side
+            .write_all(
+                b"HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\nok\n\
+                  HTTP/1.1 503 Service Unavailable\r\ncontent-length: 2\r\nConnection: ClOsE\r\n\r\nno",
+            )
+            .unwrap();
+        let mut carry = Vec::new();
+        assert_eq!(
+            read_response(&mut client, &mut carry).unwrap(),
+            (200, false)
+        );
+        // The close announcement is surfaced (case-insensitively) so
+        // the worker reconnects instead of erroring.
+        assert_eq!(read_response(&mut client, &mut carry).unwrap(), (503, true));
+        assert!(carry.is_empty());
+        drop(server_side);
+        assert!(read_response(&mut client, &mut carry).is_err());
+    }
+
+    /// End-to-end against a trivial in-test HTTP server: the open-loop
+    /// generator must hit it with roughly the scheduled request count
+    /// and report sane latencies.
+    #[test]
+    fn open_loop_run_reports_scheduled_arrivals() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            // Serve keep-alive GETs until the generator is done.
+            let mut served = 0u64;
+            while let Ok((mut stream, _)) = listener.accept() {
+                let mut buf = [0u8; 4096];
+                while let Ok(n) = stream.read(&mut buf) {
+                    if n == 0 {
+                        break;
+                    }
+                    // One response per request head in the read — the
+                    // test client never pipelines.
+                    let requests = buf[..n].windows(4).filter(|w| w == b"\r\n\r\n").count();
+                    for _ in 0..requests {
+                        served += 1;
+                        if stream
+                            .write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\nok\n")
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                }
+                if served >= 20 {
+                    break;
+                }
+            }
+        });
+        let report = run(&LoadConfig {
+            addr: addr.to_string(),
+            path: "/".to_string(),
+            rps: 100.0,
+            connections: 2,
+            duration: Duration::from_millis(200),
+            ..LoadConfig::default()
+        });
+        // 100 rps over 200 ms → 20 scheduled arrivals.
+        assert_eq!(report.sent, 20, "{report:?}");
+        assert_eq!(report.ok, 20, "{report:?}");
+        assert_eq!(report.errors, 0);
+        assert!(report.throughput_rps > 0.0);
+        assert!(report.p50_us <= report.p99_us && report.p99_us <= report.max_us);
+        let json = report.to_json();
+        assert!(json.contains("\"p999_us\""), "{json}");
+        server.join().unwrap();
+    }
+}

@@ -1,15 +1,19 @@
 //! The daemon's metrics registry and its Prometheus text rendering.
 //!
-//! Counters are lock-free atomics bumped on the request path; the
-//! per-stage pipeline timings reuse the core
-//! [`StageTimings`] accumulator behind a mutex — request workers time
-//! stages into a thread-local accumulator and
-//! [`merge`](StageTimings::merge) once per request, so the lock is taken
-//! once per classification rather than once per stage.
+//! Counters are lock-free atomics bumped on the request path. The
+//! per-stage pipeline timings are shard-sharded: each shard owns one
+//! [`StageTimings`] slot behind its own mutex, written only by that
+//! shard's serving loop — so the accept→serve hot path never contends
+//! on a shared timing lock (the old design funnelled every request
+//! through one global `Mutex<StageTimings>`). The slots are merged into
+//! one accumulator only at `GET /metrics` scrape time, which is sound
+//! because [`StageTimings::merge`] is commutative and associative (the
+//! property the batch engine's merge proptests pin).
 //!
 //! `GET /metrics` renders everything in Prometheus text exposition
-//! format: request counters by endpoint and outcome, cache hit/miss and
-//! shed counters, the stage counters from
+//! format: request counters by endpoint and outcome, the two cache
+//! families (`classify` result JSON and `pack` containers) as labelled
+//! hit/miss counters, connection/shed counters, the stage counters from
 //! [`StageTimings::to_prometheus`], and throughput gauges computed with
 //! the guarded [`strudel::batch::rate`] helper (zero, never NaN, on an
 //! idle or freshly started server).
@@ -21,8 +25,8 @@ use strudel::batch::rate;
 use strudel::StageTimings;
 
 /// One monotone counter per (endpoint, outcome) pair plus the cache,
-/// shed, and byte counters. All relaxed atomics: the metrics are
-/// statistical, not synchronizing.
+/// connection, shed, and byte counters. All relaxed atomics: the
+/// metrics are statistical, not synchronizing.
 #[derive(Debug)]
 pub struct Registry {
     started: Instant,
@@ -56,21 +60,32 @@ pub struct Registry {
     /// Requests that never reached a handler (bad framing, unknown
     /// route, wrong method).
     pub http_err: AtomicU64,
-    /// Result-cache hits (classification skipped).
+    /// Classify result-cache hits (classification skipped).
     pub cache_hits: AtomicU64,
-    /// Result-cache misses (full pipeline ran).
+    /// Classify result-cache misses (full pipeline ran).
     pub cache_misses: AtomicU64,
+    /// Pack container-cache hits (`POST /pack` re-serves, `GET
+    /// /pack/<key>` fetches that found their container).
+    pub pack_cache_hits: AtomicU64,
+    /// Pack container-cache misses (`POST /pack` built a fresh
+    /// container, `GET /pack/<key>` found nothing under the key).
+    pub pack_cache_misses: AtomicU64,
+    /// Connections accepted and admitted into a shard (shed connections
+    /// are counted separately).
+    pub connections: AtomicU64,
     /// Connections shed by admission control with `503`.
     pub shed: AtomicU64,
     /// Total classify request-body bytes accepted.
     pub bytes_in: AtomicU64,
-    /// Aggregated per-stage pipeline timings across all workers.
-    pub stage_timings: Mutex<StageTimings>,
+    /// Per-shard pipeline timing slots; each shard writes only its own,
+    /// the scrape merges them all.
+    shard_timings: Vec<Mutex<StageTimings>>,
 }
 
 impl Registry {
-    /// A fresh registry; uptime counts from now.
-    pub fn new() -> Registry {
+    /// A fresh registry with one timing slot per shard; uptime counts
+    /// from now.
+    pub fn new(n_shards: usize) -> Registry {
         Registry {
             started: Instant::now(),
             classify_ok: AtomicU64::new(0),
@@ -88,9 +103,14 @@ impl Registry {
             http_err: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            pack_cache_hits: AtomicU64::new(0),
+            pack_cache_misses: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             bytes_in: AtomicU64::new(0),
-            stage_timings: Mutex::new(StageTimings::default()),
+            shard_timings: (0..n_shards.max(1))
+                .map(|_| Mutex::new(StageTimings::default()))
+                .collect(),
         }
     }
 
@@ -99,11 +119,26 @@ impl Registry {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Fold a request worker's local stage timings into the registry.
-    pub fn merge_timings(&self, timings: &StageTimings) {
-        if let Ok(mut guard) = self.stage_timings.lock() {
+    /// Fold a request's local stage timings into the owning shard's
+    /// slot. Only that shard calls this, so the lock is uncontended on
+    /// the hot path (the scrape takes it briefly at merge time).
+    pub fn merge_timings(&self, shard: usize, timings: &StageTimings) {
+        let slot = &self.shard_timings[shard % self.shard_timings.len()];
+        if let Ok(mut guard) = slot.lock() {
             guard.merge(timings);
         }
+    }
+
+    /// Merge every shard's timing slot into one accumulator — the
+    /// scrape-time merge (commutative, so shard order is irrelevant).
+    pub fn merged_timings(&self) -> StageTimings {
+        let mut merged = StageTimings::default();
+        for slot in &self.shard_timings {
+            if let Ok(guard) = slot.lock() {
+                merged.merge(&guard);
+            }
+        }
+        merged
     }
 
     /// Render the registry in Prometheus text exposition format.
@@ -132,9 +167,23 @@ impl Registry {
                 "strudel_requests_total{{endpoint=\"{endpoint}\",outcome=\"{outcome}\"}} {value}\n"
             ));
         }
+        out.push_str("# TYPE strudel_cache_hits_total counter\n");
+        out.push_str("# TYPE strudel_cache_misses_total counter\n");
+        for (family, hits, misses) in [
+            ("classify", get(&self.cache_hits), get(&self.cache_misses)),
+            (
+                "pack",
+                get(&self.pack_cache_hits),
+                get(&self.pack_cache_misses),
+            ),
+        ] {
+            out.push_str(&format!(
+                "strudel_cache_hits_total{{family=\"{family}\"}} {hits}\n\
+                 strudel_cache_misses_total{{family=\"{family}\"}} {misses}\n"
+            ));
+        }
         for (name, value) in [
-            ("strudel_cache_hits_total", get(&self.cache_hits)),
-            ("strudel_cache_misses_total", get(&self.cache_misses)),
+            ("strudel_connections_total", get(&self.connections)),
             ("strudel_shed_total", get(&self.shed)),
             ("strudel_bytes_in_total", get(&self.bytes_in)),
         ] {
@@ -154,19 +203,14 @@ impl Registry {
             "# TYPE strudel_bytes_per_second gauge\nstrudel_bytes_per_second {:.3}\n",
             rate(get(&self.bytes_in) as f64, uptime)
         ));
-        let timings = self
-            .stage_timings
-            .lock()
-            .map(|t| t.clone())
-            .unwrap_or_default();
-        out.push_str(&timings.to_prometheus("strudel"));
+        out.push_str(&self.merged_timings().to_prometheus("strudel"));
         out
     }
 }
 
 impl Default for Registry {
     fn default() -> Registry {
-        Registry::new()
+        Registry::new(1)
     }
 }
 
@@ -178,12 +222,14 @@ mod tests {
 
     #[test]
     fn render_contains_every_family() {
-        let registry = Registry::new();
+        let registry = Registry::new(2);
         Registry::bump(&registry.classify_ok);
         Registry::bump(&registry.cache_hits);
+        Registry::bump(&registry.pack_cache_misses);
+        Registry::bump(&registry.connections);
         let mut local = StageTimings::default();
         local.record(Stage::Dialect, Duration::from_millis(2));
-        registry.merge_timings(&local);
+        registry.merge_timings(0, &local);
         let text = registry.render();
         for needle in [
             "strudel_requests_total{endpoint=\"classify\",outcome=\"ok\"} 1",
@@ -191,8 +237,11 @@ mod tests {
             "strudel_requests_total{endpoint=\"pack\",outcome=\"ok\"} 0",
             "strudel_requests_total{endpoint=\"unpack\",outcome=\"error\"} 0",
             "strudel_requests_total{endpoint=\"reload\",outcome=\"error\"} 0",
-            "strudel_cache_hits_total 1",
-            "strudel_cache_misses_total 0",
+            "strudel_cache_hits_total{family=\"classify\"} 1",
+            "strudel_cache_misses_total{family=\"classify\"} 0",
+            "strudel_cache_hits_total{family=\"pack\"} 0",
+            "strudel_cache_misses_total{family=\"pack\"} 1",
+            "strudel_connections_total 1",
             "strudel_shed_total 0",
             "strudel_bytes_in_total 0",
             "strudel_uptime_seconds",
@@ -205,5 +254,24 @@ mod tests {
         }
         // No NaN/inf anywhere, even on a near-zero uptime.
         assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
+    }
+
+    #[test]
+    fn shard_slots_merge_at_scrape_time() {
+        // Timings recorded into different shard slots show up summed in
+        // one render — the commutative scrape-time merge.
+        let registry = Registry::new(3);
+        for shard in 0..3 {
+            let mut local = StageTimings::default();
+            local.record(Stage::Parse, Duration::from_millis(10));
+            registry.merge_timings(shard, &local);
+        }
+        let merged = registry.merged_timings();
+        assert_eq!(merged.count(Stage::Parse), 3);
+        let text = registry.render();
+        assert!(
+            text.contains("strudel_stage_observations_total{stage=\"parse\"} 3"),
+            "{text}"
+        );
     }
 }

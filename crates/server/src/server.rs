@@ -1,49 +1,69 @@
-//! The resident daemon: bounded worker pool, admission control, request
-//! routing, hot reload, and graceful shutdown.
+//! The resident daemon: shard-per-core connection plane, per-shard
+//! admission control, request routing, hot reload, and graceful
+//! shutdown.
 //!
 //! ## Threading model
 //!
-//! One acceptor thread owns the listening socket; `n_workers` request
-//! workers own the classification pipeline. Between them sits a
-//! fixed-capacity queue of accepted connections — the admission
-//! controller. When the queue is full the connection never reaches a
-//! worker: a transient thread answers `503` with `Retry-After` and
-//! closes, so overload sheds in microseconds instead of queueing
-//! unboundedly (the load balancer in front of a fleet of these retries
-//! elsewhere). Each worker pins
-//! per-request inference to one thread (like the batch engine), so a
-//! pool of W workers uses W cores, not W × cores.
+//! The listening socket is switched to nonblocking mode and dup'ed
+//! (`try_clone`) into `n_shards` shard threads, each running the
+//! readiness loop in [`crate::shard`]: poll the listener plus the
+//! shard's own accepted connections, accept into a shard-local
+//! connection set, and serve keep-alive request pipelines in place.
+//! There is no accept queue and no handoff lock — a connection lives
+//! its whole life (accept → pipelined requests → close) on the shard
+//! that accepted it, and the kernel spreads accept readiness across
+//! the shards. The only cross-shard state a request touches is the
+//! model `RwLock<Arc<Strudel>>` (read-locked just long enough to clone
+//! the `Arc`) and the shutdown flag; caches and stage timings are
+//! shard-local (below). Each shard pins per-request inference to one
+//! thread (like the batch engine), so N shards use N cores, not
+//! N × cores.
+//!
+//! ## Admission control
+//!
+//! Each shard owns a fixed connection budget (`conns_per_shard`). An
+//! accept beyond the budget never enters the serving loop: a transient
+//! thread answers `503` + `Retry-After` + `Connection: close` and
+//! lingers briefly so the refusal survives the close (see
+//! [`shed_connection`]), keeping the shard's poll loop free to serve
+//! admitted connections — overload sheds in microseconds instead of
+//! queueing unboundedly.
+//!
+//! ## Caches and metrics
+//!
+//! Result and pack caches are per-shard LRU pairs: inserts go to the
+//! owning shard only, lookups probe the owning shard first and then
+//! its peers (repeat traffic lands on arbitrary shards). Stage
+//! timings accumulate into per-shard slots merged only at `/metrics`
+//! scrape time ([`Registry::merge_timings`]).
 //!
 //! ## Model lifecycle
 //!
 //! The fitted [`Strudel`] model loads once and stays warm behind an
-//! `RwLock<Arc<Strudel>>`. Workers snapshot the `Arc` per request, so a
+//! `RwLock<Arc<Strudel>>`. Shards snapshot the `Arc` per request, so a
 //! concurrent `POST /admin/reload` never blocks in-flight
 //! classifications: the new model is fully loaded and validated (the
 //! corrupt-model checks of `Strudel::load`) *before* the write lock is
 //! taken for the pointer swap, and a rejected file leaves the old model
-//! serving. A successful swap clears the result cache — a new model may
-//! classify the same bytes differently.
+//! serving. A successful swap clears every shard's caches — a new
+//! model may classify the same bytes differently.
 //!
 //! ## Shutdown
 //!
-//! `POST /admin/shutdown` answers `200`, then flips the shutdown flag
-//! and wakes the acceptor. Workers drain the queue (every accepted
-//! connection is served) and exit; [`Server::run`] joins them all before
-//! returning.
+//! `POST /admin/shutdown` answers `200` (with `Connection: close`),
+//! then flips the shutdown flag. Each shard notices within one poll
+//! tick: it stops accepting, finishes every in-flight pipelined
+//! request already on its connections, closes drained connections, and
+//! exits; [`Server::run`] joins all shards before returning.
 
 use crate::cache::{CacheKey, ResultCache};
-use crate::http::{
-    read_request_body, read_request_head, BodyDecoder, ChunkedWriter, HttpError, Request, Response,
-    FALLBACK_MAX_BODY,
-};
+use crate::http::{BodyDecoder, ChunkedWriter, HttpError, Request, Response, FALLBACK_MAX_BODY};
 use crate::metrics::Registry;
-use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::time::Duration;
 use strudel::batch::resolve_threads;
 use strudel::{
@@ -56,14 +76,15 @@ pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:8080` (port `0` picks an ephemeral
     /// port; read it back from [`Server::local_addr`]).
     pub addr: String,
-    /// Request worker threads; `0` resolves via
-    /// [`resolve_threads`] (the `STRUDEL_THREADS` environment variable,
-    /// then the available parallelism).
-    pub n_workers: usize,
-    /// Admission-control queue capacity: accepted connections waiting
-    /// for a worker beyond this are shed with `503`.
-    pub queue_capacity: usize,
-    /// Result-cache capacity in entries; `0` disables caching.
+    /// Shard threads; `0` resolves via [`resolve_threads`] (the
+    /// `STRUDEL_THREADS` environment variable, then the available
+    /// parallelism) — one shard per core.
+    pub n_shards: usize,
+    /// Per-shard admission budget: concurrent connections a shard owns
+    /// beyond this are shed with `503`.
+    pub conns_per_shard: usize,
+    /// Result-cache capacity in entries, split evenly across the
+    /// shards; `0` disables caching.
     pub cache_capacity: usize,
     /// Per-request input limits and wall-clock budget (the PR 3
     /// [`Limits`] machinery; `max_input_bytes` doubles as the HTTP body
@@ -73,11 +94,18 @@ pub struct ServerConfig {
     /// when the request body names no path.
     pub model_path: Option<PathBuf>,
     /// Socket read/write timeout, bounding how long a slow client can
-    /// hold a worker.
+    /// stall a blocking read (streaming bodies) or a response write.
     pub io_timeout: Duration,
+    /// Keep-alive idle cap: a connection with no byte activity for this
+    /// long is closed by its shard's idle sweep.
+    pub idle_timeout: Duration,
+    /// Requests served on one connection before the server closes it
+    /// (announced with `Connection: close`), bounding per-connection
+    /// state lifetime.
+    pub max_requests_per_conn: usize,
     /// Window geometry for `POST /classify/stream`. Its `limits` and
     /// `n_threads` fields are ignored — the server's own [`limits`] and
-    /// per-worker thread pinning apply to the streaming route too.
+    /// per-shard thread pinning apply to the streaming route too.
     ///
     /// [`limits`]: ServerConfig::limits
     pub stream: StreamConfig,
@@ -87,63 +115,87 @@ impl Default for ServerConfig {
     fn default() -> ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:8080".to_string(),
-            n_workers: 0,
-            queue_capacity: 64,
+            n_shards: 0,
+            conns_per_shard: 256,
             cache_capacity: 256,
             limits: Limits::standard(),
             model_path: None,
             io_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(30),
+            max_requests_per_conn: 1000,
             stream: StreamConfig::default(),
         }
     }
 }
 
-/// State shared between the acceptor and the workers.
-struct Shared {
-    model: RwLock<Arc<Strudel>>,
-    model_path: Mutex<Option<PathBuf>>,
-    cache: Mutex<ResultCache<Arc<String>>>,
+/// One shard's private cache pair. Inserts always target the owning
+/// shard; lookups probe peers too (see [`Shared::cached_result`]), so
+/// no request ever contends on a single global cache lock.
+struct ShardCaches {
+    results: Mutex<ResultCache<Arc<String>>>,
     /// Finished containers by the content hash of the *original* bytes
     /// — the same fingerprint `POST /pack` returns in
     /// `X-Strudel-Pack-Key`, so a later `GET /pack/<key>` addresses the
     /// container without resending the input.
     packs: Mutex<ResultCache<Arc<Vec<u8>>>>,
-    registry: Registry,
-    limits: Limits,
-    queue: Mutex<VecDeque<TcpStream>>,
-    available: Condvar,
-    queue_capacity: usize,
+}
+
+/// State shared between the shards.
+pub(crate) struct Shared {
+    model: RwLock<Arc<Strudel>>,
+    model_path: Mutex<Option<PathBuf>>,
+    shards: Vec<ShardCaches>,
+    pub(crate) registry: Registry,
+    pub(crate) limits: Limits,
+    pub(crate) conns_per_shard: usize,
+    pub(crate) idle_timeout: Duration,
+    pub(crate) max_requests_per_conn: usize,
     shutdown: AtomicBool,
     addr: SocketAddr,
     inner_threads: usize,
-    io_timeout: Duration,
+    pub(crate) io_timeout: Duration,
     stream: StreamConfig,
 }
 
-/// Lock a mutex, recovering from poisoning — a worker panic must not
-/// wedge the whole daemon.
+/// Lock a mutex, recovering from poisoning — a panic on one shard must
+/// not wedge the whole daemon.
 fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 impl Shared {
-    fn shutting_down(&self) -> bool {
+    pub(crate) fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
     }
 
-    /// Flip the shutdown flag and wake both the idle workers and the
-    /// blocked acceptor.
-    fn initiate_shutdown(&self) {
-        {
-            // Hold the queue lock while flipping the flag so a worker
-            // cannot check-then-sleep between the store and the
-            // notification (the classic missed-wakeup race).
-            let _guard = lock(&self.queue);
-            self.shutdown.store(true, Ordering::Release);
-        }
-        self.available.notify_all();
-        // A throwaway connection unblocks the acceptor's `accept()`.
-        let _ = TcpStream::connect(self.addr);
+    /// Flip the shutdown flag. Shards poll with a bounded tick, so
+    /// every one notices within ~one tick without any wakeup plumbing.
+    pub(crate) fn initiate_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// The shard-local caches owned by `shard`.
+    fn caches(&self, shard: usize) -> &ShardCaches {
+        &self.shards[shard % self.shards.len()]
+    }
+
+    /// Probe every shard's cache, the owning shard first — inserts are
+    /// shard-local, but repeat traffic lands on arbitrary shards, so a
+    /// lookup must see its peers' entries too. Each probe takes one
+    /// shard-local lock briefly; there is no global cache lock.
+    fn probe<V>(&self, shard: usize, mut get: impl FnMut(&ShardCaches) -> Option<V>) -> Option<V> {
+        let n = self.shards.len();
+        (0..n)
+            .map(|i| (shard + i) % n)
+            .find_map(|i| get(&self.shards[i]))
+    }
+
+    fn cached_result(&self, shard: usize, key: &CacheKey) -> Option<Arc<String>> {
+        self.probe(shard, |caches| lock(&caches.results).get(key))
+    }
+
+    fn cached_pack(&self, shard: usize, key: &CacheKey) -> Option<Arc<Vec<u8>>> {
+        self.probe(shard, |caches| lock(&caches.packs).get(key))
     }
 }
 
@@ -151,7 +203,7 @@ impl Shared {
 pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
-    n_workers: usize,
+    n_shards: usize,
 }
 
 /// A running server, for embedding in tests or other binaries.
@@ -179,27 +231,34 @@ impl Server {
     pub fn bind(model: Strudel, config: &ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let n_workers = resolve_threads(config.n_workers).max(1);
+        let n_shards = resolve_threads(config.n_shards).max(1);
+        // Split the configured capacity across the shards so the total
+        // cache footprint matches the single-cache era.
+        let per_shard_cache = config.cache_capacity.div_ceil(n_shards);
         let shared = Arc::new(Shared {
             model: RwLock::new(Arc::new(model)),
             model_path: Mutex::new(config.model_path.clone()),
-            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
-            packs: Mutex::new(ResultCache::new(config.cache_capacity)),
-            registry: Registry::new(),
+            shards: (0..n_shards)
+                .map(|_| ShardCaches {
+                    results: Mutex::new(ResultCache::new(per_shard_cache)),
+                    packs: Mutex::new(ResultCache::new(per_shard_cache)),
+                })
+                .collect(),
+            registry: Registry::new(n_shards),
             limits: config.limits,
-            queue: Mutex::new(VecDeque::with_capacity(config.queue_capacity)),
-            available: Condvar::new(),
-            queue_capacity: config.queue_capacity.max(1),
+            conns_per_shard: config.conns_per_shard.max(1),
+            idle_timeout: config.idle_timeout,
+            max_requests_per_conn: config.max_requests_per_conn.max(1),
             shutdown: AtomicBool::new(false),
             addr,
-            inner_threads: if n_workers > 1 { 1 } else { 0 },
+            inner_threads: if n_shards > 1 { 1 } else { 0 },
             io_timeout: config.io_timeout,
             stream: config.stream.clone(),
         });
         Ok(Server {
             listener,
             shared,
-            n_workers,
+            n_shards,
         })
     }
 
@@ -208,29 +267,31 @@ impl Server {
         self.shared.addr
     }
 
-    /// The resolved worker count.
-    pub fn n_workers(&self) -> usize {
-        self.n_workers
+    /// The resolved shard count.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
     }
 
-    /// Serve until shutdown: spawns the workers, runs the accept loop on
-    /// the calling thread, and joins everything (in-flight and queued
-    /// requests included) before returning.
+    /// Serve until shutdown: dup the nonblocking listener into one
+    /// thread per shard, run the shard readiness loops, and join them
+    /// all (in-flight pipelines included) before returning.
     pub fn run(self) {
         let shared = self.shared;
-        let workers: Vec<_> = (0..self.n_workers)
+        self.listener
+            .set_nonblocking(true)
+            .expect("set listener nonblocking");
+        let shards: Vec<_> = (0..self.n_shards)
             .map(|i| {
+                let listener = self.listener.try_clone().expect("dup listener into shard");
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
-                    .name(format!("strudel-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn request worker")
+                    .name(format!("strudel-shard-{i}"))
+                    .spawn(move || crate::shard::run_shard(&shared, i, listener))
+                    .expect("spawn shard")
             })
             .collect();
-        accept_loop(&shared, &self.listener);
-        shared.available.notify_all();
-        for worker in workers {
-            let _ = worker.join();
+        for shard in shards {
+            let _ = shard.join();
         }
     }
 
@@ -247,48 +308,23 @@ impl Server {
     }
 }
 
-/// Accept connections and enqueue them, shedding with `503` when the
-/// queue is full.
-fn accept_loop(shared: &Shared, listener: &TcpListener) {
-    for stream in listener.incoming() {
-        if shared.shutting_down() {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        let _ = stream.set_read_timeout(Some(shared.io_timeout));
-        let _ = stream.set_write_timeout(Some(shared.io_timeout));
-        let mut queue = lock(&shared.queue);
-        if shared.shutting_down() {
-            break;
-        }
-        if queue.len() >= shared.queue_capacity {
-            drop(queue);
-            Registry::bump(&shared.registry.shed);
-            // A transient thread writes the 503 so the acceptor returns
-            // to `accept()` in microseconds even when shed clients are
-            // slow to read.
-            std::thread::spawn(move || shed_connection(stream));
-        } else {
-            queue.push_back(stream);
-            drop(queue);
-            shared.available.notify_one();
-        }
-    }
-}
-
-/// Refuse one connection with `503` + `Retry-After`. The client has
-/// usually already sent (part of) its request; closing a socket with
-/// unread input makes the kernel send RST, which can discard the 503
-/// from the client's receive buffer. So: answer, half-close the write
-/// side, then drain briefly until the client sees EOF and hangs up — a
-/// lingering close.
-fn shed_connection(mut stream: TcpStream) {
+/// Refuse one connection with `503` + `Retry-After` + `Connection:
+/// close`. The client has usually already sent (part of) its request;
+/// closing a socket with unread input makes the kernel send RST, which
+/// can discard the 503 from the client's receive buffer. So: answer,
+/// half-close the write side, then drain briefly until the client sees
+/// EOF and hangs up — a lingering close.
+pub(crate) fn shed_connection(mut stream: TcpStream) {
     let response = Response::json(
         503,
         "{\"error\": \"server overloaded, request shed by admission control\", \
          \"category\": \"overload\"}\n",
     )
     .with_header("Retry-After", "1");
+    // `write_to` frames with an explicit `Connection: close`, telling
+    // keep-alive clients not to wait for another exchange.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
     if response.write_to(&mut stream).is_err() {
         return;
     }
@@ -302,73 +338,9 @@ fn shed_connection(mut stream: TcpStream) {
     }
 }
 
-/// A request worker: pop connections until the queue is drained *and*
-/// shutdown is flagged. A panic while handling one request is caught so
-/// the worker (and the pool) survives it.
-fn worker_loop(shared: &Arc<Shared>) {
-    loop {
-        let stream = {
-            let mut queue = lock(&shared.queue);
-            loop {
-                if let Some(s) = queue.pop_front() {
-                    break Some(s);
-                }
-                if shared.shutting_down() {
-                    break None;
-                }
-                queue = shared
-                    .available
-                    .wait(queue)
-                    .unwrap_or_else(|e| e.into_inner());
-            }
-        };
-        let Some(stream) = stream else { break };
-        if catch_unwind(AssertUnwindSafe(|| handle_connection(shared, stream))).is_err() {
-            Registry::bump(&shared.registry.http_err);
-        }
-    }
-}
-
-/// Serve one connection: read a request, route it, write the response,
-/// close. Initiating shutdown happens after the response is on the wire
-/// so the shutdown request itself gets a clean `200`.
-///
-/// The streaming classify route branches off between the head and body
-/// reads: its body is consumed incrementally (chunked transfer encoding
-/// allowed) instead of being buffered whole, so the strict
-/// `Content-Length` contract — including the `501` on chunked requests
-/// — is preserved for every other route.
-fn handle_connection(shared: &Shared, mut stream: TcpStream) {
-    let (head, leftover) = match read_request_head(&mut stream) {
-        Ok(pair) => pair,
-        Err(error) => {
-            respond_framing_error(shared, &mut stream, error);
-            return;
-        }
-    };
-    if head.method == "POST" && head.path == "/classify/stream" {
-        classify_stream(shared, &head, leftover, &mut stream);
-        return;
-    }
-    let max_body = shared.limits.max_input_bytes.unwrap_or(FALLBACK_MAX_BODY);
-    let request = match read_request_body(&mut stream, head, leftover, max_body) {
-        Ok(request) => request,
-        Err(error) => {
-            respond_framing_error(shared, &mut stream, error);
-            return;
-        }
-    };
-    let (response, shutdown) = route(shared, &request);
-    let _ = response.write_to(&mut stream);
-    drop(stream);
-    if shutdown {
-        shared.initiate_shutdown();
-    }
-}
-
 /// Answer a request-framing failure (when anyone is still listening)
 /// and record it in the registry.
-fn respond_framing_error(shared: &Shared, stream: &mut TcpStream, error: HttpError) {
+pub(crate) fn respond_framing_error(shared: &Shared, stream: &mut TcpStream, error: HttpError) {
     let response = match error {
         HttpError::Malformed(reason) => {
             Registry::bump(&shared.registry.http_err);
@@ -389,7 +361,7 @@ fn respond_framing_error(shared: &Shared, stream: &mut TcpStream, error: HttpErr
 
 /// Dispatch a parsed request to its handler. The boolean asks the
 /// caller to initiate shutdown once the response has been written.
-fn route(shared: &Shared, request: &Request) -> (Response, bool) {
+pub(crate) fn route(shared: &Shared, shard: usize, request: &Request) -> (Response, bool) {
     const ROUTES: [&str; 7] = [
         "/",
         "/classify",
@@ -400,9 +372,11 @@ fn route(shared: &Shared, request: &Request) -> (Response, bool) {
         "/pack",
     ];
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/classify") | ("POST", "/") => (classify(shared, &request.body), false),
-        ("POST", "/pack") => (pack(shared, &request.body), false),
-        ("GET", path) if path.strip_prefix("/pack/").is_some() => (unpack(shared, request), false),
+        ("POST", "/classify") | ("POST", "/") => (classify(shared, shard, &request.body), false),
+        ("POST", "/pack") => (pack(shared, shard, &request.body), false),
+        ("GET", path) if path.strip_prefix("/pack/").is_some() => {
+            (unpack(shared, shard, request), false)
+        }
         (_, path) if path.strip_prefix("/pack/").is_some() => {
             Registry::bump(&shared.registry.http_err);
             (
@@ -460,13 +434,13 @@ fn route(shared: &Shared, request: &Request) -> (Response, bool) {
 
 /// `POST /classify`: cache lookup, then the full guarded pipeline on a
 /// snapshot of the current model.
-fn classify(shared: &Shared, body: &[u8]) -> Response {
+fn classify(shared: &Shared, shard: usize, body: &[u8]) -> Response {
     shared
         .registry
         .bytes_in
         .fetch_add(body.len() as u64, Ordering::Relaxed);
     let key = CacheKey::of(body);
-    if let Some(cached) = lock(&shared.cache).get(&key) {
+    if let Some(cached) = shared.cached_result(shard, &key) {
         Registry::bump(&shared.registry.cache_hits);
         Registry::bump(&shared.registry.classify_ok);
         return Response::json(200, cached.as_bytes().to_vec())
@@ -486,11 +460,11 @@ fn classify(shared: &Shared, body: &[u8]) -> Response {
             &mut timings,
         )
     }));
-    shared.registry.merge_timings(&timings);
+    shared.registry.merge_timings(shard, &timings);
     match detected {
         Ok(Ok(structure)) => {
             let json = Arc::new(structure.to_json());
-            lock(&shared.cache).insert(key, Arc::clone(&json));
+            lock(&shared.caches(shard).results).insert(key, Arc::clone(&json));
             Registry::bump(&shared.registry.classify_ok);
             Response::json(200, json.as_bytes().to_vec()).with_header("X-Strudel-Cache", "miss")
         }
@@ -514,21 +488,23 @@ fn classify(shared: &Shared, body: &[u8]) -> Response {
 /// *original* bytes — the address for later `GET /pack/<key>` fetches
 /// and selective extractions. Containers share the classify cache's
 /// keying (the same [`CacheKey`] fingerprint) but live in their own
-/// LRU, so packing traffic cannot evict classification results.
-fn pack(shared: &Shared, body: &[u8]) -> Response {
+/// per-shard LRU, so packing traffic cannot evict classification
+/// results, and their hit/miss traffic is tracked as the `pack` cache
+/// family in `/metrics`.
+fn pack(shared: &Shared, shard: usize, body: &[u8]) -> Response {
     shared
         .registry
         .bytes_in
         .fetch_add(body.len() as u64, Ordering::Relaxed);
     let key = CacheKey::of(body);
-    if let Some(cached) = lock(&shared.packs).get(&key) {
-        Registry::bump(&shared.registry.cache_hits);
+    if let Some(cached) = shared.cached_pack(shard, &key) {
+        Registry::bump(&shared.registry.pack_cache_hits);
         Registry::bump(&shared.registry.pack_ok);
         return Response::new(200, "application/octet-stream", cached.as_ref().clone())
             .with_header("X-Strudel-Pack-Key", key.to_hex())
             .with_header("X-Strudel-Cache", "hit");
     }
-    Registry::bump(&shared.registry.cache_misses);
+    Registry::bump(&shared.registry.pack_cache_misses);
 
     let model = Arc::clone(&shared.model.read().unwrap_or_else(|e| e.into_inner()));
     let config = StreamConfig {
@@ -540,11 +516,11 @@ fn pack(shared: &Shared, body: &[u8]) -> Response {
     let packed = catch_unwind(AssertUnwindSafe(|| {
         strudel_pack::pack_bytes_metered(&model, body, config, &mut timings)
     }));
-    shared.registry.merge_timings(&timings);
+    shared.registry.merge_timings(shard, &timings);
     match packed {
         Ok(Ok(packed)) => {
             let container = Arc::new(packed.bytes);
-            lock(&shared.packs).insert(key, Arc::clone(&container));
+            lock(&shared.caches(shard).packs).insert(key, Arc::clone(&container));
             Registry::bump(&shared.registry.pack_ok);
             Response::new(200, "application/octet-stream", container.as_ref().clone())
                 .with_header("X-Strudel-Pack-Key", key.to_hex())
@@ -564,8 +540,11 @@ fn pack(shared: &Shared, body: &[u8]) -> Response {
 /// `GET /pack/<key>`: fetch a cached container by its fingerprint, or
 /// selectively unpack it — `?table=N` extracts one table's text,
 /// `?column=NAME` (optionally scoped with `&table=N`) one column's
-/// values, one per line, decoding only that column's block.
-fn unpack(shared: &Shared, request: &Request) -> Response {
+/// values, one per line, decoding only that column's block. The
+/// `X-Strudel-Cache` header reports whether the container was found
+/// (`hit`) or the key is unknown (`miss`), mirroring the classify
+/// route's cache transparency.
+fn unpack(shared: &Shared, shard: usize, request: &Request) -> Response {
     let hex = request.path.strip_prefix("/pack/").unwrap_or_default();
     let Some(key) = CacheKey::from_hex(hex) else {
         Registry::bump(&shared.registry.unpack_err);
@@ -578,7 +557,8 @@ fn unpack(shared: &Shared, request: &Request) -> Response {
             ),
         );
     };
-    let Some(container) = lock(&shared.packs).get(&key) else {
+    let Some(container) = shared.cached_pack(shard, &key) else {
+        Registry::bump(&shared.registry.pack_cache_misses);
         Registry::bump(&shared.registry.unpack_err);
         return Response::json(
             404,
@@ -587,8 +567,10 @@ fn unpack(shared: &Shared, request: &Request) -> Response {
                 "http",
                 None,
             ),
-        );
+        )
+        .with_header("X-Strudel-Cache", "miss");
     };
+    Registry::bump(&shared.registry.pack_cache_hits);
 
     // Parse the selectors before touching the container.
     let mut table: Option<usize> = None;
@@ -622,19 +604,21 @@ fn unpack(shared: &Shared, request: &Request) -> Response {
     if table.is_none() && column.is_none() {
         Registry::bump(&shared.registry.unpack_ok);
         return Response::new(200, "application/octet-stream", container.as_ref().clone())
-            .with_header("X-Strudel-Pack-Key", key.to_hex());
+            .with_header("X-Strudel-Pack-Key", key.to_hex())
+            .with_header("X-Strudel-Cache", "hit");
     }
 
     let mut timings = StageTimings::default();
     let timer = strudel::StageTimer::start(strudel::Stage::Unpack);
     let result = extract_selection(&container, table, column.as_deref());
     timer.stop(&mut timings);
-    shared.registry.merge_timings(&timings);
+    shared.registry.merge_timings(shard, &timings);
     match result {
         Ok(Some(text)) => {
             Registry::bump(&shared.registry.unpack_ok);
             Response::new(200, "text/csv; charset=utf-8", text.into_bytes())
                 .with_header("X-Strudel-Pack-Key", key.to_hex())
+                .with_header("X-Strudel-Cache", "hit")
         }
         Ok(None) => {
             Registry::bump(&shared.registry.unpack_err);
@@ -730,10 +714,20 @@ enum StreamOutcome {
 /// not cached — the body is never retained whole, so there is nothing
 /// to key on.
 ///
+/// The caller (the shard loop) switches the socket to blocking mode
+/// first and closes the connection afterwards — the chunked response
+/// always announces `Connection: close`.
+///
 /// An error before the first window still gets a plain status-mapped
 /// response ([`error_response`]); after the `200` head is committed,
 /// errors arrive as a final `{"error": ...}` event line instead.
-fn classify_stream(shared: &Shared, request: &Request, leftover: Vec<u8>, stream: &mut TcpStream) {
+pub(crate) fn classify_stream(
+    shared: &Shared,
+    shard: usize,
+    request: &Request,
+    leftover: Vec<u8>,
+    stream: &mut TcpStream,
+) {
     // The cumulative wire cap only backstops unbounded *work* (memory
     // is bounded by construction); the configured input limit is the
     // per-window cap here and must not truncate the stream.
@@ -778,7 +772,7 @@ fn classify_stream(shared: &Shared, request: &Request, leftover: Vec<u8>, stream
             };
         }
     };
-    shared.registry.merge_timings(classifier.timings());
+    shared.registry.merge_timings(shard, classifier.timings());
     match outcome {
         StreamOutcome::Done(summary) => {
             // A single-window stream emits its window only at finish.
@@ -929,10 +923,13 @@ fn reload(shared: &Shared, body: &[u8]) -> Response {
             let swapped = Arc::new(model);
             *shared.model.write().unwrap_or_else(|e| e.into_inner()) = swapped;
             *lock(&shared.model_path) = Some(path.clone());
-            lock(&shared.cache).clear();
             // A new model may segment the same bytes into different
-            // tables, so cached containers are stale too.
-            lock(&shared.packs).clear();
+            // tables, so every shard's cached results and containers
+            // are stale.
+            for caches in &shared.shards {
+                lock(&caches.results).clear();
+                lock(&caches.packs).clear();
+            }
             Registry::bump(&shared.registry.reload_ok);
             Response::json(
                 200,
@@ -981,7 +978,7 @@ fn error_response(error: &StrudelError) -> Response {
 
 /// Render the uniform error body `{"error": ..., "category": ...}`,
 /// with a `"limit"` field when a resource limit was violated.
-fn error_body(message: &str, category: &str, limit: Option<&str>) -> String {
+pub(crate) fn error_body(message: &str, category: &str, limit: Option<&str>) -> String {
     let mut body = format!(
         "{{\"error\": {}, \"category\": {}",
         json_escape(message),

@@ -1,0 +1,184 @@
+#!/usr/bin/env bash
+# Benchmark the daemon's connection plane end to end and write the
+# machine-readable summary to BENCH_serve.json (override with
+# BENCH_SERVE_OUT).
+#
+# The measurement half is `strudel loadtest`: closed-loop saturation
+# (rps 0 — every connection sends back-to-back) against a freshly
+# trained `strudel serve` on loopback, once over persistent keep-alive
+# connections and once opening a new connection per request
+# (`--mode close`). The request is a small POST /classify body, so
+# after the first request the result cache answers and the measured
+# cost is the connection plane itself: readiness loop, framing,
+# response write — plus, in close mode, the full accept/teardown path
+# per request.
+#
+# Two gates run on every invocation (smoke included):
+#
+# * **keepalive_vs_close >= 2.0** — persistent connections must carry
+#   at least twice the throughput of connection-per-request. This is
+#   the headline the keep-alive rewrite exists for; if it decays the
+#   keep-alive path has stopped paying for itself.
+# * **errors == 0 in both modes** — a saturating load generator that
+#   sees connection resets or non-2xx responses means the daemon shed
+#   or failed under plain (in-budget) load.
+#
+# Full runs additionally gate keepalive_vs_close against 80% of the
+# committed baseline's ratio (the machine-independent number; absolute
+# rps is host-dependent). A smoke run gates but never overwrites the
+# committed baseline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="BENCH_serve.json"
+out="${BENCH_SERVE_OUT:-$baseline}"
+smoke="${BENCH_SMOKE:-0}"
+shards=2
+if [[ "$smoke" == "1" ]]; then
+  connections=4
+  duration_ms=600
+  runs=1
+else
+  connections=8
+  duration_ms=3000
+  runs=3
+fi
+
+cargo build --release -p strudel-cli
+bin="target/release/strudel"
+
+work="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  if [[ -n "$server_pid" ]] && kill -0 "$server_pid" 2>/dev/null; then
+    kill "$server_pid" 2>/dev/null || true
+  fi
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+# A tiny fitted model: model quality is irrelevant to connection-plane
+# throughput, and the result cache absorbs the classify cost anyway.
+"$bin" synth --dataset SAUS --files 12 --scale 0.2 --out "$work/corpus" >/dev/null
+"$bin" train --trees 12 --corpus "$work/corpus" --out "$work/model.strudel" >/dev/null
+
+printf 'Survey of outcomes,,\n,Rate 1,Rate 2\nKent,12,34\nSurrey,56,78\nTotal,68,112\nSource: statistics office,,\n' \
+  > "$work/body.csv"
+body_bytes="$(wc -c < "$work/body.csv")"
+
+"$bin" serve --model "$work/model.strudel" --port 0 --threads "$shards" \
+  > "$work/serve.log" 2>"$work/serve.err" &
+server_pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's#.*listening on http://\([^ ]*\).*#\1#p' "$work/serve.log")"
+  [[ -n "$addr" ]] && break
+  kill -0 "$server_pid" 2>/dev/null || { echo "error: server died during startup" >&2; cat "$work/serve.err" >&2; exit 1; }
+  sleep 0.1
+done
+[[ -n "$addr" ]] || { echo "error: no handshake line from strudel serve" >&2; exit 1; }
+host="${addr%:*}"
+port="${addr##*:}"
+
+field_of() {
+  sed -n "s/.*\"$2\": \([0-9.]*\).*/\1/p" "$1" | head -n 1
+}
+
+# Best-of-N throughput per mode; the best run's full report (latency
+# percentiles included) is what lands in the summary.
+measure() { # $1 = mode, $2 = destination for the best run's JSON line
+  local mode="$1" dest="$2" best_rps=0 rps
+  for _ in $(seq "$runs"); do
+    "$bin" loadtest --host "$host" --port "$port" --mode "$mode" \
+      --rps 0 --connections "$connections" --duration-ms "$duration_ms" \
+      "$work/body.csv" > "$work/run.json"
+    errors="$(field_of "$work/run.json" errors)"
+    if [[ "$errors" != "0" ]]; then
+      echo "error: $mode-mode load run saw $errors errors" >&2
+      cat "$work/run.json" >&2
+      exit 1
+    fi
+    rps="$(field_of "$work/run.json" throughput_rps)"
+    if awk -v a="$best_rps" -v b="$rps" 'BEGIN { exit !(b > a) }'; then
+      best_rps="$rps"
+      cp "$work/run.json" "$dest"
+    fi
+  done
+}
+
+measure keepalive "$work/keepalive.json"
+measure close "$work/close.json"
+
+ka_rps="$(field_of "$work/keepalive.json" throughput_rps)"
+cl_rps="$(field_of "$work/close.json" throughput_rps)"
+ratio="$(awk -v k="$ka_rps" -v c="$cl_rps" 'BEGIN { printf "%.2f", k / c }')"
+
+echo "keepalive: ${ka_rps} rps on ${connections} connections, ${shards} shards (p99 $(field_of "$work/keepalive.json" p99_us) us)"
+echo "close:     ${cl_rps} rps (p99 $(field_of "$work/close.json" p99_us) us)"
+echo "keepalive_vs_close: ${ratio}"
+
+# Gate 1: keep-alive must at least double connection-per-request
+# throughput, smoke or full.
+ok="$(awk -v r="$ratio" 'BEGIN { print (r >= 2.0) ? 1 : 0 }')"
+if [[ "$ok" != "1" ]]; then
+  echo "error: keepalive_vs_close $ratio < 2.0 floor — keep-alive no longer pays for itself" >&2
+  exit 1
+fi
+echo "keepalive_vs_close $ratio: ok (floor 2.0)"
+
+# Gate 2 (full runs): no regression past 80% of the committed
+# baseline's ratio.
+if [[ "$smoke" != "1" && -f "$baseline" ]]; then
+  base="$(field_of "$baseline" keepalive_vs_close)"
+  if [[ -n "$base" ]]; then
+    floor="$(awk -v b="$base" 'BEGIN { printf "%.2f", b * 0.8 }')"
+    ok="$(awk -v n="$ratio" -v f="$floor" 'BEGIN { print (n >= f) ? 1 : 0 }')"
+    if [[ "$ok" != "1" ]]; then
+      echo "error: keepalive_vs_close regressed: $ratio < 80% of baseline $base (floor $floor)" >&2
+      exit 1
+    fi
+    echo "keepalive_vs_close $ratio vs baseline $base: ok (floor $floor)"
+  fi
+fi
+
+curl -sS -X POST "http://$addr/admin/shutdown" >/dev/null
+wait "$server_pid"
+server_pid=""
+
+cpus="$(nproc 2>/dev/null || echo 1)"
+fresh="$work/BENCH_serve.json"
+cat > "$fresh" <<EOF
+{
+  "bench": "serve",
+  "smoke": $([[ "$smoke" == "1" ]] && echo true || echo false),
+  "host_cpus": $cpus,
+  "shards": $shards,
+  "connections": $connections,
+  "duration_ms": $duration_ms,
+  "runs": $runs,
+  "body_bytes": $body_bytes,
+  "keepalive_rps": $ka_rps,
+  "keepalive_p50_us": $(field_of "$work/keepalive.json" p50_us),
+  "keepalive_p90_us": $(field_of "$work/keepalive.json" p90_us),
+  "keepalive_p99_us": $(field_of "$work/keepalive.json" p99_us),
+  "keepalive_p999_us": $(field_of "$work/keepalive.json" p999_us),
+  "close_rps": $cl_rps,
+  "close_p50_us": $(field_of "$work/close.json" p50_us),
+  "close_p99_us": $(field_of "$work/close.json" p99_us),
+  "keepalive_vs_close": $ratio
+}
+EOF
+
+# A smoke run's numbers are not publication-grade: gate, print, and
+# leave the committed baseline untouched unless the caller asked for
+# an explicit destination.
+if [[ "$smoke" == "1" && -z "${BENCH_SERVE_OUT:-}" ]]; then
+  echo "--- smoke summary (baseline $baseline left untouched) ---"
+  cat "$fresh"
+  exit 0
+fi
+
+cp "$fresh" "$out"
+echo "--- $out ---"
+cat "$out"

@@ -57,6 +57,20 @@ echo "$metrics" | grep -q 'strudel_requests_total{endpoint="classify",outcome="o
 echo "$metrics" | grep -q 'strudel_stage_seconds_total' \
   || { echo "error: stage timings missing from /metrics" >&2; exit 1; }
 
+# Keep-alive reuse: two requests in one curl invocation share one TCP
+# connection (curl reuses by default when the server allows it). The
+# accepted-connection counter must therefore grow by exactly 2 between
+# the metrics scrapes: the reused connection plus the scrape below.
+conns_before="$(echo "$metrics" | awk '/^strudel_connections_total /{print $2}')"
+reuse="$(curl -sS "http://$addr/healthz" "http://$addr/healthz")"
+[[ "$reuse" == $'ok\nok' ]] || { echo "error: keep-alive healthz pair said: $reuse" >&2; exit 1; }
+conns_after="$(curl -sS "http://$addr/metrics" | awk '/^strudel_connections_total /{print $2}')"
+if [[ "$((conns_after - conns_before))" != "2" ]]; then
+  echo "error: expected 2 new connections (keep-alive pair + scrape), got $conns_before -> $conns_after" >&2
+  exit 1
+fi
+echo "--- keep-alive reuse OK ($conns_before -> $conns_after connections for 3 requests) ---"
+
 curl -sS -X POST "http://$addr/admin/shutdown" >/dev/null
 wait "$server_pid"
 server_pid=""
